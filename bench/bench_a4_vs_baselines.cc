@@ -1,0 +1,173 @@
+// A4 — §1's claim: "we will show errors that are detected by PFDs but
+// cannot be captured by existing approaches" — FDs [1] and CFDs [2]
+// "enforce data dependencies using the entire attribute values.
+// Consequently, they cannot specify the fine-grained semantics found in
+// partial attribute values."
+//
+// Content: on the same dirty datasets, mine + detect with (a) PFDs,
+// (b) whole-value approximate FDs, (c) constant CFDs, and compare recall /
+// precision against the injected ground truth. The datasets have
+// (near-)unique LHS values, so whole-value constraints have no repeated
+// evidence to work with — the exact failure mode the paper's introduction
+// describes with Table 1/Table 2. Performance: mining cost of each
+// constraint class.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <set>
+
+#include "baseline/baseline_detector.h"
+#include "baseline/cfd_miner.h"
+#include "baseline/fd_miner.h"
+#include "bench_util.h"
+#include "datagen/datasets.h"
+#include "detect/detector.h"
+#include "discovery/discovery.h"
+#include "util/text_table.h"
+
+namespace {
+
+using anmat_bench::Banner;
+using anmat_bench::CheckOrDie;
+
+anmat::PrecisionRecall ScorePfds(const anmat::Dataset& dataset,
+                                 const std::set<size_t>& cols) {
+  anmat::DiscoveryOptions opts;
+  opts.min_coverage = 0.3;
+  opts.allowed_violation_ratio = 0.1;
+  auto result = anmat::DiscoverPfds(dataset.relation, opts).value();
+  std::vector<anmat::Pfd> rules;
+  for (const anmat::DiscoveredPfd& p : result.pfds) rules.push_back(p.pfd);
+  std::vector<anmat::CellRef> suspects;
+  if (!rules.empty()) {
+    auto detection = anmat::DetectErrors(dataset.relation, rules).value();
+    for (const anmat::Violation& v : detection.violations) {
+      suspects.push_back(v.suspect);
+    }
+  }
+  return anmat::ScoreSuspects(suspects, dataset.ground_truth, cols);
+}
+
+anmat::PrecisionRecall ScoreFds(const anmat::Dataset& dataset,
+                                const std::set<size_t>& cols) {
+  anmat::FdMinerOptions opts;
+  opts.allowed_violation_ratio = 0.1;
+  std::vector<anmat::DiscoveredFd> fds = anmat::MineFds(dataset.relation, opts);
+  std::vector<anmat::CellRef> suspects;
+  for (const anmat::DiscoveredFd& fd : fds) {
+    auto violations = anmat::DetectFdViolations(dataset.relation, fd).value();
+    for (const anmat::Violation& v : violations) suspects.push_back(v.suspect);
+  }
+  return anmat::ScoreSuspects(suspects, dataset.ground_truth, cols);
+}
+
+anmat::PrecisionRecall ScoreCfds(const anmat::Dataset& dataset,
+                                 const std::set<size_t>& cols) {
+  anmat::CfdMinerOptions opts;
+  opts.min_support = 3;
+  opts.allowed_violation_ratio = 0.1;
+  std::vector<anmat::ConstantCfd> cfds =
+      anmat::MineConstantCfds(dataset.relation, opts);
+  std::vector<anmat::CellRef> suspects;
+  for (const anmat::ConstantCfd& cfd : cfds) {
+    auto violations = anmat::DetectCfdViolations(dataset.relation, cfd).value();
+    for (const anmat::Violation& v : violations) suspects.push_back(v.suspect);
+  }
+  return anmat::ScoreSuspects(suspects, dataset.ground_truth, cols);
+}
+
+void AddRows(anmat::TextTable* table, const std::string& dataset,
+             const std::string& method, const anmat::PrecisionRecall& pr) {
+  auto fmt = [](double v) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return std::string(buf);
+  };
+  table->AddRow({dataset, method, std::to_string(pr.true_positives),
+                 std::to_string(pr.false_positives),
+                 std::to_string(pr.false_negatives), fmt(pr.Precision()),
+                 fmt(pr.Recall()), fmt(pr.F1())});
+}
+
+void ReproduceContent() {
+  Banner("A4", "PFDs vs whole-value FDs vs constant CFDs on injected errors");
+  anmat::TextTable table(
+      {"dataset", "method", "tp", "fp", "fn", "precision", "recall", "F1"});
+
+  struct Workload {
+    anmat::Dataset dataset;
+    std::set<size_t> cols;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({anmat::PhoneStateDataset(4000, 95, 0.03), {1}});
+  workloads.push_back({anmat::NameGenderDataset(4000, 96, 0.03), {1}});
+  workloads.push_back({anmat::ZipCityStateDataset(4000, 97, 0.03), {1, 2}});
+
+  for (const Workload& w : workloads) {
+    anmat::PrecisionRecall pfd = ScorePfds(w.dataset, w.cols);
+    anmat::PrecisionRecall fd = ScoreFds(w.dataset, w.cols);
+    anmat::PrecisionRecall cfd = ScoreCfds(w.dataset, w.cols);
+    AddRows(&table, w.dataset.name, "PFD", pfd);
+    AddRows(&table, w.dataset.name, "FD", fd);
+    AddRows(&table, w.dataset.name, "CFD", cfd);
+    table.AddSeparator();
+    // The paper's qualitative claim: PFDs strictly beat the whole-value
+    // baselines on these partial-value workloads.
+    CheckOrDie(pfd.Recall() > fd.Recall(),
+               w.dataset.name + ": PFD recall beats FD recall");
+    CheckOrDie(pfd.Recall() > cfd.Recall(),
+               w.dataset.name + ": PFD recall beats CFD recall");
+  }
+  std::cout << table.Render();
+  std::cout << "\n(phones/names/zips are near-unique, so whole-value FDs "
+               "and CFD constants have no repeated evidence; PFDs key on "
+               "partial values and do)\n";
+}
+
+void BM_MinePfds(benchmark::State& state) {
+  anmat::Dataset d = anmat::ZipCityStateDataset(
+      static_cast<size_t>(state.range(0)), 98, 0.03);
+  anmat::DiscoveryOptions opts;
+  opts.min_coverage = 0.3;
+  for (auto _ : state) {
+    auto result = anmat::DiscoverPfds(d.relation, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MinePfds)->Arg(1000)->Arg(4000);
+
+void BM_MineFds(benchmark::State& state) {
+  anmat::Dataset d = anmat::ZipCityStateDataset(
+      static_cast<size_t>(state.range(0)), 98, 0.03);
+  anmat::FdMinerOptions opts;
+  opts.allowed_violation_ratio = 0.1;
+  for (auto _ : state) {
+    auto fds = anmat::MineFds(d.relation, opts);
+    benchmark::DoNotOptimize(fds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MineFds)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_MineCfds(benchmark::State& state) {
+  anmat::Dataset d = anmat::ZipCityStateDataset(
+      static_cast<size_t>(state.range(0)), 98, 0.03);
+  anmat::CfdMinerOptions opts;
+  for (auto _ : state) {
+    auto cfds = anmat::MineConstantCfds(d.relation, opts);
+    benchmark::DoNotOptimize(cfds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MineCfds)->Arg(1000)->Arg(4000)->Arg(16000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReproduceContent();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

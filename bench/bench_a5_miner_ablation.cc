@@ -1,0 +1,185 @@
+// A5 — ablation of the discovery design choices DESIGN.md calls out:
+//   (1) the signature-mining pass (shape rules like `\LU{6}\D{2} → legacy`)
+//       on/off — measured on a shape-determined workload;
+//   (2) the LHS context style (paper-style \A-runs with symbol anchors vs
+//       tight class-exact contexts) — measured by rule precision on names;
+//   (3) the probed n-gram lengths — coverage/cost trade-off on zips;
+//   (4) the support-ratio floor — tableau noise vs recall.
+//
+// These are OUR design knobs (the paper does not specify them); the bench
+// documents what each buys.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <set>
+
+#include "bench_util.h"
+#include "datagen/datasets.h"
+#include "detect/detector.h"
+#include "discovery/discovery.h"
+#include "util/text_table.h"
+
+namespace {
+
+using anmat_bench::Banner;
+using anmat_bench::CheckOrDie;
+
+anmat::PrecisionRecall RunWith(const anmat::Dataset& dataset,
+                               const anmat::DiscoveryOptions& opts,
+                               const std::set<size_t>& cols,
+                               size_t* n_rules = nullptr,
+                               size_t* n_tableau_rows = nullptr) {
+  auto result = anmat::DiscoverPfds(dataset.relation, opts).value();
+  std::vector<anmat::Pfd> rules;
+  size_t tableau_rows = 0;
+  for (const anmat::DiscoveredPfd& p : result.pfds) {
+    rules.push_back(p.pfd);
+    tableau_rows += p.pfd.tableau().size();
+  }
+  if (n_rules != nullptr) *n_rules = rules.size();
+  if (n_tableau_rows != nullptr) *n_tableau_rows = tableau_rows;
+  std::vector<anmat::CellRef> suspects;
+  if (!rules.empty()) {
+    auto detection = anmat::DetectErrors(dataset.relation, rules).value();
+    for (const anmat::Violation& v : detection.violations) {
+      suspects.push_back(v.suspect);
+    }
+  }
+  return anmat::ScoreSuspects(suspects, dataset.ground_truth, cols);
+}
+
+std::string Fmt(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+void AblateSignatures() {
+  std::cout << "--- (1) signature pass on/off (shape-determined labels) ---\n";
+  anmat::Dataset d = anmat::CompoundDataset(3000, 111, 0.04);
+  anmat::TextTable table({"signatures", "recall", "precision"});
+  for (bool on : {true, false}) {
+    anmat::DiscoveryOptions opts;
+    opts.min_coverage = 0.1;
+    opts.allowed_violation_ratio = 0.1;
+    opts.constant_miner.mine_signatures = on;
+    opts.constant_miner.decision.min_support = 20;
+    anmat::PrecisionRecall pr = RunWith(d, opts, {1});
+    table.AddRow({on ? "on" : "off", Fmt(pr.Recall()), Fmt(pr.Precision())});
+    if (on) {
+      CheckOrDie(pr.Recall() > 0.5,
+                 "signature rules recover shape-dependent errors");
+    }
+  }
+  std::cout << table.Render() << "\n";
+}
+
+void AblateContextStyle() {
+  std::cout << "--- (2) LHS context style (names workload) ---\n";
+  anmat::Dataset d = anmat::NameGenderDataset(3000, 112, 0.03);
+  anmat::TextTable table(
+      {"context", "#rules", "tableau rows", "recall", "precision"});
+  for (auto [style, name] :
+       std::vector<std::pair<anmat::ContextStyle, const char*>>{
+           {anmat::ContextStyle::kAnyRuns, "\\A-runs (paper)"},
+           {anmat::ContextStyle::kClassExact, "class-exact"}}) {
+    anmat::DiscoveryOptions opts;
+    opts.min_coverage = 0.4;
+    opts.allowed_violation_ratio = 0.12;
+    opts.constant_miner.token_context = style;
+    size_t rules = 0;
+    size_t rows = 0;
+    anmat::PrecisionRecall pr = RunWith(d, opts, {1}, &rules, &rows);
+    table.AddRow({name, std::to_string(rules), std::to_string(rows),
+                  Fmt(pr.Recall()), Fmt(pr.Precision())});
+  }
+  std::cout << table.Render() << "\n";
+}
+
+void AblateGramLengths() {
+  std::cout << "--- (3) probed n-gram lengths (zip workload) ---\n";
+  anmat::Dataset d = anmat::ZipCityStateDataset(3000, 113, 0.03);
+  anmat::TextTable table(
+      {"gram lengths", "tableau rows", "recall", "precision"});
+  for (auto [lengths, name] :
+       std::vector<std::pair<std::vector<size_t>, const char*>>{
+           {{2}, "{2}"},
+           {{3}, "{3}"},
+           {{2, 3, 4}, "{2,3,4}"},
+           {{2, 3, 4, 5}, "{2,3,4,5}"}}) {
+    anmat::DiscoveryOptions opts;
+    opts.min_coverage = 0.3;
+    opts.allowed_violation_ratio = 0.1;
+    opts.constant_miner.gram_lengths = lengths;
+    size_t rules = 0;
+    size_t rows = 0;
+    anmat::PrecisionRecall pr = RunWith(d, opts, {1, 2}, &rules, &rows);
+    table.AddRow({name, std::to_string(rows), Fmt(pr.Recall()),
+                  Fmt(pr.Precision())});
+  }
+  std::cout << table.Render() << "\n";
+}
+
+void AblateSupportFloor() {
+  std::cout << "--- (4) support-ratio floor (phone workload) ---\n";
+  anmat::Dataset d = anmat::PhoneStateDataset(3000, 114, 0.03);
+  anmat::TextTable table(
+      {"min support ratio", "tableau rows", "recall", "precision"});
+  for (double ratio : {0.0, 0.005, 0.01, 0.05}) {
+    anmat::DiscoveryOptions opts;
+    opts.min_coverage = 0.3;
+    opts.allowed_violation_ratio = 0.1;
+    opts.constant_miner.min_support_ratio = ratio;
+    size_t rules = 0;
+    size_t rows = 0;
+    anmat::PrecisionRecall pr = RunWith(d, opts, {1}, &rules, &rows);
+    table.AddRow({Fmt(ratio), std::to_string(rows), Fmt(pr.Recall()),
+                  Fmt(pr.Precision())});
+  }
+  std::cout << table.Render() << "\n";
+}
+
+void ReproduceContent() {
+  Banner("A5", "ablations of the miner's design choices");
+  AblateSignatures();
+  AblateContextStyle();
+  AblateGramLengths();
+  AblateSupportFloor();
+}
+
+void BM_DiscoverySignatures(benchmark::State& state) {
+  anmat::Dataset d = anmat::CompoundDataset(2000, 115, 0.04);
+  anmat::DiscoveryOptions opts;
+  opts.min_coverage = 0.1;
+  opts.constant_miner.mine_signatures = state.range(0) != 0;
+  for (auto _ : state) {
+    auto result = anmat::DiscoverPfds(d.relation, opts);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DiscoverySignatures)->Arg(0)->Arg(1);
+
+void BM_DiscoveryGramLengths(benchmark::State& state) {
+  anmat::Dataset d = anmat::ZipCityStateDataset(2000, 116, 0.03);
+  anmat::DiscoveryOptions opts;
+  opts.min_coverage = 0.3;
+  opts.constant_miner.gram_lengths.clear();
+  for (int64_t k = 2; k < 2 + state.range(0); ++k) {
+    opts.constant_miner.gram_lengths.push_back(static_cast<size_t>(k));
+  }
+  for (auto _ : state) {
+    auto result = anmat::DiscoverPfds(d.relation, opts);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DiscoveryGramLengths)->Arg(1)->Arg(3)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReproduceContent();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

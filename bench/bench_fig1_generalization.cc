@@ -1,0 +1,118 @@
+// F1 — Figure 1 of the paper: the generalization tree. Content: render the
+// tree and an exhaustive class/containment matrix. Performance: matching
+// and containment-checking throughput over the restricted pattern language
+// (the paper's motivation for restricting general regexes: these
+// operations must be cheap).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "pattern/containment.h"
+#include "pattern/generalization_tree.h"
+#include "pattern/matcher.h"
+#include "pattern/pattern_parser.h"
+#include "util/random.h"
+#include "util/text_table.h"
+
+namespace {
+
+using anmat_bench::Banner;
+using anmat_bench::CheckOrDie;
+
+void ReproduceContent() {
+  Banner("F1", "Figure 1: the generalization tree + containment matrix");
+  std::cout << anmat::RenderGeneralizationTree() << "\n";
+
+  // Containment matrix over the five classes as 1-char patterns.
+  const std::vector<std::pair<std::string, std::string>> classes = {
+      {"\\A", "Any"}, {"\\LU", "Upper"}, {"\\LL", "Lower"},
+      {"\\D", "Digit"}, {"\\S", "Symbol"}};
+  anmat::TextTable table({"P \\ P'", "\\A", "\\LU", "\\LL", "\\D", "\\S"});
+  for (const auto& [p_text, p_name] : classes) {
+    std::vector<std::string> row = {p_text};
+    for (const auto& [q_text, q_name] : classes) {
+      const bool contained = anmat::PatternContains(
+          anmat::ParsePattern(q_text).value(),
+          anmat::ParsePattern(p_text).value());
+      row.push_back(contained ? "⊆" : "-");
+    }
+    table.AddRow(row);
+  }
+  std::cout << table.Render() << "\n";
+
+  // Sanity: the tree's defining relations.
+  CheckOrDie(anmat::ClassContains(anmat::SymbolClass::kAny,
+                                  anmat::SymbolClass::kDigit),
+             "All contains Digit");
+  CheckOrDie(!anmat::ClassContains(anmat::SymbolClass::kUpper,
+                                   anmat::SymbolClass::kLower),
+             "Upper does not contain Lower");
+  CheckOrDie(anmat::JoinClasses(anmat::SymbolClass::kUpper,
+                                anmat::SymbolClass::kDigit) ==
+                 anmat::SymbolClass::kAny,
+             "join(Upper, Digit) = All");
+}
+
+void BM_MatchThroughput(benchmark::State& state) {
+  anmat::PatternMatcher matcher(
+      anmat::ParsePattern("\\LU\\LL*\\ \\A*").value());
+  anmat::Rng rng(1);
+  std::vector<std::string> samples;
+  for (int i = 0; i < 1024; ++i) {
+    std::string s = rng.NextString(1, "ABCDEFGH");
+    s += rng.NextString(3 + rng.NextBelow(8), "abcdefgh");
+    s += ' ';
+    s += rng.NextString(3 + rng.NextBelow(8), "abcdefgh");
+    samples.push_back(std::move(s));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Matches(samples[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatchThroughput);
+
+void BM_ContainmentCheck(benchmark::State& state) {
+  anmat::Pattern general = anmat::ParsePattern("\\LU\\LL*\\ \\A*").value();
+  anmat::Pattern specific = anmat::ParsePattern("John\\ \\A*").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anmat::PatternContains(general, specific));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContainmentCheck);
+
+void BM_ContainmentLargeCounts(benchmark::State& state) {
+  // Bounded counts expand NFA states; verify the check stays fast.
+  anmat::Pattern general = anmat::ParsePattern("\\D{1,64}").value();
+  anmat::Pattern specific = anmat::ParsePattern("\\D{32}").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anmat::PatternContains(general, specific));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContainmentLargeCounts);
+
+void BM_ConstrainedExtraction(benchmark::State& state) {
+  anmat::ConstrainedMatcher matcher(
+      anmat::ParseConstrainedPattern("(\\LU\\LL*\\ )!\\A*").value());
+  anmat::Extraction extraction;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matcher.ExtractCanonical("Jonathan Maxwell Smith", &extraction));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConstrainedExtraction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReproduceContent();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

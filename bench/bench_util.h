@@ -1,0 +1,35 @@
+#ifndef ANMAT_BENCH_BENCH_UTIL_H_
+#define ANMAT_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// Shared helpers for the reproduction benchmarks: every bench binary first
+/// prints the *content* artifact it reproduces (the table/figure rows), then
+/// runs google-benchmark timings for the algorithmic claims involved.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace anmat_bench {
+
+/// Prints a banner naming the experiment (matches DESIGN.md's index).
+inline void Banner(const std::string& experiment_id,
+                   const std::string& description) {
+  std::cout << "\n################################################################\n"
+            << "# " << experiment_id << ": " << description << "\n"
+            << "################################################################\n\n";
+}
+
+/// Aborts the bench with a message when reproduction preconditions fail —
+/// a bench that silently prints an empty table would read as success.
+inline void CheckOrDie(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "REPRODUCTION CHECK FAILED: " << what << "\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace anmat_bench
+
+#endif  // ANMAT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// Employee IDs: the scenario from the paper's introduction — in an employee
+// table with IDs like "F-9-107", the letter determines the department
+// (F → Finance) and the digit determines the grade (9 → Senior).
+//
+// This example generates such a table with injected errors, discovers the
+// PFDs automatically, detects the errors, and scores the detection against
+// the known ground truth.
+//
+// Run: ./build/examples/employee_ids [rows] [error_rate]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "anmat/report.h"
+#include "anmat/session.h"
+#include "datagen/datasets.h"
+
+int main(int argc, char** argv) {
+  const size_t rows = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+  const double error_rate = argc > 2 ? std::strtod(argv[2], nullptr) : 0.03;
+
+  anmat::Dataset dataset =
+      anmat::EmployeeDataset(rows, /*seed=*/2024, error_rate);
+  std::cout << "Generated " << dataset.relation.num_rows()
+            << " employee rows with " << dataset.ground_truth.size()
+            << " injected errors.\n\n";
+  std::cout << dataset.relation.ToString(6) << "\n";
+
+  anmat::Session session("employees");
+  if (anmat::Status s = session.LoadRelation(dataset.relation); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  session.SetMinCoverage(0.5);
+  session.SetAllowedViolationRatio(0.08);
+
+  if (anmat::Status s = session.Discover(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << anmat::RenderDiscoveredPfdsView(session.discovered()) << "\n";
+
+  session.ConfirmAll();
+  if (anmat::Status s = session.Detect(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << anmat::RenderViolationsView(session.relation(),
+                                           session.confirmed(),
+                                           session.detection(), 10)
+            << "\n";
+
+  // Score suspects against the injected ground truth (columns 1 and 2 are
+  // department and grade — the corrupted ones).
+  std::vector<anmat::CellRef> suspects;
+  for (const anmat::Violation& v : session.detection().violations) {
+    suspects.push_back(v.suspect);
+  }
+  anmat::PrecisionRecall pr =
+      anmat::ScoreSuspects(suspects, dataset.ground_truth, {1, 2});
+  std::cout << anmat::RenderScorecard("employee-id PFDs", pr);
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "anmat/report.h"
+
+#include <cstdio>
+
+#include "util/text_table.h"
+
+namespace anmat {
+
+namespace {
+
+std::string FormatDouble(double v, int precision = 3) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderProfilingView(const std::vector<ColumnProfile>& profiles) {
+  std::string out = "=== Profiling (patterns in the data) ===\n";
+  TextTable table({"column", "rows", "non-null", "distinct", "numeric",
+                   "tokens/cell", "column pattern"});
+  table.SetAlignments({Align::kLeft, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight,
+                       Align::kLeft});
+  for (const ColumnProfile& p : profiles) {
+    table.AddRow({p.name, std::to_string(p.rows), std::to_string(p.non_null),
+                  std::to_string(p.distinct), FormatDouble(p.numeric_ratio, 2),
+                  FormatDouble(p.avg_tokens, 1),
+                  p.column_pattern.ToString()});
+  }
+  out += table.Render();
+
+  for (const ColumnProfile& p : profiles) {
+    if (p.top_patterns.empty()) continue;
+    out += "\ncolumn '" + p.name + "' dominant patterns:\n";
+    for (const PatternProfileEntry& e : p.top_patterns) {
+      // Figure 3/4 format: "pattern::position, frequency".
+      out += "  " + e.pattern + "::" + std::to_string(e.position) + ", " +
+             std::to_string(e.frequency) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderDiscoveredPfdsView(
+    const std::vector<DiscoveredPfd>& discovered) {
+  std::string out = "=== Discovered PFDs ===\n";
+  if (discovered.empty()) {
+    out += "(none)\n";
+    return out;
+  }
+  for (size_t i = 0; i < discovered.size(); ++i) {
+    const DiscoveredPfd& d = discovered[i];
+    out += "[" + std::to_string(i) + "] " + d.pfd.Summary() +
+           "  coverage=" + FormatDouble(d.stats.Coverage()) +
+           "  violations=" + FormatDouble(d.stats.ViolationRate()) + "\n";
+    out += d.pfd.ToString();
+    if (!d.provenance.empty()) {
+      out += "  provenance:\n";
+      for (const std::string& p : d.provenance) {
+        out += "    " + p + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderViolationsView(const Relation& relation,
+                                 const std::vector<Pfd>& pfds,
+                                 const DetectionResult& detection,
+                                 size_t max_rows) {
+  std::string out = "=== Violations ===\n";
+  out += "scanned " + std::to_string(detection.stats.rows_scanned) +
+         " row-checks, " + std::to_string(detection.stats.candidate_rows) +
+         " index candidates, " + std::to_string(detection.stats.pairs_checked) +
+         " pairs; " + std::to_string(detection.violations.size()) +
+         " violations\n";
+
+  TextTable table({"#", "rule", "row", "violating record", "suspect cell",
+                   "suggested repair"});
+  size_t shown = 0;
+  for (size_t i = 0; i < detection.violations.size(); ++i) {
+    if (shown >= max_rows) break;
+    const Violation& v = detection.violations[i];
+    const Pfd& pfd = pfds.at(v.pfd_index);
+
+    // Render the violating record compactly: "col=value; col=value".
+    std::string record;
+    const RowId row = v.suspect.row;
+    for (size_t c = 0; c < relation.num_columns(); ++c) {
+      if (c > 0) record += "; ";
+      record += relation.schema().column(c).name + "=" +
+                relation.cell(row, c);
+    }
+    const std::string suspect_name =
+        relation.schema().column(v.suspect.column).name;
+    table.AddRow({std::to_string(i), pfd.Summary(), std::to_string(row),
+                  record,
+                  suspect_name + "=" + relation.cell(row, v.suspect.column),
+                  v.suggested_repair});
+    ++shown;
+  }
+  out += table.Render();
+  if (shown < detection.violations.size()) {
+    out += "... (" + std::to_string(detection.violations.size() - shown) +
+           " more violations)\n";
+  }
+  return out;
+}
+
+std::string RenderTable3Style(const Relation& relation,
+                              const std::vector<Pfd>& pfds,
+                              const DetectionResult& detection) {
+  std::string out;
+  TextTable table({"Dependency", "Pattern Tableau", "Errors"});
+  for (size_t pi = 0; pi < pfds.size(); ++pi) {
+    const Pfd& pfd = pfds[pi];
+    for (size_t ri = 0; ri < pfd.tableau().size(); ++ri) {
+      const TableauRow& row = pfd.tableau().row(ri);
+      std::string tableau_text = row.lhs[0].ToString() + " -> " +
+                                 row.rhs[0].ToString();
+      // First violation of this (pfd, row) as the example error.
+      std::string example;
+      for (const Violation& v : detection.violations) {
+        if (v.pfd_index == pi && v.tableau_row == ri) {
+          example = relation.cell(v.suspect.row, v.cells[0].column) + " | " +
+                    relation.cell(v.suspect.row, v.suspect.column);
+          break;
+        }
+      }
+      table.AddRow({pfd.lhs_attrs()[0] + " -> " + pfd.rhs_attrs()[0],
+                    tableau_text, example});
+    }
+  }
+  out += table.Render();
+  return out;
+}
+
+std::string RenderScorecard(const std::string& label,
+                            const PrecisionRecall& pr) {
+  return label + ": precision=" + FormatDouble(pr.Precision()) +
+         " recall=" + FormatDouble(pr.Recall()) +
+         " f1=" + FormatDouble(pr.F1()) + " (tp=" +
+         std::to_string(pr.true_positives) + " fp=" +
+         std::to_string(pr.false_positives) + " fn=" +
+         std::to_string(pr.false_negatives) + ")\n";
+}
+
+std::string RenderSessionReport(const Session& session) {
+  std::string out = "ANMAT project: " + session.project_name() + "\n\n";
+  out += RenderProfilingView(session.profiles());
+  out += "\n";
+  out += RenderDiscoveredPfdsView(session.discovered());
+  out += "\n";
+  out += RenderViolationsView(session.relation(), session.confirmed(),
+                              session.detection());
+  return out;
+}
+
+}  // namespace anmat

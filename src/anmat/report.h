@@ -1,0 +1,51 @@
+#ifndef ANMAT_ANMAT_REPORT_H_
+#define ANMAT_ANMAT_REPORT_H_
+
+/// \file report.h
+/// Text renderers for the demo's three views (Figures 3-5) and for the
+/// Table-3 style summary. These are the CLI substitutes for the paper's
+/// GUI (DESIGN.md §2).
+
+#include <string>
+#include <vector>
+
+#include "anmat/session.h"
+#include "datagen/error_injector.h"
+#include "detect/violation.h"
+#include "discovery/discovery.h"
+#include "relation/relation.h"
+
+namespace anmat {
+
+/// \brief Figure 3: per-column profiling view with the dominant
+/// "pattern::position, frequency" entries.
+std::string RenderProfilingView(const std::vector<ColumnProfile>& profiles);
+
+/// \brief Figure 4: the discovered PFDs with tableaux, coverage, and
+/// provenance entries.
+std::string RenderDiscoveredPfdsView(
+    const std::vector<DiscoveredPfd>& discovered);
+
+/// \brief Figure 5: detected violations with the violated rule and the full
+/// violating record(s).
+std::string RenderViolationsView(const Relation& relation,
+                                 const std::vector<Pfd>& pfds,
+                                 const DetectionResult& detection,
+                                 size_t max_rows = 50);
+
+/// \brief Table 3 style: one line per (dependency, tableau row) with an
+/// example detected error ("8505467600 | CA").
+std::string RenderTable3Style(const Relation& relation,
+                              const std::vector<Pfd>& pfds,
+                              const DetectionResult& detection);
+
+/// \brief Renders a precision/recall scorecard (A3/A4 benches).
+std::string RenderScorecard(const std::string& label,
+                            const PrecisionRecall& pr);
+
+/// \brief Convenience: all three views for a completed session.
+std::string RenderSessionReport(const Session& session);
+
+}  // namespace anmat
+
+#endif  // ANMAT_ANMAT_REPORT_H_

@@ -1,0 +1,85 @@
+#include "anmat/session.h"
+
+namespace anmat {
+
+Session::Session(std::string project_name)
+    : project_name_(std::move(project_name)) {
+  options_.table_name = project_name_;
+}
+
+Status Session::LoadCsvFile(const std::string& path,
+                            const CsvOptions& options) {
+  ANMAT_ASSIGN_OR_RETURN(Relation rel, ReadCsvFile(path, options));
+  return LoadRelation(std::move(rel));
+}
+
+Status Session::LoadCsvString(std::string_view text,
+                              const CsvOptions& options) {
+  ANMAT_ASSIGN_OR_RETURN(Relation rel, ReadCsvString(text, options));
+  return LoadRelation(std::move(rel));
+}
+
+Status Session::LoadRelation(Relation relation) {
+  relation_ = std::move(relation);
+  loaded_ = true;
+  profiled_ = false;
+  discovered_ran_ = false;
+  profiles_.clear();
+  discovered_.clear();
+  confirmed_.clear();
+  detection_ = DetectionResult{};
+  return Status::OK();
+}
+
+Status Session::Profile() {
+  if (!loaded_) return Status::InvalidArgument("no dataset loaded");
+  profiles_ = ProfileRelation(relation_, options_.profiler);
+  profiled_ = true;
+  return Status::OK();
+}
+
+Status Session::Discover() {
+  if (!loaded_) return Status::InvalidArgument("no dataset loaded");
+  ANMAT_ASSIGN_OR_RETURN(DiscoveryResult result,
+                         DiscoverPfds(relation_, options_));
+  profiles_ = std::move(result.profiles);
+  profiled_ = true;
+  discovered_ = std::move(result.pfds);
+  discovered_ran_ = true;
+  confirmed_.clear();
+  return Status::OK();
+}
+
+Status Session::Confirm(size_t index) {
+  if (!discovered_ran_) {
+    return Status::InvalidArgument("run Discover() before confirming");
+  }
+  if (index >= discovered_.size()) {
+    return Status::OutOfRange("no discovered PFD with index " +
+                              std::to_string(index));
+  }
+  confirmed_.push_back(discovered_[index].pfd);
+  return Status::OK();
+}
+
+void Session::ConfirmAll() {
+  confirmed_.clear();
+  for (const DiscoveredPfd& d : discovered_) confirmed_.push_back(d.pfd);
+}
+
+void Session::ClearConfirmations() { confirmed_.clear(); }
+
+Status Session::Detect() {
+  if (!loaded_) return Status::InvalidArgument("no dataset loaded");
+  if (confirmed_.empty()) {
+    return Status::InvalidArgument(
+        "no confirmed PFDs; call ConfirmAll() or Confirm(i) first");
+  }
+  ANMAT_ASSIGN_OR_RETURN(
+      DetectionResult result,
+      DetectErrors(relation_, confirmed_, detector_options_));
+  detection_ = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace anmat

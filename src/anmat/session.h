@@ -1,0 +1,98 @@
+#ifndef ANMAT_ANMAT_SESSION_H_
+#define ANMAT_ANMAT_SESSION_H_
+
+/// \file session.h
+/// The ANMAT façade: the workflow of the demo's GUI (§4) as a library API.
+///
+/// \code
+///   anmat::Session session("census");
+///   ANMAT_RETURN_NOT_OK(session.LoadCsvFile("addresses.csv"));
+///   session.SetMinCoverage(0.6);
+///   session.SetAllowedViolationRatio(0.05);
+///   ANMAT_RETURN_NOT_OK(session.Profile());
+///   ANMAT_RETURN_NOT_OK(session.Discover());
+///   session.ConfirmAll();                      // or Confirm(i) selectively
+///   ANMAT_RETURN_NOT_OK(session.Detect());
+///   std::cout << session.RenderViolationsView();
+/// \endcode
+
+#include <string>
+#include <vector>
+
+#include "csv/csv_reader.h"
+#include "detect/detector.h"
+#include "discovery/discovery.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief One end-to-end ANMAT workflow over a single dataset.
+class Session {
+ public:
+  explicit Session(std::string project_name = "default");
+
+  // -- Dataset specification (Figure 3, top) ------------------------------
+
+  Status LoadCsvFile(const std::string& path,
+                     const CsvOptions& options = CsvOptions());
+  Status LoadCsvString(std::string_view text,
+                       const CsvOptions& options = CsvOptions());
+  Status LoadRelation(Relation relation);
+
+  const std::string& project_name() const { return project_name_; }
+  bool has_data() const { return loaded_; }
+  const Relation& relation() const { return relation_; }
+
+  // -- Parameters (§4 "Parameter Setting") --------------------------------
+
+  void SetMinCoverage(double gamma) { options_.min_coverage = gamma; }
+  void SetAllowedViolationRatio(double ratio) {
+    options_.allowed_violation_ratio = ratio;
+  }
+  DiscoveryOptions& mutable_discovery_options() { return options_; }
+  DetectorOptions& mutable_detector_options() { return detector_options_; }
+
+  // -- Pipeline ------------------------------------------------------------
+
+  /// Profiles the dataset (Figure 3). Implied by Discover() if skipped.
+  Status Profile();
+
+  /// Runs PFD discovery (Figure 2 / Figure 4).
+  Status Discover();
+
+  /// Marks discovered PFD `i` as confirmed for detection (the demo lets the
+  /// user confirm each dependency; unconfirmed rules are not applied).
+  Status Confirm(size_t index);
+  void ConfirmAll();
+  void ClearConfirmations();
+
+  /// Runs detection with the confirmed PFDs (Figure 5).
+  Status Detect();
+
+  // -- Results -------------------------------------------------------------
+
+  const std::vector<ColumnProfile>& profiles() const { return profiles_; }
+  const std::vector<DiscoveredPfd>& discovered() const { return discovered_; }
+  const std::vector<Pfd>& confirmed() const { return confirmed_; }
+  const DetectionResult& detection() const { return detection_; }
+
+ private:
+  std::string project_name_;
+  Relation relation_;
+  bool loaded_ = false;
+
+  DiscoveryOptions options_;
+  DetectorOptions detector_options_;
+
+  std::vector<ColumnProfile> profiles_;
+  bool profiled_ = false;
+  std::vector<DiscoveredPfd> discovered_;
+  bool discovered_ran_ = false;
+  std::vector<Pfd> confirmed_;
+  DetectionResult detection_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_ANMAT_SESSION_H_

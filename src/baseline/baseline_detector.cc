@@ -1,0 +1,72 @@
+#include "baseline/baseline_detector.h"
+
+#include <map>
+
+namespace anmat {
+
+Result<std::vector<Violation>> DetectFdViolations(const Relation& relation,
+                                                  const DiscoveredFd& fd) {
+  if (fd.lhs_col >= relation.num_columns() ||
+      fd.rhs_col >= relation.num_columns()) {
+    return Status::OutOfRange("FD column out of range");
+  }
+  std::vector<Violation> out;
+  std::map<std::string, std::map<std::string, std::vector<RowId>>> groups;
+  for (RowId r = 0; r < relation.num_rows(); ++r) {
+    groups[relation.cell(r, fd.lhs_col)][relation.cell(r, fd.rhs_col)]
+        .push_back(r);
+  }
+  for (const auto& [lhs, by_rhs] : groups) {
+    if (by_rhs.size() <= 1) continue;
+    size_t best = 0;
+    const std::string* majority = nullptr;
+    for (const auto& [rhs, ids] : by_rhs) {
+      if (ids.size() > best) {
+        best = ids.size();
+        majority = &rhs;
+      }
+    }
+    const RowId witness = by_rhs.at(*majority).front();
+    for (const auto& [rhs, ids] : by_rhs) {
+      if (rhs == *majority) continue;
+      for (RowId r : ids) {
+        Violation v;
+        v.kind = ViolationKind::kVariable;
+        v.cells = {CellRef{r, static_cast<uint32_t>(fd.lhs_col)},
+                   CellRef{r, static_cast<uint32_t>(fd.rhs_col)},
+                   CellRef{witness, static_cast<uint32_t>(fd.lhs_col)},
+                   CellRef{witness, static_cast<uint32_t>(fd.rhs_col)}};
+        v.suspect = CellRef{r, static_cast<uint32_t>(fd.rhs_col)};
+        v.suggested_repair = *majority;
+        v.explanation = "FD " + fd.lhs + " -> " + fd.rhs + " violated";
+        out.push_back(std::move(v));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Violation>> DetectCfdViolations(const Relation& relation,
+                                                   const ConstantCfd& cfd) {
+  if (cfd.lhs_col >= relation.num_columns() ||
+      cfd.rhs_col >= relation.num_columns()) {
+    return Status::OutOfRange("CFD column out of range");
+  }
+  std::vector<Violation> out;
+  for (RowId r = 0; r < relation.num_rows(); ++r) {
+    if (relation.cell(r, cfd.lhs_col) != cfd.lhs_value) continue;
+    if (relation.cell(r, cfd.rhs_col) == cfd.rhs_value) continue;
+    Violation v;
+    v.kind = ViolationKind::kConstant;
+    v.cells = {CellRef{r, static_cast<uint32_t>(cfd.lhs_col)},
+               CellRef{r, static_cast<uint32_t>(cfd.rhs_col)}};
+    v.suspect = CellRef{r, static_cast<uint32_t>(cfd.rhs_col)};
+    v.suggested_repair = cfd.rhs_value;
+    v.explanation = "CFD (" + cfd.lhs_value + " -> " + cfd.rhs_value +
+                    ") violated";
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace anmat

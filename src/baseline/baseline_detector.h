@@ -1,0 +1,30 @@
+#ifndef ANMAT_BASELINE_BASELINE_DETECTOR_H_
+#define ANMAT_BASELINE_BASELINE_DETECTOR_H_
+
+/// \file baseline_detector.h
+/// Error detection with the baseline constraints (FDs and constant CFDs),
+/// producing the same `Violation` records as the PFD detector so bench A4
+/// can compare recall on identical injected errors.
+
+#include <vector>
+
+#include "baseline/cfd_miner.h"
+#include "baseline/fd_miner.h"
+#include "detect/violation.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief Flags FD violations: rows whose A-group majority-B disagrees with
+/// their own B (the standard approximate-FD error semantics).
+Result<std::vector<Violation>> DetectFdViolations(const Relation& relation,
+                                                  const DiscoveredFd& fd);
+
+/// \brief Flags rows with `A = lhs_value` but `B ≠ rhs_value`.
+Result<std::vector<Violation>> DetectCfdViolations(const Relation& relation,
+                                                   const ConstantCfd& cfd);
+
+}  // namespace anmat
+
+#endif  // ANMAT_BASELINE_BASELINE_DETECTOR_H_

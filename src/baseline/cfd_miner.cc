@@ -1,0 +1,54 @@
+#include "baseline/cfd_miner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace anmat {
+
+std::vector<ConstantCfd> MineConstantCfds(const Relation& relation,
+                                          const CfdMinerOptions& options) {
+  std::vector<ConstantCfd> cfds;
+  const size_t n_cols = relation.num_columns();
+
+  for (size_t a = 0; a < n_cols; ++a) {
+    for (size_t b = 0; b < n_cols; ++b) {
+      if (a == b) continue;
+      // Group rows by A-value; count RHS values per group.
+      std::map<std::string, std::map<std::string, size_t>> groups;
+      for (RowId r = 0; r < relation.num_rows(); ++r) {
+        ++groups[relation.cell(r, a)][relation.cell(r, b)];
+      }
+      std::vector<ConstantCfd> pair_cfds;
+      for (const auto& [lhs_value, by_rhs] : groups) {
+        size_t total = 0;
+        size_t best = 0;
+        const std::string* dominant = nullptr;
+        for (const auto& [rhs, n] : by_rhs) {
+          total += n;
+          if (n > best) {
+            best = n;
+            dominant = &rhs;
+          }
+        }
+        if (total < options.min_support || dominant == nullptr) continue;
+        const double violation_ratio =
+            1.0 - static_cast<double>(best) / static_cast<double>(total);
+        if (violation_ratio > options.allowed_violation_ratio) continue;
+        pair_cfds.push_back(ConstantCfd{a, b, lhs_value, *dominant, total,
+                                        best});
+      }
+      std::sort(pair_cfds.begin(), pair_cfds.end(),
+                [](const ConstantCfd& x, const ConstantCfd& y) {
+                  if (x.support != y.support) return x.support > y.support;
+                  return x.lhs_value < y.lhs_value;
+                });
+      if (pair_cfds.size() > options.max_per_pair) {
+        pair_cfds.resize(options.max_per_pair);
+      }
+      cfds.insert(cfds.end(), pair_cfds.begin(), pair_cfds.end());
+    }
+  }
+  return cfds;
+}
+
+}  // namespace anmat

@@ -1,0 +1,44 @@
+#ifndef ANMAT_BASELINE_CFD_MINER_H_
+#define ANMAT_BASELINE_CFD_MINER_H_
+
+/// \file cfd_miner.h
+/// Baseline: constant conditional functional dependencies (Fan et al.,
+/// TODS 2008 — reference [2] of the paper).
+///
+/// A constant CFD `(A = a → B = b)` conditions a dependency on an exact
+/// LHS value. Unlike PFDs it cannot look *inside* a value — "John Charles"
+/// and "John Bosco" are unrelated constants to a CFD, which is exactly the
+/// limitation ANMAT's introduction calls out and bench A4 quantifies.
+
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace anmat {
+
+/// \brief A constant CFD `A = lhs_value → B = rhs_value`.
+struct ConstantCfd {
+  size_t lhs_col = 0;
+  size_t rhs_col = 0;
+  std::string lhs_value;
+  std::string rhs_value;
+  size_t support = 0;    ///< rows with A = lhs_value
+  size_t agreeing = 0;   ///< among those, rows with B = rhs_value
+};
+
+/// \brief Options for the constant-CFD miner.
+struct CfdMinerOptions {
+  size_t min_support = 2;
+  double allowed_violation_ratio = 0.1;
+  /// Keep at most this many CFDs per column pair (highest support first).
+  size_t max_per_pair = 64;
+};
+
+/// \brief Mines constant CFDs for every ordered column pair.
+std::vector<ConstantCfd> MineConstantCfds(const Relation& relation,
+                                          const CfdMinerOptions& options = {});
+
+}  // namespace anmat
+
+#endif  // ANMAT_BASELINE_CFD_MINER_H_

@@ -1,0 +1,49 @@
+#include "baseline/fd_miner.h"
+
+#include <unordered_set>
+
+#include "baseline/partition.h"
+
+namespace anmat {
+
+std::vector<DiscoveredFd> MineFds(const Relation& relation,
+                                  const FdMinerOptions& options) {
+  std::vector<DiscoveredFd> fds;
+  const size_t n_cols = relation.num_columns();
+  const size_t n_rows = relation.num_rows();
+  if (n_rows == 0) return fds;
+
+  // Precompute per-column partitions and distinct counts.
+  std::vector<Partition> partitions;
+  std::vector<size_t> distinct(n_cols, 0);
+  partitions.reserve(n_cols);
+  for (size_t c = 0; c < n_cols; ++c) {
+    partitions.push_back(Partition::ByColumn(relation, c));
+    std::unordered_set<std::string> values(relation.column(c).begin(),
+                                           relation.column(c).end());
+    distinct[c] = values.size();
+  }
+
+  for (size_t a = 0; a < n_cols; ++a) {
+    if (options.skip_key_lhs &&
+        static_cast<double>(distinct[a]) / static_cast<double>(n_rows) >=
+            options.near_key_ratio) {
+      continue;  // keys determine everything trivially
+    }
+    for (size_t b = 0; b < n_cols; ++b) {
+      if (a == b) continue;
+      const size_t violations =
+          partitions[a].ViolationCount(partitions[b], n_rows);
+      const double ratio =
+          static_cast<double>(violations) / static_cast<double>(n_rows);
+      if (ratio <= options.allowed_violation_ratio) {
+        fds.push_back(DiscoveredFd{relation.schema().column(a).name,
+                                   relation.schema().column(b).name, a, b,
+                                   violations, ratio});
+      }
+    }
+  }
+  return fds;
+}
+
+}  // namespace anmat

@@ -1,0 +1,44 @@
+#ifndef ANMAT_BASELINE_FD_MINER_H_
+#define ANMAT_BASELINE_FD_MINER_H_
+
+/// \file fd_miner.h
+/// Baseline: exact / approximate functional dependency discovery over
+/// *entire* attribute values (single-attribute LHS, as in the paper's
+/// comparison — "the fundamental limitation of previous ICs is that they
+/// enforce data dependencies using the entire attribute values").
+
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief A discovered (approximate) FD `A → B` with its violation count.
+struct DiscoveredFd {
+  std::string lhs;
+  std::string rhs;
+  size_t lhs_col = 0;
+  size_t rhs_col = 0;
+  size_t violations = 0;     ///< min rows to remove to make it exact
+  double violation_ratio = 0.0;  ///< violations / rows
+};
+
+/// \brief Options for the baseline FD miner.
+struct FdMinerOptions {
+  /// FDs with violation ratio above this are rejected (0 = exact only).
+  double allowed_violation_ratio = 0.0;
+  /// Skip trivially-satisfied FDs where the LHS is (near-)unique.
+  bool skip_key_lhs = true;
+  double near_key_ratio = 0.95;
+};
+
+/// \brief Mines all single-attribute FDs `A → B` of `relation` using
+/// stripped-partition refinement.
+std::vector<DiscoveredFd> MineFds(const Relation& relation,
+                                  const FdMinerOptions& options = {});
+
+}  // namespace anmat
+
+#endif  // ANMAT_BASELINE_FD_MINER_H_

@@ -1,0 +1,85 @@
+#include "baseline/partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace anmat {
+
+Partition Partition::ByColumn(const Relation& relation, size_t col) {
+  std::unordered_map<std::string, std::vector<RowId>> groups;
+  const auto& values = relation.column(col);
+  for (RowId r = 0; r < values.size(); ++r) {
+    groups[values[r]].push_back(r);
+  }
+  Partition p;
+  for (auto& [value, rows] : groups) {
+    if (rows.size() >= 2) {
+      std::sort(rows.begin(), rows.end());
+      p.classes_.push_back(std::move(rows));
+    }
+  }
+  // Deterministic order: by first row id.
+  std::sort(p.classes_.begin(), p.classes_.end(),
+            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
+              return a.front() < b.front();
+            });
+  return p;
+}
+
+Partition Partition::Refine(const Partition& other, size_t num_rows) const {
+  // Standard stripped-partition product: label rows by their class in
+  // `other`, then split each of our classes by that label.
+  std::vector<int64_t> label(num_rows, -1);
+  for (size_t ci = 0; ci < other.classes_.size(); ++ci) {
+    for (RowId r : other.classes_[ci]) label[r] = static_cast<int64_t>(ci);
+  }
+  Partition out;
+  for (const std::vector<RowId>& cls : classes_) {
+    std::unordered_map<int64_t, std::vector<RowId>> split;
+    for (RowId r : cls) {
+      if (label[r] >= 0) split[label[r]].push_back(r);
+      // rows in a singleton class of `other` are singletons in the product
+    }
+    for (auto& [lab, rows] : split) {
+      if (rows.size() >= 2) out.classes_.push_back(std::move(rows));
+    }
+  }
+  std::sort(out.classes_.begin(), out.classes_.end(),
+            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
+              return a.front() < b.front();
+            });
+  return out;
+}
+
+size_t Partition::retained_rows() const {
+  size_t n = 0;
+  for (const auto& cls : classes_) n += cls.size();
+  return n;
+}
+
+size_t Partition::ViolationCount(const Partition& rhs, size_t num_rows) const {
+  // For each class of `this` (an X-group), the minimum removals to make X→Y
+  // hold inside it is |class| - (size of its largest Y-subgroup).
+  std::vector<int64_t> label(num_rows, -1);
+  for (size_t ci = 0; ci < rhs.classes_.size(); ++ci) {
+    for (RowId r : rhs.classes_[ci]) label[r] = static_cast<int64_t>(ci);
+  }
+  size_t violations = 0;
+  for (const std::vector<RowId>& cls : classes_) {
+    std::unordered_map<int64_t, size_t> counts;
+    size_t singletons = 0;
+    for (RowId r : cls) {
+      if (label[r] >= 0) {
+        ++counts[label[r]];
+      } else {
+        ++singletons;  // unique Y value: its own subgroup of size 1
+      }
+    }
+    size_t largest = singletons > 0 ? 1 : 0;
+    for (const auto& [lab, n] : counts) largest = std::max(largest, n);
+    violations += cls.size() - largest;
+  }
+  return violations;
+}
+
+}  // namespace anmat

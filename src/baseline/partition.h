@@ -1,0 +1,48 @@
+#ifndef ANMAT_BASELINE_PARTITION_H_
+#define ANMAT_BASELINE_PARTITION_H_
+
+/// \file partition.h
+/// Stripped partitions (equivalence classes) over column values — the
+/// classic building block of FD discovery (TANE-style partition
+/// refinement). Used by the baseline FD/CFD miners that PFDs are compared
+/// against in bench A4.
+
+#include <cstddef>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace anmat {
+
+/// \brief A partition of row ids into equivalence classes by value.
+///
+/// "Stripped": singleton classes are dropped — they can never witness an FD
+/// violation and their omission makes refinement linear in the retained
+/// rows.
+class Partition {
+ public:
+  /// Partition of `relation` rows by the value of column `col`.
+  static Partition ByColumn(const Relation& relation, size_t col);
+
+  /// The product partition (group by both keys): refines `this` by `other`.
+  Partition Refine(const Partition& other, size_t num_rows) const;
+
+  const std::vector<std::vector<RowId>>& classes() const { return classes_; }
+  size_t num_classes() const { return classes_.size(); }
+
+  /// Σ|class| over retained (non-singleton) classes.
+  size_t retained_rows() const;
+
+  /// The error measure e(X): minimum number of rows to remove so the
+  /// partition refines `other` — used for approximate FDs.
+  /// Here specialized to the FD test: X → Y holds iff Error(X ∪ Y) == 0,
+  /// computed as retained_rows(X) - Σ_c max-class-overlap.
+  size_t ViolationCount(const Partition& rhs, size_t num_rows) const;
+
+ private:
+  std::vector<std::vector<RowId>> classes_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_BASELINE_PARTITION_H_

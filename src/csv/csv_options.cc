@@ -1,0 +1,18 @@
+#include "csv/csv_options.h"
+
+namespace anmat {
+
+Status CsvOptions::Validate() const {
+  if (delimiter == quote) {
+    return Status::InvalidArgument("CSV delimiter and quote must differ");
+  }
+  if (delimiter == '\n' || delimiter == '\r') {
+    return Status::InvalidArgument("CSV delimiter cannot be a newline");
+  }
+  if (quote == '\n' || quote == '\r') {
+    return Status::InvalidArgument("CSV quote cannot be a newline");
+  }
+  return Status::OK();
+}
+
+}  // namespace anmat

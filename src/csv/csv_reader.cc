@@ -1,0 +1,169 @@
+#include "csv/csv_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace anmat {
+
+namespace {
+
+/// State machine over the input text. RFC 4180 with two liberal extensions:
+/// a quote inside an unquoted field is taken literally, and a lone CR is
+/// treated as a record separator.
+class CsvScanner {
+ public:
+  CsvScanner(std::string_view text, const CsvOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<std::vector<std::vector<std::string>>> ScanAll() {
+    std::vector<std::vector<std::string>> records;
+    while (pos_ < text_.size()) {
+      ANMAT_ASSIGN_OR_RETURN(std::vector<std::string> record, ScanRecord());
+      // A trailing newline produces one empty single-field record; drop it.
+      if (record.size() == 1 && record[0].empty() && AtEnd()) break;
+      records.push_back(std::move(record));
+    }
+    return records;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  /// Consumes one record (ending at a record separator or EOF).
+  Result<std::vector<std::string>> ScanRecord() {
+    std::vector<std::string> fields;
+    while (true) {
+      ANMAT_ASSIGN_OR_RETURN(std::string field, ScanField());
+      if (options_.trim_fields) field = Trim(field);
+      fields.push_back(std::move(field));
+      if (AtEnd()) break;
+      char c = text_[pos_];
+      if (c == options_.delimiter) {
+        ++pos_;
+        continue;
+      }
+      // Record separator: \r\n, \n, or \r.
+      if (c == '\r') {
+        ++pos_;
+        if (!AtEnd() && text_[pos_] == '\n') ++pos_;
+        break;
+      }
+      if (c == '\n') {
+        ++pos_;
+        break;
+      }
+      return Status::Internal("CSV scanner desynchronized at offset " +
+                              std::to_string(pos_));
+    }
+    return fields;
+  }
+
+  /// Consumes one field, leaving the cursor at the delimiter/separator/EOF.
+  Result<std::string> ScanField() {
+    if (!AtEnd() && text_[pos_] == options_.quote) {
+      return ScanQuotedField();
+    }
+    size_t start = pos_;
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (c == options_.delimiter || c == '\n' || c == '\r') break;
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ScanQuotedField() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError(
+            "unterminated quoted CSV field starting before offset " +
+            std::to_string(pos_));
+      }
+      char c = text_[pos_++];
+      if (c == options_.quote) {
+        if (!AtEnd() && text_[pos_] == options_.quote) {
+          out += options_.quote;  // doubled quote -> literal quote
+          ++pos_;
+        } else {
+          break;  // closing quote
+        }
+      } else {
+        out += c;
+      }
+    }
+    // After the closing quote, only delimiter / separator / EOF may follow;
+    // tolerate (append) stray text to be liberal in what we accept.
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (c == options_.delimiter || c == '\n' || c == '\r') break;
+      out += c;
+      ++pos_;
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  const CsvOptions& options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<std::vector<std::string>>> ParseCsvRecords(
+    std::string_view text, const CsvOptions& options) {
+  ANMAT_RETURN_NOT_OK(options.Validate());
+  return CsvScanner(text, options).ScanAll();
+}
+
+Result<Relation> ReadCsvString(std::string_view text,
+                               const CsvOptions& options) {
+  ANMAT_ASSIGN_OR_RETURN(auto records, ParseCsvRecords(text, options));
+  if (records.empty()) {
+    return Status::ParseError("CSV input contains no records");
+  }
+
+  std::vector<std::string> names;
+  size_t first_data = 0;
+  if (options.has_header) {
+    names = records[0];
+    first_data = 1;
+  } else {
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      names.push_back("c" + std::to_string(i));
+    }
+  }
+  ANMAT_ASSIGN_OR_RETURN(Schema schema, Schema::MakeText(names));
+
+  RelationBuilder builder(std::move(schema));
+  for (size_t i = first_data; i < records.size(); ++i) {
+    if (records[i].size() != names.size()) {
+      if (options.skip_bad_rows) continue;
+      return Status::ParseError(
+          "CSV record " + std::to_string(i) + " has " +
+          std::to_string(records[i].size()) + " fields, expected " +
+          std::to_string(names.size()));
+    }
+    ANMAT_RETURN_NOT_OK(builder.AddRow(std::move(records[i])));
+  }
+  return builder.Build();
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("error reading file: " + path);
+  }
+  return ReadCsvString(buffer.str(), options);
+}
+
+}  // namespace anmat

@@ -1,0 +1,42 @@
+#ifndef ANMAT_CSV_CSV_READER_H_
+#define ANMAT_CSV_CSV_READER_H_
+
+/// \file csv_reader.h
+/// RFC 4180 CSV parsing into `Relation`.
+///
+/// Handles quoted fields (including embedded delimiters, quotes-by-doubling,
+/// and embedded newlines), CRLF and LF record separators, and an optional
+/// header record. Column types are inferred after loading.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "csv/csv_options.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief Parses CSV text into raw records (vectors of fields).
+///
+/// This is the low-level entry point; most callers want `ReadCsvString` /
+/// `ReadCsvFile`, which also build the schema.
+Result<std::vector<std::vector<std::string>>> ParseCsvRecords(
+    std::string_view text, const CsvOptions& options = CsvOptions());
+
+/// \brief Parses CSV text into a `Relation`.
+///
+/// With `options.has_header`, the first record names the columns; otherwise
+/// columns are named "c0", "c1", .... Ragged rows are an error unless
+/// `options.skip_bad_rows` is set.
+Result<Relation> ReadCsvString(std::string_view text,
+                               const CsvOptions& options = CsvOptions());
+
+/// \brief Reads and parses a CSV file from disk.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = CsvOptions());
+
+}  // namespace anmat
+
+#endif  // ANMAT_CSV_CSV_READER_H_

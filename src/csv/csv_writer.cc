@@ -1,0 +1,70 @@
+#include "csv/csv_writer.h"
+
+#include <fstream>
+
+namespace anmat {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field, const CsvOptions& options) {
+  for (char c : field) {
+    if (c == options.delimiter || c == options.quote || c == '\n' ||
+        c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendField(std::string* out, const std::string& field,
+                 const CsvOptions& options) {
+  if (!NeedsQuoting(field, options)) {
+    out->append(field);
+    return;
+  }
+  out->push_back(options.quote);
+  for (char c : field) {
+    out->push_back(c);
+    if (c == options.quote) out->push_back(options.quote);
+  }
+  out->push_back(options.quote);
+}
+
+}  // namespace
+
+Result<std::string> WriteCsvString(const Relation& relation,
+                                   const CsvOptions& options) {
+  ANMAT_RETURN_NOT_OK(options.Validate());
+  std::string out;
+  if (options.has_header) {
+    for (size_t c = 0; c < relation.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      AppendField(&out, relation.schema().column(c).name, options);
+    }
+    out.push_back('\n');
+  }
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    for (size_t c = 0; c < relation.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      AppendField(&out, relation.cell(static_cast<RowId>(r), c), options);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options) {
+  ANMAT_ASSIGN_OR_RETURN(std::string text, WriteCsvString(relation, options));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out << text;
+  if (!out) {
+    return Status::IoError("error writing file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace anmat

@@ -1,0 +1,26 @@
+#ifndef ANMAT_CSV_CSV_WRITER_H_
+#define ANMAT_CSV_CSV_WRITER_H_
+
+/// \file csv_writer.h
+/// Serializes `Relation` back to RFC 4180 CSV.
+
+#include <string>
+
+#include "csv/csv_options.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief Renders `relation` as CSV text. Fields containing the delimiter,
+/// quote, or a newline are quoted (quotes doubled).
+Result<std::string> WriteCsvString(const Relation& relation,
+                                   const CsvOptions& options = CsvOptions());
+
+/// \brief Writes `relation` to `path` as CSV.
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options = CsvOptions());
+
+}  // namespace anmat
+
+#endif  // ANMAT_CSV_CSV_WRITER_H_

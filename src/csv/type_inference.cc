@@ -1,0 +1,43 @@
+#include "csv/type_inference.h"
+
+namespace anmat {
+
+double ColumnTypeStats::NumericRatio() const {
+  const size_t non_null = total - nulls;
+  if (non_null == 0) return 0.0;
+  return static_cast<double>(integers + floats) /
+         static_cast<double>(non_null);
+}
+
+ValueType ColumnTypeStats::DominantType() const {
+  const size_t non_null = total - nulls;
+  if (non_null == 0) return ValueType::kNull;
+  if (texts * 2 >= non_null) return ValueType::kText;
+  if (floats > 0) return ValueType::kFloat;
+  if (integers * 2 > non_null) return ValueType::kInteger;
+  return ValueType::kText;
+}
+
+ColumnTypeStats ComputeColumnTypeStats(const Relation& relation, size_t col) {
+  ColumnTypeStats stats;
+  stats.total = relation.num_rows();
+  for (const std::string& cell : relation.column(col)) {
+    switch (InferValueType(cell)) {
+      case ValueType::kNull:
+        ++stats.nulls;
+        break;
+      case ValueType::kInteger:
+        ++stats.integers;
+        break;
+      case ValueType::kFloat:
+        ++stats.floats;
+        break;
+      case ValueType::kText:
+        ++stats.texts;
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace anmat

@@ -1,0 +1,38 @@
+#ifndef ANMAT_CSV_TYPE_INFERENCE_H_
+#define ANMAT_CSV_TYPE_INFERENCE_H_
+
+/// \file type_inference.h
+/// Column-level type sniffing beyond the per-cell inference in value.h.
+///
+/// The ANMAT profiler needs slightly richer statistics than a single
+/// `ValueType`: columns that are *mostly* numeric should still be pruned
+/// from pattern discovery even if a few dirty cells are textual (the data is
+/// assumed dirty), and single-token code columns should be routed to the
+/// n-gram tokenizer.
+
+#include <cstddef>
+
+#include "relation/relation.h"
+
+namespace anmat {
+
+/// \brief Aggregate type statistics for one column.
+struct ColumnTypeStats {
+  size_t total = 0;    ///< number of cells
+  size_t nulls = 0;    ///< empty cells
+  size_t integers = 0; ///< cells that parse as integers
+  size_t floats = 0;   ///< cells that parse as non-integer numbers
+  size_t texts = 0;    ///< everything else
+
+  /// Fraction of non-null cells that are numeric; 0 when all cells are null.
+  double NumericRatio() const;
+  /// Dominant type among non-null cells (ties break toward text).
+  ValueType DominantType() const;
+};
+
+/// \brief Computes `ColumnTypeStats` for column `col` of `relation`.
+ColumnTypeStats ComputeColumnTypeStats(const Relation& relation, size_t col);
+
+}  // namespace anmat
+
+#endif  // ANMAT_CSV_TYPE_INFERENCE_H_

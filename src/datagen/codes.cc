@@ -1,0 +1,48 @@
+#include "datagen/codes.h"
+
+namespace anmat {
+
+const std::vector<Department>& Departments() {
+  static const std::vector<Department>* kDepts = new std::vector<Department>{
+      {'F', "Finance"},     {'E', "Engineering"}, {'H', "HumanResources"},
+      {'M', "Marketing"},   {'S', "Sales"},       {'R', "Research"},
+      {'L', "Legal"},       {'O', "Operations"},
+  };
+  return *kDepts;
+}
+
+const std::vector<GradeLevel>& GradeLevels() {
+  static const std::vector<GradeLevel>* kGrades = new std::vector<GradeLevel>{
+      {'9', "Senior"}, {'7', "Staff"}, {'5', "Associate"}, {'3', "Junior"},
+      {'1', "Intern"},
+  };
+  return *kGrades;
+}
+
+Employee RandomEmployee(Rng& rng) {
+  const Department& dept = rng.Choose(Departments());
+  const GradeLevel& grade = rng.Choose(GradeLevels());
+  Employee e;
+  e.id += dept.letter;
+  e.id += '-';
+  e.id += grade.digit;
+  e.id += '-';
+  // 3-digit serial, zero-padded, like the intro's "F-9-107".
+  const uint64_t serial = 100 + rng.NextBelow(900);
+  e.id += std::to_string(serial);
+  e.department = dept.name;
+  e.grade = grade.label;
+  return e;
+}
+
+std::string RandomCompoundId(Rng& rng) {
+  std::string id = "CHEMBL";
+  const size_t digits = 1 + rng.NextBelow(7);
+  for (size_t i = 0; i < digits; ++i) {
+    id += static_cast<char>((i == 0 ? '1' : '0') +
+                            rng.NextBelow(i == 0 ? 9 : 10));
+  }
+  return id;
+}
+
+}  // namespace anmat

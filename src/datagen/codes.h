@@ -1,0 +1,53 @@
+#ifndef ANMAT_DATAGEN_CODES_H_
+#define ANMAT_DATAGEN_CODES_H_
+
+/// \file codes.h
+/// Synthetic structured-code data: employee IDs and compound IDs.
+///
+/// Substitutes the paper's MIT-warehouse / ChEMBL columns:
+///  * employee IDs shaped like the introduction's "F-9-107": a department
+///    letter, a grade digit, and a serial — the letter determines the
+///    department name and the digit determines the grade label;
+///  * ChEMBL-like compound IDs ("CHEMBL" + digits) whose digit-count bucket
+///    correlates with a registration era, exercising the n-gram/prefix path
+///    on alphanumeric single-token columns.
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace anmat {
+
+/// \brief Department letter → department name.
+struct Department {
+  char letter = 'F';
+  std::string name;
+};
+
+const std::vector<Department>& Departments();
+
+/// \brief Grade digit → grade label.
+struct GradeLevel {
+  char digit = '9';
+  std::string label;
+};
+
+const std::vector<GradeLevel>& GradeLevels();
+
+/// \brief A generated employee.
+struct Employee {
+  std::string id;          ///< e.g. "F-9-107"
+  std::string department;  ///< e.g. "Finance"
+  std::string grade;       ///< e.g. "Senior"
+};
+
+/// \brief Draws an employee with a consistent (id, department, grade).
+Employee RandomEmployee(Rng& rng);
+
+/// \brief A ChEMBL-like compound id: "CHEMBL" + 1..7 digits.
+std::string RandomCompoundId(Rng& rng);
+
+}  // namespace anmat
+
+#endif  // ANMAT_DATAGEN_CODES_H_

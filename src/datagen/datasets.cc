@@ -1,0 +1,156 @@
+#include "datagen/datasets.h"
+
+#include "datagen/codes.h"
+#include "datagen/geo.h"
+#include "datagen/names.h"
+#include "datagen/phone.h"
+
+namespace anmat {
+
+namespace {
+
+Schema MakeSchemaOrDie(const std::vector<std::string>& names) {
+  auto result = Schema::MakeText(names);
+  // Builders use fixed, valid column names; failure is a programming error.
+  return std::move(result).value();
+}
+
+void AddRowOrDie(RelationBuilder* builder, std::vector<std::string> cells) {
+  Status s = builder->AddRow(std::move(cells));
+  (void)s;  // fixed-width rows; cannot fail
+}
+
+}  // namespace
+
+Dataset PaperNameTable() {
+  RelationBuilder builder(MakeSchemaOrDie({"name", "gender"}));
+  AddRowOrDie(&builder, {"John Charles", "M"});
+  AddRowOrDie(&builder, {"John Bosco", "M"});
+  AddRowOrDie(&builder, {"Susan Orlean", "F"});
+  AddRowOrDie(&builder, {"Susan Boyle", "M"});  // error: ground truth F
+
+  Dataset d;
+  d.name = "Name";
+  d.relation = builder.Build();
+  d.ground_truth.push_back(
+      InjectedError{CellRef{3, 1}, "F", "M", ErrorType::kSwapValue});
+  return d;
+}
+
+Dataset PaperZipTable() {
+  RelationBuilder builder(MakeSchemaOrDie({"zip", "city"}));
+  AddRowOrDie(&builder, {"90001", "Los Angeles"});
+  AddRowOrDie(&builder, {"90002", "Los Angeles"});
+  AddRowOrDie(&builder, {"90003", "Los Angeles"});
+  AddRowOrDie(&builder, {"90004", "New York"});  // error: truth Los Angeles
+
+  Dataset d;
+  d.name = "Zip";
+  d.relation = builder.Build();
+  d.ground_truth.push_back(InjectedError{
+      CellRef{3, 1}, "Los Angeles", "New York", ErrorType::kSwapValue});
+  return d;
+}
+
+Dataset PhoneStateDataset(size_t rows, uint64_t seed, double error_rate) {
+  Rng rng(seed);
+  RelationBuilder builder(MakeSchemaOrDie({"phone", "state"}));
+  for (size_t i = 0; i < rows; ++i) {
+    const AreaCode& area = rng.Choose(AreaCodes());
+    AddRowOrDie(&builder, {RandomPhone(rng, area), area.state});
+  }
+  Dataset d;
+  d.name = "D1-PhoneState";
+  d.relation = builder.Build();
+  if (error_rate > 0) {
+    ErrorInjectorOptions opts;
+    opts.error_rate = error_rate;
+    d.ground_truth = InjectErrors(&d.relation, {1}, rng, opts);
+  }
+  return d;
+}
+
+Dataset NameGenderDataset(size_t rows, uint64_t seed, double error_rate) {
+  Rng rng(seed);
+  RelationBuilder builder(MakeSchemaOrDie({"full_name", "gender"}));
+  for (size_t i = 0; i < rows; ++i) {
+    const Person p = RandomPerson(rng);
+    AddRowOrDie(&builder, {FormatName(p, NameFormat::kLastCommaFirst),
+                           GenderString(p.gender)});
+  }
+  Dataset d;
+  d.name = "D2-NameGender";
+  d.relation = builder.Build();
+  if (error_rate > 0) {
+    ErrorInjectorOptions opts;
+    opts.error_rate = error_rate;
+    // Gender errors are value swaps (M <-> F), never typos.
+    opts.type_weights = {1.0, 0.0, 0.0, 0.0};
+    d.ground_truth = InjectErrors(&d.relation, {1}, rng, opts);
+  }
+  return d;
+}
+
+Dataset ZipCityStateDataset(size_t rows, uint64_t seed, double error_rate) {
+  Rng rng(seed);
+  RelationBuilder builder(MakeSchemaOrDie({"zip", "city", "state"}));
+  for (size_t i = 0; i < rows; ++i) {
+    const ZipRegion& region = rng.Choose(ZipRegions());
+    AddRowOrDie(&builder, {RandomZip(rng, region), region.city, region.state});
+  }
+  Dataset d;
+  d.name = "D5-ZipCityState";
+  d.relation = builder.Build();
+  if (error_rate > 0) {
+    ErrorInjectorOptions opts;
+    opts.error_rate = error_rate;
+    // The paper's D5 errors are typos/truncations ("Chicag", "Chciago",
+    // "lL") as well as swaps; use the full mix.
+    d.ground_truth = InjectErrors(&d.relation, {1, 2}, rng, opts);
+  }
+  return d;
+}
+
+Dataset EmployeeDataset(size_t rows, uint64_t seed, double error_rate) {
+  Rng rng(seed);
+  RelationBuilder builder(
+      MakeSchemaOrDie({"employee_id", "department", "grade"}));
+  for (size_t i = 0; i < rows; ++i) {
+    const Employee e = RandomEmployee(rng);
+    AddRowOrDie(&builder, {e.id, e.department, e.grade});
+  }
+  Dataset d;
+  d.name = "EmployeeIds";
+  d.relation = builder.Build();
+  if (error_rate > 0) {
+    ErrorInjectorOptions opts;
+    opts.error_rate = error_rate;
+    d.ground_truth = InjectErrors(&d.relation, {1, 2}, rng, opts);
+  }
+  return d;
+}
+
+Dataset CompoundDataset(size_t rows, uint64_t seed, double error_rate) {
+  Rng rng(seed);
+  RelationBuilder builder(MakeSchemaOrDie({"compound_id", "id_class"}));
+  for (size_t i = 0; i < rows; ++i) {
+    const std::string id = RandomCompoundId(rng);
+    // The digit-count bucket stands in for a registration era.
+    const size_t digits = id.size() - 6;  // after "CHEMBL"
+    const std::string id_class =
+        digits <= 3 ? "legacy" : (digits <= 5 ? "classic" : "modern");
+    AddRowOrDie(&builder, {id, id_class});
+  }
+  Dataset d;
+  d.name = "ChEMBL-like";
+  d.relation = builder.Build();
+  if (error_rate > 0) {
+    ErrorInjectorOptions opts;
+    opts.error_rate = error_rate;
+    opts.type_weights = {1.0, 0.0, 0.0, 0.0};  // class-label swaps
+    d.ground_truth = InjectErrors(&d.relation, {1}, rng, opts);
+  }
+  return d;
+}
+
+}  // namespace anmat

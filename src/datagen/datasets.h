@@ -1,0 +1,56 @@
+#ifndef ANMAT_DATAGEN_DATASETS_H_
+#define ANMAT_DATAGEN_DATASETS_H_
+
+/// \file datasets.h
+/// Ready-made dataset builders for the benchmarks and examples.
+///
+/// Each builder returns a clean relation plus (optionally) injects errors
+/// and returns the ground truth. Dataset names follow the paper's Table 3
+/// (D1 = phone→state, D2 = full-name→gender, D5 = zip→city/state); the
+/// fixed 4-row tables of the introduction (Table 1, Table 2) are included
+/// verbatim.
+
+#include <string>
+#include <vector>
+
+#include "datagen/error_injector.h"
+#include "relation/relation.h"
+#include "util/random.h"
+
+namespace anmat {
+
+/// \brief A generated dataset with its error ground truth.
+struct Dataset {
+  std::string name;
+  Relation relation;
+  std::vector<InjectedError> ground_truth;
+};
+
+/// \brief Table 1 of the paper: the 4-row Name table with the r4[gender]
+/// error ("Susan Boyle" marked M; ground truth F).
+Dataset PaperNameTable();
+
+/// \brief Table 2 of the paper: the 4-row Zip table with the s4[city] error
+/// ("90004" marked New York; ground truth Los Angeles).
+Dataset PaperZipTable();
+
+/// \brief D1: (phone, state) with area codes determining states.
+Dataset PhoneStateDataset(size_t rows, uint64_t seed, double error_rate);
+
+/// \brief D2: (full_name, gender) in "Last, First M." format.
+Dataset NameGenderDataset(size_t rows, uint64_t seed, double error_rate);
+
+/// \brief D5: (zip, city, state) with zip prefixes determining both.
+Dataset ZipCityStateDataset(size_t rows, uint64_t seed, double error_rate);
+
+/// \brief Intro scenario: (employee_id, department, grade) with "F-9-107"
+/// style ids whose letter/digit determine department/grade.
+Dataset EmployeeDataset(size_t rows, uint64_t seed, double error_rate);
+
+/// \brief ChEMBL-like compound table: (compound_id, id_class) where the
+/// digit-count bucket of the id determines the class label.
+Dataset CompoundDataset(size_t rows, uint64_t seed, double error_rate);
+
+}  // namespace anmat
+
+#endif  // ANMAT_DATAGEN_DATASETS_H_

@@ -1,0 +1,170 @@
+#include "datagen/error_injector.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace anmat {
+
+namespace {
+
+std::string ApplyTypo(const std::string& value, Rng& rng) {
+  if (value.empty()) return value;
+  std::string out = value;
+  const size_t pos = rng.NextBelow(out.size());
+  switch (rng.NextBelow(3)) {
+    case 0:  // substitute with a same-class character
+      if (IsDigit(out[pos])) {
+        char replacement;
+        do {
+          replacement = static_cast<char>('0' + rng.NextBelow(10));
+        } while (replacement == out[pos]);
+        out[pos] = replacement;
+      } else if (IsLower(out[pos])) {
+        char replacement;
+        do {
+          replacement = static_cast<char>('a' + rng.NextBelow(26));
+        } while (replacement == out[pos]);
+        out[pos] = replacement;
+      } else if (IsUpper(out[pos])) {
+        char replacement;
+        do {
+          replacement = static_cast<char>('A' + rng.NextBelow(26));
+        } while (replacement == out[pos]);
+        out[pos] = replacement;
+      } else {
+        out[pos] = '#';
+      }
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    default:  // transpose with the next character
+      if (pos + 1 < out.size() && out[pos] != out[pos + 1]) {
+        std::swap(out[pos], out[pos + 1]);
+      } else if (out.size() >= 2 && out[0] != out[1]) {
+        std::swap(out[0], out[1]);
+      } else {
+        out.erase(pos, 1);
+      }
+      break;
+  }
+  return out;
+}
+
+std::string ApplyCaseFlip(const std::string& value, Rng& rng) {
+  std::vector<size_t> letters;
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (IsAlpha(value[i])) letters.push_back(i);
+  }
+  if (letters.empty()) return value;
+  std::string out = value;
+  const size_t pos = letters[rng.NextBelow(letters.size())];
+  out[pos] = IsUpper(out[pos]) ? ToLower(out[pos]) : ToUpper(out[pos]);
+  return out;
+}
+
+std::string ApplyTruncate(const std::string& value, Rng& rng) {
+  if (value.size() < 2) return value;
+  // Cut off 1..(len-1) trailing characters, biased toward short cuts.
+  const size_t cut = 1 + rng.NextBelow(std::min<size_t>(3, value.size() - 1));
+  return value.substr(0, value.size() - cut);
+}
+
+std::string ApplySwap(const Relation& relation, size_t col, RowId row,
+                      Rng& rng) {
+  const auto& column = relation.column(col);
+  const std::string& current = column[row];
+  // Try a few times to find a *different* value.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const RowId other = static_cast<RowId>(rng.NextBelow(column.size()));
+    if (column[other] != current) return column[other];
+  }
+  return current;  // column may be constant; injection becomes a no-op
+}
+
+}  // namespace
+
+std::vector<InjectedError> InjectErrors(Relation* relation,
+                                        const std::vector<size_t>& columns,
+                                        Rng& rng,
+                                        const ErrorInjectorOptions& options) {
+  std::vector<InjectedError> ground_truth;
+  if (relation->num_rows() == 0) return ground_truth;
+
+  for (size_t col : columns) {
+    const size_t n_errors = static_cast<size_t>(
+        options.error_rate * static_cast<double>(relation->num_rows()));
+    // Choose distinct rows to corrupt.
+    std::vector<RowId> rows(relation->num_rows());
+    for (RowId r = 0; r < relation->num_rows(); ++r) rows[r] = r;
+    rng.Shuffle(&rows);
+    rows.resize(std::min<size_t>(n_errors, rows.size()));
+
+    for (RowId row : rows) {
+      const std::string original = relation->cell(row, col);
+      if (TrimView(original).empty()) continue;
+
+      const ErrorType type =
+          static_cast<ErrorType>(rng.ChooseWeighted(options.type_weights));
+      std::string corrupted;
+      switch (type) {
+        case ErrorType::kSwapValue:
+          corrupted = ApplySwap(*relation, col, row, rng);
+          break;
+        case ErrorType::kTypo:
+          corrupted = ApplyTypo(original, rng);
+          break;
+        case ErrorType::kCaseFlip:
+          corrupted = ApplyCaseFlip(original, rng);
+          break;
+        case ErrorType::kTruncate:
+          corrupted = ApplyTruncate(original, rng);
+          break;
+      }
+      if (corrupted == original) continue;  // no-op corruption: skip
+
+      relation->set_cell(row, col, corrupted);
+      ground_truth.push_back(InjectedError{
+          CellRef{row, static_cast<uint32_t>(col)}, original, corrupted,
+          type});
+    }
+  }
+  std::sort(ground_truth.begin(), ground_truth.end(),
+            [](const InjectedError& a, const InjectedError& b) {
+              return a.cell < b.cell;
+            });
+  return ground_truth;
+}
+
+PrecisionRecall ScoreSuspects(const std::vector<CellRef>& suspects,
+                              const std::vector<InjectedError>& ground_truth,
+                              const std::set<size_t>& scored_columns) {
+  std::set<CellRef> truth;
+  for (const InjectedError& e : ground_truth) {
+    if (scored_columns.empty() || scored_columns.count(e.cell.column) > 0) {
+      truth.insert(e.cell);
+    }
+  }
+  std::set<CellRef> reported;
+  for (const CellRef& c : suspects) {
+    if (scored_columns.empty() || scored_columns.count(c.column) > 0) {
+      reported.insert(c);
+    }
+  }
+
+  PrecisionRecall pr;
+  for (const CellRef& c : reported) {
+    if (truth.count(c) > 0) {
+      ++pr.true_positives;
+    } else {
+      ++pr.false_positives;
+    }
+  }
+  for (const CellRef& c : truth) {
+    if (reported.count(c) == 0) ++pr.false_negatives;
+  }
+  return pr;
+}
+
+}  // namespace anmat

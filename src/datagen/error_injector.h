@@ -1,0 +1,88 @@
+#ifndef ANMAT_DATAGEN_ERROR_INJECTOR_H_
+#define ANMAT_DATAGEN_ERROR_INJECTOR_H_
+
+/// \file error_injector.h
+/// Controlled error injection with ground truth.
+///
+/// The paper's datasets are dirty with unknown errors; our synthetic
+/// substitutes are generated clean and then dirtied by this injector, which
+/// records every corrupted cell so precision/recall of the detectors can be
+/// measured exactly (bench A3/A4).
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detect/violation.h"
+#include "relation/relation.h"
+#include "util/random.h"
+
+namespace anmat {
+
+/// \brief How a cell is corrupted.
+enum class ErrorType {
+  kSwapValue,   ///< replace with another row's value from the same column
+  kTypo,        ///< perturb characters (delete/substitute/transpose)
+  kCaseFlip,    ///< flip the case of one letter (e.g. "IL" -> "lL")
+  kTruncate,    ///< cut the value short ("Chicago" -> "Chicag")
+};
+
+/// \brief Ground-truth record of one injected error.
+struct InjectedError {
+  CellRef cell;
+  std::string original;
+  std::string corrupted;
+  ErrorType type = ErrorType::kSwapValue;
+};
+
+/// \brief Injection parameters.
+struct ErrorInjectorOptions {
+  double error_rate = 0.05;  ///< fraction of rows corrupted per target column
+  /// Error-type mix (weights; all four in ErrorType order).
+  std::vector<double> type_weights = {0.5, 0.2, 0.15, 0.15};
+};
+
+/// \brief Corrupts `relation` in place on the given columns; returns the
+/// ground truth. Deterministic for a given `rng` state.
+std::vector<InjectedError> InjectErrors(Relation* relation,
+                                        const std::vector<size_t>& columns,
+                                        Rng& rng,
+                                        const ErrorInjectorOptions& options = {});
+
+/// \brief Precision/recall of a detector's suspect cells vs ground truth.
+struct PrecisionRecall {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  double Precision() const {
+    const size_t denom = true_positives + false_positives;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double Recall() const {
+    const size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+};
+
+/// \brief Scores suspect cells against the injected ground truth.
+///
+/// Only errors on `scored_columns` count toward recall (a detector for
+/// A → B cannot be expected to find errors injected into unrelated
+/// columns); pass an empty set to score all.
+PrecisionRecall ScoreSuspects(const std::vector<CellRef>& suspects,
+                              const std::vector<InjectedError>& ground_truth,
+                              const std::set<size_t>& scored_columns = {});
+
+}  // namespace anmat
+
+#endif  // ANMAT_DATAGEN_ERROR_INJECTOR_H_

@@ -1,0 +1,44 @@
+#include "datagen/geo.h"
+
+namespace anmat {
+
+const std::vector<ZipRegion>& ZipRegions() {
+  // Regions are chosen so that (as in real USPS data) cities need 3-digit
+  // prefixes (900 vs 902 are different cities) while states already follow
+  // from 2-digit prefixes (90x, 94x, 95x are all CA) — reproducing the
+  // paper's D5 shape: a longer prefix determines CITY, a shorter one STATE.
+  static const std::vector<ZipRegion>* kRegions = new std::vector<ZipRegion>{
+      {"900", "Los Angeles", "CA"},
+      {"902", "Inglewood", "CA"},
+      {"941", "San Francisco", "CA"},
+      {"945", "Oakland", "CA"},
+      {"606", "Chicago", "IL"},
+      {"605", "Aurora", "IL"},
+      {"100", "New York", "NY"},
+      {"104", "Bronx", "NY"},
+      {"112", "Brooklyn", "NY"},
+      {"331", "Miami", "FL"},
+      {"334", "Fort Lauderdale", "FL"},
+      {"787", "Austin", "TX"},
+      {"782", "San Antonio", "TX"},
+      {"981", "Seattle", "WA"},
+      {"985", "Olympia", "WA"},
+      {"802", "Denver", "CO"},
+      {"805", "Aspen", "CO"},
+      {"191", "Philadelphia", "PA"},
+      {"190", "Media", "PA"},
+      {"461", "Indianapolis", "IN"},
+      {"370", "Nashville", "TN"},
+  };
+  return *kRegions;
+}
+
+std::string RandomZip(Rng& rng, const ZipRegion& region) {
+  std::string zip = region.prefix;
+  while (zip.size() < 5) {
+    zip += static_cast<char>('0' + rng.NextBelow(10));
+  }
+  return zip;
+}
+
+}  // namespace anmat

@@ -1,0 +1,35 @@
+#ifndef ANMAT_DATAGEN_GEO_H_
+#define ANMAT_DATAGEN_GEO_H_
+
+/// \file geo.h
+/// Synthetic zip/city/state data.
+///
+/// Substitutes the paper's data.gov address tables (Table 2 and Table 3,
+/// D5): zip prefixes determine cities (900xx → Los Angeles, 6060x →
+/// Chicago, ...) and 2-digit prefixes determine states — exactly the
+/// structural facts λ3/λ5 and the D5 rows of Table 3 rely on.
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace anmat {
+
+/// \brief One zip-prefix region.
+struct ZipRegion {
+  std::string prefix;  ///< zip prefix, e.g. "900" or "6060"
+  std::string city;
+  std::string state;   ///< two-letter code, e.g. "CA"
+};
+
+/// \brief The region table used by the generators (deterministic; includes
+/// the paper's 900xx→Los Angeles and 6060x→Chicago regions).
+const std::vector<ZipRegion>& ZipRegions();
+
+/// \brief A full 5-digit zip in `region` (prefix + random digits).
+std::string RandomZip(Rng& rng, const ZipRegion& region);
+
+}  // namespace anmat
+
+#endif  // ANMAT_DATAGEN_GEO_H_

@@ -1,0 +1,80 @@
+#include "datagen/names.h"
+
+namespace anmat {
+
+const std::vector<std::string>& MaleFirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "John",    "Donald", "David",  "Jerry",  "Alan",   "Michael",
+      "Robert",  "James",  "William", "Richard", "Thomas", "Charles",
+      "Steven",  "Kevin",  "Brian",  "George", "Edward", "Ronald",
+      "Anthony", "Mark",   "Paul",   "Andrew", "Joshua", "Kenneth",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& FemaleFirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "Susan",   "Stacey", "Mary",    "Patricia", "Linda",   "Barbara",
+      "Jennifer", "Maria", "Margaret", "Dorothy",  "Lisa",    "Nancy",
+      "Karen",   "Betty",  "Helen",   "Sandra",   "Donna",   "Carol",
+      "Ruth",    "Sharon", "Michelle", "Laura",   "Sarah",   "Kimberly",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "Holloway", "Jones",   "Kimbell",  "Mallack",  "Otillio", "Smith",
+      "Johnson",  "Brown",   "Taylor",   "Anderson", "Wilson",  "Martin",
+      "Thompson", "White",   "Garcia",   "Martinez", "Robinson", "Clark",
+      "Lewis",    "Walker",  "Hall",     "Allen",    "Young",   "King",
+      "Wright",   "Scott",   "Green",    "Baker",    "Adams",   "Nelson",
+  };
+  return *kNames;
+}
+
+Person RandomPerson(Rng& rng, double middle_name_prob) {
+  Person p;
+  p.gender = rng.NextBool(0.5) ? Gender::kMale : Gender::kFemale;
+  p.first = p.gender == Gender::kMale ? rng.Choose(MaleFirstNames())
+                                      : rng.Choose(FemaleFirstNames());
+  p.last = rng.Choose(LastNames());
+  if (rng.NextBool(middle_name_prob)) {
+    // Middle initial like "E." (the paper's D2 rows use initials).
+    p.middle = std::string(1, static_cast<char>('A' + rng.NextBelow(26)));
+    p.middle += '.';
+  }
+  return p;
+}
+
+std::string FormatName(const Person& p, NameFormat format) {
+  switch (format) {
+    case NameFormat::kFirstLast: {
+      std::string out = p.first;
+      if (!p.middle.empty()) {
+        out += ' ';
+        out += p.middle;
+      }
+      out += ' ';
+      out += p.last;
+      return out;
+    }
+    case NameFormat::kLastCommaFirst: {
+      std::string out = p.last;
+      out += ", ";
+      out += p.first;
+      if (!p.middle.empty()) {
+        out += ' ';
+        out += p.middle;
+      }
+      return out;
+    }
+  }
+  return p.first + " " + p.last;
+}
+
+std::string GenderString(Gender g) {
+  return g == Gender::kMale ? "M" : "F";
+}
+
+}  // namespace anmat

@@ -1,0 +1,53 @@
+#ifndef ANMAT_DATAGEN_NAMES_H_
+#define ANMAT_DATAGEN_NAMES_H_
+
+/// \file names.h
+/// Synthetic person-name data with gendered first names.
+///
+/// Substitutes the paper's private Full-Name→Gender dataset (Table 3, D2):
+/// the discovery/detection pipeline only depends on the token structure
+/// ("Last, First M." or "First [Middle] Last") and on first names
+/// correlating with gender, both of which this generator reproduces with a
+/// known ground truth.
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace anmat {
+
+/// \brief Gender labels used by the generator.
+enum class Gender { kMale, kFemale };
+
+/// \brief A generated person.
+struct Person {
+  std::string first;
+  std::string middle;  ///< may be empty; may be an initial like "E."
+  std::string last;
+  Gender gender = Gender::kMale;
+};
+
+/// \brief Formatting of the name cell.
+enum class NameFormat {
+  kFirstLast,       ///< "John Charles"
+  kLastCommaFirst,  ///< "Holloway, Donald E."
+};
+
+/// \brief Pools of first names (stable, deterministic ordering).
+const std::vector<std::string>& MaleFirstNames();
+const std::vector<std::string>& FemaleFirstNames();
+const std::vector<std::string>& LastNames();
+
+/// \brief Draws a random person.
+Person RandomPerson(Rng& rng, double middle_name_prob = 0.5);
+
+/// \brief Renders the name cell in the given format.
+std::string FormatName(const Person& p, NameFormat format);
+
+/// \brief "M" / "F".
+std::string GenderString(Gender g);
+
+}  // namespace anmat
+
+#endif  // ANMAT_DATAGEN_NAMES_H_

@@ -1,0 +1,30 @@
+#include "datagen/phone.h"
+
+namespace anmat {
+
+const std::vector<AreaCode>& AreaCodes() {
+  // The five Table-3 codes first, then enough neighbours that no 1- or
+  // 2-digit prefix determines a state (as in the real NANP): discovery must
+  // key on full 3-digit area codes, exactly like the paper's D1 rows.
+  static const std::vector<AreaCode>* kCodes = new std::vector<AreaCode>{
+      {"850", "FL"}, {"607", "NY"}, {"404", "GA"}, {"217", "IL"},
+      {"860", "CT"}, {"857", "MA"}, {"602", "AZ"}, {"405", "OK"},
+      {"213", "CA"}, {"862", "NJ"}, {"312", "IL"}, {"318", "LA"},
+      {"212", "NY"}, {"713", "TX"}, {"716", "NY"}, {"206", "WA"},
+      {"202", "DC"}, {"303", "CO"}, {"305", "FL"}, {"615", "TN"},
+      {"612", "MN"}, {"215", "PA"},
+  };
+  return *kCodes;
+}
+
+std::string RandomPhone(Rng& rng, const AreaCode& area) {
+  std::string phone = area.code;
+  // Exchange cannot start with 0/1 in NANP; keep it simple but realistic.
+  phone += static_cast<char>('2' + rng.NextBelow(8));
+  for (int i = 0; i < 6; ++i) {
+    phone += static_cast<char>('0' + rng.NextBelow(10));
+  }
+  return phone;
+}
+
+}  // namespace anmat

@@ -1,0 +1,35 @@
+#ifndef ANMAT_DATAGEN_PHONE_H_
+#define ANMAT_DATAGEN_PHONE_H_
+
+/// \file phone.h
+/// Synthetic phone-number/state data.
+///
+/// Substitutes the paper's D1 dataset (Table 3): US area codes determine
+/// states — 850→FL, 607→NY, 404→GA, 217→IL, 860→CT are the exact rows the
+/// paper reports discovering; this generator includes all of them plus
+/// additional area codes.
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace anmat {
+
+/// \brief One area-code → state association.
+struct AreaCode {
+  std::string code;   ///< 3-digit area code
+  std::string state;  ///< two-letter state
+};
+
+/// \brief Area codes used by the generator (includes the five from the
+/// paper's Table 3, first).
+const std::vector<AreaCode>& AreaCodes();
+
+/// \brief A 10-digit phone number with the given area code (no separators —
+/// the paper's D1 shows "8505467600"-style values).
+std::string RandomPhone(Rng& rng, const AreaCode& area);
+
+}  // namespace anmat
+
+#endif  // ANMAT_DATAGEN_PHONE_H_

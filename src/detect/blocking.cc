@@ -1,0 +1,38 @@
+#include "detect/blocking.h"
+
+#include <algorithm>
+
+namespace anmat {
+
+std::string ExtractionKey(const Extraction& extraction) {
+  std::string key;
+  for (const std::string& part : extraction) {
+    key += part;
+    key += '\x1f';  // unit separator: parts cannot be confused
+  }
+  return key;
+}
+
+std::vector<Block> BuildBlocks(const Relation& relation, size_t col,
+                               const ConstrainedMatcher& matcher,
+                               const std::vector<RowId>& rows) {
+  std::unordered_map<std::string, std::vector<RowId>> blocks;
+  Extraction extraction;
+  for (RowId r : rows) {
+    if (!matcher.ExtractCanonical(relation.cell(r, col), &extraction)) {
+      continue;
+    }
+    blocks[ExtractionKey(extraction)].push_back(r);
+  }
+  std::vector<Block> out;
+  out.reserve(blocks.size());
+  for (auto& [key, ids] : blocks) {
+    std::sort(ids.begin(), ids.end());
+    out.push_back(Block{key, std::move(ids)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Block& a, const Block& b) { return a.key < b.key; });
+  return out;
+}
+
+}  // namespace anmat

@@ -1,0 +1,45 @@
+#ifndef ANMAT_DETECT_BLOCKING_H_
+#define ANMAT_DETECT_BLOCKING_H_
+
+/// \file blocking.h
+/// Hash blocking for variable-PFD detection (§3: "The quadratic time
+/// complexity can be avoided using blocking", citing BigDansing).
+///
+/// For a variable PFD row, two tuples can only violate each other when they
+/// are ≡_Q-equivalent on the LHS — i.e. their constrained-segment
+/// extractions agree. Hashing every covered tuple by its canonical
+/// extraction key therefore partitions the candidates into blocks; only
+/// intra-block pairs need checking, turning O(n²) into O(Σ|block|²) with
+/// small blocks (and violations themselves are found in O(block) via
+/// majority grouping).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/matcher.h"
+#include "relation/relation.h"
+
+namespace anmat {
+
+/// \brief A block: rows sharing a canonical extraction key.
+struct Block {
+  std::string key;
+  std::vector<RowId> rows;
+};
+
+/// \brief Groups `rows` of `relation` by the canonical extraction of column
+/// `col` under `matcher`'s constrained pattern. Rows that do not match the
+/// embedded pattern are skipped.
+///
+/// Deterministic: blocks are returned sorted by key.
+std::vector<Block> BuildBlocks(const Relation& relation, size_t col,
+                               const ConstrainedMatcher& matcher,
+                               const std::vector<RowId>& rows);
+
+/// \brief Serializes an extraction tuple into a single hashable block key.
+std::string ExtractionKey(const Extraction& extraction);
+
+}  // namespace anmat
+
+#endif  // ANMAT_DETECT_BLOCKING_H_

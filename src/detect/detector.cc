@@ -1,0 +1,374 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "detect/blocking.h"
+#include "pattern/matcher.h"
+
+namespace anmat {
+
+namespace {
+
+/// Shared context of one detection run.
+struct RunContext {
+  const Relation* relation;
+  const DetectorOptions* options;
+  DetectionResult* result;
+  // Lazily-built pattern indexes, one per column.
+  std::map<size_t, std::unique_ptr<PatternIndex>> indexes;
+
+  bool AtCap() const {
+    return options->max_violations > 0 &&
+           result->violations.size() >= options->max_violations;
+  }
+
+  const PatternIndex& IndexFor(size_t col) {
+    auto it = indexes.find(col);
+    if (it == indexes.end()) {
+      it = indexes
+               .emplace(col, std::make_unique<PatternIndex>(*relation, col))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+/// One tableau row of one PFD, resolved against the relation's schema and
+/// pre-compiled for matching.
+struct ResolvedRow {
+  const TableauRow* row;
+  std::vector<size_t> lhs_cols;
+  std::vector<size_t> rhs_cols;
+  std::vector<std::string> lhs_attrs;
+  std::vector<std::string> rhs_attrs;
+  // One matcher per non-wildcard LHS cell (parallel to lhs_cols; null for
+  // wildcard cells).
+  std::vector<std::unique_ptr<ConstrainedMatcher>> lhs_matchers;
+  // Constant RHS values (valid when the row is constant).
+  std::vector<std::string> rhs_constants;
+};
+
+ResolvedRow ResolveRow(const TableauRow& row,
+                       const std::vector<size_t>& lhs_cols,
+                       const std::vector<size_t>& rhs_cols,
+                       const std::vector<std::string>& lhs_attrs,
+                       const std::vector<std::string>& rhs_attrs) {
+  ResolvedRow resolved;
+  resolved.row = &row;
+  resolved.lhs_cols = lhs_cols;
+  resolved.rhs_cols = rhs_cols;
+  resolved.lhs_attrs = lhs_attrs;
+  resolved.rhs_attrs = rhs_attrs;
+  for (const TableauCell& cell : row.lhs) {
+    resolved.lhs_matchers.push_back(
+        cell.is_wildcard()
+            ? nullptr
+            : std::make_unique<ConstrainedMatcher>(cell.pattern()));
+  }
+  if (row.IsConstantRow()) {
+    for (const TableauCell& cell : row.rhs) {
+      std::string constant;
+      cell.IsConstant(&constant);
+      resolved.rhs_constants.push_back(std::move(constant));
+    }
+  }
+  return resolved;
+}
+
+/// All rows of the relation, as a reusable id list.
+std::vector<RowId> AllRows(const Relation& relation) {
+  std::vector<RowId> rows(relation.num_rows());
+  for (RowId r = 0; r < relation.num_rows(); ++r) rows[r] = r;
+  return rows;
+}
+
+/// Candidate rows matching every (non-wildcard) LHS cell of the row. Uses
+/// the pattern index for the first pattern cell and verifies the remaining
+/// cells directly (intersection).
+std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row) {
+  // Seed candidates from the first non-wildcard LHS cell.
+  std::vector<RowId> candidates;
+  size_t seed_cell = row.lhs_cols.size();
+  for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+    if (row.lhs_matchers[i] != nullptr) {
+      seed_cell = i;
+      break;
+    }
+  }
+  if (seed_cell == row.lhs_cols.size()) {
+    candidates = AllRows(*ctx.relation);  // all-wildcard LHS (rejected by
+                                          // Tableau::Validate, but be safe)
+  } else if (ctx.options->use_pattern_index) {
+    candidates = ctx.IndexFor(row.lhs_cols[seed_cell])
+                     .Lookup(row.row->lhs[seed_cell].pattern());
+  } else {
+    const ConstrainedMatcher& matcher = *row.lhs_matchers[seed_cell];
+    for (RowId r = 0; r < ctx.relation->num_rows(); ++r) {
+      if (matcher.Matches(ctx.relation->cell(r, row.lhs_cols[seed_cell]))) {
+        candidates.push_back(r);
+      }
+    }
+  }
+
+  // Verify the remaining LHS cells.
+  std::vector<RowId> verified;
+  verified.reserve(candidates.size());
+  for (RowId r : candidates) {
+    bool ok = true;
+    for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+      if (i == seed_cell || row.lhs_matchers[i] == nullptr) continue;
+      if (!row.lhs_matchers[i]->Matches(
+              ctx.relation->cell(r, row.lhs_cols[i]))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) verified.push_back(r);
+  }
+  return verified;
+}
+
+/// The grouping key of a record under a (variable) tableau row: the
+/// concatenated canonical extractions of all LHS cells (whole value for
+/// wildcard cells). Returns false when some pattern cell does not match.
+bool RecordKey(const RunContext& ctx, const ResolvedRow& row, RowId r,
+               std::string* key) {
+  key->clear();
+  Extraction extraction;
+  for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+    const std::string& cell = ctx.relation->cell(r, row.lhs_cols[i]);
+    if (row.lhs_matchers[i] == nullptr) {
+      key->append(cell);
+      key->push_back('\x1f');
+      continue;
+    }
+    if (!row.lhs_matchers[i]->ExtractCanonical(cell, &extraction)) {
+      return false;
+    }
+    for (const std::string& part : extraction) {
+      key->append(part);
+      key->push_back('\x1f');
+    }
+    key->push_back('\x1e');
+  }
+  return true;
+}
+
+/// Combined RHS value of a record (multi-attribute safe).
+std::string RhsValue(const RunContext& ctx, const ResolvedRow& row, RowId r) {
+  std::string value;
+  for (size_t i = 0; i < row.rhs_cols.size(); ++i) {
+    value.append(ctx.relation->cell(r, row.rhs_cols[i]));
+    value.push_back('\x1f');
+  }
+  return value;
+}
+
+void DetectConstantRow(RunContext& ctx, size_t pfd_index, size_t row_index,
+                       const ResolvedRow& row) {
+  const std::vector<RowId> candidates = CandidateRows(ctx, row);
+  ctx.result->stats.candidate_rows += candidates.size();
+
+  for (RowId r : candidates) {
+    if (ctx.AtCap()) return;
+    // Every RHS cell must equal its constant; collect mismatches.
+    std::vector<size_t> mismatches;
+    for (size_t i = 0; i < row.rhs_cols.size(); ++i) {
+      if (ctx.relation->cell(r, row.rhs_cols[i]) != row.rhs_constants[i]) {
+        mismatches.push_back(i);
+      }
+    }
+    if (mismatches.empty()) continue;
+
+    Violation v;
+    v.kind = ViolationKind::kConstant;
+    v.pfd_index = pfd_index;
+    v.tableau_row = row_index;
+    for (size_t col : row.lhs_cols) {
+      v.cells.push_back(CellRef{r, static_cast<uint32_t>(col)});
+    }
+    for (size_t i : mismatches) {
+      v.cells.push_back(
+          CellRef{r, static_cast<uint32_t>(row.rhs_cols[i])});
+    }
+    const size_t first = mismatches.front();
+    v.suspect = CellRef{r, static_cast<uint32_t>(row.rhs_cols[first])};
+    v.suggested_repair = row.rhs_constants[first];
+    v.explanation =
+        row.lhs_attrs[0] + " = \"" +
+        ctx.relation->cell(r, row.lhs_cols[0]) + "\" matches " +
+        row.row->lhs[0].ToString() + " but " + row.rhs_attrs[first] +
+        " = \"" + ctx.relation->cell(r, row.rhs_cols[first]) + "\" != \"" +
+        row.rhs_constants[first] + "\"";
+    ctx.result->violations.push_back(std::move(v));
+  }
+}
+
+/// Emits the pair violation between `suspect_row` and `witness`.
+void EmitPairViolation(RunContext& ctx, size_t pfd_index, size_t row_index,
+                       const ResolvedRow& row, RowId suspect_row,
+                       RowId witness, const std::string& majority_repair) {
+  Violation v;
+  v.kind = ViolationKind::kVariable;
+  v.pfd_index = pfd_index;
+  v.tableau_row = row_index;
+  for (size_t col : row.lhs_cols) {
+    v.cells.push_back(CellRef{suspect_row, static_cast<uint32_t>(col)});
+  }
+  for (size_t col : row.rhs_cols) {
+    v.cells.push_back(CellRef{suspect_row, static_cast<uint32_t>(col)});
+  }
+  for (size_t col : row.lhs_cols) {
+    v.cells.push_back(CellRef{witness, static_cast<uint32_t>(col)});
+  }
+  for (size_t col : row.rhs_cols) {
+    v.cells.push_back(CellRef{witness, static_cast<uint32_t>(col)});
+  }
+  v.suspect =
+      CellRef{suspect_row, static_cast<uint32_t>(row.rhs_cols.front())};
+  v.suggested_repair = majority_repair;
+  v.explanation =
+      "rows " + std::to_string(suspect_row) + " and " +
+      std::to_string(witness) + " agree on the constrained part of the LHS " +
+      "but disagree on " + row.rhs_attrs.front() + " (\"" +
+      ctx.relation->cell(suspect_row, row.rhs_cols.front()) + "\" vs \"" +
+      ctx.relation->cell(witness, row.rhs_cols.front()) + "\")";
+  ctx.result->violations.push_back(std::move(v));
+}
+
+/// Shared group-resolution logic: given key → rows, flag minority records.
+void ResolveGroups(RunContext& ctx, size_t pfd_index, size_t row_index,
+                   const ResolvedRow& row,
+                   const std::map<std::string, std::vector<RowId>>& groups) {
+  for (const auto& [key, rows] : groups) {
+    if (rows.size() < 2) continue;
+    std::map<std::string, std::vector<RowId>> by_rhs;
+    for (RowId r : rows) {
+      by_rhs[RhsValue(ctx, row, r)].push_back(r);
+    }
+    if (by_rhs.size() > 1) {
+      // Blocking only pays for pairs inside conflicting blocks.
+      ctx.result->stats.pairs_checked += rows.size() * (rows.size() - 1) / 2;
+    }
+    if (by_rhs.size() <= 1) continue;
+
+    size_t best = 0;
+    const std::string* majority_key = nullptr;
+    for (const auto& [rhs, ids] : by_rhs) {
+      if (ids.size() > best) {
+        best = ids.size();
+        majority_key = &rhs;
+      }
+    }
+    const RowId witness = by_rhs.at(*majority_key).front();
+    // Repair suggestion: the witness's first RHS attribute value.
+    const std::string majority_repair =
+        ctx.relation->cell(witness, row.rhs_cols.front());
+    for (const auto& [rhs, ids] : by_rhs) {
+      if (rhs == *majority_key) continue;
+      for (RowId r : ids) {
+        if (ctx.AtCap()) return;
+        EmitPairViolation(ctx, pfd_index, row_index, row, r, witness,
+                          majority_repair);
+      }
+    }
+  }
+}
+
+void DetectVariableRow(RunContext& ctx, size_t pfd_index, size_t row_index,
+                       const ResolvedRow& row) {
+  const std::vector<RowId> candidates = CandidateRows(ctx, row);
+  ctx.result->stats.candidate_rows += candidates.size();
+
+  if (!ctx.options->use_blocking) {
+    // The paper's quadratic reference: enumerate every candidate pair and
+    // test ≡ (here: compare precomputed canonical keys) plus the RHS. Kept
+    // for benchmarking A2; the violation *set* matches the blocked variant
+    // (tested in detector_test / property_test), so the emission below
+    // still goes through the deterministic group resolution.
+    std::vector<std::string> keys(candidates.size());
+    std::vector<bool> matched(candidates.size(), false);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      matched[i] = RecordKey(ctx, row, candidates[i], &keys[i]);
+    }
+    size_t equal_pairs = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!matched[i]) continue;
+      for (size_t j = i + 1; j < candidates.size(); ++j) {
+        if (!matched[j]) continue;
+        ++ctx.result->stats.pairs_checked;
+        if (keys[i] == keys[j]) ++equal_pairs;
+      }
+    }
+    // `equal_pairs` participates in stats only through pairs_checked; the
+    // comparison loop above is the measured quadratic work.
+    (void)equal_pairs;
+  }
+
+  std::map<std::string, std::vector<RowId>> groups;
+  std::string key;
+  for (RowId r : candidates) {
+    if (RecordKey(ctx, row, r, &key)) groups[key].push_back(r);
+  }
+  ResolveGroups(ctx, pfd_index, row_index, row, groups);
+}
+
+}  // namespace
+
+Result<DetectionResult> DetectErrors(const Relation& relation,
+                                     const std::vector<Pfd>& pfds,
+                                     const DetectorOptions& options) {
+  DetectionResult result;
+  result.stats.rows_scanned = relation.num_rows() * pfds.size();
+
+  RunContext ctx{&relation, &options, &result, {}};
+
+  for (size_t pi = 0; pi < pfds.size(); ++pi) {
+    const Pfd& pfd = pfds[pi];
+    ANMAT_RETURN_NOT_OK(pfd.Validate(relation.schema()));
+    std::vector<size_t> lhs_cols;
+    for (const std::string& a : pfd.lhs_attrs()) {
+      ANMAT_ASSIGN_OR_RETURN(size_t idx, relation.schema().IndexOf(a));
+      lhs_cols.push_back(idx);
+    }
+    std::vector<size_t> rhs_cols;
+    for (const std::string& a : pfd.rhs_attrs()) {
+      ANMAT_ASSIGN_OR_RETURN(size_t idx, relation.schema().IndexOf(a));
+      rhs_cols.push_back(idx);
+    }
+
+    for (size_t ri = 0; ri < pfd.tableau().size(); ++ri) {
+      const TableauRow& trow = pfd.tableau().row(ri);
+      if (ctx.AtCap()) break;
+      ResolvedRow resolved = ResolveRow(trow, lhs_cols, rhs_cols,
+                                        pfd.lhs_attrs(), pfd.rhs_attrs());
+      if (trow.IsConstantRow()) {
+        DetectConstantRow(ctx, pi, ri, resolved);
+      } else if (trow.IsVariableRow()) {
+        DetectVariableRow(ctx, pi, ri, resolved);
+      }
+      // Rows that are neither (pattern-valued RHS) are treated as
+      // constraints on format only; format checking is the profiler's job.
+    }
+  }
+
+  std::sort(result.violations.begin(), result.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.pfd_index != b.pfd_index) return a.pfd_index < b.pfd_index;
+              if (a.tableau_row != b.tableau_row) {
+                return a.tableau_row < b.tableau_row;
+              }
+              return a.cells < b.cells;
+            });
+  result.stats.violations = result.violations.size();
+  return result;
+}
+
+Result<DetectionResult> DetectErrors(const Relation& relation, const Pfd& pfd,
+                                     const DetectorOptions& options) {
+  return DetectErrors(relation, std::vector<Pfd>{pfd}, options);
+}
+
+}  // namespace anmat

@@ -1,0 +1,57 @@
+#ifndef ANMAT_DETECT_DETECTOR_H_
+#define ANMAT_DETECT_DETECTOR_H_
+
+/// \file detector.h
+/// Error detection with PFDs (§3 of the paper).
+///
+/// Constant rows: scan the relation (or consult the per-column
+/// `PatternIndex`) for tuples with `t[A] ↦ tp[A]` and `t[B] ≠ tp[B]`; the
+/// suggested repair is `tp[B]` assuming the LHS is correct.
+///
+/// Variable rows: the reference implementation enumerates tuple pairs
+/// (quadratic — kept for benchmarking the §3 claim); the default uses
+/// blocking on the canonical extraction key, flagging minority records of
+/// each block against the block majority.
+
+#include <vector>
+
+#include "detect/pattern_index.h"
+#include "detect/violation.h"
+#include "pfd/pfd.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief Strategy knobs, mainly for the A1/A2 benchmark ablations.
+struct DetectorOptions {
+  /// Use the per-column pattern index for constant rows (vs full scan).
+  bool use_pattern_index = true;
+  /// Use blocking for variable rows (vs quadratic pair enumeration).
+  bool use_blocking = true;
+  /// Cap on reported violations (0 = unlimited).
+  size_t max_violations = 0;
+};
+
+/// \brief Result of a detection run.
+struct DetectionResult {
+  std::vector<Violation> violations;
+  DetectionStats stats;
+};
+
+/// \brief Detects violations of `pfds` in `relation`.
+///
+/// `pfd_index` in each violation refers to the position in `pfds`.
+/// Violations are reported in deterministic order (by PFD, tableau row,
+/// then cells).
+Result<DetectionResult> DetectErrors(const Relation& relation,
+                                     const std::vector<Pfd>& pfds,
+                                     const DetectorOptions& options = {});
+
+/// \brief Single-PFD convenience wrapper.
+Result<DetectionResult> DetectErrors(const Relation& relation, const Pfd& pfd,
+                                     const DetectorOptions& options = {});
+
+}  // namespace anmat
+
+#endif  // ANMAT_DETECT_DETECTOR_H_

@@ -1,0 +1,141 @@
+#include "detect/pattern_index.h"
+
+#include <algorithm>
+
+#include "discovery/tokenizer.h"
+#include "pattern/generalizer.h"
+#include "pattern/matcher.h"
+#include "util/string_util.h"
+
+namespace anmat {
+
+namespace {
+
+/// Extracts literal token anchors from a pattern: maximal runs of literal
+/// non-symbol characters of length >= 2 (shorter anchors are not selective).
+std::vector<std::string> LiteralAnchors(const Pattern& p) {
+  std::vector<std::string> anchors;
+  std::string current;
+  for (const PatternElement& e : p.elements()) {
+    if (e.cls == SymbolClass::kLiteral && !IsSymbol(e.literal) &&
+        e.min == e.max) {
+      current.append(e.min, e.literal);
+    } else {
+      if (current.size() >= 2) anchors.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() >= 2) anchors.push_back(current);
+  return anchors;
+}
+
+/// Cheap compatibility test between a query pattern and a cell signature:
+/// can a string with this exact class-run signature possibly match the
+/// pattern? We over-approximate via length bounds plus a per-class
+/// requirement: every class the pattern *requires* (min > 0 elements that
+/// are a class or literal) must be available. Precise filtering is not
+/// needed — candidates are verified afterwards.
+bool SignatureCompatible(const Pattern& query, const Pattern& signature) {
+  const uint32_t sig_min = signature.MinLength();
+  const uint32_t sig_max = signature.MaxLength();
+  const uint32_t q_min = query.MinLength();
+  const uint32_t q_max = query.MaxLength();
+  // Signatures built from single values have sig_min == sig_max == |value|.
+  if (sig_max < q_min) return false;
+  if (q_max != kUnbounded && sig_min > q_max) return false;
+  return true;
+}
+
+}  // namespace
+
+PatternIndex::PatternIndex(const Relation& relation, size_t col)
+    : relation_(&relation), col_(col) {
+  const auto& values = relation.column(col);
+  for (RowId r = 0; r < values.size(); ++r) {
+    const std::string& cell = values[r];
+    const std::string sig =
+        GeneralizeString(cell, GeneralizationLevel::kClassExact).ToString();
+    auto [it, inserted] = by_signature_.try_emplace(sig);
+    it->second.push_back(r);
+    if (inserted) signature_sample_.emplace(sig, cell);
+    for (const Token& t : Tokenize(cell)) {
+      auto& rows = by_token_[t.text];
+      if (rows.empty() || rows.back() != r) rows.push_back(r);
+    }
+    for (size_t i = 0; i + 3 <= cell.size(); ++i) {
+      auto& rows = by_trigram_[cell.substr(i, 3)];
+      if (rows.empty() || rows.back() != r) rows.push_back(r);
+    }
+  }
+}
+
+std::vector<RowId> PatternIndex::VerifyCandidates(
+    const std::vector<RowId>& candidates, const Pattern& p) const {
+  last_candidates_ = candidates.size();
+  PatternMatcher matcher(p);
+  std::vector<RowId> out;
+  for (RowId r : candidates) {
+    if (matcher.Matches(relation_->cell(r, col_))) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
+  // Strategy 1: literal anchors. A mandatory literal run must occur in
+  // every matching value, so the rarest posting list among (a) the anchor
+  // as a whole token and (b) the anchor's trigrams bounds the candidates.
+  // A required trigram absent from the index proves the result is empty.
+  const std::vector<std::string> anchors = LiteralAnchors(p);
+  if (!anchors.empty()) {
+    const std::vector<RowId>* best = nullptr;
+    bool usable = true;
+    for (const std::string& a : anchors) {
+      const std::vector<RowId>* anchor_best = nullptr;
+      if (auto it = by_token_.find(a); it != by_token_.end()) {
+        anchor_best = &it->second;
+      }
+      for (size_t i = 0; i + 3 <= a.size(); ++i) {
+        auto it = by_trigram_.find(a.substr(i, 3));
+        if (it == by_trigram_.end()) {
+          // This trigram of a mandatory anchor occurs nowhere.
+          last_candidates_ = 0;
+          return {};
+        }
+        if (anchor_best == nullptr || it->second.size() < anchor_best->size()) {
+          anchor_best = &it->second;
+        }
+      }
+      if (anchor_best == nullptr) {
+        // Anchor shorter than 3 chars and not a token: no posting list.
+        usable = false;
+        continue;
+      }
+      if (best == nullptr || anchor_best->size() < best->size()) {
+        best = anchor_best;
+      }
+    }
+    (void)usable;
+    if (best != nullptr) return VerifyCandidates(*best, p);
+  }
+
+  // Strategy 2: signature prefilter — keep rows whose signature is length-
+  // compatible with the query.
+  std::vector<RowId> candidates;
+  for (const auto& [sig_text, rows] : by_signature_) {
+    // Parse back the signature (cheap: signatures are tiny) — build from a
+    // sample instead to avoid a parser dependency here.
+    const Pattern sig = GeneralizeString(signature_sample_.at(sig_text),
+                                         GeneralizationLevel::kClassExact);
+    if (SignatureCompatible(p, sig)) {
+      candidates.insert(candidates.end(), rows.begin(), rows.end());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return VerifyCandidates(candidates, p);
+}
+
+std::vector<RowId> PatternIndex::Lookup(const ConstrainedPattern& q) const {
+  return Lookup(q.EmbeddedPattern());
+}
+
+}  // namespace anmat

@@ -1,0 +1,75 @@
+#ifndef ANMAT_DETECT_PATTERN_INDEX_H_
+#define ANMAT_DETECT_PATTERN_INDEX_H_
+
+/// \file pattern_index.h
+/// Per-column index "supporting regular expressions" (§3 of the paper).
+///
+/// The paper creates, for each column appearing on the LHS of some PFD, an
+/// index that limits violation checks to tuples matching `tp[A]`. For our
+/// restricted pattern language the natural index keys are:
+///
+///   * the *class-run signature* of each cell ("90001" → `\D{5}`) — a
+///     query pattern retrieves only signatures its language can intersect
+///     (checked on an abstraction of the signature), then verifies with the
+///     real matcher; and
+///   * a token inverted index — when the query pattern contains literal
+///     token anchors (e.g. `(Donald)!` at token 1), candidates are narrowed
+///     to rows containing that token.
+///
+/// Retrieval is a superset of the true match set; every candidate is
+/// verified with the NFA matcher, so results are exact.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/constrained_pattern.h"
+#include "pattern/pattern.h"
+#include "relation/relation.h"
+
+namespace anmat {
+
+/// \brief Index over one column's values.
+class PatternIndex {
+ public:
+  /// Builds the index for column `col` of `relation` in one pass.
+  PatternIndex(const Relation& relation, size_t col);
+
+  size_t column() const { return col_; }
+
+  /// Rows whose cell matches `q`'s embedded pattern (exact; verified).
+  std::vector<RowId> Lookup(const ConstrainedPattern& q) const;
+  std::vector<RowId> Lookup(const Pattern& p) const;
+
+  /// Statistics for benchmarking the §3 claim (index vs scan).
+  size_t num_signatures() const { return by_signature_.size(); }
+  size_t num_tokens() const { return by_token_.size(); }
+
+  /// Candidates produced before verification on the last Lookup (for
+  /// observing prefilter selectivity in benches). Not thread-safe.
+  size_t last_candidates() const { return last_candidates_; }
+
+ private:
+  std::vector<RowId> VerifyCandidates(const std::vector<RowId>& candidates,
+                                      const Pattern& p) const;
+
+  const Relation* relation_;
+  size_t col_;
+  /// signature text -> rows with that exact class-run signature
+  std::unordered_map<std::string, std::vector<RowId>> by_signature_;
+  /// token text -> rows containing the token
+  std::unordered_map<std::string, std::vector<RowId>> by_token_;
+  /// character trigram -> rows whose value contains it. Catches literal
+  /// anchors embedded inside larger tokens (the n-gram rules: "900" inside
+  /// "90001"), which the token index cannot see.
+  std::unordered_map<std::string, std::vector<RowId>> by_trigram_;
+  /// signature text -> one sample value with that signature (for the
+  /// signature-level compatibility test)
+  std::unordered_map<std::string, std::string> signature_sample_;
+  mutable size_t last_candidates_ = 0;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_DETECT_PATTERN_INDEX_H_

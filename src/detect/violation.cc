@@ -1,0 +1,9 @@
+#include "detect/violation.h"
+
+namespace anmat {
+
+// The violation model is header-only data; this translation unit exists so
+// the module has a home for future out-of-line helpers and to keep the
+// build graph uniform (one .cc per header).
+
+}  // namespace anmat

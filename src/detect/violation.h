@@ -1,0 +1,74 @@
+#ifndef ANMAT_DETECT_VIOLATION_H_
+#define ANMAT_DETECT_VIOLATION_H_
+
+/// \file violation.h
+/// Violation model for PFD-based error detection (§3 of the paper).
+///
+/// A *constant* violation involves two cells of one tuple (the LHS cell
+/// matched the pattern, the RHS cell contradicts the constant) and carries a
+/// suggested repair ("if the LHS is correct, the RHS could be changed to
+/// tp[B]"). A *variable* violation involves four cells across two tuples —
+/// exactly the (r3[name], r3[gender], r4[name], r4[gender]) shape of the
+/// paper's introduction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace anmat {
+
+/// \brief A (row, column) cell reference.
+struct CellRef {
+  RowId row = 0;
+  uint32_t column = 0;
+
+  bool operator==(const CellRef& other) const {
+    return row == other.row && column == other.column;
+  }
+  bool operator<(const CellRef& other) const {
+    if (row != other.row) return row < other.row;
+    return column < other.column;
+  }
+};
+
+/// \brief Kind of PFD row that fired.
+enum class ViolationKind {
+  kConstant,  ///< t[A] ↦ tp[A] but t[B] ≠ tp[B]
+  kVariable,  ///< ti ≡_Q tj on A but ti[B] ≠ tj[B]
+};
+
+/// \brief One detected violation.
+struct Violation {
+  ViolationKind kind = ViolationKind::kConstant;
+  size_t pfd_index = 0;      ///< which PFD (caller-side list) fired
+  size_t tableau_row = 0;    ///< which tableau row fired
+
+  /// The cells forming the violation: 2 cells for constant violations,
+  /// 4 cells (lhs_i, rhs_i, lhs_j, rhs_j) for variable ones.
+  std::vector<CellRef> cells;
+
+  /// The cell most likely erroneous (the RHS cell for constant violations;
+  /// the minority-side RHS cell for variable ones).
+  CellRef suspect;
+
+  /// Suggested repair of `suspect` (constant rows: tp[B]; variable rows:
+  /// the majority RHS of the equivalence group). Empty when unknown.
+  std::string suggested_repair;
+
+  /// Short human-readable explanation for the violation view (Figure 5).
+  std::string explanation;
+};
+
+/// \brief Summary counts over a detection run.
+struct DetectionStats {
+  size_t rows_scanned = 0;
+  size_t candidate_rows = 0;  ///< rows surviving the index prefilter
+  size_t pairs_checked = 0;   ///< tuple pairs compared (variable rows)
+  size_t violations = 0;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_DETECT_VIOLATION_H_

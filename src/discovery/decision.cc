@@ -1,0 +1,56 @@
+#include "discovery/decision.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace anmat {
+
+Decision DecideConstantEntry(const std::vector<Posting>& postings,
+                             const DecisionOptions& options) {
+  Decision d;
+
+  // Deduplicate by row: one vote per tuple.
+  std::map<std::string, std::set<RowId>> by_rhs;
+  std::set<RowId> rows;
+  for (const Posting& p : postings) {
+    by_rhs[p.rhs_value].insert(p.row);
+    rows.insert(p.row);
+  }
+  d.support = rows.size();
+  if (d.support < options.min_support) return d;
+
+  // Dominant RHS: largest row set; ties break lexicographically (std::map
+  // iteration order) for determinism.
+  const std::string* dominant = nullptr;
+  size_t best = 0;
+  for (const auto& [rhs, ids] : by_rhs) {
+    if (ids.size() > best) {
+      best = ids.size();
+      dominant = &rhs;
+    }
+  }
+  if (dominant == nullptr) return d;
+
+  d.dominant_rhs = *dominant;
+  d.agreeing = best;
+  d.violation_ratio =
+      1.0 - static_cast<double>(best) / static_cast<double>(d.support);
+
+  const double dominance =
+      static_cast<double>(best) / static_cast<double>(d.support);
+  d.accept = d.violation_ratio <= options.allowed_violation_ratio &&
+             dominance >= options.min_dominance;
+
+  if (d.accept) {
+    for (const auto& [rhs, ids] : by_rhs) {
+      if (rhs == d.dominant_rhs) continue;
+      d.disagreeing_rows.insert(d.disagreeing_rows.end(), ids.begin(),
+                                ids.end());
+    }
+    std::sort(d.disagreeing_rows.begin(), d.disagreeing_rows.end());
+  }
+  return d;
+}
+
+}  // namespace anmat

@@ -1,0 +1,114 @@
+#include "discovery/discovery.h"
+
+#include <algorithm>
+
+namespace anmat {
+
+namespace {
+
+/// Renders the Figure-4 style provenance line for one mined constant row.
+std::string ConstantProvenance(const MinedRow& m) {
+  return m.key_text + "::" + std::to_string(m.key_position) + ", " +
+         std::to_string(m.support);
+}
+
+}  // namespace
+
+Result<DiscoveryResult> DiscoverPfds(const Relation& relation,
+                                     const DiscoveryOptions& options) {
+  DiscoveryResult result;
+  result.profiles = ProfileRelation(relation, options.profiler);
+
+  const std::vector<CandidateDependency> candidates =
+      CandidateDependencies(result.profiles, options.profiler);
+  result.candidates_examined = candidates.size();
+
+  // Propagate the user's allowed violation ratio into the miners unless the
+  // caller already customized them.
+  ConstantMinerOptions cm = options.constant_miner;
+  cm.decision.allowed_violation_ratio = options.allowed_violation_ratio;
+  VariableMinerOptions vm = options.variable_miner;
+  vm.allowed_violation_ratio = options.allowed_violation_ratio;
+
+  for (const CandidateDependency& cand : candidates) {
+    const ColumnProfile& lhs_profile = result.profiles[cand.lhs_col];
+    const std::string& lhs_name = relation.schema().column(cand.lhs_col).name;
+    const std::string& rhs_name = relation.schema().column(cand.rhs_col).name;
+
+    // §4: n-grams for single-token columns (codes/ids), word tokens
+    // otherwise.
+    const TokenMode mode =
+        lhs_profile.single_token ? TokenMode::kNGrams : TokenMode::kTokens;
+
+    // ---- Constant PFD for this dependency --------------------------------
+    if (options.mine_constant) {
+      ANMAT_ASSIGN_OR_RETURN(
+          std::vector<MinedRow> rows,
+          MineConstantRows(relation, cand.lhs_col, cand.rhs_col, mode, cm));
+      if (!rows.empty()) {
+        Tableau tableau;
+        std::vector<std::string> provenance;
+        for (const MinedRow& m : rows) {
+          tableau.AddRow(m.row);
+          provenance.push_back(ConstantProvenance(m));
+        }
+        Pfd pfd = Pfd::Simple(options.table_name, lhs_name, rhs_name,
+                              std::move(tableau));
+        ANMAT_ASSIGN_OR_RETURN(CoverageStats stats,
+                               ComputeCoverage(pfd, relation));
+        if (stats.Coverage() >= options.min_coverage &&
+            stats.ViolationRate() <= options.allowed_violation_ratio) {
+          result.pfds.push_back(DiscoveredPfd{std::move(pfd), stats,
+                                              std::move(provenance)});
+        }
+      }
+    }
+
+    // ---- Variable PFD for this dependency --------------------------------
+    if (options.mine_variable) {
+      ANMAT_ASSIGN_OR_RETURN(
+          std::vector<MinedVariableRow> rows,
+          MineVariableRows(relation, cand.lhs_col, cand.rhs_col, mode, vm));
+      if (rows.size() > options.max_variable_rows) {
+        rows.resize(options.max_variable_rows);
+      }
+      if (!rows.empty()) {
+        Tableau tableau;
+        std::vector<std::string> provenance;
+        for (const MinedVariableRow& m : rows) {
+          tableau.AddRow(m.row);
+          provenance.push_back(m.description + ", covered " +
+                               std::to_string(m.covered));
+        }
+        Pfd pfd = Pfd::Simple(options.table_name, lhs_name, rhs_name,
+                              std::move(tableau));
+        ANMAT_ASSIGN_OR_RETURN(CoverageStats stats,
+                               ComputeCoverage(pfd, relation));
+        if (stats.Coverage() >= options.min_coverage &&
+            stats.ViolationRate() <= options.allowed_violation_ratio) {
+          result.pfds.push_back(DiscoveredPfd{std::move(pfd), stats,
+                                              std::move(provenance)});
+        }
+      }
+    }
+  }
+
+  // Deterministic output order: by LHS attr, RHS attr, constant-before-
+  // variable, then summary text.
+  std::sort(result.pfds.begin(), result.pfds.end(),
+            [](const DiscoveredPfd& a, const DiscoveredPfd& b) {
+              if (a.pfd.lhs_attrs() != b.pfd.lhs_attrs()) {
+                return a.pfd.lhs_attrs() < b.pfd.lhs_attrs();
+              }
+              if (a.pfd.rhs_attrs() != b.pfd.rhs_attrs()) {
+                return a.pfd.rhs_attrs() < b.pfd.rhs_attrs();
+              }
+              if (a.pfd.IsConstant() != b.pfd.IsConstant()) {
+                return a.pfd.IsConstant();
+              }
+              return a.pfd.ToString() < b.pfd.ToString();
+            });
+  return result;
+}
+
+}  // namespace anmat

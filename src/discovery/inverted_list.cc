@@ -1,0 +1,68 @@
+#include "discovery/inverted_list.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace anmat {
+
+size_t TokenKeyHash::operator()(const TokenKey& k) const {
+  return static_cast<size_t>(
+      HashCombine(Fnv1a64(k.text), k.position * 0x9E3779B97F4A7C15ULL));
+}
+
+void InvertedList::Insert(TokenKey key, Posting posting) {
+  entries_[std::move(key)].push_back(std::move(posting));
+}
+
+std::vector<const InvertedList::Map::value_type*> InvertedList::SortedEntries()
+    const {
+  std::vector<const Map::value_type*> out;
+  out.reserve(entries_.size());
+  for (const auto& kv : entries_) out.push_back(&kv);
+  std::sort(out.begin(), out.end(),
+            [](const Map::value_type* a, const Map::value_type* b) {
+              if (a->second.size() != b->second.size()) {
+                return a->second.size() > b->second.size();
+              }
+              if (a->first.text != b->first.text) {
+                return a->first.text < b->first.text;
+              }
+              return a->first.position < b->first.position;
+            });
+  return out;
+}
+
+InvertedList BuildInvertedList(const Relation& relation, size_t lhs_col,
+                               size_t rhs_col, TokenMode mode,
+                               size_t gram_len, size_t max_value_length) {
+  InvertedList list;
+  const auto& lhs_values = relation.column(lhs_col);
+  const auto& rhs_values = relation.column(rhs_col);
+  for (RowId r = 0; r < relation.num_rows(); ++r) {
+    const std::string& lhs = lhs_values[r];
+    const std::string& rhs = rhs_values[r];
+    if (TrimView(lhs).empty() || TrimView(rhs).empty()) continue;
+    if (max_value_length > 0 && lhs.size() > max_value_length) continue;
+
+    std::vector<Token> keys;
+    switch (mode) {
+      case TokenMode::kTokens:
+        keys = Tokenize(lhs);
+        break;
+      case TokenMode::kNGrams:
+        keys = NGrams(lhs, gram_len);
+        break;
+      case TokenMode::kPrefix:
+        keys = PrefixGrams(lhs, gram_len);
+        break;
+    }
+    for (Token& t : keys) {
+      list.Insert(TokenKey{std::move(t.text), t.position},
+                  Posting{r, t.position, rhs});
+    }
+  }
+  return list;
+}
+
+}  // namespace anmat

@@ -1,0 +1,125 @@
+#include "discovery/profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "csv/type_inference.h"
+#include "discovery/tokenizer.h"
+#include "pattern/generalizer.h"
+#include "util/string_util.h"
+
+namespace anmat {
+
+bool ColumnProfile::ExcludedFromDiscovery() const {
+  if (non_null < 2) return true;
+  if (numeric_ratio >= 0.98) return true;  // paper: drop pure-numeric columns
+  return false;
+}
+
+bool ColumnProfile::IsNearKey() const {
+  if (non_null == 0) return false;
+  return static_cast<double>(distinct) / static_cast<double>(non_null) >= 0.95;
+}
+
+bool ColumnProfile::IsConstant() const { return non_null > 0 && distinct <= 1; }
+
+std::vector<ColumnProfile> ProfileRelation(const Relation& relation,
+                                           const ProfilerOptions& options) {
+  std::vector<ColumnProfile> profiles;
+  profiles.reserve(relation.num_columns());
+
+  for (size_t c = 0; c < relation.num_columns(); ++c) {
+    ColumnProfile p;
+    p.name = relation.schema().column(c).name;
+    p.index = c;
+    p.rows = relation.num_rows();
+
+    const ColumnTypeStats type_stats = ComputeColumnTypeStats(relation, c);
+    p.non_null = type_stats.total - type_stats.nulls;
+    p.numeric_ratio = type_stats.NumericRatio();
+
+    std::unordered_set<std::string> distinct;
+    size_t single_token_cells = 0;
+    size_t token_total = 0;
+    // Signature histogram at the exact level; key = pattern text.
+    std::map<std::string, PatternProfileEntry> signature_hist;
+    Pattern column_pattern;
+    bool first = true;
+
+    for (const std::string& cell : relation.column(c)) {
+      if (TrimView(cell).empty()) continue;
+      distinct.insert(cell);
+      const std::vector<Token> tokens = Tokenize(cell);
+      token_total += tokens.size();
+      if (tokens.size() == 1) ++single_token_cells;
+
+      Pattern sig = GeneralizeString(cell, GeneralizationLevel::kClassExact);
+      const std::string sig_text = sig.ToString();
+      auto [it, inserted] = signature_hist.try_emplace(
+          sig_text, PatternProfileEntry{sig_text, 0, 0});
+      ++it->second.frequency;
+
+      if (first) {
+        column_pattern = std::move(sig);
+        first = false;
+      } else {
+        column_pattern = Lgg(column_pattern, sig);
+      }
+    }
+
+    p.distinct = distinct.size();
+    p.single_token =
+        p.non_null > 0 &&
+        static_cast<double>(single_token_cells) /
+                static_cast<double>(p.non_null) >=
+            options.single_token_ratio;
+    p.avg_tokens = p.non_null > 0 ? static_cast<double>(token_total) /
+                                        static_cast<double>(p.non_null)
+                                  : 0.0;
+    p.column_pattern = std::move(column_pattern);
+
+    // Keep the most frequent signatures (stable order: frequency desc, then
+    // pattern text asc for determinism).
+    std::vector<PatternProfileEntry> entries;
+    entries.reserve(signature_hist.size());
+    for (auto& [text, entry] : signature_hist) entries.push_back(entry);
+    std::sort(entries.begin(), entries.end(),
+              [](const PatternProfileEntry& a, const PatternProfileEntry& b) {
+                if (a.frequency != b.frequency) return a.frequency > b.frequency;
+                return a.pattern < b.pattern;
+              });
+    if (entries.size() > options.max_top_patterns) {
+      entries.resize(options.max_top_patterns);
+    }
+    p.top_patterns = std::move(entries);
+
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+std::vector<CandidateDependency> CandidateDependencies(
+    const std::vector<ColumnProfile>& profiles,
+    const ProfilerOptions& options) {
+  std::vector<CandidateDependency> candidates;
+  for (const ColumnProfile& lhs : profiles) {
+    if (lhs.non_null < options.min_non_null) continue;
+    if (lhs.numeric_ratio >= options.numeric_exclusion_ratio &&
+        !lhs.single_token) {
+      continue;  // pure numeric multi-token: no pattern structure
+    }
+    if (lhs.IsConstant()) continue;  // a constant LHS determines trivially
+    for (const ColumnProfile& rhs : profiles) {
+      if (lhs.index == rhs.index) continue;
+      if (rhs.non_null < options.min_non_null) continue;
+      if (rhs.IsNearKey()) continue;   // nothing meaningfully determines a key
+      if (rhs.IsConstant()) continue;  // trivially determined
+      candidates.push_back(CandidateDependency{lhs.index, rhs.index});
+    }
+  }
+  return candidates;
+}
+
+}  // namespace anmat

@@ -1,0 +1,234 @@
+#include "discovery/variable_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "pattern/generalizer.h"
+#include "util/string_util.h"
+
+namespace anmat {
+
+namespace {
+
+/// A candidate segmentation of the LHS values: each non-null cell either
+/// yields an extracted key (plus its surrounding context pieces) or is not
+/// covered by the candidate.
+struct CandidateExtraction {
+  // Parallel vectors over covered rows.
+  std::vector<RowId> rows;
+  std::vector<std::string> keys;
+  std::vector<std::string> prefixes;  // context before the key
+  std::vector<std::string> suffixes;  // context after the key
+  std::string description;
+  int specificity = 0;
+};
+
+/// Token-at-index-k extraction (k = kLastToken means the last token).
+constexpr uint32_t kLastToken = 0xFFFFFFFFu;
+
+CandidateExtraction ExtractTokenCandidate(const Relation& relation,
+                                          size_t lhs_col, uint32_t index,
+                                          size_t max_value_length) {
+  CandidateExtraction out;
+  out.description = index == kLastToken
+                        ? "last token"
+                        : "token " + std::to_string(index);
+  out.specificity = index == kLastToken ? 100 : static_cast<int>(index);
+  const auto& values = relation.column(lhs_col);
+  for (RowId r = 0; r < values.size(); ++r) {
+    const std::string& cell = values[r];
+    if (TrimView(cell).empty()) continue;
+    if (max_value_length > 0 && cell.size() > max_value_length) continue;
+    const std::vector<Token> tokens = Tokenize(cell);
+    // Keying on "the" first/last token is only meaningful when there are at
+    // least two tokens (otherwise the key is the whole value and the PFD
+    // degenerates to a plain FD).
+    if (tokens.size() < 2) continue;
+    uint32_t idx = index == kLastToken
+                       ? static_cast<uint32_t>(tokens.size() - 1)
+                       : index;
+    if (idx >= tokens.size()) continue;
+    const Token& tok = tokens[idx];
+    out.rows.push_back(r);
+    out.keys.push_back(tok.text);
+    out.prefixes.push_back(cell.substr(0, tok.offset));
+    out.suffixes.push_back(cell.substr(tok.offset + tok.text.size()));
+  }
+  return out;
+}
+
+/// First-k / last-k characters extraction for single-token code columns.
+CandidateExtraction ExtractGramCandidate(const Relation& relation,
+                                         size_t lhs_col, size_t k,
+                                         bool suffix_key,
+                                         size_t max_value_length) {
+  CandidateExtraction out;
+  out.description = (suffix_key ? "suffix " : "prefix ") + std::to_string(k);
+  out.specificity = static_cast<int>(k) + (suffix_key ? 1000 : 0);
+  const auto& values = relation.column(lhs_col);
+  for (RowId r = 0; r < values.size(); ++r) {
+    const std::string& cell = values[r];
+    if (TrimView(cell).empty()) continue;
+    if (max_value_length > 0 && cell.size() > max_value_length) continue;
+    // The key must be a strict part of the value, or the PFD would
+    // degenerate to a plain FD on the whole value.
+    if (cell.size() <= k) continue;
+    out.rows.push_back(r);
+    if (suffix_key) {
+      out.keys.push_back(cell.substr(cell.size() - k));
+      out.prefixes.push_back(cell.substr(0, cell.size() - k));
+      out.suffixes.push_back("");
+    } else {
+      out.keys.push_back(cell.substr(0, k));
+      out.prefixes.push_back("");
+      out.suffixes.push_back(cell.substr(k));
+    }
+  }
+  return out;
+}
+
+/// Evaluates how functionally the extracted keys determine the RHS column.
+struct FunctionalScore {
+  size_t covered = 0;
+  size_t tested = 0;
+  size_t violations = 0;
+  size_t multi_groups = 0;
+  double violation_ratio = 0.0;
+};
+
+FunctionalScore ScoreCandidate(const CandidateExtraction& cand,
+                               const Relation& relation, size_t rhs_col) {
+  FunctionalScore score;
+  score.covered = cand.rows.size();
+  std::map<std::string, std::map<std::string, size_t>> groups;
+  for (size_t i = 0; i < cand.rows.size(); ++i) {
+    const std::string& rhs = relation.cell(cand.rows[i], rhs_col);
+    ++groups[cand.keys[i]][rhs];
+  }
+  for (const auto& [key, by_rhs] : groups) {
+    size_t total = 0;
+    size_t best = 0;
+    for (const auto& [rhs, n] : by_rhs) {
+      total += n;
+      best = std::max(best, n);
+    }
+    if (total >= 2) {
+      ++score.multi_groups;
+      score.tested += total;
+      score.violations += total - best;
+    }
+  }
+  score.violation_ratio =
+      score.tested == 0 ? 1.0
+                        : static_cast<double>(score.violations) /
+                              static_cast<double>(score.tested);
+  return score;
+}
+
+/// Builds the constrained pattern `prefix (key-signature)! suffix` where the
+/// key signature generalizes the extracted keys and the contexts generalize
+/// the surrounding pieces.
+ConstrainedPattern BuildVariableLhs(const CandidateExtraction& cand) {
+  const Pattern key_sig =
+      GeneralizeValues(cand.keys, GeneralizationLevel::kClassExact);
+  const Pattern prefix =
+      GeneralizeValues(cand.prefixes, GeneralizationLevel::kClassExact);
+  const Pattern suffix =
+      GeneralizeValues(cand.suffixes, GeneralizationLevel::kClassExact);
+
+  std::vector<PatternSegment> segments;
+  if (!prefix.elements().empty()) {
+    segments.push_back(PatternSegment{prefix, false});
+  }
+  segments.push_back(PatternSegment{key_sig, true});
+  if (!suffix.elements().empty()) {
+    segments.push_back(PatternSegment{suffix, false});
+  }
+  return ConstrainedPattern(std::move(segments));
+}
+
+}  // namespace
+
+Result<std::vector<MinedVariableRow>> MineVariableRows(
+    const Relation& relation, size_t lhs_col, size_t rhs_col, TokenMode mode,
+    const VariableMinerOptions& options) {
+  if (lhs_col >= relation.num_columns() || rhs_col >= relation.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (lhs_col == rhs_col) {
+    return Status::InvalidArgument("LHS and RHS columns must differ");
+  }
+
+  // Count non-null rows for the coverage denominator.
+  size_t non_null = 0;
+  for (const std::string& cell : relation.column(lhs_col)) {
+    if (!TrimView(cell).empty()) ++non_null;
+  }
+  if (non_null < 2) return std::vector<MinedVariableRow>{};
+
+  std::vector<CandidateExtraction> candidates;
+  if (mode == TokenMode::kTokens) {
+    for (uint32_t idx : options.token_positions) {
+      candidates.push_back(ExtractTokenCandidate(relation, lhs_col, idx,
+                                                 options.max_value_length));
+    }
+    if (options.probe_last_token) {
+      candidates.push_back(ExtractTokenCandidate(
+          relation, lhs_col, kLastToken, options.max_value_length));
+    }
+  } else {
+    for (size_t k : options.prefix_lengths) {
+      candidates.push_back(
+          ExtractGramCandidate(relation, lhs_col, k, /*suffix_key=*/false,
+                               options.max_value_length));
+      if (options.probe_suffixes) {
+        candidates.push_back(
+            ExtractGramCandidate(relation, lhs_col, k, /*suffix_key=*/true,
+                                 options.max_value_length));
+      }
+    }
+  }
+
+  std::vector<MinedVariableRow> passing;
+  for (const CandidateExtraction& cand : candidates) {
+    if (cand.rows.empty()) continue;
+    const double coverage =
+        static_cast<double>(cand.rows.size()) / static_cast<double>(non_null);
+    if (coverage < options.min_key_coverage) continue;
+
+    const FunctionalScore score = ScoreCandidate(cand, relation, rhs_col);
+    if (score.multi_groups < options.min_multi_groups) continue;
+    if (score.tested == 0 ||
+        static_cast<double>(score.tested) /
+                static_cast<double>(score.covered) <
+            options.min_tested_fraction) {
+      continue;
+    }
+    if (score.violation_ratio > options.allowed_violation_ratio) continue;
+
+    MinedVariableRow m;
+    m.row.lhs.push_back(TableauCell::Of(BuildVariableLhs(cand)));
+    m.row.rhs.push_back(TableauCell::Wildcard());
+    m.description = cand.description;
+    m.covered = score.covered;
+    m.tested = score.tested;
+    m.violations = score.violations;
+    m.violation_ratio = score.violation_ratio;
+    m.specificity = cand.specificity;
+    passing.push_back(std::move(m));
+  }
+
+  // Prefer the most general candidate: lowest specificity, then highest
+  // coverage. Callers typically keep only the first row.
+  std::sort(passing.begin(), passing.end(),
+            [](const MinedVariableRow& a, const MinedVariableRow& b) {
+              if (a.specificity != b.specificity) {
+                return a.specificity < b.specificity;
+              }
+              return a.covered > b.covered;
+            });
+  return passing;
+}
+
+}  // namespace anmat

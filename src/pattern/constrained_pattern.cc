@@ -1,0 +1,65 @@
+#include "pattern/constrained_pattern.h"
+
+namespace anmat {
+
+ConstrainedPattern::ConstrainedPattern(std::vector<PatternSegment> segments) {
+  for (PatternSegment& seg : segments) {
+    if (seg.pattern.empty()) continue;
+    const bool mergeable = !seg.constrained && seg.pattern.conjuncts().empty();
+    if (mergeable && !segments_.empty() && !segments_.back().constrained &&
+        segments_.back().pattern.conjuncts().empty()) {
+      auto& elements = segments_.back().pattern.mutable_elements();
+      const auto& es = seg.pattern.elements();
+      elements.insert(elements.end(), es.begin(), es.end());
+      continue;
+    }
+    segments_.push_back(std::move(seg));
+  }
+}
+
+ConstrainedPattern ConstrainedPattern::WholePattern(Pattern p) {
+  return ConstrainedPattern({PatternSegment{std::move(p), true}});
+}
+
+ConstrainedPattern ConstrainedPattern::Unconstrained(Pattern p) {
+  return ConstrainedPattern({PatternSegment{std::move(p), false}});
+}
+
+size_t ConstrainedPattern::NumConstrained() const {
+  size_t n = 0;
+  for (const PatternSegment& s : segments_) {
+    if (s.constrained) ++n;
+  }
+  return n;
+}
+
+Pattern ConstrainedPattern::EmbeddedPattern() const {
+  std::vector<PatternElement> elements;
+  for (const PatternSegment& s : segments_) {
+    const auto& es = s.pattern.elements();
+    elements.insert(elements.end(), es.begin(), es.end());
+  }
+  Pattern p(std::move(elements));
+  p.Normalize();
+  return p;
+}
+
+bool ConstrainedPattern::IsConstantString(std::string* out) const {
+  return EmbeddedPattern().IsConstantString(out);
+}
+
+std::string ConstrainedPattern::ToString() const {
+  std::string out;
+  for (const PatternSegment& s : segments_) {
+    if (s.constrained) {
+      out += '(';
+      out += s.pattern.ToString();
+      out += ")!";
+    } else {
+      out += s.pattern.ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace anmat

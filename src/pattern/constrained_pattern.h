@@ -1,0 +1,88 @@
+#ifndef ANMAT_PATTERN_CONSTRAINED_PATTERN_H_
+#define ANMAT_PATTERN_CONSTRAINED_PATTERN_H_
+
+/// \file constrained_pattern.h
+/// Constrained patterns (§2 of the paper).
+///
+/// A constrained pattern `Q` is a concatenation of pattern *segments*, at
+/// least one of which is marked constrained (the paper underlines these; our
+/// textual syntax wraps them as `(...)!`). The concatenation of all segment
+/// patterns is the *embedded pattern* `Q̄`.
+///
+///   * `s ↦ Q`      — `s` matches the embedded pattern.
+///   * `s(Q)`       — the set of possible extraction tuples: each way of
+///                    splitting `s` across the segments yields the tuple of
+///                    substrings covered by the constrained segments.
+///   * `s ≡_Q s'`   — both match and `s(Q) ∩ s'(Q) ≠ ∅` (the paper's
+///                    Example 2 uses exactly this non-empty-intersection
+///                    semantics).
+///
+/// Matching/extraction lives in matcher.h; this header defines the type.
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief One segment of a constrained pattern.
+struct PatternSegment {
+  Pattern pattern;
+  bool constrained = false;
+
+  bool operator==(const PatternSegment& other) const {
+    return constrained == other.constrained && pattern == other.pattern;
+  }
+};
+
+/// \brief A concatenation of segments, some marked constrained.
+class ConstrainedPattern {
+ public:
+  ConstrainedPattern() = default;
+
+  /// Canonicalizes on construction: adjacent *unconstrained* conjunct-free
+  /// segments are merged (their split is semantically irrelevant — only
+  /// constrained segments affect extraction and ≡_Q) and empty segments are
+  /// dropped. This makes `ParseConstrainedPattern(q.ToString()) == q` hold
+  /// structurally.
+  explicit ConstrainedPattern(std::vector<PatternSegment> segments);
+
+  /// A constrained pattern with a single constrained segment spanning the
+  /// whole pattern (matching on the entire value — this degenerates to the
+  /// classical FD behaviour for values satisfying the pattern).
+  static ConstrainedPattern WholePattern(Pattern p);
+
+  /// A single unconstrained segment (used for constant RHS tableau cells).
+  static ConstrainedPattern Unconstrained(Pattern p);
+
+  const std::vector<PatternSegment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+  size_t NumConstrained() const;
+  bool HasConstrained() const { return NumConstrained() > 0; }
+
+  /// The embedded pattern Q̄: concatenation of all segment patterns.
+  /// Conjuncts of individual segments are not representable in a flat
+  /// concatenation, so segments with conjuncts are rejected at parse time.
+  Pattern EmbeddedPattern() const;
+
+  /// True if the embedded pattern is a single constant string (so the cell
+  /// behaves as a plain constant, e.g. "Los Angeles").
+  bool IsConstantString(std::string* out = nullptr) const;
+
+  /// Canonical textual form: constrained segments as `(...)"!"`.
+  std::string ToString() const;
+
+  bool operator==(const ConstrainedPattern& other) const {
+    return segments_ == other.segments_;
+  }
+
+ private:
+  std::vector<PatternSegment> segments_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_PATTERN_CONSTRAINED_PATTERN_H_

@@ -1,0 +1,234 @@
+#include "pattern/containment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pattern/nfa.h"
+
+namespace anmat {
+
+namespace {
+
+/// Collects every literal character mentioned anywhere in a pattern
+/// (elements and conjuncts).
+void CollectLiterals(const Pattern& p, std::string* out) {
+  for (const PatternElement& e : p.elements()) {
+    if (e.cls == SymbolClass::kLiteral &&
+        out->find(e.literal) == std::string::npos) {
+      out->push_back(e.literal);
+    }
+  }
+  for (const Pattern& c : p.conjuncts()) CollectLiterals(c, out);
+}
+
+/// The finite alphabet abstraction: all mentioned literals plus one fresh
+/// representative per class (fresh = not colliding with any literal). Two
+/// characters of the same class that neither pattern names cannot be
+/// distinguished by any pattern built from these literals, so one
+/// representative per class is sound and complete.
+std::string RelevantAlphabet(const Pattern& a, const Pattern& b) {
+  std::string alphabet;
+  CollectLiterals(a, &alphabet);
+  CollectLiterals(b, &alphabet);
+  for (SymbolClass cls : {SymbolClass::kUpper, SymbolClass::kLower,
+                          SymbolClass::kDigit, SymbolClass::kSymbol}) {
+    char rep = RepresentativeChar(cls, alphabet);
+    if (rep != '\0') alphabet.push_back(rep);
+  }
+  return alphabet;
+}
+
+/// Intersection (product) automaton of a list of NFAs. Start/accept are
+/// tuples; we simulate lazily with tuple state-sets.
+struct ProductState {
+  // One state-set per component automaton (each epsilon-closed, sorted).
+  std::vector<std::vector<uint32_t>> sets;
+
+  bool operator<(const ProductState& other) const { return sets < other.sets; }
+};
+
+class ProductNfa {
+ public:
+  explicit ProductNfa(std::vector<Nfa> components)
+      : components_(std::move(components)) {}
+
+  ProductState StartState() const {
+    ProductState s;
+    s.sets.resize(components_.size());
+    for (size_t i = 0; i < components_.size(); ++i) {
+      s.sets[i] = {components_[i].start()};
+      components_[i].EpsilonClosure(&s.sets[i]);
+    }
+    return s;
+  }
+
+  /// Advances every component on `c`; returns false if any component dies
+  /// (the intersection language has no continuation).
+  bool Step(const ProductState& from, char c, ProductState* to) const {
+    to->sets.resize(components_.size());
+    for (size_t i = 0; i < components_.size(); ++i) {
+      components_[i].Step(from.sets[i], c, &to->sets[i]);
+      if (to->sets[i].empty()) return false;
+    }
+    return true;
+  }
+
+  bool Accepts(const ProductState& s) const {
+    for (size_t i = 0; i < components_.size(); ++i) {
+      if (!components_[i].Accepts(s.sets[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Nfa> components_;
+};
+
+/// Compiles a pattern (with conjuncts) to the component list of its
+/// intersection automaton.
+std::vector<Nfa> CompileConjunctList(const Pattern& p) {
+  std::vector<Nfa> nfas;
+  nfas.push_back(Nfa::Compile(p));
+  for (const Pattern& c : p.conjuncts()) {
+    // Flatten nested conjuncts (rare; '&' is typically one level).
+    std::vector<Nfa> inner = CompileConjunctList(c);
+    for (Nfa& n : inner) nfas.push_back(std::move(n));
+  }
+  return nfas;
+}
+
+}  // namespace
+
+bool PatternContains(const Pattern& q, const Pattern& p) {
+  // Decide L(p) ⊆ L(q) by searching the product of p's intersection
+  // automaton with q's (subset-construction) automaton for a state that p
+  // accepts and q rejects.
+  const std::string alphabet = RelevantAlphabet(p, q);
+
+  ProductNfa p_nfa(CompileConjunctList(p));
+  ProductNfa q_nfa(CompileConjunctList(q));
+
+  struct SearchState {
+    ProductState p_state;
+    ProductState q_state;  // empty sets allowed: q may be "dead"
+    bool q_alive;
+
+    bool operator<(const SearchState& other) const {
+      if (q_alive != other.q_alive) return q_alive < other.q_alive;
+      if (p_state < other.p_state) return true;
+      if (other.p_state < p_state) return false;
+      return q_state < other.q_state;
+    }
+  };
+
+  std::set<SearchState> visited;
+  std::vector<SearchState> stack;
+  SearchState start{p_nfa.StartState(), q_nfa.StartState(), true};
+  visited.insert(start);
+  stack.push_back(start);
+
+  while (!stack.empty()) {
+    SearchState cur = stack.back();
+    stack.pop_back();
+
+    if (p_nfa.Accepts(cur.p_state)) {
+      if (!cur.q_alive || !q_nfa.Accepts(cur.q_state)) {
+        return false;  // counterexample string reaches here
+      }
+    }
+
+    for (char c : alphabet) {
+      SearchState next;
+      next.q_alive = cur.q_alive;
+      if (!p_nfa.Step(cur.p_state, c, &next.p_state)) {
+        continue;  // p has no continuation on c; no counterexample this way
+      }
+      if (cur.q_alive) {
+        next.q_alive = q_nfa.Step(cur.q_state, c, &next.q_state);
+        if (!next.q_alive) next.q_state = ProductState{};
+      } else {
+        next.q_state = ProductState{};
+      }
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return true;
+}
+
+bool PatternEquivalent(const Pattern& a, const Pattern& b) {
+  return PatternContains(a, b) && PatternContains(b, a);
+}
+
+bool ConstrainedRestricts(const ConstrainedPattern& sub,
+                          const ConstrainedPattern& sup) {
+  // Necessary condition: embedded containment.
+  if (!PatternContains(sup.EmbeddedPattern(), sub.EmbeddedPattern())) {
+    return false;
+  }
+  if (!sub.HasConstrained() || !sup.HasConstrained()) {
+    // A pattern without constrained segments relates all matching strings;
+    // `sub ⊆ sup` then requires sup to also relate them all.
+    return !sup.HasConstrained();
+  }
+
+  // Structural alignment: walk sup's segments and greedily cover them with
+  // sub's segments such that every constrained segment of sup is covered
+  // only by constrained segments of sub. We align on the *prefix* of
+  // constrained segments: each constrained segment of sup must correspond
+  // to a consecutive run of sub segments whose concatenated pattern is
+  // contained in it, all of them constrained.
+  //
+  // This validates the paper's canonical use (Q2 ⊆ Q1 in Example 2:
+  // sub = (\LU\LL*\ )!\A*\ (\LU\LL*)!,  sup = (\LU\LL*\ )!\A*):
+  // equality on *more* extracted components implies equality on fewer when
+  // the shared components align positionally.
+  const auto& sub_segs = sub.segments();
+  const auto& sup_segs = sup.segments();
+
+  size_t si = 0;  // cursor into sub_segs
+  for (size_t qi = 0; qi < sup_segs.size(); ++qi) {
+    const PatternSegment& sup_seg = sup_segs[qi];
+    if (sup_seg.constrained) {
+      // Must be covered by exactly one constrained sub segment with a
+      // contained pattern (1:1 alignment keeps the check sound).
+      if (si >= sub_segs.size() || !sub_segs[si].constrained) return false;
+      if (!PatternContains(sup_seg.pattern, sub_segs[si].pattern)) {
+        return false;
+      }
+      ++si;
+    } else {
+      // Unconstrained sup segment: absorb a maximal run of sub segments
+      // (constrained or not — extra constraints in sub only *refine* the
+      // equivalence) whose concatenation is contained in it.
+      std::vector<PatternElement> concat;
+      size_t run_end = si;
+      // Greedily absorb while the concatenation stays contained and we do
+      // not steal the sub segment needed by the next constrained sup
+      // segment. Simplest sound approach: absorb until the concatenation
+      // is contained and the remaining sub segments still outnumber the
+      // remaining constrained sup segments.
+      size_t remaining_sup_constrained = 0;
+      for (size_t j = qi + 1; j < sup_segs.size(); ++j) {
+        if (sup_segs[j].constrained) ++remaining_sup_constrained;
+      }
+      while (run_end < sub_segs.size()) {
+        size_t remaining_sub = sub_segs.size() - run_end;
+        if (remaining_sub <= remaining_sup_constrained) break;
+        const auto& es = sub_segs[run_end].pattern.elements();
+        concat.insert(concat.end(), es.begin(), es.end());
+        ++run_end;
+        // Stop early if the next sub segment is constrained and the next
+        // sup segment is constrained too — leave it for the 1:1 match.
+      }
+      Pattern run_pattern(concat);
+      if (!PatternContains(sup_seg.pattern, run_pattern)) return false;
+      si = run_end;
+    }
+  }
+  return si == sub_segs.size();
+}
+
+}  // namespace anmat

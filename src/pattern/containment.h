@@ -1,0 +1,51 @@
+#ifndef ANMAT_PATTERN_CONTAINMENT_H_
+#define ANMAT_PATTERN_CONTAINMENT_H_
+
+/// \file containment.h
+/// Pattern containment `P ⊆ P'` and constrained-pattern restriction
+/// `Q ⊆ Q'` (§2 of the paper).
+///
+/// General regular-expression containment is PSPACE-complete; the paper's
+/// restricted language makes it cheap. We decide containment by
+///
+///   1. abstracting the infinite alphabet to a finite *relevant* set — every
+///      literal appearing in either pattern plus one fresh representative
+///      per generalization-tree class (two characters of the same class
+///      that neither pattern names are indistinguishable), and
+///   2. a product search of NFA(P) against the lazily-determinized NFA(P'),
+///      reporting non-containment on reaching a P-accepting / P'-rejecting
+///      product state.
+///
+/// Conjunction: `P = P1 & P2 ⊆ P'` is decided on the intersection automaton
+/// of the conjuncts; `P ⊆ P1' & P2'` requires containment in every conjunct.
+
+#include "pattern/constrained_pattern.h"
+#include "pattern/pattern.h"
+
+namespace anmat {
+
+/// \brief Language containment: every string matching `p` matches `q`.
+bool PatternContains(const Pattern& q, const Pattern& p);
+
+/// \brief Language equivalence: mutual containment.
+bool PatternEquivalent(const Pattern& a, const Pattern& b);
+
+/// \brief Restriction on constrained patterns: `sub ⊆ sup` iff for all
+/// strings s, s', `s ≡_sub s'` implies `s ≡_sup s'`.
+///
+/// Deciding this exactly for arbitrary segmentations is subtle; we implement
+/// the sound, practically-complete rule the paper's examples rely on
+/// (Example 2: Q2 ⊆ Q1):
+///   * the embedded pattern of `sub` must be contained in that of `sup`, and
+///   * `sup`'s constrained region must be a prefix/suffix-aligned subset of
+///     `sub`'s: every constrained segment of `sup` is covered by constrained
+///     segments of `sub` under the alignment of the two segment lists
+///     (checked structurally segment-by-segment).
+/// Returns false when the structural alignment cannot be established, which
+/// never wrongly *confirms* a restriction.
+bool ConstrainedRestricts(const ConstrainedPattern& sub,
+                          const ConstrainedPattern& sup);
+
+}  // namespace anmat
+
+#endif  // ANMAT_PATTERN_CONTAINMENT_H_

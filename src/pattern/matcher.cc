@@ -1,0 +1,178 @@
+#include "pattern/matcher.h"
+
+#include <algorithm>
+#include <set>
+
+namespace anmat {
+
+PatternMatcher::PatternMatcher(const Pattern& pattern)
+    : pattern_(pattern), nfa_(Nfa::Compile(pattern)) {
+  conjunct_nfas_.reserve(pattern.conjuncts().size());
+  for (const Pattern& c : pattern.conjuncts()) {
+    // Conjuncts of conjuncts are flattened by recursive matching below;
+    // in practice '&' is used one level deep.
+    conjunct_nfas_.push_back(Nfa::Compile(c));
+  }
+}
+
+bool PatternMatcher::Matches(std::string_view s) const {
+  if (!nfa_.Matches(s)) return false;
+  for (size_t i = 0; i < conjunct_nfas_.size(); ++i) {
+    if (!conjunct_nfas_[i].Matches(s)) return false;
+    // Nested conjuncts (rare): fall back to the recursive helper.
+    if (!pattern_.conjuncts()[i].conjuncts().empty() &&
+        !NfaMatchesWithConjuncts(pattern_.conjuncts()[i], s)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ConstrainedMatcher::ConstrainedMatcher(const ConstrainedPattern& pattern)
+    : pattern_(pattern), embedded_nfa_(Nfa::Compile(pattern.EmbeddedPattern())) {
+  segment_nfas_.reserve(pattern.segments().size());
+  for (const PatternSegment& seg : pattern.segments()) {
+    segment_nfas_.push_back(Nfa::Compile(seg.pattern));
+  }
+}
+
+bool ConstrainedMatcher::Matches(std::string_view s) const {
+  return embedded_nfa_.Matches(s);
+}
+
+bool ConstrainedMatcher::ComputeFeasibleStarts(
+    std::string_view s, std::vector<std::vector<uint32_t>>* starts) const {
+  const size_t k = segment_nfas_.size();
+  const uint32_t n = static_cast<uint32_t>(s.size());
+  // feasible[j] = sorted positions p from which segments j..k-1 can cover
+  // s[p..n). feasible[k] = {n}.
+  std::vector<std::vector<uint32_t>> feasible(k + 1);
+  feasible[k] = {n};
+  for (size_t j = k; j-- > 0;) {
+    std::vector<bool> next_ok(n + 1, false);
+    for (uint32_t p : feasible[j + 1]) next_ok[p] = true;
+    for (uint32_t p = 0; p <= n; ++p) {
+      for (uint32_t len : segment_nfas_[j].MatchingPrefixLengths(
+               s.substr(p, n - p))) {
+        if (next_ok[p + len]) {
+          feasible[j].push_back(p);
+          break;
+        }
+      }
+    }
+    if (feasible[j].empty()) return false;
+  }
+  // The whole string matches iff position 0 is feasible for segment 0.
+  if (!std::binary_search(feasible[0].begin(), feasible[0].end(), 0u)) {
+    return false;
+  }
+  *starts = std::move(feasible);
+  return true;
+}
+
+void ConstrainedMatcher::EnumerateSplits(
+    std::string_view s, const std::vector<std::vector<uint32_t>>& feasible,
+    size_t seg, uint32_t pos, Extraction* current,
+    std::vector<Extraction>* out, size_t cap) const {
+  if (out->size() >= cap) return;
+  const size_t k = segment_nfas_.size();
+  if (seg == k) {
+    if (pos == s.size()) out->push_back(*current);
+    return;
+  }
+  const std::vector<uint32_t> lengths =
+      segment_nfas_[seg].MatchingPrefixLengths(s.substr(pos, s.size() - pos));
+  const std::vector<uint32_t>& next_feasible = feasible[seg + 1];
+  const bool constrained = pattern_.segments()[seg].constrained;
+  for (uint32_t len : lengths) {
+    const uint32_t end = pos + len;
+    if (!std::binary_search(next_feasible.begin(), next_feasible.end(), end)) {
+      continue;
+    }
+    if (constrained) current->emplace_back(s.substr(pos, len));
+    EnumerateSplits(s, feasible, seg + 1, end, current, out, cap);
+    if (constrained) current->pop_back();
+    if (out->size() >= cap) return;
+  }
+}
+
+std::vector<Extraction> ConstrainedMatcher::ExtractAll(std::string_view s,
+                                                       size_t cap) const {
+  std::vector<Extraction> out;
+  std::vector<std::vector<uint32_t>> feasible;
+  if (!ComputeFeasibleStarts(s, &feasible)) return out;
+  Extraction current;
+  EnumerateSplits(s, feasible, 0, 0, &current, &out, cap);
+  // Deduplicate (different splits can extract identical tuples, e.g. when
+  // only unconstrained segments differ).
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool ConstrainedMatcher::ExtractCanonical(std::string_view s,
+                                          Extraction* out) const {
+  std::vector<std::vector<uint32_t>> feasible;
+  if (!ComputeFeasibleStarts(s, &feasible)) return false;
+  out->clear();
+  uint32_t pos = 0;
+  const size_t k = segment_nfas_.size();
+  for (size_t seg = 0; seg < k; ++seg) {
+    const std::vector<uint32_t> lengths = segment_nfas_[seg].MatchingPrefixLengths(
+        s.substr(pos, s.size() - pos));
+    const std::vector<uint32_t>& next_feasible = feasible[seg + 1];
+    // Greedy: take the longest feasible length.
+    bool found = false;
+    for (size_t i = lengths.size(); i-- > 0;) {
+      const uint32_t end = pos + lengths[i];
+      if (std::binary_search(next_feasible.begin(), next_feasible.end(),
+                             end)) {
+        if (pattern_.segments()[seg].constrained) {
+          out->emplace_back(s.substr(pos, lengths[i]));
+        }
+        pos = end;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;  // unreachable given ComputeFeasibleStarts
+  }
+  return pos == s.size();
+}
+
+bool ConstrainedMatcher::Equivalent(std::string_view a,
+                                    std::string_view b) const {
+  // Fast path: canonical extractions equal.
+  Extraction ca, cb;
+  const bool ma = ExtractCanonical(a, &ca);
+  const bool mb = ExtractCanonical(b, &cb);
+  if (!ma || !mb) return false;
+  if (ca == cb) return true;
+  // Full semantics: non-empty intersection of extraction sets.
+  const std::vector<Extraction> ea = ExtractAll(a);
+  if (ea.size() <= 1) {
+    // Extraction of `a` is unambiguous and differs from b's canonical one;
+    // still need b's full set.
+    const std::vector<Extraction> eb = ExtractAll(b);
+    for (const Extraction& x : ea) {
+      if (std::binary_search(eb.begin(), eb.end(), x)) return true;
+    }
+    return false;
+  }
+  const std::vector<Extraction> eb = ExtractAll(b);
+  std::set<Extraction> sb(eb.begin(), eb.end());
+  for (const Extraction& x : ea) {
+    if (sb.count(x) > 0) return true;
+  }
+  return false;
+}
+
+bool MatchesPattern(const Pattern& p, std::string_view s) {
+  return PatternMatcher(p).Matches(s);
+}
+
+bool MatchesConstrained(const ConstrainedPattern& q, std::string_view s) {
+  return ConstrainedMatcher(q).Matches(s);
+}
+
+}  // namespace anmat

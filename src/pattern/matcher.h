@@ -1,0 +1,93 @@
+#ifndef ANMAT_PATTERN_MATCHER_H_
+#define ANMAT_PATTERN_MATCHER_H_
+
+/// \file matcher.h
+/// Matching, constrained-segment extraction, and ≡_Q equivalence.
+///
+/// `PatternMatcher` / `ConstrainedMatcher` pre-compile a pattern once and
+/// then answer queries over many strings — the shape discovery and
+/// detection need (one pattern, a column of values).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pattern/constrained_pattern.h"
+#include "pattern/nfa.h"
+#include "pattern/pattern.h"
+
+namespace anmat {
+
+/// \brief Compiled matcher for a plain pattern (including conjuncts).
+class PatternMatcher {
+ public:
+  explicit PatternMatcher(const Pattern& pattern);
+
+  /// s ↦ P : does the whole string match?
+  bool Matches(std::string_view s) const;
+
+  const Pattern& pattern() const { return pattern_; }
+
+ private:
+  Pattern pattern_;
+  Nfa nfa_;
+  std::vector<Nfa> conjunct_nfas_;
+};
+
+/// \brief The tuple of substrings covered by the constrained segments in one
+/// particular split of the input.
+using Extraction = std::vector<std::string>;
+
+/// \brief Compiled matcher for a constrained pattern.
+///
+/// Extraction semantics: a matching string can in general be split across
+/// the segments in several ways; each split induces one `Extraction`. The
+/// paper (Example 2) treats `s(Q)` as the *set* of extractions and defines
+/// `s ≡_Q s'` by non-empty intersection. `ExtractAll` enumerates the set
+/// (deduplicated, capped); `ExtractCanonical` returns the leftmost-greedy
+/// split, which is the deterministic key used for blocking.
+class ConstrainedMatcher {
+ public:
+  explicit ConstrainedMatcher(const ConstrainedPattern& pattern);
+
+  const ConstrainedPattern& pattern() const { return pattern_; }
+
+  /// s ↦ Q : does the string match the embedded pattern?
+  bool Matches(std::string_view s) const;
+
+  /// All distinct extraction tuples, up to `cap` (then truncated). Empty if
+  /// the string does not match.
+  std::vector<Extraction> ExtractAll(std::string_view s,
+                                     size_t cap = 64) const;
+
+  /// The leftmost-greedy extraction (each segment takes the longest feasible
+  /// prefix). Returns false if the string does not match.
+  bool ExtractCanonical(std::string_view s, Extraction* out) const;
+
+  /// s ≡_Q s' : both match and the extraction sets intersect.
+  bool Equivalent(std::string_view a, std::string_view b) const;
+
+ private:
+  /// Per-segment sets of feasible start positions computed right-to-left:
+  /// splits[j] = positions p such that segments j.. can match s[p..n).
+  /// Returns false if the string cannot match at all.
+  bool ComputeFeasibleStarts(std::string_view s,
+                             std::vector<std::vector<uint32_t>>* starts) const;
+
+  void EnumerateSplits(std::string_view s,
+                       const std::vector<std::vector<uint32_t>>& feasible,
+                       size_t seg, uint32_t pos, Extraction* current,
+                       std::vector<Extraction>* out, size_t cap) const;
+
+  ConstrainedPattern pattern_;
+  std::vector<Nfa> segment_nfas_;
+  Nfa embedded_nfa_;
+};
+
+/// \brief One-shot helpers (compile + query); prefer the classes for loops.
+bool MatchesPattern(const Pattern& p, std::string_view s);
+bool MatchesConstrained(const ConstrainedPattern& q, std::string_view s);
+
+}  // namespace anmat
+
+#endif  // ANMAT_PATTERN_MATCHER_H_

@@ -1,0 +1,127 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+
+namespace anmat {
+
+std::string EscapePatternChar(char c) {
+  // Characters with syntactic meaning (and backslash) must be escaped.
+  // Space is escaped for readability, matching the paper's "\ " notation.
+  static constexpr std::string_view kSpecial = "\\{}+*()!&? ";
+  std::string out;
+  if (kSpecial.find(c) != std::string_view::npos) out += '\\';
+  out += c;
+  return out;
+}
+
+std::string PatternElement::ToString() const {
+  std::string out;
+  if (cls == SymbolClass::kLiteral) {
+    out = EscapePatternChar(literal);
+  } else {
+    out = SymbolClassToken(cls);
+  }
+  if (min == 1 && max == 1) {
+    // no quantifier
+  } else if (min == 0 && max == kUnbounded) {
+    out += '*';
+  } else if (min == 1 && max == kUnbounded) {
+    out += '+';
+  } else if (min == max) {
+    out += '{' + std::to_string(min) + '}';
+  } else if (max == kUnbounded) {
+    out += '{' + std::to_string(min) + ",}";
+  } else {
+    out += '{' + std::to_string(min) + ',' + std::to_string(max) + '}';
+  }
+  return out;
+}
+
+uint32_t Pattern::MinLength() const {
+  uint64_t total = 0;
+  for (const PatternElement& e : elements_) total += e.min;
+  uint32_t result = total > kUnbounded ? kUnbounded
+                                       : static_cast<uint32_t>(total);
+  for (const Pattern& c : conjuncts_) result = std::max(result, c.MinLength());
+  return result;
+}
+
+uint32_t Pattern::MaxLength() const {
+  uint64_t total = 0;
+  for (const PatternElement& e : elements_) {
+    if (e.max == kUnbounded) return ConjunctMaxCap(kUnbounded);
+    total += e.max;
+  }
+  uint32_t result = total > kUnbounded ? kUnbounded
+                                       : static_cast<uint32_t>(total);
+  return ConjunctMaxCap(result);
+}
+
+uint32_t Pattern::ConjunctMaxCap(uint32_t base) const {
+  uint32_t result = base;
+  for (const Pattern& c : conjuncts_) result = std::min(result, c.MaxLength());
+  return result;
+}
+
+bool Pattern::IsConstantString(std::string* out) const {
+  std::string value;
+  for (const PatternElement& e : elements_) {
+    if (e.cls != SymbolClass::kLiteral || e.min != e.max) return false;
+    value.append(e.min, e.literal);
+  }
+  // Conjuncts could in principle make a non-constant main sequence constant,
+  // but detecting that requires emptiness tests; report constant only for
+  // the simple (and only practically occurring) case.
+  if (!conjuncts_.empty()) return false;
+  if (out != nullptr) *out = std::move(value);
+  return true;
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  for (const PatternElement& e : elements_) out += e.ToString();
+  for (const Pattern& c : conjuncts_) {
+    out += '&';  // bare '&' so ToString() output re-parses identically
+    out += c.ToString();
+  }
+  return out;
+}
+
+bool Pattern::operator==(const Pattern& other) const {
+  return elements_ == other.elements_ && conjuncts_ == other.conjuncts_;
+}
+
+void Pattern::Normalize() {
+  std::vector<PatternElement> merged;
+  for (const PatternElement& e : elements_) {
+    if (e.max == 0) continue;  // zero-width, matches only epsilon
+    if (!merged.empty()) {
+      PatternElement& last = merged.back();
+      const bool same_symbol =
+          last.cls == e.cls &&
+          (e.cls != SymbolClass::kLiteral || last.literal == e.literal);
+      if (same_symbol) {
+        // {a,b}{c,d} over the same symbol is {a+c, b+d}.
+        last.min += e.min;
+        last.max = (last.max == kUnbounded || e.max == kUnbounded)
+                       ? kUnbounded
+                       : last.max + e.max;
+        continue;
+      }
+    }
+    merged.push_back(e);
+  }
+  elements_ = std::move(merged);
+  for (Pattern& c : conjuncts_) c.Normalize();
+}
+
+Pattern LiteralPattern(std::string_view s) {
+  std::vector<PatternElement> elements;
+  elements.reserve(s.size());
+  for (char c : s) elements.push_back(PatternElement::Literal(c));
+  Pattern p(std::move(elements));
+  p.Normalize();
+  return p;
+}
+
+}  // namespace anmat

@@ -1,0 +1,118 @@
+#ifndef ANMAT_PATTERN_PATTERN_H_
+#define ANMAT_PATTERN_PATTERN_H_
+
+/// \file pattern.h
+/// The pattern AST (§2 of the paper).
+///
+/// A pattern is a sequence of *elements*, each a generalization-tree symbol
+/// (a class or a literal character) with a repetition range:
+///
+///   * `{N}`   — exactly N            (min = max = N)
+///   * `{M,N}` — between M and N      (min = M, max = N)
+///   * `+`     — one or more          (min = 1, max = ∞)
+///   * `*`     — zero or more         (min = 0, max = ∞)
+///   * none    — exactly once         (min = max = 1)
+///
+/// `α & β` (conjunction) is supported by letting a `Pattern` carry extra
+/// *conjunct* patterns that the same string must also satisfy. Recursive
+/// patterns such as `(α+)*` are excluded by construction: repetition applies
+/// only to single symbols, never to groups — exactly the restriction the
+/// paper imposes to keep reasoning tractable.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "pattern/generalization_tree.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// Sentinel for an unbounded repetition upper bound.
+inline constexpr uint32_t kUnbounded = std::numeric_limits<uint32_t>::max();
+
+/// \brief One repeated symbol in a pattern.
+struct PatternElement {
+  SymbolClass cls = SymbolClass::kAny;
+  char literal = '\0';  ///< meaningful only when cls == kLiteral
+  uint32_t min = 1;
+  uint32_t max = 1;
+
+  static PatternElement Literal(char c, uint32_t min = 1, uint32_t max = 1) {
+    return PatternElement{SymbolClass::kLiteral, c, min, max};
+  }
+  static PatternElement Class(SymbolClass cls, uint32_t min = 1,
+                              uint32_t max = 1) {
+    return PatternElement{cls, '\0', min, max};
+  }
+
+  /// True if this element matches character `c` (one repetition).
+  bool MatchesChar(char c) const {
+    return cls == SymbolClass::kLiteral ? literal == c
+                                        : ClassMatchesChar(cls, c);
+  }
+
+  /// Canonical pattern-syntax rendering ("\\D{5}", "a", "\\LL*", ...).
+  std::string ToString() const;
+
+  bool operator==(const PatternElement& other) const {
+    return cls == other.cls && min == other.min && max == other.max &&
+           (cls != SymbolClass::kLiteral || literal == other.literal);
+  }
+};
+
+/// \brief A pattern: element sequence plus optional conjuncts (`&`).
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(std::vector<PatternElement> elements)
+      : elements_(std::move(elements)) {}
+
+  const std::vector<PatternElement>& elements() const { return elements_; }
+  std::vector<PatternElement>& mutable_elements() { return elements_; }
+
+  /// Conjoined patterns; a string matches iff it matches the main element
+  /// sequence AND every conjunct.
+  const std::vector<Pattern>& conjuncts() const { return conjuncts_; }
+  void AddConjunct(Pattern p) { conjuncts_.push_back(std::move(p)); }
+
+  bool empty() const { return elements_.empty() && conjuncts_.empty(); }
+
+  /// Minimum / maximum length of a matching string (max may be kUnbounded).
+  /// Conjuncts tighten both bounds.
+  uint32_t MinLength() const;
+  uint32_t MaxLength() const;
+
+  /// True if the pattern matches only one exact string, which is returned
+  /// through `out` when non-null (no classes, all {N} with min==max).
+  bool IsConstantString(std::string* out = nullptr) const;
+
+  /// Canonical textual form, parseable by `ParsePattern`.
+  std::string ToString() const;
+
+  /// Structural equality (not language equality; see containment.h).
+  bool operator==(const Pattern& other) const;
+
+  /// Merges adjacent elements with identical symbols (e.g. `\D\D{2}` →
+  /// `\D{3}`) and drops zero-width elements ({0}). Canonicalizes the AST so
+  /// structurally-built patterns compare predictably.
+  void Normalize();
+
+ private:
+  /// min(base, max-length of every conjunct) — conjuncts can only tighten.
+  uint32_t ConjunctMaxCap(uint32_t base) const;
+
+  std::vector<PatternElement> elements_;
+  std::vector<Pattern> conjuncts_;
+};
+
+/// \brief Escapes a character for use as a literal in pattern syntax.
+std::string EscapePatternChar(char c);
+
+/// \brief A pattern matching exactly the string `s` (each char a literal).
+Pattern LiteralPattern(std::string_view s);
+
+}  // namespace anmat
+
+#endif  // ANMAT_PATTERN_PATTERN_H_

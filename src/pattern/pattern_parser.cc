@@ -1,0 +1,263 @@
+#include "pattern/pattern_parser.h"
+
+#include <string>
+
+#include "util/string_util.h"
+
+namespace anmat {
+
+namespace {
+
+/// Characters that must be escaped to appear as literals.
+constexpr std::string_view kSyntaxChars = "\\{}+*()!&?";
+
+/// Recursive-descent parser over the pattern grammar (see header).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Pattern> ParsePlainPattern() {
+    ANMAT_ASSIGN_OR_RETURN(Pattern p, ParseConjunction(/*in_group=*/false,
+                                                       /*allow_groups=*/false,
+                                                       nullptr));
+    if (pos_ != text_.size()) return Error("unexpected character");
+    if (p.empty()) return Error("empty pattern");
+    return p;
+  }
+
+  Result<ConstrainedPattern> ParseConstrained() {
+    std::vector<PatternSegment> segments;
+    while (pos_ < text_.size()) {
+      if (Peek() == '(') {
+        ++pos_;
+        ANMAT_ASSIGN_OR_RETURN(
+            Pattern p, ParseConjunction(/*in_group=*/true,
+                                        /*allow_groups=*/false, nullptr));
+        if (!Consume(')')) return Error("expected ')'");
+        if (pos_ < text_.size() &&
+            (Peek() == '*' || Peek() == '+' || Peek() == '{' ||
+             Peek() == '?')) {
+          return Error(
+              "quantified groups are not allowed (the pattern language "
+              "excludes recursive patterns)");
+        }
+        bool constrained = Consume('!');
+        if (p.empty()) return Error("empty group");
+        segments.push_back(PatternSegment{std::move(p), constrained});
+      } else {
+        // A chunk of plain elements up to the next group or end.
+        bool stopped_at_group = false;
+        ANMAT_ASSIGN_OR_RETURN(
+            Pattern p, ParseConjunction(/*in_group=*/false,
+                                        /*allow_groups=*/true,
+                                        &stopped_at_group));
+        if (p.empty() && !stopped_at_group) break;
+        if (!p.empty()) {
+          segments.push_back(PatternSegment{std::move(p), false});
+        }
+      }
+    }
+    if (segments.empty()) return Error("empty constrained pattern");
+    for (const PatternSegment& s : segments) {
+      if (!s.pattern.conjuncts().empty() && segments.size() > 1) {
+        return Error(
+            "'&' conjunction is only supported on single-segment patterns");
+      }
+    }
+    return ConstrainedPattern(std::move(segments));
+  }
+
+ private:
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("pattern \"" + std::string(text_) +
+                              "\" at offset " + std::to_string(pos_) + ": " +
+                              msg);
+  }
+
+  /// Parses `conjunct (" & " conjunct)*`. Stops at ')' when `in_group`,
+  /// or at '(' when `allow_groups` (reporting via `stopped_at_group`).
+  Result<Pattern> ParseConjunction(bool in_group, bool allow_groups,
+                                   bool* stopped_at_group) {
+    ANMAT_ASSIGN_OR_RETURN(
+        Pattern first, ParseSequence(in_group, allow_groups, stopped_at_group));
+    Pattern result = std::move(first);
+    // " & " with mandatory spaces distinguishes conjunction from a literal
+    // '&', which must be escaped anyway; we also accept "&" tightly bound.
+    while (pos_ < text_.size() && Peek() == '&') {
+      ++pos_;
+      ANMAT_ASSIGN_OR_RETURN(
+          Pattern next, ParseSequence(in_group, allow_groups, stopped_at_group));
+      if (next.empty()) return Error("empty conjunct after '&'");
+      result.AddConjunct(std::move(next));
+    }
+    return result;
+  }
+
+  /// Parses a run of elements.
+  Result<Pattern> ParseSequence(bool in_group, bool allow_groups,
+                                bool* stopped_at_group) {
+    std::vector<PatternElement> elements;
+    while (pos_ < text_.size()) {
+      char c = Peek();
+      if (c == ')' ) {
+        if (in_group) break;
+        return Error("unmatched ')'");
+      }
+      if (c == '&') break;
+      if (c == '(') {
+        if (allow_groups) {
+          if (stopped_at_group != nullptr) *stopped_at_group = true;
+          break;
+        }
+        return Error("groups are not allowed in a plain pattern");
+      }
+      if (c == '!') return Error("'!' may only follow a group");
+      ANMAT_ASSIGN_OR_RETURN(PatternElement e, ParseElement());
+      elements.push_back(e);
+    }
+    Pattern p(std::move(elements));
+    // Deliberately NOT normalized: `\D\D{2}` is kept distinct from `\D{3}`
+    // textually; callers can Normalize() when they want canonical form.
+    return p;
+  }
+
+  Result<PatternElement> ParseElement() {
+    ANMAT_ASSIGN_OR_RETURN(PatternElement e, ParseSymbol());
+    ANMAT_RETURN_NOT_OK(ParseQuantifier(&e));
+    return e;
+  }
+
+  Result<PatternElement> ParseSymbol() {
+    char c = text_[pos_];
+    if (c == '\\') {
+      ++pos_;
+      if (pos_ >= text_.size()) return Error("dangling backslash");
+      // Multi-char class tokens first (longest match): \LU \LL, then
+      // single-char classes \A \D \S and aliases \U \L.
+      if (text_.compare(pos_, 2, "LU") == 0) {
+        pos_ += 2;
+        return PatternElement::Class(SymbolClass::kUpper);
+      }
+      if (text_.compare(pos_, 2, "LL") == 0) {
+        pos_ += 2;
+        return PatternElement::Class(SymbolClass::kLower);
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case 'A':
+          return PatternElement::Class(SymbolClass::kAny);
+        case 'D':
+          return PatternElement::Class(SymbolClass::kDigit);
+        case 'S':
+          return PatternElement::Class(SymbolClass::kSymbol);
+        case 'U':
+          return PatternElement::Class(SymbolClass::kUpper);
+        case 'L':
+          return PatternElement::Class(SymbolClass::kLower);
+        default:
+          // Escaped literal: "\ " (space), "\\", "\{", "\(", "\d", ...
+          return PatternElement::Literal(e);
+      }
+    }
+    if (kSyntaxChars.find(c) != std::string_view::npos) {
+      return Error(std::string("character '") + c + "' must be escaped");
+    }
+    ++pos_;
+    return PatternElement::Literal(c);
+  }
+
+  Status ParseQuantifier(PatternElement* e) {
+    if (pos_ >= text_.size()) return Status::OK();
+    char c = Peek();
+    if (c == '*') {
+      ++pos_;
+      e->min = 0;
+      e->max = kUnbounded;
+      return CheckNoDoubleQuantifier();
+    }
+    if (c == '+') {
+      ++pos_;
+      e->min = 1;
+      e->max = kUnbounded;
+      return CheckNoDoubleQuantifier();
+    }
+    if (c == '?') {
+      ++pos_;
+      e->min = 0;
+      e->max = 1;
+      return CheckNoDoubleQuantifier();
+    }
+    if (c == '{') {
+      // Data cells are short; astronomically large counts are always input
+      // errors, and bounding them keeps NFA sizes predictable.
+      constexpr int64_t kMaxRepetition = 100000;
+      ++pos_;
+      size_t close = text_.find('}', pos_);
+      if (close == std::string_view::npos) return Error("unterminated '{'");
+      std::string_view body = text_.substr(pos_, close - pos_);
+      size_t comma = body.find(',');
+      if (comma == std::string_view::npos) {
+        int64_t n = ParseNonNegativeInt(body);
+        if (n < 0 || n > kMaxRepetition) {
+          return Error("invalid repetition count");
+        }
+        e->min = e->max = static_cast<uint32_t>(n);
+      } else {
+        int64_t lo = ParseNonNegativeInt(body.substr(0, comma));
+        if (lo < 0 || lo > kMaxRepetition) {
+          return Error("invalid repetition lower bound");
+        }
+        std::string_view hi_text = body.substr(comma + 1);
+        if (hi_text.empty()) {
+          e->min = static_cast<uint32_t>(lo);
+          e->max = kUnbounded;
+        } else {
+          int64_t hi = ParseNonNegativeInt(hi_text);
+          if (hi < 0 || hi < lo || hi > kMaxRepetition) {
+            return Error("invalid repetition range");
+          }
+          e->min = static_cast<uint32_t>(lo);
+          e->max = static_cast<uint32_t>(hi);
+        }
+      }
+      pos_ = close + 1;
+      return CheckNoDoubleQuantifier();
+    }
+    return Status::OK();
+  }
+
+  Status CheckNoDoubleQuantifier() {
+    if (pos_ < text_.size()) {
+      char c = Peek();
+      if (c == '*' || c == '+' || c == '?' || c == '{') {
+        return Error("double quantifier");
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Pattern> ParsePattern(std::string_view text) {
+  return Parser(text).ParsePlainPattern();
+}
+
+Result<ConstrainedPattern> ParseConstrainedPattern(std::string_view text) {
+  return Parser(text).ParseConstrained();
+}
+
+}  // namespace anmat

@@ -1,0 +1,47 @@
+#ifndef ANMAT_PATTERN_PATTERN_PARSER_H_
+#define ANMAT_PATTERN_PATTERN_PARSER_H_
+
+/// \file pattern_parser.h
+/// Textual pattern syntax.
+///
+/// Grammar (whitespace is significant — a space is a literal space):
+///
+///   pattern      := conjunct ( " & " conjunct )*
+///   conjunct     := element*
+///   element      := symbol quantifier?
+///   symbol       := class | escaped | plain
+///   class        := "\A" | "\LU" | "\LL" | "\D" | "\S" | "\U" | "\L"
+///   escaped      := "\" any-char            (a literal; e.g. "\ " = space)
+///   plain        := any char except  \ { } + * ( ) ! & ?
+///   quantifier   := "*" | "+" | "?" | "{" N "}" | "{" M "," N? "}"
+///
+/// Constrained patterns (pattern_parser also parses these; see
+/// constrained_pattern.h) additionally allow segment groups:
+///
+///   cpattern     := segment+
+///   segment      := "(" conjunct ")" "!"?   |   conjunct-chunk
+///
+/// where a group followed by `!` is a *constrained* segment (the underlined
+/// part in the paper's notation, e.g. λ4's LHS is `(\LU\LL*\ )!\A*`).
+/// Quantifying a group is rejected — the paper's language excludes
+/// recursive patterns such as `(α+)*`.
+
+#include <string_view>
+
+#include "pattern/constrained_pattern.h"
+#include "pattern/pattern.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief Parses a plain pattern (no segment groups allowed).
+Result<Pattern> ParsePattern(std::string_view text);
+
+/// \brief Parses a constrained pattern. Input without any `(...)!` group is
+/// accepted and yields a single unconstrained segment (useful for RHS cells
+/// that are plain constants).
+Result<ConstrainedPattern> ParseConstrainedPattern(std::string_view text);
+
+}  // namespace anmat
+
+#endif  // ANMAT_PATTERN_PATTERN_PARSER_H_

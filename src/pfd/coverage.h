@@ -1,0 +1,53 @@
+#ifndef ANMAT_PFD_COVERAGE_H_
+#define ANMAT_PFD_COVERAGE_H_
+
+/// \file coverage.h
+/// Coverage and violation-rate statistics for a PFD over a relation.
+///
+/// The paper (§4, "Parameter Setting"): *minimum coverage* is the ratio of
+/// records participating in the PFD (records matching at least one tableau
+/// row's LHS patterns) to the total number of records; since data is dirty,
+/// a bounded *ratio of allowed violations* among participating records is
+/// tolerated and reported as errors.
+
+#include <cstddef>
+
+#include "pfd/pfd.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief Participation / violation statistics of one PFD.
+struct CoverageStats {
+  size_t total_rows = 0;      ///< rows in the relation
+  size_t covered_rows = 0;    ///< rows matching some tableau row's LHS
+  size_t violating_rows = 0;  ///< covered rows that violate their row(s)
+
+  /// covered / total (0 when the relation is empty).
+  double Coverage() const {
+    return total_rows == 0
+               ? 0.0
+               : static_cast<double>(covered_rows) /
+                     static_cast<double>(total_rows);
+  }
+  /// violating / covered (0 when nothing is covered).
+  double ViolationRate() const {
+    return covered_rows == 0
+               ? 0.0
+               : static_cast<double>(violating_rows) /
+                     static_cast<double>(covered_rows);
+  }
+};
+
+/// \brief Computes coverage and violation statistics of `pfd` on `relation`.
+///
+/// Constant rows count a covered record as violating when its RHS cell
+/// mismatches the constant; variable rows count a record as violating when
+/// it disagrees (same extracted LHS key, different RHS value) with the
+/// majority of its equivalence group.
+Result<CoverageStats> ComputeCoverage(const Pfd& pfd, const Relation& relation);
+
+}  // namespace anmat
+
+#endif  // ANMAT_PFD_COVERAGE_H_

@@ -1,0 +1,89 @@
+#include "pfd/pfd.h"
+
+namespace anmat {
+
+Status Pfd::Validate(const Schema& schema) const {
+  if (lhs_attrs_.empty() || rhs_attrs_.empty()) {
+    return Status::InvalidArgument("PFD must have LHS and RHS attributes");
+  }
+  for (const std::string& a : lhs_attrs_) {
+    if (!schema.Contains(a)) {
+      return Status::NotFound("PFD LHS attribute not in schema: " + a);
+    }
+  }
+  for (const std::string& a : rhs_attrs_) {
+    if (!schema.Contains(a)) {
+      return Status::NotFound("PFD RHS attribute not in schema: " + a);
+    }
+  }
+  for (const std::string& a : lhs_attrs_) {
+    for (const std::string& b : rhs_attrs_) {
+      if (a == b) {
+        return Status::InvalidArgument(
+            "attribute on both sides of the PFD: " + a);
+      }
+    }
+  }
+  return tableau_.Validate(lhs_attrs_.size(), rhs_attrs_.size());
+}
+
+bool Pfd::IsConstant() const {
+  if (tableau_.empty()) return false;
+  for (const TableauRow& r : tableau_.rows()) {
+    if (!r.IsConstantRow()) return false;
+  }
+  return true;
+}
+
+bool Pfd::HasVariableRows() const {
+  for (const TableauRow& r : tableau_.rows()) {
+    if (r.IsVariableRow()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::string JoinAttrs(const std::vector<std::string>& attrs) {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Pfd::Summary() const {
+  return table_ + "([" + JoinAttrs(lhs_attrs_) + "] -> [" +
+         JoinAttrs(rhs_attrs_) + "], " + std::to_string(tableau_.size()) +
+         (tableau_.size() == 1 ? " row)" : " rows)");
+}
+
+std::string Pfd::ToString() const {
+  std::string out;
+  for (const TableauRow& row : tableau_.rows()) {
+    out += table_;
+    out += "([";
+    for (size_t i = 0; i < lhs_attrs_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += lhs_attrs_[i];
+      out += " = ";
+      out += row.lhs[i].ToString();
+    }
+    out += "] -> [";
+    for (size_t i = 0; i < rhs_attrs_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += rhs_attrs_[i];
+      if (!row.rhs[i].is_wildcard()) {
+        out += " = ";
+        out += row.rhs[i].ToString();
+      }
+    }
+    out += "])\n";
+  }
+  return out;
+}
+
+}  // namespace anmat

@@ -1,0 +1,74 @@
+#ifndef ANMAT_PFD_PFD_H_
+#define ANMAT_PFD_PFD_H_
+
+/// \file pfd.h
+/// Pattern functional dependencies: `R(X → Y, Tp)`.
+///
+/// A PFD couples an embedded FD `X → Y` over the schema with a pattern
+/// tableau `Tp` (see tableau.h). The paper's λ1–λ5 are all single-attribute
+/// (`A → B`); the type supports multi-attribute sides, while the miners in
+/// `src/discovery` emit single-attribute PFDs.
+
+#include <string>
+#include <vector>
+
+#include "pfd/tableau.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief A pattern functional dependency.
+class Pfd {
+ public:
+  Pfd() = default;
+  Pfd(std::string table, std::vector<std::string> lhs_attrs,
+      std::vector<std::string> rhs_attrs, Tableau tableau)
+      : table_(std::move(table)),
+        lhs_attrs_(std::move(lhs_attrs)),
+        rhs_attrs_(std::move(rhs_attrs)),
+        tableau_(std::move(tableau)) {}
+
+  /// Convenience for the common single-attribute shape `A → B`.
+  static Pfd Simple(std::string table, std::string lhs, std::string rhs,
+                    Tableau tableau) {
+    return Pfd(std::move(table), {std::move(lhs)}, {std::move(rhs)},
+               std::move(tableau));
+  }
+
+  const std::string& table() const { return table_; }
+  const std::vector<std::string>& lhs_attrs() const { return lhs_attrs_; }
+  const std::vector<std::string>& rhs_attrs() const { return rhs_attrs_; }
+  const Tableau& tableau() const { return tableau_; }
+  Tableau& mutable_tableau() { return tableau_; }
+
+  /// Shape + attribute checks against a relation's schema.
+  Status Validate(const Schema& schema) const;
+
+  /// True when every tableau row is constant (pure constant PFD) /
+  /// at least one row is variable.
+  bool IsConstant() const;
+  bool HasVariableRows() const;
+
+  /// `Name([name] -> [gender], k rows)` — short diagnostic form.
+  std::string Summary() const;
+
+  /// Full textual form: one line per tableau row, paper style, e.g.
+  /// `Name([name = (John\ )!\A*] -> [gender = M])`.
+  std::string ToString() const;
+
+  bool operator==(const Pfd& other) const {
+    return table_ == other.table_ && lhs_attrs_ == other.lhs_attrs_ &&
+           rhs_attrs_ == other.rhs_attrs_ && tableau_ == other.tableau_;
+  }
+
+ private:
+  std::string table_;
+  std::vector<std::string> lhs_attrs_;
+  std::vector<std::string> rhs_attrs_;
+  Tableau tableau_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_PFD_PFD_H_

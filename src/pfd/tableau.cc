@@ -1,0 +1,47 @@
+#include "pfd/tableau.h"
+
+namespace anmat {
+
+std::string TableauCell::ToString() const {
+  if (wildcard_) return "_";
+  return pattern_.ToString();
+}
+
+bool TableauRow::IsConstantRow() const {
+  if (rhs.empty()) return false;
+  for (const TableauCell& c : rhs) {
+    if (!c.IsConstant()) return false;
+  }
+  return true;
+}
+
+bool TableauRow::IsVariableRow() const {
+  for (const TableauCell& c : rhs) {
+    if (c.is_wildcard()) return true;
+  }
+  return false;
+}
+
+Status Tableau::Validate(size_t n_lhs, size_t n_rhs) const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const TableauRow& r = rows_[i];
+    if (r.lhs.size() != n_lhs || r.rhs.size() != n_rhs) {
+      return Status::InvalidArgument(
+          "tableau row " + std::to_string(i) + " has shape (" +
+          std::to_string(r.lhs.size()) + "," + std::to_string(r.rhs.size()) +
+          "), expected (" + std::to_string(n_lhs) + "," +
+          std::to_string(n_rhs) + ")");
+    }
+    bool all_wild = true;
+    for (const TableauCell& c : r.lhs) {
+      if (!c.is_wildcard()) all_wild = false;
+    }
+    if (all_wild) {
+      return Status::InvalidArgument("tableau row " + std::to_string(i) +
+                                     " has an all-wildcard LHS");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace anmat

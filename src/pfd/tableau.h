@@ -1,0 +1,96 @@
+#ifndef ANMAT_PFD_TABLEAU_H_
+#define ANMAT_PFD_TABLEAU_H_
+
+/// \file tableau.h
+/// Pattern tableaux for PFDs (§2, definition part (3)).
+///
+/// A tableau row assigns each attribute of the embedded FD either a
+/// constrained pattern or the unnamed wildcard `⊥`. Rows with a constant
+/// RHS cell express *constant PFDs* (`900\D{2} → "Los Angeles"`); rows with
+/// a `⊥` RHS express *variable PFDs* (`(\D{3})!\D{2} → ⊥`: equal extracted
+/// keys must imply equal RHS values).
+
+#include <string>
+#include <vector>
+
+#include "pattern/constrained_pattern.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief One tableau cell: a constrained pattern or the wildcard `⊥`.
+class TableauCell {
+ public:
+  /// The wildcard cell.
+  static TableauCell Wildcard() { return TableauCell(); }
+
+  /// A pattern cell.
+  static TableauCell Of(ConstrainedPattern pattern) {
+    TableauCell c;
+    c.wildcard_ = false;
+    c.pattern_ = std::move(pattern);
+    return c;
+  }
+
+  bool is_wildcard() const { return wildcard_; }
+  const ConstrainedPattern& pattern() const { return pattern_; }
+
+  /// True if the (non-wildcard) pattern is a constant string.
+  bool IsConstant(std::string* out = nullptr) const {
+    return !wildcard_ && pattern_.IsConstantString(out);
+  }
+
+  /// "⊥" or the pattern's textual form.
+  std::string ToString() const;
+
+  bool operator==(const TableauCell& other) const {
+    if (wildcard_ != other.wildcard_) return false;
+    return wildcard_ || pattern_ == other.pattern_;
+  }
+
+ private:
+  TableauCell() = default;
+
+  bool wildcard_ = true;
+  ConstrainedPattern pattern_;
+};
+
+/// \brief One tableau row: LHS cells (one per LHS attribute) and RHS cells.
+struct TableauRow {
+  std::vector<TableauCell> lhs;
+  std::vector<TableauCell> rhs;
+
+  /// A row is *constant* when every RHS cell is a constant pattern, and
+  /// *variable* when at least one RHS cell is the wildcard.
+  bool IsConstantRow() const;
+  bool IsVariableRow() const;
+
+  bool operator==(const TableauRow& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+};
+
+/// \brief An ordered list of tableau rows.
+class Tableau {
+ public:
+  Tableau() = default;
+
+  void AddRow(TableauRow row) { rows_.push_back(std::move(row)); }
+  const std::vector<TableauRow>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const TableauRow& row(size_t i) const { return rows_.at(i); }
+
+  /// Validates shape: every row has `n_lhs` LHS cells and `n_rhs` RHS cells,
+  /// and no row is entirely wildcards on the LHS.
+  Status Validate(size_t n_lhs, size_t n_rhs) const;
+
+  bool operator==(const Tableau& other) const { return rows_ == other.rows_; }
+
+ private:
+  std::vector<TableauRow> rows_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_PFD_TABLEAU_H_

@@ -1,0 +1,82 @@
+#include "relation/relation.h"
+
+#include "util/text_table.h"
+
+namespace anmat {
+
+Relation::Relation(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+}
+
+Status Relation::AppendRow(std::vector<std::string> cells) {
+  if (cells.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(cells.size()) +
+        " does not match schema width " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (size_t c = 0; c < cells.size(); ++c) {
+    columns_[c].push_back(std::move(cells[c]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<const std::vector<std::string>*> Relation::ColumnByName(
+    std::string_view name) const {
+  ANMAT_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(name));
+  return &columns_[idx];
+}
+
+std::vector<std::string> Relation::Row(RowId row) const {
+  std::vector<std::string> out;
+  out.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out.push_back(columns_[c][row]);
+  }
+  return out;
+}
+
+void Relation::InferColumnTypes() {
+  for (size_t c = 0; c < num_columns(); ++c) {
+    ValueType type = ValueType::kNull;
+    for (const std::string& cell : columns_[c]) {
+      type = UnifyValueTypes(type, InferValueType(cell));
+      if (type == ValueType::kText) break;  // already at the top
+    }
+    schema_.SetColumnType(c, type);
+  }
+}
+
+Result<Relation> Relation::Slice(RowId begin, RowId end) const {
+  if (begin > end || end > num_rows_) {
+    return Status::OutOfRange("invalid slice [" + std::to_string(begin) +
+                              ", " + std::to_string(end) + ") of " +
+                              std::to_string(num_rows_) + " rows");
+  }
+  Relation out(schema_);
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out.columns_[c].assign(columns_[c].begin() + begin,
+                           columns_[c].begin() + end);
+  }
+  out.num_rows_ = end - begin;
+  return out;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::vector<std::string> header;
+  header.reserve(num_columns());
+  for (const ColumnSpec& col : schema_.columns()) header.push_back(col.name);
+  TextTable table(std::move(header));
+  const size_t shown = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < shown; ++r) {
+    table.AddRow(Row(static_cast<RowId>(r)));
+  }
+  std::string out = table.Render();
+  if (shown < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace anmat

@@ -1,0 +1,95 @@
+#ifndef ANMAT_RELATION_RELATION_H_
+#define ANMAT_RELATION_RELATION_H_
+
+/// \file relation.h
+/// In-memory relational tables.
+///
+/// `Relation` stores cells column-major (one `std::vector<std::string>` per
+/// column), which matches ANMAT's access pattern: discovery and detection
+/// stream entire columns (or column pairs), not whole rows.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// Row identifier. Rows keep their insertion index for the lifetime of the
+/// relation; violations reference cells as (row, column) pairs.
+using RowId = uint32_t;
+
+/// \brief A column-major table of string cells with a typed schema.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return schema_.num_columns(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Appends a row; the row width must equal the schema width.
+  Status AppendRow(std::vector<std::string> cells);
+
+  /// Cell accessors (bounds-checked in debug builds).
+  const std::string& cell(RowId row, size_t col) const {
+    return columns_[col][row];
+  }
+  void set_cell(RowId row, size_t col, std::string value) {
+    columns_[col][row] = std::move(value);
+  }
+
+  /// Whole column view.
+  const std::vector<std::string>& column(size_t col) const {
+    return columns_.at(col);
+  }
+
+  /// Column by name.
+  Result<const std::vector<std::string>*> ColumnByName(
+      std::string_view name) const;
+
+  /// Materializes row `row` as a vector of cells.
+  std::vector<std::string> Row(RowId row) const;
+
+  /// Refreshes the schema's column types from the current data: the type of
+  /// each column is the least upper bound of its cells' inferred types.
+  void InferColumnTypes();
+
+  /// A new relation with the same schema containing rows [begin, end).
+  Result<Relation> Slice(RowId begin, RowId end) const;
+
+  /// Pretty-prints the first `max_rows` rows as an ASCII table.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::string>> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// \brief Incremental builder for `Relation` with schema checking.
+class RelationBuilder {
+ public:
+  explicit RelationBuilder(Schema schema) : relation_(std::move(schema)) {}
+
+  Status AddRow(std::vector<std::string> cells) {
+    return relation_.AppendRow(std::move(cells));
+  }
+
+  /// Finalizes the relation, inferring column types.
+  Relation Build() {
+    relation_.InferColumnTypes();
+    return std::move(relation_);
+  }
+
+ private:
+  Relation relation_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_RELATION_RELATION_H_

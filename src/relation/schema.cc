@@ -1,0 +1,64 @@
+#include "relation/schema.h"
+
+#include <unordered_set>
+
+namespace anmat {
+
+Result<Schema> Schema::Make(std::vector<ColumnSpec> columns) {
+  std::unordered_set<std::string> seen;
+  for (const ColumnSpec& col : columns) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("schema column with empty name");
+    }
+    if (!seen.insert(col.name).second) {
+      return Status::AlreadyExists("duplicate schema column: " + col.name);
+    }
+  }
+  Schema s;
+  s.columns_ = std::move(columns);
+  return s;
+}
+
+Result<Schema> Schema::MakeText(const std::vector<std::string>& names) {
+  std::vector<ColumnSpec> cols;
+  cols.reserve(names.size());
+  for (const std::string& n : names) {
+    cols.push_back(ColumnSpec{n, ValueType::kText});
+  }
+  return Make(std::move(cols));
+}
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no such column: " + std::string(name));
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return IndexOf(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ':';
+    out += ValueTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace anmat

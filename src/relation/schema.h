@@ -1,0 +1,55 @@
+#ifndef ANMAT_RELATION_SCHEMA_H_
+#define ANMAT_RELATION_SCHEMA_H_
+
+/// \file schema.h
+/// Relation schemas: ordered, uniquely-named, typed columns.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relation/value.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief A single column definition.
+struct ColumnSpec {
+  std::string name;
+  ValueType type = ValueType::kText;
+};
+
+/// \brief An ordered list of uniquely-named columns.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema, rejecting duplicate or empty column names.
+  static Result<Schema> Make(std::vector<ColumnSpec> columns);
+
+  /// Convenience: all-text schema from names alone.
+  static Result<Schema> MakeText(const std::vector<std::string>& names);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_.at(i); }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> IndexOf(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  /// Replaces the inferred type of column `i`.
+  void SetColumnType(size_t i, ValueType type) { columns_.at(i).type = type; }
+
+  /// "name:type, name:type, ..." — for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_RELATION_SCHEMA_H_

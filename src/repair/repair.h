@@ -1,0 +1,72 @@
+#ifndef ANMAT_REPAIR_REPAIR_H_
+#define ANMAT_REPAIR_REPAIR_H_
+
+/// \file repair.h
+/// Repair engine on top of PFD detection.
+///
+/// §3 of the paper attaches a repair semantics to constant violations: "if
+/// we assume that the LHS value is correct then the RHS could be repaired
+/// by changing it to tp[B]"; variable violations analogously suggest the
+/// equivalence group's majority RHS. This module turns those suggestions
+/// into an iterative cleaning loop:
+///
+///   repeat up to `max_passes` times:
+///     detect violations → apply confident suggested repairs → re-detect
+///
+/// A repair is *confident* when the violation's suggestion is backed by at
+/// least `min_witness` agreeing tuples (for variable rows) or is a constant
+/// rule's RHS (always confident under the paper's LHS-is-correct
+/// assumption). Conflicting suggestions for the same cell within one pass
+/// are dropped (the cell is left for the user), so the loop never
+/// oscillates on a genuinely ambiguous cell. The fixpoint loop terminates
+/// because each pass either strictly reduces the number of violating cells
+/// or stops.
+
+#include <cstddef>
+#include <vector>
+
+#include "detect/detector.h"
+#include "pfd/pfd.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief One applied repair (for auditing / undo).
+struct AppliedRepair {
+  CellRef cell;
+  std::string before;
+  std::string after;
+  size_t pass = 0;        ///< which repair pass applied it
+  size_t pfd_index = 0;   ///< rule that justified it
+};
+
+/// \brief Repair options.
+struct RepairOptions {
+  DetectorOptions detector;
+  size_t max_passes = 4;
+  /// Variable-row repairs need a majority group of at least this size.
+  size_t min_witness = 2;
+  /// When false, only constant-rule repairs are applied (the paper's
+  /// explicitly stated case).
+  bool apply_variable_repairs = true;
+};
+
+/// \brief Outcome of a repair run.
+struct RepairResult {
+  std::vector<AppliedRepair> repairs;
+  size_t passes = 0;
+  /// Violations remaining after the final pass (ambiguous or unrepairable).
+  size_t remaining_violations = 0;
+  /// Cells with conflicting suggestions, left untouched.
+  std::vector<CellRef> conflicted_cells;
+};
+
+/// \brief Iteratively repairs `relation` in place using `pfds`.
+Result<RepairResult> RepairErrors(Relation* relation,
+                                  const std::vector<Pfd>& pfds,
+                                  const RepairOptions& options = {});
+
+}  // namespace anmat
+
+#endif  // ANMAT_REPAIR_REPAIR_H_

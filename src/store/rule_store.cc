@@ -1,0 +1,178 @@
+#include "store/rule_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+JsonValue CellToJson(const TableauCell& cell) {
+  JsonValue obj = JsonValue::Object();
+  if (cell.is_wildcard()) {
+    obj.Set("wildcard", JsonValue::Bool(true));
+  } else {
+    obj.Set("pattern", JsonValue::String(cell.pattern().ToString()));
+  }
+  return obj;
+}
+
+Result<TableauCell> CellFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("tableau cell must be a JSON object");
+  }
+  const JsonValue* wildcard = json.Get("wildcard");
+  if (wildcard != nullptr && wildcard->is_bool() && wildcard->as_bool()) {
+    return TableauCell::Wildcard();
+  }
+  ANMAT_ASSIGN_OR_RETURN(std::string text, json.GetString("pattern"));
+  ANMAT_ASSIGN_OR_RETURN(ConstrainedPattern p, ParseConstrainedPattern(text));
+  return TableauCell::Of(std::move(p));
+}
+
+JsonValue AttrsToJson(const std::vector<std::string>& attrs) {
+  JsonValue arr = JsonValue::Array();
+  for (const std::string& a : attrs) arr.push_back(JsonValue::String(a));
+  return arr;
+}
+
+Result<std::vector<std::string>> AttrsFromJson(const JsonValue* arr,
+                                               const char* what) {
+  if (arr == nullptr || !arr->is_array()) {
+    return Status::ParseError(std::string("missing attribute list: ") + what);
+  }
+  std::vector<std::string> out;
+  for (size_t i = 0; i < arr->size(); ++i) {
+    if (!arr->at(i).is_string()) {
+      return Status::ParseError(std::string("attribute is not a string: ") +
+                                what);
+    }
+    out.push_back(arr->at(i).as_string());
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonValue PfdToJson(const Pfd& pfd) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("table", JsonValue::String(pfd.table()));
+  obj.Set("lhs", AttrsToJson(pfd.lhs_attrs()));
+  obj.Set("rhs", AttrsToJson(pfd.rhs_attrs()));
+  JsonValue rows = JsonValue::Array();
+  for (const TableauRow& row : pfd.tableau().rows()) {
+    JsonValue row_obj = JsonValue::Object();
+    JsonValue lhs = JsonValue::Array();
+    for (const TableauCell& c : row.lhs) lhs.push_back(CellToJson(c));
+    JsonValue rhs = JsonValue::Array();
+    for (const TableauCell& c : row.rhs) rhs.push_back(CellToJson(c));
+    row_obj.Set("lhs", std::move(lhs));
+    row_obj.Set("rhs", std::move(rhs));
+    rows.push_back(std::move(row_obj));
+  }
+  obj.Set("tableau", std::move(rows));
+  return obj;
+}
+
+Result<Pfd> PfdFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("PFD must be a JSON object");
+  }
+  ANMAT_ASSIGN_OR_RETURN(std::string table, json.GetString("table"));
+  ANMAT_ASSIGN_OR_RETURN(std::vector<std::string> lhs,
+                         AttrsFromJson(json.Get("lhs"), "lhs"));
+  ANMAT_ASSIGN_OR_RETURN(std::vector<std::string> rhs,
+                         AttrsFromJson(json.Get("rhs"), "rhs"));
+  const JsonValue* rows = json.Get("tableau");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::ParseError("missing tableau array");
+  }
+  Tableau tableau;
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const JsonValue& row_json = rows->at(i);
+    const JsonValue* lhs_cells = row_json.Get("lhs");
+    const JsonValue* rhs_cells = row_json.Get("rhs");
+    if (lhs_cells == nullptr || !lhs_cells->is_array() ||
+        rhs_cells == nullptr || !rhs_cells->is_array()) {
+      return Status::ParseError("tableau row " + std::to_string(i) +
+                                " missing lhs/rhs arrays");
+    }
+    TableauRow row;
+    for (size_t j = 0; j < lhs_cells->size(); ++j) {
+      ANMAT_ASSIGN_OR_RETURN(TableauCell c, CellFromJson(lhs_cells->at(j)));
+      row.lhs.push_back(std::move(c));
+    }
+    for (size_t j = 0; j < rhs_cells->size(); ++j) {
+      ANMAT_ASSIGN_OR_RETURN(TableauCell c, CellFromJson(rhs_cells->at(j)));
+      row.rhs.push_back(std::move(c));
+    }
+    tableau.AddRow(std::move(row));
+  }
+  return Pfd(std::move(table), std::move(lhs), std::move(rhs),
+             std::move(tableau));
+}
+
+std::string SerializeRuleSet(const std::vector<Pfd>& pfds) {
+  JsonValue root = JsonValue::Object();
+  root.Set("format", JsonValue::String("anmat-rules"));
+  root.Set("version", JsonValue::Int(kFormatVersion));
+  JsonValue arr = JsonValue::Array();
+  for (const Pfd& p : pfds) arr.push_back(PfdToJson(p));
+  root.Set("rules", std::move(arr));
+  return root.DumpPretty();
+}
+
+Result<std::vector<Pfd>> ParseRuleSet(std::string_view text) {
+  ANMAT_ASSIGN_OR_RETURN(JsonValue root, ParseJson(text));
+  if (!root.is_object()) {
+    return Status::ParseError("rule set must be a JSON object");
+  }
+  ANMAT_ASSIGN_OR_RETURN(std::string format, root.GetString("format"));
+  if (format != "anmat-rules") {
+    return Status::ParseError("unknown rule file format: " + format);
+  }
+  ANMAT_ASSIGN_OR_RETURN(int64_t version, root.GetInt("version"));
+  if (version != kFormatVersion) {
+    return Status::ParseError("unsupported rule file version: " +
+                              std::to_string(version));
+  }
+  const JsonValue* rules = root.Get("rules");
+  if (rules == nullptr || !rules->is_array()) {
+    return Status::ParseError("missing rules array");
+  }
+  std::vector<Pfd> out;
+  for (size_t i = 0; i < rules->size(); ++i) {
+    ANMAT_ASSIGN_OR_RETURN(Pfd p, PfdFromJson(rules->at(i)));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+Status RuleStore::Save(const std::vector<Pfd>& pfds) const {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp);
+    out << SerializeRuleSet(pfds);
+    if (!out) return Status::IoError("error writing: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " to " + path_);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Pfd>> RuleStore::Load() const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::NotFound("rule file not found: " + path_);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseRuleSet(buffer.str());
+}
+
+}  // namespace anmat

@@ -1,0 +1,54 @@
+#ifndef ANMAT_STORE_RULE_STORE_H_
+#define ANMAT_STORE_RULE_STORE_H_
+
+/// \file rule_store.h
+/// Persistence of discovered PFDs.
+///
+/// The original ANMAT demo stores profiling output and discovered PFDs in
+/// MongoDB; this repository substitutes a JSON file per project (DESIGN.md
+/// §2). PFDs round-trip exactly: patterns are serialized in their textual
+/// syntax and re-parsed on load, so a stored rule set is also human-editable
+/// (the demo lets users confirm/reject rules — editing the JSON is our
+/// equivalent).
+
+#include <string>
+#include <vector>
+
+#include "pfd/pfd.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief Serializes one PFD to a JSON object.
+JsonValue PfdToJson(const Pfd& pfd);
+
+/// \brief Parses one PFD from a JSON object.
+Result<Pfd> PfdFromJson(const JsonValue& json);
+
+/// \brief Serializes a rule set (with a format-version envelope).
+std::string SerializeRuleSet(const std::vector<Pfd>& pfds);
+
+/// \brief Parses a rule set; rejects unknown format versions.
+Result<std::vector<Pfd>> ParseRuleSet(std::string_view text);
+
+/// \brief File-backed store for a project's confirmed rules.
+class RuleStore {
+ public:
+  explicit RuleStore(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  /// Writes the rule set to `path()` (atomic via temp-file rename).
+  Status Save(const std::vector<Pfd>& pfds) const;
+
+  /// Loads the rule set; NotFound when the file does not exist.
+  Result<std::vector<Pfd>> Load() const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_STORE_RULE_STORE_H_

@@ -1,0 +1,71 @@
+#ifndef ANMAT_UTIL_RANDOM_H_
+#define ANMAT_UTIL_RANDOM_H_
+
+/// \file random.h
+/// Deterministic pseudo-random number generation.
+///
+/// All synthetic dataset generation and error injection in this repository
+/// flows through `Rng` so that experiments are exactly reproducible from a
+/// seed (the paper's datasets are private; see DESIGN.md §2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anmat {
+
+/// \brief A small, fast, deterministic PRNG (xoshiro256**).
+///
+/// Not cryptographically secure; statistical quality is more than sufficient
+/// for workload generation.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed yields the same sequence on every
+  /// platform.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability `p`.
+  bool NextBool(double p = 0.5);
+
+  /// Uniformly chosen element of `items` (must be non-empty).
+  template <typename T>
+  const T& Choose(const std::vector<T>& items) {
+    return items[NextBelow(items.size())];
+  }
+
+  /// Index drawn from unnormalized `weights` (must be non-empty; at least one
+  /// weight positive).
+  size_t ChooseWeighted(const std::vector<double>& weights);
+
+  /// Random string of `length` characters drawn from `alphabet`.
+  std::string NextString(size_t length, std::string_view alphabet);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = NextBelow(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_UTIL_RANDOM_H_

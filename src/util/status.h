@@ -1,0 +1,190 @@
+#ifndef ANMAT_UTIL_STATUS_H_
+#define ANMAT_UTIL_STATUS_H_
+
+/// \file status.h
+/// Error handling primitives for the ANMAT library.
+///
+/// ANMAT does not throw exceptions across public API boundaries. Fallible
+/// operations return `Status` (no payload) or `Result<T>` (payload or error),
+/// in the style of Apache Arrow. The `ANMAT_RETURN_NOT_OK` and
+/// `ANMAT_ASSIGN_OR_RETURN` macros propagate errors concisely inside the
+/// library implementation.
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace anmat {
+
+/// Machine-readable category of an error carried by `Status`.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< caller supplied an unusable argument
+  kParseError = 2,       ///< malformed input text (CSV, pattern, JSON, ...)
+  kNotFound = 3,         ///< a named entity does not exist
+  kOutOfRange = 4,       ///< index or value outside the permitted range
+  kAlreadyExists = 5,    ///< uniqueness constraint violated
+  kIoError = 6,          ///< filesystem / stream failure
+  kNotImplemented = 7,   ///< feature intentionally unsupported
+  kInternal = 8,         ///< invariant breach inside the library
+};
+
+/// \brief Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Success-or-error outcome of an operation, without a payload.
+///
+/// `Status` is cheap to copy in the success case (a single pointer test) and
+/// carries a code plus message otherwise. It is final and immutable.
+class Status {
+ public:
+  /// Constructs an OK (success) status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // nullptr <=> OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// Accessing the value of an errored `Result` aborts in debug builds; always
+/// check `ok()` (or use `ANMAT_ASSIGN_OR_RETURN`) first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (error).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok() && "Result::value() on errored Result");
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() on errored Result");
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() on errored Result");
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+// Concatenation helpers used by the macros below to build unique names.
+#define ANMAT_CONCAT_IMPL(x, y) x##y
+#define ANMAT_CONCAT(x, y) ANMAT_CONCAT_IMPL(x, y)
+}  // namespace internal
+
+/// Propagates a non-OK `Status` to the caller.
+#define ANMAT_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::anmat::Status _anmat_status = (expr);    \
+    if (!_anmat_status.ok()) return _anmat_status; \
+  } while (false)
+
+/// Evaluates `rexpr` (a `Result<T>`), propagating errors; otherwise binds the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+/// `ANMAT_ASSIGN_OR_RETURN(auto rel, ReadCsv(path));`
+#define ANMAT_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  ANMAT_ASSIGN_OR_RETURN_IMPL(                                    \
+      ANMAT_CONCAT(_anmat_result_, __LINE__), lhs, rexpr)
+
+#define ANMAT_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (!result_name.ok()) return result_name.status();        \
+  lhs = std::move(result_name).value()
+
+}  // namespace anmat
+
+#endif  // ANMAT_UTIL_STATUS_H_

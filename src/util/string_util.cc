@@ -1,0 +1,169 @@
+#include "util/string_util.h"
+
+#include <cstdlib>
+
+namespace anmat {
+
+std::string_view TrimView(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && IsSpace(s[begin])) ++begin;
+  while (end > begin && IsSpace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string Trim(std::string_view s) { return std::string(TrimView(s)); }
+
+std::string ToLowerCopy(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = ToLower(c);
+  return out;
+}
+
+std::string ToUpperCopy(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = ToUpper(c);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpace(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && !IsSpace(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool ContainsSubstring(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsDigit(c)) return false;
+  }
+  return true;
+}
+
+bool LooksNumeric(std::string_view s) {
+  s = TrimView(s);
+  if (s.empty()) return false;
+  size_t i = 0;
+  if (s[i] == '+' || s[i] == '-') ++i;
+  bool saw_digit = false;
+  bool saw_dot = false;
+  for (; i < s.size(); ++i) {
+    if (IsDigit(s[i])) {
+      saw_digit = true;
+    } else if (s[i] == '.' && !saw_dot) {
+      saw_dot = true;
+    } else if ((s[i] == 'e' || s[i] == 'E') && saw_digit && i + 1 < s.size()) {
+      // Exponent part: [+-]?digits to the end.
+      ++i;
+      if (s[i] == '+' || s[i] == '-') ++i;
+      if (i >= s.size()) return false;
+      for (; i < s.size(); ++i) {
+        if (!IsDigit(s[i])) return false;
+      }
+      return true;
+    } else {
+      return false;
+    }
+  }
+  return saw_digit;
+}
+
+std::string EscapeForDisplay(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\x";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int64_t ParseNonNegativeInt(std::string_view s) {
+  if (s.empty() || s.size() > 18) return -1;
+  int64_t value = 0;
+  for (char c : s) {
+    if (!IsDigit(c)) return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  // 64-bit variant of boost::hash_combine with a golden-ratio constant.
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace anmat

@@ -1,0 +1,80 @@
+#ifndef ANMAT_UTIL_STRING_UTIL_H_
+#define ANMAT_UTIL_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small, dependency-free string helpers used across the library.
+///
+/// All functions operate on ASCII byte strings: ANMAT's pattern alphabet
+/// (Figure 1 of the paper) is defined over ASCII upper/lower/digit/symbol
+/// classes, so the whole pipeline treats multi-byte sequences as opaque
+/// symbol characters.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anmat {
+
+/// \brief Character classification matching the paper's generalization tree.
+///
+/// These are locale-independent replacements for <cctype> (whose behaviour
+/// depends on the global locale and has UB for negative chars).
+inline bool IsUpper(char c) { return c >= 'A' && c <= 'Z'; }
+inline bool IsLower(char c) { return c >= 'a' && c <= 'z'; }
+inline bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+inline bool IsAlpha(char c) { return IsUpper(c) || IsLower(c); }
+inline bool IsAlnum(char c) { return IsAlpha(c) || IsDigit(c); }
+/// Everything that is not a letter or digit (space, punctuation, control).
+inline bool IsSymbol(char c) { return !IsAlnum(c); }
+inline bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+inline char ToLower(char c) { return IsUpper(c) ? char(c - 'A' + 'a') : c; }
+inline char ToUpper(char c) { return IsLower(c) ? char(c - 'a' + 'A') : c; }
+
+/// \brief Removes leading and trailing whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// \brief Lower-cases an ASCII string.
+std::string ToLowerCopy(std::string_view s);
+std::string ToUpperCopy(std::string_view s);
+
+/// \brief Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits `s` on runs of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool ContainsSubstring(std::string_view s, std::string_view needle);
+
+/// \brief True if every character of `s` is a digit (and `s` is non-empty).
+bool IsAllDigits(std::string_view s);
+/// \brief True if `s` parses fully as a decimal number (int or float),
+/// optionally signed. Used by the profiler to prune pure-numeric columns.
+bool LooksNumeric(std::string_view s);
+
+/// \brief Escapes control characters and quotes for diagnostics.
+std::string EscapeForDisplay(std::string_view s);
+
+/// \brief Parses a non-negative integer; returns -1 on failure/overflow.
+int64_t ParseNonNegativeInt(std::string_view s);
+
+/// \brief FNV-1a 64-bit hash; deterministic across platforms/runs (unlike
+/// std::hash), so discovery output ordering is stable.
+uint64_t Fnv1a64(std::string_view s);
+
+/// \brief Combines two hash values (boost-style mix).
+uint64_t HashCombine(uint64_t seed, uint64_t v);
+
+}  // namespace anmat
+
+#endif  // ANMAT_UTIL_STRING_UTIL_H_

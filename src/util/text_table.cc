@@ -1,0 +1,112 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+
+namespace anmat {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::SetAlignments(std::vector<Align> aligns) {
+  aligns_ = std::move(aligns);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void TextTable::AddSeparator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+size_t TextTable::ColumnCount() const {
+  size_t n = header_.size();
+  for (const Row& r : rows_) n = std::max(n, r.cells.size());
+  return n;
+}
+
+std::vector<size_t> TextTable::ColumnWidths(size_t n_cols) const {
+  std::vector<size_t> widths(n_cols, 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = std::max(widths[i], header_[i].size());
+  }
+  for (const Row& r : rows_) {
+    for (size_t i = 0; i < r.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], r.cells[i].size());
+    }
+  }
+  return widths;
+}
+
+namespace {
+
+void AppendBorder(std::string* out, const std::vector<size_t>& widths) {
+  out->push_back('+');
+  for (size_t w : widths) {
+    out->append(w + 2, '-');
+    out->push_back('+');
+  }
+  out->push_back('\n');
+}
+
+void AppendCells(std::string* out, const std::vector<std::string>& cells,
+                 const std::vector<size_t>& widths,
+                 const std::vector<Align>& aligns) {
+  out->push_back('|');
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const std::string cell = i < cells.size() ? cells[i] : std::string();
+    const Align align = i < aligns.size() ? aligns[i] : Align::kLeft;
+    const size_t pad = widths[i] - cell.size();
+    out->push_back(' ');
+    if (align == Align::kRight) out->append(pad, ' ');
+    out->append(cell);
+    if (align == Align::kLeft) out->append(pad, ' ');
+    out->append(" |");
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string TextTable::Render() const {
+  const size_t n_cols = ColumnCount();
+  if (n_cols == 0) return "";
+  const std::vector<size_t> widths = ColumnWidths(n_cols);
+
+  std::string out;
+  AppendBorder(&out, widths);
+  if (!header_.empty()) {
+    AppendCells(&out, header_, widths, aligns_);
+    AppendBorder(&out, widths);
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      AppendBorder(&out, widths);
+    } else {
+      AppendCells(&out, r.cells, widths, aligns_);
+    }
+  }
+  AppendBorder(&out, widths);
+  return out;
+}
+
+std::string RenderKeyValueBlock(
+    const std::vector<std::pair<std::string, std::string>>& items) {
+  size_t key_width = 0;
+  for (const auto& [k, v] : items) key_width = std::max(key_width, k.size());
+  std::string out;
+  for (const auto& [k, v] : items) {
+    out.append(k);
+    out.append(key_width - k.size(), ' ');
+    out.append(": ");
+    out.append(v);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace anmat

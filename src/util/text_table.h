@@ -1,0 +1,72 @@
+#ifndef ANMAT_UTIL_TEXT_TABLE_H_
+#define ANMAT_UTIL_TEXT_TABLE_H_
+
+/// \file text_table.h
+/// ASCII table renderer used by the report views and the benchmark printers.
+///
+/// The ANMAT demo paper presents its output (profiling view, discovered-PFD
+/// tableaux, violation lists — Figures 3-5 and Table 3) as tables; this is
+/// the text substitute for the paper's GUI.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anmat {
+
+/// \brief Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// \brief Builds and renders a bordered, column-aligned ASCII table.
+///
+/// Usage:
+/// \code
+///   TextTable t({"zip", "city"});
+///   t.AddRow({"90001", "Los Angeles"});
+///   std::cout << t.Render();
+/// \endcode
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Sets the header row (column titles).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Sets per-column alignment; missing entries default to left.
+  void SetAlignments(std::vector<Align> aligns);
+
+  /// Appends a data row. Rows shorter than the widest row are padded with
+  /// empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line between the previous and next row.
+  void AddSeparator();
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with `+-|` borders. Returns "" for an empty table
+  /// with no header.
+  std::string Render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  size_t ColumnCount() const;
+  std::vector<size_t> ColumnWidths(size_t n_cols) const;
+
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// \brief Renders a simple "key: value" block, aligned on the colon.
+std::string RenderKeyValueBlock(
+    const std::vector<std::pair<std::string, std::string>>& items);
+
+}  // namespace anmat
+
+#endif  // ANMAT_UTIL_TEXT_TABLE_H_

@@ -1,0 +1,228 @@
+#include "baseline/baseline_detector.h"
+#include "baseline/cfd_miner.h"
+#include "baseline/fd_miner.h"
+#include "baseline/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace anmat {
+namespace {
+
+Relation MakeRelation(const std::vector<std::vector<std::string>>& rows,
+                      const std::vector<std::string>& cols) {
+  RelationBuilder builder(Schema::MakeText(cols).value());
+  for (const auto& r : rows) EXPECT_TRUE(builder.AddRow(r).ok());
+  return builder.Build();
+}
+
+TEST(PartitionTest, StrippedPartitionDropsSingletons) {
+  Relation rel = MakeRelation(
+      {{"a"}, {"a"}, {"b"}, {"c"}, {"c"}, {"c"}}, {"v"});
+  Partition p = Partition::ByColumn(rel, 0);
+  ASSERT_EQ(p.num_classes(), 2u);  // "b" singleton dropped
+  EXPECT_EQ(p.retained_rows(), 5u);
+}
+
+TEST(PartitionTest, RefineSplitsClasses) {
+  Relation rel = MakeRelation({{"x", "1"},
+                               {"x", "1"},
+                               {"x", "2"},
+                               {"x", "2"},
+                               {"y", "1"},
+                               {"y", "1"}},
+                              {"a", "b"});
+  Partition pa = Partition::ByColumn(rel, 0);
+  Partition pb = Partition::ByColumn(rel, 1);
+  Partition product = pa.Refine(pb, rel.num_rows());
+  // Classes: {0,1} (x,1), {2,3} (x,2), {4,5} (y,1).
+  EXPECT_EQ(product.num_classes(), 3u);
+  EXPECT_EQ(product.retained_rows(), 6u);
+}
+
+TEST(PartitionTest, ViolationCountZeroWhenFdHolds) {
+  Relation rel = MakeRelation(
+      {{"90001", "LA"}, {"90001", "LA"}, {"10001", "NY"}, {"10001", "NY"}},
+      {"zip", "city"});
+  Partition zip = Partition::ByColumn(rel, 0);
+  Partition city = Partition::ByColumn(rel, 1);
+  EXPECT_EQ(zip.ViolationCount(city, rel.num_rows()), 0u);
+}
+
+TEST(PartitionTest, ViolationCountCountsMinority) {
+  Relation rel = MakeRelation(
+      {{"k", "A"}, {"k", "A"}, {"k", "B"}, {"j", "C"}, {"j", "C"}},
+      {"lhs", "rhs"});
+  Partition lhs = Partition::ByColumn(rel, 0);
+  Partition rhs = Partition::ByColumn(rel, 1);
+  EXPECT_EQ(lhs.ViolationCount(rhs, rel.num_rows()), 1u);
+}
+
+TEST(PartitionTest, SingletonRhsValuesHandled) {
+  // All rhs values distinct: each lhs-group keeps one row.
+  Relation rel = MakeRelation(
+      {{"k", "A"}, {"k", "B"}, {"k", "C"}}, {"lhs", "rhs"});
+  Partition lhs = Partition::ByColumn(rel, 0);
+  Partition rhs = Partition::ByColumn(rel, 1);
+  EXPECT_EQ(lhs.ViolationCount(rhs, rel.num_rows()), 2u);
+}
+
+TEST(FdMinerTest, FindsExactFd) {
+  Relation rel = MakeRelation({{"90001", "LA"},
+                               {"90001", "LA"},
+                               {"10001", "NY"},
+                               {"10001", "NY"}},
+                              {"zip", "city"});
+  FdMinerOptions opts;
+  opts.skip_key_lhs = false;
+  std::vector<DiscoveredFd> fds = MineFds(rel, opts);
+  bool zip_to_city = false;
+  for (const DiscoveredFd& fd : fds) {
+    if (fd.lhs == "zip" && fd.rhs == "city") {
+      zip_to_city = true;
+      EXPECT_EQ(fd.violations, 0u);
+    }
+  }
+  EXPECT_TRUE(zip_to_city);
+}
+
+TEST(FdMinerTest, RejectsBrokenFdWhenStrict) {
+  Relation rel = MakeRelation(
+      {{"k", "A"}, {"k", "B"}, {"j", "C"}, {"j", "C"}}, {"lhs", "rhs"});
+  FdMinerOptions opts;
+  opts.skip_key_lhs = false;
+  opts.allowed_violation_ratio = 0.0;
+  std::vector<DiscoveredFd> fds = MineFds(rel, opts);
+  for (const DiscoveredFd& fd : fds) {
+    EXPECT_FALSE(fd.lhs == "lhs" && fd.rhs == "rhs");
+  }
+}
+
+TEST(FdMinerTest, ApproximateToleranceAccepts) {
+  Relation rel = MakeRelation({{"k", "A"},
+                               {"k", "A"},
+                               {"k", "A"},
+                               {"k", "B"},  // 1 violation in 4 rows = 0.25
+                               {"j", "C"},
+                               {"j", "C"}},
+                              {"lhs", "rhs"});
+  FdMinerOptions opts;
+  opts.skip_key_lhs = false;
+  opts.allowed_violation_ratio = 0.2;  // 1/6 ≈ 0.167 allowed
+  std::vector<DiscoveredFd> fds = MineFds(rel, opts);
+  bool found = false;
+  for (const DiscoveredFd& fd : fds) {
+    if (fd.lhs == "lhs" && fd.rhs == "rhs") {
+      found = true;
+      EXPECT_EQ(fd.violations, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FdMinerTest, SkipsNearKeyLhsByDefault) {
+  Relation rel = MakeRelation(
+      {{"u1", "x"}, {"u2", "x"}, {"u3", "y"}, {"u4", "y"}}, {"id", "v"});
+  std::vector<DiscoveredFd> fds = MineFds(rel);
+  for (const DiscoveredFd& fd : fds) {
+    EXPECT_NE(fd.lhs, "id");
+  }
+}
+
+TEST(FdMinerTest, EmptyRelation) {
+  Relation rel(Schema::MakeText({"a", "b"}).value());
+  EXPECT_TRUE(MineFds(rel).empty());
+}
+
+TEST(CfdMinerTest, FindsConstantRules) {
+  Relation rel = MakeRelation({{"John Charles", "M"},
+                               {"John Charles", "M"},
+                               {"Susan Orlean", "F"},
+                               {"Susan Orlean", "F"}},
+                              {"name", "gender"});
+  CfdMinerOptions opts;
+  opts.min_support = 2;
+  std::vector<ConstantCfd> cfds = MineConstantCfds(rel, opts);
+  bool found = false;
+  for (const ConstantCfd& c : cfds) {
+    if (c.lhs_col == 0 && c.lhs_value == "John Charles") {
+      found = true;
+      EXPECT_EQ(c.rhs_value, "M");
+      EXPECT_EQ(c.support, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CfdMinerTest, CannotGeneralizeAcrossDistinctValues) {
+  // The PFD-vs-CFD gap: "John Charles" and "John Bosco" are distinct CFD
+  // constants; with min_support=2 neither reaches support.
+  Relation rel = MakeRelation({{"John Charles", "M"},
+                               {"John Bosco", "M"},
+                               {"Susan Orlean", "F"},
+                               {"Susan Boyle", "F"}},
+                              {"name", "gender"});
+  CfdMinerOptions opts;
+  opts.min_support = 2;
+  std::vector<ConstantCfd> cfds = MineConstantCfds(rel, opts);
+  for (const ConstantCfd& c : cfds) {
+    EXPECT_NE(c.lhs_col, 0u);  // no name-keyed rule possible
+  }
+}
+
+TEST(CfdMinerTest, ViolationToleranceAndCap) {
+  Relation rel = MakeRelation({{"k", "A"},
+                               {"k", "A"},
+                               {"k", "A"},
+                               {"k", "A"},
+                               {"k", "A"},
+                               {"k", "A"},
+                               {"k", "A"},
+                               {"k", "A"},
+                               {"k", "A"},
+                               {"k", "B"}},
+                              {"lhs", "rhs"});
+  CfdMinerOptions opts;
+  opts.allowed_violation_ratio = 0.1;
+  std::vector<ConstantCfd> cfds = MineConstantCfds(rel, opts);
+  bool found = false;
+  for (const ConstantCfd& c : cfds) {
+    if (c.lhs_col == 0 && c.lhs_value == "k") {
+      found = true;
+      EXPECT_EQ(c.rhs_value, "A");
+      EXPECT_EQ(c.agreeing, 9u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BaselineDetectorTest, FdViolationsFlagMinority) {
+  Relation rel = MakeRelation(
+      {{"k", "A"}, {"k", "A"}, {"k", "B"}, {"j", "C"}}, {"lhs", "rhs"});
+  DiscoveredFd fd{"lhs", "rhs", 0, 1, 1, 0.25};
+  std::vector<Violation> v = DetectFdViolations(rel, fd).value();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].suspect.row, 2u);
+  EXPECT_EQ(v[0].suggested_repair, "A");
+  EXPECT_EQ(v[0].cells.size(), 4u);
+}
+
+TEST(BaselineDetectorTest, CfdViolations) {
+  Relation rel = MakeRelation(
+      {{"k", "A"}, {"k", "B"}, {"j", "A"}}, {"lhs", "rhs"});
+  ConstantCfd cfd{0, 1, "k", "A", 2, 1};
+  std::vector<Violation> v = DetectCfdViolations(rel, cfd).value();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].suspect.row, 1u);
+  EXPECT_EQ(v[0].suggested_repair, "A");
+}
+
+TEST(BaselineDetectorTest, OutOfRangeColumnsRejected) {
+  Relation rel = MakeRelation({{"a", "b"}}, {"x", "y"});
+  DiscoveredFd fd{"x", "y", 0, 9, 0, 0.0};
+  EXPECT_FALSE(DetectFdViolations(rel, fd).ok());
+  ConstantCfd cfd{9, 1, "a", "b", 1, 1};
+  EXPECT_FALSE(DetectCfdViolations(rel, cfd).ok());
+}
+
+}  // namespace
+}  // namespace anmat

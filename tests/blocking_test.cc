@@ -1,0 +1,80 @@
+#include "detect/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+namespace {
+
+Relation ZipColumn() {
+  RelationBuilder builder(Schema::MakeText({"zip"}).value());
+  const std::vector<std::string> values = {"90001", "90002", "60601",
+                                           "60602", "10001", "bad"};
+  for (const std::string& v : values) {
+    EXPECT_TRUE(builder.AddRow({v}).ok());
+  }
+  return builder.Build();
+}
+
+std::vector<RowId> AllRows(size_t n) {
+  std::vector<RowId> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = static_cast<RowId>(i);
+  return rows;
+}
+
+TEST(ExtractionKeyTest, SeparatorPreventsConfusion) {
+  EXPECT_NE(ExtractionKey({"ab", "c"}), ExtractionKey({"a", "bc"}));
+  EXPECT_NE(ExtractionKey({"ab"}), ExtractionKey({"ab", ""}));
+  EXPECT_EQ(ExtractionKey({"x"}), ExtractionKey({"x"}));
+}
+
+TEST(BuildBlocksTest, GroupsByPrefix) {
+  Relation rel = ZipColumn();
+  ConstrainedMatcher m(ParseConstrainedPattern("(\\D{3})!\\D{2}").value());
+  std::vector<Block> blocks = BuildBlocks(rel, 0, m, AllRows(rel.num_rows()));
+  ASSERT_EQ(blocks.size(), 3u);  // 900, 606, 100; "bad" skipped
+  // Sorted by key: "100", "606", "900".
+  EXPECT_EQ(blocks[0].rows, (std::vector<RowId>{4}));
+  EXPECT_EQ(blocks[1].rows, (std::vector<RowId>{2, 3}));
+  EXPECT_EQ(blocks[2].rows, (std::vector<RowId>{0, 1}));
+}
+
+TEST(BuildBlocksTest, NonMatchingRowsSkipped) {
+  Relation rel = ZipColumn();
+  ConstrainedMatcher m(ParseConstrainedPattern("(\\D{3})!\\D{2}").value());
+  std::vector<Block> blocks = BuildBlocks(rel, 0, m, AllRows(rel.num_rows()));
+  size_t total = 0;
+  for (const Block& b : blocks) total += b.rows.size();
+  EXPECT_EQ(total, 5u);  // "bad" excluded
+}
+
+TEST(BuildBlocksTest, SubsetOfRowsRespected) {
+  Relation rel = ZipColumn();
+  ConstrainedMatcher m(ParseConstrainedPattern("(\\D{3})!\\D{2}").value());
+  std::vector<Block> blocks = BuildBlocks(rel, 0, m, {0, 2});
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].rows, (std::vector<RowId>{2}));
+  EXPECT_EQ(blocks[1].rows, (std::vector<RowId>{0}));
+}
+
+TEST(BuildBlocksTest, EmptyInput) {
+  Relation rel = ZipColumn();
+  ConstrainedMatcher m(ParseConstrainedPattern("(\\D{3})!\\D{2}").value());
+  EXPECT_TRUE(BuildBlocks(rel, 0, m, {}).empty());
+}
+
+TEST(BuildBlocksTest, DeterministicOrder) {
+  Relation rel = ZipColumn();
+  ConstrainedMatcher m(ParseConstrainedPattern("(\\D{3})!\\D{2}").value());
+  std::vector<Block> a = BuildBlocks(rel, 0, m, AllRows(rel.num_rows()));
+  std::vector<Block> b = BuildBlocks(rel, 0, m, AllRows(rel.num_rows()));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].rows, b[i].rows);
+  }
+}
+
+}  // namespace
+}  // namespace anmat

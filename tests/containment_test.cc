@@ -1,0 +1,166 @@
+#include "pattern/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+namespace {
+
+bool Contains(const char* general, const char* specific) {
+  return PatternContains(ParsePattern(general).value(),
+                         ParsePattern(specific).value());
+}
+
+TEST(ContainmentTest, PaperExample1) {
+  // P1 = \D{5} ⊆ P2 = \D*.
+  EXPECT_TRUE(Contains("\\D*", "\\D{5}"));
+  EXPECT_FALSE(Contains("\\D{5}", "\\D*"));
+}
+
+TEST(ContainmentTest, Reflexive) {
+  for (const char* p : {"\\D{5}", "abc", "\\LU\\LL*", "\\A*"}) {
+    EXPECT_TRUE(Contains(p, p)) << p;
+  }
+}
+
+TEST(ContainmentTest, AnyStarIsTop) {
+  for (const char* p :
+       {"\\D{5}", "abc", "\\LU\\LL*\\ \\A*", "900\\D{2}", "\\S+"}) {
+    EXPECT_TRUE(Contains("\\A*", p)) << p;
+    EXPECT_FALSE(Contains(p, "\\A*")) << p;
+  }
+}
+
+TEST(ContainmentTest, ClassHierarchy) {
+  EXPECT_TRUE(Contains("\\A", "\\D"));
+  EXPECT_TRUE(Contains("\\A", "\\LU"));
+  EXPECT_TRUE(Contains("\\A", "x"));
+  EXPECT_FALSE(Contains("\\D", "\\A"));
+  EXPECT_FALSE(Contains("\\D", "\\LL"));
+  EXPECT_TRUE(Contains("\\D", "7"));
+  EXPECT_FALSE(Contains("\\D", "a"));
+  EXPECT_TRUE(Contains("\\LL", "a"));
+  EXPECT_FALSE(Contains("\\LL", "A"));
+}
+
+TEST(ContainmentTest, CountRanges) {
+  EXPECT_TRUE(Contains("\\D{2,5}", "\\D{3}"));
+  EXPECT_TRUE(Contains("\\D{2,5}", "\\D{3,4}"));
+  EXPECT_FALSE(Contains("\\D{2,5}", "\\D{1,3}"));
+  EXPECT_FALSE(Contains("\\D{2,5}", "\\D{6}"));
+  EXPECT_TRUE(Contains("\\D+", "\\D{17}"));
+  EXPECT_TRUE(Contains("\\D*", "\\D+"));
+  EXPECT_FALSE(Contains("\\D+", "\\D*"));  // ε distinguishes them
+}
+
+TEST(ContainmentTest, LiteralVsClass) {
+  EXPECT_TRUE(Contains("\\D{3}", "900"));
+  EXPECT_FALSE(Contains("900", "\\D{3}"));
+  EXPECT_TRUE(Contains("\\LU\\LL{3}", "John"));
+  EXPECT_FALSE(Contains("\\LU\\LL{3}", "JOHN"));
+}
+
+TEST(ContainmentTest, PaperZipPatterns) {
+  // 900\D{2} ⊆ \D{5} ⊆ \D* ⊆ \A*.
+  EXPECT_TRUE(Contains("\\D{5}", "900\\D{2}"));
+  EXPECT_TRUE(Contains("\\D*", "900\\D{2}"));
+  EXPECT_FALSE(Contains("900\\D{2}", "\\D{5}"));
+  // Different prefixes are incomparable.
+  EXPECT_FALSE(Contains("900\\D{2}", "606\\D{2}"));
+  EXPECT_FALSE(Contains("606\\D{2}", "900\\D{2}"));
+}
+
+TEST(ContainmentTest, StructurallyDifferentButEquivalent) {
+  // \D\D{2} and \D{3} denote the same language.
+  EXPECT_TRUE(Contains("\\D\\D{2}", "\\D{3}"));
+  EXPECT_TRUE(Contains("\\D{3}", "\\D\\D{2}"));
+  EXPECT_TRUE(PatternEquivalent(ParsePattern("\\D\\D{2}").value(),
+                                ParsePattern("\\D{3}").value()));
+}
+
+TEST(ContainmentTest, SplitStarEquivalence) {
+  // \A*\A* ≡ \A*.
+  EXPECT_TRUE(PatternEquivalent(ParsePattern("\\A*\\A*").value(),
+                                ParsePattern("\\A*").value()));
+  // \D*\LL* is NOT equivalent to \A*: "a1" matches neither... check one way.
+  EXPECT_TRUE(Contains("\\A*", "\\D*\\LL*"));
+  EXPECT_FALSE(Contains("\\D*\\LL*", "\\A*"));
+}
+
+TEST(ContainmentTest, SymbolClassExcludesAlnum) {
+  EXPECT_TRUE(Contains("\\S", "-"));
+  EXPECT_TRUE(Contains("\\S", "\\ "));  // escaped space literal
+  EXPECT_FALSE(Contains("\\S", "a"));
+  EXPECT_FALSE(Contains("\\S", "\\D"));
+}
+
+TEST(ContainmentTest, ConjunctionOnTheLeft) {
+  // (\A{5} & \D*) ⊆ \D{5} — and vice versa.
+  Pattern conj = ParsePattern("\\A{5}&\\D*").value();
+  Pattern d5 = ParsePattern("\\D{5}").value();
+  EXPECT_TRUE(PatternContains(d5, conj));
+  EXPECT_TRUE(PatternContains(conj, d5));
+  EXPECT_TRUE(PatternEquivalent(conj, d5));
+}
+
+TEST(ContainmentTest, ConjunctionOnTheRight) {
+  // \D{5} ⊆ (\A* & \D*)? Yes: both conjuncts contain \D{5}.
+  Pattern conj = ParsePattern("\\A*&\\D*").value();
+  EXPECT_TRUE(PatternContains(conj, ParsePattern("\\D{5}").value()));
+  // But \A{5} ⊄ (\A* & \D*): "abcde" fails \D*.
+  EXPECT_FALSE(PatternContains(conj, ParsePattern("\\A{5}").value()));
+}
+
+TEST(ContainmentTest, MixedStructure) {
+  // \LU\LL*\ \A* contains John\ \A*.
+  EXPECT_TRUE(Contains("\\LU\\LL*\\ \\A*", "John\\ \\A*"));
+  EXPECT_FALSE(Contains("John\\ \\A*", "\\LU\\LL*\\ \\A*"));
+  // Phone: 850\D{7} ⊆ \D{10}.
+  EXPECT_TRUE(Contains("\\D{10}", "850\\D{7}"));
+}
+
+// ---- Constrained restriction (Q ⊆ Q') -----------------------------------
+
+bool Restricts(const char* sub, const char* sup) {
+  return ConstrainedRestricts(ParseConstrainedPattern(sub).value(),
+                              ParseConstrainedPattern(sup).value());
+}
+
+TEST(ConstrainedRestrictsTest, PaperExample2) {
+  // Q2 ⊆ Q1: constraining first AND last name restricts constraining just
+  // the first name.
+  EXPECT_TRUE(Restricts("(\\LU\\LL*\\ )!\\A*\\ (\\LU\\LL*)!",
+                        "(\\LU\\LL*\\ )!\\A*"));
+  EXPECT_FALSE(Restricts("(\\LU\\LL*\\ )!\\A*",
+                         "(\\LU\\LL*\\ )!\\A*\\ (\\LU\\LL*)!"));
+}
+
+TEST(ConstrainedRestrictsTest, Reflexive) {
+  EXPECT_TRUE(Restricts("(\\D{3})!\\D{2}", "(\\D{3})!\\D{2}"));
+  EXPECT_TRUE(Restricts("(\\LU\\LL*\\ )!\\A*", "(\\LU\\LL*\\ )!\\A*"));
+}
+
+TEST(ConstrainedRestrictsTest, TighterKeyPattern) {
+  // (900)!\D{2} restricts (\D{3})!\D{2}: embedded containment + the
+  // constrained segment 900 ⊆ \D{3}.
+  EXPECT_TRUE(Restricts("(900)!\\D{2}", "(\\D{3})!\\D{2}"));
+  EXPECT_FALSE(Restricts("(\\D{3})!\\D{2}", "(900)!\\D{2}"));
+}
+
+TEST(ConstrainedRestrictsTest, EmbeddedContainmentRequired) {
+  // Different overall shapes cannot restrict.
+  EXPECT_FALSE(Restricts("(\\D{3})!\\D{2}", "(\\LL{3})!\\LL{2}"));
+  EXPECT_FALSE(Restricts("(\\D{3})!\\D{3}", "(\\D{3})!\\D{2}"));
+}
+
+TEST(ConstrainedRestrictsTest, UnconstrainedSupRelatesAll) {
+  // sup without constrained segments relates all matching strings; any sub
+  // (over a contained language) restricts it.
+  EXPECT_TRUE(Restricts("(\\D{3})!\\D{2}", "\\D{5}"));
+  // But a constrained sup is not restricted by an unconstrained sub.
+  EXPECT_FALSE(Restricts("\\D{5}", "(\\D{3})!\\D{2}"));
+}
+
+}  // namespace
+}  // namespace anmat

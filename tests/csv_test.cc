@@ -1,0 +1,190 @@
+#include "csv/csv_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "csv/csv_writer.h"
+
+namespace anmat {
+namespace {
+
+TEST(CsvOptionsTest, Validation) {
+  CsvOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.delimiter = '"';
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = CsvOptions();
+  opts.delimiter = '\n';
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = CsvOptions();
+  opts.quote = '\r';
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(CsvParseTest, SimpleRecords) {
+  auto r = ParseCsvRecords("a,b\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(r.value()[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParseTest, NoTrailingNewline) {
+  auto r = ParseCsvRecords("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(CsvParseTest, CrlfAndLoneCr) {
+  auto r = ParseCsvRecords("a,b\r\n1,2\r3,4\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(r.value()[1], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(r.value()[2], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, QuotedFieldWithDelimiter) {
+  auto r = ParseCsvRecords("\"Los Angeles, CA\",90001\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0][0], "Los Angeles, CA");
+  EXPECT_EQ(r.value()[0][1], "90001");
+}
+
+TEST(CsvParseTest, DoubledQuoteEscape) {
+  auto r = ParseCsvRecords("\"say \"\"hi\"\"\",x\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0][0], "say \"hi\"");
+}
+
+TEST(CsvParseTest, QuotedFieldWithNewline) {
+  auto r = ParseCsvRecords("\"line1\nline2\",x\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  auto r = ParseCsvRecords(",,\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParseTest, UnterminatedQuoteFails) {
+  auto r = ParseCsvRecords("\"oops,x\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = ';';
+  auto r = ParseCsvRecords("a;b\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvParseTest, TrimFields) {
+  CsvOptions opts;
+  opts.trim_fields = true;
+  auto r = ParseCsvRecords(" a , b \n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvReadTest, HeaderBecomesSchema) {
+  auto r = ReadCsvString("zip,city\n90001,Los Angeles\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().column(0).name, "zip");
+  EXPECT_EQ(r.value().schema().column(1).name, "city");
+  EXPECT_EQ(r.value().num_rows(), 1u);
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesNames) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto r = ReadCsvString("1,2\n3,4\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().column(0).name, "c0");
+  EXPECT_EQ(r.value().schema().column(1).name, "c1");
+  EXPECT_EQ(r.value().num_rows(), 2u);
+}
+
+TEST(CsvReadTest, TypeInferenceRuns) {
+  auto r = ReadCsvString("n,t\n1,a\n2,b\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().column(0).type, ValueType::kInteger);
+  EXPECT_EQ(r.value().schema().column(1).type, ValueType::kText);
+}
+
+TEST(CsvReadTest, RaggedRowFailsByDefault) {
+  auto r = ReadCsvString("a,b\n1\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvReadTest, SkipBadRows) {
+  CsvOptions opts;
+  opts.skip_bad_rows = true;
+  auto r = ReadCsvString("a,b\n1\n2,3\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(r.value().cell(0, 0), "2");
+}
+
+TEST(CsvReadTest, EmptyInputFails) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvReadTest, HeaderOnlyGivesEmptyRelation) {
+  auto r = ReadCsvString("a,b\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 0u);
+  EXPECT_EQ(r.value().num_columns(), 2u);
+}
+
+TEST(CsvReadTest, MissingFileIsIoError) {
+  auto r = ReadCsvFile("/nonexistent/path/data.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvWriteTest, RoundTripWithQuoting) {
+  RelationBuilder builder(Schema::MakeText({"name", "note"}).value());
+  ASSERT_TRUE(builder.AddRow({"Holloway, Donald", "said \"hi\""}).ok());
+  ASSERT_TRUE(builder.AddRow({"plain", "multi\nline"}).ok());
+  Relation rel = builder.Build();
+
+  auto text = WriteCsvString(rel);
+  ASSERT_TRUE(text.ok());
+  auto back = ReadCsvString(text.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_rows(), 2u);
+  EXPECT_EQ(back.value().cell(0, 0), "Holloway, Donald");
+  EXPECT_EQ(back.value().cell(0, 1), "said \"hi\"");
+  EXPECT_EQ(back.value().cell(1, 1), "multi\nline");
+}
+
+TEST(CsvWriteTest, NoHeaderOption) {
+  RelationBuilder builder(Schema::MakeText({"a"}).value());
+  ASSERT_TRUE(builder.AddRow({"1"}).ok());
+  Relation rel = builder.Build();
+  CsvOptions opts;
+  opts.has_header = false;
+  EXPECT_EQ(WriteCsvString(rel, opts).value(), "1\n");
+}
+
+TEST(CsvFileTest, WriteThenReadFile) {
+  const std::string path = ::testing::TempDir() + "/anmat_csv_test.csv";
+  RelationBuilder builder(Schema::MakeText({"zip", "city"}).value());
+  ASSERT_TRUE(builder.AddRow({"90001", "Los Angeles"}).ok());
+  Relation rel = builder.Build();
+  ASSERT_TRUE(WriteCsvFile(rel, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().cell(0, 1), "Los Angeles");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace anmat

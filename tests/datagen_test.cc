@@ -1,0 +1,270 @@
+#include "datagen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/codes.h"
+#include "datagen/geo.h"
+#include "datagen/names.h"
+#include "datagen/phone.h"
+#include "util/string_util.h"
+
+namespace anmat {
+namespace {
+
+TEST(NamesTest, PoolsAreDisjointAndNonEmpty) {
+  EXPECT_FALSE(MaleFirstNames().empty());
+  EXPECT_FALSE(FemaleFirstNames().empty());
+  EXPECT_FALSE(LastNames().empty());
+  for (const std::string& m : MaleFirstNames()) {
+    for (const std::string& f : FemaleFirstNames()) {
+      EXPECT_NE(m, f);
+    }
+  }
+}
+
+TEST(NamesTest, RandomPersonConsistent) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    Person p = RandomPerson(rng);
+    const auto& pool = p.gender == Gender::kMale ? MaleFirstNames()
+                                                 : FemaleFirstNames();
+    EXPECT_NE(std::find(pool.begin(), pool.end(), p.first), pool.end());
+  }
+}
+
+TEST(NamesTest, FormatVariants) {
+  Person p;
+  p.first = "Donald";
+  p.middle = "E.";
+  p.last = "Holloway";
+  p.gender = Gender::kMale;
+  EXPECT_EQ(FormatName(p, NameFormat::kFirstLast), "Donald E. Holloway");
+  EXPECT_EQ(FormatName(p, NameFormat::kLastCommaFirst),
+            "Holloway, Donald E.");
+  p.middle.clear();
+  EXPECT_EQ(FormatName(p, NameFormat::kFirstLast), "Donald Holloway");
+  EXPECT_EQ(FormatName(p, NameFormat::kLastCommaFirst), "Holloway, Donald");
+}
+
+TEST(NamesTest, GenderString) {
+  EXPECT_EQ(GenderString(Gender::kMale), "M");
+  EXPECT_EQ(GenderString(Gender::kFemale), "F");
+}
+
+TEST(GeoTest, RegionsIncludePaperExamples) {
+  bool la = false;
+  bool chicago = false;
+  for (const ZipRegion& r : ZipRegions()) {
+    if (r.prefix == "900" && r.city == "Los Angeles" && r.state == "CA") {
+      la = true;
+    }
+    if (r.prefix == "606" && r.city == "Chicago" && r.state == "IL") {
+      chicago = true;
+    }
+  }
+  EXPECT_TRUE(la);
+  EXPECT_TRUE(chicago);
+}
+
+TEST(GeoTest, RandomZipHasPrefixAndFiveDigits) {
+  Rng rng(2);
+  for (const ZipRegion& r : ZipRegions()) {
+    std::string zip = RandomZip(rng, r);
+    EXPECT_EQ(zip.size(), 5u);
+    EXPECT_TRUE(StartsWith(zip, r.prefix));
+    EXPECT_TRUE(IsAllDigits(zip));
+  }
+}
+
+TEST(PhoneTest, AreaCodesIncludeTable3Rows) {
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"850", "FL"}, {"607", "NY"}, {"404", "GA"}, {"217", "IL"},
+      {"860", "CT"},
+  };
+  for (const auto& [code, state] : expected) {
+    bool found = false;
+    for (const AreaCode& a : AreaCodes()) {
+      if (a.code == code && a.state == state) found = true;
+    }
+    EXPECT_TRUE(found) << code;
+  }
+}
+
+TEST(PhoneTest, RandomPhoneShape) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const AreaCode& a = rng.Choose(AreaCodes());
+    std::string phone = RandomPhone(rng, a);
+    EXPECT_EQ(phone.size(), 10u);
+    EXPECT_TRUE(IsAllDigits(phone));
+    EXPECT_TRUE(StartsWith(phone, a.code));
+    EXPECT_NE(phone[3], '0');  // NANP exchange constraint
+    EXPECT_NE(phone[3], '1');
+  }
+}
+
+TEST(CodesTest, EmployeeIdShape) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    Employee e = RandomEmployee(rng);
+    ASSERT_EQ(e.id.size(), 7u) << e.id;  // X-D-DDD
+    EXPECT_TRUE(IsUpper(e.id[0]));
+    EXPECT_EQ(e.id[1], '-');
+    EXPECT_TRUE(IsDigit(e.id[2]));
+    EXPECT_EQ(e.id[3], '-');
+    EXPECT_FALSE(e.department.empty());
+    EXPECT_FALSE(e.grade.empty());
+  }
+}
+
+TEST(CodesTest, EmployeeMappingsConsistent) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Employee e = RandomEmployee(rng);
+    for (const Department& d : Departments()) {
+      if (d.letter == e.id[0]) {
+        EXPECT_EQ(d.name, e.department);
+      }
+    }
+    for (const GradeLevel& g : GradeLevels()) {
+      if (g.digit == e.id[2]) {
+        EXPECT_EQ(g.label, e.grade);
+      }
+    }
+  }
+}
+
+TEST(CodesTest, CompoundIdShape) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    std::string id = RandomCompoundId(rng);
+    EXPECT_TRUE(StartsWith(id, "CHEMBL"));
+    EXPECT_GE(id.size(), 7u);
+    EXPECT_LE(id.size(), 13u);
+    EXPECT_TRUE(IsAllDigits(id.substr(6)));
+  }
+}
+
+TEST(ErrorInjectorTest, RespectsRateAndRecordsTruth) {
+  Dataset d = ZipCityStateDataset(1000, 8, 0.0);
+  Rng rng(9);
+  ErrorInjectorOptions opts;
+  opts.error_rate = 0.05;
+  std::vector<InjectedError> errors =
+      InjectErrors(&d.relation, {1}, rng, opts);
+  EXPECT_GT(errors.size(), 20u);
+  EXPECT_LE(errors.size(), 50u);
+  for (const InjectedError& e : errors) {
+    EXPECT_EQ(e.cell.column, 1u);
+    EXPECT_NE(e.original, e.corrupted);
+    EXPECT_EQ(d.relation.cell(e.cell.row, e.cell.column), e.corrupted);
+  }
+}
+
+TEST(ErrorInjectorTest, DeterministicForSeed) {
+  Dataset d1 = ZipCityStateDataset(200, 10, 0.05);
+  Dataset d2 = ZipCityStateDataset(200, 10, 0.05);
+  ASSERT_EQ(d1.ground_truth.size(), d2.ground_truth.size());
+  for (size_t i = 0; i < d1.ground_truth.size(); ++i) {
+    EXPECT_EQ(d1.ground_truth[i].cell, d2.ground_truth[i].cell);
+    EXPECT_EQ(d1.ground_truth[i].corrupted, d2.ground_truth[i].corrupted);
+  }
+}
+
+TEST(ErrorInjectorTest, ZeroRateInjectsNothing) {
+  Dataset d = ZipCityStateDataset(100, 11, 0.0);
+  EXPECT_TRUE(d.ground_truth.empty());
+}
+
+TEST(ScoreSuspectsTest, ExactMatch) {
+  std::vector<InjectedError> truth = {
+      {CellRef{1, 1}, "a", "b", ErrorType::kSwapValue},
+      {CellRef{5, 1}, "c", "d", ErrorType::kSwapValue},
+  };
+  PrecisionRecall pr = ScoreSuspects({CellRef{1, 1}, CellRef{5, 1}}, truth);
+  EXPECT_EQ(pr.true_positives, 2u);
+  EXPECT_EQ(pr.false_positives, 0u);
+  EXPECT_EQ(pr.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 1.0);
+}
+
+TEST(ScoreSuspectsTest, PartialOverlap) {
+  std::vector<InjectedError> truth = {
+      {CellRef{1, 1}, "a", "b", ErrorType::kSwapValue},
+      {CellRef{5, 1}, "c", "d", ErrorType::kSwapValue},
+  };
+  PrecisionRecall pr =
+      ScoreSuspects({CellRef{1, 1}, CellRef{9, 1}}, truth);
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(pr.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 0.5);
+}
+
+TEST(ScoreSuspectsTest, ColumnFilter) {
+  std::vector<InjectedError> truth = {
+      {CellRef{1, 1}, "a", "b", ErrorType::kSwapValue},
+      {CellRef{2, 2}, "c", "d", ErrorType::kSwapValue},
+  };
+  PrecisionRecall pr = ScoreSuspects({CellRef{1, 1}}, truth, {1});
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 0u);  // column-2 error not scored
+}
+
+TEST(ScoreSuspectsTest, EmptyEverything) {
+  PrecisionRecall pr = ScoreSuspects({}, {});
+  EXPECT_DOUBLE_EQ(pr.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(pr.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 0.0);
+}
+
+TEST(DatasetsTest, PaperTablesVerbatim) {
+  Dataset name = PaperNameTable();
+  EXPECT_EQ(name.relation.num_rows(), 4u);
+  EXPECT_EQ(name.relation.cell(3, 0), "Susan Boyle");
+  EXPECT_EQ(name.relation.cell(3, 1), "M");
+  ASSERT_EQ(name.ground_truth.size(), 1u);
+  EXPECT_EQ(name.ground_truth[0].original, "F");
+
+  Dataset zip = PaperZipTable();
+  EXPECT_EQ(zip.relation.num_rows(), 4u);
+  EXPECT_EQ(zip.relation.cell(3, 1), "New York");
+}
+
+TEST(DatasetsTest, GeneratorsProduceRequestedRows) {
+  EXPECT_EQ(PhoneStateDataset(50, 1, 0).relation.num_rows(), 50u);
+  EXPECT_EQ(NameGenderDataset(50, 1, 0).relation.num_rows(), 50u);
+  EXPECT_EQ(ZipCityStateDataset(50, 1, 0).relation.num_rows(), 50u);
+  EXPECT_EQ(EmployeeDataset(50, 1, 0).relation.num_rows(), 50u);
+  EXPECT_EQ(CompoundDataset(50, 1, 0).relation.num_rows(), 50u);
+}
+
+TEST(DatasetsTest, CleanDatasetsAreFunctional) {
+  // Without injected errors the intended dependencies must hold exactly.
+  Dataset d = PhoneStateDataset(500, 21, 0.0);
+  std::map<std::string, std::set<std::string>> area_to_state;
+  for (RowId r = 0; r < d.relation.num_rows(); ++r) {
+    area_to_state[d.relation.cell(r, 0).substr(0, 3)].insert(
+        d.relation.cell(r, 1));
+  }
+  for (const auto& [area, states] : area_to_state) {
+    EXPECT_EQ(states.size(), 1u) << area;
+  }
+}
+
+TEST(DatasetsTest, NameGenderErrorsOnlySwapGender) {
+  Dataset d = NameGenderDataset(400, 31, 0.05);
+  EXPECT_FALSE(d.ground_truth.empty());
+  for (const InjectedError& e : d.ground_truth) {
+    EXPECT_EQ(e.cell.column, 1u);
+    EXPECT_TRUE(e.corrupted == "M" || e.corrupted == "F");
+  }
+}
+
+}  // namespace
+}  // namespace anmat

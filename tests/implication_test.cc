@@ -1,0 +1,142 @@
+#include "pfd/implication.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "detect/detector.h"
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+namespace {
+
+TableauCell PatternCell(const char* text) {
+  return TableauCell::Of(ParseConstrainedPattern(text).value());
+}
+
+TableauRow ConstantRow(const char* lhs, const char* rhs) {
+  TableauRow row;
+  row.lhs.push_back(PatternCell(lhs));
+  row.rhs.push_back(PatternCell(rhs));
+  return row;
+}
+
+TableauRow VariableRow(const char* lhs) {
+  TableauRow row;
+  row.lhs.push_back(PatternCell(lhs));
+  row.rhs.push_back(TableauCell::Wildcard());
+  return row;
+}
+
+TEST(RowImpliesTest, BroaderConstantLhsImpliesNarrower) {
+  // (90)!\D{3} → LA implies (900)!\D{2} → LA.
+  EXPECT_TRUE(RowImplies(ConstantRow("(90)!\\D{3}", "LA"),
+                         ConstantRow("(900)!\\D{2}", "LA")));
+  EXPECT_FALSE(RowImplies(ConstantRow("(900)!\\D{2}", "LA"),
+                          ConstantRow("(90)!\\D{3}", "LA")));
+}
+
+TEST(RowImpliesTest, DifferentConstantsNeverImply) {
+  EXPECT_FALSE(RowImplies(ConstantRow("(90)!\\D{3}", "LA"),
+                          ConstantRow("(900)!\\D{2}", "NY")));
+}
+
+TEST(RowImpliesTest, ReflexiveOnEqualRows) {
+  EXPECT_TRUE(RowImplies(ConstantRow("(900)!\\D{2}", "LA"),
+                         ConstantRow("(900)!\\D{2}", "LA")));
+  EXPECT_TRUE(RowImplies(VariableRow("(\\D{3})!\\D{2}"),
+                         VariableRow("(\\D{3})!\\D{2}")));
+}
+
+TEST(RowImpliesTest, VariableImplicationUsesRestriction) {
+  // A row keyed on first name implies a row keyed on first AND last name:
+  // every Q2-related pair is Q1-related, so Q1's row fires on a superset.
+  const char* q1 = "(\\LU\\LL*\\ )!\\A*";
+  const char* q2 = "(\\LU\\LL*\\ )!\\A*\\ (\\LU\\LL*)!";
+  EXPECT_TRUE(RowImplies(VariableRow(q1), VariableRow(q2)));
+  EXPECT_FALSE(RowImplies(VariableRow(q2), VariableRow(q1)));
+}
+
+TEST(RowImpliesTest, ConstantAndVariableIncomparable) {
+  EXPECT_FALSE(RowImplies(ConstantRow("(900)!\\D{2}", "LA"),
+                          VariableRow("(900)!\\D{2}")));
+  EXPECT_FALSE(RowImplies(VariableRow("(900)!\\D{2}"),
+                          ConstantRow("(900)!\\D{2}", "LA")));
+}
+
+TEST(RowImpliesTest, ShapeMismatchNeverImplies) {
+  TableauRow wide = ConstantRow("(900)!\\D{2}", "LA");
+  wide.lhs.push_back(TableauCell::Wildcard());
+  EXPECT_FALSE(RowImplies(wide, ConstantRow("(900)!\\D{2}", "LA")));
+}
+
+Pfd OneRulePfd(const char* lhs, const char* rhs_or_null) {
+  Tableau t;
+  t.AddRow(rhs_or_null == nullptr ? VariableRow(lhs)
+                                  : ConstantRow(lhs, rhs_or_null));
+  return Pfd::Simple("Zip", "zip", "city", t);
+}
+
+TEST(MinimizeTest, RemovesImpliedRowsAcrossPfds) {
+  std::vector<Pfd> rules = {
+      OneRulePfd("(90)!\\D{3}", "LA"),
+      OneRulePfd("(900)!\\D{2}", "LA"),  // implied by the first
+      OneRulePfd("(606)!\\D{2}", "Chicago"),
+  };
+  MinimizeStats stats;
+  std::vector<Pfd> minimized = MinimizeRuleSet(rules, &stats);
+  EXPECT_EQ(stats.rows_before, 3u);
+  EXPECT_EQ(stats.rows_after, 2u);
+  EXPECT_EQ(stats.pfds_removed, 1u);
+  ASSERT_EQ(minimized.size(), 2u);
+}
+
+TEST(MinimizeTest, EquivalentRowsKeepOne) {
+  std::vector<Pfd> rules = {
+      OneRulePfd("(900)!\\D{2}", "LA"),
+      OneRulePfd("(900)!\\D\\D", "LA"),  // same language, different AST
+  };
+  MinimizeStats stats;
+  std::vector<Pfd> minimized = MinimizeRuleSet(rules, &stats);
+  EXPECT_EQ(stats.rows_after, 1u);
+  ASSERT_EQ(minimized.size(), 1u);
+}
+
+TEST(MinimizeTest, DifferentFdsNotMixed) {
+  Pfd zip_city = OneRulePfd("(90)!\\D{3}", "LA");
+  Pfd zip_state = Pfd::Simple("Zip", "zip", "state", [] {
+    Tableau t;
+    t.AddRow(ConstantRow("(900)!\\D{2}", "CA"));
+    return t;
+  }());
+  std::vector<Pfd> minimized = MinimizeRuleSet({zip_city, zip_state});
+  EXPECT_EQ(minimized.size(), 2u);  // different RHS attr: nothing removed
+}
+
+TEST(MinimizeTest, EmptyInput) {
+  MinimizeStats stats;
+  EXPECT_TRUE(MinimizeRuleSet({}, &stats).empty());
+  EXPECT_EQ(stats.rows_before, 0u);
+}
+
+TEST(MinimizeTest, DetectionUnchangedForConstantRules) {
+  // Minimization must not change which cells constant rules flag.
+  Dataset d = PaperZipTable();
+  std::vector<Pfd> rules = {
+      OneRulePfd("(90)!\\D{3}", "Los\\ Angeles"),
+      OneRulePfd("(900)!\\D{2}", "Los\\ Angeles"),
+  };
+  std::vector<Pfd> minimized = MinimizeRuleSet(rules);
+  ASSERT_EQ(minimized.size(), 1u);
+
+  auto before = DetectErrors(d.relation, rules).value();
+  auto after = DetectErrors(d.relation, minimized).value();
+  // The duplicate rule flagged the same cell twice; the suspect *set*
+  // must be identical.
+  std::set<CellRef> sb, sa;
+  for (const Violation& v : before.violations) sb.insert(v.suspect);
+  for (const Violation& v : after.violations) sa.insert(v.suspect);
+  EXPECT_EQ(sb, sa);
+}
+
+}  // namespace
+}  // namespace anmat

@@ -1,0 +1,170 @@
+#include "discovery/inverted_list.h"
+
+#include <gtest/gtest.h>
+
+#include "discovery/decision.h"
+
+namespace anmat {
+namespace {
+
+Relation NameGenderRelation() {
+  RelationBuilder builder(Schema::MakeText({"name", "gender"}).value());
+  EXPECT_TRUE(builder.AddRow({"John Charles", "M"}).ok());
+  EXPECT_TRUE(builder.AddRow({"John Bosco", "M"}).ok());
+  EXPECT_TRUE(builder.AddRow({"Susan Orlean", "F"}).ok());
+  EXPECT_TRUE(builder.AddRow({"Susan Boyle", "M"}).ok());  // the dirty row
+  return builder.Build();
+}
+
+TEST(InvertedListTest, TokenModePopulatesKeys) {
+  Relation rel = NameGenderRelation();
+  InvertedList list = BuildInvertedList(rel, 0, 1, TokenMode::kTokens, 0);
+  // Keys: John@0 (x2), Susan@0 (x2), Charles@1, Bosco@1, Orlean@1, Boyle@1.
+  EXPECT_EQ(list.size(), 6u);
+  const auto& entries = list.entries();
+  auto it = entries.find(TokenKey{"John", 0});
+  ASSERT_NE(it, entries.end());
+  EXPECT_EQ(it->second.size(), 2u);
+  EXPECT_EQ(it->second[0].rhs_value, "M");
+}
+
+TEST(InvertedListTest, PositionsDistinguishKeys) {
+  RelationBuilder builder(Schema::MakeText({"a", "b"}).value());
+  ASSERT_TRUE(builder.AddRow({"x y", "1"}).ok());
+  ASSERT_TRUE(builder.AddRow({"y x", "2"}).ok());
+  Relation rel = builder.Build();
+  InvertedList list = BuildInvertedList(rel, 0, 1, TokenMode::kTokens, 0);
+  // "x"@0 and "x"@1 are distinct keys.
+  EXPECT_EQ(list.size(), 4u);
+  EXPECT_NE(list.entries().find(TokenKey{"x", 0}), list.entries().end());
+  EXPECT_NE(list.entries().find(TokenKey{"x", 1}), list.entries().end());
+}
+
+TEST(InvertedListTest, NGramMode) {
+  RelationBuilder builder(Schema::MakeText({"zip", "city"}).value());
+  ASSERT_TRUE(builder.AddRow({"90001", "LA"}).ok());
+  ASSERT_TRUE(builder.AddRow({"90002", "LA"}).ok());
+  Relation rel = builder.Build();
+  InvertedList list = BuildInvertedList(rel, 0, 1, TokenMode::kNGrams, 3);
+  auto it = list.entries().find(TokenKey{"900", 0});
+  ASSERT_NE(it, list.entries().end());
+  EXPECT_EQ(it->second.size(), 2u);
+}
+
+TEST(InvertedListTest, PrefixMode) {
+  RelationBuilder builder(Schema::MakeText({"zip", "city"}).value());
+  ASSERT_TRUE(builder.AddRow({"90001", "LA"}).ok());
+  Relation rel = builder.Build();
+  InvertedList list = BuildInvertedList(rel, 0, 1, TokenMode::kPrefix, 3);
+  EXPECT_EQ(list.size(), 3u);  // "9", "90", "900"
+  EXPECT_NE(list.entries().find(TokenKey{"90", 0}), list.entries().end());
+}
+
+TEST(InvertedListTest, EmptyCellsSkipped) {
+  RelationBuilder builder(Schema::MakeText({"a", "b"}).value());
+  ASSERT_TRUE(builder.AddRow({"", "x"}).ok());
+  ASSERT_TRUE(builder.AddRow({"k", ""}).ok());
+  ASSERT_TRUE(builder.AddRow({"k", "v"}).ok());
+  Relation rel = builder.Build();
+  InvertedList list = BuildInvertedList(rel, 0, 1, TokenMode::kTokens, 0);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.entries().begin()->second.size(), 1u);  // only row 2
+}
+
+TEST(InvertedListTest, SortedEntriesDeterministic) {
+  Relation rel = NameGenderRelation();
+  InvertedList list = BuildInvertedList(rel, 0, 1, TokenMode::kTokens, 0);
+  auto sorted = list.SortedEntries();
+  ASSERT_EQ(sorted.size(), 6u);
+  // Highest support first.
+  EXPECT_EQ(sorted[0]->second.size(), 2u);
+  EXPECT_EQ(sorted[1]->second.size(), 2u);
+  // Support ties break by text: "John" < "Susan".
+  EXPECT_EQ(sorted[0]->first.text, "John");
+  EXPECT_EQ(sorted[1]->first.text, "Susan");
+}
+
+TEST(DecisionTest, AcceptsCleanEntry) {
+  std::vector<Posting> postings = {
+      {0, 0, "M"}, {1, 0, "M"}, {2, 0, "M"},
+  };
+  DecisionOptions opts;
+  opts.min_support = 2;
+  opts.allowed_violation_ratio = 0.0;
+  Decision d = DecideConstantEntry(postings, opts);
+  EXPECT_TRUE(d.accept);
+  EXPECT_EQ(d.dominant_rhs, "M");
+  EXPECT_EQ(d.support, 3u);
+  EXPECT_EQ(d.agreeing, 3u);
+  EXPECT_TRUE(d.disagreeing_rows.empty());
+}
+
+TEST(DecisionTest, RejectsLowSupport) {
+  std::vector<Posting> postings = {{0, 0, "M"}};
+  DecisionOptions opts;
+  opts.min_support = 2;
+  Decision d = DecideConstantEntry(postings, opts);
+  EXPECT_FALSE(d.accept);
+}
+
+TEST(DecisionTest, ToleratesBoundedViolations) {
+  std::vector<Posting> postings;
+  for (RowId r = 0; r < 9; ++r) postings.push_back({r, 0, "F"});
+  postings.push_back({9, 0, "M"});
+  DecisionOptions opts;
+  opts.allowed_violation_ratio = 0.1;
+  Decision d = DecideConstantEntry(postings, opts);
+  EXPECT_TRUE(d.accept);
+  EXPECT_EQ(d.dominant_rhs, "F");
+  EXPECT_DOUBLE_EQ(d.violation_ratio, 0.1);
+  ASSERT_EQ(d.disagreeing_rows.size(), 1u);
+  EXPECT_EQ(d.disagreeing_rows[0], 9u);
+}
+
+TEST(DecisionTest, RejectsExcessViolations) {
+  std::vector<Posting> postings = {
+      {0, 0, "F"}, {1, 0, "F"}, {2, 0, "M"},
+  };
+  DecisionOptions opts;
+  opts.allowed_violation_ratio = 0.1;
+  Decision d = DecideConstantEntry(postings, opts);
+  EXPECT_FALSE(d.accept);
+}
+
+TEST(DecisionTest, RejectsWeakDominance) {
+  // 50/50 split: dominant share 0.5 < default min_dominance... equals 0.5.
+  std::vector<Posting> postings = {
+      {0, 0, "A"}, {1, 0, "A"}, {2, 0, "B"}, {3, 0, "B"},
+  };
+  DecisionOptions opts;
+  opts.allowed_violation_ratio = 0.6;  // permissive violations
+  opts.min_dominance = 0.6;            // but demand real dominance
+  Decision d = DecideConstantEntry(postings, opts);
+  EXPECT_FALSE(d.accept);
+}
+
+TEST(DecisionTest, DuplicateRowsCountOnce) {
+  // The same row posting the same key twice is one vote.
+  std::vector<Posting> postings = {
+      {0, 0, "M"}, {0, 2, "M"}, {1, 0, "M"},
+  };
+  DecisionOptions opts;
+  opts.min_support = 2;
+  Decision d = DecideConstantEntry(postings, opts);
+  EXPECT_TRUE(d.accept);
+  EXPECT_EQ(d.support, 2u);
+}
+
+TEST(DecisionTest, DominantTieBreaksLexicographically) {
+  std::vector<Posting> postings = {
+      {0, 0, "B"}, {1, 0, "A"},
+  };
+  DecisionOptions opts;
+  opts.allowed_violation_ratio = 0.5;
+  opts.min_dominance = 0.5;
+  Decision d = DecideConstantEntry(postings, opts);
+  EXPECT_EQ(d.dominant_rhs, "A");  // std::map order
+}
+
+}  // namespace
+}  // namespace anmat

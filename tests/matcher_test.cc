@@ -1,0 +1,224 @@
+#include "pattern/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+namespace {
+
+bool Match(const char* pattern, const char* s) {
+  return PatternMatcher(ParsePattern(pattern).value()).Matches(s);
+}
+
+TEST(MatcherTest, LiteralExactMatch) {
+  EXPECT_TRUE(Match("abc", "abc"));
+  EXPECT_FALSE(Match("abc", "abd"));
+  EXPECT_FALSE(Match("abc", "ab"));
+  EXPECT_FALSE(Match("abc", "abcd"));
+  EXPECT_FALSE(Match("abc", ""));
+}
+
+TEST(MatcherTest, ClassMatch) {
+  EXPECT_TRUE(Match("\\D", "5"));
+  EXPECT_FALSE(Match("\\D", "a"));
+  EXPECT_TRUE(Match("\\LU", "Q"));
+  EXPECT_FALSE(Match("\\LU", "q"));
+  EXPECT_TRUE(Match("\\LL", "q"));
+  EXPECT_TRUE(Match("\\S", "-"));
+  EXPECT_FALSE(Match("\\S", "5"));
+  EXPECT_TRUE(Match("\\A", "#"));
+  EXPECT_TRUE(Match("\\A", "a"));
+}
+
+TEST(MatcherTest, PaperExample1Zip) {
+  // 90001 ↦ \D{5} and 90001 ↦ \D*.
+  EXPECT_TRUE(Match("\\D{5}", "90001"));
+  EXPECT_TRUE(Match("\\D*", "90001"));
+  EXPECT_FALSE(Match("\\D{5}", "9000"));
+  EXPECT_FALSE(Match("\\D{5}", "900011"));
+  EXPECT_FALSE(Match("\\D{5}", "9000a"));
+}
+
+TEST(MatcherTest, KleeneStar) {
+  EXPECT_TRUE(Match("\\A*", ""));
+  EXPECT_TRUE(Match("\\A*", "anything at all 123!"));
+  EXPECT_TRUE(Match("a*", ""));
+  EXPECT_TRUE(Match("a*", "aaaa"));
+  EXPECT_FALSE(Match("a*", "aab"));
+}
+
+TEST(MatcherTest, Plus) {
+  EXPECT_FALSE(Match("\\D+", ""));
+  EXPECT_TRUE(Match("\\D+", "1"));
+  EXPECT_TRUE(Match("\\D+", "123456"));
+}
+
+TEST(MatcherTest, Optional) {
+  EXPECT_TRUE(Match("ab?c", "ac"));
+  EXPECT_TRUE(Match("ab?c", "abc"));
+  EXPECT_FALSE(Match("ab?c", "abbc"));
+}
+
+TEST(MatcherTest, BoundedRange) {
+  EXPECT_FALSE(Match("\\D{2,4}", "1"));
+  EXPECT_TRUE(Match("\\D{2,4}", "12"));
+  EXPECT_TRUE(Match("\\D{2,4}", "1234"));
+  EXPECT_FALSE(Match("\\D{2,4}", "12345"));
+}
+
+TEST(MatcherTest, PaperLambda1NamePattern) {
+  // John\ \A* matches "John Charles" and "John Bosco" but not "Johnny X".
+  EXPECT_TRUE(Match("John\\ \\A*", "John Charles"));
+  EXPECT_TRUE(Match("John\\ \\A*", "John Bosco"));
+  EXPECT_TRUE(Match("John\\ \\A*", "John "));
+  EXPECT_FALSE(Match("John\\ \\A*", "John"));
+  EXPECT_FALSE(Match("John\\ \\A*", "Johnny Smith"));
+  EXPECT_FALSE(Match("John\\ \\A*", "Susan Boyle"));
+}
+
+TEST(MatcherTest, PaperLambda4EmbeddedPattern) {
+  // \LU\LL*\ \A* — a capitalized word, space, anything.
+  EXPECT_TRUE(Match("\\LU\\LL*\\ \\A*", "John Charles"));
+  EXPECT_TRUE(Match("\\LU\\LL*\\ \\A*", "Susan Boyle"));
+  EXPECT_TRUE(Match("\\LU\\LL*\\ \\A*", "J x"));
+  EXPECT_FALSE(Match("\\LU\\LL*\\ \\A*", "john lower"));
+  EXPECT_FALSE(Match("\\LU\\LL*\\ \\A*", "SingleToken"));
+}
+
+TEST(MatcherTest, PaperTable3PhonePattern) {
+  EXPECT_TRUE(Match("850\\D{7}", "8505467600"));
+  EXPECT_FALSE(Match("850\\D{7}", "8605467600"));
+  EXPECT_FALSE(Match("850\\D{7}", "850546760"));
+}
+
+TEST(MatcherTest, EmployeeIdPattern) {
+  EXPECT_TRUE(Match("\\LU-\\D-\\D{3}", "F-9-107"));
+  EXPECT_FALSE(Match("\\LU-\\D-\\D{3}", "F-9-10"));
+  EXPECT_FALSE(Match("\\LU-\\D-\\D{3}", "f-9-107"));
+}
+
+TEST(MatcherTest, ConjunctionRequiresBoth) {
+  // \A{5} & \D* : any five chars that are all digits.
+  EXPECT_TRUE(Match("\\A{5}&\\D*", "12345"));
+  EXPECT_FALSE(Match("\\A{5}&\\D*", "1234"));
+  EXPECT_FALSE(Match("\\A{5}&\\D*", "1234a"));
+}
+
+TEST(MatcherTest, BacktrackingThroughAnyStar) {
+  // \A*z requires trying different split points.
+  EXPECT_TRUE(Match("\\A*z", "abcz"));
+  EXPECT_TRUE(Match("\\A*z", "z"));
+  EXPECT_FALSE(Match("\\A*z", "abc"));
+  EXPECT_TRUE(Match("\\A*z\\A*", "azb"));
+}
+
+// ---- Constrained matching / extraction ----------------------------------
+
+ConstrainedMatcher MakeCm(const char* text) {
+  return ConstrainedMatcher(ParseConstrainedPattern(text).value());
+}
+
+TEST(ConstrainedMatcherTest, MatchesEmbedded) {
+  ConstrainedMatcher cm = MakeCm("(\\D{3})!\\D{2}");
+  EXPECT_TRUE(cm.Matches("90001"));
+  EXPECT_FALSE(cm.Matches("9000"));
+  EXPECT_FALSE(cm.Matches("900011"));
+}
+
+TEST(ConstrainedMatcherTest, CanonicalExtractionZip) {
+  ConstrainedMatcher cm = MakeCm("(\\D{3})!\\D{2}");
+  Extraction ex;
+  ASSERT_TRUE(cm.ExtractCanonical("90001", &ex));
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0], "900");
+}
+
+TEST(ConstrainedMatcherTest, CanonicalExtractionFirstName) {
+  // Q1 = (\LU\LL*\ )!\A* extracts "John " from "John Charles".
+  ConstrainedMatcher cm = MakeCm("(\\LU\\LL*\\ )!\\A*");
+  Extraction ex;
+  ASSERT_TRUE(cm.ExtractCanonical("John Charles", &ex));
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0], "John ");
+}
+
+TEST(ConstrainedMatcherTest, ExtractionFailsOnNonMatch) {
+  ConstrainedMatcher cm = MakeCm("(\\LU\\LL*\\ )!\\A*");
+  Extraction ex;
+  EXPECT_FALSE(cm.ExtractCanonical("lowercase name", &ex));
+}
+
+TEST(ConstrainedMatcherTest, PaperExample2Equivalence) {
+  // r1 = "John Charles", r2 = "John Bosco": r1 ≡_Q1 r2 (both extract John).
+  ConstrainedMatcher q1 = MakeCm("(\\LU\\LL*\\ )!\\A*");
+  EXPECT_TRUE(q1.Equivalent("John Charles", "John Bosco"));
+  EXPECT_FALSE(q1.Equivalent("John Charles", "Susan Boyle"));
+  EXPECT_FALSE(q1.Equivalent("John Charles", "not matching"));
+}
+
+TEST(ConstrainedMatcherTest, Q2RequiresBothNames) {
+  // Q2 constrains first and last name; middle names are free.
+  ConstrainedMatcher q2 = MakeCm("(\\LU\\LL*\\ )!\\A*\\ (\\LU\\LL*)!");
+  EXPECT_TRUE(q2.Equivalent("John Adam Smith", "John Brian Smith"));
+  EXPECT_FALSE(q2.Equivalent("John Adam Smith", "John Adam Jones"));
+}
+
+TEST(ConstrainedMatcherTest, TwoSegmentExtraction) {
+  ConstrainedMatcher q2 = MakeCm("(\\LU\\LL*\\ )!\\A*\\ (\\LU\\LL*)!");
+  Extraction ex;
+  ASSERT_TRUE(q2.ExtractCanonical("John Adam Brown Smith", &ex));
+  ASSERT_EQ(ex.size(), 2u);
+  EXPECT_EQ(ex[0], "John ");
+  EXPECT_EQ(ex[1], "Smith");
+}
+
+TEST(ConstrainedMatcherTest, ExtractAllEnumeratesAmbiguity) {
+  // (\A*)!\A* : every split of the string is an extraction.
+  ConstrainedMatcher cm = MakeCm("(\\A*)!\\A*");
+  std::vector<Extraction> all = cm.ExtractAll("ab");
+  // Extractions: "", "a", "ab".
+  ASSERT_EQ(all.size(), 3u);
+}
+
+TEST(ConstrainedMatcherTest, ExtractAllCap) {
+  ConstrainedMatcher cm = MakeCm("(\\A*)!\\A*");
+  std::vector<Extraction> all = cm.ExtractAll(std::string(100, 'x'), 5);
+  EXPECT_LE(all.size(), 5u);
+}
+
+TEST(ConstrainedMatcherTest, AmbiguousEquivalenceViaIntersection) {
+  // (\A*)!\A*: "ab" and "ax" share the extraction "a" (and "").
+  ConstrainedMatcher cm = MakeCm("(\\A*)!\\A*");
+  EXPECT_TRUE(cm.Equivalent("ab", "ax"));
+  EXPECT_TRUE(cm.Equivalent("ab", "zq"));  // both extract ""
+}
+
+TEST(ConstrainedMatcherTest, EmptyStringHandling) {
+  ConstrainedMatcher cm = MakeCm("(\\A*)!");
+  Extraction ex;
+  ASSERT_TRUE(cm.ExtractCanonical("", &ex));
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0], "");
+}
+
+TEST(ConstrainedMatcherTest, WholeValueConstrained) {
+  ConstrainedPattern q =
+      ConstrainedPattern::WholePattern(ParsePattern("\\D{5}").value());
+  ConstrainedMatcher cm(q);
+  Extraction ex;
+  ASSERT_TRUE(cm.ExtractCanonical("12345", &ex));
+  EXPECT_EQ(ex[0], "12345");
+  EXPECT_TRUE(cm.Equivalent("12345", "12345"));
+  EXPECT_FALSE(cm.Equivalent("12345", "12346"));
+}
+
+TEST(OneShotHelpersTest, MatchesPatternAndConstrained) {
+  EXPECT_TRUE(MatchesPattern(ParsePattern("\\D{2}").value(), "42"));
+  EXPECT_FALSE(MatchesPattern(ParsePattern("\\D{2}").value(), "4a"));
+  EXPECT_TRUE(MatchesConstrained(
+      ParseConstrainedPattern("(\\D)!\\D").value(), "42"));
+}
+
+}  // namespace
+}  // namespace anmat

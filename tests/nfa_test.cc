@@ -1,0 +1,127 @@
+#include "pattern/nfa.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+namespace {
+
+Nfa Compile(const char* text) {
+  return Nfa::Compile(ParsePattern(text).value());
+}
+
+TEST(NfaCompileTest, EmptyPatternAcceptsOnlyEpsilon) {
+  Nfa nfa = Nfa::Compile(Pattern());
+  EXPECT_TRUE(nfa.Matches(""));
+  EXPECT_FALSE(nfa.Matches("a"));
+  EXPECT_EQ(nfa.num_states(), 1u);
+  EXPECT_EQ(nfa.start(), nfa.accept());
+}
+
+TEST(NfaCompileTest, SingleLiteralTwoStates) {
+  Nfa nfa = Compile("a");
+  EXPECT_EQ(nfa.num_states(), 2u);
+  EXPECT_TRUE(nfa.Matches("a"));
+  EXPECT_FALSE(nfa.Matches(""));
+  EXPECT_FALSE(nfa.Matches("aa"));
+}
+
+TEST(NfaCompileTest, BoundedRepetitionExpandsStates) {
+  // a{3} = 3 chained copies -> 4 states.
+  EXPECT_EQ(Compile("a{3}").num_states(), 4u);
+  // a{1,3}: 1 mandatory + 2 optional -> 4 states (epsilon skips).
+  Nfa nfa = Compile("a{1,3}");
+  EXPECT_TRUE(nfa.Matches("a"));
+  EXPECT_TRUE(nfa.Matches("aa"));
+  EXPECT_TRUE(nfa.Matches("aaa"));
+  EXPECT_FALSE(nfa.Matches(""));
+  EXPECT_FALSE(nfa.Matches("aaaa"));
+}
+
+TEST(NfaCompileTest, UnboundedUsesSelfLoop) {
+  // a* is one state with a self loop.
+  Nfa star = Compile("a*");
+  EXPECT_EQ(star.num_states(), 1u);
+  EXPECT_TRUE(star.Matches(""));
+  EXPECT_TRUE(star.Matches("aaaaaaaa"));
+  // a+ adds one mandatory state.
+  Nfa plus = Compile("a+");
+  EXPECT_EQ(plus.num_states(), 2u);
+  EXPECT_FALSE(plus.Matches(""));
+  EXPECT_TRUE(plus.Matches("aaa"));
+}
+
+TEST(NfaStepTest, StepAndClosure) {
+  Nfa nfa = Compile("ab?c");
+  std::vector<uint32_t> states{nfa.start()};
+  nfa.EpsilonClosure(&states);
+  std::vector<uint32_t> next;
+  nfa.Step(states, 'a', &next);
+  EXPECT_FALSE(next.empty());
+  // After 'a', both 'b' and 'c' must be possible.
+  std::vector<uint32_t> after_b;
+  nfa.Step(next, 'b', &after_b);
+  EXPECT_FALSE(after_b.empty());
+  std::vector<uint32_t> after_c;
+  nfa.Step(next, 'c', &after_c);
+  EXPECT_TRUE(nfa.Accepts(after_c));
+}
+
+TEST(NfaStepTest, DeadStepYieldsEmpty) {
+  Nfa nfa = Compile("a");
+  std::vector<uint32_t> states{nfa.start()};
+  nfa.EpsilonClosure(&states);
+  std::vector<uint32_t> next;
+  nfa.Step(states, 'z', &next);
+  EXPECT_TRUE(next.empty());
+}
+
+TEST(NfaPrefixTest, EnumeratesAcceptingPrefixes) {
+  Nfa nfa = Compile("\\D{2,4}");
+  EXPECT_EQ(nfa.MatchingPrefixLengths("123456"),
+            (std::vector<uint32_t>{2, 3, 4}));
+  EXPECT_EQ(nfa.MatchingPrefixLengths("1"), std::vector<uint32_t>{});
+  EXPECT_EQ(nfa.MatchingPrefixLengths("12a4"),
+            (std::vector<uint32_t>{2}));
+}
+
+TEST(NfaPrefixTest, ZeroLengthPrefix) {
+  Nfa nfa = Compile("a*");
+  std::vector<uint32_t> lengths = nfa.MatchingPrefixLengths("aa");
+  EXPECT_EQ(lengths, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(NfaPrefixTest, StopsAtDeadState) {
+  Nfa nfa = Compile("ab");
+  // After 'x' nothing can match; enumeration stops early.
+  EXPECT_TRUE(nfa.MatchingPrefixLengths("xab").empty());
+}
+
+TEST(NfaConjunctTest, HelperChecksAllConjuncts) {
+  Pattern p = ParsePattern("\\A{5}&\\D*").value();
+  EXPECT_TRUE(NfaMatchesWithConjuncts(p, "12345"));
+  EXPECT_FALSE(NfaMatchesWithConjuncts(p, "1234a"));
+  EXPECT_FALSE(NfaMatchesWithConjuncts(p, "123"));
+}
+
+TEST(NfaLargeRepetitionTest, VeryLargeBoundsTreatedAsUnbounded) {
+  // {0,1000000} would explode if expanded; the compiler caps it.
+  Pattern p({PatternElement::Class(SymbolClass::kDigit, 0, 1000000)});
+  Nfa nfa = Nfa::Compile(p);
+  EXPECT_LT(nfa.num_states(), 100u);
+  EXPECT_TRUE(nfa.Matches("123"));
+  EXPECT_TRUE(nfa.Matches(""));
+}
+
+TEST(NfaTransitionTest, TransitionMatchesChar) {
+  Nfa::Transition lit{SymbolClass::kLiteral, 'x', 0};
+  EXPECT_TRUE(lit.MatchesChar('x'));
+  EXPECT_FALSE(lit.MatchesChar('y'));
+  Nfa::Transition cls{SymbolClass::kDigit, '\0', 0};
+  EXPECT_TRUE(cls.MatchesChar('7'));
+  EXPECT_FALSE(cls.MatchesChar('x'));
+}
+
+}  // namespace
+}  // namespace anmat

@@ -1,0 +1,216 @@
+#include "pattern/pattern_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace anmat {
+namespace {
+
+TEST(ParsePatternTest, SingleClasses) {
+  EXPECT_EQ(ParsePattern("\\A").value().elements()[0].cls, SymbolClass::kAny);
+  EXPECT_EQ(ParsePattern("\\LU").value().elements()[0].cls,
+            SymbolClass::kUpper);
+  EXPECT_EQ(ParsePattern("\\LL").value().elements()[0].cls,
+            SymbolClass::kLower);
+  EXPECT_EQ(ParsePattern("\\D").value().elements()[0].cls,
+            SymbolClass::kDigit);
+  EXPECT_EQ(ParsePattern("\\S").value().elements()[0].cls,
+            SymbolClass::kSymbol);
+}
+
+TEST(ParsePatternTest, ClassAliases) {
+  EXPECT_EQ(ParsePattern("\\U").value().elements()[0].cls,
+            SymbolClass::kUpper);
+  EXPECT_EQ(ParsePattern("\\L").value().elements()[0].cls,
+            SymbolClass::kLower);
+}
+
+TEST(ParsePatternTest, PlainLiterals) {
+  Pattern p = ParsePattern("abc").value();
+  ASSERT_EQ(p.elements().size(), 3u);
+  EXPECT_EQ(p.elements()[0].literal, 'a');
+  EXPECT_EQ(p.elements()[2].literal, 'c');
+}
+
+TEST(ParsePatternTest, EscapedLiterals) {
+  Pattern p = ParsePattern("\\ \\\\\\{\\*").value();
+  ASSERT_EQ(p.elements().size(), 4u);
+  EXPECT_EQ(p.elements()[0].literal, ' ');
+  EXPECT_EQ(p.elements()[1].literal, '\\');
+  EXPECT_EQ(p.elements()[2].literal, '{');
+  EXPECT_EQ(p.elements()[3].literal, '*');
+}
+
+TEST(ParsePatternTest, Quantifiers) {
+  Pattern p = ParsePattern("\\D{5}").value();
+  EXPECT_EQ(p.elements()[0].min, 5u);
+  EXPECT_EQ(p.elements()[0].max, 5u);
+
+  p = ParsePattern("\\D*").value();
+  EXPECT_EQ(p.elements()[0].min, 0u);
+  EXPECT_EQ(p.elements()[0].max, kUnbounded);
+
+  p = ParsePattern("\\D+").value();
+  EXPECT_EQ(p.elements()[0].min, 1u);
+  EXPECT_EQ(p.elements()[0].max, kUnbounded);
+
+  p = ParsePattern("\\D?").value();
+  EXPECT_EQ(p.elements()[0].min, 0u);
+  EXPECT_EQ(p.elements()[0].max, 1u);
+
+  p = ParsePattern("\\D{2,4}").value();
+  EXPECT_EQ(p.elements()[0].min, 2u);
+  EXPECT_EQ(p.elements()[0].max, 4u);
+
+  p = ParsePattern("\\D{2,}").value();
+  EXPECT_EQ(p.elements()[0].min, 2u);
+  EXPECT_EQ(p.elements()[0].max, kUnbounded);
+}
+
+TEST(ParsePatternTest, PaperLambda3Zip) {
+  // λ3's LHS: 900\D{2}
+  Pattern p = ParsePattern("900\\D{2}").value();
+  ASSERT_EQ(p.elements().size(), 4u);
+  EXPECT_EQ(p.elements()[0].literal, '9');
+  EXPECT_EQ(p.elements()[3].cls, SymbolClass::kDigit);
+  EXPECT_EQ(p.elements()[3].min, 2u);
+}
+
+TEST(ParsePatternTest, PaperLambda4Name) {
+  // λ4's embedded pattern: \LU\LL*\ \A*
+  Pattern p = ParsePattern("\\LU\\LL*\\ \\A*").value();
+  ASSERT_EQ(p.elements().size(), 4u);
+  EXPECT_EQ(p.elements()[0].cls, SymbolClass::kUpper);
+  EXPECT_EQ(p.elements()[1].cls, SymbolClass::kLower);
+  EXPECT_EQ(p.elements()[1].max, kUnbounded);
+  EXPECT_EQ(p.elements()[2].literal, ' ');
+  EXPECT_EQ(p.elements()[3].cls, SymbolClass::kAny);
+}
+
+TEST(ParsePatternTest, Conjunction) {
+  Pattern p = ParsePattern("\\A{5}&\\D*").value();
+  EXPECT_EQ(p.elements().size(), 1u);
+  ASSERT_EQ(p.conjuncts().size(), 1u);
+  EXPECT_EQ(p.conjuncts()[0].elements()[0].cls, SymbolClass::kDigit);
+}
+
+TEST(ParsePatternTest, Errors) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("\\").ok());           // dangling backslash
+  EXPECT_FALSE(ParsePattern("a{").ok());           // unterminated brace
+  EXPECT_FALSE(ParsePattern("a{x}").ok());         // bad count
+  EXPECT_FALSE(ParsePattern("a{3,1}").ok());       // inverted range
+  EXPECT_FALSE(ParsePattern("a**").ok());          // double quantifier
+  EXPECT_FALSE(ParsePattern("a*+").ok());          // double quantifier
+  EXPECT_FALSE(ParsePattern("*a").ok());           // leading quantifier
+  EXPECT_FALSE(ParsePattern("(a)").ok());          // groups not allowed
+  EXPECT_FALSE(ParsePattern("a)").ok());           // unmatched paren
+  EXPECT_FALSE(ParsePattern("a!b").ok());          // stray '!'
+  EXPECT_FALSE(ParsePattern("a&").ok());           // empty conjunct
+}
+
+TEST(ParsePatternTest, AbsurdRepetitionCountsRejected) {
+  // Counts far beyond any real cell length are input errors, and bounding
+  // them keeps NFA construction O(1)-ish per element.
+  EXPECT_TRUE(ParsePattern("a{100000}").ok());
+  EXPECT_FALSE(ParsePattern("a{100001}").ok());
+  EXPECT_FALSE(ParsePattern("a{87654321}").ok());
+  EXPECT_FALSE(ParsePattern("a{1,99999999}").ok());
+  EXPECT_FALSE(ParsePattern("a{99999999,}").ok());
+}
+
+TEST(ParsePatternTest, RoundTripToString) {
+  for (const char* text :
+       {"\\D{5}", "900\\D{2}", "\\LU\\LL*\\ \\A*", "\\A*,\\ Donald\\A*",
+        "\\LU-\\D-\\D{3}", "\\D{2,4}x+", "\\A{5}&\\D*"}) {
+    Pattern p = ParsePattern(text).value();
+    Pattern reparsed = ParsePattern(p.ToString()).value();
+    EXPECT_EQ(p, reparsed) << text << " -> " << p.ToString();
+  }
+}
+
+TEST(ParseConstrainedTest, Lambda4Lhs) {
+  // (\LU\LL*\ )!\A* — the paper's λ4 LHS with the first name constrained.
+  ConstrainedPattern q =
+      ParseConstrainedPattern("(\\LU\\LL*\\ )!\\A*").value();
+  ASSERT_EQ(q.segments().size(), 2u);
+  EXPECT_TRUE(q.segments()[0].constrained);
+  EXPECT_FALSE(q.segments()[1].constrained);
+  EXPECT_EQ(q.NumConstrained(), 1u);
+  EXPECT_TRUE(q.HasConstrained());
+}
+
+TEST(ParseConstrainedTest, Lambda5Lhs) {
+  // (\D{3})!\D{2} — first three digits of a zip constrained.
+  ConstrainedPattern q = ParseConstrainedPattern("(\\D{3})!\\D{2}").value();
+  ASSERT_EQ(q.segments().size(), 2u);
+  EXPECT_TRUE(q.segments()[0].constrained);
+  EXPECT_EQ(q.segments()[0].pattern.elements()[0].min, 3u);
+}
+
+TEST(ParseConstrainedTest, Q2TwoConstrainedSegments) {
+  // Q2 from Example 2: (\LU\LL*\ )!\A*\ (\LU\LL*)!
+  ConstrainedPattern q =
+      ParseConstrainedPattern("(\\LU\\LL*\\ )!\\A*\\ (\\LU\\LL*)!").value();
+  ASSERT_EQ(q.segments().size(), 3u);
+  EXPECT_TRUE(q.segments()[0].constrained);
+  EXPECT_FALSE(q.segments()[1].constrained);
+  EXPECT_TRUE(q.segments()[2].constrained);
+  EXPECT_EQ(q.NumConstrained(), 2u);
+}
+
+TEST(ParseConstrainedTest, UnconstrainedGroupAllowed) {
+  // Adjacent unconstrained segments canonicalize into one (their split is
+  // semantically irrelevant), so the group parentheses dissolve.
+  ConstrainedPattern q = ParseConstrainedPattern("(abc)def").value();
+  ASSERT_EQ(q.segments().size(), 1u);
+  EXPECT_FALSE(q.segments()[0].constrained);
+  EXPECT_FALSE(q.HasConstrained());
+  EXPECT_EQ(q.segments()[0].pattern.ToString(), "abcdef");
+}
+
+TEST(ParseConstrainedTest, PlainTextIsSingleSegment) {
+  ConstrainedPattern q = ParseConstrainedPattern("Los\\ Angeles").value();
+  ASSERT_EQ(q.segments().size(), 1u);
+  EXPECT_FALSE(q.HasConstrained());
+  std::string constant;
+  EXPECT_TRUE(q.IsConstantString(&constant));
+  EXPECT_EQ(constant, "Los Angeles");
+}
+
+TEST(ParseConstrainedTest, QuantifiedGroupRejected) {
+  // The language excludes recursive patterns like (α+)*.
+  EXPECT_FALSE(ParseConstrainedPattern("(ab)*").ok());
+  EXPECT_FALSE(ParseConstrainedPattern("(\\D+)+").ok());
+  EXPECT_FALSE(ParseConstrainedPattern("(a){3}").ok());
+  EXPECT_FALSE(ParseConstrainedPattern("(a)?").ok());
+}
+
+TEST(ParseConstrainedTest, Errors) {
+  EXPECT_FALSE(ParseConstrainedPattern("").ok());
+  EXPECT_FALSE(ParseConstrainedPattern("()!").ok());   // empty group
+  EXPECT_FALSE(ParseConstrainedPattern("(abc").ok());  // unterminated
+}
+
+TEST(ParseConstrainedTest, RoundTripToString) {
+  for (const char* text :
+       {"(\\LU\\LL*\\ )!\\A*", "(\\D{3})!\\D{2}",
+        "(\\LU\\LL*\\ )!\\A*\\ (\\LU\\LL*)!", "\\A*,\\ (Donald)!\\A*",
+        "(900)!\\D{2}"}) {
+    ConstrainedPattern q = ParseConstrainedPattern(text).value();
+    ConstrainedPattern reparsed =
+        ParseConstrainedPattern(q.ToString()).value();
+    EXPECT_EQ(q, reparsed) << text << " -> " << q.ToString();
+  }
+}
+
+TEST(ParseConstrainedTest, EmbeddedPattern) {
+  ConstrainedPattern q = ParseConstrainedPattern("(\\D{3})!\\D{2}").value();
+  Pattern embedded = q.EmbeddedPattern();
+  // \D{3} concat \D{2} normalizes to \D{5}.
+  ASSERT_EQ(embedded.elements().size(), 1u);
+  EXPECT_EQ(embedded.elements()[0].min, 5u);
+  EXPECT_EQ(embedded.elements()[0].max, 5u);
+}
+
+}  // namespace
+}  // namespace anmat

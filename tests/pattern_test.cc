@@ -1,0 +1,170 @@
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace anmat {
+namespace {
+
+TEST(PatternElementTest, Factories) {
+  PatternElement lit = PatternElement::Literal('x');
+  EXPECT_EQ(lit.cls, SymbolClass::kLiteral);
+  EXPECT_EQ(lit.literal, 'x');
+  EXPECT_EQ(lit.min, 1u);
+  EXPECT_EQ(lit.max, 1u);
+
+  PatternElement cls = PatternElement::Class(SymbolClass::kDigit, 2, 5);
+  EXPECT_EQ(cls.cls, SymbolClass::kDigit);
+  EXPECT_EQ(cls.min, 2u);
+  EXPECT_EQ(cls.max, 5u);
+}
+
+TEST(PatternElementTest, MatchesChar) {
+  EXPECT_TRUE(PatternElement::Literal('x').MatchesChar('x'));
+  EXPECT_FALSE(PatternElement::Literal('x').MatchesChar('y'));
+  EXPECT_TRUE(PatternElement::Class(SymbolClass::kDigit).MatchesChar('3'));
+  EXPECT_FALSE(PatternElement::Class(SymbolClass::kDigit).MatchesChar('a'));
+}
+
+TEST(PatternElementTest, ToStringQuantifiers) {
+  EXPECT_EQ(PatternElement::Class(SymbolClass::kDigit, 1, 1).ToString(),
+            "\\D");
+  EXPECT_EQ(PatternElement::Class(SymbolClass::kDigit, 5, 5).ToString(),
+            "\\D{5}");
+  EXPECT_EQ(PatternElement::Class(SymbolClass::kDigit, 0, kUnbounded)
+                .ToString(),
+            "\\D*");
+  EXPECT_EQ(PatternElement::Class(SymbolClass::kDigit, 1, kUnbounded)
+                .ToString(),
+            "\\D+");
+  EXPECT_EQ(PatternElement::Class(SymbolClass::kDigit, 2, 4).ToString(),
+            "\\D{2,4}");
+  EXPECT_EQ(PatternElement::Class(SymbolClass::kDigit, 2, kUnbounded)
+                .ToString(),
+            "\\D{2,}");
+}
+
+TEST(PatternElementTest, ToStringEscapesLiterals) {
+  EXPECT_EQ(PatternElement::Literal('a').ToString(), "a");
+  EXPECT_EQ(PatternElement::Literal(' ').ToString(), "\\ ");
+  EXPECT_EQ(PatternElement::Literal('\\').ToString(), "\\\\");
+  EXPECT_EQ(PatternElement::Literal('{').ToString(), "\\{");
+  EXPECT_EQ(PatternElement::Literal('*').ToString(), "\\*");
+  EXPECT_EQ(PatternElement::Literal('(').ToString(), "\\(");
+  EXPECT_EQ(PatternElement::Literal('!').ToString(), "\\!");
+  EXPECT_EQ(PatternElement::Literal('&').ToString(), "\\&");
+}
+
+TEST(PatternTest, LengthBounds) {
+  Pattern p({PatternElement::Class(SymbolClass::kDigit, 3, 3),
+             PatternElement::Class(SymbolClass::kDigit, 0, 2)});
+  EXPECT_EQ(p.MinLength(), 3u);
+  EXPECT_EQ(p.MaxLength(), 5u);
+}
+
+TEST(PatternTest, UnboundedMaxLength) {
+  Pattern p({PatternElement::Class(SymbolClass::kAny, 0, kUnbounded)});
+  EXPECT_EQ(p.MinLength(), 0u);
+  EXPECT_EQ(p.MaxLength(), kUnbounded);
+}
+
+TEST(PatternTest, ConjunctsTightenBounds) {
+  Pattern p({PatternElement::Class(SymbolClass::kAny, 0, kUnbounded)});
+  p.AddConjunct(Pattern({PatternElement::Class(SymbolClass::kDigit, 5, 5)}));
+  EXPECT_EQ(p.MinLength(), 5u);
+  EXPECT_EQ(p.MaxLength(), 5u);
+}
+
+TEST(PatternTest, IsConstantString) {
+  std::string value;
+  EXPECT_TRUE(LiteralPattern("CA").IsConstantString(&value));
+  EXPECT_EQ(value, "CA");
+  Pattern with_class({PatternElement::Class(SymbolClass::kDigit)});
+  EXPECT_FALSE(with_class.IsConstantString());
+  Pattern repeated({PatternElement::Literal('x', 3, 3)});
+  EXPECT_TRUE(repeated.IsConstantString(&value));
+  EXPECT_EQ(value, "xxx");
+  Pattern range({PatternElement::Literal('x', 1, 2)});
+  EXPECT_FALSE(range.IsConstantString());
+}
+
+TEST(PatternTest, EmptyPattern) {
+  Pattern p;
+  EXPECT_TRUE(p.empty());
+  std::string value = "sentinel";
+  EXPECT_TRUE(p.IsConstantString(&value));
+  EXPECT_EQ(value, "");  // matches exactly the empty string
+}
+
+TEST(PatternTest, ToStringConcatenates) {
+  Pattern p({PatternElement::Class(SymbolClass::kDigit, 3, 3),
+             PatternElement::Literal('-'),
+             PatternElement::Class(SymbolClass::kUpper, 1, kUnbounded)});
+  EXPECT_EQ(p.ToString(), "\\D{3}-\\LU+");
+}
+
+TEST(PatternTest, NormalizeMergesAdjacentSameSymbols) {
+  Pattern p({PatternElement::Class(SymbolClass::kDigit, 1, 1),
+             PatternElement::Class(SymbolClass::kDigit, 2, 2)});
+  p.Normalize();
+  ASSERT_EQ(p.elements().size(), 1u);
+  EXPECT_EQ(p.elements()[0].min, 3u);
+  EXPECT_EQ(p.elements()[0].max, 3u);
+}
+
+TEST(PatternTest, NormalizeMergesLiteralRuns) {
+  Pattern p({PatternElement::Literal('a'), PatternElement::Literal('a'),
+             PatternElement::Literal('b')});
+  p.Normalize();
+  ASSERT_EQ(p.elements().size(), 2u);
+  EXPECT_EQ(p.elements()[0].ToString(), "a{2}");
+  EXPECT_EQ(p.elements()[1].ToString(), "b");
+}
+
+TEST(PatternTest, NormalizeHandlesUnbounded) {
+  Pattern p({PatternElement::Class(SymbolClass::kDigit, 1, kUnbounded),
+             PatternElement::Class(SymbolClass::kDigit, 1, 1)});
+  p.Normalize();
+  ASSERT_EQ(p.elements().size(), 1u);
+  EXPECT_EQ(p.elements()[0].min, 2u);
+  EXPECT_EQ(p.elements()[0].max, kUnbounded);
+}
+
+TEST(PatternTest, NormalizeDropsZeroWidth) {
+  Pattern p({PatternElement::Class(SymbolClass::kDigit, 0, 0),
+             PatternElement::Literal('x')});
+  p.Normalize();
+  ASSERT_EQ(p.elements().size(), 1u);
+  EXPECT_EQ(p.elements()[0].literal, 'x');
+}
+
+TEST(PatternTest, NormalizeDoesNotMergeDifferentLiterals) {
+  Pattern p({PatternElement::Literal('a'), PatternElement::Literal('b')});
+  p.Normalize();
+  EXPECT_EQ(p.elements().size(), 2u);
+}
+
+TEST(PatternTest, EqualityIsStructural) {
+  Pattern a = LiteralPattern("ab");
+  Pattern b = LiteralPattern("ab");
+  Pattern c = LiteralPattern("ac");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(LiteralPatternTest, RunLengthCollapsed) {
+  Pattern p = LiteralPattern("aab");
+  ASSERT_EQ(p.elements().size(), 2u);
+  EXPECT_EQ(p.ToString(), "a{2}b");
+}
+
+TEST(EscapePatternCharTest, SyntaxCharsEscaped) {
+  EXPECT_EQ(EscapePatternChar('a'), "a");
+  EXPECT_EQ(EscapePatternChar(','), ",");
+  EXPECT_EQ(EscapePatternChar(' '), "\\ ");
+  EXPECT_EQ(EscapePatternChar('{'), "\\{");
+  EXPECT_EQ(EscapePatternChar('?'), "\\?");
+  EXPECT_EQ(EscapePatternChar(')'), "\\)");
+}
+
+}  // namespace
+}  // namespace anmat

@@ -1,0 +1,103 @@
+#include "pfd/pfd.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+namespace {
+
+TableauCell PatternCell(const char* text) {
+  return TableauCell::Of(ParseConstrainedPattern(text).value());
+}
+
+Tableau OneRowTableau(const char* lhs, const char* rhs_or_null) {
+  Tableau t;
+  TableauRow row;
+  row.lhs.push_back(PatternCell(lhs));
+  row.rhs.push_back(rhs_or_null == nullptr ? TableauCell::Wildcard()
+                                           : PatternCell(rhs_or_null));
+  t.AddRow(row);
+  return t;
+}
+
+Schema ZipSchema() {
+  return Schema::MakeText({"zip", "city"}).value();
+}
+
+TEST(PfdTest, SimpleAccessors) {
+  Pfd pfd = Pfd::Simple("Zip", "zip", "city",
+                        OneRowTableau("(900)!\\D{2}", "Los\\ Angeles"));
+  EXPECT_EQ(pfd.table(), "Zip");
+  EXPECT_EQ(pfd.lhs_attrs(), std::vector<std::string>{"zip"});
+  EXPECT_EQ(pfd.rhs_attrs(), std::vector<std::string>{"city"});
+  EXPECT_EQ(pfd.tableau().size(), 1u);
+}
+
+TEST(PfdTest, ValidateAgainstSchema) {
+  Pfd good = Pfd::Simple("Zip", "zip", "city",
+                         OneRowTableau("(900)!\\D{2}", "LA"));
+  EXPECT_TRUE(good.Validate(ZipSchema()).ok());
+
+  Pfd bad_attr = Pfd::Simple("Zip", "postcode", "city",
+                             OneRowTableau("(900)!\\D{2}", "LA"));
+  EXPECT_FALSE(bad_attr.Validate(ZipSchema()).ok());
+
+  Pfd same_attr =
+      Pfd::Simple("Zip", "zip", "zip", OneRowTableau("(900)!\\D{2}", "LA"));
+  EXPECT_FALSE(same_attr.Validate(ZipSchema()).ok());
+}
+
+TEST(PfdTest, ValidateEmptySides) {
+  Pfd empty;
+  EXPECT_FALSE(empty.Validate(ZipSchema()).ok());
+}
+
+TEST(PfdTest, ConstantVsVariable) {
+  Pfd constant = Pfd::Simple("Zip", "zip", "city",
+                             OneRowTableau("(900)!\\D{2}", "LA"));
+  EXPECT_TRUE(constant.IsConstant());
+  EXPECT_FALSE(constant.HasVariableRows());
+
+  Pfd variable =
+      Pfd::Simple("Zip", "zip", "city", OneRowTableau("(\\D{3})!\\D{2}",
+                                                      nullptr));
+  EXPECT_FALSE(variable.IsConstant());
+  EXPECT_TRUE(variable.HasVariableRows());
+
+  Pfd empty_tableau = Pfd::Simple("Zip", "zip", "city", Tableau());
+  EXPECT_FALSE(empty_tableau.IsConstant());
+}
+
+TEST(PfdTest, SummaryFormat) {
+  Pfd pfd = Pfd::Simple("Zip", "zip", "city",
+                        OneRowTableau("(900)!\\D{2}", "LA"));
+  EXPECT_EQ(pfd.Summary(), "Zip([zip] -> [city], 1 row)");
+}
+
+TEST(PfdTest, ToStringPaperStyle) {
+  Pfd pfd = Pfd::Simple("Zip", "zip", "city",
+                        OneRowTableau("(900)!\\D{2}", "Los\\ Angeles"));
+  const std::string s = pfd.ToString();
+  EXPECT_NE(s.find("Zip(["), std::string::npos);
+  EXPECT_NE(s.find("zip = (900)!\\D{2}"), std::string::npos);
+  EXPECT_NE(s.find("city = Los\\ Angeles"), std::string::npos);
+}
+
+TEST(PfdTest, ToStringWildcardRhsOmitsValue) {
+  Pfd pfd = Pfd::Simple("Zip", "zip", "city",
+                        OneRowTableau("(\\D{3})!\\D{2}", nullptr));
+  const std::string s = pfd.ToString();
+  EXPECT_NE(s.find("-> [city])"), std::string::npos);
+}
+
+TEST(PfdTest, Equality) {
+  Pfd a = Pfd::Simple("Z", "zip", "city", OneRowTableau("(9)!\\D", "LA"));
+  Pfd b = Pfd::Simple("Z", "zip", "city", OneRowTableau("(9)!\\D", "LA"));
+  Pfd c = Pfd::Simple("Z", "zip", "city", OneRowTableau("(8)!\\D", "LA"));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace anmat

@@ -1,0 +1,136 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace anmat {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean should be near 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(9);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++trues;
+  }
+  EXPECT_NEAR(trues / 10000.0, 0.25, 0.03);
+  Rng rng2(9);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(rng2.NextBool(0.0));
+}
+
+TEST(RngTest, ChooseReturnsMember) {
+  Rng rng(13);
+  const std::vector<std::string> items = {"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& pick = rng.Choose(items);
+    EXPECT_TRUE(pick == "a" || pick == "b" || pick == "c");
+  }
+}
+
+TEST(RngTest, ChooseWeightedHonorsZeroWeight) {
+  Rng rng(17);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.ChooseWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, ChooseWeightedRoughProportions) {
+  Rng rng(19);
+  const std::vector<double> weights = {3.0, 1.0};
+  int first = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.ChooseWeighted(weights) == 0) ++first;
+  }
+  EXPECT_NEAR(first / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, NextStringUsesAlphabet) {
+  Rng rng(23);
+  const std::string s = rng.NextString(64, "ab");
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(c == 'a' || c == 'b');
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(31);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace anmat

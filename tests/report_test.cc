@@ -1,0 +1,87 @@
+#include "anmat/report.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "detect/detector.h"
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+namespace {
+
+TableauCell PatternCell(const char* text) {
+  return TableauCell::Of(ParseConstrainedPattern(text).value());
+}
+
+Tableau OneRowTableau(const char* lhs, const char* rhs_or_null) {
+  Tableau t;
+  TableauRow row;
+  row.lhs.push_back(PatternCell(lhs));
+  row.rhs.push_back(rhs_or_null == nullptr ? TableauCell::Wildcard()
+                                           : PatternCell(rhs_or_null));
+  t.AddRow(row);
+  return t;
+}
+
+TEST(ProfilingViewTest, EmptyProfiles) {
+  const std::string view = RenderProfilingView({});
+  EXPECT_NE(view.find("Profiling"), std::string::npos);
+}
+
+TEST(ProfilingViewTest, ColumnsAndDominantPatterns) {
+  Dataset d = PaperZipTable();
+  std::vector<ColumnProfile> profiles = ProfileRelation(d.relation);
+  const std::string view = RenderProfilingView(profiles);
+  EXPECT_NE(view.find("| zip"), std::string::npos);
+  EXPECT_NE(view.find("| city"), std::string::npos);
+  EXPECT_NE(view.find("dominant patterns"), std::string::npos);
+  EXPECT_NE(view.find("\\D{5}::0, 4"), std::string::npos);
+}
+
+TEST(Table3StyleTest, OneRowPerTableauRow) {
+  Dataset d = PaperZipTable();
+  Pfd lambda3 = Pfd::Simple("Zip", "zip", "city",
+                            OneRowTableau("(900)!\\D{2}", "Los\\ Angeles"));
+  Pfd lambda5 = Pfd::Simple("Zip", "zip", "city",
+                            OneRowTableau("(\\D{3})!\\D{2}", nullptr));
+  std::vector<Pfd> rules = {lambda3, lambda5};
+  auto detection = DetectErrors(d.relation, rules).value();
+  const std::string table = RenderTable3Style(d.relation, rules, detection);
+  // Both rules appear with their example errors ("90004 | New York").
+  EXPECT_NE(table.find("zip -> city"), std::string::npos);
+  EXPECT_NE(table.find("(900)!\\D{2}"), std::string::npos);
+  EXPECT_NE(table.find("90004 | New York"), std::string::npos);
+}
+
+TEST(ViolationsViewTest, CapsRows) {
+  Dataset d = ZipCityStateDataset(500, 301, 0.1);
+  Pfd rule = Pfd::Simple("Z", "zip", "city",
+                         OneRowTableau("(\\D{3})!\\D{2}", nullptr));
+  std::vector<Pfd> rules = {rule};
+  auto detection = DetectErrors(d.relation, rules).value();
+  ASSERT_GT(detection.violations.size(), 5u);
+  const std::string view =
+      RenderViolationsView(d.relation, rules, detection, 5);
+  EXPECT_NE(view.find("more violations"), std::string::npos);
+}
+
+TEST(ViolationsViewTest, StatsLinePresent) {
+  Dataset d = PaperZipTable();
+  Pfd rule = Pfd::Simple("Zip", "zip", "city",
+                         OneRowTableau("(900)!\\D{2}", "Los\\ Angeles"));
+  std::vector<Pfd> rules = {rule};
+  auto detection = DetectErrors(d.relation, rules).value();
+  const std::string view = RenderViolationsView(d.relation, rules, detection);
+  EXPECT_NE(view.find("row-checks"), std::string::npos);
+  EXPECT_NE(view.find("index candidates"), std::string::npos);
+}
+
+TEST(ScorecardTest, ZeroDenominators) {
+  PrecisionRecall pr;
+  const std::string card = RenderScorecard("empty", pr);
+  EXPECT_NE(card.find("precision=0.000"), std::string::npos);
+  EXPECT_NE(card.find("f1=0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anmat

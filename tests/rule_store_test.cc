@@ -1,0 +1,107 @@
+#include "store/rule_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+namespace {
+
+TableauCell PatternCell(const char* text) {
+  return TableauCell::Of(ParseConstrainedPattern(text).value());
+}
+
+Pfd SamplePfd() {
+  Tableau t;
+  {
+    TableauRow row;
+    row.lhs.push_back(PatternCell("(900)!\\D{2}"));
+    row.rhs.push_back(PatternCell("Los\\ Angeles"));
+    t.AddRow(row);
+  }
+  {
+    TableauRow row;
+    row.lhs.push_back(PatternCell("(\\D{3})!\\D{2}"));
+    row.rhs.push_back(TableauCell::Wildcard());
+    t.AddRow(row);
+  }
+  return Pfd::Simple("Zip", "zip", "city", t);
+}
+
+TEST(PfdJsonTest, RoundTripsExactly) {
+  Pfd original = SamplePfd();
+  JsonValue json = PfdToJson(original);
+  Pfd restored = PfdFromJson(json).value();
+  EXPECT_TRUE(original == restored);
+}
+
+TEST(PfdJsonTest, WildcardCellsSerialized) {
+  JsonValue json = PfdToJson(SamplePfd());
+  const std::string text = json.Dump();
+  EXPECT_NE(text.find("wildcard"), std::string::npos);
+  EXPECT_NE(text.find("(900)!\\\\D{2}"), std::string::npos);
+}
+
+TEST(PfdJsonTest, MalformedJsonRejected) {
+  EXPECT_FALSE(PfdFromJson(JsonValue::String("nope")).ok());
+  JsonValue missing = JsonValue::Object();
+  missing.Set("table", JsonValue::String("T"));
+  EXPECT_FALSE(PfdFromJson(missing).ok());
+}
+
+TEST(RuleSetTest, SerializeParseRoundTrip) {
+  std::vector<Pfd> rules = {SamplePfd(), SamplePfd()};
+  std::string text = SerializeRuleSet(rules);
+  std::vector<Pfd> restored = ParseRuleSet(text).value();
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_TRUE(restored[0] == rules[0]);
+  EXPECT_TRUE(restored[1] == rules[1]);
+}
+
+TEST(RuleSetTest, EmptyRuleSet) {
+  std::string text = SerializeRuleSet({});
+  EXPECT_TRUE(ParseRuleSet(text).value().empty());
+}
+
+TEST(RuleSetTest, RejectsWrongFormatOrVersion) {
+  EXPECT_FALSE(ParseRuleSet("{}").ok());
+  EXPECT_FALSE(
+      ParseRuleSet(R"({"format":"other","version":1,"rules":[]})").ok());
+  EXPECT_FALSE(
+      ParseRuleSet(R"({"format":"anmat-rules","version":99,"rules":[]})")
+          .ok());
+  EXPECT_FALSE(
+      ParseRuleSet(R"({"format":"anmat-rules","version":1})").ok());
+  EXPECT_FALSE(ParseRuleSet("not json at all").ok());
+}
+
+TEST(RuleStoreTest, SaveAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "/anmat_rules_test.json";
+  RuleStore store(path);
+  ASSERT_TRUE(store.Save({SamplePfd()}).ok());
+  std::vector<Pfd> loaded = store.Load().value();
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded[0] == SamplePfd());
+  std::remove(path.c_str());
+}
+
+TEST(RuleStoreTest, MissingFileIsNotFound) {
+  RuleStore store("/nonexistent/dir/rules.json");
+  auto r = store.Load();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RuleStoreTest, SaveOverwritesAtomically) {
+  const std::string path = ::testing::TempDir() + "/anmat_rules_test2.json";
+  RuleStore store(path);
+  ASSERT_TRUE(store.Save({SamplePfd()}).ok());
+  ASSERT_TRUE(store.Save({}).ok());  // overwrite with empty set
+  EXPECT_TRUE(store.Load().value().empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace anmat

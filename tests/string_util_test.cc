@@ -1,0 +1,149 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace anmat {
+namespace {
+
+TEST(CharClassTest, UpperLowerDigit) {
+  EXPECT_TRUE(IsUpper('A'));
+  EXPECT_TRUE(IsUpper('Z'));
+  EXPECT_FALSE(IsUpper('a'));
+  EXPECT_TRUE(IsLower('a'));
+  EXPECT_TRUE(IsLower('z'));
+  EXPECT_FALSE(IsLower('0'));
+  EXPECT_TRUE(IsDigit('0'));
+  EXPECT_TRUE(IsDigit('9'));
+  EXPECT_FALSE(IsDigit('x'));
+}
+
+TEST(CharClassTest, SymbolIsEverythingElse) {
+  EXPECT_TRUE(IsSymbol(' '));
+  EXPECT_TRUE(IsSymbol(','));
+  EXPECT_TRUE(IsSymbol('-'));
+  EXPECT_TRUE(IsSymbol('\n'));
+  EXPECT_FALSE(IsSymbol('a'));
+  EXPECT_FALSE(IsSymbol('5'));
+}
+
+TEST(CharClassTest, CaseConversion) {
+  EXPECT_EQ(ToLower('A'), 'a');
+  EXPECT_EQ(ToLower('a'), 'a');
+  EXPECT_EQ(ToLower('5'), '5');
+  EXPECT_EQ(ToUpper('z'), 'Z');
+  EXPECT_EQ(ToUpper('#'), '#');
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi\r "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(CaseCopyTest, LowerAndUpper) {
+  EXPECT_EQ(ToLowerCopy("MiXeD 42!"), "mixed 42!");
+  EXPECT_EQ(ToUpperCopy("MiXeD 42!"), "MIXED 42!");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc \n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(AffixTest, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("90001", "900"));
+  EXPECT_FALSE(StartsWith("90001", "901"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "file.csv"));
+  EXPECT_TRUE(ContainsSubstring("Los Angeles", "s A"));
+  EXPECT_FALSE(ContainsSubstring("LA", "Angeles"));
+}
+
+TEST(IsAllDigitsTest, Basic) {
+  EXPECT_TRUE(IsAllDigits("0123456789"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a3"));
+  EXPECT_FALSE(IsAllDigits("-12"));
+}
+
+TEST(LooksNumericTest, Integers) {
+  EXPECT_TRUE(LooksNumeric("42"));
+  EXPECT_TRUE(LooksNumeric("-42"));
+  EXPECT_TRUE(LooksNumeric("+42"));
+  EXPECT_TRUE(LooksNumeric(" 42 "));
+}
+
+TEST(LooksNumericTest, Floats) {
+  EXPECT_TRUE(LooksNumeric("3.14"));
+  EXPECT_TRUE(LooksNumeric("-0.5"));
+  EXPECT_TRUE(LooksNumeric(".5"));
+  EXPECT_TRUE(LooksNumeric("5."));
+  EXPECT_TRUE(LooksNumeric("1e9"));
+  EXPECT_TRUE(LooksNumeric("1.5e-3"));
+  EXPECT_TRUE(LooksNumeric("2E+8"));
+}
+
+TEST(LooksNumericTest, NonNumbers) {
+  EXPECT_FALSE(LooksNumeric(""));
+  EXPECT_FALSE(LooksNumeric("abc"));
+  EXPECT_FALSE(LooksNumeric("12a"));
+  EXPECT_FALSE(LooksNumeric("1.2.3"));
+  EXPECT_FALSE(LooksNumeric("-"));
+  EXPECT_FALSE(LooksNumeric("+."));
+  EXPECT_FALSE(LooksNumeric("1e"));
+  EXPECT_FALSE(LooksNumeric("1e+"));
+  EXPECT_FALSE(LooksNumeric("90001-1234"));
+}
+
+TEST(EscapeForDisplayTest, EscapesControls) {
+  EXPECT_EQ(EscapeForDisplay("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeForDisplay("a\tb"), "a\\tb");
+  EXPECT_EQ(EscapeForDisplay("q\"q"), "q\\\"q");
+  EXPECT_EQ(EscapeForDisplay("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeForDisplay(std::string(1, '\x01')), "\\x01");
+  EXPECT_EQ(EscapeForDisplay("plain"), "plain");
+}
+
+TEST(ParseNonNegativeIntTest, ValidAndInvalid) {
+  EXPECT_EQ(ParseNonNegativeInt("0"), 0);
+  EXPECT_EQ(ParseNonNegativeInt("123"), 123);
+  EXPECT_EQ(ParseNonNegativeInt("007"), 7);
+  EXPECT_EQ(ParseNonNegativeInt(""), -1);
+  EXPECT_EQ(ParseNonNegativeInt("-1"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("12x"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("9999999999999999999"), -1);  // too long
+}
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  uint64_t a = Fnv1a64("a");
+  uint64_t b = Fnv1a64("b");
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+}
+
+}  // namespace
+}  // namespace anmat

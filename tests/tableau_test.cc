@@ -1,0 +1,117 @@
+#include "pfd/tableau.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_parser.h"
+
+namespace anmat {
+namespace {
+
+TableauCell PatternCell(const char* text) {
+  return TableauCell::Of(ParseConstrainedPattern(text).value());
+}
+
+TEST(TableauCellTest, Wildcard) {
+  TableauCell c = TableauCell::Wildcard();
+  EXPECT_TRUE(c.is_wildcard());
+  EXPECT_FALSE(c.IsConstant());
+  EXPECT_EQ(c.ToString(), "_");
+}
+
+TEST(TableauCellTest, PatternCell) {
+  TableauCell c = PatternCell("(\\D{3})!\\D{2}");
+  EXPECT_FALSE(c.is_wildcard());
+  EXPECT_FALSE(c.IsConstant());
+  EXPECT_EQ(c.ToString(), "(\\D{3})!\\D{2}");
+}
+
+TEST(TableauCellTest, ConstantCell) {
+  TableauCell c = PatternCell("Los\\ Angeles");
+  std::string value;
+  EXPECT_TRUE(c.IsConstant(&value));
+  EXPECT_EQ(value, "Los Angeles");
+}
+
+TEST(TableauCellTest, Equality) {
+  EXPECT_EQ(TableauCell::Wildcard(), TableauCell::Wildcard());
+  EXPECT_EQ(PatternCell("\\D{3}"), PatternCell("\\D{3}"));
+  EXPECT_FALSE(PatternCell("\\D{3}") == PatternCell("\\D{4}"));
+  EXPECT_FALSE(PatternCell("\\D{3}") == TableauCell::Wildcard());
+}
+
+TEST(TableauRowTest, ConstantRowDetection) {
+  TableauRow row;
+  row.lhs.push_back(PatternCell("(900)!\\D{2}"));
+  row.rhs.push_back(PatternCell("Los\\ Angeles"));
+  EXPECT_TRUE(row.IsConstantRow());
+  EXPECT_FALSE(row.IsVariableRow());
+}
+
+TEST(TableauRowTest, VariableRowDetection) {
+  TableauRow row;
+  row.lhs.push_back(PatternCell("(\\D{3})!\\D{2}"));
+  row.rhs.push_back(TableauCell::Wildcard());
+  EXPECT_FALSE(row.IsConstantRow());
+  EXPECT_TRUE(row.IsVariableRow());
+}
+
+TEST(TableauRowTest, NonConstantPatternRhsIsNeither) {
+  TableauRow row;
+  row.lhs.push_back(PatternCell("(\\D{3})!\\D{2}"));
+  row.rhs.push_back(PatternCell("\\LU\\LL*"));  // pattern, not constant
+  EXPECT_FALSE(row.IsConstantRow());
+  EXPECT_FALSE(row.IsVariableRow());
+}
+
+TEST(TableauRowTest, EmptyRhsNotConstant) {
+  TableauRow row;
+  row.lhs.push_back(PatternCell("\\D"));
+  EXPECT_FALSE(row.IsConstantRow());
+}
+
+TEST(TableauTest, AddAndAccess) {
+  Tableau t;
+  EXPECT_TRUE(t.empty());
+  TableauRow row;
+  row.lhs.push_back(PatternCell("(900)!\\D{2}"));
+  row.rhs.push_back(PatternCell("LA"));
+  t.AddRow(row);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.row(0), row);
+}
+
+TEST(TableauTest, ValidateShape) {
+  Tableau t;
+  TableauRow row;
+  row.lhs.push_back(PatternCell("\\D"));
+  row.rhs.push_back(PatternCell("x"));
+  t.AddRow(row);
+  EXPECT_TRUE(t.Validate(1, 1).ok());
+  EXPECT_FALSE(t.Validate(2, 1).ok());
+  EXPECT_FALSE(t.Validate(1, 2).ok());
+}
+
+TEST(TableauTest, ValidateRejectsAllWildcardLhs) {
+  Tableau t;
+  TableauRow row;
+  row.lhs.push_back(TableauCell::Wildcard());
+  row.rhs.push_back(PatternCell("x"));
+  t.AddRow(row);
+  EXPECT_FALSE(t.Validate(1, 1).ok());
+}
+
+TEST(TableauTest, Equality) {
+  Tableau a;
+  Tableau b;
+  EXPECT_TRUE(a == b);
+  TableauRow row;
+  row.lhs.push_back(PatternCell("\\D"));
+  row.rhs.push_back(TableauCell::Wildcard());
+  a.AddRow(row);
+  EXPECT_FALSE(a == b);
+  b.AddRow(row);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace anmat

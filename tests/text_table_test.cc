@@ -1,0 +1,90 @@
+#include "util/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace anmat {
+namespace {
+
+TEST(TextTableTest, EmptyTableRendersEmpty) {
+  TextTable t;
+  EXPECT_EQ(t.Render(), "");
+}
+
+TEST(TextTableTest, HeaderOnly) {
+  TextTable t({"a", "bb"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| a | bb |"), std::string::npos);
+  // Top border, header, separator, bottom border = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTableTest, RowsAlignToWidestCell) {
+  TextTable t({"col"});
+  t.AddRow({"wide-value"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| col        |"), std::string::npos);
+  EXPECT_NE(out.find("| wide-value |"), std::string::npos);
+}
+
+TEST(TextTableTest, RightAlignment) {
+  TextTable t({"n"});
+  t.SetAlignments({Align::kRight});
+  t.AddRow({"7"});
+  t.AddRow({"123"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("|   7 |"), std::string::npos);
+  EXPECT_NE(out.find("| 123 |"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b"});
+  t.AddRow({"only"});
+  std::string out = t.Render();
+  // The second cell renders as spaces, padded to column width.
+  EXPECT_NE(out.find("| only |   |"), std::string::npos);
+}
+
+TEST(TextTableTest, RaggedRowsWidenTable) {
+  TextTable t;  // no header
+  t.AddRow({"a"});
+  t.AddRow({"a", "b", "c"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| a | b | c |"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorAddsBorder) {
+  TextTable t({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string out = t.Render();
+  // Borders: top, after header, separator, bottom = 4 '+--+' lines.
+  size_t borders = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+---+", pos)) != std::string::npos) {
+    ++borders;
+    pos += 1;
+  }
+  EXPECT_EQ(borders, 4u);
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(KeyValueBlockTest, AlignsOnColon) {
+  std::string out = RenderKeyValueBlock({{"k", "v"}, {"long-key", "w"}});
+  EXPECT_NE(out.find("k       : v"), std::string::npos);
+  EXPECT_NE(out.find("long-key: w"), std::string::npos);
+}
+
+TEST(KeyValueBlockTest, EmptyIsEmpty) {
+  EXPECT_EQ(RenderKeyValueBlock({}), "");
+}
+
+}  // namespace
+}  // namespace anmat

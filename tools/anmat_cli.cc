@@ -1,0 +1,175 @@
+// anmat — command-line interface to the ANMAT pipeline.
+//
+// The original demo exposes a GUI (Figures 3-5) and a Jupyter front-end;
+// this CLI is the scriptable substitute. Subcommands:
+//
+//   anmat profile  <data.csv>
+//       Print the Figure-3 profiling view.
+//
+//   anmat discover <data.csv> [--coverage G] [--violations V]
+//                  [--rules out.json] [--table NAME]
+//       Run PFD discovery, print the Figure-4 view, optionally persist the
+//       rules to a JSON rule store.
+//
+//   anmat detect   <data.csv> --rules rules.json [--max N]
+//       Load rules and print the Figure-5 violations view.
+//
+//   anmat repair   <data.csv> --rules rules.json [--out cleaned.csv]
+//       Apply confident suggested repairs and write the cleaned table.
+//
+// Exit codes: 0 success, 1 usage error, 2 pipeline error.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anmat/report.h"
+#include "anmat/session.h"
+#include "csv/csv_writer.h"
+#include "pfd/implication.h"
+#include "repair/repair.h"
+#include "store/rule_store.h"
+
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  anmat profile  <data.csv>\n"
+      "  anmat discover <data.csv> [--coverage G] [--violations V]\n"
+      "                 [--rules out.json] [--table NAME]\n"
+      "  anmat detect   <data.csv> --rules rules.json [--max N]\n"
+      "  anmat repair   <data.csv> --rules rules.json [--out cleaned.csv]\n";
+  return 1;
+}
+
+int Fail(const anmat::Status& status) {
+  std::cerr << "anmat: " << status.ToString() << "\n";
+  return 2;
+}
+
+/// Parses trailing --key value flags into a map.
+bool ParseFlags(int argc, char** argv, int first,
+                std::map<std::string, std::string>* flags) {
+  for (int i = first; i < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) return false;
+    (*flags)[key.substr(2)] = argv[i + 1];
+  }
+  return true;
+}
+
+double FlagDouble(const std::map<std::string, std::string>& flags,
+                  const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::strtod(it->second.c_str(),
+                                                    nullptr);
+}
+
+int CmdProfile(const std::string& path) {
+  anmat::Session session("cli");
+  if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
+  if (anmat::Status s = session.Profile(); !s.ok()) return Fail(s);
+  std::cout << anmat::RenderProfilingView(session.profiles());
+  return 0;
+}
+
+int CmdDiscover(const std::string& path,
+                const std::map<std::string, std::string>& flags) {
+  anmat::Session session(flags.count("table") ? flags.at("table") : "T");
+  if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
+  session.SetMinCoverage(FlagDouble(flags, "coverage", 0.4));
+  session.SetAllowedViolationRatio(FlagDouble(flags, "violations", 0.1));
+  if (anmat::Status s = session.Discover(); !s.ok()) return Fail(s);
+  std::cout << anmat::RenderDiscoveredPfdsView(session.discovered());
+  if (flags.count("rules") > 0) {
+    std::vector<anmat::Pfd> rules;
+    for (const anmat::DiscoveredPfd& d : session.discovered()) {
+      rules.push_back(d.pfd);
+    }
+    if (flags.count("minimize") > 0 && flags.at("minimize") != "false") {
+      anmat::MinimizeStats stats;
+      rules = anmat::MinimizeRuleSet(rules, &stats);
+      std::cout << "\nminimized: " << stats.rows_before << " -> "
+                << stats.rows_after << " tableau rows\n";
+    }
+    anmat::RuleStore store(flags.at("rules"));
+    if (anmat::Status s = store.Save(rules); !s.ok()) return Fail(s);
+    std::cout << "\nsaved " << rules.size() << " rule(s) to "
+              << flags.at("rules") << "\n";
+  }
+  return 0;
+}
+
+int CmdDetect(const std::string& path,
+              const std::map<std::string, std::string>& flags) {
+  if (flags.count("rules") == 0) return Usage();
+  anmat::Session session("cli");
+  if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
+  anmat::RuleStore store(flags.at("rules"));
+  auto rules = store.Load();
+  if (!rules.ok()) return Fail(rules.status());
+
+  auto detection = anmat::DetectErrors(session.relation(), rules.value());
+  if (!detection.ok()) return Fail(detection.status());
+  size_t max_rows = 50;
+  if (flags.count("max") > 0) {
+    max_rows = std::strtoul(flags.at("max").c_str(), nullptr, 10);
+  }
+  std::cout << anmat::RenderViolationsView(session.relation(), rules.value(),
+                                           detection.value(), max_rows);
+  return 0;
+}
+
+int CmdRepair(const std::string& path,
+              const std::map<std::string, std::string>& flags) {
+  if (flags.count("rules") == 0) return Usage();
+  anmat::Session session("cli");
+  if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
+  anmat::RuleStore store(flags.at("rules"));
+  auto rules = store.Load();
+  if (!rules.ok()) return Fail(rules.status());
+
+  anmat::Relation relation = session.relation();
+  auto result = anmat::RepairErrors(&relation, rules.value());
+  if (!result.ok()) return Fail(result.status());
+  std::cout << "applied " << result.value().repairs.size() << " repair(s) in "
+            << result.value().passes << " pass(es); "
+            << result.value().remaining_violations
+            << " violation(s) remain";
+  if (!result.value().conflicted_cells.empty()) {
+    std::cout << "; " << result.value().conflicted_cells.size()
+              << " cell(s) had conflicting suggestions and were left alone";
+  }
+  std::cout << "\n";
+  for (const anmat::AppliedRepair& r : result.value().repairs) {
+    std::cout << "  row " << r.cell.row << " col " << r.cell.column << ": \""
+              << r.before << "\" -> \"" << r.after << "\"\n";
+  }
+  if (flags.count("out") > 0) {
+    if (anmat::Status s = anmat::WriteCsvFile(relation, flags.at("out"));
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::cout << "wrote cleaned table to " << flags.at("out") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  std::map<std::string, std::string> flags;
+  if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
+
+  if (command == "profile") return CmdProfile(path);
+  if (command == "discover") return CmdDiscover(path, flags);
+  if (command == "detect") return CmdDetect(path, flags);
+  if (command == "repair") return CmdRepair(path, flags);
+  return Usage();
+}
