@@ -2,9 +2,12 @@
 // The quadratic time complexity can be avoided using blocking [4]".
 //
 // Content: pair counts examined by the quadratic reference vs blocking on
-// a fixed dataset. Performance: variable-PFD detection with blocking vs
-// the quadratic pair enumeration across dataset sizes — blocking's curve
-// should stay near-linear while the quadratic one bends.
+// a fixed dataset — the pairs column grows Θ(n²) without blocking and
+// near-linearly with it, which is the claim itself. Performance: detection
+// timings for both modes. Note the detector accounts the quadratic
+// reference's key comparisons in closed form (C(matched, 2)) rather than
+// replaying the pair loop, so BM_DetectQuadratic times the same group
+// resolution as blocking; the quadratic *evidence* is the pairs table.
 
 #include <benchmark/benchmark.h>
 
@@ -73,8 +76,9 @@ void BM_DetectQuadratic(benchmark::State& state) {
   RunDetection(state, false);
 }
 
-// Blocking scales to large tables; the quadratic reference is capped at
-// 16 000 rows (its per-iteration cost is Θ(n²) by construction).
+// The quadratic reference's comparisons are accounted analytically (see
+// header comment), so both modes scale; the historical 16 000-row cap on
+// the quadratic arm is kept for series continuity.
 BENCHMARK(BM_DetectBlocking)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(128000);
 BENCHMARK(BM_DetectQuadratic)->Arg(1000)->Arg(4000)->Arg(16000);
 

@@ -1,0 +1,248 @@
+// A6 — lazy-DFA matching engine vs the NFA reference, and value-dictionary
+// detection vs per-row detection.
+//
+// The NFA simulation (nfa.cc) allocates/sorts/epsilon-closes a state set per
+// input character; the lazy DFA (dfa.h) compresses the byte alphabet into
+// symbol classes and memoizes subset construction, so a match is one table
+// lookup per byte. The column value dictionary (relation.h) lets detection
+// match each *distinct* value once instead of once per row.
+//
+// Content: match throughput (values/sec) for NFA vs DFA on the synthetic
+// code/phone/zip generators (expected >= 5x), plus wall-clock detection on a
+// duplicate-heavy column with dictionaries on vs off. Performance: the same
+// comparisons as google-benchmark timings (JSON via --benchmark_format=json,
+// like every other bench_* binary).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/datasets.h"
+#include "detect/detector.h"
+#include "pattern/dfa.h"
+#include "pattern/matcher.h"
+#include "pattern/nfa.h"
+#include "pattern/pattern_parser.h"
+#include "pfd/pfd.h"
+#include "util/random.h"
+#include "util/text_table.h"
+
+namespace {
+
+using anmat_bench::Banner;
+using anmat_bench::CheckOrDie;
+
+struct MatchWorkload {
+  std::string name;
+  std::string pattern;
+  std::vector<std::string> values;
+};
+
+std::vector<MatchWorkload> MatchWorkloads(size_t rows) {
+  std::vector<MatchWorkload> workloads;
+  {
+    MatchWorkload w;
+    w.name = "zip";
+    w.pattern = "\\D{5}";
+    const anmat::Dataset d = anmat::ZipCityStateDataset(rows, 61, 0.02);
+    w.values = d.relation.column(0);
+    workloads.push_back(std::move(w));
+  }
+  {
+    MatchWorkload w;
+    w.name = "phone";
+    w.pattern = "\\D{10}";
+    const anmat::Dataset d = anmat::PhoneStateDataset(rows, 62, 0.02);
+    w.values = d.relation.column(0);
+    workloads.push_back(std::move(w));
+  }
+  {
+    MatchWorkload w;
+    w.name = "code";
+    w.pattern = "CHEMBL\\D{1,7}";
+    const anmat::Dataset d = anmat::CompoundDataset(rows, 63, 0.02);
+    w.values = d.relation.column(0);
+    workloads.push_back(std::move(w));
+  }
+  return workloads;
+}
+
+/// A duplicate-heavy (zip, city, state) relation: `rows` rows drawn from a
+/// pool of `pool` distinct tuples — the regime real columns live in.
+anmat::Relation DuplicateHeavyRelation(size_t rows, size_t pool,
+                                       uint64_t seed) {
+  const anmat::Dataset base = anmat::ZipCityStateDataset(pool, seed, 0.0);
+  anmat::RelationBuilder builder(base.relation.schema());
+  anmat::Rng rng(seed + 1);
+  for (size_t i = 0; i < rows; ++i) {
+    const anmat::RowId r =
+        static_cast<anmat::RowId>(rng.NextBelow(base.relation.num_rows()));
+    std::vector<std::string> cells = base.relation.Row(r);
+    // Sprinkle RHS disagreements so variable rows emit violations.
+    if (rng.NextBool(0.01)) cells[1] = "Mistyped City";
+    builder.AddRow(std::move(cells)).ok();
+  }
+  return builder.Build();
+}
+
+anmat::Pfd ZipVariablePfd() {
+  anmat::Tableau t;
+  anmat::TableauRow row;
+  row.lhs.push_back(anmat::TableauCell::Of(
+      anmat::ParseConstrainedPattern("(\\D{3})!\\D{2}").value()));
+  row.rhs.push_back(anmat::TableauCell::Wildcard());
+  t.AddRow(row);
+  return anmat::Pfd::Simple("Zip", "zip", "city", t);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void ReproduceContent() {
+  Banner("A6", "lazy-DFA matching engine vs NFA; value-dictionary detection");
+
+  // ---- match throughput, values/sec ----
+  anmat::TextTable table({"workload", "pattern", "NFA values/s", "DFA values/s",
+                          "speedup"});
+  const std::vector<MatchWorkload> workloads = MatchWorkloads(20000);
+  for (const MatchWorkload& w : workloads) {
+    const anmat::Pattern p = anmat::ParsePattern(w.pattern).value();
+    const anmat::Nfa nfa = anmat::Nfa::Compile(p);
+    const anmat::PatternMatcher dfa(p);  // DFA-backed
+
+    // Correctness first: both engines must agree on every value.
+    size_t per_pass_nfa = 0, per_pass_dfa = 0;
+    for (const std::string& v : w.values) {
+      per_pass_nfa += nfa.Matches(v);
+      per_pass_dfa += dfa.Matches(v);
+    }
+    CheckOrDie(per_pass_nfa > 0, w.name + ": workload has matching values");
+    CheckOrDie(per_pass_nfa == per_pass_dfa,
+               w.name + ": NFA and DFA agree on the match count");
+
+    // Repeat passes until each side has run for a measurable window.
+    size_t nfa_matches = 0, dfa_matches = 0;
+    size_t nfa_values = 0, dfa_values = 0;
+    auto start = std::chrono::steady_clock::now();
+    double nfa_secs = 0;
+    while ((nfa_secs = SecondsSince(start)) < 0.5) {
+      for (const std::string& v : w.values) nfa_matches += nfa.Matches(v);
+      nfa_values += w.values.size();
+    }
+    start = std::chrono::steady_clock::now();
+    double dfa_secs = 0;
+    while ((dfa_secs = SecondsSince(start)) < 0.5) {
+      for (const std::string& v : w.values) dfa_matches += dfa.Matches(v);
+      dfa_values += w.values.size();
+    }
+    benchmark::DoNotOptimize(nfa_matches);
+    benchmark::DoNotOptimize(dfa_matches);
+    const double nfa_tput = nfa_values / nfa_secs;
+    const double dfa_tput = dfa_values / dfa_secs;
+    const double speedup = dfa_tput / nfa_tput;
+    table.AddRow({w.name, w.pattern, std::to_string(size_t(nfa_tput)),
+                  std::to_string(size_t(dfa_tput)),
+                  std::to_string(speedup)});
+    CheckOrDie(speedup >= 5.0,
+               w.name + ": DFA is >=5x the NFA match throughput");
+  }
+  std::cout << table.Render();
+
+  // ---- detection on a duplicate-heavy column, dictionary on vs off ----
+  const anmat::Relation rel = DuplicateHeavyRelation(200000, 1000, 71);
+  const anmat::Pfd pfd = ZipVariablePfd();
+  anmat::DetectorOptions dict_on;
+  dict_on.use_value_dictionary = true;
+  anmat::DetectorOptions dict_off = dict_on;
+  dict_off.use_value_dictionary = false;
+
+  auto start = std::chrono::steady_clock::now();
+  const auto on = anmat::DetectErrors(rel, pfd, dict_on).value();
+  const double on_secs = SecondsSince(start);
+  start = std::chrono::steady_clock::now();
+  const auto off = anmat::DetectErrors(rel, pfd, dict_off).value();
+  const double off_secs = SecondsSince(start);
+
+  anmat::TextTable dtable({"mode", "violations", "seconds", "rows/s"});
+  dtable.AddRow({"dictionary on", std::to_string(on.violations.size()),
+                 std::to_string(on_secs),
+                 std::to_string(size_t(rel.num_rows() / on_secs))});
+  dtable.AddRow({"dictionary off", std::to_string(off.violations.size()),
+                 std::to_string(off_secs),
+                 std::to_string(size_t(rel.num_rows() / off_secs))});
+  std::cout << dtable.Render();
+  CheckOrDie(on.violations.size() == off.violations.size(),
+             "dictionary on/off find the same violations");
+  CheckOrDie(!on.violations.empty(), "the workload produced violations");
+  CheckOrDie(on_secs < off_secs,
+             "dictionary detection is faster on a duplicate-heavy column");
+  std::cout << "dictionary speedup: " << off_secs / on_secs << "x\n";
+}
+
+// ---- google-benchmark timings (same JSON shape as the other benches) ----
+
+void BM_NfaMatch(benchmark::State& state) {
+  const std::vector<MatchWorkload> workloads = MatchWorkloads(10000);
+  const MatchWorkload& w = workloads[static_cast<size_t>(state.range(0))];
+  const anmat::Nfa nfa =
+      anmat::Nfa::Compile(anmat::ParsePattern(w.pattern).value());
+  for (auto _ : state) {
+    size_t matches = 0;
+    for (const std::string& v : w.values) matches += nfa.Matches(v);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * w.values.size());
+  state.SetLabel(w.name);
+}
+
+void BM_DfaMatch(benchmark::State& state) {
+  const std::vector<MatchWorkload> workloads = MatchWorkloads(10000);
+  const MatchWorkload& w = workloads[static_cast<size_t>(state.range(0))];
+  const anmat::PatternMatcher matcher(anmat::ParsePattern(w.pattern).value());
+  for (auto _ : state) {
+    size_t matches = 0;
+    for (const std::string& v : w.values) matches += matcher.Matches(v);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * w.values.size());
+  state.SetLabel(w.name);
+}
+
+// 0 = zip, 1 = phone, 2 = code.
+BENCHMARK(BM_NfaMatch)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_DfaMatch)->Arg(0)->Arg(1)->Arg(2);
+
+void RunDetectBench(benchmark::State& state, bool use_dictionary) {
+  const anmat::Relation rel = DuplicateHeavyRelation(
+      static_cast<size_t>(state.range(0)), 1000, 72);
+  const anmat::Pfd pfd = ZipVariablePfd();
+  anmat::DetectorOptions opts;
+  opts.use_value_dictionary = use_dictionary;
+  for (auto _ : state) {
+    auto result = anmat::DetectErrors(rel, pfd, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_DetectDictOn(benchmark::State& state) { RunDetectBench(state, true); }
+void BM_DetectDictOff(benchmark::State& state) { RunDetectBench(state, false); }
+
+BENCHMARK(BM_DetectDictOn)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_DetectDictOff)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReproduceContent();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

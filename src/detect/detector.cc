@@ -84,10 +84,44 @@ std::vector<RowId> AllRows(const Relation& relation) {
   return rows;
 }
 
+/// Per-LHS-cell memo of per-distinct-value results (dictionary mode):
+/// every match / canonical-extraction decision is computed once per
+/// *distinct* value of the cell's column and reused across the rows
+/// holding it. `relation == nullptr` disables memoization for the cell;
+/// the dictionary itself is fetched on first use so rows whose memo is
+/// never consulted (e.g. index-seeded single-cell constant rows) don't
+/// trigger a build.
+struct CellScan {
+  const Relation* relation = nullptr;
+  size_t col = 0;
+  const ColumnDictionary* dict = nullptr;
+  std::vector<int8_t> match;       ///< -1 unknown, else Matches() verdict
+  std::vector<int8_t> frag_state;  ///< -1 unknown, 0 no match, 1 cached
+  std::vector<std::string> frag;   ///< cached record-key fragment
+
+  bool enabled() const { return relation != nullptr; }
+  const ColumnDictionary& Dict() {
+    if (dict == nullptr) dict = &relation->dictionary(col);
+    return *dict;
+  }
+};
+
+std::vector<CellScan> MakeScans(RunContext& ctx, const ResolvedRow& row) {
+  std::vector<CellScan> scans(row.lhs_cols.size());
+  if (!ctx.options->use_value_dictionary) return scans;
+  for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+    if (row.lhs_matchers[i] == nullptr) continue;
+    scans[i].relation = ctx.relation;
+    scans[i].col = row.lhs_cols[i];
+  }
+  return scans;
+}
+
 /// Candidate rows matching every (non-wildcard) LHS cell of the row. Uses
 /// the pattern index for the first pattern cell and verifies the remaining
 /// cells directly (intersection).
-std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row) {
+std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row,
+                                 std::vector<CellScan>& scans) {
   // Seed candidates from the first non-wildcard LHS cell.
   std::vector<RowId> candidates;
   size_t seed_cell = row.lhs_cols.size();
@@ -103,6 +137,18 @@ std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row) {
   } else if (ctx.options->use_pattern_index) {
     candidates = ctx.IndexFor(row.lhs_cols[seed_cell])
                      .Lookup(row.row->lhs[seed_cell].pattern());
+  } else if (scans[seed_cell].enabled()) {
+    // Dictionary scan: match each distinct value once, fan out postings,
+    // restore row order. Identical result set to the row-at-a-time scan.
+    const ColumnDictionary& dict = scans[seed_cell].Dict();
+    const ConstrainedMatcher& matcher = *row.lhs_matchers[seed_cell];
+    for (uint32_t id = 0; id < dict.num_values(); ++id) {
+      if (matcher.Matches(dict.value(id))) {
+        const std::vector<RowId>& rows = dict.rows(id);
+        candidates.insert(candidates.end(), rows.begin(), rows.end());
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
   } else {
     const ConstrainedMatcher& matcher = *row.lhs_matchers[seed_cell];
     for (RowId r = 0; r < ctx.relation->num_rows(); ++r) {
@@ -112,18 +158,28 @@ std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row) {
     }
   }
 
-  // Verify the remaining LHS cells.
+  // Verify the remaining LHS cells (per distinct value when memoized).
   std::vector<RowId> verified;
   verified.reserve(candidates.size());
   for (RowId r : candidates) {
     bool ok = true;
     for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
       if (i == seed_cell || row.lhs_matchers[i] == nullptr) continue;
-      if (!row.lhs_matchers[i]->Matches(
-              ctx.relation->cell(r, row.lhs_cols[i]))) {
-        ok = false;
-        break;
+      CellScan& scan = scans[i];
+      if (scan.enabled()) {
+        const ColumnDictionary& dict = scan.Dict();
+        if (scan.match.empty()) scan.match.assign(dict.num_values(), -1);
+        const uint32_t id = dict.value_id(r);
+        if (scan.match[id] < 0) {
+          scan.match[id] =
+              row.lhs_matchers[i]->Matches(dict.value(id)) ? 1 : 0;
+        }
+        ok = scan.match[id] != 0;
+      } else {
+        ok = row.lhs_matchers[i]->Matches(
+            ctx.relation->cell(r, row.lhs_cols[i]));
       }
+      if (!ok) break;
     }
     if (ok) verified.push_back(r);
   }
@@ -133,8 +189,9 @@ std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row) {
 /// The grouping key of a record under a (variable) tableau row: the
 /// concatenated canonical extractions of all LHS cells (whole value for
 /// wildcard cells). Returns false when some pattern cell does not match.
-bool RecordKey(const RunContext& ctx, const ResolvedRow& row, RowId r,
-               std::string* key) {
+/// Pattern-cell fragments are memoized per distinct value in `scans`.
+bool RecordKey(const RunContext& ctx, const ResolvedRow& row,
+               std::vector<CellScan>& scans, RowId r, std::string* key) {
   key->clear();
   Extraction extraction;
   for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
@@ -142,6 +199,32 @@ bool RecordKey(const RunContext& ctx, const ResolvedRow& row, RowId r,
     if (row.lhs_matchers[i] == nullptr) {
       key->append(cell);
       key->push_back('\x1f');
+      continue;
+    }
+    CellScan& scan = scans[i];
+    if (scan.enabled()) {
+      const ColumnDictionary& dict = scan.Dict();
+      if (scan.frag_state.empty()) {
+        scan.frag_state.assign(dict.num_values(), -1);
+        scan.frag.resize(dict.num_values());
+      }
+      const uint32_t id = dict.value_id(r);
+      if (scan.frag_state[id] < 0) {
+        if (row.lhs_matchers[i]->ExtractCanonical(dict.value(id),
+                                                  &extraction)) {
+          std::string& frag = scan.frag[id];
+          for (const std::string& part : extraction) {
+            frag.append(part);
+            frag.push_back('\x1f');
+          }
+          frag.push_back('\x1e');
+          scan.frag_state[id] = 1;
+        } else {
+          scan.frag_state[id] = 0;
+        }
+      }
+      if (scan.frag_state[id] == 0) return false;
+      key->append(scan.frag[id]);
       continue;
     }
     if (!row.lhs_matchers[i]->ExtractCanonical(cell, &extraction)) {
@@ -168,7 +251,8 @@ std::string RhsValue(const RunContext& ctx, const ResolvedRow& row, RowId r) {
 
 void DetectConstantRow(RunContext& ctx, size_t pfd_index, size_t row_index,
                        const ResolvedRow& row) {
-  const std::vector<RowId> candidates = CandidateRows(ctx, row);
+  std::vector<CellScan> scans = MakeScans(ctx, row);
+  const std::vector<RowId> candidates = CandidateRows(ctx, row, scans);
   ctx.result->stats.candidate_rows += candidates.size();
 
   for (RowId r : candidates) {
@@ -279,38 +363,29 @@ void ResolveGroups(RunContext& ctx, size_t pfd_index, size_t row_index,
 
 void DetectVariableRow(RunContext& ctx, size_t pfd_index, size_t row_index,
                        const ResolvedRow& row) {
-  const std::vector<RowId> candidates = CandidateRows(ctx, row);
+  std::vector<CellScan> scans = MakeScans(ctx, row);
+  const std::vector<RowId> candidates = CandidateRows(ctx, row, scans);
   ctx.result->stats.candidate_rows += candidates.size();
-
-  if (!ctx.options->use_blocking) {
-    // The paper's quadratic reference: enumerate every candidate pair and
-    // test ≡ (here: compare precomputed canonical keys) plus the RHS. Kept
-    // for benchmarking A2; the violation *set* matches the blocked variant
-    // (tested in detector_test / property_test), so the emission below
-    // still goes through the deterministic group resolution.
-    std::vector<std::string> keys(candidates.size());
-    std::vector<bool> matched(candidates.size(), false);
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      matched[i] = RecordKey(ctx, row, candidates[i], &keys[i]);
-    }
-    size_t equal_pairs = 0;
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      if (!matched[i]) continue;
-      for (size_t j = i + 1; j < candidates.size(); ++j) {
-        if (!matched[j]) continue;
-        ++ctx.result->stats.pairs_checked;
-        if (keys[i] == keys[j]) ++equal_pairs;
-      }
-    }
-    // `equal_pairs` participates in stats only through pairs_checked; the
-    // comparison loop above is the measured quadratic work.
-    (void)equal_pairs;
-  }
 
   std::map<std::string, std::vector<RowId>> groups;
   std::string key;
+  // The reused key buffer is sized once for the row; map insertion copies
+  // it, so pre-sizing kills the grow-reallocs on every append below.
+  key.reserve(32 * row.lhs_cols.size());
+  size_t matched = 0;
   for (RowId r : candidates) {
-    if (RecordKey(ctx, row, r, &key)) groups[key].push_back(r);
+    if (RecordKey(ctx, row, scans, r, &key)) {
+      ++matched;
+      groups[key].push_back(r);
+    }
+  }
+  if (!ctx.options->use_blocking) {
+    // The paper's quadratic reference enumerates every matched candidate
+    // pair and compares canonical keys; the comparison count is exactly
+    // C(matched, 2), accounted here without replaying the loop (the
+    // violation *set* matches the blocked variant either way — tested in
+    // detector_test / property_test).
+    ctx.result->stats.pairs_checked += matched * (matched - 1) / 2;
   }
   ResolveGroups(ctx, pfd_index, row_index, row, groups);
 }

@@ -29,6 +29,11 @@ struct DetectorOptions {
   bool use_pattern_index = true;
   /// Use blocking for variable rows (vs quadratic pair enumeration).
   bool use_blocking = true;
+  /// Match/extract each *distinct* column value once (via the relation's
+  /// column dictionaries) instead of once per row, reusing the result
+  /// across duplicate cells. The violation set is byte-identical either
+  /// way (tested in dfa_test.cc); off mainly for benchmarking.
+  bool use_value_dictionary = true;
   /// Cap on reported violations (0 = unlimited).
   size_t max_violations = 0;
 };

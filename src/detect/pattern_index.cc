@@ -11,6 +11,13 @@ namespace anmat {
 
 namespace {
 
+/// Packs 3 bytes starting at `s[i]` into the trigram key.
+uint32_t PackTrigram(std::string_view s, size_t i) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(s[i])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(s[i + 1])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(s[i + 2]));
+}
+
 /// Extracts literal token anchors from a pattern: maximal runs of literal
 /// non-symbol characters of length >= 2 (shorter anchors are not selective).
 std::vector<std::string> LiteralAnchors(const Pattern& p) {
@@ -50,32 +57,66 @@ bool SignatureCompatible(const Pattern& query, const Pattern& signature) {
 
 PatternIndex::PatternIndex(const Relation& relation, size_t col)
     : relation_(&relation), col_(col) {
-  const auto& values = relation.column(col);
-  for (RowId r = 0; r < values.size(); ++r) {
-    const std::string& cell = values[r];
+  const ColumnDictionary& dict = relation.dictionary(col);
+  // Scratch sets of per-value distinct token/trigram keys (one value can
+  // repeat a token; its rows must be posted once per key).
+  std::vector<std::string> value_tokens;
+  std::vector<uint32_t> value_trigrams;
+  for (uint32_t id = 0; id < dict.num_values(); ++id) {
+    const std::string& cell = dict.value(id);
+    const std::vector<RowId>& rows = dict.rows(id);
     const std::string sig =
         GeneralizeString(cell, GeneralizationLevel::kClassExact).ToString();
     auto [it, inserted] = by_signature_.try_emplace(sig);
-    it->second.push_back(r);
+    it->second.insert(it->second.end(), rows.begin(), rows.end());
     if (inserted) signature_sample_.emplace(sig, cell);
-    for (const Token& t : Tokenize(cell)) {
-      auto& rows = by_token_[t.text];
-      if (rows.empty() || rows.back() != r) rows.push_back(r);
+
+    value_tokens.clear();
+    for (const Token& t : Tokenize(cell)) value_tokens.push_back(t.text);
+    std::sort(value_tokens.begin(), value_tokens.end());
+    value_tokens.erase(std::unique(value_tokens.begin(), value_tokens.end()),
+                       value_tokens.end());
+    for (const std::string& t : value_tokens) {
+      auto& posting = by_token_[t];
+      posting.insert(posting.end(), rows.begin(), rows.end());
     }
+
+    value_trigrams.clear();
     for (size_t i = 0; i + 3 <= cell.size(); ++i) {
-      auto& rows = by_trigram_[cell.substr(i, 3)];
-      if (rows.empty() || rows.back() != r) rows.push_back(r);
+      value_trigrams.push_back(PackTrigram(cell, i));
+    }
+    std::sort(value_trigrams.begin(), value_trigrams.end());
+    value_trigrams.erase(
+        std::unique(value_trigrams.begin(), value_trigrams.end()),
+        value_trigrams.end());
+    for (uint32_t t : value_trigrams) {
+      auto& posting = by_trigram_[t];
+      posting.insert(posting.end(), rows.begin(), rows.end());
     }
   }
+  // Distinct values interleave arbitrarily across rows; restore ascending
+  // row order per posting list (each row appears exactly once per list, so
+  // a sort suffices — no dedup needed).
+  for (auto& [sig, rows] : by_signature_) std::sort(rows.begin(), rows.end());
+  for (auto& [tok, rows] : by_token_) std::sort(rows.begin(), rows.end());
+  for (auto& [tri, rows] : by_trigram_) std::sort(rows.begin(), rows.end());
 }
 
 std::vector<RowId> PatternIndex::VerifyCandidates(
     const std::vector<RowId>& candidates, const Pattern& p) const {
   last_candidates_ = candidates.size();
   PatternMatcher matcher(p);
+  const ColumnDictionary& dict = relation_->dictionary(col_);
+  // Match each distinct value at most once; candidates holding the same
+  // value reuse the verdict.
+  std::vector<int8_t> verdict(dict.num_values(), -1);
   std::vector<RowId> out;
   for (RowId r : candidates) {
-    if (matcher.Matches(relation_->cell(r, col_))) out.push_back(r);
+    const uint32_t id = dict.value_id(r);
+    if (verdict[id] < 0) {
+      verdict[id] = matcher.Matches(dict.value(id)) ? 1 : 0;
+    }
+    if (verdict[id]) out.push_back(r);
   }
   return out;
 }
@@ -88,14 +129,13 @@ std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
   const std::vector<std::string> anchors = LiteralAnchors(p);
   if (!anchors.empty()) {
     const std::vector<RowId>* best = nullptr;
-    bool usable = true;
     for (const std::string& a : anchors) {
       const std::vector<RowId>* anchor_best = nullptr;
       if (auto it = by_token_.find(a); it != by_token_.end()) {
         anchor_best = &it->second;
       }
       for (size_t i = 0; i + 3 <= a.size(); ++i) {
-        auto it = by_trigram_.find(a.substr(i, 3));
+        auto it = by_trigram_.find(PackTrigram(a, i));
         if (it == by_trigram_.end()) {
           // This trigram of a mandatory anchor occurs nowhere.
           last_candidates_ = 0;
@@ -105,16 +145,13 @@ std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
           anchor_best = &it->second;
         }
       }
-      if (anchor_best == nullptr) {
-        // Anchor shorter than 3 chars and not a token: no posting list.
-        usable = false;
-        continue;
-      }
-      if (best == nullptr || anchor_best->size() < best->size()) {
+      // Anchors shorter than 3 chars that are not whole tokens have no
+      // posting list; they simply contribute no candidate bound.
+      if (anchor_best != nullptr &&
+          (best == nullptr || anchor_best->size() < best->size())) {
         best = anchor_best;
       }
     }
-    (void)usable;
     if (best != nullptr) return VerifyCandidates(*best, p);
   }
 

@@ -31,9 +31,17 @@
 namespace anmat {
 
 /// \brief Index over one column's values.
+///
+/// Construction and verification run over the column's value *dictionary*
+/// (`Relation::dictionary`): each distinct value is generalized, tokenized
+/// and trigrammed exactly once, and its posting list is appended wholesale —
+/// on duplicate-heavy columns this collapses the build from O(rows) pattern
+/// work to O(distinct values). Verification likewise matches each distinct
+/// value once and reuses the verdict for every row holding it.
 class PatternIndex {
  public:
-  /// Builds the index for column `col` of `relation` in one pass.
+  /// Builds the index for column `col` of `relation` in one pass over the
+  /// column dictionary.
   PatternIndex(const Relation& relation, size_t col);
 
   size_t column() const { return col_; }
@@ -60,10 +68,12 @@ class PatternIndex {
   std::unordered_map<std::string, std::vector<RowId>> by_signature_;
   /// token text -> rows containing the token
   std::unordered_map<std::string, std::vector<RowId>> by_token_;
-  /// character trigram -> rows whose value contains it. Catches literal
-  /// anchors embedded inside larger tokens (the n-gram rules: "900" inside
-  /// "90001"), which the token index cannot see.
-  std::unordered_map<std::string, std::vector<RowId>> by_trigram_;
+  /// character trigram (3 bytes packed big-endian into a uint32_t) -> rows
+  /// whose value contains it. Catches literal anchors embedded inside larger
+  /// tokens (the n-gram rules: "900" inside "90001"), which the token index
+  /// cannot see. The packed key avoids a std::string allocation per cell
+  /// position on both build and probe.
+  std::unordered_map<uint32_t, std::vector<RowId>> by_trigram_;
   /// signature text -> one sample value with that signature (for the
   /// signature-level compatibility test)
   std::unordered_map<std::string, std::string> signature_sample_;

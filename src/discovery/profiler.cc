@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "csv/type_inference.h"
 #include "discovery/tokenizer.h"
@@ -40,7 +38,7 @@ std::vector<ColumnProfile> ProfileRelation(const Relation& relation,
     p.non_null = type_stats.total - type_stats.nulls;
     p.numeric_ratio = type_stats.NumericRatio();
 
-    std::unordered_set<std::string> distinct;
+    size_t distinct_cells = 0;
     size_t single_token_cells = 0;
     size_t token_total = 0;
     // Signature histogram at the exact level; key = pattern text.
@@ -48,18 +46,25 @@ std::vector<ColumnProfile> ProfileRelation(const Relation& relation,
     Pattern column_pattern;
     bool first = true;
 
-    for (const std::string& cell : relation.column(c)) {
+    // One tokenize/generalize pass per *distinct* value (ids follow first
+    // occurrence, so the Lgg fold visits new signatures in the same order a
+    // row-at-a-time scan would); per-row statistics weight each distinct
+    // value by its row count.
+    const ColumnDictionary& dict = relation.dictionary(c);
+    for (uint32_t id = 0; id < dict.num_values(); ++id) {
+      const std::string& cell = dict.value(id);
       if (TrimView(cell).empty()) continue;
-      distinct.insert(cell);
+      const size_t count = dict.rows(id).size();
+      ++distinct_cells;
       const std::vector<Token> tokens = Tokenize(cell);
-      token_total += tokens.size();
-      if (tokens.size() == 1) ++single_token_cells;
+      token_total += tokens.size() * count;
+      if (tokens.size() == 1) single_token_cells += count;
 
       Pattern sig = GeneralizeString(cell, GeneralizationLevel::kClassExact);
       const std::string sig_text = sig.ToString();
       auto [it, inserted] = signature_hist.try_emplace(
           sig_text, PatternProfileEntry{sig_text, 0, 0});
-      ++it->second.frequency;
+      it->second.frequency += count;
 
       if (first) {
         column_pattern = std::move(sig);
@@ -69,7 +74,7 @@ std::vector<ColumnProfile> ProfileRelation(const Relation& relation,
       }
     }
 
-    p.distinct = distinct.size();
+    p.distinct = distinct_cells;
     p.single_token =
         p.non_null > 0 &&
         static_cast<double>(single_token_cells) /

@@ -1,0 +1,108 @@
+#ifndef ANMAT_PATTERN_DFA_H_
+#define ANMAT_PATTERN_DFA_H_
+
+/// \file dfa.h
+/// Lazy deterministic automaton over an `Nfa`.
+///
+/// The NFA simulation in nfa.cc allocates, sorts and epsilon-closes a state
+/// set for every input character — fine as a semantic reference, far too
+/// slow for the detect/discover hot paths that probe millions of cell
+/// values. `Dfa` removes all per-character work:
+///
+///   1. *Alphabet compression*: the pattern language only distinguishes
+///      bytes by their generalization-tree class (\LU/\LL/\D/\S) and by the
+///      literal characters the pattern mentions, so the 256-byte alphabet
+///      collapses into a handful of symbol-equivalence classes, computed
+///      once at construction (`byte_class_`).
+///   2. *Lazy subset construction*: DFA states are epsilon-closed NFA state
+///      sets, discovered on demand and memoized; the dense transition table
+///      (`state × symbol-class → state`) is filled in the first time each
+///      edge is taken. Matching a string is then one table lookup per byte.
+///
+/// Only states reachable from the inputs actually seen are ever built, so
+/// construction stays cheap even for patterns whose full DFA would be
+/// large. Accept membership is a per-state bit, which makes
+/// `MatchingPrefixLengths` a single forward scan.
+///
+/// The memo tables grow lazily behind a const interface (`mutable`); a
+/// `Dfa` is therefore NOT safe for concurrent use from multiple threads.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "pattern/nfa.h"
+#include "pattern/pattern.h"
+
+namespace anmat {
+
+/// \brief Lazily-determinized automaton for one pattern's element sequence
+/// (conjuncts are compiled separately, exactly like `Nfa`).
+class Dfa {
+ public:
+  /// Compiles the element sequence of `p` (via `Nfa::Compile`).
+  static Dfa Compile(const Pattern& p);
+
+  /// Wraps an already-compiled NFA.
+  explicit Dfa(Nfa nfa);
+
+  /// Full-string match: one table lookup per byte.
+  bool Matches(std::string_view s) const;
+
+  /// All prefix lengths L such that s[0, L) is accepted, ascending — the
+  /// same contract as `Nfa::MatchingPrefixLengths`.
+  std::vector<uint32_t> MatchingPrefixLengths(std::string_view s) const;
+
+  /// Allocation-free variant: clears `*out` and fills it with the matching
+  /// prefix lengths. Returns the number of lengths found. Callers in tight
+  /// loops reuse the scratch vector.
+  size_t ScanPrefixes(std::string_view s, std::vector<uint32_t>* out) const;
+
+  /// Introspection (benchmarks / tests).
+  size_t num_symbol_classes() const { return num_classes_; }
+  size_t num_materialized_states() const { return accept_.size(); }
+
+ private:
+  static constexpr uint32_t kDead = 0;    ///< DFA state for the empty set
+  static constexpr uint32_t kUnset = 0xFFFFFFFFu;  ///< lazy-edge sentinel
+
+  void BuildAlphabet();
+  /// Interns an epsilon-closed NFA set, returning its DFA state id (const:
+  /// touches only the mutable lazy tables).
+  uint32_t AddDfaState(std::vector<uint32_t> nfa_set) const;
+
+  /// The target of `from` on symbol class `cls`, materializing it (and any
+  /// newly-discovered DFA state) on first use.
+  uint32_t Transition(uint32_t from, uint32_t cls) const;
+
+  Nfa nfa_;
+
+  /// byte value -> symbol-equivalence class id.
+  uint8_t byte_class_[256] = {};
+  uint32_t num_classes_ = 1;
+  /// One representative byte per class (drives the NFA step when a new edge
+  /// is materialized).
+  std::vector<char> class_rep_;
+
+  /// Dense lazy transition table: transitions_[state * num_classes_ + cls].
+  mutable std::vector<uint32_t> transitions_;
+  mutable std::vector<uint8_t> accept_;
+  /// The epsilon-closed NFA set of each materialized DFA state.
+  mutable std::vector<std::vector<uint32_t>> nfa_sets_;
+  /// Hash of an NFA set -> DFA state ids with that hash (tiny buckets).
+  mutable std::vector<std::pair<uint64_t, uint32_t>> set_index_;
+
+  uint32_t start_state_ = kDead;
+};
+
+/// \brief Recursively flattens `p`'s conjunct tree into `*out` (the pattern
+/// itself is NOT included). A string matches `p` with conjuncts iff it
+/// matches `p`'s element sequence and every pattern collected here.
+void FlattenConjuncts(const Pattern& p, std::vector<const Pattern*>* out);
+
+/// \brief DFA-backed equivalent of `NfaMatchesWithConjuncts`.
+bool DfaMatchesWithConjuncts(const Pattern& p, std::string_view s);
+
+}  // namespace anmat
+
+#endif  // ANMAT_PATTERN_DFA_H_

@@ -6,83 +6,81 @@
 namespace anmat {
 
 PatternMatcher::PatternMatcher(const Pattern& pattern)
-    : pattern_(pattern), nfa_(Nfa::Compile(pattern)) {
-  conjunct_nfas_.reserve(pattern.conjuncts().size());
-  for (const Pattern& c : pattern.conjuncts()) {
-    // Conjuncts of conjuncts are flattened by recursive matching below;
-    // in practice '&' is used one level deep.
-    conjunct_nfas_.push_back(Nfa::Compile(c));
+    : pattern_(pattern), dfa_(Dfa::Compile(pattern)) {
+  // Conjuncts at any depth are an AND over independent automata; flatten
+  // the tree once so Matches() is a flat loop.
+  std::vector<const Pattern*> conjuncts;
+  FlattenConjuncts(pattern_, &conjuncts);
+  conjunct_dfas_.reserve(conjuncts.size());
+  for (const Pattern* c : conjuncts) {
+    conjunct_dfas_.push_back(Dfa::Compile(*c));
   }
 }
 
 bool PatternMatcher::Matches(std::string_view s) const {
-  if (!nfa_.Matches(s)) return false;
-  for (size_t i = 0; i < conjunct_nfas_.size(); ++i) {
-    if (!conjunct_nfas_[i].Matches(s)) return false;
-    // Nested conjuncts (rare): fall back to the recursive helper.
-    if (!pattern_.conjuncts()[i].conjuncts().empty() &&
-        !NfaMatchesWithConjuncts(pattern_.conjuncts()[i], s)) {
-      return false;
-    }
+  if (!dfa_.Matches(s)) return false;
+  for (const Dfa& c : conjunct_dfas_) {
+    if (!c.Matches(s)) return false;
   }
   return true;
 }
 
 ConstrainedMatcher::ConstrainedMatcher(const ConstrainedPattern& pattern)
-    : pattern_(pattern), embedded_nfa_(Nfa::Compile(pattern.EmbeddedPattern())) {
-  segment_nfas_.reserve(pattern.segments().size());
+    : pattern_(pattern), embedded_dfa_(Dfa::Compile(pattern.EmbeddedPattern())) {
+  segment_dfas_.reserve(pattern.segments().size());
   for (const PatternSegment& seg : pattern.segments()) {
-    segment_nfas_.push_back(Nfa::Compile(seg.pattern));
+    segment_dfas_.push_back(Dfa::Compile(seg.pattern));
   }
 }
 
 bool ConstrainedMatcher::Matches(std::string_view s) const {
-  return embedded_nfa_.Matches(s);
+  return embedded_dfa_.Matches(s);
 }
 
-bool ConstrainedMatcher::ComputeFeasibleStarts(
-    std::string_view s, std::vector<std::vector<uint32_t>>* starts) const {
-  const size_t k = segment_nfas_.size();
+bool ConstrainedMatcher::ComputeSplitPlan(std::string_view s,
+                                          SplitPlan* plan) const {
+  const size_t k = segment_dfas_.size();
   const uint32_t n = static_cast<uint32_t>(s.size());
-  // feasible[j] = sorted positions p from which segments j..k-1 can cover
-  // s[p..n). feasible[k] = {n}.
-  std::vector<std::vector<uint32_t>> feasible(k + 1);
-  feasible[k] = {n};
+  plan->feasible.assign(k + 1, {});
+  plan->feasible[k] = {n};
+  plan->lengths.assign(k, {});
   for (size_t j = k; j-- > 0;) {
     std::vector<bool> next_ok(n + 1, false);
-    for (uint32_t p : feasible[j + 1]) next_ok[p] = true;
+    for (uint32_t p : plan->feasible[j + 1]) next_ok[p] = true;
+    std::vector<std::vector<uint32_t>>& seg_lengths = plan->lengths[j];
+    seg_lengths.resize(n + 1);
     for (uint32_t p = 0; p <= n; ++p) {
-      for (uint32_t len : segment_nfas_[j].MatchingPrefixLengths(
-               s.substr(p, n - p))) {
+      // One DFA forward scan yields every prefix length at once (the scan
+      // self-terminates at the dead state, i.e. after the segment's maximum
+      // length); memoized here for the enumeration/extraction passes.
+      segment_dfas_[j].ScanPrefixes(s.substr(p, n - p), &seg_lengths[p]);
+      for (uint32_t len : seg_lengths[p]) {
         if (next_ok[p + len]) {
-          feasible[j].push_back(p);
+          plan->feasible[j].push_back(p);
           break;
         }
       }
     }
-    if (feasible[j].empty()) return false;
+    if (plan->feasible[j].empty()) return false;
   }
   // The whole string matches iff position 0 is feasible for segment 0.
-  if (!std::binary_search(feasible[0].begin(), feasible[0].end(), 0u)) {
-    return false;
-  }
-  *starts = std::move(feasible);
-  return true;
+  return std::binary_search(plan->feasible[0].begin(),
+                            plan->feasible[0].end(), 0u);
 }
 
-void ConstrainedMatcher::EnumerateSplits(
-    std::string_view s, const std::vector<std::vector<uint32_t>>& feasible,
-    size_t seg, uint32_t pos, Extraction* current,
-    std::vector<Extraction>* out, size_t cap) const {
+void ConstrainedMatcher::EnumerateSplits(std::string_view s,
+                                         const SplitPlan& plan, size_t seg,
+                                         uint32_t pos, Extraction* current,
+                                         std::vector<Extraction>* out,
+                                         size_t cap) const {
   if (out->size() >= cap) return;
-  const size_t k = segment_nfas_.size();
+  const size_t k = segment_dfas_.size();
   if (seg == k) {
     if (pos == s.size()) out->push_back(*current);
     return;
   }
-  const std::vector<uint32_t> lengths =
-      segment_nfas_[seg].MatchingPrefixLengths(s.substr(pos, s.size() - pos));
-  const std::vector<uint32_t>& next_feasible = feasible[seg + 1];
+  const std::vector<uint32_t>& lengths = plan.lengths[seg][pos];
+  const std::vector<uint32_t>& next_feasible = plan.feasible[seg + 1];
   const bool constrained = pattern_.segments()[seg].constrained;
   for (uint32_t len : lengths) {
     const uint32_t end = pos + len;
@@ -90,7 +88,7 @@ void ConstrainedMatcher::EnumerateSplits(
       continue;
     }
     if (constrained) current->emplace_back(s.substr(pos, len));
-    EnumerateSplits(s, feasible, seg + 1, end, current, out, cap);
+    EnumerateSplits(s, plan, seg + 1, end, current, out, cap);
     if (constrained) current->pop_back();
     if (out->size() >= cap) return;
   }
@@ -99,10 +97,10 @@ void ConstrainedMatcher::EnumerateSplits(
 std::vector<Extraction> ConstrainedMatcher::ExtractAll(std::string_view s,
                                                        size_t cap) const {
   std::vector<Extraction> out;
-  std::vector<std::vector<uint32_t>> feasible;
-  if (!ComputeFeasibleStarts(s, &feasible)) return out;
+  SplitPlan plan;
+  if (!ComputeSplitPlan(s, &plan)) return out;
   Extraction current;
-  EnumerateSplits(s, feasible, 0, 0, &current, &out, cap);
+  EnumerateSplits(s, plan, 0, 0, &current, &out, cap);
   // Deduplicate (different splits can extract identical tuples, e.g. when
   // only unconstrained segments differ).
   std::sort(out.begin(), out.end());
@@ -112,15 +110,14 @@ std::vector<Extraction> ConstrainedMatcher::ExtractAll(std::string_view s,
 
 bool ConstrainedMatcher::ExtractCanonical(std::string_view s,
                                           Extraction* out) const {
-  std::vector<std::vector<uint32_t>> feasible;
-  if (!ComputeFeasibleStarts(s, &feasible)) return false;
+  SplitPlan plan;
+  if (!ComputeSplitPlan(s, &plan)) return false;
   out->clear();
   uint32_t pos = 0;
-  const size_t k = segment_nfas_.size();
+  const size_t k = segment_dfas_.size();
   for (size_t seg = 0; seg < k; ++seg) {
-    const std::vector<uint32_t> lengths = segment_nfas_[seg].MatchingPrefixLengths(
-        s.substr(pos, s.size() - pos));
-    const std::vector<uint32_t>& next_feasible = feasible[seg + 1];
+    const std::vector<uint32_t>& lengths = plan.lengths[seg][pos];
+    const std::vector<uint32_t>& next_feasible = plan.feasible[seg + 1];
     // Greedy: take the longest feasible length.
     bool found = false;
     for (size_t i = lengths.size(); i-- > 0;) {
@@ -135,7 +132,7 @@ bool ConstrainedMatcher::ExtractCanonical(std::string_view s,
         break;
       }
     }
-    if (!found) return false;  // unreachable given ComputeFeasibleStarts
+    if (!found) return false;  // unreachable given ComputeSplitPlan
   }
   return pos == s.size();
 }

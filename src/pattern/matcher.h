@@ -13,12 +13,17 @@
 #include <vector>
 
 #include "pattern/constrained_pattern.h"
-#include "pattern/nfa.h"
+#include "pattern/dfa.h"
 #include "pattern/pattern.h"
 
 namespace anmat {
 
 /// \brief Compiled matcher for a plain pattern (including conjuncts).
+///
+/// Matching is DFA-backed (see dfa.h): one dense table lookup per byte,
+/// with `Nfa` kept as the semantic reference implementation (differential-
+/// tested in dfa_test.cc). Conjuncts — at any nesting depth — are flattened
+/// into a list of independent automata that must all accept.
 class PatternMatcher {
  public:
   explicit PatternMatcher(const Pattern& pattern);
@@ -30,8 +35,8 @@ class PatternMatcher {
 
  private:
   Pattern pattern_;
-  Nfa nfa_;
-  std::vector<Nfa> conjunct_nfas_;
+  Dfa dfa_;
+  std::vector<Dfa> conjunct_dfas_;
 };
 
 /// \brief The tuple of substrings covered by the constrained segments in one
@@ -68,20 +73,28 @@ class ConstrainedMatcher {
   bool Equivalent(std::string_view a, std::string_view b) const;
 
  private:
-  /// Per-segment sets of feasible start positions computed right-to-left:
-  /// splits[j] = positions p such that segments j.. can match s[p..n).
-  /// Returns false if the string cannot match at all.
-  bool ComputeFeasibleStarts(std::string_view s,
-                             std::vector<std::vector<uint32_t>>* starts) const;
+  /// All per-position match structure of one string, computed in a single
+  /// right-to-left pass and shared by extraction/enumeration (no repeated
+  /// automaton simulation, no substring copies):
+  ///   feasible[j] — sorted positions p such that segments j..k-1 can cover
+  ///                 s[p..n); feasible[k] = {n};
+  ///   lengths[j][p] — the matching prefix lengths of segment j's automaton
+  ///                 starting at position p (ascending).
+  struct SplitPlan {
+    std::vector<std::vector<uint32_t>> feasible;
+    std::vector<std::vector<std::vector<uint32_t>>> lengths;
+  };
 
-  void EnumerateSplits(std::string_view s,
-                       const std::vector<std::vector<uint32_t>>& feasible,
-                       size_t seg, uint32_t pos, Extraction* current,
+  /// Fills `*plan`; returns false if the string cannot match at all.
+  bool ComputeSplitPlan(std::string_view s, SplitPlan* plan) const;
+
+  void EnumerateSplits(std::string_view s, const SplitPlan& plan, size_t seg,
+                       uint32_t pos, Extraction* current,
                        std::vector<Extraction>* out, size_t cap) const;
 
   ConstrainedPattern pattern_;
-  std::vector<Nfa> segment_nfas_;
-  Nfa embedded_nfa_;
+  std::vector<Dfa> segment_dfas_;
+  Dfa embedded_dfa_;
 };
 
 /// \brief One-shot helpers (compile + query); prefer the classes for loops.

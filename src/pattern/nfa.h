@@ -9,6 +9,12 @@
 /// states per element, with loops for unbounded repetition. Conjunction is
 /// handled by the callers (matcher / containment) by simulating each
 /// conjunct's automaton and intersecting outcomes.
+///
+/// The per-character simulation here is the *semantic reference*: hot paths
+/// match through the lazily-determinized `Dfa` (dfa.h), which is
+/// differential-tested against this implementation (tests/dfa_test.cc).
+/// Containment checking (containment.cc) stays on the NFA, whose explicit
+/// state sets are what the product-automaton search needs.
 
 #include <cstdint>
 #include <string_view>

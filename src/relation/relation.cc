@@ -1,8 +1,38 @@
 #include "relation/relation.h"
 
+#include <string_view>
+#include <unordered_map>
+
 #include "util/text_table.h"
 
 namespace anmat {
+
+ColumnDictionary::ColumnDictionary(const std::vector<std::string>& cells) {
+  row_value_.reserve(cells.size());
+  // string_view keys alias `cells`, which outlives the build.
+  std::unordered_map<std::string_view, uint32_t> ids;
+  ids.reserve(cells.size());
+  for (RowId r = 0; r < cells.size(); ++r) {
+    auto [it, inserted] =
+        ids.emplace(cells[r], static_cast<uint32_t>(values_.size()));
+    if (inserted) {
+      values_.push_back(cells[r]);
+      postings_.emplace_back();
+    }
+    postings_[it->second].push_back(r);
+    row_value_.push_back(it->second);
+  }
+}
+
+const ColumnDictionary& Relation::dictionary(size_t col) const {
+  if (dictionaries_.size() < columns_.size()) {
+    dictionaries_.resize(columns_.size());
+  }
+  if (dictionaries_[col] == nullptr) {
+    dictionaries_[col] = std::make_shared<const ColumnDictionary>(columns_[col]);
+  }
+  return *dictionaries_[col];
+}
 
 Relation::Relation(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.num_columns());
@@ -19,6 +49,7 @@ Status Relation::AppendRow(std::vector<std::string> cells) {
     columns_[c].push_back(std::move(cells[c]));
   }
   ++num_rows_;
+  dictionaries_.clear();
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 /// stream entire columns (or column pairs), not whole rows.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,41 @@ namespace anmat {
 /// Row identifier. Rows keep their insertion index for the lifetime of the
 /// relation; violations reference cells as (row, column) pairs.
 using RowId = uint32_t;
+
+/// \brief Dictionary of one column's distinct values with row postings.
+///
+/// Real columns are dominated by duplicates (cities, states, area codes…),
+/// so matching/generalizing each *distinct* value once and fanning the
+/// result out over its posting list beats per-row work by the duplication
+/// factor. Value ids are assigned in first-occurrence (row) order and each
+/// posting list is ascending, which keeps dictionary-driven scans
+/// deterministic and byte-identical to row-at-a-time scans.
+///
+/// Built lazily by `Relation::dictionary()` and owned via shared_ptr so
+/// copied relations stay cheap; the dictionary owns copies of the distinct
+/// strings and is therefore self-contained.
+class ColumnDictionary {
+ public:
+  /// Builds the dictionary of `cells` (all rows of one column).
+  explicit ColumnDictionary(const std::vector<std::string>& cells);
+
+  /// Number of distinct values.
+  size_t num_values() const { return values_.size(); }
+
+  /// The id-th distinct value (ids follow first occurrence).
+  const std::string& value(uint32_t id) const { return values_[id]; }
+
+  /// Rows holding value `id`, ascending.
+  const std::vector<RowId>& rows(uint32_t id) const { return postings_[id]; }
+
+  /// The value id of row `row`.
+  uint32_t value_id(RowId row) const { return row_value_[row]; }
+
+ private:
+  std::vector<std::string> values_;
+  std::vector<std::vector<RowId>> postings_;
+  std::vector<uint32_t> row_value_;
+};
 
 /// \brief A column-major table of string cells with a typed schema.
 class Relation {
@@ -41,7 +77,12 @@ class Relation {
   }
   void set_cell(RowId row, size_t col, std::string value) {
     columns_[col][row] = std::move(value);
+    if (col < dictionaries_.size()) dictionaries_[col].reset();
   }
+
+  /// The (lazily built, cached) dictionary of column `col`. Invalidated by
+  /// `AppendRow`/`set_cell`; keep no reference across mutations.
+  const ColumnDictionary& dictionary(size_t col) const;
 
   /// Whole column view.
   const std::vector<std::string>& column(size_t col) const {
@@ -69,6 +110,9 @@ class Relation {
   Schema schema_;
   std::vector<std::vector<std::string>> columns_;
   size_t num_rows_ = 0;
+  /// Per-column dictionary cache (shared_ptr keeps Relation copyable; a
+  /// copy shares the immutable snapshot until either side mutates).
+  mutable std::vector<std::shared_ptr<const ColumnDictionary>> dictionaries_;
 };
 
 /// \brief Incremental builder for `Relation` with schema checking.

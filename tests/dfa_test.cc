@@ -1,0 +1,307 @@
+#include "pattern/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/datasets.h"
+#include "detect/detector.h"
+#include "pattern/nfa.h"
+#include "pattern/pattern_parser.h"
+#include "util/random.h"
+
+namespace anmat {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+Dfa CompileDfa(const char* text) {
+  return Dfa::Compile(ParsePattern(text).value());
+}
+
+/// Draws a random pattern: 1..5 elements mixing literals, classes, bounded
+/// repetitions and unbounded quantifiers — the full element grammar.
+Pattern RandomPattern(Rng& rng, bool allow_conjunct = true) {
+  static const std::vector<SymbolClass> kClasses = {
+      SymbolClass::kUpper, SymbolClass::kLower, SymbolClass::kDigit,
+      SymbolClass::kSymbol, SymbolClass::kAny};
+  static const std::string kLiterals = "abAB01-. ";
+  std::vector<PatternElement> elements;
+  const size_t n = 1 + rng.NextBelow(5);
+  for (size_t i = 0; i < n; ++i) {
+    PatternElement e;
+    if (rng.NextBool(0.4)) {
+      e = PatternElement::Literal(kLiterals[rng.NextBelow(kLiterals.size())]);
+    } else {
+      e = PatternElement::Class(rng.Choose(kClasses));
+    }
+    switch (rng.NextBelow(5)) {
+      case 0:  // exactly once
+        break;
+      case 1:  // {N}
+        e.min = e.max = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+        break;
+      case 2:  // {M,N}
+        e.min = static_cast<uint32_t>(rng.NextBelow(3));
+        e.max = e.min + 1 + static_cast<uint32_t>(rng.NextBelow(3));
+        break;
+      case 3:  // +
+        e.min = 1;
+        e.max = kUnbounded;
+        break;
+      case 4:  // *
+        e.min = 0;
+        e.max = kUnbounded;
+        break;
+    }
+    elements.push_back(e);
+  }
+  Pattern p(std::move(elements));
+  if (allow_conjunct && rng.NextBool(0.25)) {
+    // One-level conjunct; nested conjuncts are exercised separately below.
+    p.AddConjunct(RandomPattern(rng, /*allow_conjunct=*/false));
+  }
+  return p;
+}
+
+/// A string with a chance of matching: walks the pattern's elements and
+/// emits characters that satisfy (or with probability `noise` violate) each
+/// element; occasionally pure-random strings keep the negative side honest.
+std::string RandomString(Rng& rng, const Pattern& p, double noise) {
+  static const std::string kAlphabet = "abzABZ019-. #";
+  if (p.elements().empty() || rng.NextBool(0.2)) {
+    return rng.NextString(rng.NextBelow(8), kAlphabet);
+  }
+  std::string s;
+  for (const PatternElement& e : p.elements()) {
+    const uint32_t max = e.max == kUnbounded ? e.min + 3 : e.max;
+    const uint32_t reps =
+        e.min + static_cast<uint32_t>(rng.NextBelow(max - e.min + 1));
+    for (uint32_t i = 0; i < reps; ++i) {
+      if (rng.NextBool(noise)) {
+        s.push_back(kAlphabet[rng.NextBelow(kAlphabet.size())]);
+        continue;
+      }
+      switch (e.cls) {
+        case SymbolClass::kLiteral:
+          s.push_back(e.literal);
+          break;
+        case SymbolClass::kUpper:
+          s.push_back(static_cast<char>('A' + rng.NextBelow(26)));
+          break;
+        case SymbolClass::kLower:
+          s.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+          break;
+        case SymbolClass::kDigit:
+          s.push_back(static_cast<char>('0' + rng.NextBelow(10)));
+          break;
+        case SymbolClass::kSymbol:
+          s.push_back("-. #,"[rng.NextBelow(5)]);
+          break;
+        case SymbolClass::kAny:
+          s.push_back(kAlphabet[rng.NextBelow(kAlphabet.size())]);
+          break;
+      }
+    }
+  }
+  return s;
+}
+
+// ------------------------------------------------------- targeted checks
+
+TEST(DfaTest, EmptyPatternAcceptsOnlyEpsilon) {
+  Dfa dfa = Dfa::Compile(Pattern());
+  EXPECT_TRUE(dfa.Matches(""));
+  EXPECT_FALSE(dfa.Matches("a"));
+}
+
+TEST(DfaTest, MatchesBasicPatterns) {
+  EXPECT_TRUE(CompileDfa("\\D{5}").Matches("90001"));
+  EXPECT_FALSE(CompileDfa("\\D{5}").Matches("9000"));
+  EXPECT_FALSE(CompileDfa("\\D{5}").Matches("9000a"));
+  EXPECT_TRUE(CompileDfa("\\LU\\LL+").Matches("Boyle"));
+  EXPECT_TRUE(CompileDfa("a{1,3}").Matches("aa"));
+  EXPECT_FALSE(CompileDfa("a{1,3}").Matches("aaaa"));
+  EXPECT_TRUE(CompileDfa("\\A*").Matches(""));
+}
+
+TEST(DfaTest, AlphabetCompressionIsSmall) {
+  // \D{5}: digits vs everything-else (plus the other tree classes) — far
+  // fewer than 256 symbol classes.
+  Dfa dfa = CompileDfa("\\D{5}");
+  EXPECT_LE(dfa.num_symbol_classes(), 4u);
+  // Literals get their own class.
+  Dfa lit = CompileDfa("ab\\D");
+  EXPECT_LE(lit.num_symbol_classes(), 6u);
+}
+
+TEST(DfaTest, PrefixLengthsMatchManualExpectation) {
+  Dfa dfa = CompileDfa("a+");
+  EXPECT_EQ(dfa.MatchingPrefixLengths("aaab"),
+            (std::vector<uint32_t>{1, 2, 3}));
+  Dfa opt = CompileDfa("a{0,2}b?");
+  EXPECT_EQ(opt.MatchingPrefixLengths("aab"),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(DfaTest, MatchesWithConjunctsAgreesWithNfa) {
+  Pattern p = ParsePattern("\\A{5}").value();
+  p.AddConjunct(ParsePattern("\\D*").value());
+  for (const char* s : {"90001", "9000a", "12345", "1234", "123456"}) {
+    EXPECT_EQ(DfaMatchesWithConjuncts(p, s), NfaMatchesWithConjuncts(p, s))
+        << s;
+  }
+}
+
+// --------------------------------------------------- differential property
+
+TEST(DfaDifferentialTest, RandomPatternsAgreeWithNfaOnMatches) {
+  Rng rng(20260729);
+  size_t positives = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const Pattern p = RandomPattern(rng);
+    const Nfa nfa = Nfa::Compile(p);
+    const Dfa dfa = Dfa::Compile(p);
+    for (int k = 0; k < 25; ++k) {
+      const std::string s = RandomString(rng, p, /*noise=*/0.15);
+      const bool expected = nfa.Matches(s);
+      ASSERT_EQ(dfa.Matches(s), expected)
+          << "pattern=" << p.ToString() << " input=\"" << s << "\"";
+      if (expected) ++positives;
+      // Conjunct semantics must agree too (the helpers recurse/flatten).
+      ASSERT_EQ(DfaMatchesWithConjuncts(p, s), NfaMatchesWithConjuncts(p, s))
+          << "pattern=" << p.ToString() << " input=\"" << s << "\"";
+    }
+  }
+  // The generator must exercise the accepting side, not just rejections.
+  EXPECT_GT(positives, 1000u);
+}
+
+TEST(DfaDifferentialTest, RandomPatternsAgreeWithNfaOnPrefixLengths) {
+  Rng rng(424242);
+  size_t nonempty = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const Pattern p = RandomPattern(rng, /*allow_conjunct=*/false);
+    const Nfa nfa = Nfa::Compile(p);
+    const Dfa dfa = Dfa::Compile(p);
+    for (int k = 0; k < 20; ++k) {
+      const std::string s = RandomString(rng, p, /*noise=*/0.25);
+      const std::vector<uint32_t> expected = nfa.MatchingPrefixLengths(s);
+      ASSERT_EQ(dfa.MatchingPrefixLengths(s), expected)
+          << "pattern=" << p.ToString() << " input=\"" << s << "\"";
+      if (!expected.empty()) ++nonempty;
+    }
+  }
+  EXPECT_GT(nonempty, 500u);
+}
+
+TEST(DfaDifferentialTest, BoundedRepetitionEdgeCases) {
+  // {M,N} with M=0 plus trailing unbounded loops stresses the epsilon-skip
+  // structure the subset construction must fold correctly.
+  for (const char* text :
+       {"a{0,3}b+", "\\D{2,4}\\LL*", "x{3}y{0,2}", "\\S{1,2}\\A+",
+        "a*b*c*", "\\LU{0,1}\\LL{0,1}\\D{0,1}"}) {
+    const Pattern p = ParsePattern(text).value();
+    const Nfa nfa = Nfa::Compile(p);
+    const Dfa dfa = Dfa::Compile(p);
+    Rng rng(7);
+    for (int k = 0; k < 200; ++k) {
+      const std::string s = RandomString(rng, p, /*noise=*/0.2);
+      ASSERT_EQ(dfa.Matches(s), nfa.Matches(s))
+          << "pattern=" << text << " input=\"" << s << "\"";
+      ASSERT_EQ(dfa.MatchingPrefixLengths(s), nfa.MatchingPrefixLengths(s))
+          << "pattern=" << text << " input=\"" << s << "\"";
+    }
+  }
+}
+
+// ----------------------------------------- dictionary on/off equivalence
+
+std::string ViolationFingerprint(const Violation& v) {
+  std::string s;
+  s += std::to_string(static_cast<int>(v.kind)) + "|";
+  s += std::to_string(v.pfd_index) + "|" + std::to_string(v.tableau_row) + "|";
+  for (const CellRef& c : v.cells) {
+    s += std::to_string(c.row) + ":" + std::to_string(c.column) + ",";
+  }
+  s += "|" + std::to_string(v.suspect.row) + ":" +
+       std::to_string(v.suspect.column);
+  s += "|" + v.suggested_repair + "|" + v.explanation;
+  return s;
+}
+
+TEST(DetectorDictionaryTest, ByteIdenticalViolationsOnZipDataset) {
+  const Dataset d = ZipCityStateDataset(4000, 91, 0.05);
+  // A constant rule and a variable rule over the zip column.
+  Tableau constant_tableau;
+  TableauRow constant_row;
+  constant_row.lhs.push_back(TableauCell::Of(
+      ParseConstrainedPattern("(900)!\\D{2}").value()));
+  constant_row.rhs.push_back(TableauCell::Of(
+      ConstrainedPattern::Unconstrained(LiteralPattern("Los Angeles"))));
+  constant_tableau.AddRow(constant_row);
+  const Pfd constant_pfd = Pfd::Simple("Zip", "zip", "city", constant_tableau);
+
+  Tableau variable_tableau;
+  TableauRow variable_row;
+  variable_row.lhs.push_back(TableauCell::Of(
+      ParseConstrainedPattern("(\\D{3})!\\D{2}").value()));
+  variable_row.rhs.push_back(TableauCell::Wildcard());
+  variable_tableau.AddRow(variable_row);
+  const Pfd variable_pfd =
+      Pfd::Simple("Zip", "zip", "city", variable_tableau);
+
+  const std::vector<Pfd> pfds = {constant_pfd, variable_pfd};
+  for (bool use_index : {true, false}) {
+    for (bool use_blocking : {true, false}) {
+      DetectorOptions on;
+      on.use_value_dictionary = true;
+      on.use_pattern_index = use_index;
+      on.use_blocking = use_blocking;
+      DetectorOptions off = on;
+      off.use_value_dictionary = false;
+      const auto a = DetectErrors(d.relation, pfds, on);
+      const auto b = DetectErrors(d.relation, pfds, off);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      const auto& va = a.value().violations;
+      const auto& vb = b.value().violations;
+      ASSERT_EQ(va.size(), vb.size())
+          << "index=" << use_index << " blocking=" << use_blocking;
+      ASSERT_GT(va.size(), 0u) << "test must exercise real violations";
+      for (size_t i = 0; i < va.size(); ++i) {
+        ASSERT_EQ(ViolationFingerprint(va[i]), ViolationFingerprint(vb[i]))
+            << "violation " << i;
+      }
+      // Stats must agree too: the dictionary only changes *where* work
+      // happens, not what is checked.
+      EXPECT_EQ(a.value().stats.candidate_rows, b.value().stats.candidate_rows);
+      EXPECT_EQ(a.value().stats.pairs_checked, b.value().stats.pairs_checked);
+    }
+  }
+}
+
+TEST(ColumnDictionaryTest, PostingsRoundTrip) {
+  Relation rel(Schema::MakeText({"city"}).value());
+  for (const char* v : {"LA", "NY", "LA", "SF", "NY", "LA"}) {
+    ASSERT_TRUE(rel.AppendRow({v}).ok());
+  }
+  const ColumnDictionary& dict = rel.dictionary(0);
+  ASSERT_EQ(dict.num_values(), 3u);
+  EXPECT_EQ(dict.value(0), "LA");
+  EXPECT_EQ(dict.value(1), "NY");
+  EXPECT_EQ(dict.value(2), "SF");
+  EXPECT_EQ(dict.rows(0), (std::vector<RowId>{0, 2, 5}));
+  EXPECT_EQ(dict.rows(1), (std::vector<RowId>{1, 4}));
+  EXPECT_EQ(dict.rows(2), (std::vector<RowId>{3}));
+  for (RowId r = 0; r < 6; ++r) {
+    EXPECT_EQ(dict.value(dict.value_id(r)), rel.cell(r, 0));
+  }
+  // Mutation invalidates the cache.
+  rel.set_cell(3, 0, "LA");
+  EXPECT_EQ(rel.dictionary(0).num_values(), 2u);
+}
+
+}  // namespace
+}  // namespace anmat
