@@ -1,0 +1,266 @@
+// A7 — engine thread-count scaling and streaming-vs-rebuild throughput.
+//
+// Two claims of the engine layer (anmat/engine.h):
+//
+//  1. Discovery and detection fan out (per candidate dependency / per
+//     (PFD, tableau row)) over the thread pool with a deterministic merge,
+//     so wall-clock should drop with the thread count on multi-core
+//     hardware while the output stays byte-identical. This bench prints
+//     the measured wall-clock per thread count as JSON; interpret the
+//     speedups against "hardware_threads" — on a single-core container
+//     threads only timeshare and the expected speedup is ~1x (the
+//     determinism claim is what engine_test.cc asserts everywhere).
+//
+//  2. DetectionStream pays pattern work only for newly seen distinct
+//     values per batch, so append-heavy workloads beat "rebuild from
+//     scratch per batch" by a margin that grows with the batch count —
+//     this is single-threaded, algorithmic, and reproduces on any machine.
+//
+// Content: the two JSON reports (plus equality checks between parallel /
+// streaming results and their serial one-shot references). Performance:
+// google-benchmark timings for the same paths (JSON via
+// --benchmark_format=json, like every other bench_* binary).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "anmat/engine.h"
+#include "bench_util.h"
+#include "datagen/datasets.h"
+#include "detect/detection_stream.h"
+#include "detect/detector.h"
+#include "discovery/discovery.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using anmat_bench::Banner;
+using anmat_bench::CheckOrDie;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// A serialized fingerprint of a detection result (order-sensitive), used
+/// to check byte-identical output across thread counts and streaming.
+std::string Fingerprint(const anmat::DetectionResult& result) {
+  std::string out;
+  for (const anmat::Violation& v : result.violations) {
+    out += std::to_string(v.pfd_index) + ":" +
+           std::to_string(v.tableau_row) + ":";
+    for (const anmat::CellRef& c : v.cells) {
+      out += std::to_string(c.row) + "," + std::to_string(c.column) + ";";
+    }
+    out += v.suggested_repair + "|";
+  }
+  return out;
+}
+
+anmat::Dataset BenchDataset() {
+  // Duplicate-heavy zip/city/state plus injected errors: several PFDs with
+  // both constant and variable tableau rows, the shape the fan-out targets.
+  return anmat::ZipCityStateDataset(20000, 71, 0.02);
+}
+
+void ThreadScalingReport() {
+  Banner("A7a", "discovery+detection wall-clock vs thread count");
+  const anmat::Dataset d = BenchDataset();
+
+  anmat::DiscoveryOptions discover_options;
+  discover_options.min_coverage = 0.4;
+
+  // Serial reference (also provides the rules for the detection timing).
+  anmat::Engine serial_engine(anmat::ExecutionOptions{1, true, nullptr});
+  auto serial_discovery = serial_engine.Discover(d.relation, discover_options);
+  CheckOrDie(serial_discovery.ok(), "serial discovery failed");
+  CheckOrDie(!serial_discovery->pfds.empty(), "no PFDs discovered");
+  std::vector<anmat::Pfd> rules;
+  for (const anmat::DiscoveredPfd& disc : serial_discovery->pfds) {
+    rules.push_back(disc.pfd);
+  }
+  auto serial_detection = serial_engine.Detect(d.relation, rules);
+  CheckOrDie(serial_detection.ok(), "serial detection failed");
+  const std::string serial_print = Fingerprint(serial_detection.value());
+
+  struct Timing {
+    size_t threads;
+    double discover_ms;
+    double detect_ms;
+  };
+  std::vector<Timing> timings;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    anmat::Engine engine(anmat::ExecutionOptions{threads, true, nullptr});
+    auto t0 = std::chrono::steady_clock::now();
+    auto discovery = engine.Discover(d.relation, discover_options);
+    const double discover_ms = MillisSince(t0);
+    CheckOrDie(discovery.ok(), "parallel discovery failed");
+    CheckOrDie(discovery->pfds.size() == serial_discovery->pfds.size(),
+               "parallel discovery diverged from serial");
+
+    t0 = std::chrono::steady_clock::now();
+    auto detection = engine.Detect(d.relation, rules);
+    const double detect_ms = MillisSince(t0);
+    CheckOrDie(detection.ok(), "parallel detection failed");
+    CheckOrDie(Fingerprint(detection.value()) == serial_print,
+               "parallel detection diverged from serial");
+    timings.push_back(Timing{threads, discover_ms, detect_ms});
+  }
+
+  std::cout << "{\n  \"hardware_threads\": "
+            << anmat::ThreadPool::HardwareThreads()
+            << ",\n  \"rows\": " << d.relation.num_rows()
+            << ",\n  \"rules\": " << rules.size() << ",\n  \"scaling\": [\n";
+  for (size_t i = 0; i < timings.size(); ++i) {
+    const Timing& t = timings[i];
+    std::cout << "    {\"threads\": " << t.threads << ", \"discover_ms\": "
+              << t.discover_ms << ", \"detect_ms\": " << t.detect_ms
+              << ", \"speedup_vs_1\": "
+              << (timings[0].discover_ms + timings[0].detect_ms) /
+                     (t.discover_ms + t.detect_ms)
+              << "}" << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+}
+
+void StreamingReport() {
+  Banner("A7b", "streaming AppendBatch vs per-batch rebuild");
+  const anmat::Dataset d = BenchDataset();
+
+  anmat::Engine engine(anmat::ExecutionOptions{1, true, nullptr});
+  anmat::DiscoveryOptions discover_options;
+  discover_options.min_coverage = 0.4;
+  auto discovery = engine.Discover(d.relation, discover_options);
+  CheckOrDie(discovery.ok() && !discovery->pfds.empty(),
+             "discovery for streaming bench failed");
+  std::vector<anmat::Pfd> rules;
+  for (const anmat::DiscoveredPfd& disc : discovery->pfds) {
+    rules.push_back(disc.pfd);
+  }
+
+  const size_t kBatches = 20;
+  const size_t rows = d.relation.num_rows();
+  std::vector<anmat::Relation> batches;
+  for (size_t b = 0; b < kBatches; ++b) {
+    const size_t begin = b * rows / kBatches;
+    const size_t end = (b + 1) * rows / kBatches;
+    auto slice = d.relation.Slice(static_cast<anmat::RowId>(begin),
+                                  static_cast<anmat::RowId>(end));
+    CheckOrDie(slice.ok(), "slice failed");
+    batches.push_back(std::move(slice).value());
+  }
+
+  // Streaming: one stream, kBatches appends, cumulative result each time.
+  auto t0 = std::chrono::steady_clock::now();
+  auto stream = engine.OpenStream(d.relation.schema(), rules);
+  CheckOrDie(stream.ok(), "OpenStream failed");
+  std::string stream_print;
+  for (const anmat::Relation& batch : batches) {
+    auto result = (*stream)->AppendBatch(batch);
+    CheckOrDie(result.ok(), "AppendBatch failed");
+    stream_print = Fingerprint(result.value());
+  }
+  const double stream_ms = MillisSince(t0);
+
+  // Rebuild: a fresh one-shot DetectErrors over the growing prefix after
+  // every batch — what a caller without the stream has to do.
+  t0 = std::chrono::steady_clock::now();
+  anmat::Relation prefix(d.relation.schema());
+  std::string rebuild_print;
+  for (const anmat::Relation& batch : batches) {
+    for (anmat::RowId r = 0; r < batch.num_rows(); ++r) {
+      CheckOrDie(prefix.AppendRow(batch.Row(r)).ok(), "append failed");
+    }
+    auto result = engine.Detect(prefix, rules);
+    CheckOrDie(result.ok(), "rebuild detection failed");
+    rebuild_print = Fingerprint(result.value());
+  }
+  const double rebuild_ms = MillisSince(t0);
+
+  CheckOrDie(stream_print == rebuild_print,
+             "streaming result diverged from one-shot rebuild");
+
+  std::cout << "{\n  \"rows\": " << rows << ",\n  \"batches\": " << kBatches
+            << ",\n  \"rules\": " << rules.size()
+            << ",\n  \"stream_ms\": " << stream_ms
+            << ",\n  \"rebuild_ms\": " << rebuild_ms
+            << ",\n  \"stream_speedup\": " << rebuild_ms / stream_ms
+            << ",\n  \"distinct_values\": " << (*stream)->distinct_values()
+            << "\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark timings
+// ---------------------------------------------------------------------------
+
+void BM_DetectThreads(benchmark::State& state) {
+  static const anmat::Dataset d = BenchDataset();
+  static const std::vector<anmat::Pfd> rules = [] {
+    anmat::Engine engine;
+    anmat::DiscoveryOptions options;
+    options.min_coverage = 0.4;
+    auto discovery = engine.Discover(d.relation, options);
+    std::vector<anmat::Pfd> out;
+    if (discovery.ok()) {
+      for (const anmat::DiscoveredPfd& disc : discovery->pfds) {
+        out.push_back(disc.pfd);
+      }
+    }
+    return out;
+  }();
+  anmat::Engine engine(anmat::ExecutionOptions{
+      static_cast<size_t>(state.range(0)), true, nullptr});
+  for (auto _ : state) {
+    auto result = engine.Detect(d.relation, rules);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DetectThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StreamAppendBatch(benchmark::State& state) {
+  static const anmat::Dataset d = BenchDataset();
+  static const std::vector<anmat::Pfd> rules = [] {
+    anmat::Engine engine;
+    anmat::DiscoveryOptions options;
+    options.min_coverage = 0.4;
+    auto discovery = engine.Discover(d.relation, options);
+    std::vector<anmat::Pfd> out;
+    if (discovery.ok()) {
+      for (const anmat::DiscoveredPfd& disc : discovery->pfds) {
+        out.push_back(disc.pfd);
+      }
+    }
+    return out;
+  }();
+  const size_t batch_rows = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    anmat::Engine engine;
+    auto stream = engine.OpenStream(d.relation.schema(), rules);
+    state.ResumeTiming();
+    for (size_t begin = 0; begin + batch_rows <= d.relation.num_rows();
+         begin += batch_rows) {
+      auto batch = d.relation.Slice(
+          static_cast<anmat::RowId>(begin),
+          static_cast<anmat::RowId>(begin + batch_rows));
+      auto result = (*stream)->AppendBatch(batch.value());
+      benchmark::DoNotOptimize(result);
+    }
+  }
+}
+BENCHMARK(BM_StreamAppendBatch)->Arg(2000)->Arg(5000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ThreadScalingReport();
+  StreamingReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

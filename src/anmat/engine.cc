@@ -1,0 +1,74 @@
+#include "anmat/engine.h"
+
+namespace anmat {
+
+Engine::Engine(ExecutionOptions execution)
+    : execution_(std::move(execution)) {
+  execution_.pool = nullptr;  // the engine owns its pool; never adopt one
+}
+
+Engine::~Engine() = default;
+
+Engine::Engine(Engine&& other) noexcept
+    : execution_(other.execution_), pool_(std::move(other.pool_)) {}
+
+Engine& Engine::operator=(Engine&& other) noexcept {
+  if (this != &other) {
+    execution_ = other.execution_;
+    pool_ = std::move(other.pool_);
+  }
+  return *this;
+}
+
+void Engine::set_execution(ExecutionOptions execution) {
+  execution_ = std::move(execution);
+  execution_.pool = nullptr;
+  pool_.reset();
+}
+
+void Engine::SetNumThreads(size_t num_threads) {
+  execution_.num_threads = num_threads;
+  pool_.reset();
+}
+
+ExecutionOptions Engine::Exec() {
+  const size_t threads = execution_.EffectiveThreads();
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (threads > 1) {
+    if (pool_ == nullptr || pool_->num_threads() != threads) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+  } else {
+    pool_.reset();
+  }
+  ExecutionOptions exec = execution_;
+  exec.pool = pool_.get();
+  return exec;
+}
+
+std::vector<ColumnProfile> Engine::Profile(const Relation& relation,
+                                           ProfilerOptions options) {
+  options.execution = Exec();
+  return ProfileRelation(relation, options);
+}
+
+Result<DiscoveryResult> Engine::Discover(const Relation& relation,
+                                         DiscoveryOptions options) {
+  options.execution = Exec();
+  return DiscoverPfds(relation, options);
+}
+
+Result<DetectionResult> Engine::Detect(const Relation& relation,
+                                       const std::vector<Pfd>& pfds,
+                                       DetectorOptions options) {
+  options.execution = Exec();
+  return DetectErrors(relation, pfds, options);
+}
+
+Result<std::unique_ptr<DetectionStream>> Engine::OpenStream(
+    const Schema& schema, std::vector<Pfd> pfds, DetectorOptions options) {
+  options.execution = Exec();
+  return DetectionStream::Open(schema, std::move(pfds), options);
+}
+
+}  // namespace anmat

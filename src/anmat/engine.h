@@ -1,0 +1,112 @@
+#ifndef ANMAT_ANMAT_ENGINE_H_
+#define ANMAT_ANMAT_ENGINE_H_
+
+/// \file engine.h
+/// The execution layer of ANMAT: one place that owns the thread pool and
+/// drives the pipeline stages with it.
+///
+/// ```
+///   Session (session.h)           thin workflow façade (load → profile →
+///      │  delegates                discover → confirm → detect)
+///      ▼
+///   Engine (this file)            owns ThreadPool + ExecutionOptions
+///      │  fans out via ParallelFor(…)
+///      ├─ Profile   → ProfileRelation   one task per column
+///      ├─ Discover  → DiscoverPfds      one task per candidate dependency
+///      ├─ Detect    → DetectErrors      one task per (PFD, tableau row)
+///      └─ OpenStream → DetectionStream  incremental batch detection
+/// ```
+///
+/// Every parallel stage merges per-task slots in task order, so results are
+/// byte-identical to serial runs (asserted by the randomized differential
+/// tests in engine_test.cc). The engine overwrites the `execution` block of
+/// whatever options it is handed with its own configuration — threads are
+/// set once, on the engine.
+///
+/// \code
+///   anmat::Engine engine(anmat::ExecutionOptions{/*num_threads=*/0});
+///   auto discovery = engine.Discover(relation, options);
+///   auto detection = engine.Detect(relation, pfds);
+///   auto stream = engine.OpenStream(relation.schema(), pfds);
+///   for (const anmat::Relation& batch : batches) {
+///     auto cumulative = (*stream)->AppendBatch(batch);
+///   }
+/// \endcode
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "detect/detection_stream.h"
+#include "detect/detector.h"
+#include "discovery/discovery.h"
+#include "discovery/profiler.h"
+#include "relation/relation.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace anmat {
+
+/// \brief The execution engine: pipeline stages + a shared thread pool.
+///
+/// Movable, not copyable. Stage calls (Profile/Discover/Detect/OpenStream)
+/// may run concurrently from several threads — lazy pool creation is
+/// lock-guarded — as long as each call uses a distinct relation.
+/// Reconfiguration (`set_execution`, `SetNumThreads`, move) must be
+/// externally synchronized with stage calls: it drops the pool the running
+/// stages may still be using.
+class Engine {
+ public:
+  /// `execution.num_threads`: 1 = serial (default), 0 = one per hardware
+  /// thread, n = exactly n. The pool is created lazily on the first
+  /// parallel stage and reused across calls.
+  explicit Engine(ExecutionOptions execution = {});
+  ~Engine();
+
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+
+  const ExecutionOptions& execution() const { return execution_; }
+
+  /// Replaces the execution configuration (drops the pool; it is rebuilt
+  /// lazily at the new size).
+  void set_execution(ExecutionOptions execution);
+
+  /// Convenience for the common knob.
+  void SetNumThreads(size_t num_threads);
+
+  /// Column-parallel profiling (Figure 3).
+  std::vector<ColumnProfile> Profile(const Relation& relation,
+                                     ProfilerOptions options = {});
+
+  /// Candidate-parallel PFD discovery (Figure 2 / Figure 4).
+  Result<DiscoveryResult> Discover(const Relation& relation,
+                                   DiscoveryOptions options = {});
+
+  /// (PFD, tableau row)-parallel detection (Figure 5).
+  Result<DetectionResult> Detect(const Relation& relation,
+                                 const std::vector<Pfd>& pfds,
+                                 DetectorOptions options = {});
+
+  /// Opens a streaming detector for `pfds` over relations with `schema`;
+  /// batches appended to it pay pattern work only for newly seen distinct
+  /// values (see detection_stream.h). The stream borrows the engine's pool:
+  /// it must not outlive the engine (nor a SetNumThreads/set_execution
+  /// reconfiguration).
+  Result<std::unique_ptr<DetectionStream>> OpenStream(
+      const Schema& schema, std::vector<Pfd> pfds,
+      DetectorOptions options = {});
+
+ private:
+  /// The engine's execution block with the (lazily created) pool installed.
+  ExecutionOptions Exec();
+
+  ExecutionOptions execution_;
+  /// Guards lazy creation of `pool_` under concurrent stage calls.
+  std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_ANMAT_ENGINE_H_

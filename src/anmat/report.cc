@@ -158,4 +158,110 @@ std::string RenderSessionReport(const Session& session) {
   return out;
 }
 
+JsonValue ProfilesToJson(const std::vector<ColumnProfile>& profiles) {
+  JsonValue columns = JsonValue::Array();
+  for (const ColumnProfile& p : profiles) {
+    JsonValue col = JsonValue::Object();
+    col.Set("name", JsonValue::String(p.name));
+    col.Set("index", JsonValue::Int(static_cast<int64_t>(p.index)));
+    col.Set("rows", JsonValue::Int(static_cast<int64_t>(p.rows)));
+    col.Set("non_null", JsonValue::Int(static_cast<int64_t>(p.non_null)));
+    col.Set("distinct", JsonValue::Int(static_cast<int64_t>(p.distinct)));
+    col.Set("numeric_ratio", JsonValue::Number(p.numeric_ratio));
+    col.Set("single_token", JsonValue::Bool(p.single_token));
+    col.Set("avg_tokens", JsonValue::Number(p.avg_tokens));
+    col.Set("column_pattern", JsonValue::String(p.column_pattern.ToString()));
+    JsonValue top = JsonValue::Array();
+    for (const PatternProfileEntry& e : p.top_patterns) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("pattern", JsonValue::String(e.pattern));
+      entry.Set("position", JsonValue::Int(static_cast<int64_t>(e.position)));
+      entry.Set("frequency",
+                JsonValue::Int(static_cast<int64_t>(e.frequency)));
+      top.push_back(std::move(entry));
+    }
+    col.Set("top_patterns", std::move(top));
+    columns.push_back(std::move(col));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("columns", std::move(columns));
+  return root;
+}
+
+JsonValue DiscoveredPfdsToJson(const std::vector<DiscoveredPfd>& discovered) {
+  JsonValue pfds = JsonValue::Array();
+  for (const DiscoveredPfd& d : discovered) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("rule", JsonValue::String(d.pfd.ToString()));
+    entry.Set("constant", JsonValue::Bool(d.pfd.IsConstant()));
+    entry.Set("coverage", JsonValue::Number(d.stats.Coverage()));
+    entry.Set("violation_rate", JsonValue::Number(d.stats.ViolationRate()));
+    entry.Set("covered_rows",
+              JsonValue::Int(static_cast<int64_t>(d.stats.covered_rows)));
+    entry.Set("violating_rows",
+              JsonValue::Int(static_cast<int64_t>(d.stats.violating_rows)));
+    JsonValue provenance = JsonValue::Array();
+    for (const std::string& p : d.provenance) {
+      provenance.push_back(JsonValue::String(p));
+    }
+    entry.Set("provenance", std::move(provenance));
+    pfds.push_back(std::move(entry));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("pfds", std::move(pfds));
+  return root;
+}
+
+JsonValue DetectionToJson(const Relation& relation,
+                          const std::vector<Pfd>& pfds,
+                          const DetectionResult& detection) {
+  JsonValue stats = JsonValue::Object();
+  stats.Set("rows_scanned", JsonValue::Int(static_cast<int64_t>(
+                                detection.stats.rows_scanned)));
+  stats.Set("candidate_rows", JsonValue::Int(static_cast<int64_t>(
+                                  detection.stats.candidate_rows)));
+  stats.Set("pairs_checked", JsonValue::Int(static_cast<int64_t>(
+                                 detection.stats.pairs_checked)));
+  stats.Set("violations", JsonValue::Int(static_cast<int64_t>(
+                              detection.stats.violations)));
+
+  JsonValue violations = JsonValue::Array();
+  for (const Violation& v : detection.violations) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("kind", JsonValue::String(
+                          v.kind == ViolationKind::kConstant ? "constant"
+                                                             : "variable"));
+    entry.Set("pfd_index", JsonValue::Int(static_cast<int64_t>(v.pfd_index)));
+    if (v.pfd_index < pfds.size()) {
+      entry.Set("rule", JsonValue::String(pfds[v.pfd_index].ToString()));
+    }
+    entry.Set("tableau_row",
+              JsonValue::Int(static_cast<int64_t>(v.tableau_row)));
+    JsonValue cells = JsonValue::Array();
+    for (const CellRef& c : v.cells) {
+      JsonValue cell = JsonValue::Object();
+      cell.Set("row", JsonValue::Int(static_cast<int64_t>(c.row)));
+      cell.Set("column", JsonValue::Int(static_cast<int64_t>(c.column)));
+      cell.Set("value", JsonValue::String(relation.cell(c.row, c.column)));
+      cells.push_back(std::move(cell));
+    }
+    entry.Set("cells", std::move(cells));
+    JsonValue suspect = JsonValue::Object();
+    suspect.Set("row", JsonValue::Int(static_cast<int64_t>(v.suspect.row)));
+    suspect.Set("column",
+                JsonValue::Int(static_cast<int64_t>(v.suspect.column)));
+    suspect.Set("value", JsonValue::String(
+                             relation.cell(v.suspect.row, v.suspect.column)));
+    entry.Set("suspect", std::move(suspect));
+    entry.Set("suggested_repair", JsonValue::String(v.suggested_repair));
+    entry.Set("explanation", JsonValue::String(v.explanation));
+    violations.push_back(std::move(entry));
+  }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("stats", std::move(stats));
+  root.Set("violations", std::move(violations));
+  return root;
+}
+
 }  // namespace anmat

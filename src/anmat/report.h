@@ -14,6 +14,7 @@
 #include "detect/violation.h"
 #include "discovery/discovery.h"
 #include "relation/relation.h"
+#include "util/json.h"
 
 namespace anmat {
 
@@ -45,6 +46,22 @@ std::string RenderScorecard(const std::string& label,
 
 /// \brief Convenience: all three views for a completed session.
 std::string RenderSessionReport(const Session& session);
+
+// -- Machine-readable variants (the CLI's --format json) -------------------
+
+/// \brief The profiling view as JSON: one object per column with the
+/// statistics and the dominant "pattern/position/frequency" entries.
+JsonValue ProfilesToJson(const std::vector<ColumnProfile>& profiles);
+
+/// \brief The discovered PFDs as JSON: rule text, coverage statistics and
+/// provenance per PFD.
+JsonValue DiscoveredPfdsToJson(const std::vector<DiscoveredPfd>& discovered);
+
+/// \brief A detection result as JSON: run statistics plus one object per
+/// violation (kind, rule, cells, suspect, suggested repair, explanation).
+JsonValue DetectionToJson(const Relation& relation,
+                          const std::vector<Pfd>& pfds,
+                          const DetectionResult& detection);
 
 }  // namespace anmat
 

@@ -33,7 +33,7 @@ Status Session::LoadRelation(Relation relation) {
 
 Status Session::Profile() {
   if (!loaded_) return Status::InvalidArgument("no dataset loaded");
-  profiles_ = ProfileRelation(relation_, options_.profiler);
+  profiles_ = engine_.Profile(relation_, options_.profiler);
   profiled_ = true;
   return Status::OK();
 }
@@ -41,7 +41,7 @@ Status Session::Profile() {
 Status Session::Discover() {
   if (!loaded_) return Status::InvalidArgument("no dataset loaded");
   ANMAT_ASSIGN_OR_RETURN(DiscoveryResult result,
-                         DiscoverPfds(relation_, options_));
+                         engine_.Discover(relation_, options_));
   profiles_ = std::move(result.profiles);
   profiled_ = true;
   discovered_ = std::move(result.pfds);
@@ -77,9 +77,19 @@ Status Session::Detect() {
   }
   ANMAT_ASSIGN_OR_RETURN(
       DetectionResult result,
-      DetectErrors(relation_, confirmed_, detector_options_));
+      engine_.Detect(relation_, confirmed_, detector_options_));
   detection_ = std::move(result);
   return Status::OK();
+}
+
+Result<std::unique_ptr<DetectionStream>> Session::OpenDetectionStream() {
+  if (!loaded_) return Status::InvalidArgument("no dataset loaded");
+  if (confirmed_.empty()) {
+    return Status::InvalidArgument(
+        "no confirmed PFDs; call ConfirmAll() or Confirm(i) first");
+  }
+  return engine_.OpenStream(relation_.schema(), confirmed_,
+                            detector_options_);
 }
 
 }  // namespace anmat

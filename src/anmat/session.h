@@ -4,8 +4,15 @@
 /// \file session.h
 /// The ANMAT façade: the workflow of the demo's GUI (§4) as a library API.
 ///
+/// `Session` is a thin workflow wrapper over `anmat::Engine` (engine.h),
+/// which owns the thread pool and runs profiling column-parallel, discovery
+/// candidate-parallel and detection PFD-parallel — with results
+/// byte-identical to serial runs. Threads are set once on the session (or
+/// engine); everything else is unchanged from the serial API.
+///
 /// \code
 ///   anmat::Session session("census");
+///   session.SetNumThreads(0);                  // 0 = all hardware threads
 ///   ANMAT_RETURN_NOT_OK(session.LoadCsvFile("addresses.csv"));
 ///   session.SetMinCoverage(0.6);
 ///   session.SetAllowedViolationRatio(0.05);
@@ -15,10 +22,17 @@
 ///   ANMAT_RETURN_NOT_OK(session.Detect());
 ///   std::cout << session.RenderViolationsView();
 /// \endcode
+///
+/// For append-heavy workloads, `OpenDetectionStream()` returns a
+/// `DetectionStream` over the confirmed PFDs: each appended batch pays
+/// pattern work only for newly seen distinct values and yields the
+/// cumulative violation set (see detection_stream.h).
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "anmat/engine.h"
 #include "csv/csv_reader.h"
 #include "detect/detector.h"
 #include "discovery/discovery.h"
@@ -50,8 +64,14 @@ class Session {
   void SetAllowedViolationRatio(double ratio) {
     options_.allowed_violation_ratio = ratio;
   }
+  /// Worker threads for every pipeline stage (1 = serial, 0 = hardware).
+  void SetNumThreads(size_t num_threads) { engine_.SetNumThreads(num_threads); }
   DiscoveryOptions& mutable_discovery_options() { return options_; }
   DetectorOptions& mutable_detector_options() { return detector_options_; }
+
+  /// The execution engine behind the pipeline calls (for execution options
+  /// beyond the thread count, or to drive stages directly).
+  Engine& engine() { return engine_; }
 
   // -- Pipeline ------------------------------------------------------------
 
@@ -70,6 +90,13 @@ class Session {
   /// Runs detection with the confirmed PFDs (Figure 5).
   Status Detect();
 
+  /// Opens a streaming detector over the confirmed PFDs and the loaded
+  /// relation's schema; append batches of new records to it as they arrive
+  /// (see detection_stream.h). The stream is independent of the session's
+  /// own relation (it accumulates its own) but borrows the session engine's
+  /// pool, so it must not outlive the session.
+  Result<std::unique_ptr<DetectionStream>> OpenDetectionStream();
+
   // -- Results -------------------------------------------------------------
 
   const std::vector<ColumnProfile>& profiles() const { return profiles_; }
@@ -79,6 +106,7 @@ class Session {
 
  private:
   std::string project_name_;
+  Engine engine_;
   Relation relation_;
   bool loaded_ = false;
 

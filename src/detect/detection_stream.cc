@@ -1,0 +1,241 @@
+#include "detect/detection_stream.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace anmat {
+
+using detect_internal::ResolvedRow;
+using detect_internal::SeedCell;
+using detect_internal::SortViolations;
+
+DetectionStream::DetectionStream(Schema schema, std::vector<Pfd> pfds,
+                                 DetectorOptions options)
+    : relation_(std::move(schema)),
+      pfds_(std::move(pfds)),
+      options_(std::move(options)) {}
+
+Result<std::unique_ptr<DetectionStream>> DetectionStream::Open(
+    const Schema& schema, std::vector<Pfd> pfds,
+    const DetectorOptions& options) {
+  if (options.max_violations != 0) {
+    return Status::InvalidArgument(
+        "DetectionStream does not support max_violations: the cap's "
+        "\"first N found\" semantics contradict cumulative batch results");
+  }
+  if (!options.use_value_dictionary) {
+    return Status::InvalidArgument(
+        "DetectionStream requires use_value_dictionary: its cross-batch "
+        "match/extraction memos are keyed by dictionary value id (that is "
+        "what makes a batch cost O(new distinct values) pattern work)");
+  }
+  std::unique_ptr<DetectionStream> stream(
+      new DetectionStream(schema, std::move(pfds), options));
+  ANMAT_RETURN_NOT_OK(stream->Init());
+  return stream;
+}
+
+Status DetectionStream::Init() {
+  const Schema& schema = relation_.schema();
+  dicts_.resize(schema.num_columns());
+  indexes_.resize(schema.num_columns());
+
+  for (size_t pi = 0; pi < pfds_.size(); ++pi) {
+    const Pfd& pfd = pfds_[pi];
+    ANMAT_RETURN_NOT_OK(pfd.Validate(schema));
+    std::vector<size_t> lhs_cols;
+    for (const std::string& a : pfd.lhs_attrs()) {
+      ANMAT_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(a));
+      lhs_cols.push_back(idx);
+    }
+    std::vector<size_t> rhs_cols;
+    for (const std::string& a : pfd.rhs_attrs()) {
+      ANMAT_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(a));
+      rhs_cols.push_back(idx);
+    }
+
+    for (size_t ri = 0; ri < pfd.tableau().size(); ++ri) {
+      const TableauRow& trow = pfd.tableau().row(ri);
+      RowState state;
+      state.pfd_index = pi;
+      state.row_index = ri;
+      state.constant = trow.IsConstantRow();
+      state.variable = trow.IsVariableRow();
+      state.resolved = detect_internal::ResolveRow(
+          trow, lhs_cols, rhs_cols, pfd.lhs_attrs(), pfd.rhs_attrs());
+
+      // Preset every pattern cell's scan with the stream-owned incremental
+      // dictionary of its column; the memo tables grow with the dictionary
+      // and survive across batches.
+      state.scans.resize(lhs_cols.size());
+      for (size_t i = 0; i < lhs_cols.size(); ++i) {
+        if (state.resolved.lhs_matchers[i] == nullptr) continue;
+        const size_t col = lhs_cols[i];
+        if (dicts_[col] == nullptr) {
+          dicts_[col] = std::make_unique<ColumnDictionary>();
+        }
+        state.scans[i].dict = dicts_[col].get();
+        state.scans[i].col = col;
+      }
+
+      // An incremental index over each seed column narrows the per-batch
+      // candidate scan of constant rows to the new rows in its postings.
+      if (options_.use_pattern_index && (state.constant || state.variable)) {
+        const size_t seed = SeedCell(state.resolved);
+        if (seed < lhs_cols.size()) {
+          const size_t col = lhs_cols[seed];
+          if (indexes_[col] == nullptr) {
+            indexes_[col] = std::make_unique<PatternIndex>(
+                relation_, col, dicts_[col].get());
+          }
+        }
+      }
+      rows_.push_back(std::move(state));
+    }
+  }
+  return Status::OK();
+}
+
+void DetectionStream::AbsorbRows(RowState& state, RowId first_row,
+                                 RowId end_row) {
+  ResolvedRow& row = state.resolved;
+  const size_t seed = SeedCell(row);
+
+  // New-row candidates: the seed column's incremental index returns the
+  // posting tail (only rows >= first_row), which is sub-linear in the batch
+  // for selective patterns; without an index the batch is scanned directly.
+  // Either way `MatchesLhs` is the exact test, memoized per distinct value,
+  // so only newly seen values pay automaton work.
+  std::vector<RowId> seeded;
+  const PatternIndex* index =
+      seed < row.lhs_cols.size() ? indexes_[row.lhs_cols[seed]].get()
+                                 : nullptr;
+  if (index != nullptr) {
+    seeded = index->CandidateSuperset(
+        row.row->lhs[seed].pattern().EmbeddedPattern(), first_row);
+  }
+
+  const auto each_candidate = [&](const auto& fn) {
+    if (index != nullptr) {
+      for (RowId r : seeded) fn(r);
+    } else {
+      for (RowId r = first_row; r < end_row; ++r) fn(r);
+    }
+  };
+
+  if (state.constant) {
+    each_candidate([&](RowId r) {
+      if (!detect_internal::MatchesLhs(relation_, row, state.scans, r)) {
+        return;
+      }
+      ++state.candidates;
+      detect_internal::EmitConstantViolation(relation_, state.pfd_index,
+                                             state.row_index, row, r,
+                                             &state.violations);
+    });
+  } else {
+    std::string key;
+    key.reserve(32 * row.lhs_cols.size());
+    each_candidate([&](RowId r) {
+      if (!detect_internal::MatchesLhs(relation_, row, state.scans, r)) {
+        return;
+      }
+      ++state.candidates;
+      if (detect_internal::RecordKey(relation_, row, state.scans, r, &key)) {
+        ++state.matched;
+        state.groups[key].push_back(r);
+      }
+    });
+  }
+}
+
+Result<DetectionResult> DetectionStream::AppendBatch(const Relation& batch) {
+  if (batch.num_columns() != relation_.num_columns()) {
+    return Status::InvalidArgument(
+        "batch has " + std::to_string(batch.num_columns()) +
+        " columns; the stream schema has " +
+        std::to_string(relation_.num_columns()));
+  }
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    if (batch.schema().column(c).name != relation_.schema().column(c).name) {
+      return Status::InvalidArgument(
+          "batch column " + std::to_string(c) + " is named \"" +
+          batch.schema().column(c).name + "\"; the stream schema expects \"" +
+          relation_.schema().column(c).name + "\"");
+    }
+  }
+
+  const RowId first_row = static_cast<RowId>(relation_.num_rows());
+  for (RowId r = 0; r < batch.num_rows(); ++r) {
+    ANMAT_RETURN_NOT_OK(relation_.AppendRow(batch.Row(r)));
+  }
+  const RowId end_row = static_cast<RowId>(relation_.num_rows());
+
+  // Extend the incremental structures before fanning out: the per-row
+  // tasks read them concurrently.
+  for (size_t c = 0; c < dicts_.size(); ++c) {
+    if (dicts_[c] != nullptr) dicts_[c]->Append(batch.column(c), first_row);
+  }
+  for (size_t c = 0; c < indexes_.size(); ++c) {
+    if (indexes_[c] != nullptr) indexes_[c]->AppendRows(first_row, end_row);
+  }
+  ++num_batches_;
+
+  // Absorb the new rows and assemble per-(PFD, row) result slots; each task
+  // owns its RowState exclusively and reads the shared structures. Merging
+  // in slot order plus the canonical sort keeps the cumulative result
+  // byte-identical to a one-shot run at any thread count.
+  std::vector<DetectionResult> slots(rows_.size());
+  ParallelFor(options_.execution, rows_.size(), [&](size_t i) {
+    RowState& state = rows_[i];
+    if (!state.constant && !state.variable) return;
+    AbsorbRows(state, first_row, end_row);
+    DetectionResult& slot = slots[i];
+    slot.stats.candidate_rows = state.candidates;
+    if (state.constant) {
+      slot.violations = state.violations;  // cumulative; copy, keep ours
+    } else {
+      if (!options_.use_blocking) {
+        slot.stats.pairs_checked +=
+            state.matched * (state.matched - 1) / 2;
+      }
+      detect_internal::ResolveGroups(relation_, state.pfd_index,
+                                     state.row_index, state.resolved,
+                                     state.groups, /*max_violations=*/0,
+                                     &slot);
+    }
+  });
+
+  DetectionResult result;
+  result.stats.rows_scanned = relation_.num_rows() * pfds_.size();
+  for (DetectionResult& slot : slots) {
+    result.stats.candidate_rows += slot.stats.candidate_rows;
+    result.stats.pairs_checked += slot.stats.pairs_checked;
+    result.violations.insert(result.violations.end(),
+                             std::make_move_iterator(slot.violations.begin()),
+                             std::make_move_iterator(slot.violations.end()));
+  }
+  SortViolations(&result.violations);
+  result.stats.violations = result.violations.size();
+  return result;
+}
+
+Result<DetectionResult> DetectionStream::AppendRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  Relation batch(relation_.schema());
+  for (const std::vector<std::string>& row : rows) {
+    ANMAT_RETURN_NOT_OK(batch.AppendRow(row));
+  }
+  return AppendBatch(batch);
+}
+
+size_t DetectionStream::distinct_values() const {
+  size_t total = 0;
+  for (const std::unique_ptr<ColumnDictionary>& dict : dicts_) {
+    if (dict != nullptr) total += dict->num_values();
+  }
+  return total;
+}
+
+}  // namespace anmat

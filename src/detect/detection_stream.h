@@ -1,0 +1,126 @@
+#ifndef ANMAT_DETECT_DETECTION_STREAM_H_
+#define ANMAT_DETECT_DETECTION_STREAM_H_
+
+/// \file detection_stream.h
+/// Streaming batch detection: a stateful detector over an append-only
+/// relation with a fixed PFD set (opened via `Engine::OpenStream`).
+///
+/// One-shot `DetectErrors` pays the full pattern cost — dictionary builds,
+/// index builds, one match/extraction per distinct value — on every run. A
+/// `DetectionStream` pays it once per *newly seen distinct value*: each
+/// `AppendBatch` extends the per-column dictionaries and pattern-index
+/// postings incrementally and keeps per-tableau-cell match/extraction memos
+/// alive across batches, so append-heavy workloads (a feed of records
+/// checked as they arrive, the demo GUI re-running after edits) do
+/// O(new distinct values) automaton work per batch instead of O(rows).
+///
+/// The cumulative result returned by `AppendBatch` is byte-identical to
+/// `DetectErrors` over the concatenated relation (asserted by the
+/// randomized differential tests in engine_test.cc).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/detector_internal.h"
+#include "detect/pattern_index.h"
+#include "pfd/pfd.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief Incremental detection over a growing relation with fixed PFDs.
+///
+/// Not thread-safe for concurrent `AppendBatch` calls; one batch is
+/// processed at a time (internally fanning out per tableau row when the
+/// options allow).
+class DetectionStream {
+ public:
+  /// Opens a stream for `pfds` over relations with `schema`. Fails if some
+  /// PFD does not validate against the schema, if
+  /// `options.max_violations` is set (the cap's "first N found" semantics
+  /// contradict cumulative results), or if `options.use_value_dictionary`
+  /// is cleared (the cross-batch memos are keyed by dictionary value id —
+  /// they are what makes a batch cost O(new distinct values)).
+  static Result<std::unique_ptr<DetectionStream>> Open(
+      const Schema& schema, std::vector<Pfd> pfds,
+      const DetectorOptions& options = {});
+
+  /// Appends `batch` (same column names as the stream schema) and returns
+  /// the cumulative detection result over every row appended so far —
+  /// byte-identical to one-shot `DetectErrors` on the concatenated
+  /// relation. `pfd_index` in the violations refers to the PFD list the
+  /// stream was opened with.
+  Result<DetectionResult> AppendBatch(const Relation& batch);
+
+  /// Convenience: appends raw rows (each the width of the schema).
+  Result<DetectionResult> AppendRows(
+      const std::vector<std::vector<std::string>>& rows);
+
+  /// The concatenation of all appended batches.
+  const Relation& relation() const { return relation_; }
+
+  const std::vector<Pfd>& pfds() const { return pfds_; }
+  size_t num_batches() const { return num_batches_; }
+
+  /// Total distinct values across the stream's column dictionaries — the
+  /// quantity the per-batch pattern work is proportional to.
+  size_t distinct_values() const;
+
+ private:
+  DetectionStream(Schema schema, std::vector<Pfd> pfds,
+                  DetectorOptions options);
+
+  /// Resolves tableau rows and allocates per-row state; called once.
+  Status Init();
+
+  /// Per-(PFD, tableau row) state carried across batches.
+  struct RowState {
+    size_t pfd_index = 0;
+    size_t row_index = 0;
+    bool constant = false;
+    bool variable = false;
+    detect_internal::ResolvedRow resolved;
+    /// Persistent per-distinct-value memos (preset to the stream dicts).
+    std::vector<detect_internal::CellScan> scans;
+    /// Cumulative count of rows matching the full LHS.
+    size_t candidates = 0;
+    /// Constant rows: cumulative violations (violations of a constant row
+    /// depend only on that row's own cells, so they never change once
+    /// emitted; appended in ascending row order).
+    std::vector<Violation> violations;
+    /// Variable rows: cumulative key → rows groups (append-only; the group
+    /// resolution is re-run per batch because majorities can flip).
+    std::map<std::string, std::vector<RowId>> groups;
+    /// Variable rows: cumulative count of rows with an extractable key
+    /// (for the `use_blocking == false` pairs_checked accounting).
+    size_t matched = 0;
+  };
+
+  /// Folds the batch rows [first_row, end_row) into `state`.
+  void AbsorbRows(RowState& state, RowId first_row, RowId end_row);
+
+  /// Assembles the cumulative result from the per-row states.
+  DetectionResult Assemble();
+
+  Relation relation_;
+  std::vector<Pfd> pfds_;
+  DetectorOptions options_;
+  size_t num_batches_ = 0;
+  /// Stream-owned incremental dictionaries, one slot per column (null for
+  /// columns no pattern cell touches). `Relation::dictionary` would rebuild
+  /// from scratch after every append; these only absorb the new rows.
+  std::vector<std::unique_ptr<ColumnDictionary>> dicts_;
+  /// Stream-owned incremental pattern indexes over the seed columns (only
+  /// when `options_.use_pattern_index`): per batch they absorb the new rows'
+  /// postings and seed each constant row's new candidates sub-linearly.
+  std::vector<std::unique_ptr<PatternIndex>> indexes_;
+  std::vector<RowState> rows_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_DETECT_DETECTION_STREAM_H_

@@ -3,52 +3,20 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "detect/blocking.h"
+#include "detect/detector_internal.h"
 #include "pattern/matcher.h"
 
 namespace anmat {
 
-namespace {
+// ---------------------------------------------------------------------------
+// Shared internals (declared in detector_internal.h; the streaming detector
+// in detection_stream.cc drives the same definitions).
+// ---------------------------------------------------------------------------
 
-/// Shared context of one detection run.
-struct RunContext {
-  const Relation* relation;
-  const DetectorOptions* options;
-  DetectionResult* result;
-  // Lazily-built pattern indexes, one per column.
-  std::map<size_t, std::unique_ptr<PatternIndex>> indexes;
-
-  bool AtCap() const {
-    return options->max_violations > 0 &&
-           result->violations.size() >= options->max_violations;
-  }
-
-  const PatternIndex& IndexFor(size_t col) {
-    auto it = indexes.find(col);
-    if (it == indexes.end()) {
-      it = indexes
-               .emplace(col, std::make_unique<PatternIndex>(*relation, col))
-               .first;
-    }
-    return *it->second;
-  }
-};
-
-/// One tableau row of one PFD, resolved against the relation's schema and
-/// pre-compiled for matching.
-struct ResolvedRow {
-  const TableauRow* row;
-  std::vector<size_t> lhs_cols;
-  std::vector<size_t> rhs_cols;
-  std::vector<std::string> lhs_attrs;
-  std::vector<std::string> rhs_attrs;
-  // One matcher per non-wildcard LHS cell (parallel to lhs_cols; null for
-  // wildcard cells).
-  std::vector<std::unique_ptr<ConstrainedMatcher>> lhs_matchers;
-  // Constant RHS values (valid when the row is constant).
-  std::vector<std::string> rhs_constants;
-};
+namespace detect_internal {
 
 ResolvedRow ResolveRow(const TableauRow& row,
                        const std::vector<size_t>& lhs_cols,
@@ -77,34 +45,267 @@ ResolvedRow ResolveRow(const TableauRow& row,
   return resolved;
 }
 
+size_t SeedCell(const ResolvedRow& row) {
+  for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+    if (row.lhs_matchers[i] != nullptr) return i;
+  }
+  return row.lhs_cols.size();
+}
+
+void SortViolations(std::vector<Violation>* violations) {
+  std::sort(violations->begin(), violations->end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.pfd_index != b.pfd_index) return a.pfd_index < b.pfd_index;
+              if (a.tableau_row != b.tableau_row) {
+                return a.tableau_row < b.tableau_row;
+              }
+              return a.cells < b.cells;
+            });
+}
+
+bool MatchesLhs(const Relation& relation, const ResolvedRow& row,
+                std::vector<CellScan>& scans, RowId r) {
+  for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+    if (row.lhs_matchers[i] == nullptr) continue;
+    CellScan& scan = scans[i];
+    bool ok;
+    if (scan.enabled()) {
+      const ColumnDictionary& dict = scan.Dict();
+      if (scan.match.size() < dict.num_values()) {
+        scan.match.resize(dict.num_values(), -1);
+      }
+      const uint32_t id = dict.value_id(r);
+      if (scan.match[id] < 0) {
+        scan.match[id] = row.lhs_matchers[i]->Matches(dict.value(id)) ? 1 : 0;
+      }
+      ok = scan.match[id] != 0;
+    } else {
+      ok = row.lhs_matchers[i]->Matches(relation.cell(r, row.lhs_cols[i]));
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool RecordKey(const Relation& relation, const ResolvedRow& row,
+               std::vector<CellScan>& scans, RowId r, std::string* key) {
+  key->clear();
+  Extraction extraction;
+  for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+    const std::string& cell = relation.cell(r, row.lhs_cols[i]);
+    if (row.lhs_matchers[i] == nullptr) {
+      key->append(cell);
+      key->push_back('\x1f');
+      continue;
+    }
+    CellScan& scan = scans[i];
+    if (scan.enabled()) {
+      const ColumnDictionary& dict = scan.Dict();
+      if (scan.frag_state.size() < dict.num_values()) {
+        scan.frag_state.resize(dict.num_values(), -1);
+        scan.frag.resize(dict.num_values());
+      }
+      const uint32_t id = dict.value_id(r);
+      if (scan.frag_state[id] < 0) {
+        if (row.lhs_matchers[i]->ExtractCanonical(dict.value(id),
+                                                  &extraction)) {
+          std::string& frag = scan.frag[id];
+          for (const std::string& part : extraction) {
+            frag.append(part);
+            frag.push_back('\x1f');
+          }
+          frag.push_back('\x1e');
+          scan.frag_state[id] = 1;
+        } else {
+          scan.frag_state[id] = 0;
+        }
+      }
+      if (scan.frag_state[id] == 0) return false;
+      key->append(scan.frag[id]);
+      continue;
+    }
+    if (!row.lhs_matchers[i]->ExtractCanonical(cell, &extraction)) {
+      return false;
+    }
+    for (const std::string& part : extraction) {
+      key->append(part);
+      key->push_back('\x1f');
+    }
+    key->push_back('\x1e');
+  }
+  return true;
+}
+
+std::string RhsValue(const Relation& relation, const ResolvedRow& row,
+                     RowId r) {
+  std::string value;
+  for (size_t i = 0; i < row.rhs_cols.size(); ++i) {
+    value.append(relation.cell(r, row.rhs_cols[i]));
+    value.push_back('\x1f');
+  }
+  return value;
+}
+
+bool EmitConstantViolation(const Relation& relation, size_t pfd_index,
+                           size_t row_index, const ResolvedRow& row, RowId r,
+                           std::vector<Violation>* out) {
+  // Every RHS cell must equal its constant; collect mismatches.
+  std::vector<size_t> mismatches;
+  for (size_t i = 0; i < row.rhs_cols.size(); ++i) {
+    if (relation.cell(r, row.rhs_cols[i]) != row.rhs_constants[i]) {
+      mismatches.push_back(i);
+    }
+  }
+  if (mismatches.empty()) return false;
+
+  Violation v;
+  v.kind = ViolationKind::kConstant;
+  v.pfd_index = pfd_index;
+  v.tableau_row = row_index;
+  for (size_t col : row.lhs_cols) {
+    v.cells.push_back(CellRef{r, static_cast<uint32_t>(col)});
+  }
+  for (size_t i : mismatches) {
+    v.cells.push_back(CellRef{r, static_cast<uint32_t>(row.rhs_cols[i])});
+  }
+  const size_t first = mismatches.front();
+  v.suspect = CellRef{r, static_cast<uint32_t>(row.rhs_cols[first])};
+  v.suggested_repair = row.rhs_constants[first];
+  v.explanation =
+      row.lhs_attrs[0] + " = \"" + relation.cell(r, row.lhs_cols[0]) +
+      "\" matches " + row.row->lhs[0].ToString() + " but " +
+      row.rhs_attrs[first] + " = \"" +
+      relation.cell(r, row.rhs_cols[first]) + "\" != \"" +
+      row.rhs_constants[first] + "\"";
+  out->push_back(std::move(v));
+  return true;
+}
+
+void EmitPairViolation(const Relation& relation, size_t pfd_index,
+                       size_t row_index, const ResolvedRow& row,
+                       RowId suspect_row, RowId witness,
+                       const std::string& majority_repair,
+                       std::vector<Violation>* out) {
+  Violation v;
+  v.kind = ViolationKind::kVariable;
+  v.pfd_index = pfd_index;
+  v.tableau_row = row_index;
+  for (size_t col : row.lhs_cols) {
+    v.cells.push_back(CellRef{suspect_row, static_cast<uint32_t>(col)});
+  }
+  for (size_t col : row.rhs_cols) {
+    v.cells.push_back(CellRef{suspect_row, static_cast<uint32_t>(col)});
+  }
+  for (size_t col : row.lhs_cols) {
+    v.cells.push_back(CellRef{witness, static_cast<uint32_t>(col)});
+  }
+  for (size_t col : row.rhs_cols) {
+    v.cells.push_back(CellRef{witness, static_cast<uint32_t>(col)});
+  }
+  v.suspect =
+      CellRef{suspect_row, static_cast<uint32_t>(row.rhs_cols.front())};
+  v.suggested_repair = majority_repair;
+  v.explanation =
+      "rows " + std::to_string(suspect_row) + " and " +
+      std::to_string(witness) + " agree on the constrained part of the LHS " +
+      "but disagree on " + row.rhs_attrs.front() + " (\"" +
+      relation.cell(suspect_row, row.rhs_cols.front()) + "\" vs \"" +
+      relation.cell(witness, row.rhs_cols.front()) + "\")";
+  out->push_back(std::move(v));
+}
+
+void ResolveGroups(const Relation& relation, size_t pfd_index,
+                   size_t row_index, const ResolvedRow& row,
+                   const std::map<std::string, std::vector<RowId>>& groups,
+                   size_t max_violations, DetectionResult* result) {
+  const auto at_cap = [&] {
+    return max_violations > 0 && result->violations.size() >= max_violations;
+  };
+  for (const auto& [key, rows] : groups) {
+    if (rows.size() < 2) continue;
+    std::map<std::string, std::vector<RowId>> by_rhs;
+    for (RowId r : rows) {
+      by_rhs[RhsValue(relation, row, r)].push_back(r);
+    }
+    if (by_rhs.size() > 1) {
+      // Blocking only pays for pairs inside conflicting blocks.
+      result->stats.pairs_checked += rows.size() * (rows.size() - 1) / 2;
+    }
+    if (by_rhs.size() <= 1) continue;
+
+    size_t best = 0;
+    const std::string* majority_key = nullptr;
+    for (const auto& [rhs, ids] : by_rhs) {
+      if (ids.size() > best) {
+        best = ids.size();
+        majority_key = &rhs;
+      }
+    }
+    const RowId witness = by_rhs.at(*majority_key).front();
+    // Repair suggestion: the witness's first RHS attribute value.
+    const std::string majority_repair =
+        relation.cell(witness, row.rhs_cols.front());
+    for (const auto& [rhs, ids] : by_rhs) {
+      if (rhs == *majority_key) continue;
+      for (RowId r : ids) {
+        if (at_cap()) return;
+        EmitPairViolation(relation, pfd_index, row_index, row, r, witness,
+                          majority_repair, &result->violations);
+      }
+    }
+  }
+}
+
+}  // namespace detect_internal
+
+// ---------------------------------------------------------------------------
+// One-shot detection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using detect_internal::CellScan;
+using detect_internal::ResolvedRow;
+
+/// Shared context of one detection run (serial: one per run shared across
+/// PFDs; parallel: one per (PFD, tableau row) task).
+struct RunContext {
+  const Relation* relation;
+  const DetectorOptions* options;
+  DetectionResult* result;
+  // Lazily-built pattern indexes, one per column.
+  std::map<size_t, std::unique_ptr<PatternIndex>> indexes;
+  // Pre-built indexes shared read-only across parallel tasks (may be null).
+  const std::map<size_t, std::unique_ptr<PatternIndex>>* shared_indexes =
+      nullptr;
+
+  bool AtCap() const {
+    return options->max_violations > 0 &&
+           result->violations.size() >= options->max_violations;
+  }
+
+  const PatternIndex& IndexFor(size_t col) {
+    if (shared_indexes != nullptr) {
+      if (auto it = shared_indexes->find(col); it != shared_indexes->end()) {
+        return *it->second;
+      }
+    }
+    auto it = indexes.find(col);
+    if (it == indexes.end()) {
+      it = indexes
+               .emplace(col, std::make_unique<PatternIndex>(*relation, col))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
 /// All rows of the relation, as a reusable id list.
 std::vector<RowId> AllRows(const Relation& relation) {
   std::vector<RowId> rows(relation.num_rows());
   for (RowId r = 0; r < relation.num_rows(); ++r) rows[r] = r;
   return rows;
 }
-
-/// Per-LHS-cell memo of per-distinct-value results (dictionary mode):
-/// every match / canonical-extraction decision is computed once per
-/// *distinct* value of the cell's column and reused across the rows
-/// holding it. `relation == nullptr` disables memoization for the cell;
-/// the dictionary itself is fetched on first use so rows whose memo is
-/// never consulted (e.g. index-seeded single-cell constant rows) don't
-/// trigger a build.
-struct CellScan {
-  const Relation* relation = nullptr;
-  size_t col = 0;
-  const ColumnDictionary* dict = nullptr;
-  std::vector<int8_t> match;       ///< -1 unknown, else Matches() verdict
-  std::vector<int8_t> frag_state;  ///< -1 unknown, 0 no match, 1 cached
-  std::vector<std::string> frag;   ///< cached record-key fragment
-
-  bool enabled() const { return relation != nullptr; }
-  const ColumnDictionary& Dict() {
-    if (dict == nullptr) dict = &relation->dictionary(col);
-    return *dict;
-  }
-};
 
 std::vector<CellScan> MakeScans(RunContext& ctx, const ResolvedRow& row) {
   std::vector<CellScan> scans(row.lhs_cols.size());
@@ -124,13 +325,7 @@ std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row,
                                  std::vector<CellScan>& scans) {
   // Seed candidates from the first non-wildcard LHS cell.
   std::vector<RowId> candidates;
-  size_t seed_cell = row.lhs_cols.size();
-  for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
-    if (row.lhs_matchers[i] != nullptr) {
-      seed_cell = i;
-      break;
-    }
-  }
+  const size_t seed_cell = detect_internal::SeedCell(row);
   if (seed_cell == row.lhs_cols.size()) {
     candidates = AllRows(*ctx.relation);  // all-wildcard LHS (rejected by
                                           // Tableau::Validate, but be safe)
@@ -168,7 +363,9 @@ std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row,
       CellScan& scan = scans[i];
       if (scan.enabled()) {
         const ColumnDictionary& dict = scan.Dict();
-        if (scan.match.empty()) scan.match.assign(dict.num_values(), -1);
+        if (scan.match.size() < dict.num_values()) {
+          scan.match.resize(dict.num_values(), -1);
+        }
         const uint32_t id = dict.value_id(r);
         if (scan.match[id] < 0) {
           scan.match[id] =
@@ -186,69 +383,6 @@ std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row,
   return verified;
 }
 
-/// The grouping key of a record under a (variable) tableau row: the
-/// concatenated canonical extractions of all LHS cells (whole value for
-/// wildcard cells). Returns false when some pattern cell does not match.
-/// Pattern-cell fragments are memoized per distinct value in `scans`.
-bool RecordKey(const RunContext& ctx, const ResolvedRow& row,
-               std::vector<CellScan>& scans, RowId r, std::string* key) {
-  key->clear();
-  Extraction extraction;
-  for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
-    const std::string& cell = ctx.relation->cell(r, row.lhs_cols[i]);
-    if (row.lhs_matchers[i] == nullptr) {
-      key->append(cell);
-      key->push_back('\x1f');
-      continue;
-    }
-    CellScan& scan = scans[i];
-    if (scan.enabled()) {
-      const ColumnDictionary& dict = scan.Dict();
-      if (scan.frag_state.empty()) {
-        scan.frag_state.assign(dict.num_values(), -1);
-        scan.frag.resize(dict.num_values());
-      }
-      const uint32_t id = dict.value_id(r);
-      if (scan.frag_state[id] < 0) {
-        if (row.lhs_matchers[i]->ExtractCanonical(dict.value(id),
-                                                  &extraction)) {
-          std::string& frag = scan.frag[id];
-          for (const std::string& part : extraction) {
-            frag.append(part);
-            frag.push_back('\x1f');
-          }
-          frag.push_back('\x1e');
-          scan.frag_state[id] = 1;
-        } else {
-          scan.frag_state[id] = 0;
-        }
-      }
-      if (scan.frag_state[id] == 0) return false;
-      key->append(scan.frag[id]);
-      continue;
-    }
-    if (!row.lhs_matchers[i]->ExtractCanonical(cell, &extraction)) {
-      return false;
-    }
-    for (const std::string& part : extraction) {
-      key->append(part);
-      key->push_back('\x1f');
-    }
-    key->push_back('\x1e');
-  }
-  return true;
-}
-
-/// Combined RHS value of a record (multi-attribute safe).
-std::string RhsValue(const RunContext& ctx, const ResolvedRow& row, RowId r) {
-  std::string value;
-  for (size_t i = 0; i < row.rhs_cols.size(); ++i) {
-    value.append(ctx.relation->cell(r, row.rhs_cols[i]));
-    value.push_back('\x1f');
-  }
-  return value;
-}
-
 void DetectConstantRow(RunContext& ctx, size_t pfd_index, size_t row_index,
                        const ResolvedRow& row) {
   std::vector<CellScan> scans = MakeScans(ctx, row);
@@ -257,107 +391,9 @@ void DetectConstantRow(RunContext& ctx, size_t pfd_index, size_t row_index,
 
   for (RowId r : candidates) {
     if (ctx.AtCap()) return;
-    // Every RHS cell must equal its constant; collect mismatches.
-    std::vector<size_t> mismatches;
-    for (size_t i = 0; i < row.rhs_cols.size(); ++i) {
-      if (ctx.relation->cell(r, row.rhs_cols[i]) != row.rhs_constants[i]) {
-        mismatches.push_back(i);
-      }
-    }
-    if (mismatches.empty()) continue;
-
-    Violation v;
-    v.kind = ViolationKind::kConstant;
-    v.pfd_index = pfd_index;
-    v.tableau_row = row_index;
-    for (size_t col : row.lhs_cols) {
-      v.cells.push_back(CellRef{r, static_cast<uint32_t>(col)});
-    }
-    for (size_t i : mismatches) {
-      v.cells.push_back(
-          CellRef{r, static_cast<uint32_t>(row.rhs_cols[i])});
-    }
-    const size_t first = mismatches.front();
-    v.suspect = CellRef{r, static_cast<uint32_t>(row.rhs_cols[first])};
-    v.suggested_repair = row.rhs_constants[first];
-    v.explanation =
-        row.lhs_attrs[0] + " = \"" +
-        ctx.relation->cell(r, row.lhs_cols[0]) + "\" matches " +
-        row.row->lhs[0].ToString() + " but " + row.rhs_attrs[first] +
-        " = \"" + ctx.relation->cell(r, row.rhs_cols[first]) + "\" != \"" +
-        row.rhs_constants[first] + "\"";
-    ctx.result->violations.push_back(std::move(v));
-  }
-}
-
-/// Emits the pair violation between `suspect_row` and `witness`.
-void EmitPairViolation(RunContext& ctx, size_t pfd_index, size_t row_index,
-                       const ResolvedRow& row, RowId suspect_row,
-                       RowId witness, const std::string& majority_repair) {
-  Violation v;
-  v.kind = ViolationKind::kVariable;
-  v.pfd_index = pfd_index;
-  v.tableau_row = row_index;
-  for (size_t col : row.lhs_cols) {
-    v.cells.push_back(CellRef{suspect_row, static_cast<uint32_t>(col)});
-  }
-  for (size_t col : row.rhs_cols) {
-    v.cells.push_back(CellRef{suspect_row, static_cast<uint32_t>(col)});
-  }
-  for (size_t col : row.lhs_cols) {
-    v.cells.push_back(CellRef{witness, static_cast<uint32_t>(col)});
-  }
-  for (size_t col : row.rhs_cols) {
-    v.cells.push_back(CellRef{witness, static_cast<uint32_t>(col)});
-  }
-  v.suspect =
-      CellRef{suspect_row, static_cast<uint32_t>(row.rhs_cols.front())};
-  v.suggested_repair = majority_repair;
-  v.explanation =
-      "rows " + std::to_string(suspect_row) + " and " +
-      std::to_string(witness) + " agree on the constrained part of the LHS " +
-      "but disagree on " + row.rhs_attrs.front() + " (\"" +
-      ctx.relation->cell(suspect_row, row.rhs_cols.front()) + "\" vs \"" +
-      ctx.relation->cell(witness, row.rhs_cols.front()) + "\")";
-  ctx.result->violations.push_back(std::move(v));
-}
-
-/// Shared group-resolution logic: given key → rows, flag minority records.
-void ResolveGroups(RunContext& ctx, size_t pfd_index, size_t row_index,
-                   const ResolvedRow& row,
-                   const std::map<std::string, std::vector<RowId>>& groups) {
-  for (const auto& [key, rows] : groups) {
-    if (rows.size() < 2) continue;
-    std::map<std::string, std::vector<RowId>> by_rhs;
-    for (RowId r : rows) {
-      by_rhs[RhsValue(ctx, row, r)].push_back(r);
-    }
-    if (by_rhs.size() > 1) {
-      // Blocking only pays for pairs inside conflicting blocks.
-      ctx.result->stats.pairs_checked += rows.size() * (rows.size() - 1) / 2;
-    }
-    if (by_rhs.size() <= 1) continue;
-
-    size_t best = 0;
-    const std::string* majority_key = nullptr;
-    for (const auto& [rhs, ids] : by_rhs) {
-      if (ids.size() > best) {
-        best = ids.size();
-        majority_key = &rhs;
-      }
-    }
-    const RowId witness = by_rhs.at(*majority_key).front();
-    // Repair suggestion: the witness's first RHS attribute value.
-    const std::string majority_repair =
-        ctx.relation->cell(witness, row.rhs_cols.front());
-    for (const auto& [rhs, ids] : by_rhs) {
-      if (rhs == *majority_key) continue;
-      for (RowId r : ids) {
-        if (ctx.AtCap()) return;
-        EmitPairViolation(ctx, pfd_index, row_index, row, r, witness,
-                          majority_repair);
-      }
-    }
+    detect_internal::EmitConstantViolation(*ctx.relation, pfd_index,
+                                           row_index, row, r,
+                                           &ctx.result->violations);
   }
 }
 
@@ -374,7 +410,7 @@ void DetectVariableRow(RunContext& ctx, size_t pfd_index, size_t row_index,
   key.reserve(32 * row.lhs_cols.size());
   size_t matched = 0;
   for (RowId r : candidates) {
-    if (RecordKey(ctx, row, scans, r, &key)) {
+    if (detect_internal::RecordKey(*ctx.relation, row, scans, r, &key)) {
       ++matched;
       groups[key].push_back(r);
     }
@@ -387,7 +423,32 @@ void DetectVariableRow(RunContext& ctx, size_t pfd_index, size_t row_index,
     // detector_test / property_test).
     ctx.result->stats.pairs_checked += matched * (matched - 1) / 2;
   }
-  ResolveGroups(ctx, pfd_index, row_index, row, groups);
+  detect_internal::ResolveGroups(*ctx.relation, pfd_index, row_index, row,
+                                 groups, ctx.options->max_violations,
+                                 ctx.result);
+}
+
+/// One PFD resolved against the schema (column indices looked up once).
+struct PfdPlan {
+  const Pfd* pfd;
+  std::vector<size_t> lhs_cols;
+  std::vector<size_t> rhs_cols;
+};
+
+/// Detects one tableau row into `ctx.result`.
+void DetectPlanRow(RunContext& ctx, const PfdPlan& plan, size_t pfd_index,
+                   size_t row_index) {
+  const TableauRow& trow = plan.pfd->tableau().row(row_index);
+  ResolvedRow resolved = detect_internal::ResolveRow(
+      trow, plan.lhs_cols, plan.rhs_cols, plan.pfd->lhs_attrs(),
+      plan.pfd->rhs_attrs());
+  if (trow.IsConstantRow()) {
+    DetectConstantRow(ctx, pfd_index, row_index, resolved);
+  } else if (trow.IsVariableRow()) {
+    DetectVariableRow(ctx, pfd_index, row_index, resolved);
+  }
+  // Rows that are neither (pattern-valued RHS) are treated as
+  // constraints on format only; format checking is the profiler's job.
 }
 
 }  // namespace
@@ -395,48 +456,96 @@ void DetectVariableRow(RunContext& ctx, size_t pfd_index, size_t row_index,
 Result<DetectionResult> DetectErrors(const Relation& relation,
                                      const std::vector<Pfd>& pfds,
                                      const DetectorOptions& options) {
+  // Validate and resolve every PFD up front (also what the parallel path
+  // needs: the first validation error must not depend on task timing).
+  std::vector<PfdPlan> plans;
+  plans.reserve(pfds.size());
+  for (const Pfd& pfd : pfds) {
+    ANMAT_RETURN_NOT_OK(pfd.Validate(relation.schema()));
+    PfdPlan plan;
+    plan.pfd = &pfd;
+    for (const std::string& a : pfd.lhs_attrs()) {
+      ANMAT_ASSIGN_OR_RETURN(size_t idx, relation.schema().IndexOf(a));
+      plan.lhs_cols.push_back(idx);
+    }
+    for (const std::string& a : pfd.rhs_attrs()) {
+      ANMAT_ASSIGN_OR_RETURN(size_t idx, relation.schema().IndexOf(a));
+      plan.rhs_cols.push_back(idx);
+    }
+    plans.push_back(std::move(plan));
+  }
+
   DetectionResult result;
   result.stats.rows_scanned = relation.num_rows() * pfds.size();
 
-  RunContext ctx{&relation, &options, &result, {}};
-
-  for (size_t pi = 0; pi < pfds.size(); ++pi) {
-    const Pfd& pfd = pfds[pi];
-    ANMAT_RETURN_NOT_OK(pfd.Validate(relation.schema()));
-    std::vector<size_t> lhs_cols;
-    for (const std::string& a : pfd.lhs_attrs()) {
-      ANMAT_ASSIGN_OR_RETURN(size_t idx, relation.schema().IndexOf(a));
-      lhs_cols.push_back(idx);
-    }
-    std::vector<size_t> rhs_cols;
-    for (const std::string& a : pfd.rhs_attrs()) {
-      ANMAT_ASSIGN_OR_RETURN(size_t idx, relation.schema().IndexOf(a));
-      rhs_cols.push_back(idx);
-    }
-
-    for (size_t ri = 0; ri < pfd.tableau().size(); ++ri) {
-      const TableauRow& trow = pfd.tableau().row(ri);
-      if (ctx.AtCap()) break;
-      ResolvedRow resolved = ResolveRow(trow, lhs_cols, rhs_cols,
-                                        pfd.lhs_attrs(), pfd.rhs_attrs());
-      if (trow.IsConstantRow()) {
-        DetectConstantRow(ctx, pi, ri, resolved);
-      } else if (trow.IsVariableRow()) {
-        DetectVariableRow(ctx, pi, ri, resolved);
-      }
-      // Rows that are neither (pattern-valued RHS) are treated as
-      // constraints on format only; format checking is the profiler's job.
+  // Flatten the work list: one unit per (PFD, tableau row).
+  struct WorkItem {
+    size_t plan;
+    size_t row;
+  };
+  std::vector<WorkItem> items;
+  for (size_t pi = 0; pi < plans.size(); ++pi) {
+    for (size_t ri = 0; ri < plans[pi].pfd->tableau().size(); ++ri) {
+      items.push_back(WorkItem{pi, ri});
     }
   }
 
-  std::sort(result.violations.begin(), result.violations.end(),
-            [](const Violation& a, const Violation& b) {
-              if (a.pfd_index != b.pfd_index) return a.pfd_index < b.pfd_index;
-              if (a.tableau_row != b.tableau_row) {
-                return a.tableau_row < b.tableau_row;
-              }
-              return a.cells < b.cells;
-            });
+  const bool parallel = options.execution.EffectiveThreads() > 1 &&
+                        items.size() > 1 && options.max_violations == 0;
+  if (!parallel) {
+    RunContext ctx{&relation, &options, &result, {}, nullptr};
+    for (const WorkItem& item : items) {
+      if (ctx.AtCap()) break;
+      DetectPlanRow(ctx, plans[item.plan], item.plan, item.row);
+    }
+    detect_internal::SortViolations(&result.violations);
+    result.stats.violations = result.violations.size();
+    return result;
+  }
+
+  // Pre-build the seed-cell indexes the tasks will share (in parallel, one
+  // per distinct column; PatternIndex::Lookup on a const index is
+  // thread-safe). Resolving just to find the seed column is cheap relative
+  // to detection and keeps the work list simple.
+  std::map<size_t, std::unique_ptr<PatternIndex>> shared_indexes;
+  if (options.use_pattern_index) {
+    std::set<size_t> seed_cols;
+    for (const WorkItem& item : items) {
+      const PfdPlan& plan = plans[item.plan];
+      const TableauRow& trow = plan.pfd->tableau().row(item.row);
+      for (size_t i = 0; i < trow.lhs.size(); ++i) {
+        if (!trow.lhs[i].is_wildcard()) {
+          seed_cols.insert(plan.lhs_cols[i]);
+          break;
+        }
+      }
+    }
+    std::vector<size_t> cols(seed_cols.begin(), seed_cols.end());
+    std::vector<std::unique_ptr<PatternIndex>> built(cols.size());
+    ParallelFor(options.execution, cols.size(), [&](size_t i) {
+      built[i] = std::make_unique<PatternIndex>(relation, cols[i]);
+    });
+    for (size_t i = 0; i < cols.size(); ++i) {
+      shared_indexes.emplace(cols[i], std::move(built[i]));
+    }
+  }
+
+  // One task per work item, each with its own result slot; slots are merged
+  // in item order, so the outcome is byte-identical to the serial loop.
+  std::vector<DetectionResult> slots(items.size());
+  ParallelFor(options.execution, items.size(), [&](size_t i) {
+    RunContext ctx{&relation, &options, &slots[i], {}, &shared_indexes};
+    DetectPlanRow(ctx, plans[items[i].plan], items[i].plan, items[i].row);
+  });
+
+  for (DetectionResult& slot : slots) {
+    result.stats.candidate_rows += slot.stats.candidate_rows;
+    result.stats.pairs_checked += slot.stats.pairs_checked;
+    result.violations.insert(result.violations.end(),
+                             std::make_move_iterator(slot.violations.begin()),
+                             std::make_move_iterator(slot.violations.end()));
+  }
+  detect_internal::SortViolations(&result.violations);
   result.stats.violations = result.violations.size();
   return result;
 }

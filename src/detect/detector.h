@@ -20,6 +20,7 @@
 #include "pfd/pfd.h"
 #include "relation/relation.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace anmat {
 
@@ -36,6 +37,13 @@ struct DetectorOptions {
   bool use_value_dictionary = true;
   /// Cap on reported violations (0 = unlimited).
   size_t max_violations = 0;
+  /// Parallel execution. With more than one thread, detection fans out one
+  /// task per (PFD, tableau row) — the seed pattern indexes are pre-built
+  /// and shared read-only — and merges per-task results in task order, so
+  /// the output is byte-identical to a serial run. `max_violations > 0`
+  /// forces the serial path (the cap's "first N found in processing order"
+  /// semantics cannot be reproduced under fan-out).
+  ExecutionOptions execution;
 };
 
 /// \brief Result of a detection run.

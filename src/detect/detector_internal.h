@@ -1,0 +1,126 @@
+#ifndef ANMAT_DETECT_DETECTOR_INTERNAL_H_
+#define ANMAT_DETECT_DETECTOR_INTERNAL_H_
+
+/// \file detector_internal.h
+/// Shared internals of the one-shot detector (detector.cc) and the
+/// streaming detector (detection_stream.cc): the resolved tableau rows,
+/// per-distinct-value match/extraction memos, record keys, and the group
+/// resolution that turns equivalence groups into variable violations.
+///
+/// Not part of the public API — include only from the detect layer.
+/// Definitions live in detector.cc.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/violation.h"
+#include "pattern/matcher.h"
+#include "pfd/tableau.h"
+#include "relation/relation.h"
+
+namespace anmat {
+
+struct DetectionResult;
+
+namespace detect_internal {
+
+/// One tableau row of one PFD, resolved against the relation's schema and
+/// pre-compiled for matching. The compiled matchers memoize lazily (DFA
+/// subset construction), so a ResolvedRow must be used by one thread at a
+/// time — the engine resolves per task, the stream resolves once and
+/// processes each row's state on a single task per batch.
+struct ResolvedRow {
+  const TableauRow* row;
+  std::vector<size_t> lhs_cols;
+  std::vector<size_t> rhs_cols;
+  std::vector<std::string> lhs_attrs;
+  std::vector<std::string> rhs_attrs;
+  // One matcher per non-wildcard LHS cell (parallel to lhs_cols; null for
+  // wildcard cells).
+  std::vector<std::unique_ptr<ConstrainedMatcher>> lhs_matchers;
+  // Constant RHS values (valid when the row is constant).
+  std::vector<std::string> rhs_constants;
+};
+
+ResolvedRow ResolveRow(const TableauRow& row,
+                       const std::vector<size_t>& lhs_cols,
+                       const std::vector<size_t>& rhs_cols,
+                       const std::vector<std::string>& lhs_attrs,
+                       const std::vector<std::string>& rhs_attrs);
+
+/// The index of the seed cell (the first non-wildcard LHS cell), or
+/// lhs_cols.size() when every cell is a wildcard.
+size_t SeedCell(const ResolvedRow& row);
+
+/// The canonical violation order every detection result is reported in:
+/// by PFD, tableau row, then cells. One definition, shared by the one-shot
+/// and streaming detectors — their byte-identical contract depends on it.
+void SortViolations(std::vector<Violation>* violations);
+
+/// Per-LHS-cell memo of per-distinct-value results (dictionary mode):
+/// every match / canonical-extraction decision is computed once per
+/// *distinct* value of the cell's column and reused across the rows
+/// holding it. Disabled (per-row work) when neither source is set; the
+/// one-shot detector sets `relation` so the dictionary is fetched on first
+/// use, the streaming detector presets `dict` with its incremental
+/// dictionary and keeps the memo alive across batches (tables grow with
+/// the dictionary; entries for already-seen values are never recomputed).
+struct CellScan {
+  const Relation* relation = nullptr;      ///< lazy dictionary source, or
+  const ColumnDictionary* dict = nullptr;  ///< preset dictionary (stream)
+  size_t col = 0;
+  std::vector<int8_t> match;       ///< -1 unknown, else Matches() verdict
+  std::vector<int8_t> frag_state;  ///< -1 unknown, 0 no match, 1 cached
+  std::vector<std::string> frag;   ///< cached record-key fragment
+
+  bool enabled() const { return relation != nullptr || dict != nullptr; }
+  const ColumnDictionary& Dict() {
+    if (dict == nullptr) dict = &relation->dictionary(col);
+    return *dict;
+  }
+};
+
+/// True if row `r` matches every non-wildcard LHS cell of `row`, memoizing
+/// per distinct value through `scans`. This is the exact candidacy test —
+/// identical to what index- or scan-seeded candidate generation verifies.
+bool MatchesLhs(const Relation& relation, const ResolvedRow& row,
+                std::vector<CellScan>& scans, RowId r);
+
+/// The grouping key of a record under a (variable) tableau row: the
+/// concatenated canonical extractions of all LHS cells (whole value for
+/// wildcard cells). Returns false when some pattern cell does not match.
+/// Pattern-cell fragments are memoized per distinct value in `scans`.
+bool RecordKey(const Relation& relation, const ResolvedRow& row,
+               std::vector<CellScan>& scans, RowId r, std::string* key);
+
+/// Combined RHS value of a record (multi-attribute safe).
+std::string RhsValue(const Relation& relation, const ResolvedRow& row,
+                     RowId r);
+
+/// Appends the constant-row violation of candidate row `r` to `out`, if its
+/// RHS mismatches the row's constants. Returns true when one was emitted.
+bool EmitConstantViolation(const Relation& relation, size_t pfd_index,
+                           size_t row_index, const ResolvedRow& row, RowId r,
+                           std::vector<Violation>* out);
+
+/// Appends the pair violation between `suspect_row` and `witness`.
+void EmitPairViolation(const Relation& relation, size_t pfd_index,
+                       size_t row_index, const ResolvedRow& row,
+                       RowId suspect_row, RowId witness,
+                       const std::string& majority_repair,
+                       std::vector<Violation>* out);
+
+/// Shared group-resolution logic: given key → rows, flag minority records.
+/// Appends violations and accounts `pairs_checked` into `result`; stops at
+/// `max_violations` total violations when non-zero.
+void ResolveGroups(const Relation& relation, size_t pfd_index,
+                   size_t row_index, const ResolvedRow& row,
+                   const std::map<std::string, std::vector<RowId>>& groups,
+                   size_t max_violations, DetectionResult* result);
+
+}  // namespace detect_internal
+}  // namespace anmat
+
+#endif  // ANMAT_DETECT_DETECTOR_INTERNAL_H_

@@ -1,6 +1,7 @@
 #include "detect/pattern_index.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "discovery/tokenizer.h"
 #include "pattern/generalizer.h"
@@ -55,6 +56,65 @@ bool SignatureCompatible(const Pattern& query, const Pattern& signature) {
 
 }  // namespace
 
+PatternIndex::PatternIndex(const Relation& relation, size_t col,
+                           const ColumnDictionary* external_dict)
+    : relation_(&relation), col_(col), external_dict_(external_dict) {}
+
+const ColumnDictionary& PatternIndex::Dict() const {
+  return external_dict_ != nullptr ? *external_dict_
+                                   : relation_->dictionary(col_);
+}
+
+void PatternIndex::AppendRows(RowId first_row, RowId end_row) {
+  const ColumnDictionary& dict = Dict();
+  std::vector<std::string> value_tokens;
+  std::vector<uint32_t> value_trigrams;
+  for (RowId r = first_row; r < end_row; ++r) {
+    const uint32_t id = dict.value_id(r);
+    if (id >= id_postings_.size()) {
+      // Rows arrive in ascending order, so a value's first occurrence is
+      // seen before any repeat and ids appear sequentially.
+      assert(id == id_postings_.size());
+      const std::string& cell = dict.value(id);
+      IdPostings entry;
+
+      const std::string sig =
+          GeneralizeString(cell, GeneralizationLevel::kClassExact).ToString();
+      auto [sig_it, sig_inserted] = by_signature_.try_emplace(sig);
+      entry.signature = &sig_it->second;
+      if (sig_inserted) signature_sample_.emplace(sig, cell);
+
+      value_tokens.clear();
+      for (const Token& t : Tokenize(cell)) value_tokens.push_back(t.text);
+      std::sort(value_tokens.begin(), value_tokens.end());
+      value_tokens.erase(
+          std::unique(value_tokens.begin(), value_tokens.end()),
+          value_tokens.end());
+      for (const std::string& t : value_tokens) {
+        entry.tokens.push_back(&by_token_[t]);
+      }
+
+      value_trigrams.clear();
+      for (size_t i = 0; i + 3 <= cell.size(); ++i) {
+        value_trigrams.push_back(PackTrigram(cell, i));
+      }
+      std::sort(value_trigrams.begin(), value_trigrams.end());
+      value_trigrams.erase(
+          std::unique(value_trigrams.begin(), value_trigrams.end()),
+          value_trigrams.end());
+      for (uint32_t t : value_trigrams) {
+        entry.trigrams.push_back(&by_trigram_[t]);
+      }
+
+      id_postings_.push_back(std::move(entry));
+    }
+    const IdPostings& entry = id_postings_[id];
+    entry.signature->push_back(r);
+    for (std::vector<RowId>* posting : entry.tokens) posting->push_back(r);
+    for (std::vector<RowId>* posting : entry.trigrams) posting->push_back(r);
+  }
+}
+
 PatternIndex::PatternIndex(const Relation& relation, size_t col)
     : relation_(&relation), col_(col) {
   const ColumnDictionary& dict = relation.dictionary(col);
@@ -104,9 +164,9 @@ PatternIndex::PatternIndex(const Relation& relation, size_t col)
 
 std::vector<RowId> PatternIndex::VerifyCandidates(
     const std::vector<RowId>& candidates, const Pattern& p) const {
-  last_candidates_ = candidates.size();
+  last_candidates_.store(candidates.size(), std::memory_order_relaxed);
   PatternMatcher matcher(p);
-  const ColumnDictionary& dict = relation_->dictionary(col_);
+  const ColumnDictionary& dict = Dict();
   // Match each distinct value at most once; candidates holding the same
   // value reuse the verdict.
   std::vector<int8_t> verdict(dict.num_values(), -1);
@@ -121,7 +181,20 @@ std::vector<RowId> PatternIndex::VerifyCandidates(
   return out;
 }
 
-std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
+namespace {
+
+/// Copies the tail of an ascending posting list starting at `min_row`.
+std::vector<RowId> PostingTail(const std::vector<RowId>& rows, RowId min_row) {
+  auto begin = min_row == 0
+                   ? rows.begin()
+                   : std::lower_bound(rows.begin(), rows.end(), min_row);
+  return std::vector<RowId>(begin, rows.end());
+}
+
+}  // namespace
+
+std::vector<RowId> PatternIndex::CandidateSuperset(const Pattern& p,
+                                                   RowId min_row) const {
   // Strategy 1: literal anchors. A mandatory literal run must occur in
   // every matching value, so the rarest posting list among (a) the anchor
   // as a whole token and (b) the anchor's trigrams bounds the candidates.
@@ -129,6 +202,7 @@ std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
   const std::vector<std::string> anchors = LiteralAnchors(p);
   if (!anchors.empty()) {
     const std::vector<RowId>* best = nullptr;
+    bool provably_empty = false;
     for (const std::string& a : anchors) {
       const std::vector<RowId>* anchor_best = nullptr;
       if (auto it = by_token_.find(a); it != by_token_.end()) {
@@ -138,13 +212,14 @@ std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
         auto it = by_trigram_.find(PackTrigram(a, i));
         if (it == by_trigram_.end()) {
           // This trigram of a mandatory anchor occurs nowhere.
-          last_candidates_ = 0;
-          return {};
+          provably_empty = true;
+          break;
         }
         if (anchor_best == nullptr || it->second.size() < anchor_best->size()) {
           anchor_best = &it->second;
         }
       }
+      if (provably_empty) break;
       // Anchors shorter than 3 chars that are not whole tokens have no
       // posting list; they simply contribute no candidate bound.
       if (anchor_best != nullptr &&
@@ -152,7 +227,8 @@ std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
         best = anchor_best;
       }
     }
-    if (best != nullptr) return VerifyCandidates(*best, p);
+    if (provably_empty) return {};
+    if (best != nullptr) return PostingTail(*best, min_row);
   }
 
   // Strategy 2: signature prefilter — keep rows whose signature is length-
@@ -164,11 +240,16 @@ std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
     const Pattern sig = GeneralizeString(signature_sample_.at(sig_text),
                                          GeneralizationLevel::kClassExact);
     if (SignatureCompatible(p, sig)) {
-      candidates.insert(candidates.end(), rows.begin(), rows.end());
+      const std::vector<RowId> tail = PostingTail(rows, min_row);
+      candidates.insert(candidates.end(), tail.begin(), tail.end());
     }
   }
   std::sort(candidates.begin(), candidates.end());
-  return VerifyCandidates(candidates, p);
+  return candidates;
+}
+
+std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
+  return VerifyCandidates(CandidateSuperset(p, 0), p);
 }
 
 std::vector<RowId> PatternIndex::Lookup(const ConstrainedPattern& q) const {

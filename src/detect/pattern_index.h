@@ -19,6 +19,7 @@
 /// Retrieval is a superset of the true match set; every candidate is
 /// verified with the NFA matcher, so results are exact.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -44,26 +45,56 @@ class PatternIndex {
   /// column dictionary.
   PatternIndex(const Relation& relation, size_t col);
 
+  /// Streaming constructor: starts empty over an externally grown
+  /// dictionary (not owned; must outlive the index and stay in sync with
+  /// `relation`'s column `col`). Feed rows with `AppendRows` after each
+  /// dictionary extension. Used by `DetectionStream`.
+  PatternIndex(const Relation& relation, size_t col,
+               const ColumnDictionary* external_dict);
+
+  /// Appends rows [first_row, end_row) to the postings. Only valid on
+  /// streaming-constructed indexes; rows must arrive in ascending order,
+  /// already present in the dictionary. Each *new* distinct
+  /// value pays the signature/token/trigram work once; rows repeating a
+  /// known value only extend cached posting lists — O(new distinct values)
+  /// pattern work per batch, and the resulting index is indistinguishable
+  /// from a bulk build over all rows.
+  void AppendRows(RowId first_row, RowId end_row);
+
   size_t column() const { return col_; }
 
   /// Rows whose cell matches `q`'s embedded pattern (exact; verified).
   std::vector<RowId> Lookup(const ConstrainedPattern& q) const;
   std::vector<RowId> Lookup(const Pattern& p) const;
 
+  /// The unverified candidate superset for `p`, restricted to rows
+  /// >= `min_row` (posting lists are ascending, so the tail is cheap).
+  /// Exposed for the streaming detector, which verifies candidates through
+  /// its own cross-batch memo instead of `Lookup`'s per-call verification.
+  std::vector<RowId> CandidateSuperset(const Pattern& p, RowId min_row) const;
+
   /// Statistics for benchmarking the §3 claim (index vs scan).
   size_t num_signatures() const { return by_signature_.size(); }
   size_t num_tokens() const { return by_token_.size(); }
 
   /// Candidates produced before verification on the last Lookup (for
-  /// observing prefilter selectivity in benches). Not thread-safe.
-  size_t last_candidates() const { return last_candidates_; }
+  /// observing prefilter selectivity in benches). Atomic so concurrent
+  /// Lookups on a shared index are race-free, but the value observed under
+  /// concurrency is whichever Lookup stored last.
+  size_t last_candidates() const {
+    return last_candidates_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<RowId> VerifyCandidates(const std::vector<RowId>& candidates,
                                       const Pattern& p) const;
 
+  /// The dictionary the index is built over (external in streaming mode).
+  const ColumnDictionary& Dict() const;
+
   const Relation* relation_;
   size_t col_;
+  const ColumnDictionary* external_dict_ = nullptr;
   /// signature text -> rows with that exact class-run signature
   std::unordered_map<std::string, std::vector<RowId>> by_signature_;
   /// token text -> rows containing the token
@@ -77,7 +108,16 @@ class PatternIndex {
   /// signature text -> one sample value with that signature (for the
   /// signature-level compatibility test)
   std::unordered_map<std::string, std::string> signature_sample_;
-  mutable size_t last_candidates_ = 0;
+  /// Streaming mode: per-value-id posting-list targets, so a row repeating a
+  /// known value appends in O(#keys) pointer chases with no pattern work.
+  /// Pointers into the node-based maps above stay valid across rehash.
+  struct IdPostings {
+    std::vector<RowId>* signature = nullptr;
+    std::vector<std::vector<RowId>*> tokens;
+    std::vector<std::vector<RowId>*> trigrams;
+  };
+  std::vector<IdPostings> id_postings_;
+  mutable std::atomic<size_t> last_candidates_{0};
 };
 
 }  // namespace anmat

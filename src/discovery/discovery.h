@@ -45,6 +45,14 @@ struct DiscoveryOptions {
   /// candidates win).
   size_t max_variable_rows = 1;
 
+  /// Parallel execution: discovery fans out one task per candidate
+  /// dependency (each task mines constant + variable rows and computes
+  /// coverage), merges per-candidate slots in candidate order and then
+  /// applies the canonical stable sort — byte-identical to a serial run.
+  /// Also propagated into `profiler.execution` for the profiling pass.
+  /// Overridden by `anmat::Engine` with its own configuration.
+  ExecutionOptions execution;
+
   ProfilerOptions profiler;
   ConstantMinerOptions constant_miner;
   VariableMinerOptions variable_miner;

@@ -21,6 +21,7 @@
 #include "pattern/pattern.h"
 #include "relation/relation.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace anmat {
 
@@ -61,9 +62,16 @@ struct ProfilerOptions {
   double single_token_ratio = 0.9;
   size_t max_top_patterns = 8;            ///< entries kept per column
   size_t min_non_null = 2;                ///< below this a column is dead
+
+  /// Parallel execution: profiling fans out one task per column, writing
+  /// into per-column slots, so the profile vector is byte-identical to a
+  /// serial run. Overridden by `anmat::Engine` with its own configuration;
+  /// `DiscoverPfds` propagates `DiscoveryOptions::execution` here.
+  ExecutionOptions execution;
 };
 
-/// \brief Profiles every column of `relation`.
+/// \brief Profiles every column of `relation` (column-parallel when
+/// `options.execution` allows).
 std::vector<ColumnProfile> ProfileRelation(
     const Relation& relation, const ProfilerOptions& options = {});
 

@@ -1,5 +1,6 @@
 #include "relation/relation.h"
 
+#include <cassert>
 #include <string_view>
 #include <unordered_map>
 
@@ -24,18 +25,100 @@ ColumnDictionary::ColumnDictionary(const std::vector<std::string>& cells) {
   }
 }
 
+void ColumnDictionary::Append(const std::vector<std::string>& cells,
+                              RowId first_row) {
+  assert(first_row == row_value_.size() && "dictionaries are append-only");
+  if (incremental_index_.empty() && !values_.empty()) {
+    // First Append after a bulk build: seed the persistent map. Keys view
+    // into the deque, whose element addresses are stable under growth.
+    incremental_index_.reserve(values_.size());
+    for (uint32_t id = 0; id < values_.size(); ++id) {
+      incremental_index_.emplace(values_[id], id);
+    }
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const RowId r = first_row + static_cast<RowId>(i);
+    auto it = incremental_index_.find(std::string_view(cells[i]));
+    uint32_t id;
+    if (it == incremental_index_.end()) {
+      id = static_cast<uint32_t>(values_.size());
+      values_.push_back(cells[i]);
+      postings_.emplace_back();
+      incremental_index_.emplace(values_[id], id);
+    } else {
+      id = it->second;
+    }
+    postings_[id].push_back(r);
+    row_value_.push_back(id);
+  }
+}
+
 const ColumnDictionary& Relation::dictionary(size_t col) const {
+  std::unique_lock<std::mutex> lock(dict_mu_);
   if (dictionaries_.size() < columns_.size()) {
     dictionaries_.resize(columns_.size());
   }
-  if (dictionaries_[col] == nullptr) {
-    dictionaries_[col] = std::make_shared<const ColumnDictionary>(columns_[col]);
-  }
+  if (dictionaries_[col] != nullptr) return *dictionaries_[col];
+  // Build outside the lock so concurrent first-touches of *different*
+  // columns overlap; a same-column race builds twice and the first
+  // published build wins (the loser's work is discarded).
+  lock.unlock();
+  auto built = std::make_shared<const ColumnDictionary>(columns_[col]);
+  lock.lock();
+  if (dictionaries_[col] == nullptr) dictionaries_[col] = std::move(built);
   return *dictionaries_[col];
 }
 
 Relation::Relation(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.num_columns());
+}
+
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_),
+      columns_(other.columns_),
+      num_rows_(other.num_rows_) {
+  std::lock_guard<std::mutex> lock(other.dict_mu_);
+  dictionaries_ = other.dictionaries_;
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  columns_ = other.columns_;
+  num_rows_ = other.num_rows_;
+  std::vector<std::shared_ptr<const ColumnDictionary>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(other.dict_mu_);
+    snapshot = other.dictionaries_;
+  }
+  std::lock_guard<std::mutex> lock(dict_mu_);
+  dictionaries_ = std::move(snapshot);
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      columns_(std::move(other.columns_)),
+      num_rows_(other.num_rows_) {
+  std::lock_guard<std::mutex> lock(other.dict_mu_);
+  dictionaries_ = std::move(other.dictionaries_);
+  other.num_rows_ = 0;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  columns_ = std::move(other.columns_);
+  num_rows_ = other.num_rows_;
+  other.num_rows_ = 0;
+  std::vector<std::shared_ptr<const ColumnDictionary>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(other.dict_mu_);
+    snapshot = std::move(other.dictionaries_);
+  }
+  std::lock_guard<std::mutex> lock(dict_mu_);
+  dictionaries_ = std::move(snapshot);
+  return *this;
 }
 
 Status Relation::AppendRow(std::vector<std::string> cells) {
@@ -49,6 +132,7 @@ Status Relation::AppendRow(std::vector<std::string> cells) {
     columns_[c].push_back(std::move(cells[c]));
   }
   ++num_rows_;
+  std::lock_guard<std::mutex> lock(dict_mu_);
   dictionaries_.clear();
   return Status::OK();
 }

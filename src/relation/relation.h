@@ -9,9 +9,12 @@
 /// stream entire columns (or column pairs), not whole rows.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "relation/schema.h"
@@ -37,8 +40,41 @@ using RowId = uint32_t;
 /// strings and is therefore self-contained.
 class ColumnDictionary {
  public:
+  /// An empty dictionary, to be grown with `Append` (the streaming path).
+  ColumnDictionary() = default;
+
   /// Builds the dictionary of `cells` (all rows of one column).
   explicit ColumnDictionary(const std::vector<std::string>& cells);
+
+  // Copies drop the incremental index — its string_view keys alias the
+  // *source's* value storage and must not travel; the copy reseeds it from
+  // its own values on the next Append. Moves transfer it (deque node
+  // buffers are stable across moves, so the views stay valid).
+  ColumnDictionary(const ColumnDictionary& other)
+      : values_(other.values_),
+        postings_(other.postings_),
+        row_value_(other.row_value_) {}
+  ColumnDictionary& operator=(const ColumnDictionary& other) {
+    if (this != &other) {
+      values_ = other.values_;
+      postings_ = other.postings_;
+      row_value_ = other.row_value_;
+      incremental_index_.clear();
+    }
+    return *this;
+  }
+  ColumnDictionary(ColumnDictionary&&) = default;
+  ColumnDictionary& operator=(ColumnDictionary&&) = default;
+
+  /// Appends the cells of rows [first_row, first_row + cells.size()).
+  /// `first_row` must equal `num_rows()` (dictionaries are append-only). New
+  /// distinct values get ids in first-occurrence order, so the result is
+  /// indistinguishable from a bulk build over the concatenated column —
+  /// which is what keeps `DetectionStream` byte-identical to one-shot runs.
+  void Append(const std::vector<std::string>& cells, RowId first_row);
+
+  /// Number of rows indexed so far.
+  size_t num_rows() const { return row_value_.size(); }
 
   /// Number of distinct values.
   size_t num_values() const { return values_.size(); }
@@ -53,16 +89,34 @@ class ColumnDictionary {
   uint32_t value_id(RowId row) const { return row_value_[row]; }
 
  private:
-  std::vector<std::string> values_;
+  /// deque: element addresses are stable under growth, so the incremental
+  /// index below may key string_views into the stored values.
+  std::deque<std::string> values_;
   std::vector<std::vector<RowId>> postings_;
   std::vector<uint32_t> row_value_;
+  /// value -> id map kept alive between `Append` calls (views into
+  /// `values_`). Bulk construction leaves it empty (its throwaway map is
+  /// cheaper); the first `Append` seeds it from `values_`.
+  std::unordered_map<std::string_view, uint32_t> incremental_index_;
 };
 
 /// \brief A column-major table of string cells with a typed schema.
+///
+/// Thread safety: concurrent const access (including the lazily-built
+/// `dictionary()`) is safe; mutation (`AppendRow`, `set_cell`,
+/// `InferColumnTypes`) requires external synchronization with all other
+/// access, as usual for containers.
 class Relation {
  public:
   Relation() = default;
   explicit Relation(Schema schema);
+
+  // The dictionary-cache mutex makes copy/move user-provided; a copy shares
+  // the already-built dictionary snapshots until either side mutates.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   const Schema& schema() const { return schema_; }
   size_t num_columns() const { return schema_.num_columns(); }
@@ -77,11 +131,15 @@ class Relation {
   }
   void set_cell(RowId row, size_t col, std::string value) {
     columns_[col][row] = std::move(value);
+    std::lock_guard<std::mutex> lock(dict_mu_);
     if (col < dictionaries_.size()) dictionaries_[col].reset();
   }
 
-  /// The (lazily built, cached) dictionary of column `col`. Invalidated by
-  /// `AppendRow`/`set_cell`; keep no reference across mutations.
+  /// The (lazily built, cached) dictionary of column `col`. Safe to call
+  /// from concurrent readers: construction is guarded per relation, and a
+  /// same-column race builds twice with the first finisher winning.
+  /// Invalidated by `AppendRow`/`set_cell`; keep no reference across
+  /// mutations.
   const ColumnDictionary& dictionary(size_t col) const;
 
   /// Whole column view.
@@ -110,8 +168,11 @@ class Relation {
   Schema schema_;
   std::vector<std::vector<std::string>> columns_;
   size_t num_rows_ = 0;
-  /// Per-column dictionary cache (shared_ptr keeps Relation copyable; a
-  /// copy shares the immutable snapshot until either side mutates).
+  /// Guards `dictionaries_` (the slot vector, not the built dictionaries,
+  /// which are immutable once published).
+  mutable std::mutex dict_mu_;
+  /// Per-column dictionary cache (a copy shares the immutable snapshots
+  /// until either side mutates).
   mutable std::vector<std::shared_ptr<const ColumnDictionary>> dictionaries_;
 };
 

@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace anmat {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(const ExecutionOptions& exec, size_t num_tasks,
+                 const std::function<void(size_t)>& task) {
+  const size_t threads = exec.EffectiveThreads();
+  if (threads <= 1 || num_tasks <= 1) {
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  // Workers (pool tasks or transient threads) plus the calling thread drain
+  // a shared index counter; the caller joining in both saves one thread and
+  // guarantees progress even if every pool worker is busy elsewhere.
+  std::atomic<size_t> next{0};
+  const auto drain = [&next, num_tasks, &task] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < num_tasks; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      task(i);
+    }
+  };
+
+  const size_t helpers = std::min(threads, num_tasks) - 1;
+  if (exec.pool != nullptr) {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t active = helpers;
+    for (size_t i = 0; i < helpers; ++i) {
+      exec.pool->Submit([&] {
+        drain();
+        std::lock_guard<std::mutex> lock(mu);
+        if (--active == 0) cv.notify_all();
+      });
+    }
+    drain();
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return active == 0; });
+  } else {
+    std::vector<std::thread> transient;
+    transient.reserve(helpers);
+    for (size_t i = 0; i < helpers; ++i) transient.emplace_back(drain);
+    drain();
+    for (std::thread& t : transient) t.join();
+  }
+}
+
+}  // namespace anmat

@@ -1,0 +1,368 @@
+// Differential tests for the engine layer (anmat/engine.h):
+//
+//  * parallel profiling / discovery / detection at 2, 4 and 8 threads must
+//    be byte-identical to serial runs (the engine's determinism contract),
+//  * DetectionStream::AppendBatch over row chunks must yield the same
+//    cumulative violation set as one-shot DetectErrors on the concatenated
+//    relation, after every batch, for randomized chunk splits.
+
+#include "anmat/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "anmat/session.h"
+#include "datagen/datasets.h"
+#include "detect/detection_stream.h"
+#include "detect/detector.h"
+#include "discovery/discovery.h"
+#include "util/random.h"
+
+namespace anmat {
+namespace {
+
+// -- Fingerprints: order-sensitive, field-complete serializations ----------
+
+std::string Fingerprint(const ColumnProfile& p) {
+  std::ostringstream out;
+  out << p.name << "|" << p.index << "|" << p.rows << "|" << p.non_null
+      << "|" << p.distinct << "|" << p.numeric_ratio << "|"
+      << p.single_token << "|" << p.avg_tokens << "|"
+      << p.column_pattern.ToString();
+  for (const PatternProfileEntry& e : p.top_patterns) {
+    out << "|" << e.pattern << "::" << e.position << "," << e.frequency;
+  }
+  return out.str();
+}
+
+std::string Fingerprint(const std::vector<ColumnProfile>& profiles) {
+  std::string out;
+  for (const ColumnProfile& p : profiles) out += Fingerprint(p) + "\n";
+  return out;
+}
+
+std::string Fingerprint(const DiscoveryResult& result) {
+  std::ostringstream out;
+  out << "candidates=" << result.candidates_examined << "\n";
+  for (const DiscoveredPfd& d : result.pfds) {
+    out << d.pfd.ToString() << "|" << d.stats.total_rows << "|"
+        << d.stats.covered_rows << "|" << d.stats.violating_rows;
+    for (const std::string& p : d.provenance) out << "|" << p;
+    out << "\n";
+  }
+  out << Fingerprint(result.profiles);
+  return out.str();
+}
+
+std::string Fingerprint(const DetectionResult& result) {
+  std::ostringstream out;
+  out << "scanned=" << result.stats.rows_scanned
+      << " candidates=" << result.stats.candidate_rows
+      << " pairs=" << result.stats.pairs_checked
+      << " violations=" << result.stats.violations << "\n";
+  for (const Violation& v : result.violations) {
+    out << (v.kind == ViolationKind::kConstant ? "C" : "V") << "|"
+        << v.pfd_index << "|" << v.tableau_row << "|";
+    for (const CellRef& c : v.cells) out << c.row << "," << c.column << ";";
+    out << "|" << v.suspect.row << "," << v.suspect.column << "|"
+        << v.suggested_repair << "|" << v.explanation << "\n";
+  }
+  return out.str();
+}
+
+std::vector<Dataset> TestDatasets() {
+  std::vector<Dataset> datasets;
+  datasets.push_back(ZipCityStateDataset(1200, 101, 0.03));
+  datasets.push_back(NameGenderDataset(800, 102, 0.05));
+  datasets.push_back(EmployeeDataset(600, 103, 0.04));
+  return datasets;
+}
+
+DiscoveryOptions LenientDiscovery() {
+  DiscoveryOptions options;
+  options.min_coverage = 0.4;
+  options.allowed_violation_ratio = 0.1;
+  return options;
+}
+
+std::vector<Pfd> DiscoverRules(const Relation& relation) {
+  Engine engine;
+  auto discovery = engine.Discover(relation, LenientDiscovery());
+  EXPECT_TRUE(discovery.ok());
+  std::vector<Pfd> rules;
+  for (const DiscoveredPfd& d : discovery->pfds) rules.push_back(d.pfd);
+  return rules;
+}
+
+const size_t kThreadCounts[] = {2, 4, 8};
+
+// -- Parallel == serial ----------------------------------------------------
+
+TEST(EngineParallelTest, ProfileByteIdenticalToSerial) {
+  for (const Dataset& d : TestDatasets()) {
+    Engine serial(ExecutionOptions{1, true, nullptr});
+    const std::string expected = Fingerprint(serial.Profile(d.relation));
+    for (size_t threads : kThreadCounts) {
+      Engine engine(ExecutionOptions{threads, true, nullptr});
+      EXPECT_EQ(Fingerprint(engine.Profile(d.relation)), expected)
+          << d.name << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(EngineParallelTest, DiscoverByteIdenticalToSerial) {
+  for (const Dataset& d : TestDatasets()) {
+    Engine serial(ExecutionOptions{1, true, nullptr});
+    auto serial_result = serial.Discover(d.relation, LenientDiscovery());
+    ASSERT_TRUE(serial_result.ok());
+    EXPECT_FALSE(serial_result->pfds.empty()) << d.name;
+    const std::string expected = Fingerprint(serial_result.value());
+    for (size_t threads : kThreadCounts) {
+      Engine engine(ExecutionOptions{threads, true, nullptr});
+      auto result = engine.Discover(d.relation, LenientDiscovery());
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(Fingerprint(result.value()), expected)
+          << d.name << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(EngineParallelTest, DetectByteIdenticalToSerial) {
+  for (const Dataset& d : TestDatasets()) {
+    const std::vector<Pfd> rules = DiscoverRules(d.relation);
+    ASSERT_FALSE(rules.empty()) << d.name;
+    for (bool use_index : {true, false}) {
+      DetectorOptions options;
+      options.use_pattern_index = use_index;
+      Engine serial(ExecutionOptions{1, true, nullptr});
+      auto serial_result = serial.Detect(d.relation, rules, options);
+      ASSERT_TRUE(serial_result.ok());
+      EXPECT_FALSE(serial_result->violations.empty()) << d.name;
+      const std::string expected = Fingerprint(serial_result.value());
+      for (size_t threads : kThreadCounts) {
+        Engine engine(ExecutionOptions{threads, true, nullptr});
+        auto result = engine.Detect(d.relation, rules, options);
+        ASSERT_TRUE(result.ok());
+        EXPECT_EQ(Fingerprint(result.value()), expected)
+            << d.name << " with " << threads
+            << " threads, use_pattern_index=" << use_index;
+      }
+    }
+  }
+}
+
+TEST(EngineParallelTest, MaxViolationsFallsBackToSerialSemantics) {
+  const Dataset d = ZipCityStateDataset(800, 104, 0.05);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+  DetectorOptions options;
+  options.max_violations = 3;
+  Engine serial(ExecutionOptions{1, true, nullptr});
+  auto serial_result = serial.Detect(d.relation, rules, options);
+  ASSERT_TRUE(serial_result.ok());
+  Engine parallel(ExecutionOptions{4, true, nullptr});
+  auto parallel_result = parallel.Detect(d.relation, rules, options);
+  ASSERT_TRUE(parallel_result.ok());
+  EXPECT_EQ(Fingerprint(parallel_result.value()),
+            Fingerprint(serial_result.value()));
+  EXPECT_LE(parallel_result->violations.size(), 3u);
+}
+
+TEST(EngineParallelTest, ZeroMeansHardwareThreads) {
+  const Dataset d = ZipCityStateDataset(300, 105, 0.02);
+  Engine engine(ExecutionOptions{0, true, nullptr});
+  Engine serial(ExecutionOptions{1, true, nullptr});
+  EXPECT_EQ(Fingerprint(engine.Profile(d.relation)),
+            Fingerprint(serial.Profile(d.relation)));
+}
+
+// -- Streaming == one-shot -------------------------------------------------
+
+/// Splits `relation` into randomized chunk sizes, appends each to a stream,
+/// and checks the cumulative result against one-shot detection on the
+/// growing prefix after every batch.
+void CheckStreamEquivalence(const Relation& relation,
+                            const std::vector<Pfd>& rules,
+                            const DetectorOptions& options, uint64_t seed) {
+  Engine engine(ExecutionOptions{options.execution.num_threads, true,
+                                 nullptr});
+  auto stream = engine.OpenStream(relation.schema(), rules, options);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  Rng rng(seed);
+  Relation prefix(relation.schema());
+  RowId begin = 0;
+  size_t batch_number = 0;
+  while (begin < relation.num_rows()) {
+    const RowId remaining = static_cast<RowId>(relation.num_rows()) - begin;
+    const RowId size = static_cast<RowId>(
+        1 + rng.NextBelow(std::min<uint64_t>(remaining, 137)));
+    auto batch = relation.Slice(begin, begin + size);
+    ASSERT_TRUE(batch.ok());
+    for (RowId r = 0; r < batch->num_rows(); ++r) {
+      ASSERT_TRUE(prefix.AppendRow(batch->Row(r)).ok());
+    }
+
+    auto cumulative = (*stream)->AppendBatch(batch.value());
+    ASSERT_TRUE(cumulative.ok()) << cumulative.status();
+    auto one_shot = engine.Detect(prefix, rules, options);
+    ASSERT_TRUE(one_shot.ok());
+    ASSERT_EQ(Fingerprint(cumulative.value()), Fingerprint(one_shot.value()))
+        << "batch " << batch_number << " (rows 0.." << (begin + size) << ")";
+    begin += size;
+    ++batch_number;
+  }
+  EXPECT_EQ((*stream)->relation().num_rows(), relation.num_rows());
+  EXPECT_EQ((*stream)->num_batches(), batch_number);
+}
+
+TEST(DetectionStreamTest, AppendBatchMatchesOneShotAcrossDatasets) {
+  for (const Dataset& d : TestDatasets()) {
+    const std::vector<Pfd> rules = DiscoverRules(d.relation);
+    ASSERT_FALSE(rules.empty()) << d.name;
+    CheckStreamEquivalence(d.relation, rules, DetectorOptions{}, 201);
+  }
+}
+
+TEST(DetectionStreamTest, AppendBatchMatchesOneShotWithoutIndex) {
+  const Dataset d = ZipCityStateDataset(900, 202, 0.04);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+  DetectorOptions options;
+  options.use_pattern_index = false;
+  CheckStreamEquivalence(d.relation, rules, options, 203);
+}
+
+TEST(DetectionStreamTest, AppendBatchMatchesOneShotParallel) {
+  const Dataset d = NameGenderDataset(700, 204, 0.05);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+  DetectorOptions options;
+  options.execution.num_threads = 4;
+  CheckStreamEquivalence(d.relation, rules, options, 205);
+}
+
+TEST(DetectionStreamTest, AppendRowsConvenience) {
+  const Dataset d = ZipCityStateDataset(200, 206, 0.05);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+  Engine engine;
+  auto stream = engine.OpenStream(d.relation.schema(), rules);
+  ASSERT_TRUE(stream.ok());
+  std::vector<std::vector<std::string>> rows;
+  for (RowId r = 0; r < d.relation.num_rows(); ++r) {
+    rows.push_back(d.relation.Row(r));
+  }
+  auto cumulative = (*stream)->AppendRows(rows);
+  ASSERT_TRUE(cumulative.ok());
+  auto one_shot = engine.Detect(d.relation, rules);
+  ASSERT_TRUE(one_shot.ok());
+  EXPECT_EQ(Fingerprint(cumulative.value()), Fingerprint(one_shot.value()));
+}
+
+TEST(DetectionStreamTest, RejectsMaxViolations) {
+  const Dataset d = ZipCityStateDataset(100, 207, 0.0);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  Engine engine;
+  DetectorOptions options;
+  options.max_violations = 10;
+  auto stream = engine.OpenStream(d.relation.schema(), rules, options);
+  EXPECT_FALSE(stream.ok());
+}
+
+TEST(DetectionStreamTest, RejectsDisabledValueDictionary) {
+  const Dataset d = ZipCityStateDataset(100, 215, 0.0);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  Engine engine;
+  DetectorOptions options;
+  options.use_value_dictionary = false;
+  auto stream = engine.OpenStream(d.relation.schema(), rules, options);
+  EXPECT_FALSE(stream.ok());
+}
+
+TEST(DetectionStreamTest, RejectsSchemaMismatch) {
+  const Dataset d = ZipCityStateDataset(100, 208, 0.0);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+  Engine engine;
+  auto stream = engine.OpenStream(d.relation.schema(), rules);
+  ASSERT_TRUE(stream.ok());
+  const Dataset other = NameGenderDataset(50, 209, 0.0);
+  EXPECT_FALSE((*stream)->AppendBatch(other.relation).ok());
+}
+
+TEST(DetectionStreamTest, RejectsUnknownAttribute) {
+  const Dataset d = ZipCityStateDataset(100, 210, 0.0);
+  std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+  const Dataset other = NameGenderDataset(50, 211, 0.0);
+  Engine engine;
+  // Zip rules cannot validate against the name/gender schema.
+  auto stream = engine.OpenStream(other.relation.schema(), rules);
+  EXPECT_FALSE(stream.ok());
+}
+
+// -- Session façade --------------------------------------------------------
+
+TEST(SessionEngineTest, SessionDelegatesToEngineWithThreads) {
+  const Dataset d = ZipCityStateDataset(600, 212, 0.03);
+
+  // Same project name: it is recorded as the PFD table name.
+  Session serial("zips");
+  ASSERT_TRUE(serial.LoadRelation(d.relation).ok());
+  serial.SetMinCoverage(0.4);
+  ASSERT_TRUE(serial.Discover().ok());
+  serial.ConfirmAll();
+  ASSERT_TRUE(serial.Detect().ok());
+
+  Session threaded("zips");
+  threaded.SetNumThreads(4);
+  ASSERT_TRUE(threaded.LoadRelation(d.relation).ok());
+  threaded.SetMinCoverage(0.4);
+  ASSERT_TRUE(threaded.Discover().ok());
+  threaded.ConfirmAll();
+  ASSERT_TRUE(threaded.Detect().ok());
+
+  EXPECT_EQ(Fingerprint(threaded.detection()),
+            Fingerprint(serial.detection()));
+  ASSERT_EQ(threaded.discovered().size(), serial.discovered().size());
+  for (size_t i = 0; i < serial.discovered().size(); ++i) {
+    EXPECT_EQ(threaded.discovered()[i].pfd.ToString(),
+              serial.discovered()[i].pfd.ToString());
+  }
+}
+
+TEST(SessionEngineTest, OpenDetectionStreamMatchesDetect) {
+  const Dataset d = ZipCityStateDataset(500, 213, 0.04);
+  Session session("stream");
+  ASSERT_TRUE(session.LoadRelation(d.relation).ok());
+  session.SetMinCoverage(0.4);
+  ASSERT_TRUE(session.Discover().ok());
+  session.ConfirmAll();
+  ASSERT_TRUE(session.Detect().ok());
+
+  auto stream = session.OpenDetectionStream();
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  const RowId half = static_cast<RowId>(d.relation.num_rows() / 2);
+  auto first = d.relation.Slice(0, half);
+  auto second =
+      d.relation.Slice(half, static_cast<RowId>(d.relation.num_rows()));
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_TRUE((*stream)->AppendBatch(first.value()).ok());
+  auto cumulative = (*stream)->AppendBatch(second.value());
+  ASSERT_TRUE(cumulative.ok());
+  EXPECT_EQ(Fingerprint(cumulative.value()), Fingerprint(session.detection()));
+}
+
+TEST(SessionEngineTest, OpenDetectionStreamRequiresConfirmedRules) {
+  const Dataset d = ZipCityStateDataset(100, 214, 0.0);
+  Session session;
+  ASSERT_TRUE(session.LoadRelation(d.relation).ok());
+  EXPECT_FALSE(session.OpenDetectionStream().ok());
+}
+
+}  // namespace
+}  // namespace anmat

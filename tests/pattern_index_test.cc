@@ -99,5 +99,49 @@ TEST(PatternIndexTest, DuplicateValuesAllReturned) {
   EXPECT_EQ(index.Lookup(ParsePattern("\\D{5}").value()).size(), 5u);
 }
 
+// -- Incremental build (the streaming path) --------------------------------
+
+TEST(PatternIndexTest, IncrementalBuildMatchesBulk) {
+  Relation rel = MixedColumn();
+  const PatternIndex bulk(rel, 0);
+
+  // Grow a dictionary and index in uneven chunks over the same column.
+  ColumnDictionary dict;
+  PatternIndex incremental(rel, 0, &dict);
+  const std::vector<std::string>& cells = rel.column(0);
+  const size_t cuts[] = {0, 3, 4, cells.size()};
+  for (size_t i = 0; i + 1 < std::size(cuts); ++i) {
+    dict.Append({cells.begin() + cuts[i], cells.begin() + cuts[i + 1]},
+                static_cast<RowId>(cuts[i]));
+    incremental.AppendRows(static_cast<RowId>(cuts[i]),
+                           static_cast<RowId>(cuts[i + 1]));
+  }
+
+  EXPECT_EQ(incremental.num_signatures(), bulk.num_signatures());
+  EXPECT_EQ(incremental.num_tokens(), bulk.num_tokens());
+  for (const char* text :
+       {"\\D{5}", "John\\ \\A*", "\\A+\\ \\A+", "\\LU-\\D-\\D{3}",
+        "900\\D{2}", "\\D{10}", "\\A+"}) {
+    auto parsed = ParsePattern(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(incremental.Lookup(parsed.value()), bulk.Lookup(parsed.value()))
+        << text;
+  }
+}
+
+TEST(PatternIndexTest, CandidateSupersetTailRestriction) {
+  Relation rel = MixedColumn();
+  const PatternIndex bulk(rel, 0);
+  const Pattern p = ParsePattern("\\D{5}").value();
+  const std::vector<RowId> all = bulk.CandidateSuperset(p, 0);
+  const std::vector<RowId> tail = bulk.CandidateSuperset(p, 2);
+  // The tail is exactly the >= min_row suffix of the full candidate list.
+  std::vector<RowId> expected;
+  for (RowId r : all) {
+    if (r >= 2) expected.push_back(r);
+  }
+  EXPECT_EQ(tail, expected);
+}
+
 }  // namespace
 }  // namespace anmat

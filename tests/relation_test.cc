@@ -158,5 +158,51 @@ TEST(RelationTest, EmptyRelationHasNoColumnsOrRows) {
   EXPECT_EQ(rel.num_columns(), 0u);
 }
 
+// -- Incremental dictionaries (the streaming path) -------------------------
+
+void ExpectDictionariesEqual(const ColumnDictionary& a,
+                             const ColumnDictionary& b) {
+  ASSERT_EQ(a.num_values(), b.num_values());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (uint32_t id = 0; id < a.num_values(); ++id) {
+    EXPECT_EQ(a.value(id), b.value(id)) << "id " << id;
+    EXPECT_EQ(a.rows(id), b.rows(id)) << "id " << id;
+  }
+  for (RowId r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.value_id(r), b.value_id(r)) << "row " << r;
+  }
+}
+
+TEST(ColumnDictionaryTest, AppendMatchesBulkBuild) {
+  const std::vector<std::string> cells = {"LA", "NY", "LA", "SF", "NY",
+                                          "LA", "",   "SF", "LA", "NY"};
+  const ColumnDictionary bulk(cells);
+
+  // Append in three uneven chunks.
+  ColumnDictionary incremental;
+  incremental.Append({cells.begin(), cells.begin() + 3}, 0);
+  incremental.Append({cells.begin() + 3, cells.begin() + 4}, 3);
+  incremental.Append({cells.begin() + 4, cells.end()}, 4);
+  ExpectDictionariesEqual(incremental, bulk);
+}
+
+TEST(ColumnDictionaryTest, AppendAfterBulkBuildMatchesConcatenated) {
+  const std::vector<std::string> first = {"a", "b", "a", "c"};
+  const std::vector<std::string> second = {"c", "d", "a", "d"};
+  std::vector<std::string> all = first;
+  all.insert(all.end(), second.begin(), second.end());
+
+  ColumnDictionary grown(first);
+  grown.Append(second, static_cast<RowId>(first.size()));
+  ExpectDictionariesEqual(grown, ColumnDictionary(all));
+}
+
+TEST(ColumnDictionaryTest, AppendEmptyBatchIsANoOp) {
+  ColumnDictionary dict(std::vector<std::string>{"x", "y"});
+  dict.Append({}, 2);
+  EXPECT_EQ(dict.num_values(), 2u);
+  EXPECT_EQ(dict.num_rows(), 2u);
+}
+
 }  // namespace
 }  // namespace anmat

@@ -3,16 +3,22 @@
 // The original demo exposes a GUI (Figures 3-5) and a Jupyter front-end;
 // this CLI is the scriptable substitute. Subcommands:
 //
-//   anmat profile  <data.csv>
+//   anmat profile  <data.csv> [--threads N] [--format json]
 //       Print the Figure-3 profiling view.
 //
 //   anmat discover <data.csv> [--coverage G] [--violations V]
 //                  [--rules out.json] [--table NAME]
+//                  [--threads N] [--format json]
 //       Run PFD discovery, print the Figure-4 view, optionally persist the
 //       rules to a JSON rule store.
 //
 //   anmat detect   <data.csv> --rules rules.json [--max N]
+//                  [--threads N] [--format json]
 //       Load rules and print the Figure-5 violations view.
+//
+// --threads N runs the stage on N worker threads (0 = all hardware
+// threads); the output is byte-identical to a serial run. --format json
+// emits the machine-readable view instead of the ASCII one.
 //
 //   anmat repair   <data.csv> --rules rules.json [--out cleaned.csv]
 //       Apply confident suggested repairs and write the cleaned table.
@@ -25,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "anmat/engine.h"
 #include "anmat/report.h"
 #include "anmat/session.h"
 #include "csv/csv_writer.h"
@@ -37,10 +44,12 @@ namespace {
 int Usage() {
   std::cerr <<
       "usage:\n"
-      "  anmat profile  <data.csv>\n"
+      "  anmat profile  <data.csv> [--threads N] [--format json]\n"
       "  anmat discover <data.csv> [--coverage G] [--violations V]\n"
       "                 [--rules out.json] [--table NAME]\n"
+      "                 [--threads N] [--format json]\n"
       "  anmat detect   <data.csv> --rules rules.json [--max N]\n"
+      "                 [--threads N] [--format json]\n"
       "  anmat repair   <data.csv> --rules rules.json [--out cleaned.csv]\n";
   return 1;
 }
@@ -68,22 +77,51 @@ double FlagDouble(const std::map<std::string, std::string>& flags,
                                                     nullptr);
 }
 
-int CmdProfile(const std::string& path) {
+/// --threads N (default 1 = serial; 0 = all hardware threads).
+size_t FlagThreads(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("threads");
+  return it == flags.end()
+             ? 1
+             : static_cast<size_t>(
+                   std::strtoul(it->second.c_str(), nullptr, 10));
+}
+
+/// --format json selects the machine-readable output.
+bool FlagJson(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("format");
+  return it != flags.end() && it->second == "json";
+}
+
+int CmdProfile(const std::string& path,
+               const std::map<std::string, std::string>& flags) {
   anmat::Session session("cli");
+  session.SetNumThreads(FlagThreads(flags));
   if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
   if (anmat::Status s = session.Profile(); !s.ok()) return Fail(s);
-  std::cout << anmat::RenderProfilingView(session.profiles());
+  if (FlagJson(flags)) {
+    std::cout << anmat::ProfilesToJson(session.profiles()).DumpPretty()
+              << "\n";
+  } else {
+    std::cout << anmat::RenderProfilingView(session.profiles());
+  }
   return 0;
 }
 
 int CmdDiscover(const std::string& path,
                 const std::map<std::string, std::string>& flags) {
   anmat::Session session(flags.count("table") ? flags.at("table") : "T");
+  session.SetNumThreads(FlagThreads(flags));
   if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
   session.SetMinCoverage(FlagDouble(flags, "coverage", 0.4));
   session.SetAllowedViolationRatio(FlagDouble(flags, "violations", 0.1));
   if (anmat::Status s = session.Discover(); !s.ok()) return Fail(s);
-  std::cout << anmat::RenderDiscoveredPfdsView(session.discovered());
+  if (FlagJson(flags)) {
+    std::cout << anmat::DiscoveredPfdsToJson(session.discovered())
+                     .DumpPretty()
+              << "\n";
+  } else {
+    std::cout << anmat::RenderDiscoveredPfdsView(session.discovered());
+  }
   if (flags.count("rules") > 0) {
     std::vector<anmat::Pfd> rules;
     for (const anmat::DiscoveredPfd& d : session.discovered()) {
@@ -112,8 +150,18 @@ int CmdDetect(const std::string& path,
   auto rules = store.Load();
   if (!rules.ok()) return Fail(rules.status());
 
-  auto detection = anmat::DetectErrors(session.relation(), rules.value());
+  // Detection goes through the engine so --threads applies.
+  anmat::Engine engine(
+      anmat::ExecutionOptions{FlagThreads(flags), true, nullptr});
+  auto detection = engine.Detect(session.relation(), rules.value());
   if (!detection.ok()) return Fail(detection.status());
+  if (FlagJson(flags)) {
+    std::cout << anmat::DetectionToJson(session.relation(), rules.value(),
+                                        detection.value())
+                     .DumpPretty()
+              << "\n";
+    return 0;
+  }
   size_t max_rows = 50;
   if (flags.count("max") > 0) {
     max_rows = std::strtoul(flags.at("max").c_str(), nullptr, 10);
@@ -167,7 +215,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
 
-  if (command == "profile") return CmdProfile(path);
+  if (command == "profile") return CmdProfile(path, flags);
   if (command == "discover") return CmdDiscover(path, flags);
   if (command == "detect") return CmdDetect(path, flags);
   if (command == "repair") return CmdRepair(path, flags);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+#   tools/verify.sh            # plain Release build + ctest
+#   tools/verify.sh thread     # ThreadSanitizer build + ctest (separate
+#                              #   build dir; exercises the engine/thread-
+#                              #   pool concurrency tests under TSan)
+#   tools/verify.sh address    # AddressSanitizer build + ctest
+#
+# Environment: BUILD_DIR overrides the build directory (default: build,
+# or build-<sanitizer> for sanitized runs); JOBS overrides parallelism.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE="${1:-}"
+JOBS="${JOBS:-$(nproc)}"
+case "$SANITIZE" in
+  "")      BUILD_DIR="${BUILD_DIR:-build}";         CMAKE_ARGS=() ;;
+  thread)  BUILD_DIR="${BUILD_DIR:-build-tsan}";    CMAKE_ARGS=(-DANMAT_SANITIZE=thread) ;;
+  address) BUILD_DIR="${BUILD_DIR:-build-asan}";    CMAKE_ARGS=(-DANMAT_SANITIZE=address) ;;
+  *) echo "usage: tools/verify.sh [thread|address]" >&2; exit 1 ;;
+esac
+
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
