@@ -16,6 +16,14 @@
 //     scratch per batch" by a margin that grows with the batch count —
 //     this is single-threaded, algorithmic, and reproduces on any machine.
 //
+//  3. Engine::Repair runs every repair pass's suggestion generation
+//     through the detection fan-out, so the repair stage scales like
+//     detection while applied repairs + repaired relation stay
+//     byte-identical across thread counts (A7c); and the stream's
+//     clean-on-ingest mode repairs confident constant-rule errors per
+//     batch for a small surcharge over plain streaming — compared against
+//     detect-everything-then-repair-at-the-end (A7d).
+//
 // Content: the two JSON reports (plus equality checks between parallel /
 // streaming results and their serial one-shot references). Performance:
 // google-benchmark timings for the same paths (JSON via
@@ -34,6 +42,7 @@
 #include "detect/detection_stream.h"
 #include "detect/detector.h"
 #include "discovery/discovery.h"
+#include "repair/repair.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -68,22 +77,57 @@ anmat::Dataset BenchDataset() {
   return anmat::ZipCityStateDataset(20000, 71, 0.02);
 }
 
+anmat::DiscoveryOptions BenchDiscoveryOptions() {
+  anmat::DiscoveryOptions options;
+  options.min_coverage = 0.4;
+  return options;
+}
+
+std::vector<anmat::Pfd> RulesOf(const anmat::DiscoveryResult& discovery) {
+  std::vector<anmat::Pfd> rules;
+  for (const anmat::DiscoveredPfd& disc : discovery.pfds) {
+    rules.push_back(disc.pfd);
+  }
+  return rules;
+}
+
+/// The rule set every A7 section measures with (serial discovery over the
+/// bench dataset) — one definition so the sub-reports cannot drift apart.
+std::vector<anmat::Pfd> BenchRules(const anmat::Dataset& d) {
+  anmat::Engine engine(anmat::ExecutionOptions{1, true, nullptr});
+  auto discovery = engine.Discover(d.relation, BenchDiscoveryOptions());
+  CheckOrDie(discovery.ok() && !discovery->pfds.empty(),
+             "discovery for bench rules failed");
+  return RulesOf(discovery.value());
+}
+
+/// Splits the dataset into `count` contiguous batches.
+std::vector<anmat::Relation> MakeBatches(const anmat::Relation& relation,
+                                         size_t count) {
+  std::vector<anmat::Relation> batches;
+  const size_t rows = relation.num_rows();
+  for (size_t b = 0; b < count; ++b) {
+    auto slice =
+        relation.Slice(static_cast<anmat::RowId>(b * rows / count),
+                       static_cast<anmat::RowId>((b + 1) * rows / count));
+    CheckOrDie(slice.ok(), "slice failed");
+    batches.push_back(std::move(slice).value());
+  }
+  return batches;
+}
+
 void ThreadScalingReport() {
   Banner("A7a", "discovery+detection wall-clock vs thread count");
   const anmat::Dataset d = BenchDataset();
 
-  anmat::DiscoveryOptions discover_options;
-  discover_options.min_coverage = 0.4;
+  const anmat::DiscoveryOptions discover_options = BenchDiscoveryOptions();
 
   // Serial reference (also provides the rules for the detection timing).
   anmat::Engine serial_engine(anmat::ExecutionOptions{1, true, nullptr});
   auto serial_discovery = serial_engine.Discover(d.relation, discover_options);
   CheckOrDie(serial_discovery.ok(), "serial discovery failed");
   CheckOrDie(!serial_discovery->pfds.empty(), "no PFDs discovered");
-  std::vector<anmat::Pfd> rules;
-  for (const anmat::DiscoveredPfd& disc : serial_discovery->pfds) {
-    rules.push_back(disc.pfd);
-  }
+  const std::vector<anmat::Pfd> rules = RulesOf(serial_discovery.value());
   auto serial_detection = serial_engine.Detect(d.relation, rules);
   CheckOrDie(serial_detection.ok(), "serial detection failed");
   const std::string serial_print = Fingerprint(serial_detection.value());
@@ -133,27 +177,12 @@ void StreamingReport() {
   const anmat::Dataset d = BenchDataset();
 
   anmat::Engine engine(anmat::ExecutionOptions{1, true, nullptr});
-  anmat::DiscoveryOptions discover_options;
-  discover_options.min_coverage = 0.4;
-  auto discovery = engine.Discover(d.relation, discover_options);
-  CheckOrDie(discovery.ok() && !discovery->pfds.empty(),
-             "discovery for streaming bench failed");
-  std::vector<anmat::Pfd> rules;
-  for (const anmat::DiscoveredPfd& disc : discovery->pfds) {
-    rules.push_back(disc.pfd);
-  }
+  const std::vector<anmat::Pfd> rules = BenchRules(d);
 
   const size_t kBatches = 20;
   const size_t rows = d.relation.num_rows();
-  std::vector<anmat::Relation> batches;
-  for (size_t b = 0; b < kBatches; ++b) {
-    const size_t begin = b * rows / kBatches;
-    const size_t end = (b + 1) * rows / kBatches;
-    auto slice = d.relation.Slice(static_cast<anmat::RowId>(begin),
-                                  static_cast<anmat::RowId>(end));
-    CheckOrDie(slice.ok(), "slice failed");
-    batches.push_back(std::move(slice).value());
-  }
+  const std::vector<anmat::Relation> batches =
+      MakeBatches(d.relation, kBatches);
 
   // Streaming: one stream, kBatches appends, cumulative result each time.
   auto t0 = std::chrono::steady_clock::now();
@@ -194,25 +223,149 @@ void StreamingReport() {
             << "\n}\n";
 }
 
+std::string Fingerprint(const anmat::RepairResult& result,
+                        const anmat::Relation& relation) {
+  std::string out;
+  for (const anmat::AppliedRepair& r : result.repairs) {
+    out += std::to_string(r.cell.row) + "," + std::to_string(r.cell.column) +
+           ":" + r.before + ">" + r.after + "|";
+  }
+  for (anmat::RowId row = 0; row < relation.num_rows(); ++row) {
+    for (size_t c = 0; c < relation.num_columns(); ++c) {
+      out += relation.cell(row, c);
+      out.push_back('\x1f');
+    }
+  }
+  return out;
+}
+
+void RepairScalingReport() {
+  Banner("A7c", "repair wall-clock vs thread count");
+  const anmat::Dataset d = BenchDataset();
+  const std::vector<anmat::Pfd> rules = BenchRules(d);
+
+  // Serial reference: plain RepairErrors.
+  anmat::Relation serial_relation = d.relation;
+  auto serial_result = anmat::RepairErrors(&serial_relation, rules);
+  CheckOrDie(serial_result.ok(), "serial repair failed");
+  CheckOrDie(!serial_result->repairs.empty(), "no repairs applied");
+  const std::string serial_print =
+      Fingerprint(serial_result.value(), serial_relation);
+
+  struct Timing {
+    size_t threads;
+    double repair_ms;
+  };
+  std::vector<Timing> timings;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    anmat::Engine engine(anmat::ExecutionOptions{threads, true, nullptr});
+    anmat::Relation relation = d.relation;
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = engine.Repair(&relation, rules);
+    const double repair_ms = MillisSince(t0);
+    CheckOrDie(result.ok(), "parallel repair failed");
+    CheckOrDie(Fingerprint(result.value(), relation) == serial_print,
+               "parallel repair diverged from serial");
+    timings.push_back(Timing{threads, repair_ms});
+  }
+
+  std::cout << "{\n  \"hardware_threads\": "
+            << anmat::ThreadPool::HardwareThreads()
+            << ",\n  \"rows\": " << d.relation.num_rows()
+            << ",\n  \"rules\": " << rules.size()
+            << ",\n  \"repairs\": " << serial_result->repairs.size()
+            << ",\n  \"passes\": " << serial_result->passes
+            << ",\n  \"scaling\": [\n";
+  for (size_t i = 0; i < timings.size(); ++i) {
+    const Timing& t = timings[i];
+    std::cout << "    {\"threads\": " << t.threads
+              << ", \"repair_ms\": " << t.repair_ms
+              << ", \"speedup_vs_1\": "
+              << timings[0].repair_ms / t.repair_ms << "}"
+              << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+}
+
+void CleanOnIngestReport() {
+  Banner("A7d", "streaming clean-on-ingest vs detect-then-repair");
+  const anmat::Dataset d = BenchDataset();
+
+  anmat::Engine engine(anmat::ExecutionOptions{1, true, nullptr});
+  const std::vector<anmat::Pfd> rules = BenchRules(d);
+
+  const size_t kBatches = 20;
+  const size_t rows = d.relation.num_rows();
+  const std::vector<anmat::Relation> batches =
+      MakeBatches(d.relation, kBatches);
+
+  // Plain streaming (violations only) as the baseline surcharge reference.
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    auto stream = engine.OpenStream(d.relation.schema(), rules);
+    CheckOrDie(stream.ok(), "OpenStream failed");
+    for (const anmat::Relation& batch : batches) {
+      CheckOrDie((*stream)->AppendBatch(batch).ok(), "AppendBatch failed");
+    }
+  }
+  const double plain_ms = MillisSince(t0);
+
+  // Clean-on-ingest: same stream, each batch repaired before absorption.
+  t0 = std::chrono::steady_clock::now();
+  size_t stream_repairs = 0;
+  size_t stream_remaining = 0;
+  {
+    auto stream = engine.OpenStream(d.relation.schema(), rules);
+    CheckOrDie(stream.ok(), "OpenStream failed");
+    (*stream)->set_clean_on_ingest(true);
+    for (const anmat::Relation& batch : batches) {
+      auto result = (*stream)->AppendBatch(batch);
+      CheckOrDie(result.ok(), "clean AppendBatch failed");
+      stream_remaining = result->violations.size();
+    }
+    stream_repairs = (*stream)->repairs().size();
+  }
+  const double clean_ms = MillisSince(t0);
+
+  // The non-streaming alternative: ingest everything, then one
+  // constant-rule-only repair pass at the end (the semantics clean-on-
+  // ingest provides incrementally).
+  t0 = std::chrono::steady_clock::now();
+  anmat::Relation full(d.relation.schema());
+  for (const anmat::Relation& batch : batches) {
+    for (anmat::RowId r = 0; r < batch.num_rows(); ++r) {
+      CheckOrDie(full.AppendRow(batch.Row(r)).ok(), "append failed");
+    }
+  }
+  anmat::RepairOptions repair_options;
+  repair_options.apply_variable_repairs = false;
+  repair_options.max_passes = 1;
+  auto batch_repair = anmat::RepairErrors(&full, rules, repair_options);
+  CheckOrDie(batch_repair.ok(), "detect-then-repair failed");
+  const double after_the_fact_ms = MillisSince(t0);
+
+  CheckOrDie(stream_repairs == batch_repair->repairs.size(),
+             "clean-on-ingest repair count diverged from one-shot "
+             "constant-rule repair");
+
+  std::cout << "{\n  \"rows\": " << rows << ",\n  \"batches\": " << kBatches
+            << ",\n  \"rules\": " << rules.size()
+            << ",\n  \"stream_plain_ms\": " << plain_ms
+            << ",\n  \"stream_clean_ms\": " << clean_ms
+            << ",\n  \"clean_surcharge\": " << clean_ms / plain_ms
+            << ",\n  \"detect_then_repair_ms\": " << after_the_fact_ms
+            << ",\n  \"repairs_applied\": " << stream_repairs
+            << ",\n  \"violations_left\": " << stream_remaining
+            << "\n}\n";
+}
+
 // ---------------------------------------------------------------------------
 // google-benchmark timings
 // ---------------------------------------------------------------------------
 
 void BM_DetectThreads(benchmark::State& state) {
   static const anmat::Dataset d = BenchDataset();
-  static const std::vector<anmat::Pfd> rules = [] {
-    anmat::Engine engine;
-    anmat::DiscoveryOptions options;
-    options.min_coverage = 0.4;
-    auto discovery = engine.Discover(d.relation, options);
-    std::vector<anmat::Pfd> out;
-    if (discovery.ok()) {
-      for (const anmat::DiscoveredPfd& disc : discovery->pfds) {
-        out.push_back(disc.pfd);
-      }
-    }
-    return out;
-  }();
+  static const std::vector<anmat::Pfd> rules = BenchRules(d);
   anmat::Engine engine(anmat::ExecutionOptions{
       static_cast<size_t>(state.range(0)), true, nullptr});
   for (auto _ : state) {
@@ -224,19 +377,7 @@ BENCHMARK(BM_DetectThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_StreamAppendBatch(benchmark::State& state) {
   static const anmat::Dataset d = BenchDataset();
-  static const std::vector<anmat::Pfd> rules = [] {
-    anmat::Engine engine;
-    anmat::DiscoveryOptions options;
-    options.min_coverage = 0.4;
-    auto discovery = engine.Discover(d.relation, options);
-    std::vector<anmat::Pfd> out;
-    if (discovery.ok()) {
-      for (const anmat::DiscoveredPfd& disc : discovery->pfds) {
-        out.push_back(disc.pfd);
-      }
-    }
-    return out;
-  }();
+  static const std::vector<anmat::Pfd> rules = BenchRules(d);
   const size_t batch_rows = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
@@ -255,11 +396,28 @@ void BM_StreamAppendBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamAppendBatch)->Arg(2000)->Arg(5000);
 
+void BM_RepairThreads(benchmark::State& state) {
+  static const anmat::Dataset d = BenchDataset();
+  static const std::vector<anmat::Pfd> rules = BenchRules(d);
+  anmat::Engine engine(anmat::ExecutionOptions{
+      static_cast<size_t>(state.range(0)), true, nullptr});
+  for (auto _ : state) {
+    state.PauseTiming();
+    anmat::Relation relation = d.relation;  // repair mutates in place
+    state.ResumeTiming();
+    auto result = engine.Repair(&relation, rules);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RepairThreads)->Arg(1)->Arg(2)->Arg(4);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ThreadScalingReport();
   StreamingReport();
+  RepairScalingReport();
+  CleanOnIngestReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -62,17 +62,18 @@ int main(int argc, char** argv) {
     std::cerr << reloaded.status() << "\n";
     return 1;
   }
-  std::cout << "Persisted and reloaded " << reloaded.value().size()
+  // Saving bare PFDs marks them confirmed in the v2 store; only confirmed
+  // rules are applied.
+  const std::vector<anmat::Pfd> loaded_rules = reloaded->ConfirmedPfds();
+  std::cout << "Persisted and reloaded " << loaded_rules.size()
             << " rule(s) via " << store_path << "\n\n";
 
-  auto detection =
-      anmat::DetectErrors(dataset.relation, reloaded.value());
+  auto detection = anmat::DetectErrors(dataset.relation, loaded_rules);
   if (!detection.ok()) {
     std::cerr << detection.status() << "\n";
     return 1;
   }
-  std::cout << anmat::RenderViolationsView(dataset.relation,
-                                           reloaded.value(),
+  std::cout << anmat::RenderViolationsView(dataset.relation, loaded_rules,
                                            detection.value(), 10);
 
   std::vector<anmat::CellRef> suspects;

@@ -1,20 +1,29 @@
-// Quickstart: the complete ANMAT workflow on the paper's own toy tables
-// (Table 1: Name/gender, Table 2: Zip/city).
+// Quickstart: the complete ANMAT workflow on the paper's own toy table
+// (Table 2: Zip/city), the way the demo's GUI is actually used — as a
+// *stateful* project that survives between sessions:
 //
-//   load CSV → set parameters → profile → discover PFDs → confirm →
-//   detect errors → print the three demo views,
+//   init project → attach dataset → profile → discover (rules recorded as
+//   `discovered` with provenance) → confirm/reject → detect → repair,
 //
-// then the engine path: the same session running multi-threaded (identical
-// output), and a DetectionStream absorbing new records batch by batch
-// without re-paying pattern work for values it has already seen.
+// then the streaming path: a DetectionStream absorbing new records batch by
+// batch without re-paying pattern work for values it has already seen, with
+// clean-on-ingest repairing confident constant-rule errors as they arrive.
+//
+// Layering on display (see session.h):
+//   Project (anmat/project.h)  durable state: catalog + RuleSet v2 store
+//   Engine  (anmat/engine.h)   execution: thread pool + parallel stages
+//   Session (anmat/session.h)  the workflow façade over both
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/example_quickstart
 
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "anmat/engine.h"
+#include "anmat/project.h"
 #include "anmat/report.h"
 #include "anmat/session.h"
 
@@ -36,36 +45,52 @@ int Fail(const anmat::Status& status) {
 }  // namespace
 
 int main() {
-  anmat::Session session("quickstart");
+  // 0. A project directory is the durable state of the workflow: a catalog
+  //    (datasets + parameters) and a rule store with per-rule lifecycle.
+  const std::string dir = "/tmp/anmat_quickstart_project";
+  const std::string csv = "/tmp/anmat_quickstart_zips.csv";
+  std::filesystem::remove_all(dir);
+  std::ofstream(csv) << kZipCsv;
 
-  // 0. Execution: Session delegates to anmat::Engine, which fans profiling
-  //    out per column, discovery per candidate dependency and detection per
-  //    (PFD, tableau row). 0 = one worker per hardware thread; the results
-  //    are byte-identical to a serial run at any thread count.
+  anmat::Session session("quickstart");
+  // Session delegates execution to anmat::Engine: profiling fans out per
+  // column, discovery per candidate dependency, detection and repair per
+  // (PFD, tableau row). 0 = one worker per hardware thread; results are
+  // byte-identical to a serial run at any thread count.
   session.SetNumThreads(0);
 
-  // 1. Dataset specification (the demo's drop-down; here: inline CSV).
-  if (anmat::Status s = session.LoadCsvString(kZipCsv); !s.ok()) {
-    return Fail(s);
-  }
-
-  // 2. Parameters (§4 "Parameter Setting"): minimum coverage γ and the
+  // 1. Parameters (§4 "Parameter Setting"): minimum coverage γ and the
   //    allowed violation ratio. The toy table has 1 dirty row in 4, so we
-  //    tolerate up to 30% violations.
+  //    tolerate up to 30% violations. Set before InitProject so they are
+  //    persisted into the catalog.
   session.SetMinCoverage(0.5);
   session.SetAllowedViolationRatio(0.3);
+  if (anmat::Status s = session.InitProject(dir); !s.ok()) return Fail(s);
+
+  // 2. Dataset specification (the demo's drop-down; here: a CSV recorded
+  //    in the project catalog for provenance and later sessions).
+  if (anmat::Status s = session.project()->AttachDataset("zips", csv);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (anmat::Status s = session.LoadCsvFile(csv); !s.ok()) return Fail(s);
 
   // 3. Profile (Figure 3).
   if (anmat::Status s = session.Profile(); !s.ok()) return Fail(s);
   std::cout << anmat::RenderProfilingView(session.profiles()) << "\n";
 
   // 4. Discover PFDs (Figure 2 / Figure 4). Expect λ3-style
-  //    "(900)!\D{2} -> Los Angeles" and the λ5-style variable rule.
+  //    "(900)!\D{2} -> Los Angeles" and the λ5-style variable rule. With a
+  //    bound project every discovered rule is recorded in the store as
+  //    `discovered`, carrying provenance (source dataset, coverage,
+  //    violation ratio).
   if (anmat::Status s = session.Discover(); !s.ok()) return Fail(s);
   std::cout << anmat::RenderDiscoveredPfdsView(session.discovered()) << "\n";
+  std::cout << anmat::RenderRuleSetView(session.project()->rules()) << "\n";
 
-  // 5. Confirm every discovered rule (the demo lets users pick; a script
-  //    confirms all).
+  // 5. Confirm every discovered rule (the demo lets users confirm or
+  //    reject each dependency; `Reject(i)` keeps a rule for audit without
+  //    ever applying it). This flips the stored lifecycle status.
   session.ConfirmAll();
 
   // 6. Detect errors (Figure 5): the New York cell must be flagged with
@@ -74,24 +99,43 @@ int main() {
   std::cout << anmat::RenderViolationsView(session.relation(),
                                            session.confirmed(),
                                            session.detection());
-
   std::cout << "\nDetected " << session.detection().violations.size()
             << " violation(s); expected: the 90004/New York cell.\n";
   if (session.detection().violations.empty()) return 1;
 
-  // 7. Streaming: records keep arriving after the rules are confirmed. A
+  // 7. Repair (§3's suggestion semantics): Engine::Repair applies the
+  //    confident suggestions iteratively, in parallel, byte-identical to a
+  //    serial run.
+  if (anmat::Status s = session.Repair(); !s.ok()) return Fail(s);
+  std::cout << "\n" << anmat::RenderRepairView(session.repair_result());
+
+  // 8. Persist. A later session — or the CLI:
+  //      anmat detect --project /tmp/anmat_quickstart_project
+  //    — reopens the project and detects with the stored confirmed rules,
+  //    no re-discovery needed.
+  if (anmat::Status s = session.SaveProject(); !s.ok()) return Fail(s);
+  std::cout << "\nproject saved to " << dir << " ("
+            << session.project()->rules().size() << " rule(s) on disk)\n";
+
+  // 9. Streaming: records keep arriving after the rules are confirmed. A
   //    DetectionStream extends its dictionaries and index postings per
-  //    batch and re-pays pattern work only for newly seen distinct values;
-  //    each append returns the cumulative violations — byte-identical to
-  //    re-running Detect() on everything seen so far.
+  //    batch and re-pays pattern work only for newly seen distinct values.
+  //    With clean-on-ingest, confident constant-rule repairs are applied
+  //    to each batch *before* it is absorbed — the stream accumulates the
+  //    cleaned relation.
   auto stream = session.OpenDetectionStream();
   if (!stream.ok()) return Fail(stream.status());
+  (*stream)->set_clean_on_ingest(true);
   auto cumulative = (*stream)->AppendRows({{"90005", "Los Angeles"},
                                            {"90006", "San Diego"}});
   if (!cumulative.ok()) return Fail(cumulative.status());
-  std::cout << "\nStreaming: after appending 2 new records the cumulative "
-            << "violation count is " << cumulative->violations.size()
-            << " (the 900\\D{2} -> Los Angeles rule also flags the new "
-            << "San Diego cell).\n";
+  std::cout << "\nStreaming: appended 2 records; clean-on-ingest applied "
+            << (*stream)->batch_repairs().size()
+            << " repair(s) (the 900\\D{2} -> Los Angeles rule fixes the "
+            << "new San Diego cell before it is absorbed); cumulative "
+            << "violations: " << cumulative->violations.size() << ".\n";
+
+  // The project directory and CSV are left in /tmp on purpose — the
+  // printed CLI suggestion above works after this example exits.
   return 0;
 }

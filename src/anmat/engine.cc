@@ -10,39 +10,68 @@ Engine::Engine(ExecutionOptions execution)
 Engine::~Engine() = default;
 
 Engine::Engine(Engine&& other) noexcept
-    : execution_(other.execution_), pool_(std::move(other.pool_)) {}
+    : execution_(other.execution_),
+      pool_(std::move(other.pool_)),
+      pool_lent_(other.pool_lent_),
+      retired_pools_(std::move(other.retired_pools_)) {
+  other.pool_lent_ = false;
+}
 
 Engine& Engine::operator=(Engine&& other) noexcept {
   if (this != &other) {
     execution_ = other.execution_;
+    // Move-assignment is a reconfiguration: park this engine's lent pools
+    // (a stream opened on it may still hold them) and adopt other's.
+    RetirePool();
     pool_ = std::move(other.pool_);
+    pool_lent_ = other.pool_lent_;
+    other.pool_lent_ = false;
+    for (std::unique_ptr<ThreadPool>& p : other.retired_pools_) {
+      retired_pools_.push_back(std::move(p));
+    }
+    other.retired_pools_.clear();
   }
   return *this;
 }
 
+/// Never destroy a pool an open stream may still hold — park it until the
+/// engine dies. Pools no stream borrowed are simply destroyed (callers
+/// hold pool_mu_).
+void Engine::RetirePool() {
+  if (pool_ != nullptr && pool_lent_) {
+    retired_pools_.push_back(std::move(pool_));
+  }
+  pool_.reset();
+  pool_lent_ = false;
+}
+
 void Engine::set_execution(ExecutionOptions execution) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  const size_t old_threads = execution_.EffectiveThreads();
   execution_ = std::move(execution);
   execution_.pool = nullptr;
-  pool_.reset();
+  // The pool only embodies the thread count: a reconfiguration that keeps
+  // it can reuse the pool, so repeated same-size calls retire nothing.
+  if (execution_.EffectiveThreads() != old_threads) RetirePool();
 }
 
 void Engine::SetNumThreads(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  const size_t old_threads = execution_.EffectiveThreads();
   execution_.num_threads = num_threads;
-  pool_.reset();
+  if (execution_.EffectiveThreads() != old_threads) RetirePool();
 }
 
 ExecutionOptions Engine::Exec() {
-  const size_t threads = execution_.EffectiveThreads();
   std::lock_guard<std::mutex> lock(pool_mu_);
-  if (threads > 1) {
-    if (pool_ == nullptr || pool_->num_threads() != threads) {
-      pool_ = std::make_unique<ThreadPool>(threads);
-    }
-  } else {
-    pool_.reset();
+  const size_t threads = execution_.EffectiveThreads();
+  if (threads > 1 &&
+      (pool_ == nullptr || pool_->num_threads() != threads)) {
+    RetirePool();
+    pool_ = std::make_unique<ThreadPool>(threads);
   }
   ExecutionOptions exec = execution_;
-  exec.pool = pool_.get();
+  exec.pool = threads > 1 ? pool_.get() : nullptr;
   return exec;
 }
 
@@ -65,10 +94,29 @@ Result<DetectionResult> Engine::Detect(const Relation& relation,
   return DetectErrors(relation, pfds, options);
 }
 
+Result<RepairResult> Engine::Repair(Relation* relation,
+                                    const std::vector<Pfd>& pfds,
+                                    RepairOptions options) {
+  // Every detection pass inside the repair loop inherits the engine's
+  // execution block; the suggestion-gathering and application steps are
+  // deterministic folds over the (already canonically sorted) violations,
+  // so the whole run is byte-identical to serial RepairErrors.
+  options.detector.execution = Exec();
+  return RepairErrors(relation, pfds, options);
+}
+
 Result<std::unique_ptr<DetectionStream>> Engine::OpenStream(
     const Schema& schema, std::vector<Pfd> pfds, DetectorOptions options) {
   options.execution = Exec();
-  return DetectionStream::Open(schema, std::move(pfds), options);
+  auto stream = DetectionStream::Open(schema, std::move(pfds), options);
+  // Only a successfully opened stream keeps the pool pointer beyond this
+  // call; mark the pool lent then (a failed Open holds nothing, so the
+  // pool stays destroyable on reconfiguration).
+  if (stream.ok() && options.execution.pool != nullptr) {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (pool_.get() == options.execution.pool) pool_lent_ = true;
+  }
+  return stream;
 }
 
 }  // namespace anmat

@@ -14,7 +14,11 @@
 ///      ├─ Profile   → ProfileRelation   one task per column
 ///      ├─ Discover  → DiscoverPfds      one task per candidate dependency
 ///      ├─ Detect    → DetectErrors      one task per (PFD, tableau row)
+///      ├─ Repair    → RepairErrors      suggestion generation fans out per
+///      │                                (PFD, tableau row) via the same
+///      │                                detection fan-out, every pass
 ///      └─ OpenStream → DetectionStream  incremental batch detection
+///                                       (+ clean-on-ingest repair mode)
 /// ```
 ///
 /// Every parallel stage merges per-task slots in task order, so results are
@@ -42,6 +46,7 @@
 #include "discovery/discovery.h"
 #include "discovery/profiler.h"
 #include "relation/relation.h"
+#include "repair/repair.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -53,8 +58,11 @@ namespace anmat {
 /// may run concurrently from several threads — lazy pool creation is
 /// lock-guarded — as long as each call uses a distinct relation.
 /// Reconfiguration (`set_execution`, `SetNumThreads`, move) must be
-/// externally synchronized with stage calls: it drops the pool the running
-/// stages may still be using.
+/// externally synchronized with stage calls (the options block itself is
+/// not synchronized), but it never destroys a pool that was already handed
+/// out: replaced pools are retired and kept alive until the engine is
+/// destroyed, so a `DetectionStream` opened before a reconfiguration stays
+/// valid — it simply keeps running on its original pool and thread count.
 class Engine {
  public:
   /// `execution.num_threads`: 1 = serial (default), 0 = one per hardware
@@ -88,23 +96,53 @@ class Engine {
                                  const std::vector<Pfd>& pfds,
                                  DetectorOptions options = {});
 
+  /// Iterative repair (§3's suggestion semantics, repair.h's fixpoint
+  /// loop), with suggestion generation fanned out per (PFD, tableau row):
+  /// each repair pass runs the detection fan-out — per-task slots merged in
+  /// task order — so the applied repairs, the conflict set and the repaired
+  /// relation are byte-identical to a serial `RepairErrors` run at any
+  /// thread count (differentially tested at 2/4/8 threads in
+  /// engine_test.cc). The engine's execution block overrides
+  /// `options.detector.execution`.
+  Result<RepairResult> Repair(Relation* relation,
+                              const std::vector<Pfd>& pfds,
+                              RepairOptions options = {});
+
   /// Opens a streaming detector for `pfds` over relations with `schema`;
   /// batches appended to it pay pattern work only for newly seen distinct
-  /// values (see detection_stream.h). The stream borrows the engine's pool:
-  /// it must not outlive the engine (nor a SetNumThreads/set_execution
-  /// reconfiguration).
+  /// values (see detection_stream.h). The stream borrows the engine's pool
+  /// and must not outlive the engine; reconfiguring the engine afterwards
+  /// is safe (the stream keeps its original pool, which stays alive until
+  /// the engine is destroyed).
   Result<std::unique_ptr<DetectionStream>> OpenStream(
       const Schema& schema, std::vector<Pfd> pfds,
       DetectorOptions options = {});
 
  private:
-  /// The engine's execution block with the (lazily created) pool installed.
+  /// The engine's execution block with the (lazily created) pool
+  /// installed. Stage calls use the pool synchronously; OpenStream marks
+  /// it lent (`pool_lent_`) once the stream actually opened.
   ExecutionOptions Exec();
+
+  /// Retires `pool_` (requires `pool_mu_`): parked in `retired_pools_`
+  /// when a stream borrowed it, destroyed otherwise.
+  void RetirePool();
 
   ExecutionOptions execution_;
   /// Guards lazy creation of `pool_` under concurrent stage calls.
   std::mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Whether `pool_` was handed to a stream (OpenStream) and may be held
+  /// beyond the engine call that created it.
+  bool pool_lent_ = false;
+  /// Pools replaced by reconfiguration while lent to a stream, kept alive
+  /// (workers idle on the queue condvar) until the engine is destroyed.
+  /// Never-lent pools are destroyed on reconfiguration as before. The
+  /// engine cannot observe a borrowing stream's destruction (streams hold
+  /// a raw pointer), so once a stream was opened, later size changes keep
+  /// parking pools — bounded by the caller's own reconfiguration count;
+  /// shared_ptr ownership would free them eagerly (ROADMAP open item).
+  std::vector<std::unique_ptr<ThreadPool>> retired_pools_;
 };
 
 }  // namespace anmat

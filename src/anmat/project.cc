@@ -1,0 +1,194 @@
+#include "anmat/project.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace anmat {
+
+namespace {
+
+constexpr int kCatalogVersion = 1;
+
+}  // namespace
+
+Result<Project> Project::Init(const std::string& dir, std::string name) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create project directory " + dir + ": " +
+                           ec.message());
+  }
+  Project project(dir);
+  if (std::filesystem::exists(project.catalog_path())) {
+    return Status::AlreadyExists("project already initialized: " +
+                                 project.catalog_path());
+  }
+  if (name.empty()) {
+    // "proj/" has an empty filename(); step to the parent so the project
+    // is named after the directory, trailing separator or not.
+    std::filesystem::path p = std::filesystem::path(dir).lexically_normal();
+    if (!p.has_filename()) p = p.parent_path();
+    project.name_ = p.filename().string();
+  } else {
+    project.name_ = std::move(name);
+  }
+  if (project.name_.empty()) project.name_ = "anmat";
+  ANMAT_RETURN_NOT_OK(project.Save());
+  return project;
+}
+
+Result<Project> Project::Open(const std::string& dir) {
+  Project project(dir);
+  ANMAT_RETURN_NOT_OK(project.LoadCatalog());
+  RuleStore store(project.rules_path());
+  auto rules = store.Load();
+  if (rules.ok()) {
+    project.rules_ = std::move(rules).value();
+  } else if (rules.status().code() != StatusCode::kNotFound) {
+    return rules.status();  // present but unreadable: surface, don't clobber
+  }
+  return project;
+}
+
+DiscoveryOptions Project::discovery_options() const {
+  DiscoveryOptions options;
+  options.min_coverage = parameters_.min_coverage;
+  options.allowed_violation_ratio = parameters_.allowed_violation_ratio;
+  options.table_name = name_;
+  return options;
+}
+
+Status Project::AttachDataset(std::string name, std::string path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  // Store an absolute path: the catalog must keep working from any later
+  // working directory (a relative path would silently resolve against
+  // whatever cwd the next `anmat … --project` happens to run in).
+  std::error_code ec;
+  const std::filesystem::path absolute = std::filesystem::absolute(path, ec);
+  if (!ec) path = absolute.lexically_normal().string();
+  for (size_t i = 0; i < datasets_.size(); ++i) {
+    if (datasets_[i].name == name) {
+      // Re-attaching re-points the entry and promotes it back to default.
+      datasets_.erase(datasets_.begin() + static_cast<ptrdiff_t>(i));
+      datasets_.push_back(DatasetEntry{std::move(name), std::move(path)});
+      return Status::OK();
+    }
+  }
+  datasets_.push_back(DatasetEntry{std::move(name), std::move(path)});
+  return Status::OK();
+}
+
+Result<Project::DatasetEntry> Project::FindDataset(
+    const std::string& name) const {
+  if (datasets_.empty()) {
+    return Status::NotFound("project has no attached datasets; run "
+                            "discover with --data first");
+  }
+  if (name.empty()) return datasets_.back();
+  for (const DatasetEntry& e : datasets_) {
+    if (e.name == name) return e;
+  }
+  return Status::NotFound("no dataset named \"" + name +
+                          "\" in project catalog");
+}
+
+Result<Relation> Project::LoadDataset(const std::string& name,
+                                      const CsvOptions& options) const {
+  ANMAT_ASSIGN_OR_RETURN(DatasetEntry entry, FindDataset(name));
+  return ReadCsvFile(entry.path, options);
+}
+
+uint64_t Project::AddDiscoveredRule(const DiscoveredPfd& discovered,
+                                    std::string source) {
+  RuleProvenance provenance;
+  provenance.source = std::move(source);
+  provenance.coverage = discovered.stats.Coverage();
+  provenance.violation_ratio = discovered.stats.ViolationRate();
+  if (const RuleRecord* existing = rules_.FindEqualPfd(discovered.pfd)) {
+    const uint64_t id = existing->id;
+    rules_.SetProvenance(id, std::move(provenance));
+    return id;
+  }
+  return rules_.Add(discovered.pfd, std::move(provenance),
+                    RuleStatus::kDiscovered);
+}
+
+Status Project::SetRuleStatus(uint64_t id, RuleStatus status) {
+  return rules_.SetStatus(id, status);
+}
+
+Status Project::Save() const {
+  ANMAT_RETURN_NOT_OK(SaveCatalog());
+  RuleStore store(rules_path());
+  return store.Save(rules_);
+}
+
+Status Project::SaveCatalog() const {
+  JsonValue root = JsonValue::Object();
+  root.Set("format", JsonValue::String("anmat-project"));
+  root.Set("version", JsonValue::Int(kCatalogVersion));
+  root.Set("name", JsonValue::String(name_));
+  JsonValue parameters = JsonValue::Object();
+  parameters.Set("min_coverage", JsonValue::Number(parameters_.min_coverage));
+  parameters.Set("allowed_violation_ratio",
+                 JsonValue::Number(parameters_.allowed_violation_ratio));
+  root.Set("parameters", std::move(parameters));
+  JsonValue datasets = JsonValue::Array();
+  for (const DatasetEntry& e : datasets_) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(e.name));
+    entry.Set("path", JsonValue::String(e.path));
+    datasets.push_back(std::move(entry));
+  }
+  root.Set("datasets", std::move(datasets));
+  return WriteFileAtomic(catalog_path(), root.DumpPretty());
+}
+
+Status Project::LoadCatalog() {
+  std::ifstream in(catalog_path(), std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no project catalog at " + catalog_path());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ANMAT_ASSIGN_OR_RETURN(JsonValue root, ParseJson(buffer.str()));
+  if (!root.is_object()) {
+    return Status::ParseError("project catalog must be a JSON object");
+  }
+  ANMAT_ASSIGN_OR_RETURN(std::string format, root.GetString("format"));
+  if (format != "anmat-project") {
+    return Status::ParseError("unknown project catalog format: " + format);
+  }
+  ANMAT_ASSIGN_OR_RETURN(int64_t version, root.GetInt("version"));
+  if (version != kCatalogVersion) {
+    return Status::ParseError("unsupported project catalog version: " +
+                              std::to_string(version));
+  }
+  ANMAT_ASSIGN_OR_RETURN(name_, root.GetString("name"));
+  const JsonValue* parameters = root.Get("parameters");
+  if (parameters == nullptr || !parameters->is_object()) {
+    return Status::ParseError("project catalog missing parameters object");
+  }
+  ANMAT_ASSIGN_OR_RETURN(parameters_.min_coverage,
+                         parameters->GetDouble("min_coverage"));
+  ANMAT_ASSIGN_OR_RETURN(parameters_.allowed_violation_ratio,
+                         parameters->GetDouble("allowed_violation_ratio"));
+  const JsonValue* datasets = root.Get("datasets");
+  if (datasets == nullptr || !datasets->is_array()) {
+    return Status::ParseError("project catalog missing datasets array");
+  }
+  datasets_.clear();
+  for (size_t i = 0; i < datasets->size(); ++i) {
+    const JsonValue& entry = datasets->at(i);
+    DatasetEntry e;
+    ANMAT_ASSIGN_OR_RETURN(e.name, entry.GetString("name"));
+    ANMAT_ASSIGN_OR_RETURN(e.path, entry.GetString("path"));
+    datasets_.push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace anmat

@@ -1,0 +1,148 @@
+#ifndef ANMAT_ANMAT_PROJECT_H_
+#define ANMAT_ANMAT_PROJECT_H_
+
+/// \file project.h
+/// The persistent project layer: ANMAT's stateful workflow (§4) on disk.
+///
+/// The demo's GUI is stateful — profile, discover, let the user confirm or
+/// reject rules, then detect and repair against the stored rule set, across
+/// sessions. `Project` is that state as a directory:
+///
+/// ```
+///   <dir>/project.json   catalog: project name, attached datasets,
+///                        discovery parameters
+///   <dir>/rules.json     RuleSet v2 store (rule_store.h): per-rule id,
+///                        lifecycle status, provenance
+/// ```
+///
+/// `Project` owns durable state only; execution stays in `anmat::Engine`.
+/// The intended composition (what `Session` and the CLI's `--project`
+/// subcommands do):
+///
+/// \code
+///   ANMAT_ASSIGN_OR_RETURN(anmat::Project project,
+///                          anmat::Project::Init("census-proj", "census"));
+///   ANMAT_RETURN_NOT_OK(project.AttachDataset("addresses",
+///                                             "addresses.csv"));
+///   ANMAT_ASSIGN_OR_RETURN(anmat::Relation data, project.LoadDataset());
+///   anmat::Engine engine;
+///   auto discovery = engine.Discover(data, project.discovery_options());
+///   for (const anmat::DiscoveredPfd& d : discovery->pfds) {
+///     project.AddDiscoveredRule(d, "addresses");
+///   }
+///   // ... user review ...
+///   project.SetRuleStatus(1, anmat::RuleStatus::kConfirmed);
+///   auto detection = engine.Detect(data, project.ConfirmedPfds());
+///   ANMAT_RETURN_NOT_OK(project.Save());
+/// \endcode
+///
+/// Everything is plain JSON on disk: a project directory is inspectable,
+/// diffable and hand-editable, like the rule files before it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csv/csv_reader.h"
+#include "discovery/discovery.h"
+#include "relation/relation.h"
+#include "store/rule_store.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief A persistent ANMAT project: catalog + RuleSet v2 store.
+class Project {
+ public:
+  /// One catalog entry: a dataset the project has seen.
+  struct DatasetEntry {
+    std::string name;  ///< catalog name (unique within the project)
+    std::string path;  ///< CSV path (absolutized at attach time, so the
+                       ///< catalog works from any later working directory)
+  };
+
+  /// Persisted discovery parameters (§4 "Parameter Setting").
+  struct Parameters {
+    double min_coverage = 0.6;
+    double allowed_violation_ratio = 0.1;
+  };
+
+  /// Creates `dir` (and parents) with an empty catalog and rule set and
+  /// persists both. Fails with AlreadyExists when `dir` already holds a
+  /// project. `name` defaults to the directory's base name.
+  static Result<Project> Init(const std::string& dir, std::string name = "");
+
+  /// Opens an existing project directory; NotFound when `dir` has no
+  /// catalog. A missing rules file is an empty rule set (a project that
+  /// has not discovered yet).
+  static Result<Project> Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  const std::string& name() const { return name_; }
+  std::string catalog_path() const { return dir_ + "/project.json"; }
+  std::string rules_path() const { return dir_ + "/rules.json"; }
+
+  // -- Parameters ----------------------------------------------------------
+
+  const Parameters& parameters() const { return parameters_; }
+  void set_parameters(Parameters parameters) { parameters_ = parameters; }
+
+  /// Discovery options seeded from the persisted parameters (table name =
+  /// project name).
+  DiscoveryOptions discovery_options() const;
+
+  // -- Catalog -------------------------------------------------------------
+
+  const std::vector<DatasetEntry>& datasets() const { return datasets_; }
+
+  /// Adds (or re-points) a catalog entry. The most recently attached
+  /// dataset becomes the project default.
+  Status AttachDataset(std::string name, std::string path);
+
+  /// Entry by name; empty name = the project default (last attached).
+  Result<DatasetEntry> FindDataset(const std::string& name = "") const;
+
+  /// Reads the named (or default) dataset's CSV from its recorded path.
+  Result<Relation> LoadDataset(const std::string& name = "",
+                               const CsvOptions& options = CsvOptions()) const;
+
+  // -- Rule lifecycle ------------------------------------------------------
+
+  const RuleSet& rules() const { return rules_; }
+
+  /// Records a discovered rule with provenance (source dataset + the
+  /// discovery-time coverage statistics) and returns its id. Re-discovering
+  /// a PFD already in the store does not duplicate it: the existing
+  /// record's provenance is refreshed, its id returned and its lifecycle
+  /// status left alone (a rejected rule stays rejected).
+  uint64_t AddDiscoveredRule(const DiscoveredPfd& discovered,
+                             std::string source);
+
+  /// Flips rule `id` to `status`; NotFound when absent.
+  Status SetRuleStatus(uint64_t id, RuleStatus status);
+
+  /// The rules detection and repair apply (status == confirmed).
+  std::vector<Pfd> ConfirmedPfds() const { return rules_.ConfirmedPfds(); }
+
+  // -- Persistence ---------------------------------------------------------
+
+  /// Writes catalog + rule set back to the project directory (each file
+  /// atomic via temp-file rename).
+  Status Save() const;
+
+ private:
+  explicit Project(std::string dir) : dir_(std::move(dir)) {}
+
+  Status SaveCatalog() const;
+  Status LoadCatalog();
+
+  std::string dir_;
+  std::string name_;
+  Parameters parameters_;
+  std::vector<DatasetEntry> datasets_;
+  RuleSet rules_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_ANMAT_PROJECT_H_

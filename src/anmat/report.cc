@@ -212,6 +212,48 @@ JsonValue DiscoveredPfdsToJson(const std::vector<DiscoveredPfd>& discovered) {
   return root;
 }
 
+std::string RenderRepairView(const RepairResult& result) {
+  std::string out = "=== Repairs ===\n";
+  out += "applied " + std::to_string(result.repairs.size()) +
+         " repair(s) in " + std::to_string(result.passes) + " pass(es); " +
+         std::to_string(result.remaining_violations) +
+         " violation(s) remain";
+  if (!result.conflicted_cells.empty()) {
+    out += "; " + std::to_string(result.conflicted_cells.size()) +
+           " cell(s) had conflicting suggestions and were left alone";
+  }
+  out += "\n";
+  for (const AppliedRepair& r : result.repairs) {
+    // AppliedRepair::pass is 0-based data; render 1-based to line up with
+    // the "N pass(es)" count above.
+    out += "  row " + std::to_string(r.cell.row) + " col " +
+           std::to_string(r.cell.column) + ": \"" + r.before + "\" -> \"" +
+           r.after + "\" (pass " + std::to_string(r.pass + 1) + ", rule " +
+           std::to_string(r.pfd_index) + ")\n";
+  }
+  return out;
+}
+
+std::string RenderRuleSetView(const RuleSet& rules) {
+  std::string out = "=== Rules ===\n";
+  if (rules.empty()) {
+    out += "(none)\n";
+    return out;
+  }
+  for (const RuleRecord& r : rules.records()) {
+    out += "[" + std::to_string(r.id) + "] " +
+           std::string(RuleStatusName(r.status)) + "  " + r.pfd.Summary();
+    if (!r.provenance.source.empty()) {
+      out += "  source=" + r.provenance.source;
+    }
+    out += "  coverage=" + FormatDouble(r.provenance.coverage) +
+           "  violations=" + FormatDouble(r.provenance.violation_ratio) +
+           "\n";
+    out += r.pfd.ToString();
+  }
+  return out;
+}
+
 JsonValue DetectionToJson(const Relation& relation,
                           const std::vector<Pfd>& pfds,
                           const DetectionResult& detection) {
@@ -261,6 +303,75 @@ JsonValue DetectionToJson(const Relation& relation,
   JsonValue root = JsonValue::Object();
   root.Set("stats", std::move(stats));
   root.Set("violations", std::move(violations));
+  return root;
+}
+
+JsonValue AppliedRepairToJson(const AppliedRepair& repair,
+                              const std::vector<Pfd>& pfds) {
+  JsonValue entry = JsonValue::Object();
+  entry.Set("row", JsonValue::Int(static_cast<int64_t>(repair.cell.row)));
+  entry.Set("column",
+            JsonValue::Int(static_cast<int64_t>(repair.cell.column)));
+  entry.Set("before", JsonValue::String(repair.before));
+  entry.Set("after", JsonValue::String(repair.after));
+  entry.Set("pass", JsonValue::Int(static_cast<int64_t>(repair.pass)));
+  entry.Set("pfd_index",
+            JsonValue::Int(static_cast<int64_t>(repair.pfd_index)));
+  if (repair.pfd_index < pfds.size()) {
+    entry.Set("rule", JsonValue::String(pfds[repair.pfd_index].ToString()));
+  }
+  return entry;
+}
+
+JsonValue RepairToJson(const RepairResult& result,
+                       const std::vector<Pfd>& pfds) {
+  JsonValue stats = JsonValue::Object();
+  stats.Set("repairs",
+            JsonValue::Int(static_cast<int64_t>(result.repairs.size())));
+  stats.Set("passes", JsonValue::Int(static_cast<int64_t>(result.passes)));
+  stats.Set("remaining_violations",
+            JsonValue::Int(static_cast<int64_t>(
+                result.remaining_violations)));
+  stats.Set("conflicted_cells",
+            JsonValue::Int(static_cast<int64_t>(
+                result.conflicted_cells.size())));
+
+  JsonValue repairs = JsonValue::Array();
+  for (const AppliedRepair& r : result.repairs) {
+    repairs.push_back(AppliedRepairToJson(r, pfds));
+  }
+  JsonValue conflicted = JsonValue::Array();
+  for (const CellRef& c : result.conflicted_cells) {
+    JsonValue cell = JsonValue::Object();
+    cell.Set("row", JsonValue::Int(static_cast<int64_t>(c.row)));
+    cell.Set("column", JsonValue::Int(static_cast<int64_t>(c.column)));
+    conflicted.push_back(std::move(cell));
+  }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("stats", std::move(stats));
+  root.Set("repairs", std::move(repairs));
+  root.Set("conflicted_cells", std::move(conflicted));
+  return root;
+}
+
+JsonValue RuleSetToJson(const RuleSet& rules) {
+  JsonValue arr = JsonValue::Array();
+  for (const RuleRecord& r : rules.records()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("id", JsonValue::Int(static_cast<int64_t>(r.id)));
+    entry.Set("status", JsonValue::String(RuleStatusName(r.status)));
+    entry.Set("rule", JsonValue::String(r.pfd.ToString()));
+    JsonValue provenance = JsonValue::Object();
+    provenance.Set("source", JsonValue::String(r.provenance.source));
+    provenance.Set("coverage", JsonValue::Number(r.provenance.coverage));
+    provenance.Set("violation_ratio",
+                   JsonValue::Number(r.provenance.violation_ratio));
+    entry.Set("provenance", std::move(provenance));
+    arr.push_back(std::move(entry));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("rules", std::move(arr));
   return root;
 }
 

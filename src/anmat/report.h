@@ -14,6 +14,8 @@
 #include "detect/violation.h"
 #include "discovery/discovery.h"
 #include "relation/relation.h"
+#include "repair/repair.h"
+#include "store/rule_store.h"
 #include "util/json.h"
 
 namespace anmat {
@@ -44,6 +46,13 @@ std::string RenderTable3Style(const Relation& relation,
 std::string RenderScorecard(const std::string& label,
                             const PrecisionRecall& pr);
 
+/// \brief A repair run: summary line plus one line per applied repair.
+std::string RenderRepairView(const RepairResult& result);
+
+/// \brief The project rule store: one line per rule with id, lifecycle
+/// status, provenance and the rule text (`anmat rules list`).
+std::string RenderRuleSetView(const RuleSet& rules);
+
 /// \brief Convenience: all three views for a completed session.
 std::string RenderSessionReport(const Session& session);
 
@@ -62,6 +71,21 @@ JsonValue DiscoveredPfdsToJson(const std::vector<DiscoveredPfd>& discovered);
 JsonValue DetectionToJson(const Relation& relation,
                           const std::vector<Pfd>& pfds,
                           const DetectionResult& detection);
+
+/// \brief One applied repair as JSON (row, column, before, after, pass,
+/// pfd_index, and the rule text when `pfds` covers the index).
+JsonValue AppliedRepairToJson(const AppliedRepair& repair,
+                              const std::vector<Pfd>& pfds = {});
+
+/// \brief A repair result as JSON: passes, remaining violations, the
+/// applied repairs and the conflicted cells (the CLI's
+/// `repair --format json`).
+JsonValue RepairToJson(const RepairResult& result,
+                       const std::vector<Pfd>& pfds = {});
+
+/// \brief The project rule store as JSON: one object per rule with id,
+/// status, provenance and rule text (`anmat rules list --format json`).
+JsonValue RuleSetToJson(const RuleSet& rules);
 
 }  // namespace anmat
 

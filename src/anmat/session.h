@@ -4,39 +4,55 @@
 /// \file session.h
 /// The ANMAT façade: the workflow of the demo's GUI (§4) as a library API.
 ///
-/// `Session` is a thin workflow wrapper over `anmat::Engine` (engine.h),
-/// which owns the thread pool and runs profiling column-parallel, discovery
-/// candidate-parallel and detection PFD-parallel — with results
-/// byte-identical to serial runs. Threads are set once on the session (or
-/// engine); everything else is unchanged from the serial API.
+/// `Session` is a thin workflow wrapper over two layers:
+///
+///  * `anmat::Engine` (engine.h) — execution: owns the thread pool and runs
+///    profiling column-parallel, discovery candidate-parallel, detection and
+///    repair (PFD, tableau row)-parallel, all byte-identical to serial.
+///  * `anmat::Project` (project.h) — durable state: the catalog and the
+///    RuleSet v2 store with per-rule lifecycle (discovered / confirmed /
+///    rejected) and provenance.
+///
+/// By default a session is ephemeral (in-memory rule set, nothing on disk).
+/// Binding a project directory makes the same workflow persistent: rules
+/// discovered in the session land in the project store with provenance,
+/// Confirm/Reject flip their lifecycle status, and `SaveProject()` writes
+/// everything back.
 ///
 /// \code
 ///   anmat::Session session("census");
 ///   session.SetNumThreads(0);                  // 0 = all hardware threads
+///   ANMAT_RETURN_NOT_OK(session.OpenProject("census-proj"));  // optional
 ///   ANMAT_RETURN_NOT_OK(session.LoadCsvFile("addresses.csv"));
 ///   session.SetMinCoverage(0.6);
 ///   session.SetAllowedViolationRatio(0.05);
 ///   ANMAT_RETURN_NOT_OK(session.Profile());
 ///   ANMAT_RETURN_NOT_OK(session.Discover());
-///   session.ConfirmAll();                      // or Confirm(i) selectively
+///   session.ConfirmAll();                      // or Confirm(i) / Reject(i)
 ///   ANMAT_RETURN_NOT_OK(session.Detect());
 ///   std::cout << session.RenderViolationsView();
+///   ANMAT_RETURN_NOT_OK(session.Repair());     // apply confident repairs
+///   ANMAT_RETURN_NOT_OK(session.SaveProject());
 /// \endcode
 ///
 /// For append-heavy workloads, `OpenDetectionStream()` returns a
 /// `DetectionStream` over the confirmed PFDs: each appended batch pays
 /// pattern work only for newly seen distinct values and yields the
-/// cumulative violation set (see detection_stream.h).
+/// cumulative violation set (see detection_stream.h; its clean-on-ingest
+/// mode also applies confident constant-rule repairs per batch).
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "anmat/engine.h"
+#include "anmat/project.h"
 #include "csv/csv_reader.h"
 #include "detect/detector.h"
 #include "discovery/discovery.h"
 #include "relation/relation.h"
+#include "repair/repair.h"
 #include "util/status.h"
 
 namespace anmat {
@@ -45,6 +61,24 @@ namespace anmat {
 class Session {
  public:
   explicit Session(std::string project_name = "default");
+
+  // -- Persistent project (optional) ---------------------------------------
+
+  /// Binds the session to an existing project directory: adopts its name
+  /// and parameters, and loads its confirmed rules (so Detect()/Repair()
+  /// work immediately, without re-discovering).
+  Status OpenProject(const std::string& dir);
+
+  /// Creates a project directory and binds the session to it.
+  Status InitProject(const std::string& dir);
+
+  /// The bound project, or nullptr for an ephemeral session.
+  Project* project() { return project_.get(); }
+  const Project* project() const { return project_.get(); }
+
+  /// Persists the bound project (catalog + rule set); InvalidArgument when
+  /// no project is bound.
+  Status SaveProject();
 
   // -- Dataset specification (Figure 3, top) ------------------------------
 
@@ -67,7 +101,14 @@ class Session {
   /// Worker threads for every pipeline stage (1 = serial, 0 = hardware).
   void SetNumThreads(size_t num_threads) { engine_.SetNumThreads(num_threads); }
   DiscoveryOptions& mutable_discovery_options() { return options_; }
+  /// Detector settings, shared by Detect(), Repair()'s detection passes and
+  /// OpenDetectionStream() — one knob block so the three stages agree.
   DetectorOptions& mutable_detector_options() { return detector_options_; }
+  /// Repair-loop knobs (max_passes, min_witness, ...). The embedded
+  /// `detector` sub-block is ignored: Repair() substitutes
+  /// mutable_detector_options() so detection and repair always use the
+  /// same detector configuration.
+  RepairOptions& mutable_repair_options() { return repair_options_; }
 
   /// The execution engine behind the pipeline calls (for execution options
   /// beyond the thread count, or to drive stages directly).
@@ -78,17 +119,40 @@ class Session {
   /// Profiles the dataset (Figure 3). Implied by Discover() if skipped.
   Status Profile();
 
-  /// Runs PFD discovery (Figure 2 / Figure 4).
+  /// Runs PFD discovery (Figure 2 / Figure 4). With a bound project, every
+  /// discovered rule is recorded in the project store as `discovered` with
+  /// provenance (source dataset, coverage, violation ratio).
   Status Discover();
 
   /// Marks discovered PFD `i` as confirmed for detection (the demo lets the
-  /// user confirm each dependency; unconfirmed rules are not applied).
+  /// user confirm each dependency; unconfirmed rules are not applied). With
+  /// a bound project, also flips the stored rule's lifecycle status.
   Status Confirm(size_t index);
+
+  /// Marks discovered PFD `i` as rejected (kept in a bound project's store
+  /// for audit, never applied).
+  Status Reject(size_t index);
+
+  /// Confirms every discovered rule — except ones whose bound-project
+  /// record is rejected: a stored rejection survives the blanket confirm
+  /// and is only overridden by an explicit Confirm(i).
   void ConfirmAll();
+
+  /// Empties the applied set. With a bound project, also demotes every
+  /// stored `confirmed` rule back to `discovered` (the store re-seeds the
+  /// applied set on each load, so in-memory clearing alone would not
+  /// stick); rejected rules are untouched.
   void ClearConfirmations();
 
   /// Runs detection with the confirmed PFDs (Figure 5).
   Status Detect();
+
+  /// Applies confident suggested repairs to the loaded relation in place
+  /// (iterative, engine-parallel; see Engine::Repair). The outcome is
+  /// available via repair_result(), and detection() is refreshed to the
+  /// repair loop's final verification pass over the repaired relation
+  /// (moved there — repair_result().final_detection is left empty).
+  Status Repair();
 
   /// Opens a streaming detector over the confirmed PFDs and the loaded
   /// relation's schema; append batches of new records to it as they arrive
@@ -103,22 +167,44 @@ class Session {
   const std::vector<DiscoveredPfd>& discovered() const { return discovered_; }
   const std::vector<Pfd>& confirmed() const { return confirmed_; }
   const DetectionResult& detection() const { return detection_; }
+  const RepairResult& repair_result() const { return repair_result_; }
 
  private:
+  /// Project-store rule id for discovered PFD `index` (0 when unbound).
+  uint64_t DiscoveredRuleId(size_t index) const;
+
+  bool IsConfirmed(const Pfd& pfd) const;
+
+  /// Invalidates discovered_/discovered_ids_ when the bound project
+  /// changes (their store ids belong to the previous project).
+  void ResetDiscoveryState();
+
   std::string project_name_;
   Engine engine_;
+  std::unique_ptr<Project> project_;
   Relation relation_;
   bool loaded_ = false;
+  /// Where the loaded data came from (file path or "<memory>"), recorded
+  /// as rule provenance when a project is bound.
+  std::string data_source_ = "<memory>";
 
   DiscoveryOptions options_;
   DetectorOptions detector_options_;
+  RepairOptions repair_options_;
 
   std::vector<ColumnProfile> profiles_;
   bool profiled_ = false;
   std::vector<DiscoveredPfd> discovered_;
+  /// Project-store ids of `discovered_` (parallel vector; empty when no
+  /// project is bound).
+  std::vector<uint64_t> discovered_ids_;
+  /// Indices the user rejected this discovery run — with or without a
+  /// bound project — so ConfirmAll() keeps those rejections.
+  std::set<size_t> rejected_indices_;
   bool discovered_ran_ = false;
   std::vector<Pfd> confirmed_;
   DetectionResult detection_;
+  RepairResult repair_result_;
 };
 
 }  // namespace anmat

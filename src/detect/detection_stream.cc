@@ -1,6 +1,9 @@
 #include "detect/detection_stream.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "util/thread_pool.h"
 
@@ -150,6 +153,55 @@ void DetectionStream::AbsorbRows(RowState& state, RowId first_row,
   }
 }
 
+Result<bool> DetectionStream::CleanBatch(const Relation& batch,
+                                         Relation* cleaned) {
+  // Constant-rule violations depend only on the violating row's own cells,
+  // so detecting over the batch alone yields exactly the constant
+  // suggestions the cumulative run would produce for these rows. Variable
+  // suggestions are skipped by design (a batch-local majority is not the
+  // cumulative majority; see the file comment).
+  DetectorOptions options = options_;
+  options.execution = ExecutionOptions{};  // batch-local, serial is fine
+  ANMAT_ASSIGN_OR_RETURN(DetectionResult detection,
+                         DetectErrors(batch, pfds_, options));
+
+  std::map<CellRef, std::pair<std::string, size_t>> suggestions;
+  std::set<CellRef> conflicts;
+  for (const Violation& v : detection.violations) {
+    if (v.kind != ViolationKind::kConstant || v.suggested_repair.empty()) {
+      continue;
+    }
+    auto [it, inserted] = suggestions.try_emplace(
+        v.suspect, std::make_pair(v.suggested_repair, v.pfd_index));
+    if (!inserted && it->second.first != v.suggested_repair) {
+      conflicts.insert(v.suspect);
+    }
+  }
+
+  bool copied = false;  // most batches of a clean feed need no repair —
+                        // only pay the batch copy when one applies
+  const RowId base = static_cast<RowId>(relation_.num_rows());
+  for (const auto& [cell, repair] : suggestions) {
+    if (conflicts.count(cell) > 0) continue;
+    std::string before = batch.cell(cell.row, cell.column);
+    if (before == repair.first) continue;
+    if (!copied) {
+      *cleaned = batch;
+      copied = true;
+    }
+    cleaned->set_cell(cell.row, cell.column, repair.first);
+    AppliedRepair applied;
+    applied.cell = CellRef{base + cell.row, cell.column};
+    applied.before = std::move(before);
+    applied.after = repair.first;
+    applied.pass = num_batches_;  // which batch applied it
+    applied.pfd_index = repair.second;
+    batch_repairs_.push_back(applied);
+    repairs_.push_back(std::move(applied));
+  }
+  return copied;
+}
+
 Result<DetectionResult> DetectionStream::AppendBatch(const Relation& batch) {
   if (batch.num_columns() != relation_.num_columns()) {
     return Status::InvalidArgument(
@@ -166,16 +218,26 @@ Result<DetectionResult> DetectionStream::AppendBatch(const Relation& batch) {
     }
   }
 
+  batch_repairs_.clear();
+  Relation cleaned;
+  const Relation* rows_in = &batch;
+  if (clean_on_ingest_) {
+    ANMAT_ASSIGN_OR_RETURN(bool repaired, CleanBatch(batch, &cleaned));
+    if (repaired) rows_in = &cleaned;
+  }
+
   const RowId first_row = static_cast<RowId>(relation_.num_rows());
-  for (RowId r = 0; r < batch.num_rows(); ++r) {
-    ANMAT_RETURN_NOT_OK(relation_.AppendRow(batch.Row(r)));
+  for (RowId r = 0; r < rows_in->num_rows(); ++r) {
+    ANMAT_RETURN_NOT_OK(relation_.AppendRow(rows_in->Row(r)));
   }
   const RowId end_row = static_cast<RowId>(relation_.num_rows());
 
   // Extend the incremental structures before fanning out: the per-row
   // tasks read them concurrently.
   for (size_t c = 0; c < dicts_.size(); ++c) {
-    if (dicts_[c] != nullptr) dicts_[c]->Append(batch.column(c), first_row);
+    if (dicts_[c] != nullptr) {
+      dicts_[c]->Append(rows_in->column(c), first_row);
+    }
   }
   for (size_t c = 0; c < indexes_.size(); ++c) {
     if (indexes_[c] != nullptr) indexes_[c]->AppendRows(first_row, end_row);

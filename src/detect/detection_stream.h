@@ -17,6 +17,18 @@
 /// The cumulative result returned by `AppendBatch` is byte-identical to
 /// `DetectErrors` over the concatenated relation (asserted by the
 /// randomized differential tests in engine_test.cc).
+///
+/// Repair mode (clean-on-ingest): with `set_clean_on_ingest(true)`, each
+/// incoming batch is first cleaned with the confident constant-rule
+/// repairs its own rows trigger (§3's "if the LHS is correct, the RHS
+/// could be changed to tp[B]" — always confident; conflicting suggestions
+/// for one cell are dropped), then absorbed, so the stream accumulates the
+/// *repaired* relation and the cumulative violations reflect it. The
+/// applied repairs are reported per batch (`batch_repairs()`) and
+/// cumulatively (`repairs()`), with row ids in stream coordinates.
+/// Variable-rule repairs are intentionally not applied on ingest: a single
+/// batch's majority is not the cumulative majority, so they stay a
+/// deliberate `Engine::Repair` pass over the accumulated relation.
 
 #include <map>
 #include <memory>
@@ -59,6 +71,21 @@ class DetectionStream {
   /// Convenience: appends raw rows (each the width of the schema).
   Result<DetectionResult> AppendRows(
       const std::vector<std::vector<std::string>>& rows);
+
+  /// Enables/disables clean-on-ingest for subsequent batches (see the file
+  /// comment). Safe to toggle between appends; already-absorbed rows are
+  /// never touched (the incremental state is append-only).
+  void set_clean_on_ingest(bool on) { clean_on_ingest_ = on; }
+  bool clean_on_ingest() const { return clean_on_ingest_; }
+
+  /// Repairs applied to the most recently appended batch (empty unless
+  /// clean-on-ingest was on for it). Row ids are stream coordinates.
+  const std::vector<AppliedRepair>& batch_repairs() const {
+    return batch_repairs_;
+  }
+
+  /// All repairs applied since the stream was opened.
+  const std::vector<AppliedRepair>& repairs() const { return repairs_; }
 
   /// The concatenation of all appended batches.
   const Relation& relation() const { return relation_; }
@@ -103,8 +130,11 @@ class DetectionStream {
   /// Folds the batch rows [first_row, end_row) into `state`.
   void AbsorbRows(RowState& state, RowId first_row, RowId end_row);
 
-  /// Assembles the cumulative result from the per-row states.
-  DetectionResult Assemble();
+  /// Computes the confident constant-rule repairs for `batch` and records
+  /// them (clean-on-ingest). When any apply, `*cleaned` is set to the
+  /// repaired copy and true is returned; a repair-free batch returns false
+  /// without paying the copy.
+  Result<bool> CleanBatch(const Relation& batch, Relation* cleaned);
 
   Relation relation_;
   std::vector<Pfd> pfds_;
@@ -119,6 +149,9 @@ class DetectionStream {
   /// postings and seed each constant row's new candidates sub-linearly.
   std::vector<std::unique_ptr<PatternIndex>> indexes_;
   std::vector<RowState> rows_;
+  bool clean_on_ingest_ = false;
+  std::vector<AppliedRepair> batch_repairs_;
+  std::vector<AppliedRepair> repairs_;
 };
 
 }  // namespace anmat

@@ -193,44 +193,43 @@ std::vector<RowId> PostingTail(const std::vector<RowId>& rows, RowId min_row) {
 
 }  // namespace
 
-std::vector<RowId> PatternIndex::CandidateSuperset(const Pattern& p,
-                                                   RowId min_row) const {
-  // Strategy 1: literal anchors. A mandatory literal run must occur in
-  // every matching value, so the rarest posting list among (a) the anchor
-  // as a whole token and (b) the anchor's trigrams bounds the candidates.
-  // A required trigram absent from the index proves the result is empty.
+const std::vector<RowId>* PatternIndex::BestAnchorPostings(
+    const Pattern& p, bool* provably_empty) const {
+  // A mandatory literal run must occur in every matching value, so the
+  // rarest posting list among (a) the anchor as a whole token and (b) the
+  // anchor's trigrams bounds the candidates. A required trigram absent
+  // from the index proves the result is empty.
+  *provably_empty = false;
   const std::vector<std::string> anchors = LiteralAnchors(p);
-  if (!anchors.empty()) {
-    const std::vector<RowId>* best = nullptr;
-    bool provably_empty = false;
-    for (const std::string& a : anchors) {
-      const std::vector<RowId>* anchor_best = nullptr;
-      if (auto it = by_token_.find(a); it != by_token_.end()) {
+  const std::vector<RowId>* best = nullptr;
+  for (const std::string& a : anchors) {
+    const std::vector<RowId>* anchor_best = nullptr;
+    if (auto it = by_token_.find(a); it != by_token_.end()) {
+      anchor_best = &it->second;
+    }
+    for (size_t i = 0; i + 3 <= a.size(); ++i) {
+      auto it = by_trigram_.find(PackTrigram(a, i));
+      if (it == by_trigram_.end()) {
+        // This trigram of a mandatory anchor occurs nowhere.
+        *provably_empty = true;
+        return nullptr;
+      }
+      if (anchor_best == nullptr || it->second.size() < anchor_best->size()) {
         anchor_best = &it->second;
       }
-      for (size_t i = 0; i + 3 <= a.size(); ++i) {
-        auto it = by_trigram_.find(PackTrigram(a, i));
-        if (it == by_trigram_.end()) {
-          // This trigram of a mandatory anchor occurs nowhere.
-          provably_empty = true;
-          break;
-        }
-        if (anchor_best == nullptr || it->second.size() < anchor_best->size()) {
-          anchor_best = &it->second;
-        }
-      }
-      if (provably_empty) break;
-      // Anchors shorter than 3 chars that are not whole tokens have no
-      // posting list; they simply contribute no candidate bound.
-      if (anchor_best != nullptr &&
-          (best == nullptr || anchor_best->size() < best->size())) {
-        best = anchor_best;
-      }
     }
-    if (provably_empty) return {};
-    if (best != nullptr) return PostingTail(*best, min_row);
+    // Anchors shorter than 3 chars that are not whole tokens have no
+    // posting list; they simply contribute no candidate bound.
+    if (anchor_best != nullptr &&
+        (best == nullptr || anchor_best->size() < best->size())) {
+      best = anchor_best;
+    }
   }
+  return best;
+}
 
+std::vector<RowId> PatternIndex::SignatureCandidates(const Pattern& p,
+                                                     RowId min_row) const {
   // Strategy 2: signature prefilter — keep rows whose signature is length-
   // compatible with the query.
   std::vector<RowId> candidates;
@@ -240,16 +239,46 @@ std::vector<RowId> PatternIndex::CandidateSuperset(const Pattern& p,
     const Pattern sig = GeneralizeString(signature_sample_.at(sig_text),
                                          GeneralizationLevel::kClassExact);
     if (SignatureCompatible(p, sig)) {
-      const std::vector<RowId> tail = PostingTail(rows, min_row);
-      candidates.insert(candidates.end(), tail.begin(), tail.end());
+      // Insert the tail directly — PostingTail would materialize it only
+      // to be copied into `candidates` again.
+      auto begin = min_row == 0
+                       ? rows.begin()
+                       : std::lower_bound(rows.begin(), rows.end(), min_row);
+      candidates.insert(candidates.end(), begin, rows.end());
     }
   }
   std::sort(candidates.begin(), candidates.end());
   return candidates;
 }
 
+std::vector<RowId> PatternIndex::CandidateSuperset(const Pattern& p,
+                                                   RowId min_row) const {
+  // Strategy 1: literal anchors.
+  bool provably_empty = false;
+  if (const std::vector<RowId>* best = BestAnchorPostings(p, &provably_empty);
+      best != nullptr) {
+    return PostingTail(*best, min_row);
+  }
+  if (provably_empty) return {};
+  return SignatureCandidates(p, min_row);
+}
+
 std::vector<RowId> PatternIndex::Lookup(const Pattern& p) const {
-  return VerifyCandidates(CandidateSuperset(p, 0), p);
+  // Verify the anchor posting list in place when one exists — low-
+  // selectivity anchors can cover most rows, and CandidateSuperset would
+  // copy the whole list just for VerifyCandidates to filter it. Falling
+  // back goes straight to the signature prefilter (no second anchor scan).
+  bool provably_empty = false;
+  if (const std::vector<RowId>* best = BestAnchorPostings(p, &provably_empty);
+      best != nullptr) {
+    return VerifyCandidates(*best, p);
+  }
+  if (provably_empty) {
+    // Keep last_candidates() accurate: this lookup had zero candidates.
+    last_candidates_.store(0, std::memory_order_relaxed);
+    return {};
+  }
+  return VerifyCandidates(SignatureCandidates(p, 0), p);
 }
 
 std::vector<RowId> PatternIndex::Lookup(const ConstrainedPattern& q) const {

@@ -89,6 +89,17 @@ class PatternIndex {
   std::vector<RowId> VerifyCandidates(const std::vector<RowId>& candidates,
                                       const Pattern& p) const;
 
+  /// Strategy 1 of the candidate search: the rarest literal-anchor posting
+  /// list, borrowed from the index (no copy), or nullptr when anchors give
+  /// no bound. Sets `*provably_empty` when a mandatory trigram is absent.
+  const std::vector<RowId>* BestAnchorPostings(const Pattern& p,
+                                               bool* provably_empty) const;
+
+  /// Strategy 2: rows (>= `min_row`) whose signature is length-compatible
+  /// with `p`, sorted ascending.
+  std::vector<RowId> SignatureCandidates(const Pattern& p,
+                                         RowId min_row) const;
+
   /// The dictionary the index is built over (external in streaming mode).
   const ColumnDictionary& Dict() const;
 

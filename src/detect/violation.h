@@ -61,6 +61,20 @@ struct Violation {
   std::string explanation;
 };
 
+/// \brief One applied repair (for auditing / undo).
+///
+/// Produced by the repair layer (repair/repair.h) and by
+/// `DetectionStream` in clean-on-ingest mode; defined here so the detect
+/// layer can report repairs without depending on the repair layer.
+struct AppliedRepair {
+  CellRef cell;
+  std::string before;
+  std::string after;
+  size_t pass = 0;        ///< which repair pass (repair loop) or batch
+                          ///< (clean-on-ingest) applied it
+  size_t pfd_index = 0;   ///< rule that justified it
+};
+
 /// \brief Summary counts over a detection run.
 struct DetectionStats {
   size_t rows_scanned = 0;

@@ -93,10 +93,11 @@ Result<RepairResult> RepairErrors(Relation* relation,
     if (applied_this_pass == 0) break;
   }
 
-  // Final count after the last mutation.
-  ANMAT_ASSIGN_OR_RETURN(DetectionResult final_detection,
+  // Final verification pass after the last mutation; kept in the result so
+  // callers need not re-detect over the repaired relation.
+  ANMAT_ASSIGN_OR_RETURN(result.final_detection,
                          DetectErrors(*relation, pfds, options.detector));
-  result.remaining_violations = final_detection.violations.size();
+  result.remaining_violations = result.final_detection.violations.size();
   std::sort(result.conflicted_cells.begin(), result.conflicted_cells.end());
   return result;
 }

@@ -21,6 +21,15 @@
 /// oscillates on a genuinely ambiguous cell. The fixpoint loop terminates
 /// because each pass either strictly reduces the number of violating cells
 /// or stops.
+///
+/// Execution: each pass's suggestion generation is a detection run, so
+/// `options.detector.execution` parallelizes it per (PFD, tableau row)
+/// with the detection fan-out; the suggestion fold and application steps
+/// are deterministic, so parallel output is byte-identical to serial.
+/// `anmat::Engine::Repair` (anmat/engine.h) is the usual entry — it
+/// installs the engine's shared pool. For streaming workloads,
+/// `DetectionStream::set_clean_on_ingest` applies confident constant-rule
+/// repairs per appended batch (detect/detection_stream.h).
 
 #include <cstddef>
 #include <vector>
@@ -32,14 +41,9 @@
 
 namespace anmat {
 
-/// \brief One applied repair (for auditing / undo).
-struct AppliedRepair {
-  CellRef cell;
-  std::string before;
-  std::string after;
-  size_t pass = 0;        ///< which repair pass applied it
-  size_t pfd_index = 0;   ///< rule that justified it
-};
+// `AppliedRepair` (one applied repair, for auditing / undo) lives in
+// detect/violation.h so the streaming detector's clean-on-ingest mode can
+// report repairs too; it is re-exported here via detect/detector.h.
 
 /// \brief Repair options.
 struct RepairOptions {
@@ -60,6 +64,10 @@ struct RepairResult {
   size_t remaining_violations = 0;
   /// Cells with conflicting suggestions, left untouched.
   std::vector<CellRef> conflicted_cells;
+  /// The detection result over the *repaired* relation — the fixpoint
+  /// loop's final verification pass, returned so callers (Session, views)
+  /// need not re-detect. `remaining_violations` is its violation count.
+  DetectionResult final_detection;
 };
 
 /// \brief Iteratively repairs `relation` in place using `pfds`.

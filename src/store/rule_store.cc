@@ -1,5 +1,6 @@
 #include "store/rule_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -10,7 +11,7 @@ namespace anmat {
 
 namespace {
 
-constexpr int kFormatVersion = 1;
+constexpr int kFormatVersion = 2;
 
 JsonValue CellToJson(const TableauCell& cell) {
   JsonValue obj = JsonValue::Object();
@@ -57,7 +58,142 @@ Result<std::vector<std::string>> AttrsFromJson(const JsonValue* arr,
   return out;
 }
 
+JsonValue ProvenanceToJson(const RuleProvenance& provenance) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("source", JsonValue::String(provenance.source));
+  obj.Set("coverage", JsonValue::Number(provenance.coverage));
+  obj.Set("violation_ratio", JsonValue::Number(provenance.violation_ratio));
+  return obj;
+}
+
+Result<RuleProvenance> ProvenanceFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("rule provenance must be a JSON object");
+  }
+  RuleProvenance provenance;
+  ANMAT_ASSIGN_OR_RETURN(provenance.source, json.GetString("source"));
+  ANMAT_ASSIGN_OR_RETURN(provenance.coverage, json.GetDouble("coverage"));
+  ANMAT_ASSIGN_OR_RETURN(provenance.violation_ratio,
+                         json.GetDouble("violation_ratio"));
+  return provenance;
+}
+
+JsonValue RecordToJson(const RuleRecord& record) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("id", JsonValue::Int(static_cast<int64_t>(record.id)));
+  obj.Set("status", JsonValue::String(RuleStatusName(record.status)));
+  obj.Set("provenance", ProvenanceToJson(record.provenance));
+  obj.Set("rule", PfdToJson(record.pfd));
+  return obj;
+}
+
+Result<RuleRecord> RecordFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("rule record must be a JSON object");
+  }
+  RuleRecord record;
+  ANMAT_ASSIGN_OR_RETURN(int64_t id, json.GetInt("id"));
+  if (id <= 0) {
+    return Status::ParseError("rule id must be positive, got " +
+                              std::to_string(id));
+  }
+  record.id = static_cast<uint64_t>(id);
+  ANMAT_ASSIGN_OR_RETURN(std::string status_name, json.GetString("status"));
+  ANMAT_ASSIGN_OR_RETURN(record.status, ParseRuleStatus(status_name));
+  const JsonValue* provenance = json.Get("provenance");
+  if (provenance == nullptr) {
+    return Status::ParseError("rule record missing provenance object");
+  }
+  ANMAT_ASSIGN_OR_RETURN(record.provenance, ProvenanceFromJson(*provenance));
+  const JsonValue* rule = json.Get("rule");
+  if (rule == nullptr) {
+    return Status::ParseError("rule record missing rule object");
+  }
+  ANMAT_ASSIGN_OR_RETURN(record.pfd, PfdFromJson(*rule));
+  return record;
+}
+
 }  // namespace
+
+const char* RuleStatusName(RuleStatus status) {
+  switch (status) {
+    case RuleStatus::kDiscovered:
+      return "discovered";
+    case RuleStatus::kConfirmed:
+      return "confirmed";
+    case RuleStatus::kRejected:
+      return "rejected";
+  }
+  return "discovered";
+}
+
+Result<RuleStatus> ParseRuleStatus(std::string_view name) {
+  if (name == "discovered") return RuleStatus::kDiscovered;
+  if (name == "confirmed") return RuleStatus::kConfirmed;
+  if (name == "rejected") return RuleStatus::kRejected;
+  return Status::ParseError("unknown rule status: " + std::string(name));
+}
+
+uint64_t RuleSet::Add(Pfd pfd, RuleProvenance provenance, RuleStatus status) {
+  RuleRecord record;
+  record.id = next_id_++;
+  record.status = status;
+  record.provenance = std::move(provenance);
+  record.pfd = std::move(pfd);
+  records_.push_back(std::move(record));
+  return records_.back().id;
+}
+
+const RuleRecord* RuleSet::Find(uint64_t id) const {
+  for (const RuleRecord& r : records_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+const RuleRecord* RuleSet::FindEqualPfd(const Pfd& pfd) const {
+  for (const RuleRecord& r : records_) {
+    if (r.pfd == pfd) return &r;
+  }
+  return nullptr;
+}
+
+Status RuleSet::SetStatus(uint64_t id, RuleStatus status) {
+  for (RuleRecord& r : records_) {
+    if (r.id == id) {
+      r.status = status;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no rule with id " + std::to_string(id));
+}
+
+Status RuleSet::SetProvenance(uint64_t id, RuleProvenance provenance) {
+  for (RuleRecord& r : records_) {
+    if (r.id == id) {
+      r.provenance = std::move(provenance);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no rule with id " + std::to_string(id));
+}
+
+std::vector<Pfd> RuleSet::PfdsWithStatus(RuleStatus status) const {
+  std::vector<Pfd> out;
+  for (const RuleRecord& r : records_) {
+    if (r.status == status) out.push_back(r.pfd);
+  }
+  return out;
+}
+
+void RuleSet::Restore(RuleRecord record) {
+  next_id_ = std::max(next_id_, record.id + 1);
+  records_.push_back(std::move(record));
+}
+
+void RuleSet::RaiseNextId(uint64_t floor) {
+  next_id_ = std::max(next_id_, floor);
+}
 
 JsonValue PfdToJson(const Pfd& pfd) {
   JsonValue obj = JsonValue::Object();
@@ -117,17 +253,36 @@ Result<Pfd> PfdFromJson(const JsonValue& json) {
              std::move(tableau));
 }
 
-std::string SerializeRuleSet(const std::vector<Pfd>& pfds) {
+std::string SerializeRuleSet(const RuleSet& rules) {
   JsonValue root = JsonValue::Object();
   root.Set("format", JsonValue::String("anmat-rules"));
   root.Set("version", JsonValue::Int(kFormatVersion));
+  root.Set("next_id", JsonValue::Int(static_cast<int64_t>(rules.next_id())));
+  JsonValue arr = JsonValue::Array();
+  for (const RuleRecord& r : rules.records()) {
+    arr.push_back(RecordToJson(r));
+  }
+  root.Set("rules", std::move(arr));
+  return root.DumpPretty();
+}
+
+std::string SerializeRuleSet(const std::vector<Pfd>& pfds) {
+  RuleSet rules;
+  for (const Pfd& p : pfds) rules.Add(p, {}, RuleStatus::kConfirmed);
+  return SerializeRuleSet(rules);
+}
+
+std::string SerializeRuleSetV1(const std::vector<Pfd>& pfds) {
+  JsonValue root = JsonValue::Object();
+  root.Set("format", JsonValue::String("anmat-rules"));
+  root.Set("version", JsonValue::Int(1));
   JsonValue arr = JsonValue::Array();
   for (const Pfd& p : pfds) arr.push_back(PfdToJson(p));
   root.Set("rules", std::move(arr));
   return root.DumpPretty();
 }
 
-Result<std::vector<Pfd>> ParseRuleSet(std::string_view text) {
+Result<RuleSet> ParseRuleSet(std::string_view text) {
   ANMAT_ASSIGN_OR_RETURN(JsonValue root, ParseJson(text));
   if (!root.is_object()) {
     return Status::ParseError("rule set must be a JSON object");
@@ -137,37 +292,66 @@ Result<std::vector<Pfd>> ParseRuleSet(std::string_view text) {
     return Status::ParseError("unknown rule file format: " + format);
   }
   ANMAT_ASSIGN_OR_RETURN(int64_t version, root.GetInt("version"));
-  if (version != kFormatVersion) {
+  if (version != 1 && version != kFormatVersion) {
     return Status::ParseError("unsupported rule file version: " +
                               std::to_string(version));
   }
-  const JsonValue* rules = root.Get("rules");
-  if (rules == nullptr || !rules->is_array()) {
+  const JsonValue* entries = root.Get("rules");
+  if (entries == nullptr || !entries->is_array()) {
     return Status::ParseError("missing rules array");
   }
-  std::vector<Pfd> out;
-  for (size_t i = 0; i < rules->size(); ++i) {
-    ANMAT_ASSIGN_OR_RETURN(Pfd p, PfdFromJson(rules->at(i)));
-    out.push_back(std::move(p));
+
+  RuleSet rules;
+  if (version == 1) {
+    // v1: a bare array of PFDs, defined to be the project's confirmed
+    // rules. Migrate: sequential ids, confirmed status, empty provenance.
+    for (size_t i = 0; i < entries->size(); ++i) {
+      ANMAT_ASSIGN_OR_RETURN(Pfd p, PfdFromJson(entries->at(i)));
+      rules.Add(std::move(p), {}, RuleStatus::kConfirmed);
+    }
+    return rules;
   }
-  return out;
+
+  for (size_t i = 0; i < entries->size(); ++i) {
+    ANMAT_ASSIGN_OR_RETURN(RuleRecord record, RecordFromJson(entries->at(i)));
+    if (rules.Find(record.id) != nullptr) {
+      return Status::ParseError("duplicate rule id " +
+                                std::to_string(record.id));
+    }
+    rules.Restore(std::move(record));
+  }
+  if (const JsonValue* next_id = root.Get("next_id");
+      next_id != nullptr && next_id->is_number() && next_id->as_int() > 0) {
+    rules.RaiseNextId(static_cast<uint64_t>(next_id->as_int()));
+  }
+  return rules;
 }
 
-Status RuleStore::Save(const std::vector<Pfd>& pfds) const {
-  const std::string tmp = path_ + ".tmp";
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary);
     if (!out) return Status::IoError("cannot open for writing: " + tmp);
-    out << SerializeRuleSet(pfds);
+    out << content;
     if (!out) return Status::IoError("error writing: " + tmp);
   }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    return Status::IoError("cannot rename " + tmp + " to " + path_);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " to " + path);
   }
   return Status::OK();
 }
 
-Result<std::vector<Pfd>> RuleStore::Load() const {
+Status RuleStore::Save(const RuleSet& rules) const {
+  return WriteFileAtomic(path_, SerializeRuleSet(rules));
+}
+
+Status RuleStore::Save(const std::vector<Pfd>& pfds) const {
+  RuleSet rules;
+  for (const Pfd& p : pfds) rules.Add(p, {}, RuleStatus::kConfirmed);
+  return Save(rules);
+}
+
+Result<RuleSet> RuleStore::Load() const {
   std::ifstream in(path_, std::ios::binary);
   if (!in) return Status::NotFound("rule file not found: " + path_);
   std::ostringstream buffer;

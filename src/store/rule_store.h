@@ -2,15 +2,26 @@
 #define ANMAT_STORE_RULE_STORE_H_
 
 /// \file rule_store.h
-/// Persistence of discovered PFDs.
+/// Persistence of discovered PFDs — the RuleSet v2 store.
 ///
 /// The original ANMAT demo stores profiling output and discovered PFDs in
-/// MongoDB; this repository substitutes a JSON file per project (DESIGN.md
-/// §2). PFDs round-trip exactly: patterns are serialized in their textual
-/// syntax and re-parsed on load, so a stored rule set is also human-editable
-/// (the demo lets users confirm/reject rules — editing the JSON is our
-/// equivalent).
+/// MongoDB and lets the user confirm or reject each rule before detection;
+/// this repository substitutes a JSON file per project (DESIGN.md §2) and
+/// models the same lifecycle explicitly: every persisted rule is a
+/// `RuleRecord` with a stable id, a lifecycle status
+/// (`discovered`/`confirmed`/`rejected`) and provenance (source dataset,
+/// coverage, violation ratio at discovery time).
+///
+/// File format: a versioned JSON envelope. Version 2 is the current format;
+/// version 1 files (a bare rule array, written by earlier releases) load
+/// transparently — each rule gets a sequential id and `confirmed` status
+/// (v1 stores were defined to hold a project's confirmed rules) — and are
+/// re-saved as v2 on the next `Save`. Unknown (future) versions are
+/// rejected. PFDs round-trip exactly: patterns are serialized in their
+/// textual syntax and re-parsed on load, so a stored rule set stays
+/// human-editable.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,30 +31,126 @@
 
 namespace anmat {
 
+/// \brief Lifecycle of a persisted rule (§4: the demo's confirm/reject UI).
+enum class RuleStatus {
+  kDiscovered,  ///< mined but not yet reviewed; not applied by detection
+  kConfirmed,   ///< user-approved; applied by detection and repair
+  kRejected,    ///< user-rejected; kept for audit, never applied
+};
+
+/// \brief Serialized name of a status ("discovered" / "confirmed" /
+/// "rejected").
+const char* RuleStatusName(RuleStatus status);
+
+/// \brief Parses a status name; rejects unknown names.
+Result<RuleStatus> ParseRuleStatus(std::string_view name);
+
+/// \brief Where a rule came from and how well it fit at discovery time.
+struct RuleProvenance {
+  /// Source dataset (catalog dataset name or file path); empty when
+  /// unknown (e.g. rules migrated from a v1 file or authored by hand).
+  std::string source;
+  double coverage = 0.0;         ///< covered / total rows at discovery
+  double violation_ratio = 0.0;  ///< violating / covered rows at discovery
+};
+
+/// \brief One persisted rule: id + lifecycle + provenance + the PFD.
+struct RuleRecord {
+  uint64_t id = 0;
+  RuleStatus status = RuleStatus::kDiscovered;
+  RuleProvenance provenance;
+  Pfd pfd;
+};
+
+/// \brief An ordered set of rule records with stable, never-reused ids.
+class RuleSet {
+ public:
+  /// Adds a rule and returns its assigned id.
+  uint64_t Add(Pfd pfd, RuleProvenance provenance = {},
+               RuleStatus status = RuleStatus::kDiscovered);
+
+  /// Record by id; nullptr when absent.
+  const RuleRecord* Find(uint64_t id) const;
+
+  /// First record whose PFD equals `pfd` exactly; nullptr when absent
+  /// (dedup on re-discovery).
+  const RuleRecord* FindEqualPfd(const Pfd& pfd) const;
+
+  /// Sets the lifecycle status of rule `id`; NotFound when absent.
+  Status SetStatus(uint64_t id, RuleStatus status);
+
+  /// Replaces the provenance of rule `id`; NotFound when absent.
+  Status SetProvenance(uint64_t id, RuleProvenance provenance);
+
+  /// The PFDs of every rule with `status`, in record order.
+  std::vector<Pfd> PfdsWithStatus(RuleStatus status) const;
+
+  /// The PFDs detection and repair should apply (status == confirmed).
+  std::vector<Pfd> ConfirmedPfds() const {
+    return PfdsWithStatus(RuleStatus::kConfirmed);
+  }
+
+  const std::vector<RuleRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  uint64_t next_id() const { return next_id_; }
+
+  /// Restores a record with an explicit id (loading); keeps next_id() above
+  /// every restored id.
+  void Restore(RuleRecord record);
+
+  /// Raises next_id() to at least `floor` (loading: a persisted floor above
+  /// every live id means trailing ids were deleted and must not be reused).
+  void RaiseNextId(uint64_t floor);
+
+ private:
+  std::vector<RuleRecord> records_;
+  uint64_t next_id_ = 1;
+};
+
 /// \brief Serializes one PFD to a JSON object.
 JsonValue PfdToJson(const Pfd& pfd);
 
 /// \brief Parses one PFD from a JSON object.
 Result<Pfd> PfdFromJson(const JsonValue& json);
 
-/// \brief Serializes a rule set (with a format-version envelope).
+/// \brief Serializes a rule set in the current (v2) envelope.
+std::string SerializeRuleSet(const RuleSet& rules);
+
+/// \brief Legacy convenience: wraps bare PFDs as confirmed records and
+/// serializes them as v2 (used by the one-shot CLI forms, where persisting
+/// is the confirmation).
 std::string SerializeRuleSet(const std::vector<Pfd>& pfds);
 
-/// \brief Parses a rule set; rejects unknown format versions.
-Result<std::vector<Pfd>> ParseRuleSet(std::string_view text);
+/// \brief Serializes bare PFDs in the legacy v1 envelope (migration tests
+/// and downgrade tooling only; `Save` always writes v2).
+std::string SerializeRuleSetV1(const std::vector<Pfd>& pfds);
 
-/// \brief File-backed store for a project's confirmed rules.
+/// \brief Parses a rule set envelope. v2 loads as-is; v1 migrates (ids
+/// assigned sequentially, status confirmed, empty provenance); unknown
+/// formats and future versions are rejected.
+Result<RuleSet> ParseRuleSet(std::string_view text);
+
+/// \brief Writes `content` to `path` atomically (temp file + rename) — the
+/// persistence idiom shared by the rule store and the project catalog.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+/// \brief File-backed store for a project's rule set.
 class RuleStore {
  public:
   explicit RuleStore(std::string path) : path_(std::move(path)) {}
 
   const std::string& path() const { return path_; }
 
-  /// Writes the rule set to `path()` (atomic via temp-file rename).
+  /// Writes the rule set to `path()` as v2 (atomic via temp-file rename).
+  Status Save(const RuleSet& rules) const;
+
+  /// Legacy convenience: saves bare PFDs as confirmed v2 records.
   Status Save(const std::vector<Pfd>& pfds) const;
 
-  /// Loads the rule set; NotFound when the file does not exist.
-  Result<std::vector<Pfd>> Load() const;
+  /// Loads the rule set (v1 files migrate transparently); NotFound when the
+  /// file does not exist.
+  Result<RuleSet> Load() const;
 
  private:
   std::string path_;

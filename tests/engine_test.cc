@@ -1,15 +1,22 @@
 // Differential tests for the engine layer (anmat/engine.h):
 //
-//  * parallel profiling / discovery / detection at 2, 4 and 8 threads must
-//    be byte-identical to serial runs (the engine's determinism contract),
+//  * parallel profiling / discovery / detection / repair at 2, 4 and 8
+//    threads must be byte-identical to serial runs (the engine's
+//    determinism contract) — for repair that covers the applied repairs,
+//    the conflict set AND the repaired relation bytes,
 //  * DetectionStream::AppendBatch over row chunks must yield the same
 //    cumulative violation set as one-shot DetectErrors on the concatenated
-//    relation, after every batch, for randomized chunk splits.
+//    relation, after every batch, for randomized chunk splits,
+//  * DetectionStream clean-on-ingest must apply exactly the confident
+//    constant-rule repairs of each batch and accumulate the cleaned rows.
 
 #include "anmat/engine.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +26,8 @@
 #include "detect/detection_stream.h"
 #include "detect/detector.h"
 #include "discovery/discovery.h"
+#include "pattern/pattern_parser.h"
+#include "repair/repair.h"
 #include "util/random.h"
 
 namespace anmat {
@@ -71,6 +80,32 @@ std::string Fingerprint(const DetectionResult& result) {
         << v.suggested_repair << "|" << v.explanation << "\n";
   }
   return out.str();
+}
+
+std::string Fingerprint(const RepairResult& result) {
+  std::ostringstream out;
+  out << "passes=" << result.passes
+      << " remaining=" << result.remaining_violations << "\n";
+  for (const AppliedRepair& r : result.repairs) {
+    out << r.cell.row << "," << r.cell.column << "|" << r.before << "|"
+        << r.after << "|" << r.pass << "|" << r.pfd_index << "\n";
+  }
+  for (const CellRef& c : result.conflicted_cells) {
+    out << "conflict " << c.row << "," << c.column << "\n";
+  }
+  return out.str();
+}
+
+std::string Fingerprint(const Relation& relation) {
+  std::string out;
+  for (RowId r = 0; r < relation.num_rows(); ++r) {
+    for (size_t c = 0; c < relation.num_columns(); ++c) {
+      out += relation.cell(r, c);
+      out.push_back('\x1f');
+    }
+    out.push_back('\n');
+  }
+  return out;
 }
 
 std::vector<Dataset> TestDatasets() {
@@ -171,6 +206,32 @@ TEST(EngineParallelTest, MaxViolationsFallsBackToSerialSemantics) {
   EXPECT_LE(parallel_result->violations.size(), 3u);
 }
 
+TEST(EngineParallelTest, RepairByteIdenticalToSerial) {
+  for (const Dataset& d : TestDatasets()) {
+    const std::vector<Pfd> rules = DiscoverRules(d.relation);
+    ASSERT_FALSE(rules.empty()) << d.name;
+
+    // Serial reference: plain RepairErrors, no engine involved.
+    Relation serial_relation = d.relation;
+    RepairResult serial_result =
+        RepairErrors(&serial_relation, rules).value();
+    EXPECT_FALSE(serial_result.repairs.empty()) << d.name;
+    const std::string expected_result = Fingerprint(serial_result);
+    const std::string expected_relation = Fingerprint(serial_relation);
+
+    for (size_t threads : kThreadCounts) {
+      Engine engine(ExecutionOptions{threads, true, nullptr});
+      Relation relation = d.relation;
+      auto result = engine.Repair(&relation, rules);
+      ASSERT_TRUE(result.ok()) << d.name;
+      EXPECT_EQ(Fingerprint(result.value()), expected_result)
+          << d.name << " with " << threads << " threads";
+      EXPECT_EQ(Fingerprint(relation), expected_relation)
+          << d.name << " with " << threads << " threads";
+    }
+  }
+}
+
 TEST(EngineParallelTest, ZeroMeansHardwareThreads) {
   const Dataset d = ZipCityStateDataset(300, 105, 0.02);
   Engine engine(ExecutionOptions{0, true, nullptr});
@@ -263,6 +324,33 @@ TEST(DetectionStreamTest, AppendRowsConvenience) {
   EXPECT_EQ(Fingerprint(cumulative.value()), Fingerprint(one_shot.value()));
 }
 
+TEST(DetectionStreamTest, StreamSurvivesEngineReconfiguration) {
+  // Reconfiguring the engine retires (not destroys) the pool a previously
+  // opened stream captured, so the stream stays valid and its cumulative
+  // results stay byte-identical to one-shot detection.
+  const Dataset d = ZipCityStateDataset(600, 216, 0.04);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+
+  Engine engine(ExecutionOptions{4, true, nullptr});
+  auto stream = engine.OpenStream(d.relation.schema(), rules);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  const RowId half = static_cast<RowId>(d.relation.num_rows() / 2);
+  ASSERT_TRUE((*stream)->AppendBatch(d.relation.Slice(0, half).value()).ok());
+
+  engine.SetNumThreads(8);  // stream keeps its original 4-thread pool
+
+  auto second = (*stream)->AppendBatch(
+      d.relation
+          .Slice(half, static_cast<RowId>(d.relation.num_rows()))
+          .value());
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto one_shot = engine.Detect(d.relation, rules);
+  ASSERT_TRUE(one_shot.ok());
+  EXPECT_EQ(Fingerprint(second.value()), Fingerprint(one_shot.value()));
+}
+
 TEST(DetectionStreamTest, RejectsMaxViolations) {
   const Dataset d = ZipCityStateDataset(100, 207, 0.0);
   const std::vector<Pfd> rules = DiscoverRules(d.relation);
@@ -303,6 +391,116 @@ TEST(DetectionStreamTest, RejectsUnknownAttribute) {
   // Zip rules cannot validate against the name/gender schema.
   auto stream = engine.OpenStream(other.relation.schema(), rules);
   EXPECT_FALSE(stream.ok());
+}
+
+// -- Clean-on-ingest (streaming repair mode) -------------------------------
+
+/// Streams `relation` through a clean-on-ingest stream in fixed-size
+/// batches and checks, per batch, that the applied repairs are exactly the
+/// confident constant-rule suggestions one-shot detection produces for the
+/// raw batch, and that the stream accumulates the *cleaned* rows.
+void CheckCleanOnIngest(const Relation& relation,
+                        const std::vector<Pfd>& rules, RowId batch_rows) {
+  Engine engine;
+  auto stream = engine.OpenStream(relation.schema(), rules);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  (*stream)->set_clean_on_ingest(true);
+
+  Relation cleaned_prefix(relation.schema());
+  size_t total_repairs = 0;
+  for (RowId begin = 0; begin < relation.num_rows(); begin += batch_rows) {
+    const RowId end =
+        std::min<RowId>(begin + batch_rows, relation.num_rows());
+    auto batch = relation.Slice(begin, end);
+    ASSERT_TRUE(batch.ok());
+
+    // Reference: the confident constant-rule suggestions for this batch.
+    auto batch_detection = engine.Detect(batch.value(), rules);
+    ASSERT_TRUE(batch_detection.ok());
+    std::map<CellRef, std::set<std::string>> suggested;
+    for (const Violation& v : batch_detection->violations) {
+      if (v.kind == ViolationKind::kConstant && !v.suggested_repair.empty()) {
+        suggested[v.suspect].insert(v.suggested_repair);
+      }
+    }
+
+    auto cumulative = (*stream)->AppendBatch(batch.value());
+    ASSERT_TRUE(cumulative.ok()) << cumulative.status();
+
+    // Build the expected cleaned batch and compare cell by cell.
+    Relation expected = batch.value();
+    size_t expected_repairs = 0;
+    for (const auto& [cell, repairs] : suggested) {
+      if (repairs.size() != 1) continue;  // conflicting suggestions: skip
+      if (expected.cell(cell.row, cell.column) == *repairs.begin()) continue;
+      expected.set_cell(cell.row, cell.column, *repairs.begin());
+      ++expected_repairs;
+    }
+    EXPECT_EQ((*stream)->batch_repairs().size(), expected_repairs);
+    for (const AppliedRepair& r : (*stream)->batch_repairs()) {
+      EXPECT_GE(r.cell.row, begin);  // stream coordinates
+      EXPECT_EQ(r.after,
+                (*stream)->relation().cell(r.cell.row, r.cell.column));
+    }
+    for (RowId r = 0; r < expected.num_rows(); ++r) {
+      ASSERT_TRUE(cleaned_prefix.AppendRow(expected.Row(r)).ok());
+    }
+    total_repairs += expected_repairs;
+    EXPECT_EQ((*stream)->repairs().size(), total_repairs);
+
+    // The stream accumulated the cleaned rows, and the cumulative result
+    // is detection over them.
+    ASSERT_EQ(Fingerprint((*stream)->relation()),
+              Fingerprint(cleaned_prefix));
+    auto one_shot = engine.Detect(cleaned_prefix, rules);
+    ASSERT_TRUE(one_shot.ok());
+    ASSERT_EQ(Fingerprint(cumulative.value()), Fingerprint(one_shot.value()));
+  }
+  EXPECT_GT(total_repairs, 0u);
+}
+
+TEST(DetectionStreamTest, CleanOnIngestAppliesConstantRepairs) {
+  const Dataset d = ZipCityStateDataset(1500, 301, 0.04);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+  CheckCleanOnIngest(d.relation, rules, 211);
+}
+
+TEST(DetectionStreamTest, CleanOnIngestOffByDefaultAndToggleable) {
+  const Dataset d = PaperZipTable();
+  // λ3 of the paper: zips matching (900)!\D{2} have city "Los Angeles".
+  Tableau tableau;
+  TableauRow row;
+  row.lhs.push_back(TableauCell::Of(
+      ParseConstrainedPattern("(900)!\\D{2}").value()));
+  row.rhs.push_back(TableauCell::Of(
+      ParseConstrainedPattern("Los\\ Angeles").value()));
+  tableau.AddRow(row);
+  const std::vector<Pfd> rules = {
+      Pfd::Simple("Zip", "zip", "city", tableau)};
+  Engine engine;
+  auto stream = engine.OpenStream(d.relation.schema(), rules);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  EXPECT_FALSE((*stream)->clean_on_ingest());
+
+  // Off: the dirty row is absorbed as-is and keeps violating.
+  auto first = (*stream)->AppendBatch(d.relation);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE((*stream)->batch_repairs().empty());
+  EXPECT_FALSE(first->violations.empty());
+
+  // On: a new dirty record is repaired on ingest and the cumulative
+  // violation count does not grow.
+  (*stream)->set_clean_on_ingest(true);
+  auto second = (*stream)->AppendRows({{"90005", "Chicago"}});
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ((*stream)->batch_repairs().size(), 1u);
+  const AppliedRepair& r = (*stream)->batch_repairs()[0];
+  EXPECT_EQ(r.before, "Chicago");
+  EXPECT_EQ(r.after, "Los Angeles");
+  EXPECT_EQ(r.cell.row, d.relation.num_rows());  // stream coordinates
+  EXPECT_EQ((*stream)->relation().cell(r.cell.row, 1), "Los Angeles");
+  EXPECT_EQ(second->violations.size(), first->violations.size());
 }
 
 // -- Session façade --------------------------------------------------------

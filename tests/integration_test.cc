@@ -53,7 +53,8 @@ TEST(IntegrationTest, DiscoveredRulesSurviveStoreRoundTrip) {
   const std::string path = ::testing::TempDir() + "/anmat_rules_it.json";
   RuleStore store(path);
   ASSERT_TRUE(store.Save(rules).ok());
-  std::vector<Pfd> loaded = store.Load().value();
+  // Bare-PFD saves land in the v2 store as confirmed records.
+  std::vector<Pfd> loaded = store.Load().value().ConfirmedPfds();
   ASSERT_EQ(loaded.size(), rules.size());
 
   // Detection with reloaded rules equals detection with originals.

@@ -1,0 +1,380 @@
+// Tests for the persistent project layer (anmat/project.h) and the Session
+// façade over Project + Engine: init/open, catalog round-trips, the rule
+// lifecycle (discovered -> confirmed/rejected) surviving re-open, and the
+// full workflow (discover -> confirm -> detect -> repair) against a project
+// directory.
+
+#include "anmat/project.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "anmat/engine.h"
+#include "anmat/session.h"
+#include "csv/csv_writer.h"
+#include "datagen/datasets.h"
+
+namespace anmat {
+namespace {
+
+/// A fresh directory path under the test temp dir (not yet created).
+std::string FreshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/anmat_project_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Writes the paper's Table-2 zip/city CSV and returns its path.
+std::string WriteZipCsv(const std::string& tag) {
+  const std::string path =
+      ::testing::TempDir() + "/anmat_project_" + tag + ".csv";
+  std::ofstream out(path);
+  out << "zip,city\n90001,Los Angeles\n90002,Los Angeles\n"
+         "90003,Los Angeles\n90004,New York\n";
+  return path;
+}
+
+TEST(ProjectTest, InitCreatesCatalogAndEmptyRules) {
+  const std::string dir = FreshDir("init");
+  Project project = Project::Init(dir, "census").value();
+  EXPECT_EQ(project.name(), "census");
+  EXPECT_TRUE(std::filesystem::exists(project.catalog_path()));
+  EXPECT_TRUE(std::filesystem::exists(project.rules_path()));
+  EXPECT_TRUE(project.rules().empty());
+  EXPECT_TRUE(project.datasets().empty());
+
+  // Re-init over an existing project must not clobber it.
+  auto again = Project::Init(dir, "other");
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProjectTest, InitDefaultsNameToDirectory) {
+  const std::string dir = FreshDir("named-by-dir");
+  Project project = Project::Init(dir).value();
+  EXPECT_EQ(project.name(), "anmat_project_named-by-dir");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProjectTest, OpenMissingIsNotFound) {
+  auto project = Project::Open(FreshDir("absent"));
+  EXPECT_FALSE(project.ok());
+  EXPECT_EQ(project.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProjectTest, CatalogAndParametersRoundTrip) {
+  const std::string dir = FreshDir("catalog");
+  {
+    Project project = Project::Init(dir, "zips").value();
+    Project::Parameters parameters;
+    parameters.min_coverage = 0.45;
+    parameters.allowed_violation_ratio = 0.2;
+    project.set_parameters(parameters);
+    ASSERT_TRUE(project.AttachDataset("a", "/data/a.csv").ok());
+    ASSERT_TRUE(project.AttachDataset("b", "/data/b.csv").ok());
+    ASSERT_TRUE(project.Save().ok());
+  }
+  Project reopened = Project::Open(dir).value();
+  EXPECT_EQ(reopened.name(), "zips");
+  EXPECT_DOUBLE_EQ(reopened.parameters().min_coverage, 0.45);
+  EXPECT_DOUBLE_EQ(reopened.parameters().allowed_violation_ratio, 0.2);
+  ASSERT_EQ(reopened.datasets().size(), 2u);
+  // Default dataset = last attached.
+  EXPECT_EQ(reopened.FindDataset().value().name, "b");
+  EXPECT_EQ(reopened.FindDataset("a").value().path, "/data/a.csv");
+  EXPECT_FALSE(reopened.FindDataset("c").ok());
+
+  // Re-attaching an existing name re-points it and makes it default again.
+  ASSERT_TRUE(reopened.AttachDataset("a", "/data/a2.csv").ok());
+  EXPECT_EQ(reopened.datasets().size(), 2u);
+  EXPECT_EQ(reopened.FindDataset().value().name, "a");
+  EXPECT_EQ(reopened.FindDataset("a").value().path, "/data/a2.csv");
+
+  // Discovery options are seeded from the persisted parameters.
+  const DiscoveryOptions options = reopened.discovery_options();
+  EXPECT_DOUBLE_EQ(options.min_coverage, 0.45);
+  EXPECT_EQ(options.table_name, "zips");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProjectTest, RuleLifecycleSurvivesReopen) {
+  const std::string dir = FreshDir("lifecycle");
+  const std::string csv = WriteZipCsv("lifecycle");
+  {
+    Project project = Project::Init(dir, "zips").value();
+    Project::Parameters parameters;
+    parameters.min_coverage = 0.5;
+    parameters.allowed_violation_ratio = 0.3;
+    project.set_parameters(parameters);
+    ASSERT_TRUE(project.AttachDataset("zips", csv).ok());
+    Relation data = project.LoadDataset().value();
+
+    Engine engine;
+    auto discovery = engine.Discover(data, project.discovery_options());
+    ASSERT_TRUE(discovery.ok());
+    ASSERT_FALSE(discovery->pfds.empty());
+    for (const DiscoveredPfd& d : discovery->pfds) {
+      project.AddDiscoveredRule(d, "zips");
+    }
+    EXPECT_TRUE(project.ConfirmedPfds().empty());  // nothing confirmed yet
+    ASSERT_TRUE(
+        project.SetRuleStatus(1, RuleStatus::kConfirmed).ok());
+    ASSERT_TRUE(project.Save().ok());
+  }
+
+  Project reopened = Project::Open(dir).value();
+  ASSERT_FALSE(reopened.rules().empty());
+  EXPECT_EQ(reopened.rules().Find(1)->status, RuleStatus::kConfirmed);
+  EXPECT_EQ(reopened.rules().Find(1)->provenance.source, "zips");
+  EXPECT_GT(reopened.rules().Find(1)->provenance.coverage, 0.0);
+  ASSERT_EQ(reopened.ConfirmedPfds().size(), 1u);
+
+  // Detection + repair against the stored confirmed rules.
+  Relation data = reopened.LoadDataset().value();
+  Engine engine;
+  auto detection = engine.Detect(data, reopened.ConfirmedPfds());
+  ASSERT_TRUE(detection.ok());
+  EXPECT_FALSE(detection->violations.empty());
+  auto repair = engine.Repair(&data, reopened.ConfirmedPfds());
+  ASSERT_TRUE(repair.ok());
+  EXPECT_FALSE(repair->repairs.empty());
+  EXPECT_EQ(data.cell(3, 1), "Los Angeles");
+
+  // Reject flips status and removes the rule from the applied set.
+  ASSERT_TRUE(reopened.SetRuleStatus(1, RuleStatus::kRejected).ok());
+  EXPECT_TRUE(reopened.ConfirmedPfds().empty());
+  EXPECT_FALSE(reopened.SetRuleStatus(99, RuleStatus::kConfirmed).ok());
+
+  std::filesystem::remove_all(dir);
+  std::remove(csv.c_str());
+}
+
+TEST(ProjectTest, RediscoveryDoesNotDuplicateRules) {
+  const std::string dir = FreshDir("dedup");
+  const std::string csv = WriteZipCsv("dedup");
+  Project project = Project::Init(dir, "zips").value();
+  Project::Parameters parameters;
+  parameters.min_coverage = 0.5;
+  parameters.allowed_violation_ratio = 0.3;
+  project.set_parameters(parameters);
+  ASSERT_TRUE(project.AttachDataset("zips", csv).ok());
+  Relation data = project.LoadDataset().value();
+
+  Engine engine;
+  auto discovery = engine.Discover(data, project.discovery_options());
+  ASSERT_TRUE(discovery.ok());
+  ASSERT_FALSE(discovery->pfds.empty());
+  for (const DiscoveredPfd& d : discovery->pfds) {
+    project.AddDiscoveredRule(d, "zips");
+  }
+  const size_t count = project.rules().size();
+  ASSERT_TRUE(project.SetRuleStatus(1, RuleStatus::kRejected).ok());
+
+  // A second discovery run over the same data re-finds the same PFDs: the
+  // store must not grow, ids must be reused, and the user's rejection must
+  // survive (only the provenance is refreshed).
+  for (const DiscoveredPfd& d : discovery->pfds) {
+    const uint64_t id = project.AddDiscoveredRule(d, "zips-rerun");
+    EXPECT_LE(id, count);
+  }
+  EXPECT_EQ(project.rules().size(), count);
+  EXPECT_EQ(project.rules().Find(1)->status, RuleStatus::kRejected);
+  EXPECT_EQ(project.rules().Find(1)->provenance.source, "zips-rerun");
+
+  std::filesystem::remove_all(dir);
+  std::remove(csv.c_str());
+}
+
+TEST(ProjectTest, LoadDatasetWithoutCatalogEntriesFails) {
+  const std::string dir = FreshDir("nodata");
+  Project project = Project::Init(dir).value();
+  EXPECT_FALSE(project.LoadDataset().ok());
+  std::filesystem::remove_all(dir);
+}
+
+// -- Session façade over Project + Engine ----------------------------------
+
+TEST(SessionProjectTest, DiscoverRecordsRulesWithProvenance) {
+  const std::string dir = FreshDir("session");
+  const std::string csv = WriteZipCsv("session");
+
+  Session session("zips");
+  session.SetMinCoverage(0.5);
+  session.SetAllowedViolationRatio(0.3);
+  ASSERT_TRUE(session.InitProject(dir).ok());
+  ASSERT_TRUE(session.LoadCsvFile(csv).ok());
+  ASSERT_TRUE(session.Discover().ok());
+  ASSERT_FALSE(session.discovered().empty());
+
+  // Discovered rules land in the project store as `discovered`, with the
+  // CSV path as provenance source.
+  ASSERT_EQ(session.project()->rules().size(), session.discovered().size());
+  EXPECT_EQ(session.project()->rules().records()[0].status,
+            RuleStatus::kDiscovered);
+  EXPECT_EQ(session.project()->rules().records()[0].provenance.source, csv);
+
+  ASSERT_TRUE(session.Confirm(0).ok());
+  for (size_t i = 1; i < session.discovered().size(); ++i) {
+    ASSERT_TRUE(session.Reject(i).ok());
+  }
+  ASSERT_TRUE(session.Detect().ok());
+  ASSERT_TRUE(session.Repair().ok());
+  EXPECT_FALSE(session.repair_result().repairs.empty());
+  ASSERT_TRUE(session.SaveProject().ok());
+
+  // A fresh session over the same project detects with the stored
+  // confirmed rules without re-discovering.
+  Session fresh;
+  ASSERT_TRUE(fresh.OpenProject(dir).ok());
+  EXPECT_EQ(fresh.project_name(), "zips");
+  ASSERT_EQ(fresh.confirmed().size(), 1u);
+  ASSERT_TRUE(fresh.LoadCsvFile(csv).ok());
+  ASSERT_EQ(fresh.confirmed().size(), 1u);  // survives the data (re)load
+  ASSERT_TRUE(fresh.Detect().ok());
+  EXPECT_FALSE(fresh.detection().violations.empty());
+
+  std::filesystem::remove_all(dir);
+  std::remove(csv.c_str());
+}
+
+TEST(SessionProjectTest, SaveProjectRequiresBinding) {
+  Session session;
+  EXPECT_FALSE(session.SaveProject().ok());
+}
+
+TEST(SessionProjectTest, StoredConfirmationsSurviveRediscovery) {
+  const std::string dir = FreshDir("rediscover");
+  const std::string csv = WriteZipCsv("rediscover");
+  {
+    Session session("zips");
+    session.SetMinCoverage(0.5);
+    session.SetAllowedViolationRatio(0.3);
+    ASSERT_TRUE(session.InitProject(dir).ok());
+    ASSERT_TRUE(session.LoadCsvFile(csv).ok());
+    ASSERT_TRUE(session.Discover().ok());
+    session.ConfirmAll();
+    ASSERT_FALSE(session.confirmed().empty());
+    ASSERT_TRUE(session.SaveProject().ok());
+  }
+  // A later session re-discovers over the same project: the stored
+  // confirmed rules stay applied (dedup keeps their records and status),
+  // so Detect() works right after Discover() without re-confirming.
+  Session session;
+  ASSERT_TRUE(session.OpenProject(dir).ok());
+  ASSERT_TRUE(session.LoadCsvFile(csv).ok());
+  const size_t stored = session.project()->rules().size();
+  ASSERT_TRUE(session.Discover().ok());
+  EXPECT_EQ(session.project()->rules().size(), stored);  // no duplicates
+  EXPECT_FALSE(session.confirmed().empty());
+  ASSERT_TRUE(session.Detect().ok());
+  EXPECT_FALSE(session.detection().violations.empty());
+
+  std::filesystem::remove_all(dir);
+  std::remove(csv.c_str());
+}
+
+TEST(SessionProjectTest, RepairRefreshesDetection) {
+  const Dataset d = PaperZipTable();
+  Session session("Zip");
+  ASSERT_TRUE(session.LoadRelation(d.relation).ok());
+  session.SetMinCoverage(0.5);
+  session.SetAllowedViolationRatio(0.3);
+  ASSERT_TRUE(session.Discover().ok());
+  session.ConfirmAll();
+  ASSERT_TRUE(session.Detect().ok());
+  ASSERT_FALSE(session.detection().violations.empty());
+  ASSERT_TRUE(session.Repair().ok());
+  // detection() now describes the repaired relation, not the stale one.
+  EXPECT_TRUE(session.detection().violations.empty());
+  EXPECT_EQ(session.detection().violations.size(),
+            session.repair_result().remaining_violations);
+}
+
+TEST(SessionProjectTest, ConfirmAllPreservesStoredRejection) {
+  const std::string dir = FreshDir("keep-rejected");
+  const std::string csv = WriteZipCsv("keep-rejected");
+  {
+    Session session("zips");
+    session.SetMinCoverage(0.5);
+    session.SetAllowedViolationRatio(0.3);
+    ASSERT_TRUE(session.InitProject(dir).ok());
+    ASSERT_TRUE(session.LoadCsvFile(csv).ok());
+    ASSERT_TRUE(session.Discover().ok());
+    for (size_t i = 0; i < session.discovered().size(); ++i) {
+      ASSERT_TRUE(session.Reject(i).ok());
+    }
+    ASSERT_TRUE(session.SaveProject().ok());
+  }
+  // A later session re-discovers and blanket-confirms: the stored
+  // rejections must survive (only an explicit Confirm(i) overrides one).
+  Session session;
+  ASSERT_TRUE(session.OpenProject(dir).ok());
+  ASSERT_TRUE(session.LoadCsvFile(csv).ok());
+  ASSERT_TRUE(session.Discover().ok());
+  session.ConfirmAll();
+  EXPECT_TRUE(session.confirmed().empty());
+  for (const RuleRecord& r : session.project()->rules().records()) {
+    EXPECT_EQ(r.status, RuleStatus::kRejected);
+  }
+  ASSERT_TRUE(session.Confirm(0).ok());  // explicit override still works
+  EXPECT_EQ(session.confirmed().size(), 1u);
+  EXPECT_EQ(session.project()->rules().records()[0].status,
+            RuleStatus::kConfirmed);
+
+  std::filesystem::remove_all(dir);
+  std::remove(csv.c_str());
+}
+
+TEST(SessionProjectTest, RejectUnappliesEarlierConfirm) {
+  const Dataset d = ZipCityStateDataset(300, 78, 0.02);
+  Session session;
+  ASSERT_TRUE(session.LoadRelation(d.relation).ok());
+  session.SetMinCoverage(0.4);
+  ASSERT_TRUE(session.Discover().ok());
+  ASSERT_FALSE(session.discovered().empty());
+
+  ASSERT_TRUE(session.Confirm(0).ok());
+  ASSERT_EQ(session.confirmed().size(), 1u);
+  ASSERT_TRUE(session.Reject(0).ok());  // changed their mind
+  EXPECT_TRUE(session.confirmed().empty());
+
+  // Even without a bound project, ConfirmAll keeps the session-local
+  // rejection; only an explicit Confirm(0) overrides it.
+  session.ConfirmAll();
+  for (const Pfd& p : session.confirmed()) {
+    EXPECT_FALSE(p == session.discovered()[0].pfd);
+  }
+  ASSERT_TRUE(session.Confirm(0).ok());
+  session.ClearConfirmations();
+  EXPECT_TRUE(session.confirmed().empty());
+  EXPECT_FALSE(session.Detect().ok());  // nothing left to apply
+}
+
+TEST(SessionProjectTest, SessionRepairMatchesEngineRepair) {
+  const Dataset d = ZipCityStateDataset(400, 77, 0.05);
+  Session session("zips");
+  ASSERT_TRUE(session.LoadRelation(d.relation).ok());
+  session.SetMinCoverage(0.4);
+  ASSERT_TRUE(session.Discover().ok());
+  session.ConfirmAll();
+  ASSERT_TRUE(session.Repair().ok());
+
+  Relation reference = d.relation;
+  RepairResult expected =
+      RepairErrors(&reference, session.confirmed()).value();
+  EXPECT_EQ(session.repair_result().repairs.size(), expected.repairs.size());
+  for (RowId r = 0; r < reference.num_rows(); ++r) {
+    for (size_t c = 0; c < reference.num_columns(); ++c) {
+      ASSERT_EQ(session.relation().cell(r, c), reference.cell(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anmat

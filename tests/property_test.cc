@@ -468,10 +468,10 @@ TEST_P(StoreRoundTripProperty, RandomPfdsSurviveExactly) {
     ASSERT_TRUE(restored.ok()) << json;
     ASSERT_EQ(restored.value().size(), rules.size());
     for (size_t k = 0; k < n; ++k) {
-      EXPECT_TRUE(restored.value()[k] == rules[k])
+      EXPECT_TRUE(restored.value().records()[k].pfd == rules[k])
           << "rule " << k << " changed:\n"
           << rules[k].ToString() << "vs\n"
-          << restored.value()[k].ToString();
+          << restored.value().records()[k].pfd.ToString();
     }
   }
 }

@@ -30,6 +30,14 @@ Pfd SamplePfd() {
   return Pfd::Simple("Zip", "zip", "city", t);
 }
 
+RuleProvenance SampleProvenance() {
+  RuleProvenance p;
+  p.source = "zips.csv";
+  p.coverage = 0.9;
+  p.violation_ratio = 0.05;
+  return p;
+}
+
 TEST(PfdJsonTest, RoundTripsExactly) {
   Pfd original = SamplePfd();
   JsonValue json = PfdToJson(original);
@@ -51,39 +59,185 @@ TEST(PfdJsonTest, MalformedJsonRejected) {
   EXPECT_FALSE(PfdFromJson(missing).ok());
 }
 
-TEST(RuleSetTest, SerializeParseRoundTrip) {
-  std::vector<Pfd> rules = {SamplePfd(), SamplePfd()};
-  std::string text = SerializeRuleSet(rules);
-  std::vector<Pfd> restored = ParseRuleSet(text).value();
+// -- RuleSet lifecycle -----------------------------------------------------
+
+TEST(RuleSetTest, AddAssignsSequentialIds) {
+  RuleSet rules;
+  EXPECT_EQ(rules.Add(SamplePfd()), 1u);
+  EXPECT_EQ(rules.Add(SamplePfd(), SampleProvenance(),
+                      RuleStatus::kConfirmed),
+            2u);
+  EXPECT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules.next_id(), 3u);
+  EXPECT_EQ(rules.Find(1)->status, RuleStatus::kDiscovered);
+  EXPECT_EQ(rules.Find(2)->status, RuleStatus::kConfirmed);
+  EXPECT_EQ(rules.Find(2)->provenance.source, "zips.csv");
+  EXPECT_EQ(rules.Find(99), nullptr);
+}
+
+TEST(RuleSetTest, SetStatusDrivesConfirmedPfds) {
+  RuleSet rules;
+  const uint64_t a = rules.Add(SamplePfd());
+  const uint64_t b = rules.Add(SamplePfd());
+  EXPECT_TRUE(rules.ConfirmedPfds().empty());
+  ASSERT_TRUE(rules.SetStatus(a, RuleStatus::kConfirmed).ok());
+  ASSERT_TRUE(rules.SetStatus(b, RuleStatus::kRejected).ok());
+  EXPECT_EQ(rules.ConfirmedPfds().size(), 1u);
+  EXPECT_EQ(rules.PfdsWithStatus(RuleStatus::kRejected).size(), 1u);
+  EXPECT_FALSE(rules.SetStatus(42, RuleStatus::kConfirmed).ok());
+}
+
+TEST(RuleSetTest, StatusNamesRoundTrip) {
+  for (RuleStatus s : {RuleStatus::kDiscovered, RuleStatus::kConfirmed,
+                       RuleStatus::kRejected}) {
+    EXPECT_EQ(ParseRuleStatus(RuleStatusName(s)).value(), s);
+  }
+  EXPECT_FALSE(ParseRuleStatus("approved").ok());
+}
+
+// -- v2 envelope -----------------------------------------------------------
+
+TEST(RuleSetTest, SerializeParseRoundTripV2) {
+  RuleSet rules;
+  rules.Add(SamplePfd(), SampleProvenance(), RuleStatus::kConfirmed);
+  rules.Add(SamplePfd(), {}, RuleStatus::kRejected);
+  const std::string text = SerializeRuleSet(rules);
+  EXPECT_NE(text.find("\"version\": 2"), std::string::npos);
+
+  RuleSet restored = ParseRuleSet(text).value();
   ASSERT_EQ(restored.size(), 2u);
-  EXPECT_TRUE(restored[0] == rules[0]);
-  EXPECT_TRUE(restored[1] == rules[1]);
+  EXPECT_EQ(restored.records()[0].id, 1u);
+  EXPECT_EQ(restored.records()[0].status, RuleStatus::kConfirmed);
+  EXPECT_EQ(restored.records()[0].provenance.source, "zips.csv");
+  EXPECT_DOUBLE_EQ(restored.records()[0].provenance.coverage, 0.9);
+  EXPECT_DOUBLE_EQ(restored.records()[0].provenance.violation_ratio, 0.05);
+  EXPECT_TRUE(restored.records()[0].pfd == SamplePfd());
+  EXPECT_EQ(restored.records()[1].status, RuleStatus::kRejected);
+  EXPECT_EQ(restored.next_id(), 3u);
+}
+
+TEST(RuleSetTest, NextIdFloorSurvivesRoundTrip) {
+  RuleSet rules;
+  rules.Add(SamplePfd());
+  rules.RaiseNextId(17);  // ids 2..16 were deleted in some earlier life
+  RuleSet restored = ParseRuleSet(SerializeRuleSet(rules)).value();
+  EXPECT_EQ(restored.next_id(), 17u);
+  EXPECT_EQ(restored.Add(SamplePfd()), 17u);
 }
 
 TEST(RuleSetTest, EmptyRuleSet) {
-  std::string text = SerializeRuleSet({});
-  EXPECT_TRUE(ParseRuleSet(text).value().empty());
+  EXPECT_TRUE(ParseRuleSet(SerializeRuleSet(RuleSet{})).value().empty());
 }
 
-TEST(RuleSetTest, RejectsWrongFormatOrVersion) {
+TEST(RuleSetTest, DuplicateIdsRejected) {
+  RuleSet rules;
+  rules.Restore(RuleRecord{1, RuleStatus::kDiscovered, {}, SamplePfd()});
+  rules.Restore(RuleRecord{1, RuleStatus::kConfirmed, {}, SamplePfd()});
+  EXPECT_FALSE(ParseRuleSet(SerializeRuleSet(rules)).ok());
+}
+
+TEST(RuleSetTest, UnknownStatusRejected) {
+  std::string text = SerializeRuleSet([] {
+    RuleSet rules;
+    rules.Add(SamplePfd());
+    return rules;
+  }());
+  const size_t pos = text.find("\"discovered\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "\"approvedXX\"");
+  EXPECT_FALSE(ParseRuleSet(text).ok());
+}
+
+// -- v1 -> v2 migration ----------------------------------------------------
+
+TEST(RuleSetMigrationTest, LegacyV1FilesLoadAsConfirmed) {
+  const std::string v1 = SerializeRuleSetV1({SamplePfd(), SamplePfd()});
+  EXPECT_NE(v1.find("\"version\": 1"), std::string::npos);
+  RuleSet migrated = ParseRuleSet(v1).value();
+  ASSERT_EQ(migrated.size(), 2u);
+  EXPECT_EQ(migrated.records()[0].id, 1u);
+  EXPECT_EQ(migrated.records()[1].id, 2u);
+  for (const RuleRecord& r : migrated.records()) {
+    EXPECT_EQ(r.status, RuleStatus::kConfirmed);
+    EXPECT_TRUE(r.provenance.source.empty());
+    EXPECT_TRUE(r.pfd == SamplePfd());
+  }
+  EXPECT_EQ(migrated.next_id(), 3u);
+}
+
+TEST(RuleSetMigrationTest, MigratedSetsReSaveAsV2) {
+  const std::string v1 = SerializeRuleSetV1({SamplePfd()});
+  RuleSet migrated = ParseRuleSet(v1).value();
+  const std::string v2 = SerializeRuleSet(migrated);
+  EXPECT_NE(v2.find("\"version\": 2"), std::string::npos);
+  EXPECT_EQ(v2.find("\"version\": 1"), std::string::npos);
+  RuleSet reloaded = ParseRuleSet(v2).value();
+  ASSERT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.records()[0].status, RuleStatus::kConfirmed);
+  EXPECT_TRUE(reloaded.records()[0].pfd == SamplePfd());
+}
+
+TEST(RuleSetMigrationTest, LegacyStoreFileRoundTripsThroughV2) {
+  const std::string path =
+      ::testing::TempDir() + "/anmat_rules_migrate.json";
+  {
+    // Write a v1 file the way an old release would have.
+    std::string v1 = SerializeRuleSetV1({SamplePfd()});
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(v1.data(), 1, v1.size(), f);
+    std::fclose(f);
+  }
+  RuleStore store(path);
+  RuleSet loaded = store.Load().value();
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.records()[0].status, RuleStatus::kConfirmed);
+
+  ASSERT_TRUE(store.Save(loaded).ok());  // re-save: now v2 on disk
+  RuleSet reloaded = store.Load().value();
+  ASSERT_EQ(reloaded.size(), 1u);
+  EXPECT_TRUE(reloaded.records()[0].pfd == SamplePfd());
+  std::remove(path.c_str());
+}
+
+TEST(RuleSetTest, RejectsWrongFormatOrFutureVersion) {
   EXPECT_FALSE(ParseRuleSet("{}").ok());
   EXPECT_FALSE(
-      ParseRuleSet(R"({"format":"other","version":1,"rules":[]})").ok());
+      ParseRuleSet(R"({"format":"other","version":2,"rules":[]})").ok());
+  EXPECT_FALSE(
+      ParseRuleSet(R"({"format":"anmat-rules","version":3,"rules":[]})")
+          .ok());
   EXPECT_FALSE(
       ParseRuleSet(R"({"format":"anmat-rules","version":99,"rules":[]})")
           .ok());
   EXPECT_FALSE(
-      ParseRuleSet(R"({"format":"anmat-rules","version":1})").ok());
+      ParseRuleSet(R"({"format":"anmat-rules","version":2})").ok());
   EXPECT_FALSE(ParseRuleSet("not json at all").ok());
 }
+
+// -- RuleStore -------------------------------------------------------------
 
 TEST(RuleStoreTest, SaveAndLoadFile) {
   const std::string path = ::testing::TempDir() + "/anmat_rules_test.json";
   RuleStore store(path);
-  ASSERT_TRUE(store.Save({SamplePfd()}).ok());
-  std::vector<Pfd> loaded = store.Load().value();
+  RuleSet rules;
+  rules.Add(SamplePfd(), SampleProvenance(), RuleStatus::kDiscovered);
+  ASSERT_TRUE(store.Save(rules).ok());
+  RuleSet loaded = store.Load().value();
   ASSERT_EQ(loaded.size(), 1u);
-  EXPECT_TRUE(loaded[0] == SamplePfd());
+  EXPECT_EQ(loaded.records()[0].status, RuleStatus::kDiscovered);
+  EXPECT_TRUE(loaded.records()[0].pfd == SamplePfd());
+  std::remove(path.c_str());
+}
+
+TEST(RuleStoreTest, LegacyPfdVectorSaveIsConfirmedV2) {
+  const std::string path = ::testing::TempDir() + "/anmat_rules_vec.json";
+  RuleStore store(path);
+  ASSERT_TRUE(store.Save(std::vector<Pfd>{SamplePfd()}).ok());
+  RuleSet loaded = store.Load().value();
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.records()[0].status, RuleStatus::kConfirmed);
+  EXPECT_EQ(loaded.ConfirmedPfds().size(), 1u);
   std::remove(path.c_str());
 }
 
@@ -97,8 +251,10 @@ TEST(RuleStoreTest, MissingFileIsNotFound) {
 TEST(RuleStoreTest, SaveOverwritesAtomically) {
   const std::string path = ::testing::TempDir() + "/anmat_rules_test2.json";
   RuleStore store(path);
-  ASSERT_TRUE(store.Save({SamplePfd()}).ok());
-  ASSERT_TRUE(store.Save({}).ok());  // overwrite with empty set
+  RuleSet rules;
+  rules.Add(SamplePfd());
+  ASSERT_TRUE(store.Save(rules).ok());
+  ASSERT_TRUE(store.Save(RuleSet{}).ok());  // overwrite with empty set
   EXPECT_TRUE(store.Load().value().empty());
   std::remove(path.c_str());
 }

@@ -1,37 +1,65 @@
 // anmat — command-line interface to the ANMAT pipeline.
 //
 // The original demo exposes a GUI (Figures 3-5) and a Jupyter front-end;
-// this CLI is the scriptable substitute. Subcommands:
+// this CLI is the scriptable substitute. It has two modes.
+//
+// Stateful project mode (the demo's §4 workflow, persisted in a project
+// directory holding a catalog and a RuleSet v2 store):
+//
+//   anmat init <dir> [--name NAME] [--coverage G] [--violations V]
+//       Create a project directory (catalog + empty rule store).
+//
+//   anmat discover --project <dir> [--data file.csv] [--name DATASET]
+//                  [--coverage G] [--violations V] [--threads N]
+//                  [--format json]
+//       Attach/load a dataset, run discovery, and record every discovered
+//       rule in the project store with lifecycle status `discovered` and
+//       provenance (source dataset, coverage, violation ratio).
+//
+//   anmat rules list    --project <dir> [--format json]
+//   anmat rules confirm <id...|all> --project <dir>
+//   anmat rules reject  <id...|all> --project <dir>
+//       Review the stored rules; only confirmed rules are applied.
+//
+//   anmat detect --project <dir> [--data DATASET] [--max N] [--threads N]
+//                [--format json]
+//   anmat repair --project <dir> [--data DATASET] [--out cleaned.csv]
+//                [--threads N] [--format json]
+//       Detect / repair against the project's confirmed rules.
+//
+//   anmat profile --project <dir> [--data DATASET] [--threads N]
+//                 [--format json]
+//
+// One-shot mode (unchanged from earlier releases; the rule file is the
+// state):
 //
 //   anmat profile  <data.csv> [--threads N] [--format json]
-//       Print the Figure-3 profiling view.
-//
 //   anmat discover <data.csv> [--coverage G] [--violations V]
-//                  [--rules out.json] [--table NAME]
+//                  [--rules out.json] [--table NAME] [--minimize BOOL]
 //                  [--threads N] [--format json]
-//       Run PFD discovery, print the Figure-4 view, optionally persist the
-//       rules to a JSON rule store.
-//
-//   anmat detect   <data.csv> --rules rules.json [--max N]
+//   anmat detect   <data.csv> --rules rules.json [--max N] [--threads N]
+//                  [--format json]
+//   anmat repair   <data.csv> --rules rules.json [--out cleaned.csv]
 //                  [--threads N] [--format json]
-//       Load rules and print the Figure-5 violations view.
 //
 // --threads N runs the stage on N worker threads (0 = all hardware
 // threads); the output is byte-identical to a serial run. --format json
-// emits the machine-readable view instead of the ASCII one.
-//
-//   anmat repair   <data.csv> --rules rules.json [--out cleaned.csv]
-//       Apply confident suggested repairs and write the cleaned table.
+// emits the machine-readable view instead of the ASCII one. Unknown or
+// repeated flags are rejected (exit code 1) naming the offending flag.
 //
 // Exit codes: 0 success, 1 usage error, 2 pipeline error.
 
+#include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "anmat/engine.h"
+#include "anmat/project.h"
 #include "anmat/report.h"
 #include "anmat/session.h"
 #include "csv/csv_writer.h"
@@ -44,13 +72,24 @@ namespace {
 int Usage() {
   std::cerr <<
       "usage:\n"
-      "  anmat profile  <data.csv> [--threads N] [--format json]\n"
+      "  anmat init <dir> [--name NAME] [--coverage G] [--violations V]\n"
+      "  anmat profile  <data.csv> | --project <dir> [--data DATASET]\n"
+      "                 [--threads N] [--format json]\n"
       "  anmat discover <data.csv> [--coverage G] [--violations V]\n"
-      "                 [--rules out.json] [--table NAME]\n"
+      "                 [--rules out.json] [--table NAME] [--minimize BOOL]\n"
       "                 [--threads N] [--format json]\n"
-      "  anmat detect   <data.csv> --rules rules.json [--max N]\n"
-      "                 [--threads N] [--format json]\n"
-      "  anmat repair   <data.csv> --rules rules.json [--out cleaned.csv]\n";
+      "  anmat discover --project <dir> [--data file.csv] [--name DATASET]\n"
+      "                 [--coverage G] [--violations V] [--threads N]\n"
+      "                 [--format json]\n"
+      "  anmat rules list    --project <dir> [--format json]\n"
+      "  anmat rules confirm <id...|all> --project <dir>\n"
+      "  anmat rules reject  <id...|all> --project <dir>\n"
+      "  anmat detect   <data.csv> --rules rules.json | --project <dir>\n"
+      "                 [--data DATASET] [--max N] [--threads N]\n"
+      "                 [--format json]\n"
+      "  anmat repair   <data.csv> --rules rules.json | --project <dir>\n"
+      "                 [--data DATASET] [--out cleaned.csv] [--threads N]\n"
+      "                 [--format json]\n";
   return 1;
 }
 
@@ -59,165 +98,570 @@ int Fail(const anmat::Status& status) {
   return 2;
 }
 
-/// Parses trailing --key value flags into a map.
-bool ParseFlags(int argc, char** argv, int first,
-                std::map<std::string, std::string>* flags) {
-  for (int i = first; i < argc; i += 2) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0 || i + 1 >= argc) return false;
-    (*flags)[key.substr(2)] = argv[i + 1];
-  }
-  return true;
+int FlagError(const std::string& message) {
+  std::cerr << "anmat: " << message << "\n";
+  return 1;
 }
 
-double FlagDouble(const std::map<std::string, std::string>& flags,
-                  const std::string& key, double fallback) {
-  auto it = flags.find(key);
-  return it == flags.end() ? fallback : std::strtod(it->second.c_str(),
-                                                    nullptr);
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  const std::string& Get(const std::string& key) const {
+    return flags.at(key);
+  }
+};
+
+/// Parses `--key value` flags and positionals. Every flag takes a value;
+/// unknown flags, repeated flags and flags missing their value are errors
+/// naming the offending flag. Returns an empty string on success.
+std::string ParseArgs(int argc, char** argv, int first,
+                      const std::set<std::string>& allowed,
+                      ParsedArgs* out) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (allowed.count(key) == 0) return "unknown flag: " + arg;
+      if (out->flags.count(key) > 0) return "duplicate flag: " + arg;
+      if (i + 1 >= argc) return "missing value for flag: " + arg;
+      out->flags[key] = argv[++i];
+    } else {
+      out->positional.push_back(arg);
+    }
+  }
+  return "";
+}
+
+/// Validates the syntax of every numeric flag present; returns an error
+/// message naming the first malformed one ("" when all parse).
+std::string ValidateNumericFlags(const ParsedArgs& args) {
+  for (const char* key : {"coverage", "violations"}) {
+    if (!args.Has(key)) continue;
+    const std::string& value = args.Get(key);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return "invalid value for flag: --" + std::string(key) + ": \"" +
+             value + "\" is not a number";
+    }
+  }
+  for (const char* key : {"threads", "max"}) {
+    if (!args.Has(key)) continue;
+    const std::string& value = args.Get(key);
+    // Digits only: strtoul would skip leading whitespace and wrap a '-'
+    // (even " -3") to a huge value instead of failing.
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      return "invalid value for flag: --" + std::string(key) + ": \"" +
+             value + "\" is not a non-negative integer";
+    }
+    errno = 0;
+    std::strtoul(value.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      return "invalid value for flag: --" + std::string(key) + ": \"" +
+             value + "\" is out of range";
+    }
+  }
+  return "";
+}
+
+/// Rejects flags that parse but apply only to the other mode of the
+/// command (one-shot vs --project); silently ignoring them would defeat
+/// the strict flag contract.
+std::string RejectFlags(const ParsedArgs& args,
+                        const std::vector<const char*>& keys,
+                        const std::string& why) {
+  for (const char* key : keys) {
+    if (args.Has(key)) return "--" + std::string(key) + " " + why;
+  }
+  return "";
+}
+
+double FlagDouble(const ParsedArgs& args, const std::string& key,
+                  double fallback) {
+  return args.Has(key) ? std::strtod(args.Get(key).c_str(), nullptr)
+                       : fallback;
 }
 
 /// --threads N (default 1 = serial; 0 = all hardware threads).
-size_t FlagThreads(const std::map<std::string, std::string>& flags) {
-  auto it = flags.find("threads");
-  return it == flags.end()
-             ? 1
-             : static_cast<size_t>(
-                   std::strtoul(it->second.c_str(), nullptr, 10));
+size_t FlagThreads(const ParsedArgs& args) {
+  return args.Has("threads")
+             ? static_cast<size_t>(
+                   std::strtoul(args.Get("threads").c_str(), nullptr, 10))
+             : 1;
 }
 
 /// --format json selects the machine-readable output.
-bool FlagJson(const std::map<std::string, std::string>& flags) {
-  auto it = flags.find("format");
-  return it != flags.end() && it->second == "json";
+bool FlagJson(const ParsedArgs& args) {
+  return args.Has("format") && args.Get("format") == "json";
 }
 
-int CmdProfile(const std::string& path,
-               const std::map<std::string, std::string>& flags) {
-  anmat::Session session("cli");
-  session.SetNumThreads(FlagThreads(flags));
-  if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
-  if (anmat::Status s = session.Profile(); !s.ok()) return Fail(s);
-  if (FlagJson(flags)) {
-    std::cout << anmat::ProfilesToJson(session.profiles()).DumpPretty()
-              << "\n";
+/// Confirmed rules from a standalone rule file (one-shot mode). v1 files
+/// migrate as all-confirmed; a v2 file with rules but none confirmed is an
+/// error pointing at the project workflow.
+anmat::Result<std::vector<anmat::Pfd>> LoadConfirmedRules(
+    const std::string& path) {
+  anmat::RuleStore store(path);
+  ANMAT_ASSIGN_OR_RETURN(anmat::RuleSet rules, store.Load());
+  std::vector<anmat::Pfd> confirmed = rules.ConfirmedPfds();
+  if (confirmed.empty() && !rules.empty()) {
+    return anmat::Status::InvalidArgument(
+        "rule file " + path + " has " + std::to_string(rules.size()) +
+        " rule(s) but none confirmed; confirm them with 'anmat rules "
+        "confirm' in a project, or edit the file");
+  }
+  return confirmed;
+}
+
+/// The relation a project command operates on: --data names a catalog
+/// entry; default is the last attached dataset. Because `discover
+/// --project --data` takes a CSV *path* (attached under its stem), the
+/// same path spelling is accepted here too — so the --data value that
+/// attached a dataset keeps working on detect/repair/profile.
+anmat::Result<anmat::Relation> LoadProjectData(const anmat::Project& project,
+                                               const ParsedArgs& args) {
+  if (!args.Has("data")) return project.LoadDataset("");
+  const std::string& value = args.Get("data");
+  auto entry = project.FindDataset(value);
+  if (entry.ok()) return project.LoadDataset(value);
+  const std::string stem = std::filesystem::path(value).stem().string();
+  if (!stem.empty() && stem != value && project.FindDataset(stem).ok()) {
+    return project.LoadDataset(stem);
+  }
+  return entry.status();
+}
+
+// ---------------------------------------------------------------------------
+// init
+// ---------------------------------------------------------------------------
+
+int CmdInit(const ParsedArgs& args) {
+  if (args.positional.size() != 1) return Usage();
+  auto project = anmat::Project::Init(
+      args.positional[0], args.Has("name") ? args.Get("name") : "");
+  if (!project.ok()) return Fail(project.status());
+  anmat::Project::Parameters parameters = project->parameters();
+  parameters.min_coverage = FlagDouble(args, "coverage",
+                                       parameters.min_coverage);
+  parameters.allowed_violation_ratio =
+      FlagDouble(args, "violations", parameters.allowed_violation_ratio);
+  project->set_parameters(parameters);
+  if (anmat::Status s = project->Save(); !s.ok()) return Fail(s);
+  std::cout << "initialized project \"" << project->name() << "\" in "
+            << project->dir() << "\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// profile
+// ---------------------------------------------------------------------------
+
+int RenderProfiles(const std::vector<anmat::ColumnProfile>& profiles,
+                   bool json) {
+  if (json) {
+    std::cout << anmat::ProfilesToJson(profiles).DumpPretty() << "\n";
   } else {
-    std::cout << anmat::RenderProfilingView(session.profiles());
+    std::cout << anmat::RenderProfilingView(profiles);
   }
   return 0;
 }
 
-int CmdDiscover(const std::string& path,
-                const std::map<std::string, std::string>& flags) {
-  anmat::Session session(flags.count("table") ? flags.at("table") : "T");
-  session.SetNumThreads(FlagThreads(flags));
-  if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
-  session.SetMinCoverage(FlagDouble(flags, "coverage", 0.4));
-  session.SetAllowedViolationRatio(FlagDouble(flags, "violations", 0.1));
+int CmdProfile(const ParsedArgs& args) {
+  anmat::Engine engine(
+      anmat::ExecutionOptions{FlagThreads(args), true, nullptr});
+  anmat::Relation relation;
+  if (args.Has("project")) {
+    if (!args.positional.empty()) return Usage();
+    auto project = anmat::Project::Open(args.Get("project"));
+    if (!project.ok()) return Fail(project.status());
+    auto data = LoadProjectData(project.value(), args);
+    if (!data.ok()) return Fail(data.status());
+    relation = std::move(data).value();
+  } else {
+    if (const std::string e =
+            RejectFlags(args, {"data"}, "requires --project mode");
+        !e.empty()) {
+      return FlagError(e);
+    }
+    if (args.positional.size() != 1) return Usage();
+    auto data = anmat::ReadCsvFile(args.positional[0]);
+    if (!data.ok()) return Fail(data.status());
+    relation = std::move(data).value();
+  }
+  return RenderProfiles(engine.Profile(relation), FlagJson(args));
+}
+
+// ---------------------------------------------------------------------------
+// discover
+// ---------------------------------------------------------------------------
+
+int CmdDiscoverOneShot(const ParsedArgs& args) {
+  anmat::Session session(args.Has("table") ? args.Get("table") : "T");
+  session.SetNumThreads(FlagThreads(args));
+  if (anmat::Status s = session.LoadCsvFile(args.positional[0]); !s.ok()) {
+    return Fail(s);
+  }
+  session.SetMinCoverage(FlagDouble(args, "coverage", 0.4));
+  session.SetAllowedViolationRatio(FlagDouble(args, "violations", 0.1));
   if (anmat::Status s = session.Discover(); !s.ok()) return Fail(s);
-  if (FlagJson(flags)) {
+  if (FlagJson(args)) {
     std::cout << anmat::DiscoveredPfdsToJson(session.discovered())
                      .DumpPretty()
               << "\n";
   } else {
     std::cout << anmat::RenderDiscoveredPfdsView(session.discovered());
   }
-  if (flags.count("rules") > 0) {
+  if (args.Has("rules")) {
     std::vector<anmat::Pfd> rules;
     for (const anmat::DiscoveredPfd& d : session.discovered()) {
       rules.push_back(d.pfd);
     }
-    if (flags.count("minimize") > 0 && flags.at("minimize") != "false") {
+    if (args.Has("minimize") && args.Get("minimize") != "false") {
       anmat::MinimizeStats stats;
       rules = anmat::MinimizeRuleSet(rules, &stats);
-      std::cout << "\nminimized: " << stats.rows_before << " -> "
-                << stats.rows_after << " tableau rows\n";
+      if (!FlagJson(args)) {
+        std::cout << "\nminimized: " << stats.rows_before << " -> "
+                  << stats.rows_after << " tableau rows\n";
+      }
     }
-    anmat::RuleStore store(flags.at("rules"));
+    anmat::RuleStore store(args.Get("rules"));
     if (anmat::Status s = store.Save(rules); !s.ok()) return Fail(s);
-    std::cout << "\nsaved " << rules.size() << " rule(s) to "
-              << flags.at("rules") << "\n";
+    // Keep stdout pure JSON under --format json (pipeable into jq).
+    if (!FlagJson(args)) {
+      std::cout << "\nsaved " << rules.size() << " rule(s) to "
+                << args.Get("rules") << "\n";
+    }
   }
   return 0;
 }
 
-int CmdDetect(const std::string& path,
-              const std::map<std::string, std::string>& flags) {
-  if (flags.count("rules") == 0) return Usage();
-  anmat::Session session("cli");
-  if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
-  anmat::RuleStore store(flags.at("rules"));
-  auto rules = store.Load();
-  if (!rules.ok()) return Fail(rules.status());
+int CmdDiscoverProject(const ParsedArgs& args) {
+  if (const std::string e = RejectFlags(
+          args, {"rules", "table", "minimize"},
+          "applies to the one-shot form, not --project mode (the project "
+          "directory is the rule store)");
+      !e.empty()) {
+    return FlagError(e);
+  }
+  if (args.Has("name") && !args.Has("data")) {
+    return FlagError("--name requires --data (it names the attached CSV)");
+  }
+  auto project = anmat::Project::Open(args.Get("project"));
+  if (!project.ok()) return Fail(project.status());
 
-  // Detection goes through the engine so --threads applies.
+  anmat::Project::Parameters parameters = project->parameters();
+  parameters.min_coverage = FlagDouble(args, "coverage",
+                                       parameters.min_coverage);
+  parameters.allowed_violation_ratio =
+      FlagDouble(args, "violations", parameters.allowed_violation_ratio);
+  project->set_parameters(parameters);
+
+  std::string dataset_name;
+  if (args.Has("data")) {
+    dataset_name = args.Has("name")
+                       ? args.Get("name")
+                       : std::filesystem::path(args.Get("data"))
+                             .stem()
+                             .string();
+    if (anmat::Status s =
+            project->AttachDataset(dataset_name, args.Get("data"));
+        !s.ok()) {
+      return Fail(s);
+    }
+  } else {
+    auto entry = project->FindDataset();
+    if (!entry.ok()) return Fail(entry.status());
+    dataset_name = entry->name;
+  }
+  auto relation = project->LoadDataset(dataset_name);
+  if (!relation.ok()) return Fail(relation.status());
+
   anmat::Engine engine(
-      anmat::ExecutionOptions{FlagThreads(flags), true, nullptr});
-  auto detection = engine.Detect(session.relation(), rules.value());
+      anmat::ExecutionOptions{FlagThreads(args), true, nullptr});
+  auto discovery =
+      engine.Discover(relation.value(), project->discovery_options());
+  if (!discovery.ok()) return Fail(discovery.status());
+
+  for (const anmat::DiscoveredPfd& d : discovery->pfds) {
+    project->AddDiscoveredRule(d, dataset_name);
+  }
+  if (anmat::Status s = project->Save(); !s.ok()) return Fail(s);
+
+  if (FlagJson(args)) {
+    std::cout << anmat::RuleSetToJson(project->rules()).DumpPretty() << "\n";
+  } else {
+    std::cout << anmat::RenderDiscoveredPfdsView(discovery->pfds);
+    std::cout << "\nrecorded " << discovery->pfds.size()
+              << " rule(s) as discovered in " << project->rules_path()
+              << " (review with 'anmat rules list', apply with 'anmat rules "
+              << "confirm')\n";
+  }
+  return 0;
+}
+
+int CmdDiscover(const ParsedArgs& args) {
+  if (args.Has("project")) {
+    if (!args.positional.empty()) return Usage();
+    return CmdDiscoverProject(args);
+  }
+  if (const std::string e =
+          RejectFlags(args, {"data", "name"}, "requires --project mode");
+      !e.empty()) {
+    return FlagError(e);
+  }
+  if (args.positional.size() != 1) return Usage();
+  return CmdDiscoverOneShot(args);
+}
+
+// ---------------------------------------------------------------------------
+// rules
+// ---------------------------------------------------------------------------
+
+int CmdRulesList(const ParsedArgs& args) {
+  auto project = anmat::Project::Open(args.Get("project"));
+  if (!project.ok()) return Fail(project.status());
+  if (FlagJson(args)) {
+    std::cout << anmat::RuleSetToJson(project->rules()).DumpPretty() << "\n";
+  } else {
+    std::cout << anmat::RenderRuleSetView(project->rules());
+  }
+  return 0;
+}
+
+int CmdRulesSetStatus(const ParsedArgs& args, anmat::RuleStatus status) {
+  if (args.positional.empty()) {
+    return FlagError(std::string("'anmat rules ") + (
+        status == anmat::RuleStatus::kConfirmed ? "confirm" : "reject") +
+        "' needs rule id(s) or 'all'");
+  }
+  auto project = anmat::Project::Open(args.Get("project"));
+  if (!project.ok()) return Fail(project.status());
+
+  std::vector<uint64_t> ids;
+  if (args.positional.size() == 1 && args.positional[0] == "all") {
+    for (const anmat::RuleRecord& r : project->rules().records()) {
+      // `confirm all` leaves rejected rules rejected (same semantics as
+      // Session::ConfirmAll); only an explicit id overrides a rejection.
+      if (status == anmat::RuleStatus::kConfirmed &&
+          r.status == anmat::RuleStatus::kRejected) {
+        continue;
+      }
+      ids.push_back(r.id);
+    }
+  } else {
+    for (const std::string& arg : args.positional) {
+      // Digits only: strtoull would wrap "-1" to 2^64-1 instead of failing.
+      if (arg.empty() ||
+          arg.find_first_not_of("0123456789") != std::string::npos) {
+        return FlagError("not a rule id: " + arg);
+      }
+      const unsigned long long id = std::strtoull(arg.c_str(), nullptr, 10);
+      if (id == 0) return FlagError("not a rule id: " + arg);
+      ids.push_back(static_cast<uint64_t>(id));
+    }
+  }
+  for (uint64_t id : ids) {
+    if (anmat::Status s = project->SetRuleStatus(id, status); !s.ok()) {
+      return Fail(s);
+    }
+  }
+  if (anmat::Status s = project->Save(); !s.ok()) return Fail(s);
+  std::cout << "marked " << ids.size() << " rule(s) "
+            << anmat::RuleStatusName(status) << "; "
+            << project->ConfirmedPfds().size()
+            << " rule(s) now confirmed\n";
+  return 0;
+}
+
+int CmdRules(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string sub = argv[2];
+  // Only `list` renders output, so only it takes --format.
+  const std::set<std::string> allowed =
+      sub == "list" ? std::set<std::string>{"project", "format"}
+                    : std::set<std::string>{"project"};
+  ParsedArgs args;
+  const std::string error = ParseArgs(argc, argv, 3, allowed, &args);
+  if (!error.empty()) return FlagError(error);
+  if (!args.Has("project")) {
+    return FlagError("'anmat rules " + sub + "' requires --project <dir>");
+  }
+  if (sub == "list") return CmdRulesList(args);
+  if (sub == "confirm") {
+    return CmdRulesSetStatus(args, anmat::RuleStatus::kConfirmed);
+  }
+  if (sub == "reject") {
+    return CmdRulesSetStatus(args, anmat::RuleStatus::kRejected);
+  }
+  return Usage();
+}
+
+// ---------------------------------------------------------------------------
+// detect / repair (shared project-mode preamble)
+// ---------------------------------------------------------------------------
+
+/// Loads the dataset and confirmed rules a project-mode detect/repair
+/// operates on. Returns 0 on success, else the exit code to return.
+int LoadProjectInputs(const ParsedArgs& args, anmat::Relation* relation,
+                      std::vector<anmat::Pfd>* rules) {
+  if (!args.positional.empty()) return Usage();
+  if (const std::string e = RejectFlags(
+          args, {"rules"},
+          "applies to the one-shot form, not --project mode (the project "
+          "directory is the rule store)");
+      !e.empty()) {
+    return FlagError(e);
+  }
+  auto project = anmat::Project::Open(args.Get("project"));
+  if (!project.ok()) return Fail(project.status());
+  auto data = LoadProjectData(project.value(), args);
+  if (!data.ok()) return Fail(data.status());
+  *relation = std::move(data).value();
+  *rules = project->ConfirmedPfds();
+  if (rules->empty()) {
+    return Fail(anmat::Status::InvalidArgument(
+        "project has no confirmed rules; run 'anmat rules confirm'"));
+  }
+  return 0;
+}
+
+int RunDetect(const anmat::Relation& relation,
+              const std::vector<anmat::Pfd>& rules, const ParsedArgs& args) {
+  anmat::Engine engine(
+      anmat::ExecutionOptions{FlagThreads(args), true, nullptr});
+  auto detection = engine.Detect(relation, rules);
   if (!detection.ok()) return Fail(detection.status());
-  if (FlagJson(flags)) {
-    std::cout << anmat::DetectionToJson(session.relation(), rules.value(),
-                                        detection.value())
-                     .DumpPretty()
+  if (FlagJson(args)) {
+    anmat::DetectionResult limited = std::move(detection).value();
+    if (args.Has("max")) {
+      // Honor --max in JSON too: cap the violations array. The stats block
+      // still reports the full counts, so the truncation is visible.
+      const size_t max_rows =
+          std::strtoul(args.Get("max").c_str(), nullptr, 10);
+      if (limited.violations.size() > max_rows) {
+        limited.violations.resize(max_rows);
+      }
+    }
+    std::cout << anmat::DetectionToJson(relation, rules, limited).DumpPretty()
               << "\n";
     return 0;
   }
   size_t max_rows = 50;
-  if (flags.count("max") > 0) {
-    max_rows = std::strtoul(flags.at("max").c_str(), nullptr, 10);
+  if (args.Has("max")) {
+    max_rows = std::strtoul(args.Get("max").c_str(), nullptr, 10);
   }
-  std::cout << anmat::RenderViolationsView(session.relation(), rules.value(),
+  std::cout << anmat::RenderViolationsView(relation, rules,
                                            detection.value(), max_rows);
   return 0;
 }
 
-int CmdRepair(const std::string& path,
-              const std::map<std::string, std::string>& flags) {
-  if (flags.count("rules") == 0) return Usage();
-  anmat::Session session("cli");
-  if (anmat::Status s = session.LoadCsvFile(path); !s.ok()) return Fail(s);
-  anmat::RuleStore store(flags.at("rules"));
-  auto rules = store.Load();
+int CmdDetect(const ParsedArgs& args) {
+  if (args.Has("project")) {
+    anmat::Relation relation;
+    std::vector<anmat::Pfd> rules;
+    if (int code = LoadProjectInputs(args, &relation, &rules); code != 0) {
+      return code;
+    }
+    return RunDetect(relation, rules, args);
+  }
+  if (const std::string e =
+          RejectFlags(args, {"data"}, "requires --project mode");
+      !e.empty()) {
+    return FlagError(e);
+  }
+  if (args.positional.size() != 1 || !args.Has("rules")) return Usage();
+  auto relation = anmat::ReadCsvFile(args.positional[0]);
+  if (!relation.ok()) return Fail(relation.status());
+  auto rules = LoadConfirmedRules(args.Get("rules"));
   if (!rules.ok()) return Fail(rules.status());
+  return RunDetect(relation.value(), rules.value(), args);
+}
 
-  anmat::Relation relation = session.relation();
-  auto result = anmat::RepairErrors(&relation, rules.value());
+// ---------------------------------------------------------------------------
+// repair
+// ---------------------------------------------------------------------------
+
+int RunRepair(anmat::Relation relation, const std::vector<anmat::Pfd>& rules,
+              const ParsedArgs& args) {
+  anmat::Engine engine(
+      anmat::ExecutionOptions{FlagThreads(args), true, nullptr});
+  auto result = engine.Repair(&relation, rules);
   if (!result.ok()) return Fail(result.status());
-  std::cout << "applied " << result.value().repairs.size() << " repair(s) in "
-            << result.value().passes << " pass(es); "
-            << result.value().remaining_violations
-            << " violation(s) remain";
-  if (!result.value().conflicted_cells.empty()) {
-    std::cout << "; " << result.value().conflicted_cells.size()
-              << " cell(s) had conflicting suggestions and were left alone";
+  if (FlagJson(args)) {
+    std::cout << anmat::RepairToJson(result.value(), rules).DumpPretty()
+              << "\n";
+  } else {
+    std::cout << anmat::RenderRepairView(result.value());
   }
-  std::cout << "\n";
-  for (const anmat::AppliedRepair& r : result.value().repairs) {
-    std::cout << "  row " << r.cell.row << " col " << r.cell.column << ": \""
-              << r.before << "\" -> \"" << r.after << "\"\n";
-  }
-  if (flags.count("out") > 0) {
-    if (anmat::Status s = anmat::WriteCsvFile(relation, flags.at("out"));
+  if (args.Has("out")) {
+    if (anmat::Status s = anmat::WriteCsvFile(relation, args.Get("out"));
         !s.ok()) {
       return Fail(s);
     }
-    std::cout << "wrote cleaned table to " << flags.at("out") << "\n";
+    if (!FlagJson(args)) {
+      std::cout << "wrote cleaned table to " << args.Get("out") << "\n";
+    }
   }
   return 0;
+}
+
+int CmdRepair(const ParsedArgs& args) {
+  if (args.Has("project")) {
+    anmat::Relation relation;
+    std::vector<anmat::Pfd> rules;
+    if (int code = LoadProjectInputs(args, &relation, &rules); code != 0) {
+      return code;
+    }
+    return RunRepair(std::move(relation), rules, args);
+  }
+  if (const std::string e =
+          RejectFlags(args, {"data"}, "requires --project mode");
+      !e.empty()) {
+    return FlagError(e);
+  }
+  if (args.positional.size() != 1 || !args.Has("rules")) return Usage();
+  auto relation = anmat::ReadCsvFile(args.positional[0]);
+  if (!relation.ok()) return Fail(relation.status());
+  auto rules = LoadConfirmedRules(args.Get("rules"));
+  if (!rules.ok()) return Fail(rules.status());
+  return RunRepair(std::move(relation).value(), rules.value(), args);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const std::string path = argv[2];
-  std::map<std::string, std::string> flags;
-  if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
 
-  if (command == "profile") return CmdProfile(path, flags);
-  if (command == "discover") return CmdDiscover(path, flags);
-  if (command == "detect") return CmdDetect(path, flags);
-  if (command == "repair") return CmdRepair(path, flags);
+  if (command == "rules") return CmdRules(argc, argv);
+
+  static const std::map<std::string, std::set<std::string>> kAllowedFlags = {
+      {"init", {"name", "coverage", "violations"}},
+      {"profile", {"project", "data", "threads", "format"}},
+      {"discover",
+       {"project", "data", "name", "coverage", "violations", "rules",
+        "table", "minimize", "threads", "format"}},
+      {"detect",
+       {"project", "data", "rules", "max", "threads", "format"}},
+      {"repair",
+       {"project", "data", "rules", "out", "threads", "format"}},
+  };
+  auto allowed = kAllowedFlags.find(command);
+  if (allowed == kAllowedFlags.end()) return Usage();
+
+  ParsedArgs args;
+  const std::string error = ParseArgs(argc, argv, 2, allowed->second, &args);
+  if (!error.empty()) return FlagError(error);
+  if (const std::string e = ValidateNumericFlags(args); !e.empty()) {
+    return FlagError(e);
+  }
+
+  if (command == "init") return CmdInit(args);
+  if (command == "profile") return CmdProfile(args);
+  if (command == "discover") return CmdDiscover(args);
+  if (command == "detect") return CmdDetect(args);
+  if (command == "repair") return CmdRepair(args);
   return Usage();
 }

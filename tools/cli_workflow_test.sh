@@ -1,0 +1,181 @@
+#!/usr/bin/env bash
+# End-to-end test of the CLI's stateful project workflow (run by ctest as
+# `cli_workflow_test` with the anmat binary path as $1):
+#
+#   init → discover → rules list → rules confirm → detect → repair
+#
+# plus the one-shot forms against a standalone rule file, the v1→v2 rule
+# store migration from the CLI's point of view, and the strict flag parsing
+# (unknown/duplicate flags exit 1 naming the flag).
+set -euo pipefail
+
+ANMAT="${1:?usage: cli_workflow_test.sh <path-to-anmat-binary>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+cat > zips.csv <<'EOF'
+zip,city
+90001,Los Angeles
+90002,Los Angeles
+90003,Los Angeles
+90004,New York
+EOF
+
+# --- project workflow ------------------------------------------------------
+
+"$ANMAT" init proj --name zips --coverage 0.5 --violations 0.3 \
+  | grep -q 'initialized project "zips"' || fail "init"
+[ -f proj/project.json ] || fail "init wrote no catalog"
+[ -f proj/rules.json ] || fail "init wrote no rule store"
+
+"$ANMAT" discover --project proj --data zips.csv \
+  | grep -q 'recorded .* rule(s) as discovered' || fail "discover --project"
+
+"$ANMAT" rules list --project proj | grep -q '\[1\] discovered' \
+  || fail "rules list shows discovered lifecycle"
+"$ANMAT" rules list --project proj --format json \
+  | grep -q '"status": "discovered"' || fail "rules list --format json"
+
+# Unconfirmed rules are not applied.
+if "$ANMAT" detect --project proj 2>err.txt; then
+  fail "detect with no confirmed rules should fail"
+fi
+grep -q 'no confirmed rules' err.txt || fail "detect error message"
+
+"$ANMAT" rules confirm all --project proj \
+  | grep -q 'rule(s) now confirmed' || fail "rules confirm all"
+"$ANMAT" rules list --project proj | grep -q '\[1\] confirmed' \
+  || fail "confirm persisted"
+
+"$ANMAT" detect --project proj | grep -q 'New York' || fail "detect --project"
+"$ANMAT" detect --project proj --format json | grep -q '"violations"' \
+  || fail "detect --project --format json"
+
+"$ANMAT" repair --project proj --out cleaned.csv \
+  | grep -q 'applied .* repair(s)' || fail "repair --project"
+grep -q '90004,Los Angeles' cleaned.csv || fail "repair cleaned the table"
+"$ANMAT" repair --project proj --format json | grep -q '"repairs"' \
+  || fail "repair --format json"
+
+"$ANMAT" rules reject 1 --project proj >/dev/null || fail "rules reject"
+"$ANMAT" rules list --project proj | grep -q '\[1\] rejected' \
+  || fail "reject persisted"
+
+# `confirm all` leaves rejected rules rejected; an explicit id overrides.
+"$ANMAT" rules confirm all --project proj >/dev/null || fail "confirm all"
+"$ANMAT" rules list --project proj | grep -q '\[1\] rejected' \
+  || fail "confirm all must not resurrect a rejection"
+"$ANMAT" rules confirm 1 --project proj >/dev/null
+"$ANMAT" rules list --project proj | grep -q '\[1\] confirmed' \
+  || fail "explicit confirm overrides rejection"
+
+"$ANMAT" profile --project proj | grep -q 'Profiling' \
+  || fail "profile --project"
+
+# --- one-shot forms (unchanged surface) ------------------------------------
+
+"$ANMAT" discover zips.csv --coverage 0.5 --violations 0.3 --rules r.json \
+  | grep -q 'saved .* rule(s)' || fail "one-shot discover --rules"
+# --format json keeps stdout pure JSON even when also saving rules.
+"$ANMAT" discover zips.csv --coverage 0.5 --violations 0.3 \
+  --rules r_json_mode.json --format json \
+  | python3 -c 'import json,sys; json.load(sys.stdin)' \
+  || fail "discover --format json stdout must be pure JSON"
+if "$ANMAT" rules confirm -1 --project proj 2>err.txt; then
+  fail "negative rule id should be rejected"
+fi
+grep -q -- 'not a rule id: -1' err.txt || fail "negative id named"
+"$ANMAT" detect zips.csv --rules r.json | grep -q 'New York' \
+  || fail "one-shot detect"
+"$ANMAT" repair zips.csv --rules r.json --out cleaned2.csv --format json \
+  | grep -q '"remaining_violations": 0' || fail "one-shot repair json"
+grep -q '90004,Los Angeles' cleaned2.csv || fail "one-shot repair output"
+
+# --- v1 rule files migrate transparently -----------------------------------
+
+python3 - <<'EOF' || fail "building v1 rule file"
+import json
+d = json.load(open("r.json"))
+assert d["version"] == 2, d["version"]
+v1 = {"format": "anmat-rules", "version": 1,
+      "rules": [r["rule"] for r in d["rules"]]}
+json.dump(v1, open("r_v1.json", "w"))
+EOF
+"$ANMAT" detect zips.csv --rules r_v1.json | grep -q 'New York' \
+  || fail "v1 rule file loads transparently"
+
+# --- strict flag parsing ---------------------------------------------------
+
+if "$ANMAT" detect zips.csv --rules r.json --bogus 1 2>err.txt; then
+  fail "unknown flag should exit nonzero"
+fi
+[ "$("$ANMAT" detect zips.csv --rules r.json --bogus 1 >/dev/null 2>&1; echo $?)" = 1 ] \
+  || fail "unknown flag exit code should be 1"
+grep -q -- 'unknown flag: --bogus' err.txt || fail "unknown flag named"
+
+if "$ANMAT" detect zips.csv --rules r.json --rules r.json 2>err.txt; then
+  fail "duplicate flag should exit nonzero"
+fi
+grep -q -- 'duplicate flag: --rules' err.txt || fail "duplicate flag named"
+
+if "$ANMAT" detect zips.csv --rules 2>err.txt; then
+  fail "flag missing value should exit nonzero"
+fi
+grep -q -- 'missing value for flag: --rules' err.txt \
+  || fail "missing value named"
+
+# Mode-mismatched flags are rejected, not silently ignored.
+if "$ANMAT" discover --project proj --rules out.json 2>err.txt; then
+  fail "--rules in project mode should be rejected"
+fi
+grep -q -- '--rules applies to the one-shot form' err.txt \
+  || fail "mode-mismatch names the flag"
+if "$ANMAT" detect zips.csv --rules r.json --data x 2>err.txt; then
+  fail "--data in one-shot mode should be rejected"
+fi
+grep -q -- '--data requires --project' err.txt || fail "--data rejection"
+if "$ANMAT" discover --project proj --name ds 2>err.txt; then
+  fail "--name without --data should be rejected"
+fi
+grep -q -- '--name requires --data' err.txt || fail "--name rejection"
+
+# Numeric flag values are validated.
+if "$ANMAT" init proj2 --coverage high 2>err.txt; then
+  fail "non-numeric --coverage should be rejected"
+fi
+grep -q -- 'invalid value for flag: --coverage' err.txt \
+  || fail "numeric validation names the flag"
+[ ! -d proj2 ] || [ ! -f proj2/project.json ] \
+  || fail "rejected init must not create a catalog"
+if "$ANMAT" detect zips.csv --rules r.json --threads two 2>err.txt; then
+  fail "non-numeric --threads should be rejected"
+fi
+grep -q -- 'invalid value for flag: --threads' err.txt \
+  || fail "--threads validation"
+if "$ANMAT" profile zips.csv --threads -1 2>err.txt; then
+  fail "negative --threads should be rejected"
+fi
+grep -q -- 'invalid value for flag: --threads' err.txt \
+  || fail "negative --threads named (strtoul wrap)"
+if "$ANMAT" profile zips.csv --threads ' -3' 2>err.txt; then
+  fail "whitespace-prefixed negative --threads should be rejected"
+fi
+grep -q -- 'invalid value for flag: --threads' err.txt \
+  || fail "whitespace-negative --threads named"
+
+# rules confirm/reject render nothing, so --format is rejected there.
+if "$ANMAT" rules confirm all --project proj --format json 2>err.txt; then
+  fail "--format on rules confirm should be rejected"
+fi
+grep -q -- 'unknown flag: --format' err.txt || fail "--format rejection"
+
+# Re-running discover must not duplicate stored rules.
+"$ANMAT" discover --project proj --data zips.csv >/dev/null \
+  || fail "re-discover"
+[ "$("$ANMAT" rules list --project proj | grep -c '^\[')" = 1 ] \
+  || fail "re-discover duplicated rule records"
+
+echo "PASS: CLI project workflow end-to-end"
