@@ -49,6 +49,7 @@ namespace {
 
 using anmat_bench::Banner;
 using anmat_bench::CheckOrDie;
+using anmat_bench::Sized;
 
 double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -74,7 +75,8 @@ std::string Fingerprint(const anmat::DetectionResult& result) {
 anmat::Dataset BenchDataset() {
   // Duplicate-heavy zip/city/state plus injected errors: several PFDs with
   // both constant and variable tableau rows, the shape the fan-out targets.
-  return anmat::ZipCityStateDataset(20000, 71, 0.02);
+  // ANMAT_BENCH_QUICK shrinks the dataset for the CI smoke run.
+  return anmat::ZipCityStateDataset(Sized(20000, 4000), 71, 0.02);
 }
 
 anmat::DiscoveryOptions BenchDiscoveryOptions() {

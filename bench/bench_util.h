@@ -8,10 +8,24 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 namespace anmat_bench {
+
+/// True when ANMAT_BENCH_QUICK is set (tools/bench.sh --quick / the CI
+/// smoke job): benches shrink their workloads so the whole suite finishes
+/// in seconds. The *checks* still run — only the sizes change.
+inline bool QuickMode() {
+  const char* v = std::getenv("ANMAT_BENCH_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// `full` normally, `quick` in quick mode.
+inline size_t Sized(size_t full, size_t quick) {
+  return QuickMode() ? quick : full;
+}
 
 /// Prints a banner naming the experiment (matches DESIGN.md's index).
 inline void Banner(const std::string& experiment_id,

@@ -3,7 +3,8 @@
 namespace anmat {
 
 Engine::Engine(ExecutionOptions execution)
-    : execution_(std::move(execution)) {
+    : execution_(std::move(execution)),
+      automata_(std::make_shared<AutomatonCache>()) {
   execution_.pool = nullptr;  // the engine owns its pool; never adopt one
 }
 
@@ -12,37 +13,17 @@ Engine::~Engine() = default;
 Engine::Engine(Engine&& other) noexcept
     : execution_(other.execution_),
       pool_(std::move(other.pool_)),
-      pool_lent_(other.pool_lent_),
-      retired_pools_(std::move(other.retired_pools_)) {
-  other.pool_lent_ = false;
-}
+      automata_(std::move(other.automata_)) {}
 
 Engine& Engine::operator=(Engine&& other) noexcept {
   if (this != &other) {
     execution_ = other.execution_;
-    // Move-assignment is a reconfiguration: park this engine's lent pools
-    // (a stream opened on it may still hold them) and adopt other's.
-    RetirePool();
+    // Dropping our references retires this engine's pool and cache; any
+    // stream opened on it co-owns them and frees them when it dies.
     pool_ = std::move(other.pool_);
-    pool_lent_ = other.pool_lent_;
-    other.pool_lent_ = false;
-    for (std::unique_ptr<ThreadPool>& p : other.retired_pools_) {
-      retired_pools_.push_back(std::move(p));
-    }
-    other.retired_pools_.clear();
+    automata_ = std::move(other.automata_);
   }
   return *this;
-}
-
-/// Never destroy a pool an open stream may still hold — park it until the
-/// engine dies. Pools no stream borrowed are simply destroyed (callers
-/// hold pool_mu_).
-void Engine::RetirePool() {
-  if (pool_ != nullptr && pool_lent_) {
-    retired_pools_.push_back(std::move(pool_));
-  }
-  pool_.reset();
-  pool_lent_ = false;
 }
 
 void Engine::set_execution(ExecutionOptions execution) {
@@ -51,15 +32,16 @@ void Engine::set_execution(ExecutionOptions execution) {
   execution_ = std::move(execution);
   execution_.pool = nullptr;
   // The pool only embodies the thread count: a reconfiguration that keeps
-  // it can reuse the pool, so repeated same-size calls retire nothing.
-  if (execution_.EffectiveThreads() != old_threads) RetirePool();
+  // it can reuse the pool. Dropping the reference frees the pool once its
+  // last borrowing stream (if any) goes away.
+  if (execution_.EffectiveThreads() != old_threads) pool_.reset();
 }
 
 void Engine::SetNumThreads(size_t num_threads) {
   std::lock_guard<std::mutex> lock(pool_mu_);
   const size_t old_threads = execution_.EffectiveThreads();
   execution_.num_threads = num_threads;
-  if (execution_.EffectiveThreads() != old_threads) RetirePool();
+  if (execution_.EffectiveThreads() != old_threads) pool_.reset();
 }
 
 ExecutionOptions Engine::Exec() {
@@ -67,23 +49,24 @@ ExecutionOptions Engine::Exec() {
   const size_t threads = execution_.EffectiveThreads();
   if (threads > 1 &&
       (pool_ == nullptr || pool_->num_threads() != threads)) {
-    RetirePool();
-    pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = std::make_shared<ThreadPool>(threads);
   }
   ExecutionOptions exec = execution_;
-  exec.pool = threads > 1 ? pool_.get() : nullptr;
+  exec.pool = threads > 1 ? pool_ : nullptr;
   return exec;
 }
 
 std::vector<ColumnProfile> Engine::Profile(const Relation& relation,
                                            ProfilerOptions options) {
   options.execution = Exec();
+  options.automata = automata_;
   return ProfileRelation(relation, options);
 }
 
 Result<DiscoveryResult> Engine::Discover(const Relation& relation,
                                          DiscoveryOptions options) {
   options.execution = Exec();
+  options.automata = automata_;
   return DiscoverPfds(relation, options);
 }
 
@@ -91,6 +74,7 @@ Result<DetectionResult> Engine::Detect(const Relation& relation,
                                        const std::vector<Pfd>& pfds,
                                        DetectorOptions options) {
   options.execution = Exec();
+  options.automata = automata_;
   return DetectErrors(relation, pfds, options);
 }
 
@@ -98,25 +82,23 @@ Result<RepairResult> Engine::Repair(Relation* relation,
                                     const std::vector<Pfd>& pfds,
                                     RepairOptions options) {
   // Every detection pass inside the repair loop inherits the engine's
-  // execution block; the suggestion-gathering and application steps are
-  // deterministic folds over the (already canonically sorted) violations,
-  // so the whole run is byte-identical to serial RepairErrors.
+  // execution block and automaton cache (tableau matchers are resolved
+  // once and shared across passes — see RepairErrors); the suggestion
+  // fold and application steps are deterministic, so the whole run is
+  // byte-identical to serial RepairErrors.
   options.detector.execution = Exec();
+  options.detector.automata = automata_;
   return RepairErrors(relation, pfds, options);
 }
 
 Result<std::unique_ptr<DetectionStream>> Engine::OpenStream(
     const Schema& schema, std::vector<Pfd> pfds, DetectorOptions options) {
   options.execution = Exec();
-  auto stream = DetectionStream::Open(schema, std::move(pfds), options);
-  // Only a successfully opened stream keeps the pool pointer beyond this
-  // call; mark the pool lent then (a failed Open holds nothing, so the
-  // pool stays destroyable on reconfiguration).
-  if (stream.ok() && options.execution.pool != nullptr) {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    if (pool_.get() == options.execution.pool) pool_lent_ = true;
-  }
-  return stream;
+  options.automata = automata_;
+  // The stream's own copy of the options co-owns the pool and the cache,
+  // so both outlive reconfiguration (and this engine) for as long as the
+  // stream needs them.
+  return DetectionStream::Open(schema, std::move(pfds), options);
 }
 
 }  // namespace anmat

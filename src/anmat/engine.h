@@ -27,6 +27,12 @@
 /// whatever options it is handed with its own configuration — threads are
 /// set once, on the engine.
 ///
+/// The engine also owns the engine-wide `AutomatonCache`
+/// (pattern/automaton_cache.h) and installs it into every stage's options:
+/// each distinct pattern is compiled and frozen exactly once per engine
+/// lifetime, and every stage, task, repair pass and stream probes the
+/// shared immutable automata lock-free.
+///
 /// \code
 ///   anmat::Engine engine(anmat::ExecutionOptions{/*num_threads=*/0});
 ///   auto discovery = engine.Discover(relation, options);
@@ -44,6 +50,7 @@
 #include "detect/detection_stream.h"
 #include "detect/detector.h"
 #include "discovery/discovery.h"
+#include "pattern/automaton_cache.h"
 #include "discovery/profiler.h"
 #include "relation/relation.h"
 #include "repair/repair.h"
@@ -52,7 +59,8 @@
 
 namespace anmat {
 
-/// \brief The execution engine: pipeline stages + a shared thread pool.
+/// \brief The execution engine: pipeline stages + a shared thread pool +
+/// the engine-wide automaton cache.
 ///
 /// Movable, not copyable. Stage calls (Profile/Discover/Detect/OpenStream)
 /// may run concurrently from several threads — lazy pool creation is
@@ -60,9 +68,10 @@ namespace anmat {
 /// Reconfiguration (`set_execution`, `SetNumThreads`, move) must be
 /// externally synchronized with stage calls (the options block itself is
 /// not synchronized), but it never destroys a pool that was already handed
-/// out: replaced pools are retired and kept alive until the engine is
-/// destroyed, so a `DetectionStream` opened before a reconfiguration stays
-/// valid — it simply keeps running on its original pool and thread count.
+/// out: pools are shared (`shared_ptr` in `ExecutionOptions`), so a
+/// `DetectionStream` opened before a reconfiguration stays valid — it
+/// keeps running on its original pool and thread count, and the retired
+/// pool is freed the moment the last borrowing stream dies.
 class Engine {
  public:
   /// `execution.num_threads`: 1 = serial (default), 0 = one per hardware
@@ -110,39 +119,32 @@ class Engine {
 
   /// Opens a streaming detector for `pfds` over relations with `schema`;
   /// batches appended to it pay pattern work only for newly seen distinct
-  /// values (see detection_stream.h). The stream borrows the engine's pool
-  /// and must not outlive the engine; reconfiguring the engine afterwards
-  /// is safe (the stream keeps its original pool, which stays alive until
-  /// the engine is destroyed).
+  /// values (see detection_stream.h). The stream co-owns the engine's pool
+  /// and automaton cache through its options, so it stays valid across
+  /// engine reconfiguration (it keeps its original pool) and even engine
+  /// destruction; retired pools are freed when their last borrower dies.
   Result<std::unique_ptr<DetectionStream>> OpenStream(
       const Schema& schema, std::vector<Pfd> pfds,
       DetectorOptions options = {});
 
+  /// The engine-wide compile-once automaton cache (stats-inspectable;
+  /// every stage call installs it into its options).
+  AutomatonCache& automata() { return *automata_; }
+
  private:
   /// The engine's execution block with the (lazily created) pool
-  /// installed. Stage calls use the pool synchronously; OpenStream marks
-  /// it lent (`pool_lent_`) once the stream actually opened.
+  /// installed.
   ExecutionOptions Exec();
-
-  /// Retires `pool_` (requires `pool_mu_`): parked in `retired_pools_`
-  /// when a stream borrowed it, destroyed otherwise.
-  void RetirePool();
 
   ExecutionOptions execution_;
   /// Guards lazy creation of `pool_` under concurrent stage calls.
   std::mutex pool_mu_;
-  std::unique_ptr<ThreadPool> pool_;
-  /// Whether `pool_` was handed to a stream (OpenStream) and may be held
-  /// beyond the engine call that created it.
-  bool pool_lent_ = false;
-  /// Pools replaced by reconfiguration while lent to a stream, kept alive
-  /// (workers idle on the queue condvar) until the engine is destroyed.
-  /// Never-lent pools are destroyed on reconfiguration as before. The
-  /// engine cannot observe a borrowing stream's destruction (streams hold
-  /// a raw pointer), so once a stream was opened, later size changes keep
-  /// parking pools — bounded by the caller's own reconfiguration count;
-  /// shared_ptr ownership would free them eagerly (ROADMAP open item).
-  std::vector<std::unique_ptr<ThreadPool>> retired_pools_;
+  /// Shared with every options block handed out; resetting it on
+  /// reconfiguration retires the pool without destroying it under a
+  /// borrower.
+  std::shared_ptr<ThreadPool> pool_;
+  /// Engine-wide automaton cache, shared with streams the same way.
+  std::shared_ptr<AutomatonCache> automata_;
 };
 
 }  // namespace anmat

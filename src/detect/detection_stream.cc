@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "util/thread_pool.h"
@@ -66,7 +68,8 @@ Status DetectionStream::Init() {
       state.constant = trow.IsConstantRow();
       state.variable = trow.IsVariableRow();
       state.resolved = detect_internal::ResolveRow(
-          trow, lhs_cols, rhs_cols, pfd.lhs_attrs(), pfd.rhs_attrs());
+          trow, lhs_cols, rhs_cols, pfd.lhs_attrs(), pfd.rhs_attrs(),
+          options_.automata.get());
 
       // Preset every pattern cell's scan with the stream-owned incremental
       // dictionary of its column; the memo tables grow with the dictionary
@@ -90,7 +93,7 @@ Status DetectionStream::Init() {
           const size_t col = lhs_cols[seed];
           if (indexes_[col] == nullptr) {
             indexes_[col] = std::make_unique<PatternIndex>(
-                relation_, col, dicts_[col].get());
+                relation_, col, dicts_[col].get(), options_.automata.get());
           }
         }
       }
@@ -156,25 +159,121 @@ void DetectionStream::AbsorbRows(RowState& state, RowId first_row,
 Result<bool> DetectionStream::CleanBatch(const Relation& batch,
                                          Relation* cleaned) {
   // Constant-rule violations depend only on the violating row's own cells,
-  // so detecting over the batch alone yields exactly the constant
-  // suggestions the cumulative run would produce for these rows. Variable
+  // so the confident suggestions for a batch can be computed directly from
+  // the stream's resolved rows — no batch-local DetectErrors, and
+  // therefore no per-batch dictionary or index rebuilds. Variable
   // suggestions are skipped by design (a batch-local majority is not the
   // cumulative majority; see the file comment).
-  DetectorOptions options = options_;
-  options.execution = ExecutionOptions{};  // batch-local, serial is fine
-  ANMAT_ASSIGN_OR_RETURN(DetectionResult detection,
-                         DetectErrors(batch, pfds_, options));
+  //
+  // Per-distinct-value match verdicts are reused from the stream's
+  // cross-batch memos when the value was already absorbed (looked up
+  // through the incremental dictionary); values the stream has not seen
+  // yet are matched once per batch via a batch-local memo. The resulting
+  // suggestion set is exactly what batch-local detection would emit —
+  // states are walked in (PFD, tableau row) order and rows ascending, the
+  // order the sorted violations would arrive in.
+  //
+  // Every batch cell is resolved against its column's incremental
+  // dictionary exactly once (not once per tableau row): the id arrays
+  // below are shared by all constant states touching the column, so the
+  // per-state inner loop is an array load plus a memo probe.
+  const RowId nbatch = static_cast<RowId>(batch.num_rows());
+  struct ColumnIds {
+    bool resolved = false;
+    /// >= 0: stream dictionary id (the cross-batch memos apply);
+    /// < 0: batch-local new-value id encoded as -(id + 1).
+    std::vector<int64_t> ids;
+    /// Distinct values the stream has not absorbed yet, in first-
+    /// occurrence order (pointers into the batch).
+    std::vector<const std::string*> new_values;
+  };
+  std::vector<ColumnIds> columns(batch.num_columns());
+  const auto resolve_column = [&](size_t col) -> const ColumnIds& {
+    ColumnIds& entry = columns[col];
+    if (entry.resolved) return entry;
+    entry.resolved = true;
+    entry.ids.resize(nbatch);
+    const ColumnDictionary* dict = dicts_[col].get();
+    std::unordered_map<std::string_view, int64_t> local;
+    for (RowId r = 0; r < nbatch; ++r) {
+      const std::string& value = batch.cell(r, col);
+      uint32_t id;
+      if (dict != nullptr && dict->Lookup(value, &id)) {
+        entry.ids[r] = static_cast<int64_t>(id);
+      } else {
+        auto [it, inserted] = local.try_emplace(
+            std::string_view(value),
+            -static_cast<int64_t>(entry.new_values.size()) - 1);
+        if (inserted) entry.new_values.push_back(&value);
+        entry.ids[r] = it->second;
+      }
+    }
+    return entry;
+  };
 
   std::map<CellRef, std::pair<std::string, size_t>> suggestions;
   std::set<CellRef> conflicts;
-  for (const Violation& v : detection.violations) {
-    if (v.kind != ViolationKind::kConstant || v.suggested_repair.empty()) {
-      continue;
+  for (RowState& state : rows_) {
+    if (!state.constant) continue;
+    const ResolvedRow& row = state.resolved;
+    const size_t ncells = row.lhs_cols.size();
+    // Per-cell column ids and per-cell verdict memos for this batch's new
+    // values (stream-known values memoize in state.scans, across batches).
+    std::vector<const ColumnIds*> cell_ids(ncells, nullptr);
+    std::vector<std::vector<int8_t>> new_match(ncells);
+    for (size_t i = 0; i < ncells; ++i) {
+      if (row.lhs_matchers[i] == nullptr) continue;
+      cell_ids[i] = &resolve_column(row.lhs_cols[i]);
+      new_match[i].assign(cell_ids[i]->new_values.size(), -1);
     }
-    auto [it, inserted] = suggestions.try_emplace(
-        v.suspect, std::make_pair(v.suggested_repair, v.pfd_index));
-    if (!inserted && it->second.first != v.suggested_repair) {
-      conflicts.insert(v.suspect);
+    for (RowId r = 0; r < nbatch; ++r) {
+      bool lhs_ok = true;
+      for (size_t i = 0; i < ncells && lhs_ok; ++i) {
+        const ConstrainedMatcher* matcher = row.lhs_matchers[i].get();
+        if (matcher == nullptr) continue;
+        const int64_t id = cell_ids[i]->ids[r];
+        if (id >= 0) {
+          detect_internal::CellScan& scan = state.scans[i];
+          if (scan.match.size() <= static_cast<size_t>(id)) {
+            scan.match.resize(scan.dict->num_values(), -1);
+          }
+          if (scan.match[id] < 0) {
+            scan.match[id] =
+                matcher->Matches(batch.cell(r, row.lhs_cols[i])) ? 1 : 0;
+          }
+          lhs_ok = scan.match[id] != 0;
+        } else {
+          int8_t& verdict = new_match[i][-id - 1];
+          if (verdict < 0) {
+            verdict = matcher->Matches(*cell_ids[i]->new_values[-id - 1])
+                          ? 1
+                          : 0;
+          }
+          lhs_ok = verdict != 0;
+        }
+      }
+      if (!lhs_ok) continue;
+
+      // The suggestion EmitConstantViolation would attach: the first
+      // mismatched RHS constant, for that cell; empty constants carry no
+      // repair.
+      size_t first_mismatch = row.rhs_cols.size();
+      for (size_t i = 0; i < row.rhs_cols.size(); ++i) {
+        if (batch.cell(r, row.rhs_cols[i]) != row.rhs_constants[i]) {
+          first_mismatch = i;
+          break;
+        }
+      }
+      if (first_mismatch == row.rhs_cols.size()) continue;
+      const std::string& repair = row.rhs_constants[first_mismatch];
+      if (repair.empty()) continue;
+      const CellRef suspect{
+          r, static_cast<uint32_t>(row.rhs_cols[first_mismatch])};
+      auto [it, inserted] = suggestions.try_emplace(
+          suspect, std::make_pair(repair, state.pfd_index));
+      if (!inserted && it->second.first != repair) {
+        conflicts.insert(suspect);
+      }
     }
   }
 

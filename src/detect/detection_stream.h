@@ -23,7 +23,11 @@
 /// repairs its own rows trigger (§3's "if the LHS is correct, the RHS
 /// could be changed to tp[B]" — always confident; conflicting suggestions
 /// for one cell are dropped), then absorbed, so the stream accumulates the
-/// *repaired* relation and the cumulative violations reflect it. The
+/// *repaired* relation and the cumulative violations reflect it. Cleaning
+/// is computed straight from the stream's resolved rows, incremental
+/// dictionaries and cross-batch memos — no batch-local detection run, no
+/// dictionary/index rebuilds — so it adds essentially nothing over plain
+/// streaming (A7d in bench_a7). The
 /// applied repairs are reported per batch (`batch_repairs()`) and
 /// cumulatively (`repairs()`), with row ids in stream coordinates.
 /// Variable-rule repairs are intentionally not applied on ingest: a single
@@ -131,9 +135,11 @@ class DetectionStream {
   void AbsorbRows(RowState& state, RowId first_row, RowId end_row);
 
   /// Computes the confident constant-rule repairs for `batch` and records
-  /// them (clean-on-ingest). When any apply, `*cleaned` is set to the
-  /// repaired copy and true is returned; a repair-free batch returns false
-  /// without paying the copy.
+  /// them (clean-on-ingest). Runs directly over the stream's resolved rows
+  /// and per-distinct-value memos — no batch-local detection, no
+  /// dictionary/index rebuilds. When any repairs apply, `*cleaned` is set
+  /// to the repaired copy and true is returned; a repair-free batch
+  /// returns false without paying the copy.
   Result<bool> CleanBatch(const Relation& batch, Relation* cleaned);
 
   Relation relation_;

@@ -22,7 +22,8 @@ ResolvedRow ResolveRow(const TableauRow& row,
                        const std::vector<size_t>& lhs_cols,
                        const std::vector<size_t>& rhs_cols,
                        const std::vector<std::string>& lhs_attrs,
-                       const std::vector<std::string>& rhs_attrs) {
+                       const std::vector<std::string>& rhs_attrs,
+                       AutomatonCache* automata) {
   ResolvedRow resolved;
   resolved.row = &row;
   resolved.lhs_cols = lhs_cols;
@@ -33,7 +34,7 @@ ResolvedRow ResolveRow(const TableauRow& row,
     resolved.lhs_matchers.push_back(
         cell.is_wildcard()
             ? nullptr
-            : std::make_unique<ConstrainedMatcher>(cell.pattern()));
+            : std::make_unique<ConstrainedMatcher>(cell.pattern(), automata));
   }
   if (row.IsConstantRow()) {
     for (const TableauCell& cell : row.rhs) {
@@ -293,7 +294,8 @@ struct RunContext {
     auto it = indexes.find(col);
     if (it == indexes.end()) {
       it = indexes
-               .emplace(col, std::make_unique<PatternIndex>(*relation, col))
+               .emplace(col, std::make_unique<PatternIndex>(
+                                 *relation, col, options->automata.get()))
                .first;
     }
     return *it->second;
@@ -435,13 +437,10 @@ struct PfdPlan {
   std::vector<size_t> rhs_cols;
 };
 
-/// Detects one tableau row into `ctx.result`.
-void DetectPlanRow(RunContext& ctx, const PfdPlan& plan, size_t pfd_index,
-                   size_t row_index) {
-  const TableauRow& trow = plan.pfd->tableau().row(row_index);
-  ResolvedRow resolved = detect_internal::ResolveRow(
-      trow, plan.lhs_cols, plan.rhs_cols, plan.pfd->lhs_attrs(),
-      plan.pfd->rhs_attrs());
+/// Detects one already-resolved tableau row into `ctx.result`.
+void DetectResolvedRow(RunContext& ctx, const ResolvedRow& resolved,
+                       size_t pfd_index, size_t row_index) {
+  const TableauRow& trow = *resolved.row;
   if (trow.IsConstantRow()) {
     DetectConstantRow(ctx, pfd_index, row_index, resolved);
   } else if (trow.IsVariableRow()) {
@@ -453,9 +452,12 @@ void DetectPlanRow(RunContext& ctx, const PfdPlan& plan, size_t pfd_index,
 
 }  // namespace
 
-Result<DetectionResult> DetectErrors(const Relation& relation,
-                                     const std::vector<Pfd>& pfds,
-                                     const DetectorOptions& options) {
+namespace detect_internal {
+
+Result<DetectionResult> DetectErrorsReusingRows(const Relation& relation,
+                                                const std::vector<Pfd>& pfds,
+                                                const DetectorOptions& options,
+                                                ResolvedRowSet* row_set) {
   // Validate and resolve every PFD up front (also what the parallel path
   // needs: the first validation error must not depend on task timing).
   std::vector<PfdPlan> plans;
@@ -492,13 +494,42 @@ Result<DetectionResult> DetectErrors(const Relation& relation,
 
   const bool parallel = options.execution.EffectiveThreads() > 1 &&
                         items.size() > 1 && options.max_violations == 0;
+  AutomatonCache* const automata = options.automata.get();
+
+  // Resolve the tableau rows once per `row_set` lifetime (per call when the
+  // caller passed none): the repair fixpoint loop hands the same set back
+  // for every pass, so matchers are not rebuilt per pass. A serial run
+  // always walks the shared set; a parallel run shares it only when every
+  // matcher is frozen-backed (`shareable`) — lazy matchers memoize under
+  // the const interface and must stay single-owner, so that path resolves
+  // per task below, exactly the pre-cache behavior. Without a cache a
+  // parallel run can never share rows, so resolving a set upfront would
+  // only duplicate the per-task compilation — skip it.
+  ResolvedRowSet local_rows;
+  ResolvedRowSet& rows = row_set != nullptr ? *row_set : local_rows;
+  if (!rows.resolved && (!parallel || automata != nullptr)) {
+    rows.rows.reserve(items.size());
+    bool shareable = true;
+    for (const WorkItem& item : items) {
+      const PfdPlan& plan = plans[item.plan];
+      ResolvedRow resolved =
+          ResolveRow(plan.pfd->tableau().row(item.row), plan.lhs_cols,
+                     plan.rhs_cols, plan.pfd->lhs_attrs(),
+                     plan.pfd->rhs_attrs(), automata);
+      shareable = shareable && resolved.concurrent_safe();
+      rows.rows.push_back(std::move(resolved));
+    }
+    rows.shareable = shareable;
+    rows.resolved = true;
+  }
+
   if (!parallel) {
     RunContext ctx{&relation, &options, &result, {}, nullptr};
-    for (const WorkItem& item : items) {
+    for (size_t i = 0; i < items.size(); ++i) {
       if (ctx.AtCap()) break;
-      DetectPlanRow(ctx, plans[item.plan], item.plan, item.row);
+      DetectResolvedRow(ctx, rows.rows[i], items[i].plan, items[i].row);
     }
-    detect_internal::SortViolations(&result.violations);
+    SortViolations(&result.violations);
     result.stats.violations = result.violations.size();
     return result;
   }
@@ -523,7 +554,7 @@ Result<DetectionResult> DetectErrors(const Relation& relation,
     std::vector<size_t> cols(seed_cols.begin(), seed_cols.end());
     std::vector<std::unique_ptr<PatternIndex>> built(cols.size());
     ParallelFor(options.execution, cols.size(), [&](size_t i) {
-      built[i] = std::make_unique<PatternIndex>(relation, cols[i]);
+      built[i] = std::make_unique<PatternIndex>(relation, cols[i], automata);
     });
     for (size_t i = 0; i < cols.size(); ++i) {
       shared_indexes.emplace(cols[i], std::move(built[i]));
@@ -532,10 +563,22 @@ Result<DetectionResult> DetectErrors(const Relation& relation,
 
   // One task per work item, each with its own result slot; slots are merged
   // in item order, so the outcome is byte-identical to the serial loop.
+  // Frozen-backed rows are probed in place by every task; otherwise each
+  // task resolves a private copy (lazy matchers are single-owner).
+  const bool share_rows = rows.resolved && rows.shareable;
   std::vector<DetectionResult> slots(items.size());
   ParallelFor(options.execution, items.size(), [&](size_t i) {
     RunContext ctx{&relation, &options, &slots[i], {}, &shared_indexes};
-    DetectPlanRow(ctx, plans[items[i].plan], items[i].plan, items[i].row);
+    if (share_rows) {
+      DetectResolvedRow(ctx, rows.rows[i], items[i].plan, items[i].row);
+    } else {
+      const PfdPlan& plan = plans[items[i].plan];
+      ResolvedRow resolved =
+          ResolveRow(plan.pfd->tableau().row(items[i].row), plan.lhs_cols,
+                     plan.rhs_cols, plan.pfd->lhs_attrs(),
+                     plan.pfd->rhs_attrs(), automata);
+      DetectResolvedRow(ctx, resolved, items[i].plan, items[i].row);
+    }
   });
 
   for (DetectionResult& slot : slots) {
@@ -545,9 +588,18 @@ Result<DetectionResult> DetectErrors(const Relation& relation,
                              std::make_move_iterator(slot.violations.begin()),
                              std::make_move_iterator(slot.violations.end()));
   }
-  detect_internal::SortViolations(&result.violations);
+  SortViolations(&result.violations);
   result.stats.violations = result.violations.size();
   return result;
+}
+
+}  // namespace detect_internal
+
+Result<DetectionResult> DetectErrors(const Relation& relation,
+                                     const std::vector<Pfd>& pfds,
+                                     const DetectorOptions& options) {
+  return detect_internal::DetectErrorsReusingRows(relation, pfds, options,
+                                                  nullptr);
 }
 
 Result<DetectionResult> DetectErrors(const Relation& relation, const Pfd& pfd,

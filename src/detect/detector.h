@@ -13,10 +13,12 @@
 /// blocking on the canonical extraction key, flagging minority records of
 /// each block against the block majority.
 
+#include <memory>
 #include <vector>
 
 #include "detect/pattern_index.h"
 #include "detect/violation.h"
+#include "pattern/automaton_cache.h"
 #include "pfd/pfd.h"
 #include "relation/relation.h"
 #include "util/status.h"
@@ -44,6 +46,13 @@ struct DetectorOptions {
   /// forces the serial path (the cap's "first N found in processing order"
   /// semantics cannot be reproduced under fan-out).
   ExecutionOptions execution;
+  /// Shared compile-once automaton cache (pattern/automaton_cache.h).
+  /// When set, tableau matchers and index verifiers come out as shared
+  /// frozen automata: each distinct pattern is compiled once per cache
+  /// lifetime and probed lock-free by every task and pass. Null (default)
+  /// keeps the private lazy automata; results are byte-identical either
+  /// way. `anmat::Engine` installs its engine-wide cache here.
+  std::shared_ptr<AutomatonCache> automata;
 };
 
 /// \brief Result of a detection run.

@@ -17,20 +17,27 @@
 
 #include "detect/violation.h"
 #include "pattern/matcher.h"
+#include "pfd/pfd.h"
 #include "pfd/tableau.h"
 #include "relation/relation.h"
+#include "util/status.h"
 
 namespace anmat {
 
 struct DetectionResult;
+struct DetectorOptions;
+class AutomatonCache;
 
 namespace detect_internal {
 
 /// One tableau row of one PFD, resolved against the relation's schema and
-/// pre-compiled for matching. The compiled matchers memoize lazily (DFA
-/// subset construction), so a ResolvedRow must be used by one thread at a
-/// time — the engine resolves per task, the stream resolves once and
-/// processes each row's state on a single task per batch.
+/// pre-compiled for matching. Matchers compiled through an
+/// `AutomatonCache` are backed by shared frozen automata
+/// (`concurrent_safe()`) and the row may then be probed by any number of
+/// threads; a row with lazy matchers (no cache, or freeze-cap fallback)
+/// must be used by one thread at a time — the engine resolves per task in
+/// that case, the stream resolves once and processes each row's state on a
+/// single task per batch.
 struct ResolvedRow {
   const TableauRow* row;
   std::vector<size_t> lhs_cols;
@@ -42,13 +49,42 @@ struct ResolvedRow {
   std::vector<std::unique_ptr<ConstrainedMatcher>> lhs_matchers;
   // Constant RHS values (valid when the row is constant).
   std::vector<std::string> rhs_constants;
+
+  /// Every matcher frozen-backed: the row is shareable across threads.
+  bool concurrent_safe() const {
+    for (const std::unique_ptr<ConstrainedMatcher>& m : lhs_matchers) {
+      if (m != nullptr && !m->concurrent_safe()) return false;
+    }
+    return true;
+  }
 };
 
 ResolvedRow ResolveRow(const TableauRow& row,
                        const std::vector<size_t>& lhs_cols,
                        const std::vector<size_t>& rhs_cols,
                        const std::vector<std::string>& lhs_attrs,
-                       const std::vector<std::string>& rhs_attrs);
+                       const std::vector<std::string>& rhs_attrs,
+                       AutomatonCache* automata = nullptr);
+
+/// Resolved rows of a fixed (pfds, schema) pair, flattened in (PFD,
+/// tableau row) order — one entry per detection work item. A caller
+/// running `DetectErrors` repeatedly over the same rules (the repair
+/// fixpoint loop) passes one of these to `DetectErrorsReusingRows` so rows
+/// are resolved once, not once per pass: serial runs always reuse them,
+/// parallel runs reuse them when `shareable` (every matcher frozen-backed;
+/// lazy matchers memoize and cannot cross threads).
+struct ResolvedRowSet {
+  std::vector<ResolvedRow> rows;
+  bool shareable = false;
+  bool resolved = false;
+};
+
+/// `DetectErrors` with an optional cross-run resolved-row cache (see
+/// `ResolvedRowSet`); `row_set` may be null. Defined in detector.cc.
+Result<DetectionResult> DetectErrorsReusingRows(const Relation& relation,
+                                                const std::vector<Pfd>& pfds,
+                                                const DetectorOptions& options,
+                                                ResolvedRowSet* row_set);
 
 /// The index of the seed cell (the first non-wildcard LHS cell), or
 /// lhs_cols.size() when every cell is a wildcard.

@@ -57,8 +57,12 @@ bool SignatureCompatible(const Pattern& query, const Pattern& signature) {
 }  // namespace
 
 PatternIndex::PatternIndex(const Relation& relation, size_t col,
-                           const ColumnDictionary* external_dict)
-    : relation_(&relation), col_(col), external_dict_(external_dict) {}
+                           const ColumnDictionary* external_dict,
+                           AutomatonCache* automata)
+    : relation_(&relation),
+      col_(col),
+      external_dict_(external_dict),
+      automata_(automata) {}
 
 const ColumnDictionary& PatternIndex::Dict() const {
   return external_dict_ != nullptr ? *external_dict_
@@ -115,8 +119,9 @@ void PatternIndex::AppendRows(RowId first_row, RowId end_row) {
   }
 }
 
-PatternIndex::PatternIndex(const Relation& relation, size_t col)
-    : relation_(&relation), col_(col) {
+PatternIndex::PatternIndex(const Relation& relation, size_t col,
+                           AutomatonCache* automata)
+    : relation_(&relation), col_(col), automata_(automata) {
   const ColumnDictionary& dict = relation.dictionary(col);
   // Scratch sets of per-value distinct token/trigram keys (one value can
   // repeat a token; its rows must be posted once per key).
@@ -165,7 +170,7 @@ PatternIndex::PatternIndex(const Relation& relation, size_t col)
 std::vector<RowId> PatternIndex::VerifyCandidates(
     const std::vector<RowId>& candidates, const Pattern& p) const {
   last_candidates_.store(candidates.size(), std::memory_order_relaxed);
-  PatternMatcher matcher(p);
+  PatternMatcher matcher(p, automata_);
   const ColumnDictionary& dict = Dict();
   // Match each distinct value at most once; candidates holding the same
   // value reuse the verdict.

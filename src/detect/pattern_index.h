@@ -31,6 +31,8 @@
 
 namespace anmat {
 
+class AutomatonCache;
+
 /// \brief Index over one column's values.
 ///
 /// Construction and verification run over the column's value *dictionary*
@@ -42,15 +44,19 @@ namespace anmat {
 class PatternIndex {
  public:
   /// Builds the index for column `col` of `relation` in one pass over the
-  /// column dictionary.
-  PatternIndex(const Relation& relation, size_t col);
+  /// column dictionary. `automata` (optional, not owned, must outlive the
+  /// index) backs `Lookup`'s verification matchers with shared frozen
+  /// automata so repeated lookups of one pattern compile it exactly once.
+  PatternIndex(const Relation& relation, size_t col,
+               AutomatonCache* automata = nullptr);
 
   /// Streaming constructor: starts empty over an externally grown
   /// dictionary (not owned; must outlive the index and stay in sync with
   /// `relation`'s column `col`). Feed rows with `AppendRows` after each
   /// dictionary extension. Used by `DetectionStream`.
   PatternIndex(const Relation& relation, size_t col,
-               const ColumnDictionary* external_dict);
+               const ColumnDictionary* external_dict,
+               AutomatonCache* automata = nullptr);
 
   /// Appends rows [first_row, end_row) to the postings. Only valid on
   /// streaming-constructed indexes; rows must arrive in ascending order,
@@ -106,6 +112,7 @@ class PatternIndex {
   const Relation* relation_;
   size_t col_;
   const ColumnDictionary* external_dict_ = nullptr;
+  AutomatonCache* automata_ = nullptr;  ///< not owned; may be null
   /// signature text -> rows with that exact class-run signature
   std::unordered_map<std::string, std::vector<RowId>> by_signature_;
   /// token text -> rows containing the token

@@ -43,8 +43,9 @@ Result<std::vector<DiscoveredPfd>> MineCandidate(
       }
       Pfd pfd = Pfd::Simple(options.table_name, lhs_name, rhs_name,
                             std::move(tableau));
-      ANMAT_ASSIGN_OR_RETURN(CoverageStats stats,
-                             ComputeCoverage(pfd, relation));
+      ANMAT_ASSIGN_OR_RETURN(
+          CoverageStats stats,
+          ComputeCoverage(pfd, relation, options.automata.get()));
       if (stats.Coverage() >= options.min_coverage &&
           stats.ViolationRate() <= options.allowed_violation_ratio) {
         out.push_back(DiscoveredPfd{std::move(pfd), stats,
@@ -71,8 +72,9 @@ Result<std::vector<DiscoveredPfd>> MineCandidate(
       }
       Pfd pfd = Pfd::Simple(options.table_name, lhs_name, rhs_name,
                             std::move(tableau));
-      ANMAT_ASSIGN_OR_RETURN(CoverageStats stats,
-                             ComputeCoverage(pfd, relation));
+      ANMAT_ASSIGN_OR_RETURN(
+          CoverageStats stats,
+          ComputeCoverage(pfd, relation, options.automata.get()));
       if (stats.Coverage() >= options.min_coverage &&
           stats.ViolationRate() <= options.allowed_violation_ratio) {
         out.push_back(DiscoveredPfd{std::move(pfd), stats,
@@ -90,6 +92,7 @@ Result<DiscoveryResult> DiscoverPfds(const Relation& relation,
   DiscoveryResult result;
   ProfilerOptions profiler_options = options.profiler;
   profiler_options.execution = options.execution;
+  profiler_options.automata = options.automata;
   result.profiles = ProfileRelation(relation, profiler_options);
 
   const std::vector<CandidateDependency> candidates =

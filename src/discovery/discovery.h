@@ -13,6 +13,7 @@
 ///      meets the user's minimum coverage `γ` (Figure 2, line 13) and whose
 ///      violation rate stays within the allowed ratio.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,15 @@ struct DiscoveryOptions {
   /// Also propagated into `profiler.execution` for the profiling pass.
   /// Overridden by `anmat::Engine` with its own configuration.
   ExecutionOptions execution;
+
+  /// Shared compile-once automaton cache (pattern/automaton_cache.h):
+  /// coverage computation compiles one matcher per tableau cell per
+  /// candidate, so with the cache installed (by `anmat::Engine`, like
+  /// `execution`) each distinct pattern is compiled exactly once across
+  /// all candidates — and shared with detection/repair afterwards.
+  /// Propagated into `profiler.automata`. Null keeps private lazy
+  /// automata; results are byte-identical either way.
+  std::shared_ptr<AutomatonCache> automata;
 
   ProfilerOptions profiler;
   ConstantMinerOptions constant_miner;

@@ -1,0 +1,55 @@
+#include "pattern/automaton_cache.h"
+
+namespace anmat {
+
+std::string AutomatonCache::KeyOf(const Pattern& p) {
+  // Pattern::ToString() appends '&'-joined conjuncts, but a Dfa compiles
+  // the element sequence only — key on exactly what is compiled.
+  std::string key;
+  for (const PatternElement& e : p.elements()) key += e.ToString();
+  return key;
+}
+
+std::shared_ptr<const FrozenDfa> AutomatonCache::Get(const Pattern& p) {
+  std::string key = KeyOf(p);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = dfas_.find(key);
+    if (it != dfas_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Compile outside the lock so first-touches of *distinct* patterns do not
+  // serialize; a same-pattern race compiles twice and the first publish
+  // wins (the loser's automaton is discarded).
+  std::shared_ptr<const FrozenDfa> frozen =
+      Dfa::Compile(p).Freeze(max_frozen_states_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = dfas_.emplace(std::move(key), std::move(frozen));
+  ++misses_;
+  if (inserted && it->second == nullptr) ++fallbacks_;
+  return it->second;
+}
+
+size_t AutomatonCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dfas_.size();
+}
+
+size_t AutomatonCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t AutomatonCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t AutomatonCache::fallbacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fallbacks_;
+}
+
+}  // namespace anmat

@@ -1,0 +1,86 @@
+#ifndef ANMAT_PATTERN_AUTOMATON_CACHE_H_
+#define ANMAT_PATTERN_AUTOMATON_CACHE_H_
+
+/// \file automaton_cache.h
+/// Engine-wide compile-once cache of frozen automata.
+///
+/// The pipeline probes millions of cell values against a small, heavily
+/// repeated set of patterns: every tableau cell, every conjunct, every
+/// index verification and every repair pass needs the same handful of
+/// automata. `AutomatonCache` maps a pattern's canonical element-sequence
+/// signature to its `FrozenDfa` (pattern/frozen_dfa.h), compiling and
+/// freezing on first use and handing out `shared_ptr<const FrozenDfa>`
+/// afterwards — each distinct pattern is compiled exactly once per cache
+/// (i.e. once per `anmat::Engine` lifetime), and the frozen automata are
+/// probed concurrently without locks.
+///
+/// Keying: a `Dfa` compiles exactly a pattern's *element sequence*
+/// (conjuncts are separate automata, flattened by the matchers), so the
+/// key is the elements-only canonical text — two patterns that differ only
+/// in conjuncts share the main automaton, and each conjunct is its own
+/// entry.
+///
+/// Unfreezable patterns (reachable states above the freeze cap) are
+/// negatively cached: `Get` returns null and callers fall back to private
+/// lazy `Dfa` copies, one per owner, exactly the pre-cache behavior.
+///
+/// Thread safety: `Get` may be called concurrently (lookups take a mutex;
+/// compilation runs outside it, and a same-pattern race publishes
+/// first-wins). The stats counters are monotone and approximate only in
+/// the sense that a racing miss may count twice.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "pattern/dfa.h"
+#include "pattern/frozen_dfa.h"
+#include "pattern/pattern.h"
+
+namespace anmat {
+
+/// \brief Compile-once store of frozen automata, keyed by the pattern's
+/// canonical element-sequence signature.
+class AutomatonCache {
+ public:
+  explicit AutomatonCache(size_t max_frozen_states = kDefaultMaxFrozenStates)
+      : max_frozen_states_(max_frozen_states) {}
+
+  AutomatonCache(const AutomatonCache&) = delete;
+  AutomatonCache& operator=(const AutomatonCache&) = delete;
+
+  /// The frozen automaton for `p`'s element sequence, compiling + freezing
+  /// it on first use. Returns null when the pattern is unfreezable (state
+  /// cap); the verdict is cached either way.
+  std::shared_ptr<const FrozenDfa> Get(const Pattern& p);
+
+  /// The canonical cache key of `p`: its elements-only textual form
+  /// (conjuncts excluded — they are separate automata).
+  static std::string KeyOf(const Pattern& p);
+
+  /// Distinct patterns seen (frozen or negatively cached).
+  size_t entries() const;
+  /// Lookups answered from the cache. Every hit is one avoided NFA compile
+  /// + subset construction.
+  size_t hits() const;
+  /// Lookups that compiled (first sight of a pattern).
+  size_t misses() const;
+  /// Misses whose pattern exceeded the freeze cap (lazy fallback).
+  size_t fallbacks() const;
+
+ private:
+  const size_t max_frozen_states_;
+  mutable std::mutex mu_;
+  /// Signature -> frozen automaton; a null value is the negative cache for
+  /// unfreezable patterns.
+  std::unordered_map<std::string, std::shared_ptr<const FrozenDfa>> dfas_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t fallbacks_ = 0;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_PATTERN_AUTOMATON_CACHE_H_

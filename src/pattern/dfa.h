@@ -26,8 +26,11 @@
 ///
 /// The memo tables grow lazily behind a const interface (`mutable`); a
 /// `Dfa` is therefore NOT safe for concurrent use from multiple threads.
+/// For shared concurrent probing, `Freeze()` (pattern/frozen_dfa.h) runs
+/// the subset construction eagerly and emits an immutable `FrozenDfa`.
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -35,6 +38,13 @@
 #include "pattern/pattern.h"
 
 namespace anmat {
+
+class FrozenDfa;
+
+/// Default cap on eagerly materialized states in `Dfa::Freeze` — far above
+/// anything the paper's pattern language produces (tens of states), so it
+/// only guards against pathological inputs.
+inline constexpr size_t kDefaultMaxFrozenStates = 4096;
 
 /// \brief Lazily-determinized automaton for one pattern's element sequence
 /// (conjuncts are compiled separately, exactly like `Nfa`).
@@ -57,6 +67,15 @@ class Dfa {
   /// prefix lengths. Returns the number of lengths found. Callers in tight
   /// loops reuse the scratch vector.
   size_t ScanPrefixes(std::string_view s, std::vector<uint32_t>* out) const;
+
+  /// Eagerly materializes every reachable DFA state (bounded subset
+  /// construction) and emits an immutable `FrozenDfa` safe for lock-free
+  /// concurrent probes, with accept decisions and prefix sets identical to
+  /// this automaton's. Returns null when more than `max_states` states are
+  /// reachable — callers keep using (per-thread) lazy automata then.
+  /// Defined in frozen_dfa.cc.
+  std::shared_ptr<const FrozenDfa> Freeze(
+      size_t max_states = kDefaultMaxFrozenStates) const;
 
   /// Introspection (benchmarks / tests).
   size_t num_symbol_classes() const { return num_classes_; }

@@ -1,0 +1,34 @@
+#include "pattern/frozen_dfa.h"
+
+#include <algorithm>
+
+namespace anmat {
+
+std::shared_ptr<const FrozenDfa> Dfa::Freeze(size_t max_states) const {
+  // Eager bounded subset construction: walk every (state, class) edge of
+  // every materialized state. `Transition` interns newly discovered states
+  // at the tail of the lazy tables, so the plain index loop naturally
+  // explores the whole reachable automaton; the dead state's edges are
+  // pre-filled at construction and cost nothing.
+  for (uint32_t s = 0; s < accept_.size(); ++s) {
+    if (accept_.size() > max_states) return nullptr;
+    for (uint32_t cls = 0; cls < num_classes_; ++cls) Transition(s, cls);
+  }
+  if (accept_.size() > max_states) return nullptr;
+
+  auto frozen = std::shared_ptr<FrozenDfa>(new FrozenDfa());
+  static_assert(sizeof(frozen->byte_class_) == sizeof(byte_class_));
+  std::copy(std::begin(byte_class_), std::end(byte_class_),
+            std::begin(frozen->byte_class_));
+  frozen->num_classes_ = num_classes_;
+  frozen->num_states_ = static_cast<uint32_t>(accept_.size());
+  frozen->start_state_ = start_state_;
+  frozen->transitions_ = transitions_;
+  frozen->accept_bits_.assign((accept_.size() + 63) / 64, 0);
+  for (uint32_t s = 0; s < accept_.size(); ++s) {
+    if (accept_[s]) frozen->accept_bits_[s >> 6] |= uint64_t{1} << (s & 63);
+  }
+  return frozen;
+}
+
+}  // namespace anmat

@@ -1,0 +1,105 @@
+#ifndef ANMAT_PATTERN_FROZEN_DFA_H_
+#define ANMAT_PATTERN_FROZEN_DFA_H_
+
+/// \file frozen_dfa.h
+/// Immutable, concurrency-safe automata frozen out of a lazy `Dfa`.
+///
+/// The lazy `Dfa` (dfa.h) memoizes subset construction behind a const
+/// interface, so it is cheap to build but NOT safe for concurrent probes —
+/// every parallel detection task and every repair pass has historically
+/// compiled its own copy and re-explored the same states. `Dfa::Freeze()`
+/// pays the subset construction once, eagerly: it materializes every
+/// reachable DFA state (bounded by a state cap) and emits a `FrozenDfa` —
+/// a contiguous state-major `uint32_t` transition table plus a packed
+/// accept bitmap, with no mutable members at all. A `FrozenDfa` can be
+/// probed lock-free from any number of threads and shared engine-wide via
+/// `shared_ptr` (see pattern/automaton_cache.h).
+///
+/// Matching semantics are byte-identical to the lazy `Dfa` (and therefore
+/// to the `Nfa` reference): same accept decisions, same prefix-length
+/// sets — differential-tested in tests/dfa_test.cc. State 0 is the dead
+/// state; `Matches`/`ScanPrefixes` exit early the moment it is entered.
+///
+/// Patterns whose reachable subset automaton exceeds the cap (none of the
+/// paper's pattern language in practice — automata here have tens of
+/// states) are reported unfreezable (`Freeze` returns null) and callers
+/// fall back to private lazy `Dfa` copies, one per owner.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "pattern/dfa.h"
+
+namespace anmat {
+
+/// \brief Fully-materialized immutable DFA: safe for lock-free concurrent
+/// probes. Built exclusively by `Dfa::Freeze`.
+class FrozenDfa {
+ public:
+  /// Full-string match: one flat table lookup per byte, early exit on the
+  /// dead state.
+  bool Matches(std::string_view s) const {
+    uint32_t state = start_state_;
+    const uint32_t stride = num_classes_;
+    for (const char c : s) {
+      state =
+          transitions_[state * stride + byte_class_[static_cast<unsigned char>(c)]];
+      if (state == kDead) return false;
+    }
+    return IsAccept(state);
+  }
+
+  /// Allocation-free prefix scan: clears `*out` and fills it with every L
+  /// such that s[0, L) is accepted, ascending. Same contract as
+  /// `Dfa::ScanPrefixes`.
+  size_t ScanPrefixes(std::string_view s, std::vector<uint32_t>* out) const {
+    out->clear();
+    uint32_t state = start_state_;
+    const uint32_t stride = num_classes_;
+    if (IsAccept(state)) out->push_back(0);
+    for (size_t i = 0; i < s.size(); ++i) {
+      state = transitions_[state * stride +
+                           byte_class_[static_cast<unsigned char>(s[i])]];
+      if (state == kDead) break;
+      if (IsAccept(state)) out->push_back(static_cast<uint32_t>(i + 1));
+    }
+    return out->size();
+  }
+
+  /// Convenience wrapper over `ScanPrefixes`.
+  std::vector<uint32_t> MatchingPrefixLengths(std::string_view s) const {
+    std::vector<uint32_t> lengths;
+    ScanPrefixes(s, &lengths);
+    return lengths;
+  }
+
+  /// Introspection (benchmarks / tests).
+  size_t num_states() const { return num_states_; }
+  size_t num_symbol_classes() const { return num_classes_; }
+
+ private:
+  friend class Dfa;  // populated by Dfa::Freeze
+  FrozenDfa() = default;
+
+  static constexpr uint32_t kDead = 0;
+
+  bool IsAccept(uint32_t state) const {
+    return (accept_bits_[state >> 6] >> (state & 63)) & 1;
+  }
+
+  uint8_t byte_class_[256] = {};
+  uint32_t num_classes_ = 1;
+  uint32_t num_states_ = 0;
+  uint32_t start_state_ = kDead;
+  /// State-major flat transition table: transitions_[state * num_classes_
+  /// + cls]. Every entry is a valid state id (no lazy sentinel).
+  std::vector<uint32_t> transitions_;
+  /// Packed accept bitmap, one bit per state.
+  std::vector<uint64_t> accept_bits_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_PATTERN_FROZEN_DFA_H_

@@ -3,34 +3,69 @@
 #include <algorithm>
 #include <set>
 
+#include "pattern/automaton_cache.h"
+#include "pattern/frozen_dfa.h"
+
 namespace anmat {
 
-PatternMatcher::PatternMatcher(const Pattern& pattern)
-    : pattern_(pattern), dfa_(Dfa::Compile(pattern)) {
+CompiledDfa::CompiledDfa(const Pattern& p, AutomatonCache* cache) {
+  if (cache != nullptr) frozen_ = cache->Get(p);
+  if (frozen_ == nullptr) lazy_.emplace(Dfa::Compile(p));
+}
+
+bool CompiledDfa::Matches(std::string_view s) const {
+  return frozen_ != nullptr ? frozen_->Matches(s) : lazy_->Matches(s);
+}
+
+size_t CompiledDfa::ScanPrefixes(std::string_view s,
+                                 std::vector<uint32_t>* out) const {
+  return frozen_ != nullptr ? frozen_->ScanPrefixes(s, out)
+                            : lazy_->ScanPrefixes(s, out);
+}
+
+PatternMatcher::PatternMatcher(const Pattern& pattern, AutomatonCache* cache)
+    : pattern_(pattern), dfa_(pattern_, cache) {
   // Conjuncts at any depth are an AND over independent automata; flatten
   // the tree once so Matches() is a flat loop.
   std::vector<const Pattern*> conjuncts;
   FlattenConjuncts(pattern_, &conjuncts);
   conjunct_dfas_.reserve(conjuncts.size());
   for (const Pattern* c : conjuncts) {
-    conjunct_dfas_.push_back(Dfa::Compile(*c));
+    conjunct_dfas_.emplace_back(*c, cache);
   }
 }
 
 bool PatternMatcher::Matches(std::string_view s) const {
   if (!dfa_.Matches(s)) return false;
-  for (const Dfa& c : conjunct_dfas_) {
+  for (const CompiledDfa& c : conjunct_dfas_) {
     if (!c.Matches(s)) return false;
   }
   return true;
 }
 
-ConstrainedMatcher::ConstrainedMatcher(const ConstrainedPattern& pattern)
-    : pattern_(pattern), embedded_dfa_(Dfa::Compile(pattern.EmbeddedPattern())) {
+bool PatternMatcher::concurrent_safe() const {
+  if (!dfa_.concurrent_safe()) return false;
+  for (const CompiledDfa& c : conjunct_dfas_) {
+    if (!c.concurrent_safe()) return false;
+  }
+  return true;
+}
+
+ConstrainedMatcher::ConstrainedMatcher(const ConstrainedPattern& pattern,
+                                       AutomatonCache* cache)
+    : pattern_(pattern), embedded_dfa_(pattern_.EmbeddedPattern(), cache) {
   segment_dfas_.reserve(pattern.segments().size());
   for (const PatternSegment& seg : pattern.segments()) {
-    segment_dfas_.push_back(Dfa::Compile(seg.pattern));
+    segment_dfas_.emplace_back(seg.pattern, cache);
   }
+}
+
+bool ConstrainedMatcher::concurrent_safe() const {
+  if (!embedded_dfa_.concurrent_safe()) return false;
+  for (const CompiledDfa& seg : segment_dfas_) {
+    if (!seg.concurrent_safe()) return false;
+  }
+  return true;
 }
 
 bool ConstrainedMatcher::Matches(std::string_view s) const {

@@ -7,7 +7,15 @@
 /// `PatternMatcher` / `ConstrainedMatcher` pre-compile a pattern once and
 /// then answer queries over many strings — the shape discovery and
 /// detection need (one pattern, a column of values).
+///
+/// Both matchers optionally compile through an `AutomatonCache`
+/// (pattern/automaton_cache.h): automata then come out as shared frozen
+/// tables, compiled once per cache lifetime, and a matcher whose slots are
+/// all frozen (`concurrent_safe()`) may be probed from many threads at
+/// once. Without a cache each matcher owns private lazy `Dfa`s, exactly
+/// the pre-cache behavior. Results are byte-identical either way.
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +26,30 @@
 
 namespace anmat {
 
+class AutomatonCache;
+class FrozenDfa;
+
+/// \brief One automaton slot of a matcher: a shared immutable `FrozenDfa`
+/// out of the cache when available, a private lazy `Dfa` otherwise.
+class CompiledDfa {
+ public:
+  /// Compiles `p`'s element sequence — through `cache` when non-null (and
+  /// the pattern freezes), privately otherwise.
+  CompiledDfa(const Pattern& p, AutomatonCache* cache);
+
+  bool Matches(std::string_view s) const;
+  size_t ScanPrefixes(std::string_view s, std::vector<uint32_t>* out) const;
+
+  /// True when backed by a shared frozen automaton: probes are lock-free
+  /// and safe from any number of threads. A lazy fallback is single-owner
+  /// (its memo tables grow under the const interface).
+  bool concurrent_safe() const { return frozen_ != nullptr; }
+
+ private:
+  std::shared_ptr<const FrozenDfa> frozen_;
+  std::optional<Dfa> lazy_;  ///< engaged iff `frozen_` is null
+};
+
 /// \brief Compiled matcher for a plain pattern (including conjuncts).
 ///
 /// Matching is DFA-backed (see dfa.h): one dense table lookup per byte,
@@ -26,17 +58,21 @@ namespace anmat {
 /// into a list of independent automata that must all accept.
 class PatternMatcher {
  public:
-  explicit PatternMatcher(const Pattern& pattern);
+  explicit PatternMatcher(const Pattern& pattern,
+                          AutomatonCache* cache = nullptr);
 
   /// s ↦ P : does the whole string match?
   bool Matches(std::string_view s) const;
+
+  /// All automata frozen: `Matches` is safe under concurrent callers.
+  bool concurrent_safe() const;
 
   const Pattern& pattern() const { return pattern_; }
 
  private:
   Pattern pattern_;
-  Dfa dfa_;
-  std::vector<Dfa> conjunct_dfas_;
+  CompiledDfa dfa_;
+  std::vector<CompiledDfa> conjunct_dfas_;
 };
 
 /// \brief The tuple of substrings covered by the constrained segments in one
@@ -53,9 +89,14 @@ using Extraction = std::vector<std::string>;
 /// split, which is the deterministic key used for blocking.
 class ConstrainedMatcher {
  public:
-  explicit ConstrainedMatcher(const ConstrainedPattern& pattern);
+  explicit ConstrainedMatcher(const ConstrainedPattern& pattern,
+                              AutomatonCache* cache = nullptr);
 
   const ConstrainedPattern& pattern() const { return pattern_; }
+
+  /// All automata frozen: every query below is safe under concurrent
+  /// callers (the per-string scratch lives on the caller's stack).
+  bool concurrent_safe() const;
 
   /// s ↦ Q : does the string match the embedded pattern?
   bool Matches(std::string_view s) const;
@@ -93,8 +134,8 @@ class ConstrainedMatcher {
                        std::vector<Extraction>* out, size_t cap) const;
 
   ConstrainedPattern pattern_;
-  std::vector<Dfa> segment_dfas_;
-  Dfa embedded_dfa_;
+  std::vector<CompiledDfa> segment_dfas_;
+  CompiledDfa embedded_dfa_;
 };
 
 /// \brief One-shot helpers (compile + query); prefer the classes for loops.

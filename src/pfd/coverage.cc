@@ -22,7 +22,8 @@ struct CompiledRow {
 }  // namespace
 
 Result<CoverageStats> ComputeCoverage(const Pfd& pfd,
-                                      const Relation& relation) {
+                                      const Relation& relation,
+                                      AutomatonCache* automata) {
   ANMAT_RETURN_NOT_OK(pfd.Validate(relation.schema()));
 
   std::vector<size_t> lhs_cols;
@@ -44,9 +45,9 @@ Result<CoverageStats> ComputeCoverage(const Pfd& pfd,
     cr.constant_row = row.IsConstantRow();
     for (const TableauCell& cell : row.lhs) {
       cr.lhs_cells.push_back(&cell);
-      cr.lhs.emplace_back(cell.is_wildcard()
-                              ? ConstrainedPattern()
-                              : cell.pattern());
+      cr.lhs.emplace_back(
+          cell.is_wildcard() ? ConstrainedPattern() : cell.pattern(),
+          automata);
     }
     for (const TableauCell& cell : row.rhs) {
       cr.rhs_cells.push_back(&cell);

@@ -18,6 +18,8 @@
 
 namespace anmat {
 
+class AutomatonCache;
+
 /// \brief Participation / violation statistics of one PFD.
 struct CoverageStats {
   size_t total_rows = 0;      ///< rows in the relation
@@ -46,7 +48,12 @@ struct CoverageStats {
 /// mismatches the constant; variable rows count a record as violating when
 /// it disagrees (same extracted LHS key, different RHS value) with the
 /// majority of its equivalence group.
-Result<CoverageStats> ComputeCoverage(const Pfd& pfd, const Relation& relation);
+///
+/// `automata` (optional) backs the per-cell matchers with the shared
+/// compile-once cache (pattern/automaton_cache.h); statistics are
+/// identical either way.
+Result<CoverageStats> ComputeCoverage(const Pfd& pfd, const Relation& relation,
+                                      AutomatonCache* automata = nullptr);
 
 }  // namespace anmat
 

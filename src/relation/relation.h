@@ -88,6 +88,19 @@ class ColumnDictionary {
   /// The value id of row `row`.
   uint32_t value_id(RowId row) const { return row_value_[row]; }
 
+  /// Looks up the id of `value`; returns false when the dictionary has not
+  /// seen it. Only meaningful on dictionaries grown via `Append` (the
+  /// streaming path), whose persistent value→id map is always in sync;
+  /// bulk-built dictionaries keep no such map and report every value
+  /// unseen. The streaming detector uses this to reuse its per-distinct-
+  /// value memos for batch rows before they are absorbed.
+  bool Lookup(std::string_view value, uint32_t* id) const {
+    auto it = incremental_index_.find(value);
+    if (it == incremental_index_.end()) return false;
+    *id = it->second;
+    return true;
+  }
+
  private:
   /// deque: element addresses are stable under growth, so the incremental
   /// index below may key string_views into the stored values.
@@ -131,8 +144,14 @@ class Relation {
   }
   void set_cell(RowId row, size_t col, std::string value) {
     columns_[col][row] = std::move(value);
+    // Invalidate the column's cached dictionary — but only when one was
+    // ever built. Mutation already requires external synchronization with
+    // all other access, so the unlocked emptiness probe races with
+    // nothing, and repair loops applying thousands of cell edits skip the
+    // lock round-trip entirely on dictionary-free relations.
+    if (col >= dictionaries_.size() || dictionaries_[col] == nullptr) return;
     std::lock_guard<std::mutex> lock(dict_mu_);
-    if (col < dictionaries_.size()) dictionaries_[col].reset();
+    dictionaries_[col].reset();
   }
 
   /// The (lazily built, cached) dictionary of column `col`. Safe to call

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "detect/detector_internal.h"
+
 namespace anmat {
 
 namespace {
@@ -35,9 +37,17 @@ Result<RepairResult> RepairErrors(Relation* relation,
                                      // rule interactions across passes must
                                      // not oscillate a cell back and forth
 
+  // Tableau rows depend on (pfds, schema) only, not on the mutating cell
+  // data — resolve their matchers once and reuse the set for every pass
+  // and the final verification, instead of recompiling per detection run.
+  detect_internal::ResolvedRowSet resolved_rows;
+
   for (size_t pass = 0; pass < options.max_passes; ++pass) {
-    ANMAT_ASSIGN_OR_RETURN(DetectionResult detection,
-                           DetectErrors(*relation, pfds, options.detector));
+    ANMAT_ASSIGN_OR_RETURN(
+        DetectionResult detection,
+        detect_internal::DetectErrorsReusingRows(*relation, pfds,
+                                                 options.detector,
+                                                 &resolved_rows));
     result.passes = pass + 1;
     result.remaining_violations = detection.violations.size();
     if (detection.violations.empty()) break;
@@ -95,8 +105,11 @@ Result<RepairResult> RepairErrors(Relation* relation,
 
   // Final verification pass after the last mutation; kept in the result so
   // callers need not re-detect over the repaired relation.
-  ANMAT_ASSIGN_OR_RETURN(result.final_detection,
-                         DetectErrors(*relation, pfds, options.detector));
+  ANMAT_ASSIGN_OR_RETURN(
+      result.final_detection,
+      detect_internal::DetectErrorsReusingRows(*relation, pfds,
+                                               options.detector,
+                                               &resolved_rows));
   result.remaining_violations = result.final_detection.violations.size();
   std::sort(result.conflicted_cells.begin(), result.conflicted_cells.end());
   return result;

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -83,9 +84,13 @@ struct ExecutionOptions {
   /// strategies must honor it.
   bool deterministic = true;
 
-  /// Optional shared pool (not owned). When null, `ParallelFor` spins up a
-  /// transient pool per call; the Engine installs its long-lived pool here.
-  ThreadPool* pool = nullptr;
+  /// Optional shared pool. When null, `ParallelFor` spins up a transient
+  /// pool per call; the Engine installs its long-lived pool here. Shared
+  /// ownership: every options copy (e.g. the one a `DetectionStream` keeps
+  /// for its lifetime) co-owns the pool, so a pool the engine retires on
+  /// reconfiguration is freed as soon as the last borrower lets go — not
+  /// parked until engine destruction.
+  std::shared_ptr<ThreadPool> pool;
 
   /// `num_threads` with the 0 = hardware default resolved.
   size_t EffectiveThreads() const {

@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datagen/datasets.h"
 #include "detect/detector.h"
+#include "pattern/automaton_cache.h"
+#include "pattern/frozen_dfa.h"
+#include "pattern/matcher.h"
 #include "pattern/nfa.h"
 #include "pattern/pattern_parser.h"
 #include "util/random.h"
@@ -214,6 +219,167 @@ TEST(DfaDifferentialTest, BoundedRepetitionEdgeCases) {
           << "pattern=" << text << " input=\"" << s << "\"";
     }
   }
+}
+
+// ------------------------------------------------------- frozen automata
+
+TEST(FrozenDfaTest, FreezeMatchesBasicPatterns) {
+  for (const char* text : {"\\D{5}", "\\LU\\LL+", "a{1,3}", "\\A*",
+                           "CHEMBL\\D{1,7}", "a{0,3}b+"}) {
+    const Dfa dfa = CompileDfa(text);
+    auto frozen = dfa.Freeze();
+    ASSERT_NE(frozen, nullptr) << text;
+    EXPECT_EQ(frozen->num_symbol_classes(), dfa.num_symbol_classes());
+    // Freeze materialized every reachable state eagerly.
+    EXPECT_EQ(frozen->num_states(), dfa.num_materialized_states()) << text;
+  }
+  auto frozen = CompileDfa("\\D{5}").Freeze();
+  EXPECT_TRUE(frozen->Matches("90001"));
+  EXPECT_FALSE(frozen->Matches("9000"));
+  EXPECT_FALSE(frozen->Matches("9000a"));
+  EXPECT_EQ(CompileDfa("a+").Freeze()->MatchingPrefixLengths("aaab"),
+            (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(CompileDfa("a{0,2}b?").Freeze()->MatchingPrefixLengths("aab"),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(Dfa::Compile(Pattern()).Freeze()->Matches(""));
+  EXPECT_FALSE(Dfa::Compile(Pattern()).Freeze()->Matches("a"));
+}
+
+TEST(FrozenDfaTest, StateCapFallsBackToNull) {
+  // \D{5} needs 7 states (dead + start + 5 digits); a cap of 3 must refuse.
+  EXPECT_EQ(CompileDfa("\\D{5}").Freeze(/*max_states=*/3), nullptr);
+  EXPECT_NE(CompileDfa("\\D{5}").Freeze(/*max_states=*/64), nullptr);
+}
+
+TEST(FrozenDfaDifferentialTest, RandomPatternsAgreeWithLazyAndNfa) {
+  Rng rng(77001);
+  size_t positives = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const Pattern p = RandomPattern(rng, /*allow_conjunct=*/false);
+    const Nfa nfa = Nfa::Compile(p);
+    const Dfa lazy = Dfa::Compile(p);
+    auto frozen = Dfa::Compile(p).Freeze();
+    ASSERT_NE(frozen, nullptr) << p.ToString();
+    for (int k = 0; k < 20; ++k) {
+      const std::string s = RandomString(rng, p, /*noise=*/0.2);
+      const bool expected = nfa.Matches(s);
+      ASSERT_EQ(frozen->Matches(s), expected)
+          << "pattern=" << p.ToString() << " input=\"" << s << "\"";
+      ASSERT_EQ(lazy.Matches(s), expected);
+      ASSERT_EQ(frozen->MatchingPrefixLengths(s),
+                nfa.MatchingPrefixLengths(s))
+          << "pattern=" << p.ToString() << " input=\"" << s << "\"";
+      if (expected) ++positives;
+    }
+  }
+  EXPECT_GT(positives, 800u);
+}
+
+TEST(AutomatonCacheTest, CompilesEachDistinctPatternOnce) {
+  AutomatonCache cache;
+  const Pattern p = ParsePattern("\\D{5}").value();
+  auto first = cache.Get(p);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  // Same element sequence → same shared automaton, no recompilation.
+  auto second = cache.Get(ParsePattern("\\D{5}").value());
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  // Conjuncts are separate automata: the main-sequence key ignores them.
+  Pattern with_conjunct = ParsePattern("\\D{5}").value();
+  with_conjunct.AddConjunct(ParsePattern("\\A*").value());
+  EXPECT_EQ(cache.Get(with_conjunct).get(), first.get());
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.Get(ParsePattern("\\A*").value()).get() == first.get(),
+            false);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(CachedMatcherDifferentialTest, CachedMatchersIdenticalToLazy) {
+  AutomatonCache cache;
+  Rng rng(77002);
+  for (int iter = 0; iter < 150; ++iter) {
+    const Pattern p = RandomPattern(rng);
+    const PatternMatcher lazy(p);
+    const PatternMatcher cached(p, &cache);
+    EXPECT_TRUE(cached.concurrent_safe());
+    for (int k = 0; k < 15; ++k) {
+      const std::string s = RandomString(rng, p, /*noise=*/0.2);
+      ASSERT_EQ(cached.Matches(s), lazy.Matches(s))
+          << "pattern=" << p.ToString() << " input=\"" << s << "\"";
+    }
+  }
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+
+  // Constrained matchers: match + canonical extraction + full extraction
+  // sets must agree (the split plan runs over frozen ScanPrefixes).
+  for (const char* text :
+       {"(\\D{3})!\\D{2}", "(900)!\\D{2}", "(\\LU\\LL+)!\\ (\\LU\\LL+)!",
+        "(\\D+)!-\\D+"}) {
+    const ConstrainedPattern q = ParseConstrainedPattern(text).value();
+    const ConstrainedMatcher lazy(q);
+    const ConstrainedMatcher cached(q, &cache);
+    EXPECT_TRUE(cached.concurrent_safe());
+    Rng inner(7);
+    for (int k = 0; k < 200; ++k) {
+      const std::string s =
+          RandomString(inner, q.EmbeddedPattern(), /*noise=*/0.25);
+      ASSERT_EQ(cached.Matches(s), lazy.Matches(s)) << text << " " << s;
+      Extraction a, b;
+      const bool ma = cached.ExtractCanonical(s, &a);
+      const bool mb = lazy.ExtractCanonical(s, &b);
+      ASSERT_EQ(ma, mb) << text << " " << s;
+      ASSERT_EQ(a, b) << text << " " << s;
+      ASSERT_EQ(cached.ExtractAll(s), lazy.ExtractAll(s)) << text << " " << s;
+    }
+  }
+}
+
+// Exercised under -DANMAT_SANITIZE=thread: one frozen automaton and one
+// cache shared by many threads, probed lock-free with no synchronization
+// beyond the cache's own mutex.
+TEST(FrozenDfaConcurrencyTest, ConcurrentProbesAreSafe) {
+  auto frozen = CompileDfa("\\D{3}\\LU{0,2}a+").Freeze();
+  ASSERT_NE(frozen, nullptr);
+  AutomatonCache cache;
+  const ConstrainedMatcher matcher(
+      ParseConstrainedPattern("(\\D{3})!\\D{2}").value(), &cache);
+  ASSERT_TRUE(matcher.concurrent_safe());
+
+  std::vector<std::string> inputs;
+  Rng rng(77003);
+  const Pattern gen = ParsePattern("\\D{3}\\LU{0,2}a+").value();
+  for (int i = 0; i < 200; ++i) {
+    inputs.push_back(RandomString(rng, gen, /*noise=*/0.3));
+    inputs.push_back(RandomString(rng, ParsePattern("\\D{5}").value(), 0.2));
+  }
+
+  constexpr size_t kThreads = 8;
+  std::vector<size_t> matches(kThreads, 0);
+  std::vector<size_t> prefix_totals(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<uint32_t> scratch;
+      for (int round = 0; round < 20; ++round) {
+        for (const std::string& s : inputs) {
+          if (frozen->Matches(s)) ++matches[t];
+          prefix_totals[t] += frozen->ScanPrefixes(s, &scratch);
+          if (matcher.Matches(s)) ++matches[t];
+          // Concurrent cache lookups must be safe too.
+          if (cache.Get(gen) == nullptr) ++matches[t];  // never taken
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(matches[t], matches[0]);
+    EXPECT_EQ(prefix_totals[t], prefix_totals[0]);
+  }
+  EXPECT_GT(matches[0], 0u);
 }
 
 // ----------------------------------------- dictionary on/off equivalence

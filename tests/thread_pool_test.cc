@@ -63,10 +63,9 @@ TEST(ParallelForTest, SerialRunsInIndexOrder) {
 }
 
 TEST(ParallelForTest, UsesSharedPool) {
-  ThreadPool pool(4);
   ExecutionOptions exec;
   exec.num_threads = 4;
-  exec.pool = &pool;
+  exec.pool = std::make_shared<ThreadPool>(4);
   std::atomic<int> counter{0};
   for (int round = 0; round < 5; ++round) {
     ParallelFor(exec, 64, [&counter](size_t) { counter.fetch_add(1); });
