@@ -19,10 +19,14 @@
 //  3. Engine::Repair runs every repair pass's suggestion generation
 //     through the detection fan-out, so the repair stage scales like
 //     detection while applied repairs + repaired relation stay
-//     byte-identical across thread counts (A7c); and the stream's
+//     byte-identical across thread counts (A7c); the stream's
 //     clean-on-ingest mode repairs confident constant-rule errors per
 //     batch for a small surcharge over plain streaming — compared against
-//     detect-everything-then-repair-at-the-end (A7d).
+//     detect-everything-then-repair-at-the-end (A7d); and with variable
+//     rules enabled it additionally applies cumulative-majority repairs
+//     per batch, matching a one-shot single-pass constant+variable repair
+//     over the concatenation repair-for-repair whenever no cross-batch
+//     majority flip was surfaced (A7e).
 //
 // Content: the two JSON reports (plus equality checks between parallel /
 // streaming results and their serial one-shot references). Performance:
@@ -320,6 +324,7 @@ void CleanOnIngestReport() {
     auto stream = engine.OpenStream(d.relation.schema(), rules);
     CheckOrDie(stream.ok(), "OpenStream failed");
     (*stream)->set_clean_on_ingest(true);
+    (*stream)->set_clean_variable_rules(false);  // A7d: constant-only
     for (const anmat::Relation& batch : batches) {
       auto result = (*stream)->AppendBatch(batch);
       CheckOrDie(result.ok(), "clean AppendBatch failed");
@@ -357,6 +362,100 @@ void CleanOnIngestReport() {
             << ",\n  \"clean_surcharge\": " << clean_ms / plain_ms
             << ",\n  \"detect_then_repair_ms\": " << after_the_fact_ms
             << ",\n  \"repairs_applied\": " << stream_repairs
+            << ",\n  \"violations_left\": " << stream_remaining
+            << "\n}\n";
+}
+
+void VariableCleanOnIngestReport() {
+  Banner("A7e", "variable clean-on-ingest surcharge + one-shot equality");
+  const anmat::Dataset d = BenchDataset();
+
+  anmat::Engine engine(anmat::ExecutionOptions{1, true, nullptr});
+  const std::vector<anmat::Pfd> rules = BenchRules(d);
+
+  const size_t kBatches = 20;
+  const size_t rows = d.relation.num_rows();
+  const std::vector<anmat::Relation> batches =
+      MakeBatches(d.relation, kBatches);
+
+  // Constant-only cleaning as the surcharge baseline (what A7d measures).
+  auto t0 = std::chrono::steady_clock::now();
+  size_t constant_repairs = 0;
+  {
+    auto stream = engine.OpenStream(d.relation.schema(), rules);
+    CheckOrDie(stream.ok(), "OpenStream failed");
+    (*stream)->set_clean_on_ingest(true);
+    (*stream)->set_clean_variable_rules(false);
+    for (const anmat::Relation& batch : batches) {
+      CheckOrDie((*stream)->AppendBatch(batch).ok(), "AppendBatch failed");
+    }
+    constant_repairs = (*stream)->repairs().size();
+  }
+  const double constant_ms = MillisSince(t0);
+
+  // Constant + cumulative-majority variable cleaning (the v2 default).
+  t0 = std::chrono::steady_clock::now();
+  size_t stream_repairs = 0;
+  size_t stream_conflicts = 0;
+  size_t stream_remaining = 0;
+  std::string stream_relation_print;
+  {
+    auto stream = engine.OpenStream(d.relation.schema(), rules);
+    CheckOrDie(stream.ok(), "OpenStream failed");
+    (*stream)->set_clean_on_ingest(true);
+    for (const anmat::Relation& batch : batches) {
+      auto result = (*stream)->AppendBatch(batch);
+      CheckOrDie(result.ok(), "variable clean AppendBatch failed");
+      stream_remaining = result->violations.size();
+    }
+    stream_repairs = (*stream)->repairs().size();
+    stream_conflicts = (*stream)->conflicts().size();
+    anmat::RepairResult empty;
+    stream_relation_print = Fingerprint(empty, (*stream)->relation());
+  }
+  const double variable_ms = MillisSince(t0);
+
+  // The non-streaming reference: one single-pass constant+variable repair
+  // over the concatenation (the semantics variable clean-on-ingest
+  // provides incrementally, batch by batch).
+  t0 = std::chrono::steady_clock::now();
+  anmat::Relation full(d.relation.schema());
+  for (const anmat::Relation& batch : batches) {
+    for (anmat::RowId r = 0; r < batch.num_rows(); ++r) {
+      CheckOrDie(full.AppendRow(batch.Row(r)).ok(), "append failed");
+    }
+  }
+  anmat::RepairOptions repair_options;
+  repair_options.max_passes = 1;
+  auto one_shot = anmat::RepairErrors(&full, rules, repair_options);
+  CheckOrDie(one_shot.ok(), "one-shot constant+variable repair failed");
+  const double one_shot_ms = MillisSince(t0);
+
+  // The repair-count equality check (CI asserts this section passes):
+  // without a surfaced majority flip, streaming must match the one-shot
+  // pass repair-for-repair AND byte-for-byte.
+  const bool repairs_match = stream_repairs == one_shot->repairs.size();
+  if (stream_conflicts == 0) {
+    CheckOrDie(repairs_match,
+               "variable clean-on-ingest repair count diverged from the "
+               "one-shot pass with no surfaced conflict");
+    anmat::RepairResult empty;
+    CheckOrDie(stream_relation_print == Fingerprint(empty, full),
+               "variable clean-on-ingest relation diverged from the "
+               "one-shot pass with no surfaced conflict");
+  }
+  std::cout << "{\n  \"rows\": " << rows << ",\n  \"batches\": " << kBatches
+            << ",\n  \"rules\": " << rules.size()
+            << ",\n  \"constant_clean_ms\": " << constant_ms
+            << ",\n  \"variable_clean_ms\": " << variable_ms
+            << ",\n  \"variable_surcharge\": " << variable_ms / constant_ms
+            << ",\n  \"one_shot_repair_ms\": " << one_shot_ms
+            << ",\n  \"constant_repairs\": " << constant_repairs
+            << ",\n  \"stream_repairs\": " << stream_repairs
+            << ",\n  \"one_shot_repairs\": " << one_shot->repairs.size()
+            << ",\n  \"repairs_match\": "
+            << (repairs_match ? "true" : "false")
+            << ",\n  \"conflicts\": " << stream_conflicts
             << ",\n  \"violations_left\": " << stream_remaining
             << "\n}\n";
 }
@@ -420,6 +519,7 @@ int main(int argc, char** argv) {
   StreamingReport();
   RepairScalingReport();
   CleanOnIngestReport();
+  VariableCleanOnIngestReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -120,9 +120,11 @@ int main() {
   // 9. Streaming: records keep arriving after the rules are confirmed. A
   //    DetectionStream extends its dictionaries and index postings per
   //    batch and re-pays pattern work only for newly seen distinct values.
-  //    With clean-on-ingest, confident constant-rule repairs are applied
-  //    to each batch *before* it is absorbed — the stream accumulates the
-  //    cleaned relation.
+  //    With clean-on-ingest, confident repairs — constant-rule suggestions
+  //    and, by default, cumulative-majority variable-rule suggestions —
+  //    are applied to each batch *before* it is absorbed, so the stream
+  //    accumulates the cleaned relation (majority flips across batches are
+  //    surfaced via conflicts(), never retroactive edits).
   auto stream = session.OpenDetectionStream();
   if (!stream.ok()) return Fail(stream.status());
   (*stream)->set_clean_on_ingest(true);
@@ -132,8 +134,10 @@ int main() {
   std::cout << "\nStreaming: appended 2 records; clean-on-ingest applied "
             << (*stream)->batch_repairs().size()
             << " repair(s) (the 900\\D{2} -> Los Angeles rule fixes the "
-            << "new San Diego cell before it is absorbed); cumulative "
-            << "violations: " << cumulative->violations.size() << ".\n";
+            << "new San Diego cell before it is absorbed) and surfaced "
+            << (*stream)->conflicts().size()
+            << " majority-flip conflict(s); cumulative violations: "
+            << cumulative->violations.size() << ".\n";
 
   // The project directory and CSV are left in /tmp on purpose — the
   // printed CLI suggestion above works after this example exits.

@@ -18,7 +18,9 @@
 ///      │                                (PFD, tableau row) via the same
 ///      │                                detection fan-out, every pass
 ///      └─ OpenStream → DetectionStream  incremental batch detection
-///                                       (+ clean-on-ingest repair mode)
+///                                       (+ clean-on-ingest repair mode:
+///                                       constant and cumulative-majority
+///                                       variable repairs per batch)
 /// ```
 ///
 /// Every parallel stage merges per-task slots in task order, so results are

@@ -10,6 +10,42 @@ namespace {
 
 constexpr int kCatalogVersion = 1;
 
+/// Fingerprints a CSV's header without loading the whole file: parses the
+/// first record out of a bounded prefix, falling back to one full read
+/// only when the header itself overruns the prefix (or is cut inside a
+/// quoted field). Empty on any failure — the entry then attaches without
+/// a load-time schema check, like catalogs from earlier releases.
+std::string FingerprintCsvHeader(const std::string& path,
+                                 const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  constexpr size_t kPrefixBytes = 1 << 20;
+  std::string prefix(kPrefixBytes, '\0');
+  in.read(prefix.data(), static_cast<std::streamsize>(kPrefixBytes));
+  prefix.resize(static_cast<size_t>(in.gcount()));
+  const bool whole_file = in.eof();
+
+  auto records = ParseCsvRecords(prefix, options);
+  // Need the header record provably complete: either the whole file was
+  // in the prefix, or a second record started (so a separator ended the
+  // first). Otherwise pay the full read once.
+  if (!records.ok() || records->empty() ||
+      (!whole_file && records->size() < 2)) {
+    if (whole_file) return "";
+    auto relation = ReadCsvFile(path, options);
+    return relation.ok() ? SchemaFingerprint(relation->schema()) : "";
+  }
+  std::vector<std::string> names = std::move(records->front());
+  if (!options.has_header) {
+    // Mirror ReadCsvString's generated names.
+    for (size_t i = 0; i < names.size(); ++i) {
+      names[i] = "c" + std::to_string(i);
+    }
+  }
+  auto schema = Schema::MakeText(names);
+  return schema.ok() ? SchemaFingerprint(schema.value()) : "";
+}
+
 }  // namespace
 
 Result<Project> Project::Init(const std::string& dir, std::string name) {
@@ -59,7 +95,8 @@ DiscoveryOptions Project::discovery_options() const {
   return options;
 }
 
-Status Project::AttachDataset(std::string name, std::string path) {
+Status Project::AttachDataset(std::string name, std::string path,
+                              const CsvOptions& options) {
   if (name.empty()) {
     return Status::InvalidArgument("dataset name must not be empty");
   }
@@ -69,15 +106,21 @@ Status Project::AttachDataset(std::string name, std::string path) {
   std::error_code ec;
   const std::filesystem::path absolute = std::filesystem::absolute(path, ec);
   if (!ec) path = absolute.lexically_normal().string();
+  // Fingerprint the schema as it looks right now (header record only); a
+  // file that cannot be read yet attaches without one (and therefore
+  // without load-time checking) rather than failing the attach.
+  std::string fingerprint = FingerprintCsvHeader(path, options);
   for (size_t i = 0; i < datasets_.size(); ++i) {
     if (datasets_[i].name == name) {
       // Re-attaching re-points the entry and promotes it back to default.
       datasets_.erase(datasets_.begin() + static_cast<ptrdiff_t>(i));
-      datasets_.push_back(DatasetEntry{std::move(name), std::move(path)});
+      datasets_.push_back(DatasetEntry{std::move(name), std::move(path),
+                                       std::move(fingerprint)});
       return Status::OK();
     }
   }
-  datasets_.push_back(DatasetEntry{std::move(name), std::move(path)});
+  datasets_.push_back(
+      DatasetEntry{std::move(name), std::move(path), std::move(fingerprint)});
   return Status::OK();
 }
 
@@ -98,7 +141,21 @@ Result<Project::DatasetEntry> Project::FindDataset(
 Result<Relation> Project::LoadDataset(const std::string& name,
                                       const CsvOptions& options) const {
   ANMAT_ASSIGN_OR_RETURN(DatasetEntry entry, FindDataset(name));
-  return ReadCsvFile(entry.path, options);
+  ANMAT_ASSIGN_OR_RETURN(Relation relation,
+                         ReadCsvFile(entry.path, options));
+  if (!entry.fingerprint.empty()) {
+    const std::string current = SchemaFingerprint(relation.schema());
+    if (current != entry.fingerprint) {
+      return Status::InvalidArgument(
+          "dataset \"" + entry.name + "\" at " + entry.path +
+          " changed schema since it was attached (column fingerprint " +
+          current + ", catalog recorded " + entry.fingerprint +
+          "); its columns are now [" + relation.schema().ToString() +
+          "] — re-attach it with 'anmat discover --project <dir> --data " +
+          entry.path + "' if the change is intentional");
+    }
+  }
+  return relation;
 }
 
 uint64_t Project::AddDiscoveredRule(const DiscoveredPfd& discovered,
@@ -119,6 +176,8 @@ uint64_t Project::AddDiscoveredRule(const DiscoveredPfd& discovered,
 Status Project::SetRuleStatus(uint64_t id, RuleStatus status) {
   return rules_.SetStatus(id, status);
 }
+
+Status Project::DeleteRule(uint64_t id) { return rules_.Delete(id); }
 
 Status Project::Save() const {
   ANMAT_RETURN_NOT_OK(SaveCatalog());
@@ -141,6 +200,9 @@ Status Project::SaveCatalog() const {
     JsonValue entry = JsonValue::Object();
     entry.Set("name", JsonValue::String(e.name));
     entry.Set("path", JsonValue::String(e.path));
+    if (!e.fingerprint.empty()) {
+      entry.Set("fingerprint", JsonValue::String(e.fingerprint));
+    }
     datasets.push_back(std::move(entry));
   }
   root.Set("datasets", std::move(datasets));
@@ -186,6 +248,12 @@ Status Project::LoadCatalog() {
     DatasetEntry e;
     ANMAT_ASSIGN_OR_RETURN(e.name, entry.GetString("name"));
     ANMAT_ASSIGN_OR_RETURN(e.path, entry.GetString("path"));
+    // Optional: catalogs from earlier releases have no fingerprint (no
+    // load-time schema check for those entries).
+    if (const JsonValue* fp = entry.Get("fingerprint");
+        fp != nullptr && fp->is_string()) {
+      e.fingerprint = fp->as_string();
+    }
     datasets_.push_back(std::move(e));
   }
   return Status::OK();

@@ -59,6 +59,13 @@ class Project {
     std::string name;  ///< catalog name (unique within the project)
     std::string path;  ///< CSV path (absolutized at attach time, so the
                        ///< catalog works from any later working directory)
+    /// Schema fingerprint (column-names hash, `SchemaFingerprint`)
+    /// recorded at attach time; `LoadDataset` fails loudly when the file's
+    /// current header no longer matches, so a silently swapped or
+    /// re-shaped CSV is caught instead of detected against. Empty when
+    /// unknown (file unreadable at attach time, or a catalog written by
+    /// an earlier release) — then no check is made.
+    std::string fingerprint;
   };
 
   /// Persisted discovery parameters (§4 "Parameter Setting").
@@ -96,8 +103,15 @@ class Project {
   const std::vector<DatasetEntry>& datasets() const { return datasets_; }
 
   /// Adds (or re-points) a catalog entry. The most recently attached
-  /// dataset becomes the project default.
-  Status AttachDataset(std::string name, std::string path);
+  /// dataset becomes the project default. If the CSV is readable, its
+  /// schema fingerprint is recorded (from the header record only — the
+  /// file is not fully parsed) so later loads can detect a changed file;
+  /// an unreadable file still attaches (with no fingerprint) and fails at
+  /// load time like before. Pass the same `options` the dataset will be
+  /// loaded with — a different header parse (delimiter, trim) would
+  /// yield a different fingerprint and a spurious mismatch.
+  Status AttachDataset(std::string name, std::string path,
+                       const CsvOptions& options = CsvOptions());
 
   /// Entry by name; empty name = the project default (last attached).
   Result<DatasetEntry> FindDataset(const std::string& name = "") const;
@@ -120,6 +134,11 @@ class Project {
 
   /// Flips rule `id` to `status`; NotFound when absent.
   Status SetRuleStatus(uint64_t id, RuleStatus status);
+
+  /// Removes rule `id` permanently; NotFound (naming the id) when absent.
+  /// Ids are never reused (`RuleSet::RaiseNextId` keeps the persisted
+  /// next-id floor above every id ever handed out).
+  Status DeleteRule(uint64_t id);
 
   /// The rules detection and repair apply (status == confirmed).
   std::vector<Pfd> ConfirmedPfds() const { return rules_.ConfirmedPfds(); }

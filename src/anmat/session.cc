@@ -256,8 +256,14 @@ Result<std::unique_ptr<DetectionStream>> Session::OpenDetectionStream() {
     return Status::InvalidArgument(
         "no confirmed PFDs; call ConfirmAll() or Confirm(i) first");
   }
-  return engine_.OpenStream(relation_.schema(), confirmed_,
-                            detector_options_);
+  ANMAT_ASSIGN_OR_RETURN(std::unique_ptr<DetectionStream> stream,
+                         engine_.OpenStream(relation_.schema(), confirmed_,
+                                            detector_options_));
+  // The session's repair knobs govern streaming repair too: a caller that
+  // disabled variable repairs for Repair() gets constant-only cleaning
+  // when it turns on the stream's clean-on-ingest mode.
+  stream->set_clean_variable_rules(repair_options_.apply_variable_repairs);
+  return stream;
 }
 
 }  // namespace anmat

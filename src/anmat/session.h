@@ -39,7 +39,11 @@
 /// `DetectionStream` over the confirmed PFDs: each appended batch pays
 /// pattern work only for newly seen distinct values and yields the
 /// cumulative violation set (see detection_stream.h; its clean-on-ingest
-/// mode also applies confident constant-rule repairs per batch).
+/// mode applies confident constant-rule repairs and cumulative-majority
+/// variable-rule repairs per batch, surfacing majority flips as
+/// conflicts). The stream adopts the session's repair knobs:
+/// `mutable_repair_options().apply_variable_repairs` decides whether its
+/// cleaning includes variable rules.
 
 #include <memory>
 #include <set>
@@ -158,7 +162,8 @@ class Session {
   /// relation's schema; append batches of new records to it as they arrive
   /// (see detection_stream.h). The stream is independent of the session's
   /// own relation (it accumulates its own) but borrows the session engine's
-  /// pool, so it must not outlive the session.
+  /// pool, so it must not outlive the session. Its clean-on-ingest mode
+  /// honors mutable_repair_options().apply_variable_repairs.
   Result<std::unique_ptr<DetectionStream>> OpenDetectionStream();
 
   // -- Results -------------------------------------------------------------

@@ -7,13 +7,158 @@
 #include <unordered_map>
 #include <utility>
 
+#include "repair/suggestion_policy.h"
 #include "util/thread_pool.h"
 
 namespace anmat {
 
+using detect_internal::CellScan;
+using detect_internal::MajorityBlock;
 using detect_internal::ResolvedRow;
 using detect_internal::SeedCell;
 using detect_internal::SortViolations;
+
+namespace {
+
+/// Batch cells resolved against a column's incremental stream dictionary:
+/// ids >= 0 are stream dictionary ids (the cross-batch memos apply), ids
+/// < 0 are batch-local new-value ids encoded as -(id + 1), with the new
+/// distinct values listed in first-occurrence order.
+struct ColumnIds {
+  bool resolved = false;
+  std::vector<int64_t> ids;
+  /// Distinct values the stream has not absorbed yet (pointers into the
+  /// batch).
+  std::vector<const std::string*> new_values;
+};
+
+/// A record-key fragment in RecordKey's exact byte format (the canonical
+/// extraction's parts '\x1f'-joined, '\x1e'-terminated); false when the
+/// value has no canonical extraction.
+bool ComputeKeyFragment(const ConstrainedMatcher& matcher,
+                        std::string_view value, std::string* frag) {
+  Extraction extraction;
+  if (!matcher.ExtractCanonical(value, &extraction)) return false;
+  for (const std::string& part : extraction) {
+    frag->append(part);
+    frag->push_back('\x1f');
+  }
+  frag->push_back('\x1e');
+  return true;
+}
+
+/// Batch-side LHS evaluation of one resolved tableau row: per-row match
+/// verdicts and grouping keys, each memoized per *distinct* value — through
+/// the stream's persistent CellScan memos for values the stream already
+/// absorbed, batch-locally for new ones. This is what keeps clean-on-ingest
+/// at O(new distinct values) automaton work, with zero batch-local
+/// detection.
+class BatchLhsScan {
+ public:
+  BatchLhsScan(const Relation& batch, const ResolvedRow& row,
+               std::vector<CellScan>& scans,
+               std::vector<const ColumnIds*> cell_ids)
+      : batch_(batch),
+        row_(row),
+        scans_(scans),
+        cell_ids_(std::move(cell_ids)) {
+    new_match_.resize(cell_ids_.size());
+    new_frag_state_.resize(cell_ids_.size());
+    new_frag_.resize(cell_ids_.size());
+    for (size_t i = 0; i < cell_ids_.size(); ++i) {
+      if (cell_ids_[i] == nullptr) continue;
+      new_match_[i].assign(cell_ids_[i]->new_values.size(), -1);
+      new_frag_state_[i].assign(cell_ids_[i]->new_values.size(), -1);
+      new_frag_[i].resize(cell_ids_[i]->new_values.size());
+    }
+  }
+
+  /// True if batch row `r` matches every non-wildcard LHS cell (the exact
+  /// candidacy test detection uses).
+  bool Matches(RowId r) {
+    for (size_t i = 0; i < row_.lhs_cols.size(); ++i) {
+      const ConstrainedMatcher* matcher = row_.lhs_matchers[i].get();
+      if (matcher == nullptr) continue;
+      const int64_t id = cell_ids_[i]->ids[r];
+      bool ok;
+      if (id >= 0) {
+        CellScan& scan = scans_[i];
+        if (scan.match.size() <= static_cast<size_t>(id)) {
+          scan.match.resize(scan.dict->num_values(), -1);
+        }
+        if (scan.match[id] < 0) {
+          scan.match[id] =
+              matcher->Matches(batch_.cell(r, row_.lhs_cols[i])) ? 1 : 0;
+        }
+        ok = scan.match[id] != 0;
+      } else {
+        int8_t& verdict = new_match_[i][-id - 1];
+        if (verdict < 0) {
+          verdict = matcher->Matches(*cell_ids_[i]->new_values[-id - 1])
+                        ? 1
+                        : 0;
+        }
+        ok = verdict != 0;
+      }
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  /// Builds batch row `r`'s grouping key (byte-identical to RecordKey, so
+  /// it addresses the stream's cumulative `RowState::groups` directly);
+  /// false when some pattern cell has no canonical extraction.
+  bool Key(RowId r, std::string* key) {
+    key->clear();
+    for (size_t i = 0; i < row_.lhs_cols.size(); ++i) {
+      const ConstrainedMatcher* matcher = row_.lhs_matchers[i].get();
+      const std::string& cell = batch_.cell(r, row_.lhs_cols[i]);
+      if (matcher == nullptr) {
+        key->append(cell);
+        key->push_back('\x1f');
+        continue;
+      }
+      const int64_t id = cell_ids_[i]->ids[r];
+      if (id >= 0) {
+        CellScan& scan = scans_[i];
+        if (scan.frag_state.size() <= static_cast<size_t>(id)) {
+          scan.frag_state.resize(scan.dict->num_values(), -1);
+          scan.frag.resize(scan.dict->num_values());
+        }
+        if (scan.frag_state[id] < 0) {
+          scan.frag_state[id] =
+              ComputeKeyFragment(*matcher, cell, &scan.frag[id]) ? 1 : 0;
+        }
+        if (scan.frag_state[id] == 0) return false;
+        key->append(scan.frag[id]);
+      } else {
+        int8_t& state = new_frag_state_[i][-id - 1];
+        std::string& frag = new_frag_[i][-id - 1];
+        if (state < 0) {
+          state = ComputeKeyFragment(
+                      *matcher, *cell_ids_[i]->new_values[-id - 1], &frag)
+                      ? 1
+                      : 0;
+        }
+        if (state == 0) return false;
+        key->append(frag);
+      }
+    }
+    return true;
+  }
+
+ private:
+  const Relation& batch_;
+  const ResolvedRow& row_;
+  std::vector<CellScan>& scans_;
+  std::vector<const ColumnIds*> cell_ids_;
+  // Batch-local memos, indexed [cell][new-value id].
+  std::vector<std::vector<int8_t>> new_match_;
+  std::vector<std::vector<int8_t>> new_frag_state_;
+  std::vector<std::vector<std::string>> new_frag_;
+};
+
+}  // namespace
 
 DetectionStream::DetectionStream(Schema schema, std::vector<Pfd> pfds,
                                  DetectorOptions options)
@@ -156,37 +301,43 @@ void DetectionStream::AbsorbRows(RowState& state, RowId first_row,
   }
 }
 
+void DetectionStream::ReportConflict(StreamConflict conflict) {
+  if (!conflicted_cells_.insert(conflict.cell).second) return;
+  batch_conflicts_.push_back(conflict);
+  conflicts_.push_back(std::move(conflict));
+}
+
 Result<bool> DetectionStream::CleanBatch(const Relation& batch,
                                          Relation* cleaned) {
-  // Constant-rule violations depend only on the violating row's own cells,
-  // so the confident suggestions for a batch can be computed directly from
-  // the stream's resolved rows — no batch-local DetectErrors, and
-  // therefore no per-batch dictionary or index rebuilds. Variable
-  // suggestions are skipped by design (a batch-local majority is not the
-  // cumulative majority; see the file comment).
+  // Suggestions never come from a batch-local DetectErrors — and therefore
+  // never trigger per-batch dictionary or index rebuilds:
   //
-  // Per-distinct-value match verdicts are reused from the stream's
-  // cross-batch memos when the value was already absorbed (looked up
-  // through the incremental dictionary); values the stream has not seen
-  // yet are matched once per batch via a batch-local memo. The resulting
-  // suggestion set is exactly what batch-local detection would emit —
-  // states are walked in (PFD, tableau row) order and rows ascending, the
-  // order the sorted violations would arrive in.
+  //  * Constant-rule violations depend only on the violating row's own
+  //    cells, so their suggestions are computed directly from the batch
+  //    against the stream's resolved rows.
+  //  * Variable-rule suggestions come from the *cumulative* equivalence
+  //    groups: the absorbed members the stream already holds in
+  //    `RowState::groups` plus the batch's own members, resolved with the
+  //    same majority rule as one-shot group resolution (MajorityBlock).
+  //
+  // Per-distinct-value match/extraction verdicts are reused from the
+  // stream's cross-batch memos when the value was already absorbed (looked
+  // up through the incremental dictionary); values the stream has not seen
+  // yet are evaluated once per batch via batch-local memos (BatchLhsScan).
+  //
+  // Majority-flip detection runs alongside: the one-shot pass computes its
+  // majorities over the *dirty* concatenation, so for every group the
+  // batch touches, the majority is resolved twice — over the stream's
+  // cleaned values and over the dirty view (reconstructed through
+  // `dirty_overrides_`) — and any disagreement, plus any absorbed cell the
+  // one-shot pass would hold a different value in, is surfaced as a
+  // StreamConflict instead of a retroactive edit.
   //
   // Every batch cell is resolved against its column's incremental
   // dictionary exactly once (not once per tableau row): the id arrays
-  // below are shared by all constant states touching the column, so the
-  // per-state inner loop is an array load plus a memo probe.
+  // below are shared by all states touching the column.
   const RowId nbatch = static_cast<RowId>(batch.num_rows());
-  struct ColumnIds {
-    bool resolved = false;
-    /// >= 0: stream dictionary id (the cross-batch memos apply);
-    /// < 0: batch-local new-value id encoded as -(id + 1).
-    std::vector<int64_t> ids;
-    /// Distinct values the stream has not absorbed yet, in first-
-    /// occurrence order (pointers into the batch).
-    std::vector<const std::string*> new_values;
-  };
+  const RowId base = static_cast<RowId>(relation_.num_rows());
   std::vector<ColumnIds> columns(batch.num_columns());
   const auto resolve_column = [&](size_t col) -> const ColumnIds& {
     ColumnIds& entry = columns[col];
@@ -210,53 +361,36 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
     }
     return entry;
   };
+  const auto cell_ids_of = [&](const ResolvedRow& row) {
+    std::vector<const ColumnIds*> cell_ids(row.lhs_cols.size(), nullptr);
+    for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+      if (row.lhs_matchers[i] != nullptr) {
+        cell_ids[i] = &resolve_column(row.lhs_cols[i]);
+      }
+    }
+    return cell_ids;
+  };
 
-  std::map<CellRef, std::pair<std::string, size_t>> suggestions;
-  std::set<CellRef> conflicts;
+  // The batch's suggestions are folded twice: `fold` is what the stream
+  // applies (variable suggestions against the *cleaned* cumulative
+  // majorities), `dirty_fold` is what the one-shot pass would decide for
+  // these rows (variable suggestions against the *dirty* majorities,
+  // reconstructed through `dirty_overrides_`). Constant suggestions feed
+  // both, so cross-kind conflicts resolve identically; any batch cell the
+  // two folds decide differently is a majority-flip conflict.
+  SuggestionFold fold;
+  SuggestionFold dirty_fold;
+
+  // ---- Constant rules -----------------------------------------------------
   for (RowState& state : rows_) {
     if (!state.constant) continue;
     const ResolvedRow& row = state.resolved;
-    const size_t ncells = row.lhs_cols.size();
-    // Per-cell column ids and per-cell verdict memos for this batch's new
-    // values (stream-known values memoize in state.scans, across batches).
-    std::vector<const ColumnIds*> cell_ids(ncells, nullptr);
-    std::vector<std::vector<int8_t>> new_match(ncells);
-    for (size_t i = 0; i < ncells; ++i) {
-      if (row.lhs_matchers[i] == nullptr) continue;
-      cell_ids[i] = &resolve_column(row.lhs_cols[i]);
-      new_match[i].assign(cell_ids[i]->new_values.size(), -1);
-    }
+    BatchLhsScan scan(batch, row, state.scans, cell_ids_of(row));
     for (RowId r = 0; r < nbatch; ++r) {
-      bool lhs_ok = true;
-      for (size_t i = 0; i < ncells && lhs_ok; ++i) {
-        const ConstrainedMatcher* matcher = row.lhs_matchers[i].get();
-        if (matcher == nullptr) continue;
-        const int64_t id = cell_ids[i]->ids[r];
-        if (id >= 0) {
-          detect_internal::CellScan& scan = state.scans[i];
-          if (scan.match.size() <= static_cast<size_t>(id)) {
-            scan.match.resize(scan.dict->num_values(), -1);
-          }
-          if (scan.match[id] < 0) {
-            scan.match[id] =
-                matcher->Matches(batch.cell(r, row.lhs_cols[i])) ? 1 : 0;
-          }
-          lhs_ok = scan.match[id] != 0;
-        } else {
-          int8_t& verdict = new_match[i][-id - 1];
-          if (verdict < 0) {
-            verdict = matcher->Matches(*cell_ids[i]->new_values[-id - 1])
-                          ? 1
-                          : 0;
-          }
-          lhs_ok = verdict != 0;
-        }
-      }
-      if (!lhs_ok) continue;
-
+      if (!scan.Matches(r)) continue;
       // The suggestion EmitConstantViolation would attach: the first
       // mismatched RHS constant, for that cell; empty constants carry no
-      // repair.
+      // repair (SuggestionFold drops them).
       size_t first_mismatch = row.rhs_cols.size();
       for (size_t i = 0; i < row.rhs_cols.size(); ++i) {
         if (batch.cell(r, row.rhs_cols[i]) != row.rhs_constants[i]) {
@@ -265,38 +399,302 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
         }
       }
       if (first_mismatch == row.rhs_cols.size()) continue;
-      const std::string& repair = row.rhs_constants[first_mismatch];
-      if (repair.empty()) continue;
       const CellRef suspect{
           r, static_cast<uint32_t>(row.rhs_cols[first_mismatch])};
-      auto [it, inserted] = suggestions.try_emplace(
-          suspect, std::make_pair(repair, state.pfd_index));
-      if (!inserted && it->second.first != repair) {
-        conflicts.insert(suspect);
+      fold.Add(suspect, row.rhs_constants[first_mismatch], state.pfd_index,
+               /*variable=*/false);
+      if (clean_variable_rules_) {  // dirty_fold is only read for flips
+        dirty_fold.Add(suspect, row.rhs_constants[first_mismatch],
+                       state.pfd_index, /*variable=*/false);
+      }
+    }
+  }
+
+  // ---- Variable rules: cumulative majorities + flip detection -------------
+  if (clean_variable_rules_) {
+    const auto dirty_cell = [&](RowId a, size_t col) -> const std::string& {
+      const auto it =
+          dirty_overrides_.find(CellRef{a, static_cast<uint32_t>(col)});
+      return it != dirty_overrides_.end() ? it->second
+                                          : relation_.cell(a, col);
+    };
+    // Does some constant rule, applied to absorbed row `a`'s dirty cells,
+    // suggest a value other than `value` for `(a, col)`? Then the one-shot
+    // fold conflicts on that cell and keeps it dirty (rare slow path: only
+    // consulted before flagging a retroactive-repair conflict).
+    const auto oneshot_constant_conflict = [&](RowId a, uint32_t col,
+                                               const std::string& value) {
+      for (const RowState& cs : rows_) {
+        if (!cs.constant) continue;
+        const ResolvedRow& crow = cs.resolved;
+        bool lhs_ok = true;
+        for (size_t i = 0; i < crow.lhs_cols.size() && lhs_ok; ++i) {
+          const ConstrainedMatcher* matcher = crow.lhs_matchers[i].get();
+          if (matcher == nullptr) continue;
+          lhs_ok = matcher->Matches(dirty_cell(a, crow.lhs_cols[i]));
+        }
+        if (!lhs_ok) continue;
+        size_t first = crow.rhs_cols.size();
+        for (size_t i = 0; i < crow.rhs_cols.size(); ++i) {
+          if (dirty_cell(a, crow.rhs_cols[i]) != crow.rhs_constants[i]) {
+            first = i;
+            break;
+          }
+        }
+        if (first == crow.rhs_cols.size()) continue;
+        if (crow.rhs_cols[first] != col) continue;
+        const std::string& suggestion = crow.rhs_constants[first];
+        if (!suggestion.empty() && suggestion != value) return true;
+      }
+      return false;
+    };
+    for (RowState& state : rows_) {
+      if (!state.variable) continue;
+      const ResolvedRow& row = state.resolved;
+      const uint32_t rhs_front = static_cast<uint32_t>(row.rhs_cols.front());
+      const auto batch_rhs = [&](RowId b) {
+        return detect_internal::RhsValue(batch, row, b);
+      };
+      // RhsValue's exact byte format, read through the dirty overrides.
+      const auto dirty_rhs = [&](RowId a) {
+        std::string value;
+        for (size_t col : row.rhs_cols) {
+          value.append(dirty_cell(a, col));
+          value.push_back('\x1f');
+        }
+        return value;
+      };
+
+      BatchLhsScan scan(batch, row, state.scans, cell_ids_of(row));
+      std::map<std::string, std::vector<RowId>> batch_groups;
+      std::string key;
+      key.reserve(32 * row.lhs_cols.size());
+      for (RowId r = 0; r < nbatch; ++r) {
+        if (scan.Matches(r) && scan.Key(r, &key)) {
+          batch_groups[key].push_back(r);
+        }
+      }
+
+      for (const auto& [gkey, brows] : batch_groups) {
+        static const std::vector<RowId> kNoAbsorbed;
+        const auto git = state.groups.find(gkey);
+        const std::vector<RowId>& arows =
+            git == state.groups.end() ? kNoAbsorbed : git->second;
+        if (arows.size() + brows.size() < 2) continue;
+
+        // The group's RHS split in both views. Row ids in the blocks are
+        // final stream coordinates (batch rows at base + b), absorbed
+        // before batch, each side ascending — the same member order the
+        // one-shot resolution iterates in.
+        std::map<std::string, std::vector<RowId>> by_stream;
+        std::map<std::string, std::vector<RowId>> by_dirty;
+        std::vector<std::string> arow_dirty;  // parallel to arows
+        arow_dirty.reserve(arows.size());
+        for (RowId a : arows) {
+          by_stream[detect_internal::RhsValue(relation_, row, a)]
+              .push_back(a);
+          arow_dirty.push_back(dirty_rhs(a));
+          by_dirty[arow_dirty.back()].push_back(a);
+        }
+        std::vector<std::string> brow_rhs;  // parallel to brows
+        brow_rhs.reserve(brows.size());
+        for (RowId b : brows) {
+          brow_rhs.push_back(batch_rhs(b));
+          by_stream[brow_rhs.back()].push_back(base + b);
+          by_dirty[brow_rhs.back()].push_back(base + b);
+        }
+        const bool stream_viol = by_stream.size() > 1;
+        const bool dirty_viol = by_dirty.size() > 1;
+        if (!stream_viol && !dirty_viol) continue;
+
+        // Suggestions for the batch's own minority rows, against the
+        // cumulative majority of the stream's (cleaned) view.
+        std::string stream_key;
+        if (stream_viol) {
+          const auto& majority = MajorityBlock(by_stream);
+          stream_key = majority.first;
+          const RowId witness = majority.second.front();
+          const std::string& repair =
+              witness >= base ? batch.cell(witness - base, rhs_front)
+                              : relation_.cell(witness, rhs_front);
+          // Pair-backed majority suggestions carry witness strength 2, so
+          // they always clear RepairErrors' min(min_witness, 2) confidence
+          // gate (ConfidentVariableRepair, suggestion_policy.h) — no
+          // runtime check needed here.
+          for (size_t bi = 0; bi < brows.size(); ++bi) {
+            if (brow_rhs[bi] == stream_key) continue;
+            fold.Add(CellRef{brows[bi], rhs_front}, repair,
+                     state.pfd_index, /*variable=*/true);
+          }
+        }
+
+        // Flip detection against the dirty view (what the one-shot pass
+        // resolves); see the header's majority-flip semantics. The dirty
+        // majority's suggestions for the batch's own rows go into
+        // `dirty_fold` — divergence is judged on resolved outcomes, not on
+        // raw majority keys, so a majority that moved without changing any
+        // decision stays conflict-free.
+        std::string dirty_key;
+        std::string dirty_repair;
+        if (dirty_viol) {
+          const auto& majority = MajorityBlock(by_dirty);
+          dirty_key = majority.first;
+          const RowId witness = majority.second.front();
+          dirty_repair = witness >= base
+                             ? batch.cell(witness - base, rhs_front)
+                             : dirty_cell(witness, rhs_front);
+          for (size_t bi = 0; bi < brows.size(); ++bi) {
+            if (brow_rhs[bi] == dirty_key) continue;
+            dirty_fold.Add(CellRef{brows[bi], rhs_front}, dirty_repair,
+                           state.pfd_index, /*variable=*/true);
+          }
+        }
+        for (size_t ai = 0; ai < arows.size(); ++ai) {
+          const CellRef cell{arows[ai], rhs_front};
+          const std::string& current =
+              relation_.cell(cell.row, cell.column);
+          if (dirty_viol && arow_dirty[ai] != dirty_key &&
+              !dirty_repair.empty()) {
+            // The one-shot pass repairs this absorbed minority cell (empty
+            // suggestions are never applied — SuggestionFold drops them —
+            // so an empty majority value falls through to the branch
+            // below); the stream keeps it unless it already holds that
+            // value — or unless a disagreeing constant suggestion makes
+            // the one-shot fold conflict and keep the cell dirty, like the
+            // stream did.
+            if (current != dirty_repair &&
+                !(current == dirty_cell(cell.row, cell.column) &&
+                  oneshot_constant_conflict(cell.row, cell.column,
+                                            dirty_repair))) {
+              ReportConflict(StreamConflict{
+                  StreamConflict::Kind::kRetroactiveRepair, cell, current,
+                  dirty_repair, state.pfd_index, num_batches_});
+            }
+          } else if (variable_repaired_.count(cell) > 0 &&
+                     current != dirty_cell(cell.row, cell.column)) {
+            // An earlier majority repaired this cell, but the dirty view's
+            // majority now sides with its original value — the one-shot
+            // pass would have left it alone.
+            ReportConflict(StreamConflict{
+                StreamConflict::Kind::kRetroactiveRepair, cell, current,
+                dirty_cell(cell.row, cell.column), state.pfd_index,
+                num_batches_});
+          }
+        }
       }
     }
   }
 
   bool copied = false;  // most batches of a clean feed need no repair —
                         // only pay the batch copy when one applies
-  const RowId base = static_cast<RowId>(relation_.num_rows());
-  for (const auto& [cell, repair] : suggestions) {
-    if (conflicts.count(cell) > 0) continue;
+  for (const auto& [cell, suggestion] : fold.Resolve()) {
     std::string before = batch.cell(cell.row, cell.column);
-    if (before == repair.first) continue;
+    if (before == suggestion.value) continue;
     if (!copied) {
       *cleaned = batch;
       copied = true;
     }
-    cleaned->set_cell(cell.row, cell.column, repair.first);
+    cleaned->set_cell(cell.row, cell.column, suggestion.value);
+    const CellRef stream_cell{base + cell.row, cell.column};
+    dirty_overrides_.emplace(stream_cell, before);
+    if (suggestion.variable) variable_repaired_.insert(stream_cell);
     AppliedRepair applied;
-    applied.cell = CellRef{base + cell.row, cell.column};
+    applied.cell = stream_cell;
     applied.before = std::move(before);
-    applied.after = repair.first;
+    applied.after = suggestion.value;
     applied.pass = num_batches_;  // which batch applied it
-    applied.pfd_index = repair.second;
+    applied.pfd_index = suggestion.pfd_index;
     batch_repairs_.push_back(applied);
     repairs_.push_back(std::move(applied));
+  }
+
+  // Outcome comparison between the two folds: any batch cell the stream's
+  // cleaned-majority decisions and the one-shot pass's dirty-majority
+  // decisions resolve to different values is a majority-flip conflict.
+  // (A cell absent from a fold keeps its dirty value on that side; equal
+  // resolved values — including no-op suggestions — are conflict-free.)
+  if (clean_variable_rules_) {
+    const auto& applied = fold.Resolve();
+    const auto& expected = dirty_fold.Resolve();
+    auto it = applied.begin();
+    auto jt = expected.begin();
+    while (it != applied.end() || jt != expected.end()) {
+      CellRef cell;
+      if (jt == expected.end() ||
+          (it != applied.end() && it->first < jt->first)) {
+        cell = it->first;
+      } else if (it == applied.end() || jt->first < it->first) {
+        cell = jt->first;
+      } else {
+        cell = it->first;
+      }
+      const std::string& dirty_value = batch.cell(cell.row, cell.column);
+      const std::string& stream_outcome =
+          (it != applied.end() && it->first == cell) ? it->second.value
+                                                     : dirty_value;
+      const std::string& oneshot_outcome =
+          (jt != expected.end() && jt->first == cell) ? jt->second.value
+                                                      : dirty_value;
+      const size_t pfd = (it != applied.end() && it->first == cell)
+                             ? it->second.pfd_index
+                             : jt->second.pfd_index;
+      if (it != applied.end() && it->first == cell) ++it;
+      if (jt != expected.end() && jt->first == cell) ++jt;
+      if (stream_outcome != oneshot_outcome) {
+        ReportConflict(StreamConflict{
+            StreamConflict::Kind::kMajorityFlip,
+            CellRef{base + cell.row, cell.column}, stream_outcome,
+            oneshot_outcome, pfd, num_batches_});
+      }
+    }
+  }
+
+  // A repair that changed a cell some variable rule groups by moves the
+  // row into a different equivalence group than it holds in the dirty
+  // concatenation — every later majority it participates in can diverge
+  // from the one-shot pass, so surface it now.
+  if (copied && clean_variable_rules_) {
+    const auto membership_key = [](const ResolvedRow& row,
+                                   const Relation& rel, RowId r,
+                                   std::string* key) {
+      key->clear();
+      for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+        const std::string& cell = rel.cell(r, row.lhs_cols[i]);
+        const ConstrainedMatcher* matcher = row.lhs_matchers[i].get();
+        if (matcher == nullptr) {
+          key->append(cell);
+          key->push_back('\x1f');
+          continue;
+        }
+        if (!matcher->Matches(cell)) return false;
+        if (!ComputeKeyFragment(*matcher, cell, key)) return false;
+      }
+      return true;
+    };
+    std::string dirty_key;
+    std::string clean_key;
+    for (const AppliedRepair& applied : batch_repairs_) {
+      const RowId b = applied.cell.row - base;
+      for (const RowState& state : rows_) {
+        if (!state.variable) continue;
+        const ResolvedRow& row = state.resolved;
+        if (std::find(row.lhs_cols.begin(), row.lhs_cols.end(),
+                      static_cast<size_t>(applied.cell.column)) ==
+            row.lhs_cols.end()) {
+          continue;
+        }
+        const bool dirty_member = membership_key(row, batch, b, &dirty_key);
+        const bool clean_member =
+            membership_key(row, *cleaned, b, &clean_key);
+        if (dirty_member != clean_member ||
+            (dirty_member && dirty_key != clean_key)) {
+          ReportConflict(StreamConflict{StreamConflict::Kind::kKeyDivergence,
+                                        applied.cell, applied.after,
+                                        applied.before, state.pfd_index,
+                                        num_batches_});
+        }
+      }
+    }
   }
   return copied;
 }
@@ -318,6 +716,7 @@ Result<DetectionResult> DetectionStream::AppendBatch(const Relation& batch) {
   }
 
   batch_repairs_.clear();
+  batch_conflicts_.clear();
   Relation cleaned;
   const Relation* rows_in = &batch;
   if (clean_on_ingest_) {

@@ -19,23 +19,52 @@
 /// randomized differential tests in engine_test.cc).
 ///
 /// Repair mode (clean-on-ingest): with `set_clean_on_ingest(true)`, each
-/// incoming batch is first cleaned with the confident constant-rule
-/// repairs its own rows trigger (§3's "if the LHS is correct, the RHS
-/// could be changed to tp[B]" — always confident; conflicting suggestions
-/// for one cell are dropped), then absorbed, so the stream accumulates the
-/// *repaired* relation and the cumulative violations reflect it. Cleaning
-/// is computed straight from the stream's resolved rows, incremental
-/// dictionaries and cross-batch memos — no batch-local detection run, no
-/// dictionary/index rebuilds — so it adds essentially nothing over plain
-/// streaming (A7d in bench_a7). The
-/// applied repairs are reported per batch (`batch_repairs()`) and
-/// cumulatively (`repairs()`), with row ids in stream coordinates.
-/// Variable-rule repairs are intentionally not applied on ingest: a single
-/// batch's majority is not the cumulative majority, so they stay a
-/// deliberate `Engine::Repair` pass over the accumulated relation.
+/// incoming batch is first cleaned with the confident repairs its rows
+/// trigger, then absorbed, so the stream accumulates the *repaired*
+/// relation and the cumulative violations reflect it. Two rule kinds
+/// contribute (the same suggestion fold and confidence policy as
+/// `RepairErrors` — repair/suggestion_policy.h — so streaming and batch
+/// repair cannot drift):
+///
+///  * Constant rules (§3's "if the LHS is correct, the RHS could be
+///    changed to tp[B]" — always confident): computed straight from the
+///    batch's own rows against the stream's resolved rows and cross-batch
+///    memos.
+///  * Variable rules (on by default; `set_clean_variable_rules(false)`
+///    restores constant-only cleaning): each batch row joins its
+///    equivalence group, and the suggestion is the *cumulative* group
+///    majority — the absorbed rows the stream already holds in
+///    `RowState::groups` plus the batch's own members — exactly the
+///    majority a one-shot constant+variable repair pass over the
+///    concatenation would use, as long as that majority never flips.
+///
+/// Neither kind runs a batch-local `DetectErrors`: cleaning reuses the
+/// incremental dictionaries and the per-distinct-value match/extraction
+/// memos (new values are memoized batch-locally). Constant cleaning adds
+/// essentially nothing over plain streaming (A7d in bench_a7, ≈1.0×);
+/// variable cleaning re-resolves the RHS split of every group the batch
+/// touches — the same O(touched group sizes) shape as the cumulative
+/// group re-resolution the stream already performs per batch — for a
+/// bounded surcharge (A7e, ≈1.9× the constant-only cleaning cost on the
+/// 20-batch zip bench). Applied repairs are reported per batch
+/// (`batch_repairs()`) and cumulatively (`repairs()`), with row ids in
+/// stream coordinates.
+///
+/// Majority-flip semantics: already-absorbed rows are NEVER retroactively
+/// edited — the stream's relation is append-only except for the batch
+/// being cleaned. When a later batch moves a group's cumulative majority
+/// such that the one-shot pass would now repair (or would not have
+/// repaired) an absorbed row, the divergence is surfaced as a
+/// `StreamConflict` in `batch_conflicts()` / `conflicts()` instead of an
+/// edit. Consequently the cleaned stream relation is byte-identical to a
+/// single-pass constant+variable `RepairErrors` over the concatenated
+/// batches whenever `conflicts()` is empty, and every divergence is
+/// covered by a reported conflict (randomized chunk-split differential
+/// tests in engine_test.cc).
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +76,35 @@
 #include "util/status.h"
 
 namespace anmat {
+
+/// \brief One surfaced clean-on-ingest divergence from the one-shot repair
+/// of the concatenation (see the majority-flip semantics in the file
+/// comment). The stream keeps `current` in the cell; a single-pass
+/// constant+variable repair over the concatenated batches would hold
+/// `expected` there instead.
+struct StreamConflict {
+  enum class Kind {
+    /// A group's cumulative majority (or whether it has a majority at all)
+    /// differs between the stream's cleaned view and the dirty
+    /// concatenation, so the batch's repairs follow a different majority
+    /// than the one-shot pass would.
+    kMajorityFlip,
+    /// The one-shot pass would repair (or leave dirty) an already-absorbed
+    /// cell; the stream never retroactively edits.
+    kRetroactiveRepair,
+    /// An applied repair changed a cell some variable rule groups by, so
+    /// the row's equivalence group differs from its dirty-concatenation
+    /// group from this batch onward.
+    kKeyDivergence,
+  };
+
+  Kind kind = Kind::kMajorityFlip;
+  CellRef cell;          ///< stream coordinates
+  std::string current;   ///< the value the stream keeps
+  std::string expected;  ///< the one-shot pass's value for the cell
+  size_t pfd_index = 0;  ///< rule whose group surfaced the divergence
+  size_t batch = 0;      ///< batch whose ingest surfaced it
+};
 
 /// \brief Incremental detection over a growing relation with fixed PFDs.
 ///
@@ -82,6 +140,14 @@ class DetectionStream {
   void set_clean_on_ingest(bool on) { clean_on_ingest_ = on; }
   bool clean_on_ingest() const { return clean_on_ingest_; }
 
+  /// Enables/disables variable-rule (cumulative-majority) repairs inside
+  /// clean-on-ingest. On by default; turning it off restores the
+  /// constant-only cleaning of earlier releases (what A7d benchmarks).
+  /// Toggling between appends is safe — like all cleaning it only ever
+  /// affects batches appended afterwards.
+  void set_clean_variable_rules(bool on) { clean_variable_rules_ = on; }
+  bool clean_variable_rules() const { return clean_variable_rules_; }
+
   /// Repairs applied to the most recently appended batch (empty unless
   /// clean-on-ingest was on for it). Row ids are stream coordinates.
   const std::vector<AppliedRepair>& batch_repairs() const {
@@ -90,6 +156,18 @@ class DetectionStream {
 
   /// All repairs applied since the stream was opened.
   const std::vector<AppliedRepair>& repairs() const { return repairs_; }
+
+  /// Majority-flip conflicts surfaced by the most recently appended batch
+  /// (see the file comment); each absorbed cell is reported at most once
+  /// over the stream's lifetime.
+  const std::vector<StreamConflict>& batch_conflicts() const {
+    return batch_conflicts_;
+  }
+
+  /// All conflicts surfaced since the stream was opened. While this is
+  /// empty, the stream's relation is byte-identical to a single-pass
+  /// constant+variable `RepairErrors` over the concatenated batches.
+  const std::vector<StreamConflict>& conflicts() const { return conflicts_; }
 
   /// The concatenation of all appended batches.
   const Relation& relation() const { return relation_; }
@@ -134,13 +212,17 @@ class DetectionStream {
   /// Folds the batch rows [first_row, end_row) into `state`.
   void AbsorbRows(RowState& state, RowId first_row, RowId end_row);
 
-  /// Computes the confident constant-rule repairs for `batch` and records
-  /// them (clean-on-ingest). Runs directly over the stream's resolved rows
-  /// and per-distinct-value memos — no batch-local detection, no
-  /// dictionary/index rebuilds. When any repairs apply, `*cleaned` is set
-  /// to the repaired copy and true is returned; a repair-free batch
-  /// returns false without paying the copy.
+  /// Computes the confident constant- and (when enabled) variable-rule
+  /// repairs for `batch` and records them (clean-on-ingest), surfacing
+  /// majority-flip conflicts. Runs directly over the stream's resolved
+  /// rows, cumulative groups and per-distinct-value memos — no batch-local
+  /// detection, no dictionary/index rebuilds. When any repairs apply,
+  /// `*cleaned` is set to the repaired copy and true is returned; a
+  /// repair-free batch returns false without paying the copy.
   Result<bool> CleanBatch(const Relation& batch, Relation* cleaned);
+
+  /// Records `conflict` (deduplicated per cell over the stream lifetime).
+  void ReportConflict(StreamConflict conflict);
 
   Relation relation_;
   std::vector<Pfd> pfds_;
@@ -156,8 +238,22 @@ class DetectionStream {
   std::vector<std::unique_ptr<PatternIndex>> indexes_;
   std::vector<RowState> rows_;
   bool clean_on_ingest_ = false;
+  bool clean_variable_rules_ = true;
   std::vector<AppliedRepair> batch_repairs_;
   std::vector<AppliedRepair> repairs_;
+  std::vector<StreamConflict> batch_conflicts_;
+  std::vector<StreamConflict> conflicts_;
+  /// Cells already reported in `conflicts_` (each at most once).
+  std::set<CellRef> conflicted_cells_;
+  /// Pre-repair ("dirty") values of every cell clean-on-ingest edited —
+  /// what the cell holds in the dirty concatenation. Majority-flip
+  /// detection compares the dirty view (what the one-shot pass sees)
+  /// against the stream's cleaned view through these overrides.
+  std::map<CellRef, std::string> dirty_overrides_;
+  /// Cells whose applied repair came from a variable (majority) rule; if
+  /// such a group's majority later flips back to the cell's dirty value,
+  /// the one-shot pass would not have repaired it — a conflict.
+  std::set<CellRef> variable_repaired_;
 };
 
 }  // namespace anmat

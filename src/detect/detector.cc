@@ -215,6 +215,16 @@ void EmitPairViolation(const Relation& relation, size_t pfd_index,
   out->push_back(std::move(v));
 }
 
+const std::pair<const std::string, std::vector<RowId>>& MajorityBlock(
+    const std::map<std::string, std::vector<RowId>>& by_rhs) {
+  const std::pair<const std::string, std::vector<RowId>>* best =
+      &*by_rhs.begin();
+  for (const auto& entry : by_rhs) {
+    if (entry.second.size() > best->second.size()) best = &entry;
+  }
+  return *best;
+}
+
 void ResolveGroups(const Relation& relation, size_t pfd_index,
                    size_t row_index, const ResolvedRow& row,
                    const std::map<std::string, std::vector<RowId>>& groups,
@@ -234,15 +244,9 @@ void ResolveGroups(const Relation& relation, size_t pfd_index,
     }
     if (by_rhs.size() <= 1) continue;
 
-    size_t best = 0;
-    const std::string* majority_key = nullptr;
-    for (const auto& [rhs, ids] : by_rhs) {
-      if (ids.size() > best) {
-        best = ids.size();
-        majority_key = &rhs;
-      }
-    }
-    const RowId witness = by_rhs.at(*majority_key).front();
+    const auto& majority = MajorityBlock(by_rhs);
+    const std::string* majority_key = &majority.first;
+    const RowId witness = majority.second.front();
     // Repair suggestion: the witness's first RHS attribute value.
     const std::string majority_repair =
         relation.cell(witness, row.rhs_cols.front());

@@ -148,6 +148,15 @@ void EmitPairViolation(const Relation& relation, size_t pfd_index,
                        const std::string& majority_repair,
                        std::vector<Violation>* out);
 
+/// The majority entry of one equivalence group's RHS-value → rows split:
+/// the entry with the strictly greatest row count; ties break toward the
+/// lexicographically smallest RHS value (map order). This single definition
+/// decides "the majority" for one-shot group resolution AND the streaming
+/// clean-on-ingest variable repairs — their agreement cell-for-cell depends
+/// on it. `by_rhs` must not be empty.
+const std::pair<const std::string, std::vector<RowId>>& MajorityBlock(
+    const std::map<std::string, std::vector<RowId>>& by_rhs);
+
 /// Shared group-resolution logic: given key → rows, flag minority records.
 /// Appends violations and accounts `pairs_checked` into `result`; stops at
 /// `max_violations` total violations when non-zero.

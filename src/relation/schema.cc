@@ -1,5 +1,7 @@
 #include "relation/schema.h"
 
+#include <cstdint>
+#include <cstdio>
 #include <unordered_set>
 
 namespace anmat {
@@ -59,6 +61,24 @@ bool Schema::operator==(const Schema& other) const {
     }
   }
   return true;
+}
+
+std::string SchemaFingerprint(const Schema& schema) {
+  // 64-bit FNV-1a over the names, '\x1f'-separated so ("ab","c") and
+  // ("a","bc") hash differently.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix = [&hash](char c) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  };
+  for (const ColumnSpec& column : schema.columns()) {
+    for (char c : column.name) mix(c);
+    mix('\x1f');
+  }
+  char out[17];
+  std::snprintf(out, sizeof(out), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return out;
 }
 
 }  // namespace anmat

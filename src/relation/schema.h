@@ -50,6 +50,14 @@ class Schema {
   std::vector<ColumnSpec> columns_;
 };
 
+/// \brief A stable fingerprint of a schema's column-name sequence (a
+/// 64-bit FNV-1a hash, hex-encoded). Types are excluded on purpose: CSV
+/// columns are all text at load time and type inference must not change a
+/// dataset's identity. The project catalog records this per attached
+/// dataset so a silently swapped or re-shaped CSV is detected at load
+/// time instead of producing nonsense detections.
+std::string SchemaFingerprint(const Schema& schema);
+
 }  // namespace anmat
 
 #endif  // ANMAT_RELATION_SCHEMA_H_

@@ -1,29 +1,12 @@
 #include "repair/repair.h"
 
 #include <algorithm>
-#include <map>
 #include <set>
 
 #include "detect/detector_internal.h"
+#include "repair/suggestion_policy.h"
 
 namespace anmat {
-
-namespace {
-
-/// Counts witnesses behind a variable violation's suggestion: the number of
-/// cells in the violation carrying the majority value is not recorded on
-/// the violation itself, so we re-count agreeing rows among the violation's
-/// witness cells. For the blocked detector every variable violation has one
-/// explicit witness row; confidence beyond that comes from the majority
-/// semantics already enforced during detection, so `min_witness` > 2 simply
-/// requires a larger block majority, which we approximate by the number of
-/// violations sharing the same witness (cheap and monotone).
-size_t WitnessStrength(const Violation& v) {
-  // cells = (suspect_lhs, suspect_rhs, witness_lhs, witness_rhs)
-  return v.cells.size() >= 4 ? 2 : 1;
-}
-
-}  // namespace
 
 Result<RepairResult> RepairErrors(Relation* relation,
                                   const std::vector<Pfd>& pfds,
@@ -52,9 +35,9 @@ Result<RepairResult> RepairErrors(Relation* relation,
     result.remaining_violations = detection.violations.size();
     if (detection.violations.empty()) break;
 
-    // Gather suggestions per cell; drop cells with conflicting suggestions.
-    std::map<CellRef, std::pair<std::string, size_t>> suggestions;
-    std::set<CellRef> pass_conflicts;
+    // Fold suggestions per cell (shared policy: equal merge, disagreement
+    // conflicts and drops the cell — see repair/suggestion_policy.h).
+    SuggestionFold fold;
     for (const Violation& v : detection.violations) {
       if (v.suggested_repair.empty()) continue;
       if (conflicted.count(v.suspect) > 0) continue;
@@ -71,33 +54,31 @@ Result<RepairResult> RepairErrors(Relation* relation,
       }
       if (v.kind == ViolationKind::kVariable) {
         if (!options.apply_variable_repairs) continue;
-        if (WitnessStrength(v) < std::min<size_t>(options.min_witness, 2)) {
+        if (!ConfidentVariableRepair(WitnessStrength(v),
+                                     options.min_witness)) {
           continue;
         }
       }
-      auto [it, inserted] = suggestions.try_emplace(
-          v.suspect, std::make_pair(v.suggested_repair, v.pfd_index));
-      if (!inserted && it->second.first != v.suggested_repair) {
-        pass_conflicts.insert(v.suspect);
-      }
+      fold.Add(v.suspect, v.suggested_repair, v.pfd_index,
+               v.kind == ViolationKind::kVariable);
     }
-    for (const CellRef& c : pass_conflicts) {
-      suggestions.erase(c);
+    for (const CellRef& c : fold.conflicts()) {
       if (conflicted.insert(c).second) {
         result.conflicted_cells.push_back(c);
       }
     }
 
+    const auto& suggestions = fold.Resolve();
     if (suggestions.empty()) break;  // nothing confidently repairable
 
     size_t applied_this_pass = 0;
-    for (const auto& [cell, repair] : suggestions) {
+    for (const auto& [cell, suggestion] : suggestions) {
       const std::string before = relation->cell(cell.row, cell.column);
-      if (before == repair.first) continue;
-      relation->set_cell(cell.row, cell.column, repair.first);
+      if (before == suggestion.value) continue;
+      relation->set_cell(cell.row, cell.column, suggestion.value);
       repaired_cells.insert(cell);
-      result.repairs.push_back(
-          AppliedRepair{cell, before, repair.first, pass, repair.second});
+      result.repairs.push_back(AppliedRepair{cell, before, suggestion.value,
+                                             pass, suggestion.pfd_index});
       ++applied_this_pass;
     }
     if (applied_this_pass == 0) break;

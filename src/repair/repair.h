@@ -29,7 +29,9 @@
 /// `anmat::Engine::Repair` (anmat/engine.h) is the usual entry — it
 /// installs the engine's shared pool. For streaming workloads,
 /// `DetectionStream::set_clean_on_ingest` applies confident constant-rule
-/// repairs per appended batch (detect/detection_stream.h).
+/// and cumulative-majority variable-rule repairs per appended batch,
+/// through the same suggestion fold and confidence policy as this module
+/// (repair/suggestion_policy.h; detect/detection_stream.h).
 
 #include <cstddef>
 #include <vector>

@@ -151,6 +151,16 @@ const RuleRecord* RuleSet::Find(uint64_t id) const {
   return nullptr;
 }
 
+Status RuleSet::Delete(uint64_t id) {
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].id == id) {
+      records_.erase(records_.begin() + static_cast<ptrdiff_t>(i));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no rule with id " + std::to_string(id));
+}
+
 const RuleRecord* RuleSet::FindEqualPfd(const Pfd& pfd) const {
   for (const RuleRecord& r : records_) {
     if (r.pfd == pfd) return &r;

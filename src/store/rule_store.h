@@ -79,6 +79,12 @@ class RuleSet {
   /// Sets the lifecycle status of rule `id`; NotFound when absent.
   Status SetStatus(uint64_t id, RuleStatus status);
 
+  /// Removes rule `id` permanently; NotFound (naming the id) when absent.
+  /// Deletion never frees the id for reuse: next_id() is untouched and is
+  /// persisted in the envelope, so a store whose highest-id rules were
+  /// deleted still hands out fresh ids after a reload.
+  Status Delete(uint64_t id);
+
   /// Replaces the provenance of rule `id`; NotFound when absent.
   Status SetProvenance(uint64_t id, RuleProvenance provenance);
 

@@ -280,6 +280,26 @@ class JsonParser {
     return JsonValue::Number(d);
   }
 
+  /// Four hex digits of a \uXXXX escape (the cursor sits after the 'u').
+  Result<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
   Result<std::string> ParseString() {
     if (!Consume('"')) return Error("expected '\"'");
     std::string out;
@@ -315,29 +335,39 @@ class JsonParser {
             out += '\f';
             break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return Error("bad hex digit in \\u escape");
-              }
+            unsigned code;
+            ANMAT_ASSIGN_OR_RETURN(code, ParseHex4());
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Error("lone low surrogate in \\u escape");
             }
-            // Encode the BMP code point as UTF-8.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: it must pair with a following \uDC00..DFFF
+              // low surrogate, combining into one astral code point.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired high surrogate in \\u escape");
+              }
+              pos_ += 2;
+              unsigned low;
+              ANMAT_ASSIGN_OR_RETURN(low, ParseHex4());
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("unpaired high surrogate in \\u escape");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            // Encode the code point as UTF-8 (1-4 bytes).
             if (code < 0x80) {
               out += static_cast<char>(code);
             } else if (code < 0x800) {
               out += static_cast<char>(0xC0 | (code >> 6));
               out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
+            } else if (code < 0x10000) {
               out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xF0 | (code >> 18));
+              out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
               out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
               out += static_cast<char>(0x80 | (code & 0x3F));
             }

@@ -7,8 +7,10 @@
 /// The original ANMAT demo persists discovered PFDs in MongoDB; this
 /// repository substitutes a JSON file-based rule store (see DESIGN.md §2),
 /// for which this self-contained JSON implementation suffices. Supports the
-/// full JSON grammar except `\uXXXX` surrogate pairs beyond the BMP (escapes
-/// are decoded to UTF-8).
+/// full JSON grammar: `\uXXXX` escapes are decoded to UTF-8, including
+/// surrogate pairs beyond the BMP (the escape pair `\uD83D\uDE00` decodes
+/// to the 4-byte UTF-8 of U+1F600); lone or unpaired surrogates are a
+/// parse error.
 
 #include <cstdint>
 #include <map>

@@ -93,6 +93,58 @@ TEST(CsvParseTest, TrimFields) {
   EXPECT_EQ(r.value()[0], (std::vector<std::string>{"a", "b"}));
 }
 
+TEST(CsvParseTest, TrailingCrOnLastRecord) {
+  // A final record terminated by a lone \r at EOF (a CRLF file truncated
+  // mid-separator) must not leak the \r into the field or produce a
+  // phantom empty record.
+  auto r = ParseCsvRecords("zip,city\r\n90001,Los Angeles\r");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[1],
+            (std::vector<std::string>{"90001", "Los Angeles"}));
+}
+
+TEST(CsvParseTest, QuotedFieldWithCrlfInside) {
+  // CRLF inside quotes is field content, not a record separator; the CRLF
+  // after the closing quote is.
+  auto r = ParseCsvRecords("\"line1\r\nline2\",x\r\ny,z\r\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0][0], "line1\r\nline2");
+  EXPECT_EQ(r.value()[0][1], "x");
+  EXPECT_EQ(r.value()[1], (std::vector<std::string>{"y", "z"}));
+}
+
+TEST(CsvParseTest, QuotedFieldEndsAtTrailingCrEof) {
+  auto r = ParseCsvRecords("\"Los Angeles, CA\",90001\r");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0][0], "Los Angeles, CA");
+  EXPECT_EQ(r.value()[0][1], "90001");
+}
+
+TEST(CsvReadTest, CrlfFileRoundTripsThroughRelation) {
+  // A fully CRLF-separated file (header included, last record unterminated)
+  // loads exactly like its \n-separated equivalent.
+  auto crlf = ReadCsvString(
+      "zip,city\r\n90001,\"Los Angeles, CA\"\r\n90004,New York");
+  ASSERT_TRUE(crlf.ok());
+  auto lf = ReadCsvString("zip,city\n90001,\"Los Angeles, CA\"\n90004,New York\n");
+  ASSERT_TRUE(lf.ok());
+  ASSERT_EQ(crlf->num_rows(), 2u);
+  ASSERT_EQ(lf->num_rows(), 2u);
+  for (RowId r = 0; r < crlf->num_rows(); ++r) {
+    EXPECT_EQ(crlf->Row(r), lf->Row(r));
+  }
+  EXPECT_EQ(crlf->cell(0, 1), "Los Angeles, CA");
+}
+
+TEST(CsvReadTest, TrailingCrlfProducesNoPhantomRow) {
+  auto r = ReadCsvString("zip,city\r\n90001,Los Angeles\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1u);
+}
+
 TEST(CsvReadTest, HeaderBecomesSchema) {
   auto r = ReadCsvString("zip,city\n90001,Los Angeles\n");
   ASSERT_TRUE(r.ok());

@@ -474,16 +474,18 @@ TEST(DetectionStreamTest, RejectsUnknownAttribute) {
 
 // -- Clean-on-ingest (streaming repair mode) -------------------------------
 
-/// Streams `relation` through a clean-on-ingest stream in fixed-size
-/// batches and checks, per batch, that the applied repairs are exactly the
-/// confident constant-rule suggestions one-shot detection produces for the
-/// raw batch, and that the stream accumulates the *cleaned* rows.
+/// Streams `relation` through a clean-on-ingest stream (constant rules
+/// only) in fixed-size batches and checks, per batch, that the applied
+/// repairs are exactly the confident constant-rule suggestions one-shot
+/// detection produces for the raw batch, and that the stream accumulates
+/// the *cleaned* rows.
 void CheckCleanOnIngest(const Relation& relation,
                         const std::vector<Pfd>& rules, RowId batch_rows) {
   Engine engine;
   auto stream = engine.OpenStream(relation.schema(), rules);
   ASSERT_TRUE(stream.ok()) << stream.status();
   (*stream)->set_clean_on_ingest(true);
+  (*stream)->set_clean_variable_rules(false);
 
   Relation cleaned_prefix(relation.schema());
   size_t total_repairs = 0;
@@ -580,6 +582,216 @@ TEST(DetectionStreamTest, CleanOnIngestOffByDefaultAndToggleable) {
   EXPECT_EQ(r.cell.row, d.relation.num_rows());  // stream coordinates
   EXPECT_EQ((*stream)->relation().cell(r.cell.row, 1), "Los Angeles");
   EXPECT_EQ(second->violations.size(), first->violations.size());
+}
+
+// -- Clean-on-ingest v2 (variable rules, cumulative majorities) ------------
+
+/// Single-pass constant+variable repair over a copy of `relation` — the
+/// one-shot reference for clean-on-ingest with variable rules enabled.
+RepairResult OneShotSinglePass(const Relation& relation,
+                               const std::vector<Pfd>& rules,
+                               Relation* repaired) {
+  *repaired = relation;
+  RepairOptions options;
+  options.max_passes = 1;
+  auto result = RepairErrors(repaired, rules, options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+/// Streams `relation` through a clean-on-ingest stream with variable
+/// repairs enabled, split at randomized chunk boundaries, and checks the
+/// majority-flip contract of detection_stream.h: while `conflicts()` is
+/// empty the accumulated cleaned relation (and the applied repair count)
+/// is byte-identical to a single-pass constant+variable `RepairErrors`
+/// over the concatenation, and any divergence is covered by a surfaced
+/// conflict.
+void CheckVariableCleanOnIngest(const Relation& relation,
+                                const std::vector<Pfd>& rules,
+                                uint64_t seed) {
+  Engine engine;
+  auto stream = engine.OpenStream(relation.schema(), rules);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  (*stream)->set_clean_on_ingest(true);
+  ASSERT_TRUE((*stream)->clean_variable_rules());  // the v2 default
+
+  Rng rng(seed);
+  RowId begin = 0;
+  while (begin < relation.num_rows()) {
+    const RowId remaining = static_cast<RowId>(relation.num_rows()) - begin;
+    const RowId size = static_cast<RowId>(
+        1 + rng.NextBelow(std::min<uint64_t>(remaining, 137)));
+    auto batch = relation.Slice(begin, begin + size);
+    ASSERT_TRUE(batch.ok());
+    auto cumulative = (*stream)->AppendBatch(batch.value());
+    ASSERT_TRUE(cumulative.ok()) << cumulative.status();
+    begin += size;
+  }
+
+  Relation one_shot;
+  const RepairResult reference = OneShotSinglePass(relation, rules, &one_shot);
+  const bool identical =
+      Fingerprint((*stream)->relation()) == Fingerprint(one_shot);
+  if ((*stream)->conflicts().empty()) {
+    EXPECT_TRUE(identical) << "no conflict surfaced but the cleaned stream "
+                              "diverged from the one-shot pass (seed "
+                           << seed << ")";
+    EXPECT_EQ((*stream)->repairs().size(), reference.repairs.size());
+  }
+  if (!identical) {
+    EXPECT_FALSE((*stream)->conflicts().empty())
+        << "cleaned stream diverged from the one-shot pass without a "
+           "surfaced conflict (seed "
+        << seed << ")";
+  }
+}
+
+TEST(DetectionStreamTest, VariableCleanOnIngestMatchesOneShotUnlessFlipped) {
+  for (const Dataset& d : TestDatasets()) {
+    const std::vector<Pfd> rules = DiscoverRules(d.relation);
+    ASSERT_FALSE(rules.empty()) << d.name;
+    for (uint64_t seed : {601, 602, 603}) {
+      CheckVariableCleanOnIngest(d.relation, rules, seed);
+    }
+  }
+}
+
+TEST(DetectionStreamTest, VariableCleanOnIngestSingleBatchMatchesOneShot) {
+  // With the whole relation in one batch there are no absorbed rows to
+  // diverge from, so the cleaned batch must equal the one-shot single pass
+  // exactly — constant and variable repairs both — with no conflicts.
+  const Dataset d = NameGenderDataset(800, 604, 0.05);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+  Engine engine;
+  auto stream = engine.OpenStream(d.relation.schema(), rules);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  (*stream)->set_clean_on_ingest(true);
+  ASSERT_TRUE((*stream)->AppendBatch(d.relation).ok());
+
+  Relation one_shot;
+  const RepairResult reference =
+      OneShotSinglePass(d.relation, rules, &one_shot);
+  EXPECT_GT(reference.repairs.size(), 0u);
+  EXPECT_TRUE((*stream)->conflicts().empty());
+  EXPECT_EQ((*stream)->repairs().size(), reference.repairs.size());
+  EXPECT_EQ(Fingerprint((*stream)->relation()), Fingerprint(one_shot));
+}
+
+TEST(DetectionStreamTest, VariableCleanOnIngestAppliesCumulativeMajority) {
+  // Variable rule: two-digit codes determine val. A later batch's dirty
+  // record must be repaired with the *cumulative* majority — which a
+  // batch-local majority (2 dirty rows vs 1 clean) would get wrong.
+  Tableau tableau;
+  TableauRow row;
+  row.lhs.push_back(TableauCell::Of(
+      ParseConstrainedPattern("(\\D{2})!").value()));
+  row.rhs.push_back(TableauCell::Wildcard());
+  tableau.AddRow(row);
+  const std::vector<Pfd> rules = {Pfd::Simple("T", "code", "val", tableau)};
+
+  auto schema = Schema::MakeText({"code", "val"});
+  ASSERT_TRUE(schema.ok());
+  Engine engine;
+  auto stream = engine.OpenStream(schema.value(), rules);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  (*stream)->set_clean_on_ingest(true);
+
+  ASSERT_TRUE(
+      (*stream)->AppendRows({{"11", "A"}, {"11", "A"}, {"11", "A"}}).ok());
+  EXPECT_TRUE((*stream)->batch_repairs().empty());
+
+  // Batch-local majority would be B (2 vs 1); the cumulative majority is A.
+  ASSERT_TRUE(
+      (*stream)->AppendRows({{"11", "B"}, {"11", "B"}, {"11", "A"}}).ok());
+  ASSERT_EQ((*stream)->batch_repairs().size(), 2u);
+  for (const AppliedRepair& r : (*stream)->batch_repairs()) {
+    EXPECT_EQ(r.before, "B");
+    EXPECT_EQ(r.after, "A");
+  }
+  EXPECT_TRUE((*stream)->conflicts().empty());
+  for (RowId r = 0; r < (*stream)->relation().num_rows(); ++r) {
+    EXPECT_EQ((*stream)->relation().cell(r, 1), "A");
+  }
+}
+
+TEST(DetectionStreamTest, VariableCleanOnIngestSurfacesMajorityFlip) {
+  Tableau tableau;
+  TableauRow row;
+  row.lhs.push_back(TableauCell::Of(
+      ParseConstrainedPattern("(\\D{2})!").value()));
+  row.rhs.push_back(TableauCell::Wildcard());
+  tableau.AddRow(row);
+  const std::vector<Pfd> rules = {Pfd::Simple("T", "code", "val", tableau)};
+
+  auto schema = Schema::MakeText({"code", "val"});
+  ASSERT_TRUE(schema.ok());
+  Engine engine;
+  auto stream = engine.OpenStream(schema.value(), rules);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  (*stream)->set_clean_on_ingest(true);
+
+  // Batch 1: majority A repairs the lone B.
+  ASSERT_TRUE(
+      (*stream)->AppendRows({{"11", "A"}, {"11", "A"}, {"11", "B"}}).ok());
+  ASSERT_EQ((*stream)->batch_repairs().size(), 1u);
+  EXPECT_EQ((*stream)->batch_repairs()[0].after, "A");
+  EXPECT_TRUE((*stream)->batch_conflicts().empty());
+
+  // Batch 2 flips the dirty majority to B (A,A,B + B,B,B). The stream's
+  // cleaned view ties (A,A,A vs B,B,B) and keeps A; the absorbed rows are
+  // not retroactively edited and the flip is surfaced as conflicts.
+  ASSERT_TRUE(
+      (*stream)->AppendRows({{"11", "B"}, {"11", "B"}, {"11", "B"}}).ok());
+  EXPECT_FALSE((*stream)->batch_conflicts().empty());
+  bool flip_seen = false;
+  for (const StreamConflict& c : (*stream)->conflicts()) {
+    if (c.kind == StreamConflict::Kind::kMajorityFlip) flip_seen = true;
+    EXPECT_EQ(c.batch, 1u);
+  }
+  EXPECT_TRUE(flip_seen);
+
+  // The one-shot pass resolves the dirty majority (B) instead — the
+  // divergence the conflicts just flagged.
+  Relation one_shot;
+  OneShotSinglePass((*stream)->relation(), rules, &one_shot);
+  Relation dirty(schema.value());
+  for (const auto& r : std::vector<std::vector<std::string>>{
+           {"11", "A"}, {"11", "A"}, {"11", "B"},
+           {"11", "B"}, {"11", "B"}, {"11", "B"}}) {
+    ASSERT_TRUE(dirty.AppendRow(r).ok());
+  }
+  Relation one_shot_dirty;
+  OneShotSinglePass(dirty, rules, &one_shot_dirty);
+  EXPECT_NE(Fingerprint((*stream)->relation()),
+            Fingerprint(one_shot_dirty));
+  for (RowId r = 0; r < (*stream)->relation().num_rows(); ++r) {
+    EXPECT_EQ((*stream)->relation().cell(r, 1), "A");
+    EXPECT_EQ(one_shot_dirty.cell(r, 1), "B");
+  }
+}
+
+TEST(DetectionStreamTest, CleanVariableRulesToggleRestoresConstantOnly) {
+  const Dataset d = ZipCityStateDataset(600, 605, 0.05);
+  const std::vector<Pfd> rules = DiscoverRules(d.relation);
+  ASSERT_FALSE(rules.empty());
+
+  Engine engine;
+  auto constant_only = engine.OpenStream(d.relation.schema(), rules);
+  ASSERT_TRUE(constant_only.ok());
+  (*constant_only)->set_clean_on_ingest(true);
+  (*constant_only)->set_clean_variable_rules(false);
+  ASSERT_TRUE((*constant_only)->AppendBatch(d.relation).ok());
+  EXPECT_TRUE((*constant_only)->conflicts().empty());
+
+  auto both = engine.OpenStream(d.relation.schema(), rules);
+  ASSERT_TRUE(both.ok());
+  (*both)->set_clean_on_ingest(true);
+  ASSERT_TRUE((*both)->AppendBatch(d.relation).ok());
+
+  // The variable rules must have contributed repairs beyond the constant
+  // ones on this error-injected dataset.
+  EXPECT_GT((*both)->repairs().size(), (*constant_only)->repairs().size());
 }
 
 // -- Session façade --------------------------------------------------------

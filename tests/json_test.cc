@@ -136,5 +136,46 @@ TEST(JsonRoundTripTest, ObjectOrderPreserved) {
   EXPECT_EQ(members[2].first, "m");
 }
 
+TEST(JsonParseTest, SurrogatePairsDecodeToAstralUtf8) {
+  // U+1F600 GRINNING FACE as the \uD83D\uDE00 surrogate pair -> the 4-byte
+  // UTF-8 sequence F0 9F 98 80.
+  EXPECT_EQ(ParseJson("\"\\uD83D\\uDE00\"").value().as_string(),
+            "\xf0\x9f\x98\x80");
+  // U+10348 GOTHIC LETTER HWAIR.
+  EXPECT_EQ(ParseJson("\"\\uD800\\uDF48\"").value().as_string(),
+            "\xf0\x90\x8d\x88");
+  // Lowercase hex digits work too.
+  EXPECT_EQ(ParseJson("\"\\ud83d\\ude00\"").value().as_string(),
+            "\xf0\x9f\x98\x80");
+  // Surrounded by ordinary characters.
+  EXPECT_EQ(ParseJson("\"a\\uD83D\\uDE00b\"").value().as_string(),
+            "a\xf0\x9f\x98\x80"
+            "b");
+}
+
+TEST(JsonParseTest, LoneAndUnpairedSurrogatesRejected) {
+  EXPECT_FALSE(ParseJson("\"\\uD83D\"").ok());         // lone high
+  EXPECT_FALSE(ParseJson("\"\\uDE00\"").ok());         // lone low
+  EXPECT_FALSE(ParseJson("\"\\uD83D\\u0041\"").ok());  // high + non-low
+  EXPECT_FALSE(ParseJson("\"\\uD83Dx\"").ok());        // high + raw char
+  EXPECT_FALSE(ParseJson("\"\\uDE00\\uD83D\"").ok());  // reversed pair
+  EXPECT_FALSE(ParseJson("\"\\uD83D\\u00\"").ok());    // truncated low
+}
+
+TEST(JsonRoundTripTest, AstralStringsRoundTrip) {
+  // Raw astral-plane UTF-8 dumps as-is and re-parses to the same bytes.
+  JsonValue v =
+      JsonValue::String("source \xf0\x9f\x98\x80 \xf0\x90\x8d\x88.csv");
+  auto back = ParseJson(v.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->as_string(), v.as_string());
+  // Escaped source: parse -> dump -> parse is stable.
+  auto parsed = ParseJson("\"\\uD83D\\uDE00\"");
+  ASSERT_TRUE(parsed.ok());
+  auto again = ParseJson(parsed->Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->as_string(), parsed->as_string());
+}
+
 }  // namespace
 }  // namespace anmat

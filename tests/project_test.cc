@@ -376,5 +376,59 @@ TEST(SessionProjectTest, SessionRepairMatchesEngineRepair) {
   }
 }
 
+TEST(ProjectTest, SchemaFingerprintDetectsChangedDataset) {
+  const std::string dir = FreshDir("fingerprint");
+  const std::string csv = WriteZipCsv("fingerprint");
+  Project project = Project::Init(dir, "fp").value();
+  ASSERT_TRUE(project.AttachDataset("zips", csv).ok());
+  const std::string recorded = project.FindDataset("zips")->fingerprint;
+  EXPECT_FALSE(recorded.empty());
+  ASSERT_TRUE(project.LoadDataset("zips").ok());
+  ASSERT_TRUE(project.Save().ok());
+
+  // The fingerprint survives the catalog round-trip and still validates.
+  Project reopened = Project::Open(dir).value();
+  EXPECT_EQ(reopened.FindDataset("zips")->fingerprint, recorded);
+  ASSERT_TRUE(reopened.LoadDataset("zips").ok());
+
+  // Silently re-shaping the CSV (renamed + added column) must fail loudly
+  // at load time, naming the dataset.
+  {
+    std::ofstream out(csv);
+    out << "zipcode,city,state\n90001,Los Angeles,CA\n";
+  }
+  auto load = reopened.LoadDataset("zips");
+  ASSERT_FALSE(load.ok());
+  EXPECT_NE(load.status().message().find("zips"), std::string::npos);
+  EXPECT_NE(load.status().message().find("changed schema"),
+            std::string::npos);
+
+  // Re-attaching the changed file refreshes the fingerprint and loads.
+  ASSERT_TRUE(reopened.AttachDataset("zips", csv).ok());
+  EXPECT_NE(reopened.FindDataset("zips")->fingerprint, recorded);
+  EXPECT_TRUE(reopened.LoadDataset("zips").ok());
+  std::remove(csv.c_str());
+}
+
+TEST(ProjectTest, MissingFingerprintSkipsSchemaCheck) {
+  // Attaching a not-yet-existing file records no fingerprint (like a
+  // catalog written by an earlier release) — the load-time check is
+  // skipped and the dataset loads once the file appears.
+  const std::string dir = FreshDir("nofp");
+  const std::string csv =
+      ::testing::TempDir() + "/anmat_project_nofp_late.csv";
+  std::remove(csv.c_str());
+  Project project = Project::Init(dir, "nofp").value();
+  ASSERT_TRUE(project.AttachDataset("late", csv).ok());
+  EXPECT_TRUE(project.FindDataset("late")->fingerprint.empty());
+  EXPECT_FALSE(project.LoadDataset("late").ok());  // file still missing
+  {
+    std::ofstream out(csv);
+    out << "zip,city\n90001,Los Angeles\n";
+  }
+  EXPECT_TRUE(project.LoadDataset("late").ok());
+  std::remove(csv.c_str());
+}
+
 }  // namespace
 }  // namespace anmat

@@ -21,11 +21,27 @@
 //   anmat rules reject  <id...|all> --project <dir>
 //       Review the stored rules; only confirmed rules are applied.
 //
+//   anmat rules delete  <id...> --project <dir>
+//       Remove stored rules permanently (ids are never reused; deleting an
+//       unknown id exits 1 naming it).
+//
 //   anmat detect --project <dir> [--data DATASET] [--max N] [--threads N]
 //                [--format json]
 //   anmat repair --project <dir> [--data DATASET] [--out cleaned.csv]
 //                [--threads N] [--format json]
 //       Detect / repair against the project's confirmed rules.
+//
+//   anmat stream --project <dir> [--data DATASET] [--batch N]
+//                [--clean off|constant|all] [--out cleaned.csv]
+//                [--threads N] [--format json]
+//       Streaming demo: feed the dataset through a DetectionStream in
+//       batches of N rows (cumulative violations after each batch, paying
+//       pattern work only for newly seen distinct values). --clean turns
+//       on clean-on-ingest: `constant` applies confident constant-rule
+//       repairs per batch, `all` additionally applies cumulative-majority
+//       variable-rule repairs and surfaces majority flips as conflicts
+//       (see detect/detection_stream.h). --out writes the accumulated
+//       (cleaned) relation.
 //
 //   anmat profile --project <dir> [--data DATASET] [--threads N]
 //                 [--format json]
@@ -40,6 +56,9 @@
 //   anmat detect   <data.csv> --rules rules.json [--max N] [--threads N]
 //                  [--format json]
 //   anmat repair   <data.csv> --rules rules.json [--out cleaned.csv]
+//                  [--threads N] [--format json]
+//   anmat stream   <data.csv> --rules rules.json [--batch N]
+//                  [--clean off|constant|all] [--out cleaned.csv]
 //                  [--threads N] [--format json]
 //
 // --threads N runs the stage on N worker threads (0 = all hardware
@@ -84,12 +103,17 @@ int Usage() {
       "  anmat rules list    --project <dir> [--format json]\n"
       "  anmat rules confirm <id...|all> --project <dir>\n"
       "  anmat rules reject  <id...|all> --project <dir>\n"
+      "  anmat rules delete  <id...> --project <dir>\n"
       "  anmat detect   <data.csv> --rules rules.json | --project <dir>\n"
       "                 [--data DATASET] [--max N] [--threads N]\n"
       "                 [--format json]\n"
       "  anmat repair   <data.csv> --rules rules.json | --project <dir>\n"
       "                 [--data DATASET] [--out cleaned.csv] [--threads N]\n"
-      "                 [--format json]\n";
+      "                 [--format json]\n"
+      "  anmat stream   <data.csv> --rules rules.json | --project <dir>\n"
+      "                 [--data DATASET] [--batch N]\n"
+      "                 [--clean off|constant|all] [--out cleaned.csv]\n"
+      "                 [--threads N] [--format json]\n";
   return 1;
 }
 
@@ -147,7 +171,7 @@ std::string ValidateNumericFlags(const ParsedArgs& args) {
              value + "\" is not a number";
     }
   }
-  for (const char* key : {"threads", "max"}) {
+  for (const char* key : {"threads", "max", "batch"}) {
     if (!args.Has(key)) continue;
     const std::string& value = args.Get(key);
     // Digits only: strtoul would skip leading whitespace and wrap a '-'
@@ -475,6 +499,38 @@ int CmdRulesSetStatus(const ParsedArgs& args, anmat::RuleStatus status) {
   return 0;
 }
 
+int CmdRulesDelete(const ParsedArgs& args) {
+  if (args.positional.empty()) {
+    return FlagError("'anmat rules delete' needs rule id(s)");
+  }
+  auto project = anmat::Project::Open(args.Get("project"));
+  if (!project.ok()) return Fail(project.status());
+
+  std::vector<uint64_t> ids;
+  for (const std::string& arg : args.positional) {
+    // Digits only: strtoull would wrap "-1" to 2^64-1 instead of failing.
+    if (arg.empty() ||
+        arg.find_first_not_of("0123456789") != std::string::npos) {
+      return FlagError("not a rule id: " + arg);
+    }
+    const unsigned long long id = std::strtoull(arg.c_str(), nullptr, 10);
+    if (id == 0) return FlagError("not a rule id: " + arg);
+    ids.push_back(static_cast<uint64_t>(id));
+  }
+  for (uint64_t id : ids) {
+    // Deleting an unknown id is a usage error (exit 1) naming the id, and
+    // nothing is persisted — the whole command is rejected.
+    if (anmat::Status s = project->DeleteRule(id); !s.ok()) {
+      return FlagError(s.message());
+    }
+  }
+  if (anmat::Status s = project->Save(); !s.ok()) return Fail(s);
+  std::cout << "deleted " << ids.size() << " rule(s); "
+            << project->rules().size() << " rule(s) remain (ids are never "
+            << "reused)\n";
+  return 0;
+}
+
 int CmdRules(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string sub = argv[2];
@@ -495,6 +551,7 @@ int CmdRules(int argc, char** argv) {
   if (sub == "reject") {
     return CmdRulesSetStatus(args, anmat::RuleStatus::kRejected);
   }
+  if (sub == "delete") return CmdRulesDelete(args);
   return Usage();
 }
 
@@ -607,6 +664,166 @@ int RunRepair(anmat::Relation relation, const std::vector<anmat::Pfd>& rules,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// stream (streaming detection demo, optionally cleaning on ingest)
+// ---------------------------------------------------------------------------
+
+const char* StreamConflictKindName(const anmat::StreamConflict& c) {
+  switch (c.kind) {
+    case anmat::StreamConflict::Kind::kMajorityFlip:
+      return "majority-flip";
+    case anmat::StreamConflict::Kind::kRetroactiveRepair:
+      return "retroactive-repair";
+    case anmat::StreamConflict::Kind::kKeyDivergence:
+      return "key-divergence";
+  }
+  return "unknown";
+}
+
+int RunStream(const anmat::Relation& relation,
+              const std::vector<anmat::Pfd>& rules, const ParsedArgs& args) {
+  size_t batch_rows = 256;
+  if (args.Has("batch")) {
+    batch_rows = std::strtoul(args.Get("batch").c_str(), nullptr, 10);
+    if (batch_rows == 0) {
+      return FlagError("invalid value for flag: --batch: must be >= 1");
+    }
+  }
+  const std::string clean = args.Has("clean") ? args.Get("clean") : "off";
+  if (clean != "off" && clean != "constant" && clean != "all") {
+    return FlagError("invalid value for flag: --clean: \"" + clean +
+                     "\" (expected off, constant, or all)");
+  }
+
+  anmat::Engine engine(
+      anmat::ExecutionOptions{FlagThreads(args), true, nullptr});
+  auto stream = engine.OpenStream(relation.schema(), rules);
+  if (!stream.ok()) return Fail(stream.status());
+  if (clean != "off") {
+    (*stream)->set_clean_on_ingest(true);
+    (*stream)->set_clean_variable_rules(clean == "all");
+  }
+
+  const bool json = FlagJson(args);
+  anmat::JsonValue batches = anmat::JsonValue::Array();
+  size_t violations = 0;
+  for (anmat::RowId begin = 0; begin < relation.num_rows();
+       begin += static_cast<anmat::RowId>(batch_rows)) {
+    const anmat::RowId end = std::min<anmat::RowId>(
+        begin + static_cast<anmat::RowId>(batch_rows),
+        static_cast<anmat::RowId>(relation.num_rows()));
+    auto batch = relation.Slice(begin, end);
+    if (!batch.ok()) return Fail(batch.status());
+    auto result = (*stream)->AppendBatch(batch.value());
+    if (!result.ok()) return Fail(result.status());
+    violations = result->violations.size();
+    if (json) {
+      anmat::JsonValue entry = anmat::JsonValue::Object();
+      entry.Set("rows", anmat::JsonValue::Int(
+                            static_cast<int64_t>(end - begin)));
+      entry.Set("cumulative_violations",
+                anmat::JsonValue::Int(static_cast<int64_t>(violations)));
+      entry.Set("repairs", anmat::JsonValue::Int(static_cast<int64_t>(
+                               (*stream)->batch_repairs().size())));
+      entry.Set("conflicts", anmat::JsonValue::Int(static_cast<int64_t>(
+                                 (*stream)->batch_conflicts().size())));
+      batches.push_back(std::move(entry));
+    } else {
+      std::cout << "batch " << (*stream)->num_batches() << ": +"
+                << (end - begin) << " row(s), cumulative violations "
+                << violations << ", repairs "
+                << (*stream)->batch_repairs().size() << ", conflicts "
+                << (*stream)->batch_conflicts().size() << "\n";
+    }
+  }
+
+  if (json) {
+    anmat::JsonValue root = anmat::JsonValue::Object();
+    root.Set("rows", anmat::JsonValue::Int(
+                         static_cast<int64_t>(relation.num_rows())));
+    root.Set("batches", std::move(batches));
+    root.Set("clean", anmat::JsonValue::String(clean));
+    root.Set("distinct_values", anmat::JsonValue::Int(static_cast<int64_t>(
+                                    (*stream)->distinct_values())));
+    root.Set("violations",
+             anmat::JsonValue::Int(static_cast<int64_t>(violations)));
+    anmat::JsonValue repairs = anmat::JsonValue::Array();
+    for (const anmat::AppliedRepair& r : (*stream)->repairs()) {
+      repairs.push_back(anmat::AppliedRepairToJson(r, rules));
+    }
+    root.Set("repairs", std::move(repairs));
+    anmat::JsonValue conflicts = anmat::JsonValue::Array();
+    for (const anmat::StreamConflict& c : (*stream)->conflicts()) {
+      anmat::JsonValue entry = anmat::JsonValue::Object();
+      entry.Set("kind", anmat::JsonValue::String(StreamConflictKindName(c)));
+      entry.Set("row",
+                anmat::JsonValue::Int(static_cast<int64_t>(c.cell.row)));
+      entry.Set("column",
+                anmat::JsonValue::Int(static_cast<int64_t>(c.cell.column)));
+      entry.Set("current", anmat::JsonValue::String(c.current));
+      entry.Set("expected", anmat::JsonValue::String(c.expected));
+      entry.Set("pfd_index",
+                anmat::JsonValue::Int(static_cast<int64_t>(c.pfd_index)));
+      entry.Set("batch",
+                anmat::JsonValue::Int(static_cast<int64_t>(c.batch)));
+      conflicts.push_back(std::move(entry));
+    }
+    root.Set("conflicts", std::move(conflicts));
+    std::cout << root.DumpPretty() << "\n";
+  } else {
+    std::cout << "streamed " << relation.num_rows() << " row(s) in "
+              << (*stream)->num_batches() << " batch(es): " << violations
+              << " violation(s)";
+    if (clean != "off") {
+      std::cout << ", " << (*stream)->repairs().size()
+                << " repair(s) applied on ingest, "
+                << (*stream)->conflicts().size() << " conflict(s)";
+    }
+    std::cout << "\n";
+    for (const anmat::StreamConflict& c : (*stream)->conflicts()) {
+      std::cout << "conflict [" << StreamConflictKindName(c) << "] row "
+                << c.cell.row << " column " << c.cell.column << ": kept \""
+                << c.current << "\", one-shot repair would hold \""
+                << c.expected << "\" (rule " << c.pfd_index << ", batch "
+                << c.batch + 1 << ")\n";
+    }
+  }
+
+  if (args.Has("out")) {
+    if (anmat::Status s =
+            anmat::WriteCsvFile((*stream)->relation(), args.Get("out"));
+        !s.ok()) {
+      return Fail(s);
+    }
+    if (!json) {
+      std::cout << "wrote accumulated table to " << args.Get("out") << "\n";
+    }
+  }
+  return 0;
+}
+
+int CmdStream(const ParsedArgs& args) {
+  if (args.Has("project")) {
+    anmat::Relation relation;
+    std::vector<anmat::Pfd> rules;
+    if (int code = LoadProjectInputs(args, &relation, &rules); code != 0) {
+      return code;
+    }
+    return RunStream(relation, rules, args);
+  }
+  if (const std::string e =
+          RejectFlags(args, {"data"}, "requires --project mode");
+      !e.empty()) {
+    return FlagError(e);
+  }
+  if (args.positional.size() != 1 || !args.Has("rules")) return Usage();
+  auto relation = anmat::ReadCsvFile(args.positional[0]);
+  if (!relation.ok()) return Fail(relation.status());
+  auto rules = LoadConfirmedRules(args.Get("rules"));
+  if (!rules.ok()) return Fail(rules.status());
+  return RunStream(relation.value(), rules.value(), args);
+}
+
 int CmdRepair(const ParsedArgs& args) {
   if (args.Has("project")) {
     anmat::Relation relation;
@@ -647,6 +864,9 @@ int main(int argc, char** argv) {
        {"project", "data", "rules", "max", "threads", "format"}},
       {"repair",
        {"project", "data", "rules", "out", "threads", "format"}},
+      {"stream",
+       {"project", "data", "rules", "batch", "clean", "out", "threads",
+        "format"}},
   };
   auto allowed = kAllowedFlags.find(command);
   if (allowed == kAllowedFlags.end()) return Usage();
@@ -663,5 +883,6 @@ int main(int argc, char** argv) {
   if (command == "discover") return CmdDiscover(args);
   if (command == "detect") return CmdDetect(args);
   if (command == "repair") return CmdRepair(args);
+  if (command == "stream") return CmdStream(args);
   return Usage();
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Perf trajectory: builds and runs the A6 (matching engines / automaton
-# cache) and A7 (parallel scaling / streaming / clean-on-ingest) benches and
-# writes their google-benchmark timings as JSON next to the sources, so
-# every PR leaves a comparable perf record.
+# cache) and A7 (parallel scaling / streaming / clean-on-ingest — A7d
+# constant-only, A7e constant+variable with the one-shot repair-count and
+# byte-identity equality checks) benches and writes their google-benchmark
+# timings as JSON next to the sources, so every PR leaves a comparable perf
+# record.
 #
 #   tools/bench.sh            # full workloads -> BENCH_A6.json, BENCH_A7.json
 #   tools/bench.sh --quick    # shrunken workloads (ANMAT_BENCH_QUICK=1) for

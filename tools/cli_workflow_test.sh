@@ -2,7 +2,8 @@
 # End-to-end test of the CLI's stateful project workflow (run by ctest as
 # `cli_workflow_test` with the anmat binary path as $1):
 #
-#   init → discover → rules list → rules confirm → detect → repair
+#   init → discover → rules list → rules confirm → detect → repair →
+#   stream (clean-on-ingest) → rules delete
 #
 # plus the one-shot forms against a standalone rule file, the v1→v2 rule
 # store migration from the CLI's point of view, and the strict flag parsing
@@ -177,5 +178,68 @@ grep -q -- 'unknown flag: --format' err.txt || fail "--format rejection"
   || fail "re-discover"
 [ "$("$ANMAT" rules list --project proj | grep -c '^\[')" = 1 ] \
   || fail "re-discover duplicated rule records"
+
+# --- streaming detection with clean-on-ingest ------------------------------
+
+"$ANMAT" stream zips.csv --rules r.json --batch 2 --clean all \
+  --out streamed.csv | grep -q 'repair(s) applied on ingest' \
+  || fail "stream --clean all"
+grep -q '90004,Los Angeles' streamed.csv \
+  || fail "stream --clean all wrote the cleaned relation"
+"$ANMAT" stream zips.csv --rules r.json --batch 2 --clean constant \
+  | grep -q 'repair(s) applied on ingest' || fail "stream --clean constant"
+"$ANMAT" stream zips.csv --rules r.json --format json \
+  | python3 -c 'import json,sys
+d = json.load(sys.stdin)
+assert d["clean"] == "off", d["clean"]
+assert d["rows"] == 4, d["rows"]
+assert d["violations"] > 0, d' \
+  || fail "stream --format json stdout must be pure JSON (clean off)"
+"$ANMAT" stream --project proj --batch 3 --clean all \
+  | grep -q 'streamed 4 row(s)' || fail "stream --project"
+if "$ANMAT" stream zips.csv --rules r.json --clean sometimes 2>err.txt; then
+  fail "invalid --clean mode should be rejected"
+fi
+grep -q -- 'invalid value for flag: --clean' err.txt \
+  || fail "--clean validation names the flag"
+if "$ANMAT" stream zips.csv --rules r.json --batch 0 2>err.txt; then
+  fail "--batch 0 should be rejected"
+fi
+grep -q -- 'invalid value for flag: --batch' err.txt \
+  || fail "--batch validation names the flag"
+
+# --- catalog schema fingerprints -------------------------------------------
+
+# Silently re-shaping the attached CSV must fail loudly at load time.
+cp zips.csv zips.csv.orig
+cat > zips.csv <<'EOF'
+zipcode,city,region
+90001,Los Angeles,CA
+EOF
+if "$ANMAT" detect --project proj 2>err.txt; then
+  fail "detect against a re-shaped dataset should fail"
+fi
+grep -q 'changed schema' err.txt || fail "schema-change error message"
+mv zips.csv.orig zips.csv
+"$ANMAT" detect --project proj >/dev/null \
+  || fail "detect works again once the schema is restored"
+
+# --- rules delete ----------------------------------------------------------
+
+if "$ANMAT" rules delete 99 --project proj 2>err.txt; then
+  fail "deleting an unknown rule id should fail"
+fi
+[ "$("$ANMAT" rules delete 99 --project proj >/dev/null 2>&1; echo $?)" = 1 ] \
+  || fail "unknown rule id delete exit code should be 1"
+grep -q 'no rule with id 99' err.txt || fail "unknown rule id named"
+"$ANMAT" rules delete 1 --project proj \
+  | grep -q 'deleted 1 rule(s)' || fail "rules delete"
+[ "$("$ANMAT" rules list --project proj | grep -c '^\[')" = 0 ] \
+  || fail "delete left the rule behind"
+# Ids are never reused: re-discovering the same rule assigns a fresh id.
+"$ANMAT" discover --project proj --data zips.csv >/dev/null \
+  || fail "re-discover after delete"
+"$ANMAT" rules list --project proj | grep -q '^\[2\]' \
+  || fail "deleted id 1 must not be reused"
 
 echo "PASS: CLI project workflow end-to-end"
