@@ -2,7 +2,8 @@
 
 #include <filesystem>
 #include <fstream>
-#include <sstream>
+
+#include "util/fs.h"
 
 namespace anmat {
 
@@ -70,12 +71,36 @@ Result<Project> Project::Init(const std::string& dir, std::string name) {
     project.name_ = std::move(name);
   }
   if (project.name_.empty()) project.name_ = "anmat";
+  ANMAT_ASSIGN_OR_RETURN(project.lock_,
+                         FileLock::Acquire(project.lock_path()));
+  // Re-check under the lock: another process may have initialized the
+  // directory between the unlocked probe above and our acquire.
+  if (std::filesystem::exists(project.catalog_path())) {
+    return Status::AlreadyExists("project already initialized: " +
+                                 project.catalog_path());
+  }
   ANMAT_RETURN_NOT_OK(project.Save());
   return project;
 }
 
-Result<Project> Project::Open(const std::string& dir) {
+Result<Project> Project::Open(const std::string& dir,
+                              const OpenOptions& options) {
   Project project(dir);
+  // Probe before creating the lock file: opening a directory that holds
+  // no project (and no committed-but-unapplied save that would create
+  // one) is NotFound, and should not litter the directory.
+  if (!std::filesystem::exists(project.catalog_path()) &&
+      !std::filesystem::exists(project.journal_path())) {
+    return Status::NotFound("no project catalog at " + project.catalog_path());
+  }
+  FileLockOptions lock_options;
+  lock_options.max_wait_ms = options.lock_wait_ms;
+  ANMAT_ASSIGN_OR_RETURN(project.lock_,
+                         FileLock::Acquire(project.lock_path(), lock_options));
+  // Crash recovery under the lock: replay a committed save left by a
+  // crashed writer (or discard a torn one) before reading any state.
+  ProjectJournal journal(dir);
+  ANMAT_ASSIGN_OR_RETURN(project.recovery_, journal.Recover());
   ANMAT_RETURN_NOT_OK(project.LoadCatalog());
   RuleStore store(project.rules_path());
   auto rules = store.Load();
@@ -84,6 +109,7 @@ Result<Project> Project::Open(const std::string& dir) {
   } else if (rules.status().code() != StatusCode::kNotFound) {
     return rules.status();  // present but unreadable: surface, don't clobber
   }
+  if (options.read_only) project.lock_.Release();
   return project;
 }
 
@@ -180,12 +206,21 @@ Status Project::SetRuleStatus(uint64_t id, RuleStatus status) {
 Status Project::DeleteRule(uint64_t id) { return rules_.Delete(id); }
 
 Status Project::Save() const {
-  ANMAT_RETURN_NOT_OK(SaveCatalog());
-  RuleStore store(rules_path());
-  return store.Save(rules_);
+  if (!lock_.held()) {
+    return Status::InvalidArgument(
+        "project " + dir_ + " was opened read-only; reopen it writable "
+        "(the default) to save");
+  }
+  // One journaled transaction over both files: the catalog and the rule
+  // set land together or not at all, whatever happens mid-save.
+  ProjectJournal journal(dir_);
+  return journal.CommitAndApply({
+      {"project.json", SerializeCatalog()},
+      {"rules.json", SerializeRuleSet(rules_)},
+  });
 }
 
-Status Project::SaveCatalog() const {
+std::string Project::SerializeCatalog() const {
   JsonValue root = JsonValue::Object();
   root.Set("format", JsonValue::String("anmat-project"));
   root.Set("version", JsonValue::Int(kCatalogVersion));
@@ -206,17 +241,27 @@ Status Project::SaveCatalog() const {
     datasets.push_back(std::move(entry));
   }
   root.Set("datasets", std::move(datasets));
-  return WriteFileAtomic(catalog_path(), root.DumpPretty());
+  return root.DumpPretty();
 }
 
 Status Project::LoadCatalog() {
-  std::ifstream in(catalog_path(), std::ios::binary);
-  if (!in) {
-    return Status::NotFound("no project catalog at " + catalog_path());
+  auto content = ReadFileToString(catalog_path());
+  if (!content.ok()) {
+    if (content.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("no project catalog at " + catalog_path());
+    }
+    return content.status();
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  ANMAT_ASSIGN_OR_RETURN(JsonValue root, ParseJson(buffer.str()));
+  if (Status parsed = ParseCatalog(content.value()); !parsed.ok()) {
+    // Same diagnosable shape as a damaged rules.json: name the file,
+    // keep the byte offset from the JSON parser, point at fsck.
+    return CorruptStateFileError(catalog_path(), parsed);
+  }
+  return Status::OK();
+}
+
+Status Project::ParseCatalog(const std::string& text) {
+  ANMAT_ASSIGN_OR_RETURN(JsonValue root, ParseJson(text));
   if (!root.is_object()) {
     return Status::ParseError("project catalog must be a JSON object");
   }

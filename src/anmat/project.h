@@ -13,7 +13,22 @@
 ///                        discovery parameters
 ///   <dir>/rules.json     RuleSet v2 store (rule_store.h): per-rule id,
 ///                        lifecycle status, provenance
+///   <dir>/journal.wal    redo journal (project_journal.h); empty or
+///                        absent except inside a Save or after a crash
+///   <dir>/.anmat.lock    advisory lock file (util/fs FileLock)
 /// ```
+///
+/// Durability contract: `Save` is a transaction over catalog + rules,
+/// committed through the journal — a crash at any point leaves the
+/// directory recoverable to exactly the old or the new state, never a
+/// mix of the two. `Open` acquires the project lock, runs crash
+/// recovery (replaying a committed-but-unapplied save, discarding a
+/// torn one), and only then loads; `anmat project fsck` runs the same
+/// recovery standalone. The lock serializes whole processes: writers
+/// hold it from `Open` to destruction, so two concurrent CLI
+/// invocations cannot interleave read-modify-write cycles and lose
+/// each other's edits. Within one process, opens of the same directory
+/// share the lock (in-process coordination stays the caller's concern).
 ///
 /// `Project` owns durable state only; execution stays in `anmat::Engine`.
 /// The intended composition (what `Session` and the CLI's `--project`
@@ -46,7 +61,9 @@
 #include "csv/csv_reader.h"
 #include "discovery/discovery.h"
 #include "relation/relation.h"
+#include "store/project_journal.h"
 #include "store/rule_store.h"
+#include "util/fs.h"
 #include "util/status.h"
 
 namespace anmat {
@@ -74,20 +91,47 @@ class Project {
     double allowed_violation_ratio = 0.1;
   };
 
+  /// How `Open` should treat the project lock.
+  struct OpenOptions {
+    /// Read-only opens hold the lock only while crash recovery runs,
+    /// then release it, so report-style commands (rules list, detect)
+    /// never block a writer. `Save` on a read-only project fails.
+    bool read_only = false;
+    /// How long to wait for a contended lock before failing (the error
+    /// names the recorded holder pid and whether it is still alive).
+    int lock_wait_ms = 10000;
+  };
+
   /// Creates `dir` (and parents) with an empty catalog and rule set and
-  /// persists both. Fails with AlreadyExists when `dir` already holds a
-  /// project. `name` defaults to the directory's base name.
+  /// persists both; the returned project holds the project lock. Fails
+  /// with AlreadyExists when `dir` already holds a project. `name`
+  /// defaults to the directory's base name.
   static Result<Project> Init(const std::string& dir, std::string name = "");
 
   /// Opens an existing project directory; NotFound when `dir` has no
-  /// catalog. A missing rules file is an empty rule set (a project that
-  /// has not discovered yet).
-  static Result<Project> Open(const std::string& dir);
+  /// catalog (and no pending journal that would create one). Acquires
+  /// the project lock, runs journal crash recovery (see `recovery()`),
+  /// then loads. A missing rules file is an empty rule set (a project
+  /// that has not discovered yet).
+  static Result<Project> Open(const std::string& dir,
+                              const OpenOptions& options);
+  static Result<Project> Open(const std::string& dir) {
+    return Open(dir, OpenOptions());
+  }
 
   const std::string& dir() const { return dir_; }
   const std::string& name() const { return name_; }
   std::string catalog_path() const { return dir_ + "/project.json"; }
   std::string rules_path() const { return dir_ + "/rules.json"; }
+  std::string journal_path() const { return dir_ + "/journal.wal"; }
+  std::string lock_path() const { return dir_ + "/.anmat.lock"; }
+
+  /// True while this project (or a copy of it) holds the project lock.
+  bool holds_lock() const { return lock_.held(); }
+
+  /// What journal recovery found and did during `Open` (action kClean
+  /// for an `Init`-created project).
+  const JournalRecoveryReport& recovery() const { return recovery_; }
 
   // -- Parameters ----------------------------------------------------------
 
@@ -145,21 +189,27 @@ class Project {
 
   // -- Persistence ---------------------------------------------------------
 
-  /// Writes catalog + rule set back to the project directory (each file
-  /// atomic via temp-file rename).
+  /// Writes catalog + rule set back to the project directory as one
+  /// journaled transaction (project_journal.h): a crash anywhere inside
+  /// leaves the directory recoverable to exactly the pre-save or the
+  /// post-save state. Requires the project lock (fails on a read-only
+  /// open).
   Status Save() const;
 
  private:
   explicit Project(std::string dir) : dir_(std::move(dir)) {}
 
-  Status SaveCatalog() const;
+  std::string SerializeCatalog() const;
   Status LoadCatalog();
+  Status ParseCatalog(const std::string& text);
 
   std::string dir_;
   std::string name_;
   Parameters parameters_;
   std::vector<DatasetEntry> datasets_;
   RuleSet rules_;
+  FileLock lock_;
+  JournalRecoveryReport recovery_;
 };
 
 }  // namespace anmat

@@ -1,0 +1,143 @@
+#include "store/project_journal.h"
+
+#include "store/wal.h"
+#include "util/fs.h"
+#include "util/json.h"
+
+namespace anmat {
+
+namespace {
+
+constexpr int kJournalVersion = 1;
+
+/// Basenames only: a journal that could name "../../etc/passwd" is a
+/// confused-deputy bug waiting to happen. Enforced on commit AND replay
+/// (the on-disk record may have been hand-edited).
+Status ValidateName(const std::string& name) {
+  if (name.empty() || name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos || name == "." || name == "..") {
+    return Status::InvalidArgument("journal file name must be a plain "
+                                   "basename, got \"" + name + "\"");
+  }
+  return Status::OK();
+}
+
+std::string SerializeRecord(const std::vector<JournalFileWrite>& files) {
+  JsonValue root = JsonValue::Object();
+  root.Set("format", JsonValue::String("anmat-journal"));
+  root.Set("version", JsonValue::Int(kJournalVersion));
+  JsonValue arr = JsonValue::Array();
+  for (const JournalFileWrite& f : files) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(f.name));
+    entry.Set("content", JsonValue::String(f.content));
+    arr.push_back(std::move(entry));
+  }
+  root.Set("files", std::move(arr));
+  return root.Dump();
+}
+
+Result<std::vector<JournalFileWrite>> ParseRecord(const std::string& payload,
+                                                  const std::string& path) {
+  auto parsed = ParseJson(payload);
+  if (!parsed.ok()) {
+    return Status::ParseError("journal record in " + path +
+                              " passed its checksum but does not parse (" +
+                              parsed.status().message() +
+                              ") — this is not crash damage; inspect the "
+                              "file by hand before deleting it");
+  }
+  const JsonValue& root = parsed.value();
+  if (!root.is_object()) {
+    return Status::ParseError("journal record in " + path +
+                              " is not a JSON object");
+  }
+  ANMAT_ASSIGN_OR_RETURN(std::string format, root.GetString("format"));
+  if (format != "anmat-journal") {
+    return Status::ParseError("unknown journal format in " + path + ": " +
+                              format);
+  }
+  ANMAT_ASSIGN_OR_RETURN(int64_t version, root.GetInt("version"));
+  if (version != kJournalVersion) {
+    return Status::ParseError("unsupported journal version in " + path +
+                              ": " + std::to_string(version));
+  }
+  const JsonValue* entries = root.Get("files");
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::ParseError("journal record in " + path +
+                              " missing files array");
+  }
+  std::vector<JournalFileWrite> files;
+  for (size_t i = 0; i < entries->size(); ++i) {
+    const JsonValue& entry = entries->at(i);
+    JournalFileWrite f;
+    ANMAT_ASSIGN_OR_RETURN(f.name, entry.GetString("name"));
+    ANMAT_RETURN_NOT_OK(ValidateName(f.name));
+    ANMAT_ASSIGN_OR_RETURN(f.content, entry.GetString("content"));
+    files.push_back(std::move(f));
+  }
+  return files;
+}
+
+}  // namespace
+
+Status ProjectJournal::CommitAndApply(
+    const std::vector<JournalFileWrite>& files) {
+  if (files.empty()) {
+    return Status::InvalidArgument("empty journal transaction");
+  }
+  for (const JournalFileWrite& f : files) {
+    ANMAT_RETURN_NOT_OK(ValidateName(f.name));
+  }
+  WriteAheadLog log(journal_path());
+  // 1. Commit point: once this record is durable, the transaction is
+  // decided — any later crash replays it.
+  ANMAT_RETURN_NOT_OK(log.Append(SerializeRecord(files)));
+  // 2. Apply. Each file individually atomic and fsync'd; a crash between
+  // files leaves a mix that step-1's record repairs on reopen.
+  for (const JournalFileWrite& f : files) {
+    ANMAT_RETURN_NOT_OK(WriteFileAtomic(dir_ + "/" + f.name, f.content));
+  }
+  // 3. Checkpoint: the record is fully applied; retire it.
+  return log.Reset();
+}
+
+Result<JournalRecoveryReport> ProjectJournal::Recover() {
+  WriteAheadLog log(journal_path());
+  WalRecoveryInfo info;
+  ANMAT_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                         log.ReadAll(&info, /*repair=*/true));
+  JournalRecoveryReport report;
+  report.truncated_tail = info.truncated_tail;
+  if (records.empty()) {
+    if (info.truncated_tail) {
+      report.action = JournalRecoveryReport::Action::kDiscarded;
+      report.detail = "discarded an uncommitted save (" + info.detail +
+                      "); the previous state stands";
+    } else {
+      report.action = JournalRecoveryReport::Action::kClean;
+      report.detail = "journal clean";
+    }
+    return report;
+  }
+  // A committed record is pending: the crash happened after the commit
+  // point but before the checkpoint. Replay the most recent record (each
+  // holds complete file contents, so earlier pending records — possible
+  // only through repeated crashes mid-recovery — are superseded).
+  ANMAT_ASSIGN_OR_RETURN(std::vector<JournalFileWrite> files,
+                         ParseRecord(records.back(), journal_path()));
+  for (const JournalFileWrite& f : files) {
+    ANMAT_RETURN_NOT_OK(WriteFileAtomic(dir_ + "/" + f.name, f.content));
+  }
+  ANMAT_RETURN_NOT_OK(log.Reset());
+  report.action = JournalRecoveryReport::Action::kReplayed;
+  report.files_applied = files.size();
+  report.detail = "replayed a committed save (" +
+                  std::to_string(files.size()) + " file(s))" +
+                  (info.truncated_tail
+                       ? " and discarded a torn tail (" + info.detail + ")"
+                       : "");
+  return report;
+}
+
+}  // namespace anmat

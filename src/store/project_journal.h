@@ -1,0 +1,89 @@
+#ifndef ANMAT_STORE_PROJECT_JOURNAL_H_
+#define ANMAT_STORE_PROJECT_JOURNAL_H_
+
+/// \file project_journal.h
+/// Transactional multi-file commit for a project directory, built on the
+/// write-ahead log (wal.h).
+///
+/// A `Project::Save` spans two files (`project.json` + `rules.json`).
+/// Writing them one after the other — even with each write individually
+/// atomic — leaves a crash window where the catalog is new but the rules
+/// are old: a torn *transaction*. The journal closes that window with
+/// standard redo logging:
+///
+/// ```
+///   1. append one WAL record holding the complete new content of every
+///      file in the transaction, fsync         (the commit point)
+///   2. apply each file with the fsync'd WriteFileAtomic
+///   3. checkpoint: truncate the WAL, fsync
+/// ```
+///
+/// Crash before the record is durable → recovery finds a torn/absent
+/// record, discards it, and the directory still holds the complete old
+/// state. Crash any time after → recovery finds the committed record and
+/// replays it (idempotent full-content rewrites), and the directory
+/// holds the complete new state. There is no reachable crash point that
+/// mixes the two.
+///
+/// Recovery (`Recover`) runs in `Project::Open` (under the project lock)
+/// and in `anmat project fsck`. The journal file is
+/// `<dir>/journal.wal`; its payload is JSON
+/// (`{"format":"anmat-journal","version":1,"files":[{"name","content"},…]}`),
+/// so a stuck journal is inspectable by hand like every other project
+/// file.
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief One file of a transaction: a basename within the project
+/// directory plus its complete new content.
+struct JournalFileWrite {
+  std::string name;     ///< basename only — "project.json", not a path
+  std::string content;  ///< the file's entire new content
+};
+
+/// \brief What `Recover` found and did.
+struct JournalRecoveryReport {
+  enum class Action {
+    kClean,     ///< no journal, or an empty one: nothing to do
+    kReplayed,  ///< a committed record was replayed (crash after commit)
+    kDiscarded, ///< only a torn tail was found and truncated off
+                ///< (crash before commit; the old state stands)
+  };
+  Action action = Action::kClean;
+  size_t files_applied = 0;    ///< files rewritten by a replay
+  bool truncated_tail = false; ///< a torn tail was truncated off
+  std::string detail;          ///< human-readable summary of what happened
+};
+
+/// \brief The redo journal of one project directory.
+class ProjectJournal {
+ public:
+  explicit ProjectJournal(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string journal_path() const { return dir_ + "/journal.wal"; }
+
+  /// The transactional save: commit the record, apply the files,
+  /// checkpoint. An error return means the transaction may or may not
+  /// have committed — reopen (or `Recover`) to find out; either way the
+  /// directory recovers to exactly the old or the new state.
+  Status CommitAndApply(const std::vector<JournalFileWrite>& files);
+
+  /// Crash recovery (idempotent; call with the project lock held):
+  /// truncates a torn tail, replays the last committed record if one is
+  /// pending, and checkpoints. A CRC-valid record that fails to parse is
+  /// an error naming the journal — that is software corruption, not a
+  /// crash artifact, and clobbering files over it would be worse.
+  Result<JournalRecoveryReport> Recover();
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_STORE_PROJECT_JOURNAL_H_

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "pattern/pattern_parser.h"
+#include "util/fs.h"
 
 namespace anmat {
 
@@ -337,20 +338,6 @@ Result<RuleSet> ParseRuleSet(std::string_view text) {
   return rules;
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary);
-    if (!out) return Status::IoError("cannot open for writing: " + tmp);
-    out << content;
-    if (!out) return Status::IoError("error writing: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("cannot rename " + tmp + " to " + path);
-  }
-  return Status::OK();
-}
-
 Status RuleStore::Save(const RuleSet& rules) const {
   return WriteFileAtomic(path_, SerializeRuleSet(rules));
 }
@@ -361,12 +348,22 @@ Status RuleStore::Save(const std::vector<Pfd>& pfds) const {
   return Save(rules);
 }
 
+Status CorruptStateFileError(const std::string& path, const Status& cause) {
+  return Status::ParseError(
+      "corrupt or unreadable state file " + path + ": " + cause.message() +
+      " — if this file belongs to a project directory, run "
+      "'anmat project fsck --project <dir>' to replay or discard any "
+      "pending save; otherwise restore it from backup");
+}
+
 Result<RuleSet> RuleStore::Load() const {
   std::ifstream in(path_, std::ios::binary);
   if (!in) return Status::NotFound("rule file not found: " + path_);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseRuleSet(buffer.str());
+  auto rules = ParseRuleSet(buffer.str());
+  if (!rules.ok()) return CorruptStateFileError(path_, rules.status());
+  return rules;
 }
 
 }  // namespace anmat

@@ -137,9 +137,11 @@ std::string SerializeRuleSetV1(const std::vector<Pfd>& pfds);
 /// formats and future versions are rejected.
 Result<RuleSet> ParseRuleSet(std::string_view text);
 
-/// \brief Writes `content` to `path` atomically (temp file + rename) — the
-/// persistence idiom shared by the rule store and the project catalog.
-Status WriteFileAtomic(const std::string& path, const std::string& content);
+/// \brief Wraps a parse failure of an on-disk state file into the
+/// diagnosable form shared by the rule store and the project catalog:
+/// names the file, keeps the cause (whose JSON errors carry the byte
+/// offset of the damage), and points at `anmat project fsck`.
+Status CorruptStateFileError(const std::string& path, const Status& cause);
 
 /// \brief File-backed store for a project's rule set.
 class RuleStore {
@@ -148,14 +150,18 @@ class RuleStore {
 
   const std::string& path() const { return path_; }
 
-  /// Writes the rule set to `path()` as v2 (atomic via temp-file rename).
+  /// Writes the rule set to `path()` as v2, durably (util/fs
+  /// WriteFileAtomic: temp file → fsync → rename → parent-dir fsync).
   Status Save(const RuleSet& rules) const;
 
   /// Legacy convenience: saves bare PFDs as confirmed v2 records.
   Status Save(const std::vector<Pfd>& pfds) const;
 
   /// Loads the rule set (v1 files migrate transparently); NotFound when the
-  /// file does not exist.
+  /// file does not exist. A file that exists but does not parse — truncated,
+  /// scribbled, half a JSON document — comes back as a ParseError naming
+  /// the file, the byte offset of the damage, and the `anmat project fsck`
+  /// recovery path.
   Result<RuleSet> Load() const;
 
  private:

@@ -1,0 +1,178 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/fs.h"
+
+namespace anmat {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8;  // uint32 length + uint32 crc
+// Sanity cap on a single record; a "length" beyond it is corruption, not
+// a record we have not finished writing.
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+uint32_t ReadLe32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+void PutLe32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool WriteAheadLog::Exists() const {
+  struct stat st;
+  return ::stat(path_.c_str(), &st) == 0;
+}
+
+Status WriteAheadLog::Append(std::string_view payload) {
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("WAL record too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  // One buffer, one write: the record body is contiguous on disk and a
+  // crash mid-write tears at a single point the recovery scan detects.
+  std::string record;
+  record.reserve(kHeaderBytes + payload.size());
+  PutLe32(static_cast<uint32_t>(payload.size()), &record);
+  PutLe32(Crc32(payload), &record);
+  record.append(payload);
+
+  const bool existed = Exists();
+  ANMAT_RETURN_NOT_OK(FaultCheck(FaultInjector::FsOp::kWrite, path_));
+  const int fd =
+      ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return IoErrorFromErrno("cannot open log " + path_);
+  size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n =
+        ::write(fd, record.data() + written, record.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status error = IoErrorFromErrno("error appending to " + path_);
+      ::close(fd);
+      return error;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (Status s = FaultCheck(FaultInjector::FsOp::kFsync, path_); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  if (::fsync(fd) != 0) {
+    const Status error = IoErrorFromErrno("cannot fsync " + path_);
+    ::close(fd);
+    return error;
+  }
+  ::close(fd);
+  // A record in a file whose directory entry is not durable is not
+  // durable either.
+  if (!existed) {
+    ANMAT_RETURN_NOT_OK(FsyncParentDir(path_));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> WriteAheadLog::ReadAll(WalRecoveryInfo* info,
+                                                        bool repair) const {
+  WalRecoveryInfo local;
+  auto content = ReadFileToString(path_);
+  if (!content.ok()) {
+    if (content.status().code() == StatusCode::kNotFound) {
+      if (info != nullptr) *info = local;
+      return std::vector<std::string>();
+    }
+    return content.status();
+  }
+  const std::string& bytes = content.value();
+  std::vector<std::string> records;
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const size_t remaining = bytes.size() - offset;
+    std::string reason;
+    if (remaining < kHeaderBytes) {
+      reason = "record header at byte offset " + std::to_string(offset) +
+               " is truncated (" + std::to_string(remaining) + " of " +
+               std::to_string(kHeaderBytes) + " bytes)";
+    } else {
+      const uint32_t length = ReadLe32(bytes.data() + offset);
+      const uint32_t crc = ReadLe32(bytes.data() + offset + 4);
+      if (length > kMaxRecordBytes) {
+        reason = "record at byte offset " + std::to_string(offset) +
+                 " declares an implausible length (" + std::to_string(length) +
+                 " bytes)";
+      } else if (remaining - kHeaderBytes < length) {
+        reason = "record at byte offset " + std::to_string(offset) +
+                 " is truncated (" +
+                 std::to_string(remaining - kHeaderBytes) + " of " +
+                 std::to_string(length) + " payload bytes)";
+      } else {
+        const std::string_view payload(bytes.data() + offset + kHeaderBytes,
+                                       length);
+        if (Crc32(payload) != crc) {
+          reason = "record at byte offset " + std::to_string(offset) +
+                   " has a checksum mismatch";
+        } else {
+          records.emplace_back(payload);
+          offset += kHeaderBytes + length;
+          continue;
+        }
+      }
+    }
+    // Torn or corrupt tail: everything before `offset` is verified
+    // intact, everything from it on is discarded.
+    local.truncated_tail = true;
+    local.tail_offset = offset;
+    local.detail = reason;
+    break;
+  }
+  local.records = records.size();
+  if (local.truncated_tail && repair) {
+    ANMAT_RETURN_NOT_OK(TruncateFile(path_, local.tail_offset));
+  }
+  if (info != nullptr) *info = local;
+  return records;
+}
+
+Status WriteAheadLog::Reset() const {
+  if (!Exists()) return Status::OK();
+  return TruncateFile(path_, 0);
+}
+
+}  // namespace anmat

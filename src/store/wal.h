@@ -1,0 +1,80 @@
+#ifndef ANMAT_STORE_WAL_H_
+#define ANMAT_STORE_WAL_H_
+
+/// \file wal.h
+/// Append-only write-ahead log with checksummed records and torn-tail
+/// recovery — the redo log under the project store's transactional save
+/// (see project_journal.h).
+///
+/// On-disk format: a sequence of records, each
+///
+/// ```
+///   [uint32 payload length, little-endian]
+///   [uint32 CRC-32 of the payload, little-endian]
+///   [payload bytes]
+/// ```
+///
+/// `Append` writes one record and fsyncs the log before returning, so an
+/// OK append is durable. Recovery (`ReadAll`) scans from the front and
+/// stops at the first incomplete or checksum-failing record: everything
+/// before it is intact (each record's CRC proves it), everything from it
+/// on is a torn tail from a crash mid-append and is truncated off. A
+/// record is therefore atomic: it either survives whole and verified, or
+/// is discarded whole.
+///
+/// The CRC is the standard IEEE 802.3 polynomial (reflected,
+/// init/xorout 0xFFFFFFFF) — the same function as zlib's `crc32`, so
+/// external tooling can craft or verify records.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief CRC-32 (IEEE, zlib-compatible) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// \brief What recovery found (and possibly repaired) in a log.
+struct WalRecoveryInfo {
+  size_t records = 0;            ///< complete, CRC-verified records
+  bool truncated_tail = false;   ///< a torn/corrupt tail was found
+  uint64_t tail_offset = 0;      ///< byte offset where the tail began
+  std::string detail;            ///< human-readable reason, e.g.
+                                 ///< "record at byte offset 42 has a
+                                 ///< checksum mismatch"
+};
+
+/// \brief One append-only log file.
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+  bool Exists() const;
+
+  /// Appends one record and fsyncs the log (and, when the append created
+  /// the file, its parent directory — a log that vanishes with its
+  /// directory entry was never durable).
+  Status Append(std::string_view payload);
+
+  /// Reads every complete record in order. A torn or corrupt tail is
+  /// reported through `info` (may be null) and, when `repair` is set,
+  /// truncated off the file (fsync'd). A missing file is an empty log.
+  Result<std::vector<std::string>> ReadAll(WalRecoveryInfo* info,
+                                           bool repair) const;
+
+  /// Empties the log — the checkpoint after records have been applied —
+  /// and fsyncs it. Missing file is OK.
+  Status Reset() const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_STORE_WAL_H_

@@ -1,0 +1,313 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace anmat {
+
+namespace {
+
+FaultInjector* g_fault_injector = nullptr;
+
+/// write(2) the whole buffer, retrying on EINTR and partial writes.
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoErrorFromErrno("error writing " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+std::string ParentDirOf(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+}  // namespace
+
+const char* FsOpName(FaultInjector::FsOp op) {
+  switch (op) {
+    case FaultInjector::FsOp::kWrite:
+      return "write";
+    case FaultInjector::FsOp::kFsync:
+      return "fsync";
+    case FaultInjector::FsOp::kRename:
+      return "rename";
+    case FaultInjector::FsOp::kTruncate:
+      return "truncate";
+  }
+  return "unknown";
+}
+
+void SetFaultInjector(FaultInjector* injector) { g_fault_injector = injector; }
+
+FaultInjector* GetFaultInjector() { return g_fault_injector; }
+
+Status FaultCheck(FaultInjector::FsOp op, const std::string& path) {
+  if (g_fault_injector != nullptr) {
+    return g_fault_injector->BeforeOp(op, path);
+  }
+  return Status::OK();
+}
+
+Status IoErrorFromErrno(const std::string& context) {
+  return Status::IoError(context + ": " + std::strerror(errno));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return IoErrorFromErrno("cannot open " + path);
+  }
+  std::string content;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status error = IoErrorFromErrno("error reading " + path);
+      ::close(fd);
+      return error;
+    }
+    if (n == 0) break;
+    content.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return content;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  // 1. Write the new content to a temp file next to the target. On an
+  // injected fault we return without unlinking `tmp` — a real crash would
+  // leave it too, and the next write simply overwrites it.
+  ANMAT_RETURN_NOT_OK(FaultCheck(FaultInjector::FsOp::kWrite, tmp));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoErrorFromErrno("cannot open for writing " + tmp);
+  if (Status s = WriteAll(fd, content.data(), content.size(), tmp); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  // 2. fsync the temp file BEFORE the rename: otherwise the rename can
+  // reach disk first and a crash leaves the target pointing at
+  // never-written bytes (the classic zero-length-file-after-crash bug).
+  if (Status s = FaultCheck(FaultInjector::FsOp::kFsync, tmp); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  if (::fsync(fd) != 0) {
+    const Status error = IoErrorFromErrno("cannot fsync " + tmp);
+    ::close(fd);
+    return error;
+  }
+  if (::close(fd) != 0) return IoErrorFromErrno("cannot close " + tmp);
+  // 3. Atomically replace the target.
+  ANMAT_RETURN_NOT_OK(FaultCheck(FaultInjector::FsOp::kRename, path));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return IoErrorFromErrno("cannot rename " + tmp + " to " + path);
+  }
+  // 4. fsync the parent directory so the rename itself survives a crash.
+  return FsyncParentDir(path);
+}
+
+Status FsyncFile(const std::string& path) {
+  ANMAT_RETURN_NOT_OK(FaultCheck(FaultInjector::FsOp::kFsync, path));
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoErrorFromErrno("cannot open for fsync " + path);
+  if (::fsync(fd) != 0) {
+    const Status error = IoErrorFromErrno("cannot fsync " + path);
+    ::close(fd);
+    return error;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status FsyncParentDir(const std::string& path) {
+  const std::string dir = ParentDirOf(path);
+  ANMAT_RETURN_NOT_OK(FaultCheck(FaultInjector::FsOp::kFsync, dir));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoErrorFromErrno("cannot open directory " + dir);
+  if (::fsync(fd) != 0) {
+    const Status error = IoErrorFromErrno("cannot fsync directory " + dir);
+    ::close(fd);
+    return error;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  ANMAT_RETURN_NOT_OK(FaultCheck(FaultInjector::FsOp::kTruncate, path));
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return IoErrorFromErrno("cannot truncate " + path);
+  }
+  return FsyncFile(path);
+}
+
+// ---------------------------------------------------------------------------
+// FileLock
+// ---------------------------------------------------------------------------
+
+struct FileLock::State {
+  int fd = -1;
+  std::string path;      // as given by the caller (for messages)
+  std::string registry_key;
+
+  ~State();
+};
+
+namespace {
+
+// Process-wide registry of live locks, keyed by canonicalized path, so
+// same-process acquires share one flock instead of deadlocking (flock
+// conflicts between two open-file-descriptions even within a process).
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+std::map<std::string, std::weak_ptr<FileLock::State>>& Registry() {
+  static std::map<std::string, std::weak_ptr<FileLock::State>> registry;
+  return registry;
+}
+
+std::string RegistryKey(const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path canonical =
+      std::filesystem::weakly_canonical(path, ec);
+  return ec ? path : canonical.string();
+}
+
+/// One non-blocking acquire attempt; fills `state` on success. Returns
+/// true when settled (locked or hard error), false to retry.
+bool TryAcquireOnce(const std::string& path, const std::string& key,
+                    std::shared_ptr<FileLock::State>* state, Status* error) {
+  // O_CREAT without O_TRUNC: a holder's recorded pid must survive our
+  // probing open.
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    *error = IoErrorFromErrno("cannot open lock file " + path);
+    return true;
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    if (errno == EWOULDBLOCK || errno == EINTR) return false;  // contended
+    *error = IoErrorFromErrno("cannot flock " + path);
+    return true;
+  }
+  // Locked. Record our pid (diagnostics only; failures are non-fatal).
+  const std::string pid = std::to_string(static_cast<int64_t>(::getpid()));
+  if (::ftruncate(fd, 0) == 0) {
+    (void)!::write(fd, pid.data(), pid.size());
+  }
+  auto locked = std::make_shared<FileLock::State>();
+  locked->fd = fd;
+  locked->path = path;
+  locked->registry_key = key;
+  Registry()[key] = locked;
+  *state = std::move(locked);
+  return true;
+}
+
+}  // namespace
+
+FileLock::State::~State() {
+  {
+    std::lock_guard<std::mutex> guard(RegistryMutex());
+    auto it = Registry().find(registry_key);
+    if (it != Registry().end() && it->second.expired()) {
+      Registry().erase(it);
+    }
+  }
+  if (fd >= 0) {
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+  }
+}
+
+FileLock::FileLock(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+const std::string& FileLock::path() const {
+  static const std::string kEmpty;
+  return state_ ? state_->path : kEmpty;
+}
+
+int64_t FileLock::ReadHolderPid(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return 0;
+  errno = 0;
+  const long long pid = std::strtoll(content->c_str(), nullptr, 10);
+  return (errno != 0 || pid <= 0) ? 0 : static_cast<int64_t>(pid);
+}
+
+Result<FileLock> FileLock::Acquire(const std::string& path,
+                                   const FileLockOptions& options) {
+  const std::string key = RegistryKey(path);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options.max_wait_ms);
+  int backoff_ms = options.initial_backoff_ms > 0 ? options.initial_backoff_ms
+                                                  : 1;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> guard(RegistryMutex());
+      // Share an already-held same-process lock instead of deadlocking on
+      // our own flock.
+      if (auto it = Registry().find(key); it != Registry().end()) {
+        if (auto existing = it->second.lock()) {
+          return FileLock(std::move(existing));
+        }
+        Registry().erase(it);
+      }
+      std::shared_ptr<State> state;
+      Status error;
+      if (TryAcquireOnce(path, key, &state, &error)) {
+        if (state != nullptr) return FileLock(std::move(state));
+        return error;
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, options.max_backoff_ms);
+  }
+  // Timed out. Name the recorded holder; with flock a dead holder cannot
+  // actually hold the lock (the kernel released it), so a live pid here
+  // is the normal contended case.
+  const int64_t holder = ReadHolderPid(path);
+  std::string detail;
+  if (holder > 0) {
+    const bool alive =
+        ::kill(static_cast<pid_t>(holder), 0) == 0 || errno == EPERM;
+    detail = "; held by process " + std::to_string(holder) +
+             (alive ? " (alive)"
+                    : " (recorded holder is gone — the kernel releases "
+                      "flock locks at process exit, so retrying should "
+                      "succeed)");
+  }
+  return Status::IoError("timed out after " +
+                         std::to_string(options.max_wait_ms) +
+                         "ms waiting for lock " + path + detail);
+}
+
+}  // namespace anmat

@@ -1,0 +1,169 @@
+#ifndef ANMAT_UTIL_FS_H_
+#define ANMAT_UTIL_FS_H_
+
+/// \file fs.h
+/// Filesystem durability toolkit: fsync'd atomic writes, advisory
+/// whole-directory locking, and a fault-injection hook for crash testing.
+///
+/// Every store that wants crash safety goes through these primitives:
+///
+///  * `WriteFileAtomic` — write temp file, fsync it, rename over the
+///    target, fsync the parent directory. After it returns OK the new
+///    content is durable; a crash at any interior point leaves either the
+///    complete old file or the complete new file, never a torn mix.
+///  * `FileLock` — advisory exclusive lock (`flock` on a `.lock` file)
+///    with a bounded retry/backoff acquire. The kernel releases `flock`
+///    locks when the holding process dies, so a lock file left behind by
+///    a crashed process never blocks a new acquire (stale locks heal
+///    themselves); the holder's pid is recorded in the file purely for
+///    diagnostics. Within one process, acquires of the same path share
+///    the underlying lock (POSIX `flock` is per open-file-description;
+///    without sharing, a second open in the same process would deadlock
+///    against the first) — the lock serializes *processes*, and in-process
+///    coordination stays the caller's concern.
+///  * `FaultInjector` — a test-only hook consulted before every
+///    side-effecting operation (write, fsync, rename, truncate). A test
+///    installs an injector that fails at the Nth boundary and stays
+///    failed ("crashed"), then reopens the store with the injector
+///    removed to verify recovery. On an injected fault the primitives
+///    return immediately without their usual error-path cleanup, exactly
+///    like a real crash (e.g. `WriteFileAtomic` leaves its temp file
+///    behind; recovery must tolerate that, and does).
+///
+/// All Status messages from this layer carry `errno` text (via
+/// `strerror`), so "cannot rename" failures name the actual cause
+/// (EACCES, ENOSPC, EXDEV, ...).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace anmat {
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// \brief Test hook: consulted before every side-effecting fs operation.
+class FaultInjector {
+ public:
+  /// The crash boundaries the fs layer exposes.
+  enum class FsOp {
+    kWrite,     ///< about to write file bytes
+    kFsync,     ///< about to fsync a file or directory
+    kRename,    ///< about to rename(2) a temp file over its target
+    kTruncate,  ///< about to truncate a file (WAL tail repair/checkpoint)
+  };
+
+  virtual ~FaultInjector() = default;
+
+  /// Called before the operation executes. Returning a non-OK status
+  /// aborts the operation — the side effect does not happen — and the
+  /// status propagates to the caller. A "crashing" injector returns
+  /// errors for every subsequent event too, so nothing later in the
+  /// aborted save runs either (error-path cleanup included).
+  virtual Status BeforeOp(FsOp op, const std::string& path) = 0;
+};
+
+/// \brief Short name of a fault-injection boundary ("write", "fsync", ...).
+const char* FsOpName(FaultInjector::FsOp op);
+
+/// Installs (or, with nullptr, removes) the process-wide fault injector.
+/// Test-only; not thread-safe against concurrent fs operations.
+void SetFaultInjector(FaultInjector* injector);
+FaultInjector* GetFaultInjector();
+
+/// \brief The checkpoint the durable primitives call before each
+/// side-effecting operation: consults the installed injector (OK when
+/// none). Store layers with their own raw I/O (the WAL) call it too, so
+/// every write/fsync/rename/truncate boundary in a save is injectable.
+Status FaultCheck(FaultInjector::FsOp op, const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Durable file primitives
+// ---------------------------------------------------------------------------
+
+/// \brief IoError whose message is "<context>: <strerror(errno)>".
+Status IoErrorFromErrno(const std::string& context);
+
+/// \brief Reads a whole file; NotFound when it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Durably replaces `path` with `content`.
+///
+/// Protocol: write `path + ".tmp"` → fsync it → rename over `path` →
+/// fsync the parent directory (so the rename itself is durable). A crash
+/// at any point leaves either the old or the new content at `path`,
+/// never a mix; a leftover `.tmp` file is harmless and is overwritten by
+/// the next write.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+/// \brief fsyncs an existing file by path.
+Status FsyncFile(const std::string& path);
+
+/// \brief fsyncs the directory containing `path` (durability of the
+/// directory entry itself — a renamed or created file is only guaranteed
+/// to survive a crash after its parent directory is synced).
+Status FsyncParentDir(const std::string& path);
+
+/// \brief Truncates `path` to `size` bytes and fsyncs it.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+// ---------------------------------------------------------------------------
+// Advisory locking
+// ---------------------------------------------------------------------------
+
+/// Bounded-acquire knobs. The defaults suit short CLI commands: retry
+/// with exponential backoff (1ms doubling to 50ms) for up to 10 seconds.
+struct FileLockOptions {
+  int max_wait_ms = 10000;
+  int initial_backoff_ms = 1;
+  int max_backoff_ms = 50;
+};
+
+/// \brief RAII advisory exclusive lock on a lock file (see file comment
+/// for semantics). Copies share the same underlying lock; the `flock` is
+/// released when the last copy is destroyed (or the process dies).
+class FileLock {
+ public:
+  /// Shared lock state (an fd holding the flock); public only so the
+  /// implementation's helpers can name it.
+  struct State;
+
+  /// Acquires `path` exclusively, creating the file if needed and
+  /// recording this process's pid in it. Retries with backoff up to
+  /// `options.max_wait_ms`; on timeout the error names the recorded
+  /// holder pid and whether that process is still alive.
+  static Result<FileLock> Acquire(const std::string& path,
+                                  const FileLockOptions& options = {});
+
+  /// The pid recorded in a lock file, 0 when absent or unreadable.
+  /// Diagnostics only — the authoritative lock is the kernel flock.
+  static int64_t ReadHolderPid(const std::string& path);
+
+  /// An empty handle (`held() == false`); assign an `Acquire` result in.
+  FileLock() = default;
+
+  FileLock(const FileLock&) = default;
+  FileLock& operator=(const FileLock&) = default;
+  FileLock(FileLock&&) noexcept = default;
+  FileLock& operator=(FileLock&&) noexcept = default;
+  ~FileLock() = default;
+
+  const std::string& path() const;
+
+  /// Drops this handle's share of the lock now (the flock itself is
+  /// released once every sharing handle has released or died).
+  void Release() { state_.reset(); }
+  bool held() const { return state_ != nullptr; }
+
+ private:
+  explicit FileLock(std::shared_ptr<State> state);
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_UTIL_FS_H_

@@ -46,6 +46,13 @@
 //   anmat profile --project <dir> [--data DATASET] [--threads N]
 //                 [--format json]
 //
+//   anmat project fsck --project <dir> [--format json]
+//       Crash recovery + health check: under the project lock, replay a
+//       committed-but-unapplied save from the journal (or discard a torn
+//       one), then verify the project loads. Exits 0 when the project is
+//       healthy afterwards, 2 when state files remain corrupt (the error
+//       names the file and byte offset).
+//
 // One-shot mode (unchanged from earlier releases; the rule file is the
 // state):
 //
@@ -84,7 +91,10 @@
 #include "csv/csv_writer.h"
 #include "pfd/implication.h"
 #include "repair/repair.h"
+#include "store/project_journal.h"
 #include "store/rule_store.h"
+#include "util/fs.h"
+#include "util/json.h"
 
 namespace {
 
@@ -100,6 +110,7 @@ int Usage() {
       "  anmat discover --project <dir> [--data file.csv] [--name DATASET]\n"
       "                 [--coverage G] [--violations V] [--threads N]\n"
       "                 [--format json]\n"
+      "  anmat project fsck  --project <dir> [--format json]\n"
       "  anmat rules list    --project <dir> [--format json]\n"
       "  anmat rules confirm <id...|all> --project <dir>\n"
       "  anmat rules reject  <id...|all> --project <dir>\n"
@@ -222,6 +233,16 @@ bool FlagJson(const ParsedArgs& args) {
   return args.Has("format") && args.Get("format") == "json";
 }
 
+/// Report-style commands (profile, rules list, detect, repair, stream)
+/// read project state but never write it back: open read-only, so they
+/// hold the project lock only while crash recovery runs and never block
+/// a concurrent writer.
+anmat::Result<anmat::Project> OpenProjectReadOnly(const std::string& dir) {
+  anmat::Project::OpenOptions options;
+  options.read_only = true;
+  return anmat::Project::Open(dir, options);
+}
+
 /// Confirmed rules from a standalone rule file (one-shot mode). v1 files
 /// migrate as all-confirmed; a v2 file with rules but none confirmed is an
 /// error pointing at the project workflow.
@@ -298,7 +319,7 @@ int CmdProfile(const ParsedArgs& args) {
   anmat::Relation relation;
   if (args.Has("project")) {
     if (!args.positional.empty()) return Usage();
-    auto project = anmat::Project::Open(args.Get("project"));
+    auto project = OpenProjectReadOnly(args.Get("project"));
     if (!project.ok()) return Fail(project.status());
     auto data = LoadProjectData(project.value(), args);
     if (!data.ok()) return Fail(data.status());
@@ -444,7 +465,7 @@ int CmdDiscover(const ParsedArgs& args) {
 // ---------------------------------------------------------------------------
 
 int CmdRulesList(const ParsedArgs& args) {
-  auto project = anmat::Project::Open(args.Get("project"));
+  auto project = OpenProjectReadOnly(args.Get("project"));
   if (!project.ok()) return Fail(project.status());
   if (FlagJson(args)) {
     std::cout << anmat::RuleSetToJson(project->rules()).DumpPretty() << "\n";
@@ -556,6 +577,85 @@ int CmdRules(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// project (maintenance verbs)
+// ---------------------------------------------------------------------------
+
+const char* RecoveryActionName(anmat::JournalRecoveryReport::Action action) {
+  switch (action) {
+    case anmat::JournalRecoveryReport::Action::kClean:
+      return "clean";
+    case anmat::JournalRecoveryReport::Action::kReplayed:
+      return "replayed";
+    case anmat::JournalRecoveryReport::Action::kDiscarded:
+      return "discarded";
+  }
+  return "unknown";
+}
+
+int CmdProjectFsck(const ParsedArgs& args) {
+  const std::string dir = args.Get("project");
+  if (!std::filesystem::exists(dir + "/project.json") &&
+      !std::filesystem::exists(dir + "/journal.wal")) {
+    return Fail(anmat::Status::NotFound("no project catalog at " + dir +
+                                        "/project.json"));
+  }
+  // Recovery runs under the project lock, like Open's (a writer crashing
+  // mid-save and an fsck racing it must not both touch the files).
+  auto lock = anmat::FileLock::Acquire(dir + "/.anmat.lock");
+  if (!lock.ok()) return Fail(lock.status());
+  anmat::ProjectJournal journal(dir);
+  auto report = journal.Recover();
+  if (!report.ok()) return Fail(report.status());
+
+  // Recovery done; now verify the project actually loads. Our lock is
+  // shared with Open's same-process acquire, so this does not deadlock.
+  auto project = OpenProjectReadOnly(dir);
+  const bool healthy = project.ok();
+
+  if (FlagJson(args)) {
+    anmat::JsonValue root = anmat::JsonValue::Object();
+    root.Set("action",
+             anmat::JsonValue::String(RecoveryActionName(report->action)));
+    root.Set("detail", anmat::JsonValue::String(report->detail));
+    root.Set("files_applied", anmat::JsonValue::Int(static_cast<int64_t>(
+                                  report->files_applied)));
+    root.Set("truncated_tail", anmat::JsonValue::Bool(report->truncated_tail));
+    root.Set("healthy", anmat::JsonValue::Bool(healthy));
+    if (!healthy) {
+      root.Set("error",
+               anmat::JsonValue::String(project.status().ToString()));
+    }
+    std::cout << root.DumpPretty() << "\n";
+  } else {
+    std::cout << "journal: " << report->detail << "\n";
+    if (healthy) {
+      std::cout << "project: healthy (\"" << project->name() << "\", "
+                << project->datasets().size() << " dataset(s), "
+                << project->rules().size() << " rule(s))\n";
+    } else {
+      std::cout << "project: CORRUPT — " << project.status().ToString()
+                << "\n";
+    }
+  }
+  return healthy ? 0 : 2;
+}
+
+int CmdProject(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string sub = argv[2];
+  if (sub != "fsck") return Usage();
+  ParsedArgs args;
+  const std::string error =
+      ParseArgs(argc, argv, 3, {"project", "format"}, &args);
+  if (!error.empty()) return FlagError(error);
+  if (!args.Has("project")) {
+    return FlagError("'anmat project fsck' requires --project <dir>");
+  }
+  if (!args.positional.empty()) return Usage();
+  return CmdProjectFsck(args);
+}
+
+// ---------------------------------------------------------------------------
 // detect / repair (shared project-mode preamble)
 // ---------------------------------------------------------------------------
 
@@ -571,7 +671,7 @@ int LoadProjectInputs(const ParsedArgs& args, anmat::Relation* relation,
       !e.empty()) {
     return FlagError(e);
   }
-  auto project = anmat::Project::Open(args.Get("project"));
+  auto project = OpenProjectReadOnly(args.Get("project"));
   if (!project.ok()) return Fail(project.status());
   auto data = LoadProjectData(project.value(), args);
   if (!data.ok()) return Fail(data.status());
@@ -853,6 +953,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
 
   if (command == "rules") return CmdRules(argc, argv);
+  if (command == "project") return CmdProject(argc, argv);
 
   static const std::map<std::string, std::set<std::string>> kAllowedFlags = {
       {"init", {"name", "coverage", "violations"}},
