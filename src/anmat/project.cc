@@ -205,6 +205,10 @@ Status Project::SetRuleStatus(uint64_t id, RuleStatus status) {
 
 Status Project::DeleteRule(uint64_t id) { return rules_.Delete(id); }
 
+Status Project::AnnotateRule(uint64_t id, std::string note) {
+  return rules_.SetNote(id, std::move(note));
+}
+
 Status Project::Save() const {
   if (!lock_.held()) {
     return Status::InvalidArgument(

@@ -184,6 +184,11 @@ class Project {
   /// next-id floor above every id ever handed out).
   Status DeleteRule(uint64_t id);
 
+  /// Attaches a free-text reviewer note to rule `id` (empty clears it);
+  /// NotFound (naming the id) when absent. Persisted in the v2 envelope
+  /// and shown by `anmat rules list`.
+  Status AnnotateRule(uint64_t id, std::string note);
+
   /// The rules detection and repair apply (status == confirmed).
   std::vector<Pfd> ConfirmedPfds() const { return rules_.ConfirmedPfds(); }
 

@@ -249,6 +249,9 @@ std::string RenderRuleSetView(const RuleSet& rules) {
     out += "  coverage=" + FormatDouble(r.provenance.coverage) +
            "  violations=" + FormatDouble(r.provenance.violation_ratio) +
            "\n";
+    if (!r.note.empty()) {
+      out += "    note: " + r.note + "\n";
+    }
     out += r.pfd.ToString();
   }
   return out;
@@ -355,6 +358,32 @@ JsonValue RepairToJson(const RepairResult& result,
   return root;
 }
 
+const char* StreamConflictKindName(const StreamConflict& conflict) {
+  switch (conflict.kind) {
+    case StreamConflict::Kind::kMajorityFlip:
+      return "majority-flip";
+    case StreamConflict::Kind::kRetroactiveRepair:
+      return "retroactive-repair";
+    case StreamConflict::Kind::kKeyDivergence:
+      return "key-divergence";
+  }
+  return "unknown";
+}
+
+JsonValue StreamConflictToJson(const StreamConflict& conflict) {
+  JsonValue entry = JsonValue::Object();
+  entry.Set("kind", JsonValue::String(StreamConflictKindName(conflict)));
+  entry.Set("row", JsonValue::Int(static_cast<int64_t>(conflict.cell.row)));
+  entry.Set("column",
+            JsonValue::Int(static_cast<int64_t>(conflict.cell.column)));
+  entry.Set("current", JsonValue::String(conflict.current));
+  entry.Set("expected", JsonValue::String(conflict.expected));
+  entry.Set("pfd_index",
+            JsonValue::Int(static_cast<int64_t>(conflict.pfd_index)));
+  entry.Set("batch", JsonValue::Int(static_cast<int64_t>(conflict.batch)));
+  return entry;
+}
+
 JsonValue RuleSetToJson(const RuleSet& rules) {
   JsonValue arr = JsonValue::Array();
   for (const RuleRecord& r : rules.records()) {
@@ -362,6 +391,9 @@ JsonValue RuleSetToJson(const RuleSet& rules) {
     entry.Set("id", JsonValue::Int(static_cast<int64_t>(r.id)));
     entry.Set("status", JsonValue::String(RuleStatusName(r.status)));
     entry.Set("rule", JsonValue::String(r.pfd.ToString()));
+    if (!r.note.empty()) {
+      entry.Set("note", JsonValue::String(r.note));
+    }
     JsonValue provenance = JsonValue::Object();
     provenance.Set("source", JsonValue::String(r.provenance.source));
     provenance.Set("coverage", JsonValue::Number(r.provenance.coverage));

@@ -11,6 +11,7 @@
 
 #include "anmat/session.h"
 #include "datagen/error_injector.h"
+#include "detect/detection_stream.h"
 #include "detect/violation.h"
 #include "discovery/discovery.h"
 #include "relation/relation.h"
@@ -86,6 +87,16 @@ JsonValue RepairToJson(const RepairResult& result,
 /// \brief The project rule store as JSON: one object per rule with id,
 /// status, provenance and rule text (`anmat rules list --format json`).
 JsonValue RuleSetToJson(const RuleSet& rules);
+
+/// \brief The stable wire name of a stream conflict kind ("majority-flip",
+/// "retroactive-repair", "key-divergence").
+const char* StreamConflictKindName(const StreamConflict& conflict);
+
+/// \brief One clean-on-ingest stream conflict as JSON (kind, row, column,
+/// current, expected, pfd_index, batch) — the entries of the `conflicts`
+/// array in `anmat stream --format json`, shared with the daemon so both
+/// front-ends emit identical bytes.
+JsonValue StreamConflictToJson(const StreamConflict& conflict);
 
 }  // namespace anmat
 

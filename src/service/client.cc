@@ -1,0 +1,109 @@
+#include "service/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace anmat {
+
+Result<DaemonClient> DaemonClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::IoError(
+        "connect " + socket_path + ": " + std::strerror(errno) +
+        " (is the daemon running? start it with 'anmat serve --socket " +
+        socket_path + "')");
+    ::close(fd);
+    return status;
+  }
+  return DaemonClient(fd);
+}
+
+DaemonClient::DaemonClient(DaemonClient&& other) noexcept
+    : fd_(other.fd_),
+      next_id_(other.next_id_),
+      decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+DaemonClient& DaemonClient::operator=(DaemonClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+DaemonClient::~DaemonClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<ServiceResponse> DaemonClient::Call(const std::string& verb,
+                                           JsonValue params) {
+  if (fd_ < 0) return Status::Internal("client connection is closed");
+  const uint64_t id = next_id_++;
+  const std::string frame =
+      EncodeFrame(SerializeServiceRequest(id, verb, std::move(params)));
+
+  size_t written = 0;
+  while (written < frame.size()) {
+    // MSG_NOSIGNAL: a daemon that died mid-request must surface as EPIPE,
+    // not kill the client with SIGPIPE.
+    const ssize_t n = ::send(fd_, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write to daemon: ") +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  std::string payload;
+  while (true) {
+    ANMAT_ASSIGN_OR_RETURN(const bool complete, decoder_.Next(&payload));
+    if (complete) break;
+    char buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read from daemon: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError(
+          "daemon closed the connection before responding (verb \"" + verb +
+          "\")");
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+
+  ANMAT_ASSIGN_OR_RETURN(ServiceResponse response,
+                         ParseServiceResponse(payload));
+  if (response.id != id) {
+    return Status::Internal("daemon answered request " +
+                            std::to_string(response.id) + " instead of " +
+                            std::to_string(id));
+  }
+  return response;
+}
+
+}  // namespace anmat

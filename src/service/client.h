@@ -1,0 +1,52 @@
+#ifndef ANMAT_SERVICE_CLIENT_H_
+#define ANMAT_SERVICE_CLIENT_H_
+
+/// \file client.h
+/// Blocking anmatd client: one unix-socket connection, request/response.
+///
+/// This is what `anmat --connect <socket>` uses to route every CLI verb
+/// through a running daemon; tests and the daemon bench drive it
+/// directly. One `Call` sends one framed request and blocks until its
+/// response frame arrives. The transport-level failures (`Call` returning
+/// a bad Status: connection refused, daemon died mid-request, protocol
+/// garbage) are distinct from verb-level failures (a well-formed response
+/// with `ok:false`), which land in `ServiceResponse::error` so the caller
+/// can map them to the CLI's exit-code conventions.
+
+#include <cstdint>
+#include <string>
+
+#include "service/framing.h"
+#include "service/protocol.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief One blocking client connection to an anmatd socket.
+class DaemonClient {
+ public:
+  /// Connects to the daemon at `socket_path`.
+  static Result<DaemonClient> Connect(const std::string& socket_path);
+
+  DaemonClient(DaemonClient&& other) noexcept;
+  DaemonClient& operator=(DaemonClient&& other) noexcept;
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+  ~DaemonClient();
+
+  /// Sends `verb` with `params` and blocks for the response. A returned
+  /// ServiceResponse may still carry `ok:false` (a verb-level error).
+  Result<ServiceResponse> Call(const std::string& verb, JsonValue params);
+
+ private:
+  explicit DaemonClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_SERVICE_CLIENT_H_

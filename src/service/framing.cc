@@ -1,0 +1,55 @@
+#include "service/framing.h"
+
+#include <cstring>
+
+namespace anmat {
+
+std::string EncodeFrame(std::string_view payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::Feed(const char* data, size_t size) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+Result<bool> FrameDecoder::Next(std::string* payload) {
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 4) return false;
+  uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + consumed_, 4);
+  // The wire format is little-endian by definition; decode portably.
+  const unsigned char* b =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  length = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+           (static_cast<uint32_t>(b[2]) << 16) |
+           (static_cast<uint32_t>(b[3]) << 24);
+  if (length == 0) {
+    return Status::ParseError("framing error: zero-length frame");
+  }
+  if (length > max_frame_bytes_) {
+    return Status::ParseError(
+        "framing error: frame length " + std::to_string(length) +
+        " exceeds the " + std::to_string(max_frame_bytes_) +
+        "-byte limit (garbage on the socket?)");
+  }
+  if (available < 4 + static_cast<size_t>(length)) return false;
+  payload->assign(buffer_, consumed_ + 4, length);
+  consumed_ += 4 + static_cast<size_t>(length);
+  return true;
+}
+
+}  // namespace anmat

@@ -1,0 +1,73 @@
+#ifndef ANMAT_SERVICE_FRAMING_H_
+#define ANMAT_SERVICE_FRAMING_H_
+
+/// \file framing.h
+/// Length-prefixed framing for the anmatd socket protocol.
+///
+/// A frame is `[u32 payload length, little-endian][payload bytes]`; the
+/// payload is one UTF-8 JSON document (protocol.h gives it meaning). The
+/// framing layer is deliberately dumb — no magic, no checksums (the unix
+/// socket is reliable; durability lives in the store layer) — but it is
+/// strict about what it accepts:
+///
+///  * a length of zero or above `max_frame_bytes` is a framing error
+///    (random garbage written to the socket almost always decodes to an
+///    implausible length, so this doubles as garbage rejection);
+///  * a truncated frame is not an error — the decoder stays pending until
+///    the rest arrives or the connection closes.
+///
+/// Framing errors are not recoverable on a connection: once the byte
+/// stream is out of sync there is no way to find the next frame boundary,
+/// so the daemon answers with one final error frame and closes that
+/// connection (the daemon itself keeps serving the others).
+///
+/// `FrameDecoder` is an incremental push parser: feed it whatever bytes
+/// `read(2)` produced, pull complete payloads out. One decoder per
+/// connection per direction.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace anmat {
+
+/// Frames larger than this are rejected by default — far above any real
+/// request (a 100k-row CSV batch is ~2 MiB of JSON) but small enough that
+/// garbage decoded as a length is almost surely implausible.
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// \brief Wraps `payload` in a length-prefixed frame ready to write.
+std::string EncodeFrame(std::string_view payload);
+
+/// \brief Incremental frame decoder: bytes in, complete payloads out.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the socket to the pending buffer.
+  void Feed(const char* data, size_t size);
+
+  /// Extracts the next complete frame's payload into `*payload`. Returns
+  /// true when a frame was extracted, false when the buffer holds only a
+  /// partial frame (call again after the next `Feed`). A zero or oversized
+  /// length is a ParseError naming the length — the connection is beyond
+  /// recovery and must be closed.
+  Result<bool> Next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed (diagnostics / tests).
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  /// Prefix of `buffer_` already handed out; compacted lazily so repeated
+  /// small frames do not repeatedly memmove the tail.
+  size_t consumed_ = 0;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_SERVICE_FRAMING_H_

@@ -1,0 +1,611 @@
+#include "service/project_host.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "anmat/report.h"
+#include "csv/csv_writer.h"
+#include "store/project_journal.h"
+
+namespace anmat {
+namespace {
+
+// -- Param lookups ----------------------------------------------------------
+// Verb params are a JSON object assembled by a remote client; every lookup
+// therefore type-checks and turns mismatches into InvalidArgument naming
+// the key, never into a crash.
+
+Result<std::string> ParamString(const JsonValue& params, const char* key,
+                                std::string fallback) {
+  const JsonValue* v = params.Get(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) {
+    return Status::InvalidArgument(std::string("param \"") + key +
+                                   "\" must be a string");
+  }
+  return v->as_string();
+}
+
+Result<int64_t> ParamInt(const JsonValue& params, const char* key,
+                         int64_t fallback) {
+  const JsonValue* v = params.Get(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument(std::string("param \"") + key +
+                                   "\" must be a number");
+  }
+  return v->as_int();
+}
+
+Result<double> ParamDouble(const JsonValue& params, const char* key,
+                           double fallback) {
+  const JsonValue* v = params.Get(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument(std::string("param \"") + key +
+                                   "\" must be a number");
+  }
+  return v->as_number();
+}
+
+/// Rule ids: a non-empty array of positive integers (`{"ids": [1, 2]}`).
+Result<std::vector<uint64_t>> ParamIds(const JsonValue& params) {
+  const JsonValue* v = params.Get("ids");
+  if (v == nullptr || !v->is_array() || v->size() == 0) {
+    return Status::InvalidArgument(
+        "param \"ids\" must be a non-empty array of rule ids");
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(v->size());
+  for (const JsonValue& item : v->items()) {
+    if (!item.is_number() || item.as_int() <= 0) {
+      return Status::InvalidArgument("not a rule id: " + item.Dump());
+    }
+    ids.push_back(static_cast<uint64_t>(item.as_int()));
+  }
+  return ids;
+}
+
+const char* RecoveryActionName(JournalRecoveryReport::Action action) {
+  switch (action) {
+    case JournalRecoveryReport::Action::kClean:
+      return "clean";
+    case JournalRecoveryReport::Action::kReplayed:
+      return "replayed";
+    case JournalRecoveryReport::Action::kDiscarded:
+      return "discarded";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+ProjectHost::ProjectHost(Project project, const Options& options)
+    : project_(std::move(project)),
+      engine_(ExecutionOptions{options.engine_threads, true, nullptr}) {}
+
+Result<std::unique_ptr<ProjectHost>> ProjectHost::Open(
+    const std::string& dir, const Options& options) {
+  Project::OpenOptions open_options;
+  open_options.lock_wait_ms = options.lock_wait_ms;
+  ANMAT_ASSIGN_OR_RETURN(Project project, Project::Open(dir, open_options));
+  return std::unique_ptr<ProjectHost>(
+      new ProjectHost(std::move(project), options));
+}
+
+Result<std::unique_ptr<ProjectHost>> ProjectHost::Init(
+    const std::string& dir, std::string name, const Options& options) {
+  ANMAT_ASSIGN_OR_RETURN(Project project,
+                         Project::Init(dir, std::move(name)));
+  ANMAT_RETURN_NOT_OK(project.Save());
+  return std::unique_ptr<ProjectHost>(
+      new ProjectHost(std::move(project), options));
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::Dispatch(
+    const std::string& verb, const JsonValue& params) {
+  if (verb == "info") return Info();
+  if (verb == "fsck") return Fsck();
+  if (verb == "dataset") return Dataset(params);
+  if (verb == "discover") return Discover(params);
+  if (verb == "profile") return Profile(params);
+  if (verb == "detect") return Detect(params);
+  if (verb == "repair") return Repair(params);
+  if (verb == "rules.list") return RulesList();
+  if (verb == "rules.confirm") {
+    return RulesSetStatus(params, RuleStatus::kConfirmed);
+  }
+  if (verb == "rules.reject") {
+    return RulesSetStatus(params, RuleStatus::kRejected);
+  }
+  if (verb == "rules.delete") return RulesDelete(params);
+  if (verb == "rules.annotate") return RulesAnnotate(params);
+  if (verb == "stream.open") return StreamOpen(params);
+  if (verb == "stream.append") return StreamAppend(params);
+  if (verb == "stream.close") return StreamClose(params);
+  return Status::InvalidArgument("unknown verb: " + verb);
+}
+
+JsonValue ProjectHost::CacheStatsJson() {
+  JsonValue stats = JsonValue::Object();
+  stats.Set("hits",
+            JsonValue::Int(static_cast<int64_t>(engine_.automata().hits())));
+  stats.Set("misses", JsonValue::Int(
+                          static_cast<int64_t>(engine_.automata().misses())));
+  stats.Set("fallbacks",
+            JsonValue::Int(
+                static_cast<int64_t>(engine_.automata().fallbacks())));
+  return stats;
+}
+
+size_t ProjectHost::num_streams() {
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  return streams_.size();
+}
+
+Result<Relation> ProjectHost::LoadData(const JsonValue& params) {
+  ANMAT_ASSIGN_OR_RETURN(const std::string value,
+                         ParamString(params, "data", ""));
+  if (value.empty()) return project_.LoadDataset("");
+  // Same resolution as the CLI's --data: a catalog name first, then the
+  // path spelling that attached it (its stem).
+  auto entry = project_.FindDataset(value);
+  if (entry.ok()) return project_.LoadDataset(value);
+  const std::string stem = std::filesystem::path(value).stem().string();
+  if (!stem.empty() && stem != value && project_.FindDataset(stem).ok()) {
+    return project_.LoadDataset(stem);
+  }
+  return entry.status();
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::Info() {
+  std::shared_lock<std::shared_mutex> gate(gate_);
+  VerbResult out;
+  out.result = JsonValue::Object();
+  out.result.Set("name", JsonValue::String(project_.name()));
+  out.result.Set("dir", JsonValue::String(project_.dir()));
+  out.result.Set("datasets", JsonValue::Int(static_cast<int64_t>(
+                                 project_.datasets().size())));
+  out.result.Set("rules", JsonValue::Int(static_cast<int64_t>(
+                              project_.rules().size())));
+  out.result.Set("confirmed", JsonValue::Int(static_cast<int64_t>(
+                                  project_.ConfirmedPfds().size())));
+  out.text = "project \"" + project_.name() + "\" (" +
+             std::to_string(project_.datasets().size()) + " dataset(s), " +
+             std::to_string(project_.rules().size()) + " rule(s), " +
+             std::to_string(project_.ConfirmedPfds().size()) +
+             " confirmed)\n";
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::Fsck() {
+  // The host ran journal recovery when it opened and has held the project
+  // lock ever since — no save can have torn in between — so fsck reports
+  // that recovery plus the live (healthy by construction) state. Matches
+  // the shape of `anmat project fsck --format json`.
+  std::shared_lock<std::shared_mutex> gate(gate_);
+  const JournalRecoveryReport& report = project_.recovery();
+  VerbResult out;
+  out.result = JsonValue::Object();
+  out.result.Set("action",
+                 JsonValue::String(RecoveryActionName(report.action)));
+  out.result.Set("detail", JsonValue::String(report.detail));
+  out.result.Set("files_applied", JsonValue::Int(static_cast<int64_t>(
+                                      report.files_applied)));
+  out.result.Set("truncated_tail", JsonValue::Bool(report.truncated_tail));
+  out.result.Set("healthy", JsonValue::Bool(true));
+  out.text = "journal: " + report.detail + "\n" + "project: healthy (\"" +
+             project_.name() + "\", " +
+             std::to_string(project_.datasets().size()) + " dataset(s), " +
+             std::to_string(project_.rules().size()) + " rule(s))\n";
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::Dataset(
+    const JsonValue& params) {
+  // Resolves --data the same way LoadData does, but returns the catalog
+  // entry instead of the rows: a remote client (the CLI's stream mode)
+  // reads the CSV itself and feeds batches over the socket.
+  std::shared_lock<std::shared_mutex> gate(gate_);
+  ANMAT_ASSIGN_OR_RETURN(const std::string value,
+                         ParamString(params, "data", ""));
+  Result<Project::DatasetEntry> entry = project_.FindDataset(value);
+  if (!entry.ok() && !value.empty()) {
+    const std::string stem = std::filesystem::path(value).stem().string();
+    if (!stem.empty() && stem != value) {
+      Result<Project::DatasetEntry> by_stem = project_.FindDataset(stem);
+      if (by_stem.ok()) entry = std::move(by_stem);
+    }
+  }
+  ANMAT_RETURN_NOT_OK(entry.status());
+  VerbResult out;
+  out.result = JsonValue::Object();
+  out.result.Set("name", JsonValue::String(entry->name));
+  out.result.Set("path", JsonValue::String(entry->path));
+  out.text = entry->name + ": " + entry->path + "\n";
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::Discover(
+    const JsonValue& params) {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+
+  Project::Parameters parameters = project_.parameters();
+  ANMAT_ASSIGN_OR_RETURN(
+      parameters.min_coverage,
+      ParamDouble(params, "coverage", parameters.min_coverage));
+  ANMAT_ASSIGN_OR_RETURN(
+      parameters.allowed_violation_ratio,
+      ParamDouble(params, "violations", parameters.allowed_violation_ratio));
+  project_.set_parameters(parameters);
+
+  ANMAT_ASSIGN_OR_RETURN(const std::string data,
+                         ParamString(params, "data", ""));
+  std::string dataset_name;
+  if (!data.empty()) {
+    ANMAT_ASSIGN_OR_RETURN(
+        dataset_name,
+        ParamString(params, "name",
+                    std::filesystem::path(data).stem().string()));
+    ANMAT_RETURN_NOT_OK(project_.AttachDataset(dataset_name, data));
+  } else {
+    ANMAT_ASSIGN_OR_RETURN(Project::DatasetEntry entry,
+                           project_.FindDataset());
+    dataset_name = entry.name;
+  }
+  ANMAT_ASSIGN_OR_RETURN(Relation relation,
+                         project_.LoadDataset(dataset_name));
+
+  ANMAT_ASSIGN_OR_RETURN(
+      DiscoveryResult discovery,
+      engine_.Discover(relation, project_.discovery_options()));
+  for (const DiscoveredPfd& d : discovery.pfds) {
+    project_.AddDiscoveredRule(d, dataset_name);
+  }
+  ANMAT_RETURN_NOT_OK(project_.Save());
+
+  VerbResult out;
+  out.result = RuleSetToJson(project_.rules());
+  out.text = RenderDiscoveredPfdsView(discovery.pfds) + "\nrecorded " +
+             std::to_string(discovery.pfds.size()) +
+             " rule(s) as discovered in " + project_.rules_path() +
+             " (review with 'anmat rules list', apply with 'anmat rules "
+             "confirm')\n";
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::Profile(
+    const JsonValue& params) {
+  std::shared_lock<std::shared_mutex> gate(gate_);
+  ANMAT_ASSIGN_OR_RETURN(Relation relation, LoadData(params));
+  const std::vector<ColumnProfile> profiles = engine_.Profile(relation);
+  VerbResult out;
+  out.result = ProfilesToJson(profiles);
+  out.text = RenderProfilingView(profiles);
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::Detect(const JsonValue& params) {
+  std::shared_lock<std::shared_mutex> gate(gate_);
+  ANMAT_ASSIGN_OR_RETURN(Relation relation, LoadData(params));
+  const std::vector<Pfd> rules = project_.ConfirmedPfds();
+  if (rules.empty()) {
+    return Status::InvalidArgument(
+        "project has no confirmed rules; run 'anmat rules confirm'");
+  }
+  ANMAT_ASSIGN_OR_RETURN(DetectionResult detection,
+                         engine_.Detect(relation, rules));
+  ANMAT_ASSIGN_OR_RETURN(const int64_t max, ParamInt(params, "max", -1));
+
+  VerbResult out;
+  out.text = RenderViolationsView(relation, rules, detection,
+                                  max >= 0 ? static_cast<size_t>(max) : 50);
+  // Like the CLI's --max under --format json: cap the violations array but
+  // keep the full counts in the stats block so the truncation is visible.
+  if (max >= 0 && detection.violations.size() > static_cast<size_t>(max)) {
+    detection.violations.resize(static_cast<size_t>(max));
+  }
+  out.result = DetectionToJson(relation, rules, detection);
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::Repair(const JsonValue& params) {
+  std::shared_lock<std::shared_mutex> gate(gate_);
+  ANMAT_ASSIGN_OR_RETURN(Relation relation, LoadData(params));
+  const std::vector<Pfd> rules = project_.ConfirmedPfds();
+  if (rules.empty()) {
+    return Status::InvalidArgument(
+        "project has no confirmed rules; run 'anmat rules confirm'");
+  }
+  ANMAT_ASSIGN_OR_RETURN(RepairResult result,
+                         engine_.Repair(&relation, rules));
+  VerbResult out;
+  out.result = RepairToJson(result, rules);
+  out.text = RenderRepairView(result);
+  ANMAT_ASSIGN_OR_RETURN(const std::string out_path,
+                         ParamString(params, "out", ""));
+  if (!out_path.empty()) {
+    ANMAT_RETURN_NOT_OK(WriteCsvFile(relation, out_path));
+    out.text += "wrote cleaned table to " + out_path + "\n";
+  }
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::RulesList() {
+  std::shared_lock<std::shared_mutex> gate(gate_);
+  VerbResult out;
+  out.result = RuleSetToJson(project_.rules());
+  out.text = RenderRuleSetView(project_.rules());
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::RulesSetStatus(
+    const JsonValue& params, RuleStatus status) {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  std::vector<uint64_t> ids;
+  const JsonValue* all = params.Get("all");
+  if (all != nullptr && all->is_bool() && all->as_bool()) {
+    for (const RuleRecord& r : project_.rules().records()) {
+      // `confirm all` leaves rejected rules rejected (the CLI's semantics);
+      // only an explicit id overrides a rejection.
+      if (status == RuleStatus::kConfirmed &&
+          r.status == RuleStatus::kRejected) {
+        continue;
+      }
+      ids.push_back(r.id);
+    }
+  } else {
+    ANMAT_ASSIGN_OR_RETURN(ids, ParamIds(params));
+  }
+  for (uint64_t id : ids) {
+    ANMAT_RETURN_NOT_OK(project_.SetRuleStatus(id, status));
+  }
+  ANMAT_RETURN_NOT_OK(project_.Save());
+
+  VerbResult out;
+  out.result = JsonValue::Object();
+  out.result.Set("marked", JsonValue::Int(static_cast<int64_t>(ids.size())));
+  out.result.Set("confirmed", JsonValue::Int(static_cast<int64_t>(
+                                  project_.ConfirmedPfds().size())));
+  out.text = "marked " + std::to_string(ids.size()) + " rule(s) " +
+             RuleStatusName(status) + "; " +
+             std::to_string(project_.ConfirmedPfds().size()) +
+             " rule(s) now confirmed\n";
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::RulesDelete(
+    const JsonValue& params) {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  ANMAT_ASSIGN_OR_RETURN(const std::vector<uint64_t> ids, ParamIds(params));
+  for (uint64_t id : ids) {
+    // An unknown id rejects the whole command; nothing is persisted.
+    ANMAT_RETURN_NOT_OK(project_.DeleteRule(id));
+  }
+  ANMAT_RETURN_NOT_OK(project_.Save());
+
+  VerbResult out;
+  out.result = JsonValue::Object();
+  out.result.Set("deleted", JsonValue::Int(static_cast<int64_t>(ids.size())));
+  out.result.Set("remaining", JsonValue::Int(static_cast<int64_t>(
+                                  project_.rules().size())));
+  out.text = "deleted " + std::to_string(ids.size()) + " rule(s); " +
+             std::to_string(project_.rules().size()) +
+             " rule(s) remain (ids are never reused)\n";
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::RulesAnnotate(
+    const JsonValue& params) {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  ANMAT_ASSIGN_OR_RETURN(const int64_t id, ParamInt(params, "id", 0));
+  if (id <= 0) {
+    return Status::InvalidArgument("param \"id\" must be a positive rule id");
+  }
+  ANMAT_ASSIGN_OR_RETURN(const std::string note,
+                         ParamString(params, "note", ""));
+  ANMAT_RETURN_NOT_OK(
+      project_.AnnotateRule(static_cast<uint64_t>(id), note));
+  ANMAT_RETURN_NOT_OK(project_.Save());
+
+  VerbResult out;
+  out.result = JsonValue::Object();
+  out.result.Set("id", JsonValue::Int(id));
+  out.result.Set("note", JsonValue::String(note));
+  out.text = "annotated rule " + std::to_string(id) + "\n";
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::StreamOpen(
+    const JsonValue& params) {
+  std::vector<Pfd> rules;
+  {
+    std::shared_lock<std::shared_mutex> gate(gate_);
+    rules = project_.ConfirmedPfds();
+  }
+  if (rules.empty()) {
+    return Status::InvalidArgument(
+        "project has no confirmed rules; run 'anmat rules confirm'");
+  }
+  const JsonValue* columns = params.Get("columns");
+  if (columns == nullptr || !columns->is_array()) {
+    return Status::InvalidArgument(
+        "param \"columns\" must be an array of column names");
+  }
+  std::vector<std::string> names;
+  names.reserve(columns->size());
+  for (const JsonValue& c : columns->items()) {
+    if (!c.is_string()) {
+      return Status::InvalidArgument(
+          "param \"columns\" must be an array of column names");
+    }
+    names.push_back(c.as_string());
+  }
+  ANMAT_ASSIGN_OR_RETURN(const std::string clean,
+                         ParamString(params, "clean", "off"));
+  if (clean != "off" && clean != "constant" && clean != "all") {
+    return Status::InvalidArgument("param \"clean\": \"" + clean +
+                                   "\" (expected off, constant, or all)");
+  }
+
+  ANMAT_ASSIGN_OR_RETURN(Schema schema, Schema::MakeText(names));
+  ANMAT_ASSIGN_OR_RETURN(std::unique_ptr<DetectionStream> stream,
+                         engine_.OpenStream(schema, rules));
+  if (clean != "off") {
+    stream->set_clean_on_ingest(true);
+    stream->set_clean_variable_rules(clean == "all");
+  }
+
+  auto entry = std::make_shared<StreamEntry>();
+  entry->stream = std::move(stream);
+  entry->pfds = std::move(rules);
+  entry->clean = clean;
+
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    id = next_stream_id_++;
+    streams_[id] = std::move(entry);
+  }
+
+  VerbResult out;
+  out.result = JsonValue::Object();
+  out.result.Set("stream", JsonValue::Int(static_cast<int64_t>(id)));
+  out.result.Set("clean", JsonValue::String(clean));
+  out.text = "opened stream " + std::to_string(id) + " (" +
+             std::to_string(names.size()) + " column(s), clean=" + clean +
+             ")\n";
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::StreamAppend(
+    const JsonValue& params) {
+  ANMAT_ASSIGN_OR_RETURN(const int64_t id, ParamInt(params, "stream", 0));
+  std::shared_ptr<StreamEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    auto it = streams_.find(static_cast<uint64_t>(id));
+    if (it == streams_.end()) {
+      return Status::NotFound("no open stream with id " +
+                              std::to_string(id));
+    }
+    entry = it->second;
+  }
+  const JsonValue* rows = params.Get("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument(
+        "param \"rows\" must be an array of row arrays");
+  }
+  std::vector<std::vector<std::string>> batch;
+  batch.reserve(rows->size());
+  for (const JsonValue& row : rows->items()) {
+    if (!row.is_array()) {
+      return Status::InvalidArgument(
+          "param \"rows\" must be an array of row arrays");
+    }
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const JsonValue& cell : row.items()) {
+      if (!cell.is_string()) {
+        return Status::InvalidArgument("row cells must be strings");
+      }
+      cells.push_back(cell.as_string());
+    }
+    batch.push_back(std::move(cells));
+  }
+
+  // Appends to one stream serialize here; the registry lock is already
+  // released, so other streams (and every other verb) proceed.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  ANMAT_ASSIGN_OR_RETURN(DetectionResult cumulative,
+                         entry->stream->AppendRows(batch));
+  entry->last_violations = cumulative.violations.size();
+
+  VerbResult out;
+  out.result = JsonValue::Object();
+  out.result.Set("rows", JsonValue::Int(static_cast<int64_t>(batch.size())));
+  out.result.Set("cumulative_violations",
+                 JsonValue::Int(static_cast<int64_t>(
+                     cumulative.violations.size())));
+  out.result.Set("repairs", JsonValue::Int(static_cast<int64_t>(
+                                entry->stream->batch_repairs().size())));
+  out.result.Set("conflicts", JsonValue::Int(static_cast<int64_t>(
+                                  entry->stream->batch_conflicts().size())));
+  out.text = "batch " + std::to_string(entry->stream->num_batches()) + ": +" +
+             std::to_string(batch.size()) + " row(s), cumulative violations " +
+             std::to_string(cumulative.violations.size()) + ", repairs " +
+             std::to_string(entry->stream->batch_repairs().size()) +
+             ", conflicts " +
+             std::to_string(entry->stream->batch_conflicts().size()) + "\n";
+  return out;
+}
+
+Result<ProjectHost::VerbResult> ProjectHost::StreamClose(
+    const JsonValue& params) {
+  ANMAT_ASSIGN_OR_RETURN(const int64_t id, ParamInt(params, "stream", 0));
+  std::shared_ptr<StreamEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    auto it = streams_.find(static_cast<uint64_t>(id));
+    if (it == streams_.end()) {
+      return Status::NotFound("no open stream with id " +
+                              std::to_string(id));
+    }
+    entry = std::move(it->second);
+    streams_.erase(it);
+  }
+  // A straggling append that raced the close finishes first.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  const DetectionStream& stream = *entry->stream;
+
+  VerbResult out;
+  out.result = JsonValue::Object();
+  out.result.Set("rows", JsonValue::Int(static_cast<int64_t>(
+                             stream.relation().num_rows())));
+  out.result.Set("batches",
+                 JsonValue::Int(static_cast<int64_t>(stream.num_batches())));
+  out.result.Set("clean", JsonValue::String(entry->clean));
+  out.result.Set("distinct_values", JsonValue::Int(static_cast<int64_t>(
+                                        stream.distinct_values())));
+  out.result.Set("violations", JsonValue::Int(static_cast<int64_t>(
+                                   entry->last_violations)));
+  JsonValue repairs = JsonValue::Array();
+  for (const AppliedRepair& r : stream.repairs()) {
+    repairs.push_back(AppliedRepairToJson(r, entry->pfds));
+  }
+  out.result.Set("repairs", std::move(repairs));
+  JsonValue conflicts = JsonValue::Array();
+  for (const StreamConflict& c : stream.conflicts()) {
+    conflicts.push_back(StreamConflictToJson(c));
+  }
+  out.result.Set("conflicts", std::move(conflicts));
+
+  out.text = "streamed " + std::to_string(stream.relation().num_rows()) +
+             " row(s) in " + std::to_string(stream.num_batches()) +
+             " batch(es): " + std::to_string(entry->last_violations) +
+             " violation(s)";
+  if (entry->clean != "off") {
+    out.text += ", " + std::to_string(stream.repairs().size()) +
+                " repair(s) applied on ingest, " +
+                std::to_string(stream.conflicts().size()) + " conflict(s)";
+  }
+  out.text += "\n";
+  for (const StreamConflict& c : stream.conflicts()) {
+    out.text += std::string("conflict [") + StreamConflictKindName(c) +
+                "] row " + std::to_string(c.cell.row) + " column " +
+                std::to_string(c.cell.column) + ": kept \"" + c.current +
+                "\", one-shot repair would hold \"" + c.expected +
+                "\" (rule " + std::to_string(c.pfd_index) + ", batch " +
+                std::to_string(c.batch + 1) + ")\n";
+  }
+
+  ANMAT_ASSIGN_OR_RETURN(const std::string out_path,
+                         ParamString(params, "out", ""));
+  if (!out_path.empty()) {
+    ANMAT_RETURN_NOT_OK(WriteCsvFile(stream.relation(), out_path));
+    out.text += "wrote accumulated table to " + out_path + "\n";
+  }
+  return out;
+}
+
+}  // namespace anmat

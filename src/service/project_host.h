@@ -1,0 +1,152 @@
+#ifndef ANMAT_SERVICE_PROJECT_HOST_H_
+#define ANMAT_SERVICE_PROJECT_HOST_H_
+
+/// \file project_host.h
+/// One warm, daemon-resident project: Project + Engine + stream registry.
+///
+/// A `ProjectHost` is what makes the daemon worth running. A one-shot CLI
+/// invocation pays process spawn, project open (lock + recovery + catalog
+/// parse) and automaton compilation on *every* command; a host pays them
+/// once and then serves requests against:
+///
+///  * a warm `anmat::Engine` — its shared `ThreadPool` and engine-wide
+///    `AutomatonCache` live as long as the host, so each distinct pattern
+///    is compiled and frozen once per daemon lifetime instead of once per
+///    CLI run (`bench_a8_daemon` measures the amortization; the cache
+///    stats are exposed through the daemon's `stats` verb);
+///  * the open `Project`, whose whole-project `flock` the host holds for
+///    its lifetime — cross-*process* exclusion. Within the daemon the
+///    host schedules finer than the flock: verbs that mutate project
+///    state (discover, rules confirm/reject/delete/annotate) funnel
+///    through a writer gate (`std::shared_mutex`, unique side) so their
+///    read-modify-write + `Save` cycles serialize FIFO and no edit is
+///    ever lost, while reporting verbs (detect, repair, profile, rules
+///    list, streams) take the shared side and proceed concurrently with
+///    each other;
+///  * a registry of live `DetectionStream`s addressable by stream id from
+///    any connection — a hot feed opens a stream once and appends batches
+///    over the socket, getting cumulative violations (and, with
+///    clean-on-ingest, repairs and majority-flip conflicts) back per
+///    batch. Appends to one stream serialize on a per-stream mutex
+///    (`DetectionStream` is not reentrant); different streams proceed in
+///    parallel.
+///
+/// Every verb returns the same JSON the one-shot CLI prints under
+/// `--format json` (the renderers in anmat/report.h are reused verbatim)
+/// plus the human-readable text rendering — so routing a CLI command
+/// through the daemon is transparent, byte for byte. The daemon
+/// (daemon.h) routes requests here; the host knows nothing about sockets.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "anmat/engine.h"
+#include "anmat/project.h"
+#include "detect/detection_stream.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief A warm project served by the daemon.
+class ProjectHost {
+ public:
+  struct Options {
+    /// Engine thread count (ExecutionOptions semantics: 1 serial,
+    /// 0 = hardware).
+    size_t engine_threads = 1;
+    /// How long opening waits for the project flock (a CLI writer may
+    /// hold it briefly when the daemon starts).
+    int lock_wait_ms = 10000;
+  };
+
+  /// What a verb produced: the CLI-identical JSON plus its text rendering.
+  struct VerbResult {
+    JsonValue result;
+    std::string text;
+  };
+
+  /// Opens the project at `dir` (writable: the host holds the flock until
+  /// it dies) and warms an engine for it.
+  static Result<std::unique_ptr<ProjectHost>> Open(const std::string& dir,
+                                                   const Options& options);
+
+  /// Initializes a fresh project at `dir` and hosts it.
+  static Result<std::unique_ptr<ProjectHost>> Init(const std::string& dir,
+                                                   std::string name,
+                                                   const Options& options);
+
+  ~ProjectHost() = default;
+  ProjectHost(const ProjectHost&) = delete;
+  ProjectHost& operator=(const ProjectHost&) = delete;
+
+  const std::string& dir() const { return project_.dir(); }
+
+  /// Executes one project-scoped verb. Thread-safe: writers serialize
+  /// through the writer gate, readers run concurrently (see file comment).
+  /// Verbs: info, fsck, dataset, discover, profile, detect, repair,
+  /// rules.list, rules.confirm, rules.reject, rules.delete,
+  /// rules.annotate, stream.open, stream.append, stream.close.
+  Result<VerbResult> Dispatch(const std::string& verb,
+                              const JsonValue& params);
+
+  /// Automaton cache statistics of the warm engine (the `stats` verb; the
+  /// hit count is the compile-once amortization made visible).
+  JsonValue CacheStatsJson();
+
+  /// Live streams (diagnostics).
+  size_t num_streams();
+
+ private:
+  ProjectHost(Project project, const Options& options);
+
+  // Verb implementations. Writers take `gate_` uniquely, readers shared.
+  Result<VerbResult> Info();
+  Result<VerbResult> Fsck();
+  Result<VerbResult> Dataset(const JsonValue& params);
+  Result<VerbResult> Discover(const JsonValue& params);
+  Result<VerbResult> Profile(const JsonValue& params);
+  Result<VerbResult> Detect(const JsonValue& params);
+  Result<VerbResult> Repair(const JsonValue& params);
+  Result<VerbResult> RulesList();
+  Result<VerbResult> RulesSetStatus(const JsonValue& params,
+                                    RuleStatus status);
+  Result<VerbResult> RulesDelete(const JsonValue& params);
+  Result<VerbResult> RulesAnnotate(const JsonValue& params);
+  Result<VerbResult> StreamOpen(const JsonValue& params);
+  Result<VerbResult> StreamAppend(const JsonValue& params);
+  Result<VerbResult> StreamClose(const JsonValue& params);
+
+  /// The relation a verb operates on (`data` = catalog name, or the path
+  /// spelling that attached it — same resolution as the CLI's --data).
+  Result<Relation> LoadData(const JsonValue& params)
+      /* requires gate_ held (any side) */;
+
+  /// One live stream. `mu` serializes appends (DetectionStream is not
+  /// reentrant); the registry mutex is never held across an append.
+  struct StreamEntry {
+    std::mutex mu;
+    std::unique_ptr<DetectionStream> stream;
+    std::vector<Pfd> pfds;  ///< what the stream was opened with
+    std::string clean;      ///< "off" / "constant" / "all"
+    /// Cumulative violation count after the latest append (what the CLI
+    /// tracks batch-by-batch; reported again in the close summary).
+    size_t last_violations = 0;
+  };
+
+  Project project_;
+  Engine engine_;
+  /// The writer gate: in-process scheduling finer than the project flock.
+  std::shared_mutex gate_;
+  std::mutex streams_mu_;
+  uint64_t next_stream_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<StreamEntry>> streams_;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_SERVICE_PROJECT_HOST_H_

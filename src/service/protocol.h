@@ -1,0 +1,87 @@
+#ifndef ANMAT_SERVICE_PROTOCOL_H_
+#define ANMAT_SERVICE_PROTOCOL_H_
+
+/// \file protocol.h
+/// The anmatd request/response protocol: framed JSON over a unix socket.
+///
+/// Every frame (framing.h) carries one JSON document. Requests:
+///
+/// ```json
+///   {"id": 7, "verb": "detect", "params": {"project": "/abs/dir"}}
+/// ```
+///
+///  * `id` — caller-chosen request id, echoed verbatim in the response so
+///    a client may pipeline several requests on one connection. Optional
+///    (defaults to 0).
+///  * `verb` — what to do; the daemon's dispatch table (daemon.h) lists
+///    them. Unknown verbs fail with NotFound, per-request.
+///  * `params` — verb-specific arguments (optional, defaults to `{}`).
+///
+/// Responses:
+///
+/// ```json
+///   {"id": 7, "ok": true, "result": {...}, "text": "=== Violations ..."}
+///   {"id": 7, "ok": false,
+///    "error": {"code": "NotFound", "message": "no project ..."}}
+/// ```
+///
+///  * `result` — the verb's machine-readable result. For reporting verbs
+///    this is **exactly** the JSON the one-shot CLI prints under
+///    `--format json` (the daemon reuses anmat/report.h), so a client can
+///    treat daemon and CLI output interchangeably — byte-identical once
+///    serialized, which the differential tests assert.
+///  * `text` — the human-readable rendering of the same result (what the
+///    CLI prints without `--format json`); present when the verb has one.
+///  * `error.code` — the `StatusCode` name, so clients can map errors back
+///    onto the library's error categories without parsing messages.
+///
+/// A request that cannot even be parsed (not JSON, not an object, no
+/// usable verb) is answered with an `ok:false` response carrying id 0;
+/// the connection stays usable because the *framing* was intact. Framing
+/// errors close the connection (see framing.h).
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief One parsed request frame.
+struct ServiceRequest {
+  uint64_t id = 0;
+  std::string verb;
+  JsonValue params;  ///< object; `{}` when the request omitted it
+};
+
+/// \brief Parses a request payload. Fails (per-request, not per-connection)
+/// when the payload is not a JSON object with a string `verb`.
+Result<ServiceRequest> ParseServiceRequest(std::string_view payload);
+
+/// \brief Serializes a request payload (the client side of
+/// `ParseServiceRequest`).
+std::string SerializeServiceRequest(uint64_t id, const std::string& verb,
+                                    JsonValue params);
+
+/// \brief Serializes a success response. `text` is attached only when
+/// non-empty.
+std::string SerializeServiceOk(uint64_t id, JsonValue result,
+                               const std::string& text = "");
+
+/// \brief Serializes an error response from a Status.
+std::string SerializeServiceError(uint64_t id, const Status& status);
+
+/// \brief Parses a response payload on the client side.
+struct ServiceResponse {
+  uint64_t id = 0;
+  bool ok = false;
+  JsonValue result;     ///< set when ok
+  std::string text;     ///< set when ok and the verb rendered one
+  Status error;         ///< set when !ok (code restored from error.code)
+};
+Result<ServiceResponse> ParseServiceResponse(std::string_view payload);
+
+}  // namespace anmat
+
+#endif  // ANMAT_SERVICE_PROTOCOL_H_

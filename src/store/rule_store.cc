@@ -84,6 +84,9 @@ JsonValue RecordToJson(const RuleRecord& record) {
   obj.Set("id", JsonValue::Int(static_cast<int64_t>(record.id)));
   obj.Set("status", JsonValue::String(RuleStatusName(record.status)));
   obj.Set("provenance", ProvenanceToJson(record.provenance));
+  if (!record.note.empty()) {
+    obj.Set("note", JsonValue::String(record.note));
+  }
   obj.Set("rule", PfdToJson(record.pfd));
   return obj;
 }
@@ -106,6 +109,11 @@ Result<RuleRecord> RecordFromJson(const JsonValue& json) {
     return Status::ParseError("rule record missing provenance object");
   }
   ANMAT_ASSIGN_OR_RETURN(record.provenance, ProvenanceFromJson(*provenance));
+  // Optional: records written before notes existed simply have none.
+  if (const JsonValue* note = json.Get("note");
+      note != nullptr && note->is_string()) {
+    record.note = note->as_string();
+  }
   const JsonValue* rule = json.Get("rule");
   if (rule == nullptr) {
     return Status::ParseError("rule record missing rule object");
@@ -173,6 +181,16 @@ Status RuleSet::SetStatus(uint64_t id, RuleStatus status) {
   for (RuleRecord& r : records_) {
     if (r.id == id) {
       r.status = status;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no rule with id " + std::to_string(id));
+}
+
+Status RuleSet::SetNote(uint64_t id, std::string note) {
+  for (RuleRecord& r : records_) {
+    if (r.id == id) {
+      r.note = std::move(note);
       return Status::OK();
     }
   }

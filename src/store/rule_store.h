@@ -60,6 +60,10 @@ struct RuleRecord {
   RuleStatus status = RuleStatus::kDiscovered;
   RuleProvenance provenance;
   Pfd pfd;
+  /// Free-text reviewer note (`anmat rules annotate`); empty when unset.
+  /// Round-trips through the v2 envelope (omitted from the JSON when
+  /// empty, so annotating never perturbs unannotated records on disk).
+  std::string note;
 };
 
 /// \brief An ordered set of rule records with stable, never-reused ids.
@@ -87,6 +91,10 @@ class RuleSet {
 
   /// Replaces the provenance of rule `id`; NotFound when absent.
   Status SetProvenance(uint64_t id, RuleProvenance provenance);
+
+  /// Replaces the free-text note of rule `id` (empty clears it); NotFound
+  /// (naming the id) when absent.
+  Status SetNote(uint64_t id, std::string note);
 
   /// The PFDs of every rule with `status`, in record order.
   std::vector<Pfd> PfdsWithStatus(RuleStatus status) const;

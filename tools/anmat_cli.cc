@@ -53,6 +53,31 @@
 //       healthy afterwards, 2 when state files remain corrupt (the error
 //       names the file and byte offset).
 //
+//   anmat rules annotate <id> --note "<text>" --project <dir>
+//       Attach a free-text reviewer note to a rule (empty --note clears
+//       it); shown by rules list and persisted in the store.
+//
+// Daemon mode (src/service): `anmat serve` runs anmatd, a resident
+// service holding each project open with a warm engine; `--connect`
+// routes any project verb through it instead of opening the project
+// locally, with byte-identical output:
+//
+//   anmat serve --socket <path> [--threads N] [--workers N]
+//               [--lock-wait-ms N]
+//       Serve projects over a unix socket until SIGINT/SIGTERM or the
+//       shutdown verb.
+//
+//   anmat <verb> ... --connect <socket>
+//       Route a project verb (profile, discover, detect, repair, stream,
+//       rules *, project fsck, init) over the daemon.
+//
+//   anmat daemon ping|stats|shutdown --connect <socket> [--format json]
+//       Daemon-scope verbs: liveness, warm-cache statistics, graceful
+//       shutdown.
+//
+// Project verbs also take --lock-wait-ms N: how long to wait for a
+// contended project lock before failing (default 10000).
+//
 // One-shot mode (unchanged from earlier releases; the rule file is the
 // state):
 //
@@ -76,6 +101,7 @@
 // Exit codes: 0 success, 1 usage error, 2 pipeline error.
 
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -91,6 +117,8 @@
 #include "csv/csv_writer.h"
 #include "pfd/implication.h"
 #include "repair/repair.h"
+#include "service/client.h"
+#include "service/daemon.h"
 #include "store/project_journal.h"
 #include "store/rule_store.h"
 #include "util/fs.h"
@@ -124,7 +152,14 @@ int Usage() {
       "  anmat stream   <data.csv> --rules rules.json | --project <dir>\n"
       "                 [--data DATASET] [--batch N]\n"
       "                 [--clean off|constant|all] [--out cleaned.csv]\n"
-      "                 [--threads N] [--format json]\n";
+      "                 [--threads N] [--format json]\n"
+      "  anmat rules annotate <id> --note \"<text>\" --project <dir>\n"
+      "  anmat serve    --socket <path> [--threads N] [--workers N]\n"
+      "                 [--lock-wait-ms N]\n"
+      "  anmat daemon   ping|stats|shutdown --connect <socket>\n"
+      "                 [--format json]\n"
+      "project verbs also take --lock-wait-ms N and --connect <socket>\n"
+      "(route through a running daemon; output is byte-identical)\n";
   return 1;
 }
 
@@ -182,7 +217,8 @@ std::string ValidateNumericFlags(const ParsedArgs& args) {
              value + "\" is not a number";
     }
   }
-  for (const char* key : {"threads", "max", "batch"}) {
+  for (const char* key : {"threads", "max", "batch", "lock-wait-ms",
+                          "workers"}) {
     if (!args.Has(key)) continue;
     const std::string& value = args.Get(key);
     // Digits only: strtoul would skip leading whitespace and wrap a '-'
@@ -233,14 +269,75 @@ bool FlagJson(const ParsedArgs& args) {
   return args.Has("format") && args.Get("format") == "json";
 }
 
+/// --lock-wait-ms N: how long project opens wait for a contended lock.
+int FlagLockWaitMs(const ParsedArgs& args) {
+  return args.Has("lock-wait-ms")
+             ? static_cast<int>(std::strtoul(
+                   args.Get("lock-wait-ms").c_str(), nullptr, 10))
+             : anmat::Project::OpenOptions().lock_wait_ms;
+}
+
+/// Open options for writer commands (discover, rules edits).
+anmat::Project::OpenOptions WriterOpenOptions(const ParsedArgs& args) {
+  anmat::Project::OpenOptions options;
+  options.lock_wait_ms = FlagLockWaitMs(args);
+  return options;
+}
+
 /// Report-style commands (profile, rules list, detect, repair, stream)
 /// read project state but never write it back: open read-only, so they
 /// hold the project lock only while crash recovery runs and never block
 /// a concurrent writer.
-anmat::Result<anmat::Project> OpenProjectReadOnly(const std::string& dir) {
+anmat::Result<anmat::Project> OpenProjectReadOnly(const std::string& dir,
+                                                  const ParsedArgs& args) {
   anmat::Project::OpenOptions options;
   options.read_only = true;
+  options.lock_wait_ms = FlagLockWaitMs(args);
   return anmat::Project::Open(dir, options);
+}
+
+// ---------------------------------------------------------------------------
+// --connect: route the verb through a running daemon
+// ---------------------------------------------------------------------------
+
+/// One round-trip to the daemon named by --connect. A bad Result is a
+/// transport failure; a returned response may still carry ok:false.
+anmat::Result<anmat::ServiceResponse> DaemonCall(const ParsedArgs& args,
+                                                 const std::string& verb,
+                                                 anmat::JsonValue params) {
+  ANMAT_ASSIGN_OR_RETURN(anmat::DaemonClient client,
+                         anmat::DaemonClient::Connect(args.Get("connect")));
+  return client.Call(verb, std::move(params));
+}
+
+/// Params every project verb shares in connect mode.
+anmat::JsonValue ConnectParams(const ParsedArgs& args) {
+  anmat::JsonValue params = anmat::JsonValue::Object();
+  params.Set("project", anmat::JsonValue::String(args.Get("project")));
+  if (args.Has("data")) {
+    params.Set("data", anmat::JsonValue::String(args.Get("data")));
+  }
+  return params;
+}
+
+/// Prints a successful response the way the direct command would have:
+/// the result JSON under --format json, the text rendering otherwise.
+int PrintResponse(const anmat::ServiceResponse& response, bool json) {
+  if (json) {
+    std::cout << response.result.DumpPretty() << "\n";
+  } else {
+    std::cout << response.text;
+  }
+  return 0;
+}
+
+/// The common connect-mode tail: transport failures and verb failures
+/// both exit 2 (like the direct command's Fail path); success prints.
+int FinishDaemonCall(const anmat::Result<anmat::ServiceResponse>& response,
+                     bool json) {
+  if (!response.ok()) return Fail(response.status());
+  if (!response->ok) return Fail(response->error);
+  return PrintResponse(response.value(), json);
 }
 
 /// Confirmed rules from a standalone rule file (one-shot mode). v1 files
@@ -284,6 +381,32 @@ anmat::Result<anmat::Relation> LoadProjectData(const anmat::Project& project,
 
 int CmdInit(const ParsedArgs& args) {
   if (args.positional.size() != 1) return Usage();
+  if (args.Has("connect")) {
+    anmat::JsonValue params = anmat::JsonValue::Object();
+    // The daemon resolves paths against its own cwd; send an absolute one.
+    params.Set("dir",
+               anmat::JsonValue::String(
+                   std::filesystem::absolute(args.positional[0]).string()));
+    if (args.Has("name")) {
+      params.Set("name", anmat::JsonValue::String(args.Get("name")));
+    }
+    if (args.Has("coverage")) {
+      params.Set("coverage", anmat::JsonValue::Number(
+                                 FlagDouble(args, "coverage", 0)));
+    }
+    if (args.Has("violations")) {
+      params.Set("violations", anmat::JsonValue::Number(
+                                   FlagDouble(args, "violations", 0)));
+    }
+    auto response = DaemonCall(args, "project.init", std::move(params));
+    if (!response.ok()) return Fail(response.status());
+    if (!response->ok) return Fail(response->error);
+    auto name = response->result.GetString("name");
+    std::cout << "initialized project \""
+              << (name.ok() ? name.value() : args.positional[0]) << "\" in "
+              << args.positional[0] << "\n";
+    return 0;
+  }
   auto project = anmat::Project::Init(
       args.positional[0], args.Has("name") ? args.Get("name") : "");
   if (!project.ok()) return Fail(project.status());
@@ -314,12 +437,19 @@ int RenderProfiles(const std::vector<anmat::ColumnProfile>& profiles,
 }
 
 int CmdProfile(const ParsedArgs& args) {
+  if (args.Has("connect")) {
+    if (!args.Has("project")) {
+      return FlagError("--connect requires --project <dir>");
+    }
+    return FinishDaemonCall(
+        DaemonCall(args, "profile", ConnectParams(args)), FlagJson(args));
+  }
   anmat::Engine engine(
       anmat::ExecutionOptions{FlagThreads(args), true, nullptr});
   anmat::Relation relation;
   if (args.Has("project")) {
     if (!args.positional.empty()) return Usage();
-    auto project = OpenProjectReadOnly(args.Get("project"));
+    auto project = OpenProjectReadOnly(args.Get("project"), args);
     if (!project.ok()) return Fail(project.status());
     auto data = LoadProjectData(project.value(), args);
     if (!data.ok()) return Fail(data.status());
@@ -393,7 +523,31 @@ int CmdDiscoverProject(const ParsedArgs& args) {
   if (args.Has("name") && !args.Has("data")) {
     return FlagError("--name requires --data (it names the attached CSV)");
   }
-  auto project = anmat::Project::Open(args.Get("project"));
+  if (args.Has("connect")) {
+    anmat::JsonValue params = ConnectParams(args);
+    if (args.Has("data")) {
+      // discover's --data is a CSV *path* to attach; resolve it against
+      // this process's cwd, not the daemon's.
+      params.Set("data",
+                 anmat::JsonValue::String(
+                     std::filesystem::absolute(args.Get("data")).string()));
+    }
+    if (args.Has("name")) {
+      params.Set("name", anmat::JsonValue::String(args.Get("name")));
+    }
+    if (args.Has("coverage")) {
+      params.Set("coverage", anmat::JsonValue::Number(
+                                 FlagDouble(args, "coverage", 0)));
+    }
+    if (args.Has("violations")) {
+      params.Set("violations", anmat::JsonValue::Number(
+                                   FlagDouble(args, "violations", 0)));
+    }
+    return FinishDaemonCall(DaemonCall(args, "discover", std::move(params)),
+                            FlagJson(args));
+  }
+  auto project =
+      anmat::Project::Open(args.Get("project"), WriterOpenOptions(args));
   if (!project.ok()) return Fail(project.status());
 
   anmat::Project::Parameters parameters = project->parameters();
@@ -465,7 +619,11 @@ int CmdDiscover(const ParsedArgs& args) {
 // ---------------------------------------------------------------------------
 
 int CmdRulesList(const ParsedArgs& args) {
-  auto project = OpenProjectReadOnly(args.Get("project"));
+  if (args.Has("connect")) {
+    return FinishDaemonCall(
+        DaemonCall(args, "rules.list", ConnectParams(args)), FlagJson(args));
+  }
+  auto project = OpenProjectReadOnly(args.Get("project"), args);
   if (!project.ok()) return Fail(project.status());
   if (FlagJson(args)) {
     std::cout << anmat::RuleSetToJson(project->rules()).DumpPretty() << "\n";
@@ -475,17 +633,64 @@ int CmdRulesList(const ParsedArgs& args) {
   return 0;
 }
 
+/// Parses explicit rule-id positionals ("all" is handled by the caller).
+/// Digits only: strtoull would wrap "-1" to 2^64-1 instead of failing.
+anmat::Result<std::vector<uint64_t>> ParseRuleIds(
+    const std::vector<std::string>& positional) {
+  std::vector<uint64_t> ids;
+  for (const std::string& arg : positional) {
+    if (arg.empty() ||
+        arg.find_first_not_of("0123456789") != std::string::npos) {
+      return anmat::Status::InvalidArgument("not a rule id: " + arg);
+    }
+    const unsigned long long id = std::strtoull(arg.c_str(), nullptr, 10);
+    if (id == 0) {
+      return anmat::Status::InvalidArgument("not a rule id: " + arg);
+    }
+    ids.push_back(static_cast<uint64_t>(id));
+  }
+  return ids;
+}
+
+anmat::JsonValue IdsToJson(const std::vector<uint64_t>& ids) {
+  anmat::JsonValue arr = anmat::JsonValue::Array();
+  for (uint64_t id : ids) {
+    arr.push_back(anmat::JsonValue::Int(static_cast<int64_t>(id)));
+  }
+  return arr;
+}
+
 int CmdRulesSetStatus(const ParsedArgs& args, anmat::RuleStatus status) {
   if (args.positional.empty()) {
     return FlagError(std::string("'anmat rules ") + (
         status == anmat::RuleStatus::kConfirmed ? "confirm" : "reject") +
         "' needs rule id(s) or 'all'");
   }
-  auto project = anmat::Project::Open(args.Get("project"));
+  const bool all =
+      args.positional.size() == 1 && args.positional[0] == "all";
+
+  if (args.Has("connect")) {
+    anmat::JsonValue params = ConnectParams(args);
+    if (all) {
+      params.Set("all", anmat::JsonValue::Bool(true));
+    } else {
+      auto ids = ParseRuleIds(args.positional);
+      if (!ids.ok()) return FlagError(ids.status().message());
+      params.Set("ids", IdsToJson(ids.value()));
+    }
+    const char* verb = status == anmat::RuleStatus::kConfirmed
+                           ? "rules.confirm"
+                           : "rules.reject";
+    return FinishDaemonCall(DaemonCall(args, verb, std::move(params)),
+                            /*json=*/false);
+  }
+
+  auto project =
+      anmat::Project::Open(args.Get("project"), WriterOpenOptions(args));
   if (!project.ok()) return Fail(project.status());
 
   std::vector<uint64_t> ids;
-  if (args.positional.size() == 1 && args.positional[0] == "all") {
+  if (all) {
     for (const anmat::RuleRecord& r : project->rules().records()) {
       // `confirm all` leaves rejected rules rejected (same semantics as
       // Session::ConfirmAll); only an explicit id overrides a rejection.
@@ -496,16 +701,9 @@ int CmdRulesSetStatus(const ParsedArgs& args, anmat::RuleStatus status) {
       ids.push_back(r.id);
     }
   } else {
-    for (const std::string& arg : args.positional) {
-      // Digits only: strtoull would wrap "-1" to 2^64-1 instead of failing.
-      if (arg.empty() ||
-          arg.find_first_not_of("0123456789") != std::string::npos) {
-        return FlagError("not a rule id: " + arg);
-      }
-      const unsigned long long id = std::strtoull(arg.c_str(), nullptr, 10);
-      if (id == 0) return FlagError("not a rule id: " + arg);
-      ids.push_back(static_cast<uint64_t>(id));
-    }
+    auto parsed = ParseRuleIds(args.positional);
+    if (!parsed.ok()) return FlagError(parsed.status().message());
+    ids = std::move(parsed).value();
   }
   for (uint64_t id : ids) {
     if (anmat::Status s = project->SetRuleStatus(id, status); !s.ok()) {
@@ -524,20 +722,24 @@ int CmdRulesDelete(const ParsedArgs& args) {
   if (args.positional.empty()) {
     return FlagError("'anmat rules delete' needs rule id(s)");
   }
-  auto project = anmat::Project::Open(args.Get("project"));
+  auto parsed = ParseRuleIds(args.positional);
+  if (!parsed.ok()) return FlagError(parsed.status().message());
+  std::vector<uint64_t> ids = std::move(parsed).value();
+
+  if (args.Has("connect")) {
+    anmat::JsonValue params = ConnectParams(args);
+    params.Set("ids", IdsToJson(ids));
+    auto response = DaemonCall(args, "rules.delete", std::move(params));
+    if (!response.ok()) return Fail(response.status());
+    // An unknown id is a usage error (exit 1) naming it, like direct mode.
+    if (!response->ok) return FlagError(response->error.message());
+    return PrintResponse(response.value(), /*json=*/false);
+  }
+
+  auto project =
+      anmat::Project::Open(args.Get("project"), WriterOpenOptions(args));
   if (!project.ok()) return Fail(project.status());
 
-  std::vector<uint64_t> ids;
-  for (const std::string& arg : args.positional) {
-    // Digits only: strtoull would wrap "-1" to 2^64-1 instead of failing.
-    if (arg.empty() ||
-        arg.find_first_not_of("0123456789") != std::string::npos) {
-      return FlagError("not a rule id: " + arg);
-    }
-    const unsigned long long id = std::strtoull(arg.c_str(), nullptr, 10);
-    if (id == 0) return FlagError("not a rule id: " + arg);
-    ids.push_back(static_cast<uint64_t>(id));
-  }
   for (uint64_t id : ids) {
     // Deleting an unknown id is a usage error (exit 1) naming the id, and
     // nothing is persisted — the whole command is rejected.
@@ -552,16 +754,53 @@ int CmdRulesDelete(const ParsedArgs& args) {
   return 0;
 }
 
+int CmdRulesAnnotate(const ParsedArgs& args) {
+  if (args.positional.size() != 1) {
+    return FlagError("'anmat rules annotate' needs exactly one rule id");
+  }
+  auto parsed = ParseRuleIds(args.positional);
+  if (!parsed.ok()) return FlagError(parsed.status().message());
+  const uint64_t id = parsed->front();
+  // An absent --note clears the annotation (same as --note "").
+  const std::string note = args.Has("note") ? args.Get("note") : "";
+
+  if (args.Has("connect")) {
+    anmat::JsonValue params = ConnectParams(args);
+    params.Set("id", anmat::JsonValue::Int(static_cast<int64_t>(id)));
+    params.Set("note", anmat::JsonValue::String(note));
+    auto response = DaemonCall(args, "rules.annotate", std::move(params));
+    if (!response.ok()) return Fail(response.status());
+    // An unknown id is a usage error (exit 1) naming it, like direct mode.
+    if (!response->ok) return FlagError(response->error.message());
+    return PrintResponse(response.value(), /*json=*/false);
+  }
+
+  auto project =
+      anmat::Project::Open(args.Get("project"), WriterOpenOptions(args));
+  if (!project.ok()) return Fail(project.status());
+  // An unknown id is a usage error (exit 1) naming it; nothing persists.
+  if (anmat::Status s = project->AnnotateRule(id, note); !s.ok()) {
+    return FlagError(s.message());
+  }
+  if (anmat::Status s = project->Save(); !s.ok()) return Fail(s);
+  std::cout << "annotated rule " << id << "\n";
+  return 0;
+}
+
 int CmdRules(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string sub = argv[2];
-  // Only `list` renders output, so only it takes --format.
-  const std::set<std::string> allowed =
-      sub == "list" ? std::set<std::string>{"project", "format"}
-                    : std::set<std::string>{"project"};
+  // Only `list` renders output, so only it takes --format; only
+  // `annotate` takes --note.
+  std::set<std::string> allowed = {"project", "connect", "lock-wait-ms"};
+  if (sub == "list") allowed.insert("format");
+  if (sub == "annotate") allowed.insert("note");
   ParsedArgs args;
   const std::string error = ParseArgs(argc, argv, 3, allowed, &args);
   if (!error.empty()) return FlagError(error);
+  if (const std::string e = ValidateNumericFlags(args); !e.empty()) {
+    return FlagError(e);
+  }
   if (!args.Has("project")) {
     return FlagError("'anmat rules " + sub + "' requires --project <dir>");
   }
@@ -573,6 +812,7 @@ int CmdRules(int argc, char** argv) {
     return CmdRulesSetStatus(args, anmat::RuleStatus::kRejected);
   }
   if (sub == "delete") return CmdRulesDelete(args);
+  if (sub == "annotate") return CmdRulesAnnotate(args);
   return Usage();
 }
 
@@ -593,6 +833,16 @@ const char* RecoveryActionName(anmat::JournalRecoveryReport::Action action) {
 }
 
 int CmdProjectFsck(const ParsedArgs& args) {
+  if (args.Has("connect")) {
+    auto response = DaemonCall(args, "fsck", ConnectParams(args));
+    if (!response.ok()) return Fail(response.status());
+    if (!response->ok) return Fail(response->error);
+    PrintResponse(response.value(), FlagJson(args));
+    const anmat::JsonValue* healthy = response->result.Get("healthy");
+    return (healthy != nullptr && healthy->is_bool() && healthy->as_bool())
+               ? 0
+               : 2;
+  }
   const std::string dir = args.Get("project");
   if (!std::filesystem::exists(dir + "/project.json") &&
       !std::filesystem::exists(dir + "/journal.wal")) {
@@ -601,7 +851,9 @@ int CmdProjectFsck(const ParsedArgs& args) {
   }
   // Recovery runs under the project lock, like Open's (a writer crashing
   // mid-save and an fsck racing it must not both touch the files).
-  auto lock = anmat::FileLock::Acquire(dir + "/.anmat.lock");
+  anmat::FileLockOptions lock_options;
+  lock_options.max_wait_ms = FlagLockWaitMs(args);
+  auto lock = anmat::FileLock::Acquire(dir + "/.anmat.lock", lock_options);
   if (!lock.ok()) return Fail(lock.status());
   anmat::ProjectJournal journal(dir);
   auto report = journal.Recover();
@@ -609,7 +861,7 @@ int CmdProjectFsck(const ParsedArgs& args) {
 
   // Recovery done; now verify the project actually loads. Our lock is
   // shared with Open's same-process acquire, so this does not deadlock.
-  auto project = OpenProjectReadOnly(dir);
+  auto project = OpenProjectReadOnly(dir, args);
   const bool healthy = project.ok();
 
   if (FlagJson(args)) {
@@ -645,9 +897,13 @@ int CmdProject(int argc, char** argv) {
   const std::string sub = argv[2];
   if (sub != "fsck") return Usage();
   ParsedArgs args;
-  const std::string error =
-      ParseArgs(argc, argv, 3, {"project", "format"}, &args);
+  const std::string error = ParseArgs(
+      argc, argv, 3, {"project", "format", "connect", "lock-wait-ms"},
+      &args);
   if (!error.empty()) return FlagError(error);
+  if (const std::string e = ValidateNumericFlags(args); !e.empty()) {
+    return FlagError(e);
+  }
   if (!args.Has("project")) {
     return FlagError("'anmat project fsck' requires --project <dir>");
   }
@@ -671,7 +927,7 @@ int LoadProjectInputs(const ParsedArgs& args, anmat::Relation* relation,
       !e.empty()) {
     return FlagError(e);
   }
-  auto project = OpenProjectReadOnly(args.Get("project"));
+  auto project = OpenProjectReadOnly(args.Get("project"), args);
   if (!project.ok()) return Fail(project.status());
   auto data = LoadProjectData(project.value(), args);
   if (!data.ok()) return Fail(data.status());
@@ -715,6 +971,19 @@ int RunDetect(const anmat::Relation& relation,
 }
 
 int CmdDetect(const ParsedArgs& args) {
+  if (args.Has("connect")) {
+    if (!args.Has("project")) {
+      return FlagError("--connect requires --project <dir>");
+    }
+    anmat::JsonValue params = ConnectParams(args);
+    if (args.Has("max")) {
+      params.Set("max", anmat::JsonValue::Int(static_cast<int64_t>(
+                            std::strtoul(args.Get("max").c_str(), nullptr,
+                                         10))));
+    }
+    return FinishDaemonCall(DaemonCall(args, "detect", std::move(params)),
+                            FlagJson(args));
+  }
   if (args.Has("project")) {
     anmat::Relation relation;
     std::vector<anmat::Pfd> rules;
@@ -767,18 +1036,6 @@ int RunRepair(anmat::Relation relation, const std::vector<anmat::Pfd>& rules,
 // ---------------------------------------------------------------------------
 // stream (streaming detection demo, optionally cleaning on ingest)
 // ---------------------------------------------------------------------------
-
-const char* StreamConflictKindName(const anmat::StreamConflict& c) {
-  switch (c.kind) {
-    case anmat::StreamConflict::Kind::kMajorityFlip:
-      return "majority-flip";
-    case anmat::StreamConflict::Kind::kRetroactiveRepair:
-      return "retroactive-repair";
-    case anmat::StreamConflict::Kind::kKeyDivergence:
-      return "key-divergence";
-  }
-  return "unknown";
-}
 
 int RunStream(const anmat::Relation& relation,
               const std::vector<anmat::Pfd>& rules, const ParsedArgs& args) {
@@ -854,19 +1111,7 @@ int RunStream(const anmat::Relation& relation,
     root.Set("repairs", std::move(repairs));
     anmat::JsonValue conflicts = anmat::JsonValue::Array();
     for (const anmat::StreamConflict& c : (*stream)->conflicts()) {
-      anmat::JsonValue entry = anmat::JsonValue::Object();
-      entry.Set("kind", anmat::JsonValue::String(StreamConflictKindName(c)));
-      entry.Set("row",
-                anmat::JsonValue::Int(static_cast<int64_t>(c.cell.row)));
-      entry.Set("column",
-                anmat::JsonValue::Int(static_cast<int64_t>(c.cell.column)));
-      entry.Set("current", anmat::JsonValue::String(c.current));
-      entry.Set("expected", anmat::JsonValue::String(c.expected));
-      entry.Set("pfd_index",
-                anmat::JsonValue::Int(static_cast<int64_t>(c.pfd_index)));
-      entry.Set("batch",
-                anmat::JsonValue::Int(static_cast<int64_t>(c.batch)));
-      conflicts.push_back(std::move(entry));
+      conflicts.push_back(anmat::StreamConflictToJson(c));
     }
     root.Set("conflicts", std::move(conflicts));
     std::cout << root.DumpPretty() << "\n";
@@ -881,7 +1126,7 @@ int RunStream(const anmat::Relation& relation,
     }
     std::cout << "\n";
     for (const anmat::StreamConflict& c : (*stream)->conflicts()) {
-      std::cout << "conflict [" << StreamConflictKindName(c) << "] row "
+      std::cout << "conflict [" << anmat::StreamConflictKindName(c) << "] row "
                 << c.cell.row << " column " << c.cell.column << ": kept \""
                 << c.current << "\", one-shot repair would hold \""
                 << c.expected << "\" (rule " << c.pfd_index << ", batch "
@@ -902,7 +1147,115 @@ int RunStream(const anmat::Relation& relation,
   return 0;
 }
 
+/// Stream mode over the daemon: the client reads the CSV (the daemon
+/// tells it the catalog path), opens a server-side DetectionStream and
+/// feeds it batch by batch over the socket — the wire protocol a live
+/// feed would use. Output is assembled to match direct mode byte for
+/// byte (JSON) / line for line (text).
+int RunStreamConnect(const ParsedArgs& args) {
+  if (!args.Has("project")) {
+    return FlagError("--connect requires --project <dir>");
+  }
+  size_t batch_rows = 256;
+  if (args.Has("batch")) {
+    batch_rows = std::strtoul(args.Get("batch").c_str(), nullptr, 10);
+    if (batch_rows == 0) {
+      return FlagError("invalid value for flag: --batch: must be >= 1");
+    }
+  }
+  const std::string clean = args.Has("clean") ? args.Get("clean") : "off";
+  if (clean != "off" && clean != "constant" && clean != "all") {
+    return FlagError("invalid value for flag: --clean: \"" + clean +
+                     "\" (expected off, constant, or all)");
+  }
+  const bool json = FlagJson(args);
+
+  auto client = anmat::DaemonClient::Connect(args.Get("connect"));
+  if (!client.ok()) return Fail(client.status());
+
+  auto dataset = client->Call("dataset", ConnectParams(args));
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (!dataset->ok) return Fail(dataset->error);
+  auto path = dataset->result.GetString("path");
+  if (!path.ok()) return Fail(path.status());
+  auto relation = anmat::ReadCsvFile(path.value());
+  if (!relation.ok()) return Fail(relation.status());
+
+  anmat::JsonValue open_params = ConnectParams(args);
+  anmat::JsonValue columns = anmat::JsonValue::Array();
+  for (const anmat::ColumnSpec& c : relation->schema().columns()) {
+    columns.push_back(anmat::JsonValue::String(c.name));
+  }
+  open_params.Set("columns", std::move(columns));
+  open_params.Set("clean", anmat::JsonValue::String(clean));
+  auto open = client->Call("stream.open", std::move(open_params));
+  if (!open.ok()) return Fail(open.status());
+  if (!open->ok) return Fail(open->error);
+  auto stream_id = open->result.GetInt("stream");
+  if (!stream_id.ok()) return Fail(stream_id.status());
+
+  anmat::JsonValue batches = anmat::JsonValue::Array();
+  for (anmat::RowId begin = 0; begin < relation->num_rows();
+       begin += static_cast<anmat::RowId>(batch_rows)) {
+    const anmat::RowId end = std::min<anmat::RowId>(
+        begin + static_cast<anmat::RowId>(batch_rows),
+        static_cast<anmat::RowId>(relation->num_rows()));
+    anmat::JsonValue rows = anmat::JsonValue::Array();
+    for (anmat::RowId r = begin; r < end; ++r) {
+      anmat::JsonValue row = anmat::JsonValue::Array();
+      for (const std::string& cell : relation->Row(r)) {
+        row.push_back(anmat::JsonValue::String(cell));
+      }
+      rows.push_back(std::move(row));
+    }
+    anmat::JsonValue params = ConnectParams(args);
+    params.Set("stream", anmat::JsonValue::Int(stream_id.value()));
+    params.Set("rows", std::move(rows));
+    auto appended = client->Call("stream.append", std::move(params));
+    if (!appended.ok()) return Fail(appended.status());
+    if (!appended->ok) return Fail(appended->error);
+    if (json) {
+      batches.push_back(appended->result);
+    } else {
+      std::cout << appended->text;
+    }
+  }
+
+  anmat::JsonValue close_params = ConnectParams(args);
+  close_params.Set("stream", anmat::JsonValue::Int(stream_id.value()));
+  if (args.Has("out")) {
+    // The daemon writes the accumulated CSV; resolve the path against
+    // this process's cwd, not the daemon's.
+    close_params.Set("out",
+                     anmat::JsonValue::String(
+                         std::filesystem::absolute(args.Get("out")).string()));
+  }
+  auto closed = client->Call("stream.close", std::move(close_params));
+  if (!closed.ok()) return Fail(closed.status());
+  if (!closed->ok) return Fail(closed->error);
+
+  if (json) {
+    // Reassemble the direct CLI's root object (its exact key order);
+    // stream.close returns the summary fields, the batches array was
+    // collected append by append.
+    anmat::JsonValue root = anmat::JsonValue::Object();
+    root.Set("rows", anmat::JsonValue::Int(
+                         static_cast<int64_t>(relation->num_rows())));
+    root.Set("batches", std::move(batches));
+    for (const char* key :
+         {"clean", "distinct_values", "violations", "repairs", "conflicts"}) {
+      const anmat::JsonValue* value = closed->result.Get(key);
+      if (value != nullptr) root.Set(key, *value);
+    }
+    std::cout << root.DumpPretty() << "\n";
+  } else {
+    std::cout << closed->text;
+  }
+  return 0;
+}
+
 int CmdStream(const ParsedArgs& args) {
+  if (args.Has("connect")) return RunStreamConnect(args);
   if (args.Has("project")) {
     anmat::Relation relation;
     std::vector<anmat::Pfd> rules;
@@ -925,6 +1278,21 @@ int CmdStream(const ParsedArgs& args) {
 }
 
 int CmdRepair(const ParsedArgs& args) {
+  if (args.Has("connect")) {
+    if (!args.Has("project")) {
+      return FlagError("--connect requires --project <dir>");
+    }
+    anmat::JsonValue params = ConnectParams(args);
+    if (args.Has("out")) {
+      // The daemon writes the cleaned CSV; resolve the path against this
+      // process's cwd, not the daemon's.
+      params.Set("out",
+                 anmat::JsonValue::String(
+                     std::filesystem::absolute(args.Get("out")).string()));
+    }
+    return FinishDaemonCall(DaemonCall(args, "repair", std::move(params)),
+                            FlagJson(args));
+  }
   if (args.Has("project")) {
     anmat::Relation relation;
     std::vector<anmat::Pfd> rules;
@@ -946,6 +1314,64 @@ int CmdRepair(const ParsedArgs& args) {
   return RunRepair(std::move(relation).value(), rules.value(), args);
 }
 
+// ---------------------------------------------------------------------------
+// serve / daemon (anmatd)
+// ---------------------------------------------------------------------------
+
+anmat::Daemon* g_daemon = nullptr;
+
+extern "C" void HandleStopSignal(int) {
+  // Async-signal-safe: one atomic store + one pipe write.
+  if (g_daemon != nullptr) g_daemon->RequestStop();
+}
+
+int CmdServe(const ParsedArgs& args) {
+  if (!args.positional.empty()) return Usage();
+  if (!args.Has("socket")) {
+    return FlagError("'anmat serve' requires --socket <path>");
+  }
+  anmat::Daemon::Options options;
+  options.socket_path = args.Get("socket");
+  options.engine_threads = FlagThreads(args);
+  if (args.Has("workers")) {
+    options.executor_threads = static_cast<size_t>(
+        std::strtoul(args.Get("workers").c_str(), nullptr, 10));
+  }
+  options.lock_wait_ms = FlagLockWaitMs(args);
+  auto daemon = anmat::Daemon::Start(options);
+  if (!daemon.ok()) return Fail(daemon.status());
+  g_daemon = daemon->get();
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  // Peers that vanish mid-write must surface as EPIPE, not kill us.
+  std::signal(SIGPIPE, SIG_IGN);
+  // endl flushes: scripts wait for this line before connecting.
+  std::cout << "anmatd: serving on " << options.socket_path << std::endl;
+  const anmat::Status status = (*daemon)->Serve();
+  g_daemon = nullptr;
+  if (!status.ok()) return Fail(status);
+  std::cout << "anmatd: stopped\n";
+  return 0;
+}
+
+int CmdDaemonVerb(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string sub = argv[2];
+  if (sub != "ping" && sub != "stats" && sub != "shutdown") return Usage();
+  ParsedArgs args;
+  const std::string error =
+      ParseArgs(argc, argv, 3, {"connect", "format"}, &args);
+  if (!error.empty()) return FlagError(error);
+  if (!args.Has("connect")) {
+    return FlagError("'anmat daemon " + sub + "' requires --connect <socket>");
+  }
+  auto response = DaemonCall(args, sub, anmat::JsonValue::Object());
+  if (!response.ok()) return Fail(response.status());
+  if (!response->ok) return Fail(response->error);
+  std::cout << response->result.DumpPretty() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -954,20 +1380,26 @@ int main(int argc, char** argv) {
 
   if (command == "rules") return CmdRules(argc, argv);
   if (command == "project") return CmdProject(argc, argv);
+  if (command == "daemon") return CmdDaemonVerb(argc, argv);
 
   static const std::map<std::string, std::set<std::string>> kAllowedFlags = {
-      {"init", {"name", "coverage", "violations"}},
-      {"profile", {"project", "data", "threads", "format"}},
+      {"init", {"name", "coverage", "violations", "connect"}},
+      {"profile",
+       {"project", "data", "threads", "format", "connect", "lock-wait-ms"}},
       {"discover",
        {"project", "data", "name", "coverage", "violations", "rules",
-        "table", "minimize", "threads", "format"}},
+        "table", "minimize", "threads", "format", "connect",
+        "lock-wait-ms"}},
       {"detect",
-       {"project", "data", "rules", "max", "threads", "format"}},
+       {"project", "data", "rules", "max", "threads", "format", "connect",
+        "lock-wait-ms"}},
       {"repair",
-       {"project", "data", "rules", "out", "threads", "format"}},
+       {"project", "data", "rules", "out", "threads", "format", "connect",
+        "lock-wait-ms"}},
       {"stream",
        {"project", "data", "rules", "batch", "clean", "out", "threads",
-        "format"}},
+        "format", "connect", "lock-wait-ms"}},
+      {"serve", {"socket", "threads", "workers", "lock-wait-ms"}},
   };
   auto allowed = kAllowedFlags.find(command);
   if (allowed == kAllowedFlags.end()) return Usage();
@@ -985,5 +1417,6 @@ int main(int argc, char** argv) {
   if (command == "detect") return CmdDetect(args);
   if (command == "repair") return CmdRepair(args);
   if (command == "stream") return CmdStream(args);
+  if (command == "serve") return CmdServe(args);
   return Usage();
 }

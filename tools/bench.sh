@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Perf trajectory: builds and runs the A6 (matching engines / automaton
-# cache) and A7 (parallel scaling / streaming / clean-on-ingest — A7d
+# cache), A7 (parallel scaling / streaming / clean-on-ingest — A7d
 # constant-only, A7e constant+variable with the one-shot repair-count and
-# byte-identity equality checks) benches and writes their google-benchmark
-# timings as JSON next to the sources, so every PR leaves a comparable perf
-# record.
+# byte-identity equality checks) and A8 (anmatd daemon warm engines vs
+# spawning the one-shot CLI, with the byte-identity and cache-hit checks)
+# benches and writes their google-benchmark timings as JSON next to the
+# sources, so every PR leaves a comparable perf record.
 #
-#   tools/bench.sh            # full workloads -> BENCH_A6.json, BENCH_A7.json
+#   tools/bench.sh            # full workloads -> BENCH_A{6,7,8}.json
 #   tools/bench.sh --quick    # shrunken workloads (ANMAT_BENCH_QUICK=1) for
 #                             #   the CI smoke job; same checks, smaller
-#                             #   sizes, written to BENCH_A{6,7}.quick.json
+#                             #   sizes, written to BENCH_A{6,7,8}.quick.json
 #                             #   so the checked-in full-run trajectory is
 #                             #   never overwritten by a quick run
 #
@@ -32,11 +33,15 @@ esac
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-      --target bench_a6_dfa_vs_nfa bench_a7_parallel_scaling
+      --target bench_a6_dfa_vs_nfa bench_a7_parallel_scaling \
+      bench_a8_daemon anmat
 
 "$BUILD_DIR/bench_a6_dfa_vs_nfa" \
     --benchmark_out="BENCH_A6$SUFFIX.json" --benchmark_out_format=json
 "$BUILD_DIR/bench_a7_parallel_scaling" \
     --benchmark_out="BENCH_A7$SUFFIX.json" --benchmark_out_format=json
+# A8 spawns the `anmat` binary from the build dir for its cold path.
+"$BUILD_DIR/bench_a8_daemon" \
+    --benchmark_out="BENCH_A8$SUFFIX.json" --benchmark_out_format=json
 
-echo "wrote BENCH_A6$SUFFIX.json and BENCH_A7$SUFFIX.json"
+echo "wrote BENCH_A6$SUFFIX.json, BENCH_A7$SUFFIX.json and BENCH_A8$SUFFIX.json"

@@ -6,8 +6,11 @@
 #   stream (clean-on-ingest) → rules delete
 #
 # plus the one-shot forms against a standalone rule file, the v1→v2 rule
-# store migration from the CLI's point of view, and the strict flag parsing
-# (unknown/duplicate flags exit 1 naming the flag).
+# store migration from the CLI's point of view, the strict flag parsing
+# (unknown/duplicate flags exit 1 naming the flag), and the anmatd daemon:
+# serve → ping → the same verbs over --connect (byte-identical to the
+# direct --format json outputs) → graceful shutdown releasing the project
+# lock.
 set -euo pipefail
 
 ANMAT="${1:?usage: cli_workflow_test.sh <path-to-anmat-binary>}"
@@ -331,5 +334,103 @@ wait "$writer_b" || fail "concurrent writer B failed"
   || fail "concurrent confirm of rule 1 was lost"
 "$ANMAT" rules list --project proj_lock | grep -q '^\[2\] confirmed' \
   || fail "concurrent confirm of rule 2 was lost"
+
+# --- anmatd: the daemon and --connect mode ---------------------------------
+
+# One project, driven both ways. The one-shot outputs are captured FIRST:
+# once the daemon hosts the project it holds the flock, and direct
+# invocations would block on it.
+"$ANMAT" init proj_d --name daemon-demo --coverage 0.5 --violations 0.3 \
+  >/dev/null || fail "init for daemon test"
+"$ANMAT" discover --project proj_d --data zips3.csv >/dev/null \
+  || fail "discover for daemon test"
+"$ANMAT" rules confirm all --project proj_d >/dev/null \
+  || fail "confirm for daemon test"
+"$ANMAT" rules list --project proj_d --format json > direct_rules.json \
+  || fail "direct rules list json"
+"$ANMAT" detect --project proj_d --format json > direct_detect.json \
+  || fail "direct detect json"
+"$ANMAT" repair --project proj_d --out direct_clean.csv --format json \
+  > direct_repair.json || fail "direct repair json"
+"$ANMAT" stream --project proj_d --batch 2 --clean constant --format json \
+  > direct_stream.json || fail "direct stream json"
+
+SOCK="$WORK/anmatd.sock"
+"$ANMAT" serve --socket "$SOCK" > daemon.log 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+[ -S "$SOCK" ] || fail "daemon did not create its socket"
+
+"$ANMAT" daemon ping --connect "$SOCK" | grep -q '"protocol": 1' \
+  || fail "daemon ping"
+
+# Differential: every --connect response must be byte-identical to the
+# one-shot CLI's --format json output (the daemon reuses the same
+# renderers; --connect is transparent).
+"$ANMAT" rules list --project proj_d --format json --connect "$SOCK" \
+  > conn_rules.json || fail "connect rules list"
+diff direct_rules.json conn_rules.json \
+  || fail "rules list diverges between direct and --connect"
+"$ANMAT" detect --project proj_d --format json --connect "$SOCK" \
+  > conn_detect.json || fail "connect detect"
+diff direct_detect.json conn_detect.json \
+  || fail "detect diverges between direct and --connect"
+"$ANMAT" repair --project proj_d --out conn_clean.csv --format json \
+  --connect "$SOCK" > conn_repair.json || fail "connect repair"
+diff direct_repair.json conn_repair.json \
+  || fail "repair diverges between direct and --connect"
+diff direct_clean.csv conn_clean.csv \
+  || fail "repaired CSV diverges between direct and --connect"
+"$ANMAT" stream --project proj_d --batch 2 --clean constant --format json \
+  --connect "$SOCK" > conn_stream.json || fail "connect stream"
+diff direct_stream.json conn_stream.json \
+  || fail "stream diverges between direct and --connect"
+# Re-discovery is idempotent (equal pfds dedupe onto their rule ids), so
+# discover over --connect returns the same rule-store document.
+"$ANMAT" discover --project proj_d --format json --connect "$SOCK" \
+  > conn_discover.json || fail "connect discover"
+diff direct_rules.json conn_discover.json \
+  || fail "discover over --connect diverges from the rule store"
+
+# The daemon host holds the project flock: a direct writer with a short
+# --lock-wait-ms budget fails fast, naming the daemon process.
+if "$ANMAT" rules confirm all --project proj_d --lock-wait-ms 50 \
+    2>err.txt; then
+  fail "direct writer should time out while the daemon holds the lock"
+fi
+grep -q 'held by process' err.txt \
+  || fail "lock timeout should name the holding process"
+
+# Mutations over --connect: annotate a rule, see the note, reject unknown
+# ids with exit 1.
+"$ANMAT" rules annotate 1 --note "from the daemon" --project proj_d \
+  --connect "$SOCK" | grep -q 'annotated rule 1' || fail "connect annotate"
+"$ANMAT" rules list --project proj_d --connect "$SOCK" \
+  | grep -q 'note: from the daemon' || fail "annotate note shown in list"
+[ "$("$ANMAT" rules annotate 99 --note x --project proj_d \
+      --connect "$SOCK" >/dev/null 2>&1; echo $?)" = 1 ] \
+  || fail "annotate unknown id over --connect should exit 1"
+
+# stats exposes the warm engine's automaton cache counters.
+"$ANMAT" daemon stats --connect "$SOCK" \
+  | python3 -c 'import json,sys
+d = json.load(sys.stdin)
+assert d["projects"] == 1, d
+cache = d["project_stats"][0]["automaton_cache"]
+assert cache["hits"] > 0, cache' \
+  || fail "daemon stats should show automaton cache hits"
+
+# Graceful shutdown: the verb drains, Serve returns, the process exits,
+# the socket is unlinked, and the project flock is released — the next
+# direct command (a save included) just works.
+"$ANMAT" daemon shutdown --connect "$SOCK" | grep -q '"stopping": true' \
+  || fail "daemon shutdown"
+wait "$daemon_pid" || fail "daemon did not exit cleanly after shutdown"
+[ ! -e "$SOCK" ] || fail "daemon left its socket behind"
+"$ANMAT" rules confirm all --project proj_d --lock-wait-ms 2000 >/dev/null \
+  || fail "project lock not released after daemon shutdown"
+grep -q 'note: from the daemon' \
+  <("$ANMAT" rules list --project proj_d) \
+  || fail "daemon-side annotate did not persist to disk"
 
 echo "PASS: CLI project workflow end-to-end"
