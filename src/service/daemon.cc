@@ -61,7 +61,9 @@ Result<std::unique_ptr<Daemon>> Daemon::Start(const Options& options) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
   if (::bind(daemon->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
+             sizeof(addr)) == 0) {
+    daemon->owns_socket_ = true;
+  } else {
     if (errno != EADDRINUSE) {
       return Status::IoError("bind " + options.socket_path + ": " +
                              std::strerror(errno));
@@ -83,6 +85,7 @@ Result<std::unique_ptr<Daemon>> Daemon::Start(const Options& options) {
       return Status::IoError("bind " + options.socket_path + ": " +
                              std::strerror(errno));
     }
+    daemon->owns_socket_ = true;
   }
   if (::listen(daemon->listen_fd_, 64) < 0) {
     return Status::IoError(std::string("listen: ") + std::strerror(errno));
@@ -112,7 +115,9 @@ Daemon::~Daemon() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
   if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
-  if (!options_.socket_path.empty()) {
+  // Only the instance that bound the path may remove it: a Start that
+  // lost the race to a live daemon must not unlink that daemon's socket.
+  if (owns_socket_ && !options_.socket_path.empty()) {
     ::unlink(options_.socket_path.c_str());
   }
   // hosts_ dies last: destroying a ProjectHost releases its project flock.
@@ -213,6 +218,13 @@ void Daemon::WriteTo(const std::shared_ptr<Connection>& conn) {
 
 Status Daemon::Serve() {
   while (true) {
+    // Order matters for the drain check below: executors Enqueue the
+    // response *before* decrementing in_flight_, so reading in_flight_
+    // first guarantees that any completion it reports as done already has
+    // its frame in an outbox — which the StageWrites that follows stages.
+    // Reading it after staging could observe 0 with the final response
+    // still unstaged, and the drain would drop it.
+    const int64_t in_flight = in_flight_.load();
     const bool writes_pending = StageWrites();
 
     // Reap connections that are finished: input gone and nothing left to
@@ -234,7 +246,7 @@ Status Daemon::Serve() {
     }
 
     const bool stopping = draining_ || stop_requested_.load();
-    if (stopping && in_flight_.load() == 0 && !writes_pending) {
+    if (stopping && in_flight == 0 && !writes_pending) {
       // Drained: every accepted request answered, every answer flushed.
       for (auto& [fd, conn] : conns_) ::close(fd);
       conns_.clear();
@@ -406,12 +418,24 @@ std::string Daemon::ExecuteVerb(const ServiceRequest& request) {
     host_options.engine_threads = options_.engine_threads;
     host_options.lock_wait_ms = options_.lock_wait_ms;
     std::lock_guard<std::mutex> open_lock(open_mu_);
+    {
+      // Never replace a live host: executors may hold raw ProjectHost*
+      // into it. Reachable despite Init's own catalog check if the
+      // catalog file was deleted externally while the project is hosted.
+      std::lock_guard<std::mutex> lock(hosts_mu_);
+      if (hosts_.count(key) != 0) {
+        return SerializeServiceError(
+            request.id,
+            Status::AlreadyExists("project " + key +
+                                  " is already hosted by this daemon"));
+      }
+    }
     auto host = ProjectHost::Init(key, std::move(name), host_options);
     if (!host.ok()) return SerializeServiceError(request.id, host.status());
     ProjectHost* raw = host->get();
     {
       std::lock_guard<std::mutex> lock(hosts_mu_);
-      hosts_[key] = std::move(host).value();
+      hosts_.emplace(key, std::move(host).value());
     }
     auto info = raw->Dispatch("info", JsonValue::Object());
     if (!info.ok()) return SerializeServiceError(request.id, info.status());

@@ -153,6 +153,10 @@ class Daemon {
 
   Options options_;
   int listen_fd_ = -1;
+  /// True once this instance bound the socket path; only then may the
+  /// destructor unlink it (a failed Start must not remove the socket of
+  /// the live daemon that out-raced us).
+  bool owns_socket_ = false;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
   std::unique_ptr<ThreadPool> pool_;

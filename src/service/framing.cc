@@ -1,7 +1,5 @@
 #include "service/framing.h"
 
-#include <cstring>
-
 namespace anmat {
 
 std::string EncodeFrame(std::string_view payload) {
@@ -29,14 +27,12 @@ void FrameDecoder::Feed(const char* data, size_t size) {
 Result<bool> FrameDecoder::Next(std::string* payload) {
   const size_t available = buffer_.size() - consumed_;
   if (available < 4) return false;
-  uint32_t length = 0;
-  std::memcpy(&length, buffer_.data() + consumed_, 4);
   // The wire format is little-endian by definition; decode portably.
   const unsigned char* b =
       reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
-  length = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
-           (static_cast<uint32_t>(b[2]) << 16) |
-           (static_cast<uint32_t>(b[3]) << 24);
+  const uint32_t length =
+      static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+      (static_cast<uint32_t>(b[2]) << 16) | (static_cast<uint32_t>(b[3]) << 24);
   if (length == 0) {
     return Status::ParseError("framing error: zero-length frame");
   }

@@ -724,6 +724,13 @@ TEST(DaemonTest, SecondDaemonOnLiveSocketIsRefused) {
   auto second = Daemon::Start(options);
   ASSERT_FALSE(second.ok());
   EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+
+  // The refused instance (destroyed inside Start) must not unlink the
+  // live daemon's socket: new clients can still connect and be answered.
+  auto client = DaemonClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  ServiceResponse pong = client->Call("ping", JsonValue::Object()).value();
+  EXPECT_TRUE(pong.ok);
 }
 
 TEST(DaemonTest, StreamVerbsAcrossOneConnection) {
