@@ -4,6 +4,7 @@
 #include "datagen/geo.h"
 #include "datagen/names.h"
 #include "datagen/phone.h"
+#include "datagen/web.h"
 
 namespace anmat {
 
@@ -148,6 +149,27 @@ Dataset CompoundDataset(size_t rows, uint64_t seed, double error_rate) {
     ErrorInjectorOptions opts;
     opts.error_rate = error_rate;
     opts.type_weights = {1.0, 0.0, 0.0, 0.0};  // class-label swaps
+    d.ground_truth = InjectErrors(&d.relation, {1}, rng, opts);
+  }
+  return d;
+}
+
+Dataset WebAccountDataset(size_t rows, uint64_t seed, double error_rate) {
+  Rng rng(seed);
+  RelationBuilder builder(
+      MakeSchemaOrDie({"email", "provider", "profile_url", "created_at"}));
+  for (size_t i = 0; i < rows; ++i) {
+    const MailDomain& domain = rng.Choose(MailDomains());
+    AddRowOrDie(&builder, {RandomEmail(rng, domain), domain.provider,
+                           RandomUrl(rng), RandomIsoTimestamp(rng)});
+  }
+  Dataset d;
+  d.name = "WebAccounts";
+  d.relation = builder.Build();
+  if (error_rate > 0) {
+    ErrorInjectorOptions opts;
+    opts.error_rate = error_rate;
+    opts.type_weights = {1.0, 0.0, 0.0, 0.0};  // provider swaps
     d.ground_truth = InjectErrors(&d.relation, {1}, rng, opts);
   }
   return d;

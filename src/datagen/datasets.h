@@ -51,6 +51,13 @@ Dataset EmployeeDataset(size_t rows, uint64_t seed, double error_rate);
 /// digit-count bucket of the id determines the class label.
 Dataset CompoundDataset(size_t rows, uint64_t seed, double error_rate);
 
+/// \brief Web accounts: (email, provider, profile_url, created_at) — the
+/// email's domain determines the provider. URL ids and ISO-8601 timestamps
+/// carry locale-mixed digit runs (Arabic-Indic / Devanagari / fullwidth,
+/// 2-3 byte UTF-8; datagen/web.h), pushing multi-byte values through the
+/// byte-class automata and the daemon's `\uXXXX` JSON escape path.
+Dataset WebAccountDataset(size_t rows, uint64_t seed, double error_rate);
+
 }  // namespace anmat
 
 #endif  // ANMAT_DATAGEN_DATASETS_H_

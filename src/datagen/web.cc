@@ -1,0 +1,144 @@
+#include "datagen/web.h"
+
+#include <string_view>
+
+namespace anmat {
+
+namespace {
+
+/// Appends code point `cp` as UTF-8 (2 or 3 bytes — the digit scripts here
+/// never need 1- or 4-byte forms except ASCII, handled by the caller).
+void AppendUtf8(unsigned cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+unsigned ZeroOf(DigitScript script) {
+  switch (script) {
+    case DigitScript::kAscii:
+      return 0x0030;
+    case DigitScript::kArabicIndic:
+      return 0x0660;
+    case DigitScript::kDevanagari:
+      return 0x0966;
+    case DigitScript::kFullwidth:
+      return 0xFF10;
+  }
+  return 0x0030;
+}
+
+/// Appends `value` zero-padded to `width` digits in `script`.
+void AppendPadded(unsigned value, int width, DigitScript script,
+                  std::string* out) {
+  std::string ascii = std::to_string(value);
+  for (int i = static_cast<int>(ascii.size()); i < width; ++i) {
+    AppendUtf8(ZeroOf(script), out);
+  }
+  for (char c : ascii) AppendUtf8(ZeroOf(script) + (c - '0'), out);
+}
+
+constexpr std::string_view kLower = "abcdefghijklmnopqrstuvwxyz";
+
+}  // namespace
+
+std::string DigitIn(DigitScript script, int d) {
+  std::string out;
+  AppendUtf8(ZeroOf(script) + static_cast<unsigned>(d), &out);
+  return out;
+}
+
+std::string RandomDigits(Rng& rng, size_t n, DigitScript script) {
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    AppendUtf8(ZeroOf(script) + static_cast<unsigned>(rng.NextBelow(10)),
+               &out);
+  }
+  return out;
+}
+
+DigitScript RandomScript(Rng& rng, double locale_mix) {
+  if (!rng.NextBool(locale_mix)) return DigitScript::kAscii;
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return DigitScript::kArabicIndic;
+    case 1:
+      return DigitScript::kDevanagari;
+    default:
+      return DigitScript::kFullwidth;
+  }
+}
+
+const std::vector<MailDomain>& MailDomains() {
+  static const std::vector<MailDomain>* kDomains = new std::vector<MailDomain>{
+      {"gmail.com", "Gmail"},     {"yahoo.com", "Yahoo"},
+      {"outlook.com", "Outlook"}, {"proton.me", "Proton"},
+      {"aol.com", "AOL"},         {"icloud.com", "iCloud"},
+      {"gmx.net", "GMX"},         {"zoho.com", "Zoho"},
+  };
+  return *kDomains;
+}
+
+std::string RandomEmail(Rng& rng, const MailDomain& domain,
+                        double locale_mix) {
+  std::string email = rng.NextString(3 + rng.NextBelow(6), kLower);
+  if (rng.NextBool(0.4)) email.push_back('.');
+  email += rng.NextString(2 + rng.NextBelow(5), kLower);
+  if (rng.NextBool(0.6)) {
+    email += RandomDigits(rng, 1 + rng.NextBelow(4),
+                          RandomScript(rng, locale_mix));
+  }
+  email.push_back('@');
+  email += domain.domain;
+  return email;
+}
+
+std::string RandomUrl(Rng& rng, double locale_mix) {
+  static const std::vector<std::string>* kHosts = new std::vector<std::string>{
+      "example.com",  "news.example.org", "shop.example.net",
+      "api.data.dev", "files.cdn.io",
+  };
+  static const std::vector<std::string>* kSections =
+      new std::vector<std::string>{"item", "post", "user", "order", "doc"};
+  std::string url = "https://";
+  url += rng.Choose(*kHosts);
+  url.push_back('/');
+  url += rng.Choose(*kSections);
+  url.push_back('/');
+  url += RandomDigits(rng, 4 + rng.NextBelow(5), RandomScript(rng, locale_mix));
+  return url;
+}
+
+std::string RandomIsoTimestamp(Rng& rng, double locale_mix) {
+  const DigitScript script = RandomScript(rng, locale_mix);
+  const unsigned year = 2000 + static_cast<unsigned>(rng.NextBelow(30));
+  const unsigned month = 1 + static_cast<unsigned>(rng.NextBelow(12));
+  static const unsigned kDays[] = {31, 28, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+  const bool leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+  const unsigned days = month == 2 && leap ? 29 : kDays[month - 1];
+  const unsigned day = 1 + static_cast<unsigned>(rng.NextBelow(days));
+  std::string ts;
+  AppendPadded(year, 4, script, &ts);
+  ts.push_back('-');
+  AppendPadded(month, 2, script, &ts);
+  ts.push_back('-');
+  AppendPadded(day, 2, script, &ts);
+  ts.push_back('T');
+  AppendPadded(static_cast<unsigned>(rng.NextBelow(24)), 2, script, &ts);
+  ts.push_back(':');
+  AppendPadded(static_cast<unsigned>(rng.NextBelow(60)), 2, script, &ts);
+  ts.push_back(':');
+  AppendPadded(static_cast<unsigned>(rng.NextBelow(60)), 2, script, &ts);
+  ts.push_back('Z');
+  return ts;
+}
+
+}  // namespace anmat

@@ -1,0 +1,67 @@
+#ifndef ANMAT_DATAGEN_WEB_H_
+#define ANMAT_DATAGEN_WEB_H_
+
+/// \file web.h
+/// Synthetic web-identifier data: emails, URLs, ISO-8601 timestamps.
+///
+/// These columns push the pattern alphabet beyond ASCII: a configurable
+/// fraction of generated digit runs come out in non-ASCII Unicode digit
+/// scripts (Arabic-Indic U+0660.., Devanagari U+0966.., fullwidth
+/// U+FF10..) — 2- and 3-byte UTF-8 sequences that stress the byte-class
+/// automata and, round-tripped through the daemon's framed JSON, the
+/// `\uXXXX` escape path in util/json.cc.
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace anmat {
+
+/// \brief Digit scripts the generators mix in. `kAscii` is '0'..'9'; the
+/// others are multi-byte UTF-8 decimal digit runs.
+enum class DigitScript {
+  kAscii,        ///< U+0030..U+0039 (1 byte)
+  kArabicIndic,  ///< U+0660..U+0669 (2 bytes)
+  kDevanagari,   ///< U+0966..U+096F (3 bytes)
+  kFullwidth,    ///< U+FF10..U+FF19 (3 bytes)
+};
+
+/// \brief Decimal digit `d` (0..9) in `script`, as UTF-8.
+std::string DigitIn(DigitScript script, int d);
+
+/// \brief `n` uniform decimal digits in `script`, as UTF-8.
+std::string RandomDigits(Rng& rng, size_t n, DigitScript script);
+
+/// \brief Draws the script of one digit run: ASCII with probability
+/// `1 - locale_mix`, else a uniformly chosen non-ASCII script. Whole runs
+/// share a script so values stay plausible (a localized serial number, not
+/// interleaved scripts).
+DigitScript RandomScript(Rng& rng, double locale_mix);
+
+/// \brief One mail domain → provider association (the PFD target: a pattern
+/// anchored on the domain determines the provider column).
+struct MailDomain {
+  std::string domain;    ///< e.g. "gmail.com"
+  std::string provider;  ///< e.g. "Gmail"
+};
+
+const std::vector<MailDomain>& MailDomains();
+
+/// \brief An email "local@domain" with a letters+digits local part; digit
+/// runs are locale-mixed with probability `locale_mix`.
+std::string RandomEmail(Rng& rng, const MailDomain& domain,
+                        double locale_mix = 0.25);
+
+/// \brief An "https://host/section/id" URL whose trailing id digits are
+/// locale-mixed with probability `locale_mix`.
+std::string RandomUrl(Rng& rng, double locale_mix = 0.25);
+
+/// \brief An ISO-8601 UTC timestamp "YYYY-MM-DDThh:mm:ssZ" (calendar-valid,
+/// years 2000..2029); each field's digits share one script, locale-mixed
+/// with probability `locale_mix`.
+std::string RandomIsoTimestamp(Rng& rng, double locale_mix = 0.25);
+
+}  // namespace anmat
+
+#endif  // ANMAT_DATAGEN_WEB_H_

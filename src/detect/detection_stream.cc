@@ -13,7 +13,6 @@
 namespace anmat {
 
 using detect_internal::CellScan;
-using detect_internal::MajorityBlock;
 using detect_internal::ResolvedRow;
 using detect_internal::SeedCell;
 using detect_internal::SortViolations;
@@ -83,14 +82,22 @@ class BatchLhsScan {
       bool ok;
       if (id >= 0) {
         CellScan& scan = scans_[i];
-        if (scan.match.size() <= static_cast<size_t>(id)) {
-          scan.match.resize(scan.dict->num_values(), -1);
+        if (scan.preset_match != nullptr &&
+            static_cast<size_t>(id) < scan.preset_match->size()) {
+          // Already-absorbed values are classified by the column's
+          // multi-pattern dispatcher (the watermark equals the dictionary
+          // size at the last append, and stream ids always precede it).
+          ok = (*scan.preset_match)[id] != 0;
+        } else {
+          if (scan.match.size() <= static_cast<size_t>(id)) {
+            scan.match.resize(scan.dict->num_values(), -1);
+          }
+          if (scan.match[id] < 0) {
+            scan.match[id] =
+                matcher->Matches(batch_.cell(r, row_.lhs_cols[i])) ? 1 : 0;
+          }
+          ok = scan.match[id] != 0;
         }
-        if (scan.match[id] < 0) {
-          scan.match[id] =
-              matcher->Matches(batch_.cell(r, row_.lhs_cols[i])) ? 1 : 0;
-        }
-        ok = scan.match[id] != 0;
       } else {
         int8_t& verdict = new_match_[i][-id - 1];
         if (verdict < 0) {
@@ -243,6 +250,50 @@ Status DetectionStream::Init() {
         }
       }
       rows_.push_back(std::move(state));
+    }
+  }
+
+  // Multi-pattern dispatch (src/dispatch/): group every column's pattern
+  // cells into union automata so each batch classifies a *new distinct
+  // value* against all of them in one combined scan per prefix group. The
+  // verdict vectors feed the cell memos through `CellScan::preset_match`;
+  // a column whose unions cannot freeze keeps the per-pattern lazy path.
+  if (options_.use_multi_dispatch && options_.automata != nullptr) {
+    dispatchers_.resize(schema.num_columns());
+    classified_values_.assign(schema.num_columns(), 0);
+    std::vector<std::vector<uint32_t>> slots(rows_.size());
+    for (size_t s = 0; s < rows_.size(); ++s) {
+      const ResolvedRow& row = rows_[s].resolved;
+      slots[s].assign(row.lhs_cols.size(), 0);
+      for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
+        if (row.lhs_matchers[i] == nullptr) continue;
+        const size_t col = row.lhs_cols[i];
+        if (dispatchers_[col] == nullptr) {
+          dispatchers_[col] = std::make_unique<ColumnDispatcher>();
+        }
+        slots[s][i] = dispatchers_[col]->AddPattern(
+            row.row->lhs[i].pattern().EmbeddedPattern());
+      }
+    }
+    for (std::unique_ptr<ColumnDispatcher>& cd : dispatchers_) {
+      if (cd != nullptr && !cd->Compile(options_.automata.get())) {
+        cd.reset();  // unfreezable union: per-pattern fallback
+      }
+    }
+    for (size_t s = 0; s < rows_.size(); ++s) {
+      RowState& state = rows_[s];
+      for (size_t i = 0; i < state.resolved.lhs_cols.size(); ++i) {
+        if (state.resolved.lhs_matchers[i] == nullptr) continue;
+        const ColumnDispatcher* cd =
+            dispatchers_[state.resolved.lhs_cols[i]].get();
+        // Verdict-vector addresses are stable: the outer vector is fixed
+        // at Compile, only the inner vectors grow per batch. Uncovered
+        // slots (leading unbounded class repeat, or a union past the
+        // freeze budget) keep the lazy per-pattern memo.
+        if (cd != nullptr && cd->covers(slots[s][i])) {
+          state.scans[i].preset_match = cd->verdicts(slots[s][i]);
+        }
+      }
     }
   }
   return Status::OK();
@@ -482,38 +533,87 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
             git == state.groups.end() ? kNoAbsorbed : git->second;
         if (arows.size() + brows.size() < 2) continue;
 
-        // The group's RHS split in both views. Row ids in the blocks are
-        // final stream coordinates (batch rows at base + b), absorbed
-        // before batch, each side ascending — the same member order the
-        // one-shot resolution iterates in.
-        std::map<std::string, std::vector<RowId>> by_stream;
-        std::map<std::string, std::vector<RowId>> by_dirty;
-        std::vector<std::string> arow_dirty;  // parallel to arows
-        arow_dirty.reserve(arows.size());
-        for (RowId a : arows) {
-          by_stream[detect_internal::RhsValue(relation_, row, a)]
+        // The absorbed side of the group's RHS split, folded incrementally
+        // (`GroupRhsCache`): absorbed rows are append-only and never
+        // retroactively edited, so both their cleaned and dirty RHS values
+        // are immutable and each is computed exactly once over the
+        // stream's lifetime — not once per batch that touches the group
+        // (the re-fold was most of variable cleaning's ≈1.9× surcharge
+        // over constant-only, A7e).
+        RowState::GroupRhsCache& cache = state.rhs_cache[gkey];
+        for (size_t ai = cache.covered; ai < arows.size(); ++ai) {
+          const RowId a = arows[ai];
+          cache.by_stream[detect_internal::RhsValue(relation_, row, a)]
               .push_back(a);
-          arow_dirty.push_back(dirty_rhs(a));
-          by_dirty[arow_dirty.back()].push_back(a);
+          const auto it = cache.by_dirty.try_emplace(dirty_rhs(a)).first;
+          it->second.push_back(a);
+          cache.dirty_of.push_back(&it->first);
         }
+        cache.covered = arows.size();
+
+        // The batch side of the split, in final stream coordinates. One
+        // map serves both views: batch rows carry no dirty overrides yet,
+        // so their cleaned and dirty RHS values coincide.
+        std::map<std::string, std::vector<RowId>> batch_by_rhs;
         std::vector<std::string> brow_rhs;  // parallel to brows
         brow_rhs.reserve(brows.size());
         for (RowId b : brows) {
           brow_rhs.push_back(batch_rhs(b));
-          by_stream[brow_rhs.back()].push_back(base + b);
-          by_dirty[brow_rhs.back()].push_back(base + b);
+          batch_by_rhs[brow_rhs.back()].push_back(base + b);
         }
-        const bool stream_viol = by_stream.size() > 1;
-        const bool dirty_viol = by_dirty.size() > 1;
-        if (!stream_viol && !dirty_viol) continue;
+
+        // Majority over the merged absorbed + batch split without
+        // materializing the combined map, replicating MajorityBlock
+        // exactly: keys ascending, strictly greater count wins (ties keep
+        // the lexicographically smallest key), witness is the majority
+        // block's first member — the absorbed front when the key has
+        // absorbed rows (their ids all precede `base`), else the batch
+        // front.
+        struct Merged {
+          bool violated = false;        // > 1 distinct RHS value
+          const std::string* key = nullptr;
+          RowId witness = 0;
+        };
+        const auto resolve_merged =
+            [](const std::map<std::string, std::vector<RowId>>& absorbed,
+               const std::map<std::string, std::vector<RowId>>& from_batch) {
+              Merged m;
+              size_t distinct = 0;
+              size_t best = 0;
+              auto at = absorbed.begin();
+              auto bt = from_batch.begin();
+              while (at != absorbed.end() || bt != from_batch.end()) {
+                const bool take_a =
+                    at != absorbed.end() &&
+                    (bt == from_batch.end() || at->first <= bt->first);
+                const bool take_b =
+                    bt != from_batch.end() &&
+                    (at == absorbed.end() || bt->first <= at->first);
+                const std::string* key = take_a ? &at->first : &bt->first;
+                const size_t count = (take_a ? at->second.size() : 0) +
+                                     (take_b ? bt->second.size() : 0);
+                const RowId front =
+                    take_a ? at->second.front() : bt->second.front();
+                if (take_a) ++at;
+                if (take_b) ++bt;
+                ++distinct;
+                if (count > best) {
+                  best = count;
+                  m.key = key;
+                  m.witness = front;
+                }
+              }
+              m.violated = distinct > 1;
+              return m;
+            };
+        const Merged stream_m = resolve_merged(cache.by_stream, batch_by_rhs);
+        const Merged dirty_m = resolve_merged(cache.by_dirty, batch_by_rhs);
+        if (!stream_m.violated && !dirty_m.violated) continue;
 
         // Suggestions for the batch's own minority rows, against the
         // cumulative majority of the stream's (cleaned) view.
-        std::string stream_key;
-        if (stream_viol) {
-          const auto& majority = MajorityBlock(by_stream);
-          stream_key = majority.first;
-          const RowId witness = majority.second.front();
+        if (stream_m.violated) {
+          const RowId witness = stream_m.witness;
           const std::string& repair =
               witness >= base ? batch.cell(witness - base, rhs_front)
                               : relation_.cell(witness, rhs_front);
@@ -522,7 +622,7 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
           // gate (ConfidentVariableRepair, suggestion_policy.h) — no
           // runtime check needed here.
           for (size_t bi = 0; bi < brows.size(); ++bi) {
-            if (brow_rhs[bi] == stream_key) continue;
+            if (brow_rhs[bi] == *stream_m.key) continue;
             fold.Add(CellRef{brows[bi], rhs_front}, repair,
                      state.pfd_index, /*variable=*/true);
           }
@@ -534,17 +634,14 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
         // `dirty_fold` — divergence is judged on resolved outcomes, not on
         // raw majority keys, so a majority that moved without changing any
         // decision stays conflict-free.
-        std::string dirty_key;
         std::string dirty_repair;
-        if (dirty_viol) {
-          const auto& majority = MajorityBlock(by_dirty);
-          dirty_key = majority.first;
-          const RowId witness = majority.second.front();
+        if (dirty_m.violated) {
+          const RowId witness = dirty_m.witness;
           dirty_repair = witness >= base
                              ? batch.cell(witness - base, rhs_front)
                              : dirty_cell(witness, rhs_front);
           for (size_t bi = 0; bi < brows.size(); ++bi) {
-            if (brow_rhs[bi] == dirty_key) continue;
+            if (brow_rhs[bi] == *dirty_m.key) continue;
             dirty_fold.Add(CellRef{brows[bi], rhs_front}, dirty_repair,
                            state.pfd_index, /*variable=*/true);
           }
@@ -553,7 +650,7 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
           const CellRef cell{arows[ai], rhs_front};
           const std::string& current =
               relation_.cell(cell.row, cell.column);
-          if (dirty_viol && arow_dirty[ai] != dirty_key &&
+          if (dirty_m.violated && *cache.dirty_of[ai] != *dirty_m.key &&
               !dirty_repair.empty()) {
             // The one-shot pass repairs this absorbed minority cell (empty
             // suggestions are never applied — SuggestionFold drops them —
@@ -739,6 +836,16 @@ Result<DetectionResult> DetectionStream::AppendBatch(const Relation& batch) {
   }
   for (size_t c = 0; c < indexes_.size(); ++c) {
     if (indexes_[c] != nullptr) indexes_[c]->AppendRows(first_row, end_row);
+  }
+  // One combined scan per column classifies the batch's new distinct
+  // values — ids in [watermark, num_values) — against every pattern of the
+  // column at once, with the freshly extended pattern index as pre-filter;
+  // the per-row tasks then read the verdicts through `preset_match`.
+  for (size_t c = 0; c < dispatchers_.size(); ++c) {
+    if (dispatchers_[c] == nullptr) continue;
+    dispatchers_[c]->ClassifyValues(*dicts_[c], classified_values_[c],
+                                    indexes_[c].get());
+    classified_values_[c] = static_cast<uint32_t>(dicts_[c]->num_values());
   }
   ++num_batches_;
 

@@ -71,6 +71,7 @@
 #include "detect/detector.h"
 #include "detect/detector_internal.h"
 #include "detect/pattern_index.h"
+#include "dispatch/dispatch_plan.h"
 #include "pfd/pfd.h"
 #include "relation/relation.h"
 #include "util/status.h"
@@ -207,6 +208,25 @@ class DetectionStream {
     /// Variable rows: cumulative count of rows with an extractable key
     /// (for the `use_blocking == false` pairs_checked accounting).
     size_t matched = 0;
+    /// Variable rows, clean-on-ingest: incremental per-group RHS splits of
+    /// the *absorbed* rows, folded lazily as groups grow (absorbed rows are
+    /// append-only and never retroactively edited, so both the cleaned and
+    /// dirty RHS views of a row are immutable once absorbed). Saves the
+    /// per-batch re-fold of every touched group's full history that made
+    /// variable cleaning ≈1.9× constant-only cleaning (A7e).
+    struct GroupRhsCache {
+      /// RHS value → rows, over the stream's (cleaned) relation.
+      std::map<std::string, std::vector<RowId>> by_stream;
+      /// Same split over the dirty view (applying `dirty_overrides_`).
+      std::map<std::string, std::vector<RowId>> by_dirty;
+      /// Per absorbed group member (group order): its dirty RHS value, as
+      /// a pointer into a `by_dirty` key (flip detection walks this
+      /// instead of recomputing each row's dirty RHS).
+      std::vector<const std::string*> dirty_of;
+      /// How many of the group's absorbed rows are folded in.
+      size_t covered = 0;
+    };
+    std::map<std::string, GroupRhsCache> rhs_cache;
   };
 
   /// Folds the batch rows [first_row, end_row) into `state`.
@@ -236,6 +256,17 @@ class DetectionStream {
   /// when `options_.use_pattern_index`): per batch they absorb the new rows'
   /// postings and seed each constant row's new candidates sub-linearly.
   std::vector<std::unique_ptr<PatternIndex>> indexes_;
+  /// Multi-pattern dispatchers, one slot per column (null for columns with
+  /// no pattern cell, or when dispatch is off / the column's unions are
+  /// unfreezable). Each batch classifies only the column's *new* distinct
+  /// values — ids in `[classified_values_[c], num_values)` — in one combined
+  /// scan per prefix group, with the column's `PatternIndex` as pre-filter;
+  /// the verdict vectors feed every covered cell memo via
+  /// `CellScan::preset_match`.
+  std::vector<std::unique_ptr<ColumnDispatcher>> dispatchers_;
+  /// Per column: how many distinct values the dispatcher has classified
+  /// (the watermark the next batch's combined scan starts from).
+  std::vector<uint32_t> classified_values_;
   std::vector<RowState> rows_;
   bool clean_on_ingest_ = false;
   bool clean_variable_rules_ = true;

@@ -7,6 +7,7 @@
 
 #include "detect/blocking.h"
 #include "detect/detector_internal.h"
+#include "dispatch/dispatch_plan.h"
 #include "pattern/matcher.h"
 
 namespace anmat {
@@ -72,14 +73,19 @@ bool MatchesLhs(const Relation& relation, const ResolvedRow& row,
     bool ok;
     if (scan.enabled()) {
       const ColumnDictionary& dict = scan.Dict();
-      if (scan.match.size() < dict.num_values()) {
-        scan.match.resize(dict.num_values(), -1);
-      }
       const uint32_t id = dict.value_id(r);
-      if (scan.match[id] < 0) {
-        scan.match[id] = row.lhs_matchers[i]->Matches(dict.value(id)) ? 1 : 0;
+      if (scan.preset_match != nullptr && id < scan.preset_match->size()) {
+        ok = (*scan.preset_match)[id] != 0;
+      } else {
+        if (scan.match.size() < dict.num_values()) {
+          scan.match.resize(dict.num_values(), -1);
+        }
+        if (scan.match[id] < 0) {
+          scan.match[id] =
+              row.lhs_matchers[i]->Matches(dict.value(id)) ? 1 : 0;
+        }
+        ok = scan.match[id] != 0;
       }
-      ok = scan.match[id] != 0;
     } else {
       ok = row.lhs_matchers[i]->Matches(relation.cell(r, row.lhs_cols[i]));
     }
@@ -272,6 +278,30 @@ namespace {
 using detect_internal::CellScan;
 using detect_internal::ResolvedRow;
 
+/// Per-(work item, LHS cell) handle into a column dispatcher's verdicts.
+struct DispatchCell {
+  const ColumnDispatcher* dispatcher = nullptr;
+  uint32_t slot = 0;
+};
+
+/// One run's multi-pattern dispatch tables: a `ColumnDispatcher` per LHS
+/// column (union automata shared through the engine cache) plus the
+/// (item, cell) -> slot map the scan setup reads. Built once per
+/// detection run, then read-only across every task.
+struct DetectDispatch {
+  std::map<size_t, ColumnDispatcher> by_col;
+  std::vector<std::vector<DispatchCell>> cells;  ///< [item][lhs cell]
+
+  /// Column `col`'s patterns all classify through a compiled dispatcher
+  /// (its seed lookups never touch a PatternIndex). Partially-covered
+  /// columns still need the index for their uncovered slots.
+  bool Covers(size_t col) const {
+    auto it = by_col.find(col);
+    return it != by_col.end() && it->second.compiled() &&
+           it->second.fully_covered();
+  }
+};
+
 /// Shared context of one detection run (serial: one per run shared across
 /// PFDs; parallel: one per (PFD, tableau row) task).
 struct RunContext {
@@ -283,6 +313,8 @@ struct RunContext {
   // Pre-built indexes shared read-only across parallel tasks (may be null).
   const std::map<size_t, std::unique_ptr<PatternIndex>>* shared_indexes =
       nullptr;
+  // Pre-classified dispatch verdicts shared read-only (may be null).
+  const DetectDispatch* dispatch = nullptr;
 
   bool AtCap() const {
     return options->max_violations > 0 &&
@@ -313,13 +345,22 @@ std::vector<RowId> AllRows(const Relation& relation) {
   return rows;
 }
 
-std::vector<CellScan> MakeScans(RunContext& ctx, const ResolvedRow& row) {
+std::vector<CellScan> MakeScans(RunContext& ctx, const ResolvedRow& row,
+                                size_t item) {
   std::vector<CellScan> scans(row.lhs_cols.size());
   if (!ctx.options->use_value_dictionary) return scans;
   for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
     if (row.lhs_matchers[i] == nullptr) continue;
     scans[i].relation = ctx.relation;
     scans[i].col = row.lhs_cols[i];
+    if (ctx.dispatch != nullptr) {
+      const DispatchCell& dc = ctx.dispatch->cells[item][i];
+      if (dc.dispatcher != nullptr && dc.dispatcher->compiled() &&
+          dc.dispatcher->covers(dc.slot)) {
+        scans[i].preset_match = dc.dispatcher->verdicts(dc.slot);
+        scans[i].preset_ids = dc.dispatcher->match_ids(dc.slot);
+      }
+    }
   }
   return scans;
 }
@@ -335,6 +376,27 @@ std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row,
   if (seed_cell == row.lhs_cols.size()) {
     candidates = AllRows(*ctx.relation);  // all-wildcard LHS (rejected by
                                           // Tableau::Validate, but be safe)
+  } else if (scans[seed_cell].preset_match != nullptr) {
+    // Dispatch verdicts: fan the matching distinct values out over their
+    // postings — the exact match set, identical to every path below. The
+    // match-id list (when present) visits only the matches; the fallback
+    // sweep reads the same verdicts for every id.
+    const ColumnDictionary& dict = scans[seed_cell].Dict();
+    if (scans[seed_cell].preset_ids != nullptr) {
+      for (const uint32_t id : *scans[seed_cell].preset_ids) {
+        const std::vector<RowId>& rows = dict.rows(id);
+        candidates.insert(candidates.end(), rows.begin(), rows.end());
+      }
+    } else {
+      const std::vector<int8_t>& preset = *scans[seed_cell].preset_match;
+      for (uint32_t id = 0; id < dict.num_values(); ++id) {
+        if (id < preset.size() && preset[id]) {
+          const std::vector<RowId>& rows = dict.rows(id);
+          candidates.insert(candidates.end(), rows.begin(), rows.end());
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
   } else if (ctx.options->use_pattern_index) {
     candidates = ctx.IndexFor(row.lhs_cols[seed_cell])
                      .Lookup(row.row->lhs[seed_cell].pattern());
@@ -369,15 +431,19 @@ std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row,
       CellScan& scan = scans[i];
       if (scan.enabled()) {
         const ColumnDictionary& dict = scan.Dict();
-        if (scan.match.size() < dict.num_values()) {
-          scan.match.resize(dict.num_values(), -1);
-        }
         const uint32_t id = dict.value_id(r);
-        if (scan.match[id] < 0) {
-          scan.match[id] =
-              row.lhs_matchers[i]->Matches(dict.value(id)) ? 1 : 0;
+        if (scan.preset_match != nullptr && id < scan.preset_match->size()) {
+          ok = (*scan.preset_match)[id] != 0;
+        } else {
+          if (scan.match.size() < dict.num_values()) {
+            scan.match.resize(dict.num_values(), -1);
+          }
+          if (scan.match[id] < 0) {
+            scan.match[id] =
+                row.lhs_matchers[i]->Matches(dict.value(id)) ? 1 : 0;
+          }
+          ok = scan.match[id] != 0;
         }
-        ok = scan.match[id] != 0;
       } else {
         ok = row.lhs_matchers[i]->Matches(
             ctx.relation->cell(r, row.lhs_cols[i]));
@@ -390,8 +456,8 @@ std::vector<RowId> CandidateRows(RunContext& ctx, const ResolvedRow& row,
 }
 
 void DetectConstantRow(RunContext& ctx, size_t pfd_index, size_t row_index,
-                       const ResolvedRow& row) {
-  std::vector<CellScan> scans = MakeScans(ctx, row);
+                       const ResolvedRow& row, size_t item) {
+  std::vector<CellScan> scans = MakeScans(ctx, row, item);
   const std::vector<RowId> candidates = CandidateRows(ctx, row, scans);
   ctx.result->stats.candidate_rows += candidates.size();
 
@@ -404,8 +470,8 @@ void DetectConstantRow(RunContext& ctx, size_t pfd_index, size_t row_index,
 }
 
 void DetectVariableRow(RunContext& ctx, size_t pfd_index, size_t row_index,
-                       const ResolvedRow& row) {
-  std::vector<CellScan> scans = MakeScans(ctx, row);
+                       const ResolvedRow& row, size_t item) {
+  std::vector<CellScan> scans = MakeScans(ctx, row, item);
   const std::vector<RowId> candidates = CandidateRows(ctx, row, scans);
   ctx.result->stats.candidate_rows += candidates.size();
 
@@ -441,14 +507,15 @@ struct PfdPlan {
   std::vector<size_t> rhs_cols;
 };
 
-/// Detects one already-resolved tableau row into `ctx.result`.
+/// Detects one already-resolved tableau row into `ctx.result`. `item` is
+/// the work-item index (keys the dispatch cell table).
 void DetectResolvedRow(RunContext& ctx, const ResolvedRow& resolved,
-                       size_t pfd_index, size_t row_index) {
+                       size_t pfd_index, size_t row_index, size_t item) {
   const TableauRow& trow = *resolved.row;
   if (trow.IsConstantRow()) {
-    DetectConstantRow(ctx, pfd_index, row_index, resolved);
+    DetectConstantRow(ctx, pfd_index, row_index, resolved, item);
   } else if (trow.IsVariableRow()) {
-    DetectVariableRow(ctx, pfd_index, row_index, resolved);
+    DetectVariableRow(ctx, pfd_index, row_index, resolved, item);
   }
   // Rows that are neither (pattern-valued RHS) are treated as
   // constraints on format only; format checking is the profiler's job.
@@ -527,11 +594,65 @@ Result<DetectionResult> DetectErrorsReusingRows(const Relation& relation,
     rows.resolved = true;
   }
 
+  // Multi-pattern dispatch: compile every LHS column's patterns into a few
+  // prefix-grouped union automata (shared through the engine cache) and
+  // classify each distinct value with one scan per group, instead of one
+  // automaton walk per (pattern, value). Needs resolved rows (the cell
+  // patterns), the engine cache, and dictionary mode (verdicts are per
+  // distinct value). Values must be re-classified every run — the repair
+  // fixpoint mutates cells between passes — but the automata themselves
+  // compile once per engine lifetime.
+  std::unique_ptr<DetectDispatch> dispatch;
+  if (options.use_multi_dispatch && automata != nullptr &&
+      options.use_value_dictionary && rows.resolved && !items.empty()) {
+    dispatch = std::make_unique<DetectDispatch>();
+    dispatch->cells.resize(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      const ResolvedRow& row = rows.rows[i];
+      dispatch->cells[i].assign(row.lhs_cols.size(), DispatchCell{});
+      for (size_t c = 0; c < row.lhs_cols.size(); ++c) {
+        if (row.lhs_matchers[c] == nullptr) continue;
+        ColumnDispatcher& cd = dispatch->by_col[row.lhs_cols[c]];
+        dispatch->cells[i][c].dispatcher = &cd;
+        dispatch->cells[i][c].slot =
+            cd.AddPattern(row.row->lhs[c].pattern().EmbeddedPattern());
+      }
+    }
+    std::vector<std::pair<size_t, ColumnDispatcher*>> usable;
+    for (auto& [col, cd] : dispatch->by_col) {
+      if (cd.Compile(automata)) usable.emplace_back(col, &cd);
+    }
+    if (usable.empty()) {
+      dispatch.reset();  // every column fell back to the per-pattern path
+    } else {
+      // A multi-group column pays one full-dictionary scan per group; a
+      // pattern-index prefilter narrows each group's scan to its members'
+      // candidate union (a provable superset, so skipped ids keep exact 0
+      // verdicts). Single-group columns scan the dictionary once anyway —
+      // there the index build would be pure overhead.
+      const auto classify = [&](size_t i) {
+        const size_t col = usable[i].first;
+        ColumnDispatcher* cd = usable[i].second;
+        std::unique_ptr<PatternIndex> prefilter;
+        if (options.use_pattern_index && cd->num_groups() > 1) {
+          prefilter = std::make_unique<PatternIndex>(relation, col, automata);
+        }
+        cd->ClassifyValues(relation.dictionary(col), 0, prefilter.get());
+      };
+      if (parallel) {
+        ParallelFor(options.execution, usable.size(), classify);
+      } else {
+        for (size_t i = 0; i < usable.size(); ++i) classify(i);
+      }
+    }
+  }
+
   if (!parallel) {
-    RunContext ctx{&relation, &options, &result, {}, nullptr};
+    RunContext ctx{&relation, &options, &result, {}, nullptr,
+                   dispatch.get()};
     for (size_t i = 0; i < items.size(); ++i) {
       if (ctx.AtCap()) break;
-      DetectResolvedRow(ctx, rows.rows[i], items[i].plan, items[i].row);
+      DetectResolvedRow(ctx, rows.rows[i], items[i].plan, items[i].row, i);
     }
     SortViolations(&result.violations);
     result.stats.violations = result.violations.size();
@@ -550,7 +671,12 @@ Result<DetectionResult> DetectErrorsReusingRows(const Relation& relation,
       const TableauRow& trow = plan.pfd->tableau().row(item.row);
       for (size_t i = 0; i < trow.lhs.size(); ++i) {
         if (!trow.lhs[i].is_wildcard()) {
-          seed_cols.insert(plan.lhs_cols[i]);
+          // Dispatch-covered columns seed from preset verdicts and never
+          // probe an index — skip the build.
+          const size_t col = plan.lhs_cols[i];
+          if (dispatch == nullptr || !dispatch->Covers(col)) {
+            seed_cols.insert(col);
+          }
           break;
         }
       }
@@ -572,16 +698,20 @@ Result<DetectionResult> DetectErrorsReusingRows(const Relation& relation,
   const bool share_rows = rows.resolved && rows.shareable;
   std::vector<DetectionResult> slots(items.size());
   ParallelFor(options.execution, items.size(), [&](size_t i) {
-    RunContext ctx{&relation, &options, &slots[i], {}, &shared_indexes};
+    RunContext ctx{&relation,       &options, &slots[i],
+                   {},              &shared_indexes, dispatch.get()};
     if (share_rows) {
-      DetectResolvedRow(ctx, rows.rows[i], items[i].plan, items[i].row);
+      DetectResolvedRow(ctx, rows.rows[i], items[i].plan, items[i].row, i);
     } else {
+      // Private resolved rows still read the shared dispatch verdicts:
+      // they depend only on the (item, cell) patterns, which are
+      // identical in every resolution of the same work item.
       const PfdPlan& plan = plans[items[i].plan];
       ResolvedRow resolved =
           ResolveRow(plan.pfd->tableau().row(items[i].row), plan.lhs_cols,
                      plan.rhs_cols, plan.pfd->lhs_attrs(),
                      plan.pfd->rhs_attrs(), automata);
-      DetectResolvedRow(ctx, resolved, items[i].plan, items[i].row);
+      DetectResolvedRow(ctx, resolved, items[i].plan, items[i].row, i);
     }
   });
 

@@ -37,6 +37,13 @@ struct DetectorOptions {
   /// across duplicate cells. The violation set is byte-identical either
   /// way (tested in dfa_test.cc); off mainly for benchmarking.
   bool use_value_dictionary = true;
+  /// Classify each distinct value against ALL of a column's LHS patterns
+  /// in one union-automaton scan per prefix group (src/dispatch/), instead
+  /// of one automaton walk per pattern. Effective only with `automata` set
+  /// and `use_value_dictionary` on; unfreezable unions fall back to the
+  /// per-pattern path per column. Violations and stats are byte-identical
+  /// either way (tested in dispatch_test.cc); off mainly for bench A9.
+  bool use_multi_dispatch = true;
   /// Cap on reported violations (0 = unlimited).
   size_t max_violations = 0;
   /// Parallel execution. With more than one thread, detection fans out one

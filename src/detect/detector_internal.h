@@ -107,6 +107,14 @@ struct CellScan {
   const Relation* relation = nullptr;      ///< lazy dictionary source, or
   const ColumnDictionary* dict = nullptr;  ///< preset dictionary (stream)
   size_t col = 0;
+  /// Pre-computed 0/1 match verdicts per distinct value, filled by a
+  /// multi-pattern dispatcher (dispatch/dispatch_plan.h); read in place of
+  /// the lazy `match` memo for every id it covers. Not owned.
+  const std::vector<int8_t>* preset_match = nullptr;
+  /// The matching value ids of `preset_match`, ascending (the dispatcher's
+  /// `match_ids`); candidate seeding iterates these instead of sweeping
+  /// the whole dictionary. Optional — may be null with `preset_match` set.
+  const std::vector<uint32_t>* preset_ids = nullptr;
   std::vector<int8_t> match;       ///< -1 unknown, else Matches() verdict
   std::vector<int8_t> frag_state;  ///< -1 unknown, 0 no match, 1 cached
   std::vector<std::string> frag;   ///< cached record-key fragment

@@ -1,0 +1,126 @@
+#ifndef ANMAT_DISPATCH_DISPATCH_PLAN_H_
+#define ANMAT_DISPATCH_DISPATCH_PLAN_H_
+
+/// \file dispatch_plan.h
+/// Per-column multi-pattern dispatch plans for the detectors.
+///
+/// Both detectors decide, per (tableau row, LHS cell), whether each
+/// distinct value of the cell's column matches the cell's pattern. With R
+/// rules on one column that is R independent automaton walks per distinct
+/// value. A `ColumnDispatcher` collects every embedded pattern probing one
+/// column, deduplicates by element-sequence signature into *slots*, groups
+/// the slots by shared prefixes (`PatternTrie`) into a few union automata
+/// (shared through `AutomatonCache::GetUnion`), and classifies each
+/// distinct value with ONE forward scan per group — filling an exact 0/1
+/// verdict vector per slot that the detection hot paths read instead of
+/// calling per-pattern matchers.
+///
+/// Verdicts are exact (a union automaton's accept set equals the member-
+/// by-member match decisions), so candidate sets, violations and stats are
+/// byte-identical to the per-pattern path. A `PatternIndex` can pre-filter
+/// classification: value ids outside a pattern's candidate superset
+/// provably do not match and keep verdict 0 without being scanned.
+///
+/// Thread safety: build + Classify* are single-threaded (or externally
+/// ordered); afterwards the verdict vectors are read-only and the frozen
+/// union automata are lock-free, so any number of detection tasks may
+/// probe concurrently.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/automaton_cache.h"
+#include "pattern/pattern.h"
+#include "relation/relation.h"
+
+namespace anmat {
+
+class PatternIndex;
+
+/// Default cap on patterns per union automaton — deliberately large: one
+/// scan then classifies a value against (up to) every rule on the column.
+/// `Compile` splits any group whose union exceeds the freeze state cap in
+/// half (trie order) and retries, so an oversized starting group degrades
+/// into several smaller unions instead of failing.
+inline constexpr size_t kDefaultDispatchGroupSize = 1024;
+
+/// \brief One column's multi-pattern classifier: registered patterns
+/// (deduplicated into slots) -> prefix-grouped union automata -> per-slot
+/// verdict vectors over the column dictionary.
+class ColumnDispatcher {
+ public:
+  /// Registers `p` (copied) and returns its slot. Patterns with the same
+  /// element-sequence signature share a slot. Must precede `Compile`.
+  uint32_t AddPattern(const Pattern& p);
+
+  /// Compiles the union automata over the registered slots through
+  /// `cache` (shared engine-wide; compile-once per signature set).
+  /// Coverage is per slot: patterns whose leading element is an unbounded
+  /// class repeat are excluded up front (no prefix ever discriminates, so
+  /// the union automaton tracks every member in lockstep — subset
+  /// construction explodes and even a frozen union scans no faster than N
+  /// automata), and slots whose unions still cannot freeze after the
+  /// split/fail budget stay uncovered. Uncovered slots keep the exact
+  /// per-pattern path. Returns false — and leaves the dispatcher unusable
+  /// — only when no union compiled at all.
+  bool Compile(AutomatonCache* cache,
+               size_t max_group_size = kDefaultDispatchGroupSize);
+
+  bool compiled() const { return compiled_; }
+  /// True when slot `slot` classifies through a union automaton — only
+  /// then are `verdicts(slot)` / `match_ids(slot)` meaningful.
+  bool covers(uint32_t slot) const { return covered_[slot] != 0; }
+  /// True when every registered slot is covered (callers may then skip
+  /// per-pattern fallback structures for this column entirely).
+  bool fully_covered() const { return num_covered_ == slots_.size(); }
+  size_t num_slots() const { return slots_.size(); }
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Classifies dictionary values [first_id, dict.num_values()), extending
+  /// every slot's verdict vector to dict.num_values(). One frozen-table
+  /// scan per (value, group). `prefilter` (optional) narrows each group's
+  /// scan to the union of its members' candidate value ids — ids outside
+  /// provably do not match and stay 0.
+  void ClassifyValues(const ColumnDictionary& dict, uint32_t first_id,
+                      const PatternIndex* prefilter = nullptr);
+
+  /// Slot `slot`'s verdict vector (1 = value matches). The pointer is
+  /// stable across `ClassifyValues` calls; entries are valid for every
+  /// classified value id.
+  const std::vector<int8_t>* verdicts(uint32_t slot) const {
+    return &verdicts_[slot];
+  }
+
+  /// The classified value ids matching slot `slot`, ascending — the
+  /// positive rows of `verdicts(slot)`. Lets candidate collection iterate
+  /// only the matches instead of the whole dictionary (with R rules on a
+  /// column the per-rule full-dictionary sweep is O(R * distinct); the
+  /// match lists make it O(total matches)). Pointer stable like `verdicts`.
+  const std::vector<uint32_t>* match_ids(uint32_t slot) const {
+    return &match_ids_[slot];
+  }
+
+ private:
+  struct Group {
+    std::shared_ptr<const FrozenMultiDfa> dfa;
+    std::vector<uint32_t> slots;    ///< member slots, trie-group order
+    std::vector<uint32_t> to_slot;  ///< automaton pattern id -> slot
+  };
+
+  std::vector<Pattern> slots_;  ///< one representative pattern per slot
+  std::unordered_map<std::string, uint32_t> slot_of_signature_;
+  std::vector<Group> groups_;
+  /// Outer vectors fixed at Compile (stable inner addresses for
+  /// `verdicts` / `match_ids`).
+  std::vector<std::vector<int8_t>> verdicts_;
+  std::vector<std::vector<uint32_t>> match_ids_;
+  std::vector<uint8_t> covered_;  ///< per slot: classifies via a union
+  size_t num_covered_ = 0;
+  bool compiled_ = false;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_DISPATCH_DISPATCH_PLAN_H_

@@ -1,0 +1,236 @@
+#include "dispatch/multi_pattern_dfa.h"
+
+#include <algorithm>
+#include <map>
+
+namespace anmat {
+
+namespace {
+
+/// FNV-1a over the elements of a sorted merged-NFA state set.
+uint64_t HashSet(const std::vector<uint32_t>& set) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint32_t s : set) {
+    h ^= s;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+MultiPatternDfa::MultiPatternDfa(const std::vector<const Pattern*>& patterns)
+    : num_patterns_(patterns.size()),
+      accept_words_per_state_(
+          static_cast<uint32_t>((patterns.size() + 63) / 64)) {
+  if (accept_words_per_state_ == 0) accept_words_per_state_ = 1;
+  // Merge the per-pattern Thompson NFAs into one disjoint state space.
+  std::vector<uint32_t> raw_start_set;
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    const Nfa nfa = Nfa::Compile(*patterns[p]);
+    const uint32_t base = static_cast<uint32_t>(nfa_states_.size());
+    for (const Nfa::State& s : nfa.states()) {
+      Nfa::State shifted;
+      shifted.transitions.reserve(s.transitions.size());
+      for (Nfa::Transition t : s.transitions) {
+        t.target += base;
+        shifted.transitions.push_back(t);
+      }
+      shifted.epsilon.reserve(s.epsilon.size());
+      for (uint32_t e : s.epsilon) shifted.epsilon.push_back(e + base);
+      nfa_states_.push_back(std::move(shifted));
+      accept_pattern_of_.push_back(-1);
+    }
+    accept_pattern_of_[base + nfa.accept()] = static_cast<int32_t>(p);
+    raw_start_set.push_back(base + nfa.start());
+  }
+  BuildAlphabet();
+  // State 0 is the dead state (empty merged-NFA set): all edges loop on
+  // itself and never need lazy materialization.
+  nfa_sets_.emplace_back();
+  accept_words_.assign(accept_words_per_state_, 0);
+  transitions_.assign(num_classes_, kDead);
+  EpsilonClosure(&raw_start_set);
+  start_set_ = raw_start_set;
+  start_state_ = AddDfaState(std::move(raw_start_set));
+}
+
+void MultiPatternDfa::BuildAlphabet() {
+  // Same fingerprint scheme as Dfa::BuildAlphabet, over the union of every
+  // member pattern's predicates: two bytes share a symbol class iff every
+  // transition of the *merged* NFA treats them identically.
+  bool is_literal[256] = {};
+  for (const Nfa::State& state : nfa_states_) {
+    for (const Nfa::Transition& t : state.transitions) {
+      if (t.cls == SymbolClass::kLiteral) {
+        is_literal[static_cast<unsigned char>(t.literal)] = true;
+      }
+    }
+  }
+  int fingerprint_class[512];
+  std::fill(std::begin(fingerprint_class), std::end(fingerprint_class), -1);
+  num_classes_ = 0;
+  class_rep_.clear();
+  for (int b = 0; b < 256; ++b) {
+    const char c = static_cast<char>(b);
+    const int fp =
+        is_literal[b] ? 256 + b : static_cast<int>(ClassOfChar(c));
+    if (fingerprint_class[fp] < 0) {
+      fingerprint_class[fp] = static_cast<int>(num_classes_++);
+      class_rep_.push_back(c);
+    }
+    byte_class_[b] = static_cast<uint8_t>(fingerprint_class[fp]);
+  }
+}
+
+void MultiPatternDfa::EpsilonClosure(std::vector<uint32_t>* states) const {
+  std::vector<bool> visited(nfa_states_.size(), false);
+  std::vector<uint32_t> stack;
+  for (uint32_t s : *states) {
+    if (!visited[s]) {
+      visited[s] = true;
+      stack.push_back(s);
+    }
+  }
+  states->clear();
+  while (!stack.empty()) {
+    uint32_t s = stack.back();
+    stack.pop_back();
+    states->push_back(s);
+    for (uint32_t t : nfa_states_[s].epsilon) {
+      if (!visited[t]) {
+        visited[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  std::sort(states->begin(), states->end());
+}
+
+void MultiPatternDfa::Step(const std::vector<uint32_t>& from, char c,
+                           std::vector<uint32_t>* to) const {
+  to->clear();
+  for (uint32_t s : from) {
+    for (const Nfa::Transition& t : nfa_states_[s].transitions) {
+      if (t.MatchesChar(c)) to->push_back(t.target);
+    }
+  }
+  std::sort(to->begin(), to->end());
+  to->erase(std::unique(to->begin(), to->end()), to->end());
+  EpsilonClosure(to);
+}
+
+uint32_t MultiPatternDfa::AddDfaState(std::vector<uint32_t> nfa_set) const {
+  const uint64_t h = HashSet(nfa_set);
+  for (const auto& [hash, id] : set_index_) {
+    if (hash == h && nfa_sets_[id] == nfa_set) return id;
+  }
+  const uint32_t id = static_cast<uint32_t>(nfa_sets_.size());
+  accept_words_.resize(accept_words_.size() + accept_words_per_state_, 0);
+  uint64_t* words = &accept_words_[static_cast<size_t>(id) *
+                                   accept_words_per_state_];
+  for (uint32_t s : nfa_set) {
+    const int32_t p = accept_pattern_of_[s];
+    if (p >= 0) words[p >> 6] |= 1ull << (p & 63);
+  }
+  nfa_sets_.push_back(std::move(nfa_set));
+  set_index_.emplace_back(h, id);
+  transitions_.resize(transitions_.size() + num_classes_, kUnset);
+  return id;
+}
+
+uint32_t MultiPatternDfa::Transition(uint32_t from, uint32_t cls) const {
+  const size_t idx = static_cast<size_t>(from) * num_classes_ + cls;
+  const uint32_t cached = transitions_[idx];
+  if (cached != kUnset) return cached;
+  std::vector<uint32_t> to;
+  Step(nfa_sets_[from], class_rep_[cls], &to);
+  const uint32_t id = to.empty() ? kDead : AddDfaState(std::move(to));
+  transitions_[idx] = id;  // AddDfaState may grow transitions_; re-index is
+                           // safe because idx addresses an existing slot.
+  return id;
+}
+
+void MultiPatternDfa::Classify(std::string_view s,
+                               std::vector<uint32_t>* out) const {
+  out->clear();
+  uint32_t state = start_state_;
+  for (const char c : s) {
+    state = Transition(state, byte_class_[static_cast<unsigned char>(c)]);
+    if (state == kDead) return;
+  }
+  const uint64_t* words =
+      &accept_words_[static_cast<size_t>(state) * accept_words_per_state_];
+  for (uint32_t w = 0; w < accept_words_per_state_; ++w) {
+    uint64_t bits = words[w];
+    while (bits) {
+      const int bit = __builtin_ctzll(bits);
+      out->push_back((w << 6) + static_cast<uint32_t>(bit));
+      bits &= bits - 1;
+    }
+  }
+}
+
+bool MultiPatternDfa::Matches(std::string_view s, uint32_t id) const {
+  std::vector<uint32_t> hits;
+  Classify(s, &hits);
+  return std::binary_search(hits.begin(), hits.end(), id);
+}
+
+std::shared_ptr<const FrozenMultiDfa> MultiPatternDfa::Freeze(
+    size_t max_states) const {
+  if (nfa_sets_.size() > max_states) return nullptr;
+  // Eager bounded subset construction: visit every materialized state in id
+  // order, forcing each outgoing edge. Newly-discovered states append and
+  // are visited in turn, so the loop terminates exactly when the reachable
+  // automaton is complete (or the cap trips).
+  for (uint32_t s = 0; s < nfa_sets_.size(); ++s) {
+    for (uint32_t cls = 0; cls < num_classes_; ++cls) {
+      Transition(s, cls);
+      if (nfa_sets_.size() > max_states) return nullptr;
+    }
+  }
+
+  auto frozen = std::shared_ptr<FrozenMultiDfa>(new FrozenMultiDfa());
+  std::copy(std::begin(byte_class_), std::end(byte_class_),
+            std::begin(frozen->byte_class_));
+  frozen->num_classes_ = num_classes_;
+  frozen->num_states_ = static_cast<uint32_t>(nfa_sets_.size());
+  frozen->num_patterns_ = static_cast<uint32_t>(num_patterns_);
+  frozen->start_state_ = start_state_;
+  frozen->transitions_ = transitions_;  // fully materialized, no kUnset left
+
+  // Deduplicate accept sets into the pool. Entry 0 is reserved for the
+  // empty set (shared by the dead state and every non-accepting state), so
+  // `accept_ref_[s] == 0` doubles as the fast "nothing matched" test.
+  std::map<std::vector<uint32_t>, uint32_t> pool_entry_of;
+  frozen->pool_offsets_ = {0, 0};  // entry 0: empty run
+  pool_entry_of[{}] = 0;
+  frozen->accept_ref_.resize(nfa_sets_.size(), 0);
+  std::vector<uint32_t> ids;
+  for (uint32_t s = 0; s < nfa_sets_.size(); ++s) {
+    ids.clear();
+    const uint64_t* words =
+        &accept_words_[static_cast<size_t>(s) * accept_words_per_state_];
+    for (uint32_t w = 0; w < accept_words_per_state_; ++w) {
+      uint64_t bits = words[w];
+      while (bits) {
+        const int bit = __builtin_ctzll(bits);
+        ids.push_back((w << 6) + static_cast<uint32_t>(bit));
+        bits &= bits - 1;
+      }
+    }
+    auto [it, inserted] = pool_entry_of.emplace(
+        ids, static_cast<uint32_t>(frozen->pool_offsets_.size() - 1));
+    if (inserted) {
+      frozen->pool_ids_.insert(frozen->pool_ids_.end(), ids.begin(),
+                               ids.end());
+      frozen->pool_offsets_.push_back(
+          static_cast<uint32_t>(frozen->pool_ids_.size()));
+    }
+    frozen->accept_ref_[s] = it->second;
+  }
+  return frozen;
+}
+
+}  // namespace anmat

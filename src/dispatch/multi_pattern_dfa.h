@@ -1,0 +1,190 @@
+#ifndef ANMAT_DISPATCH_MULTI_PATTERN_DFA_H_
+#define ANMAT_DISPATCH_MULTI_PATTERN_DFA_H_
+
+/// \file multi_pattern_dfa.h
+/// Union automata: one scan classifies a string against many patterns.
+///
+/// Detection cost grows linearly with rule count when every confirmed rule
+/// walks its own `Dfa` over the cell value. The pattern language is
+/// regular, so a *set* of element sequences compiles into one union
+/// automaton whose states carry accept *bitsets*: a single forward scan of
+/// the value yields the full set of matching patterns at once — the
+/// classic amortization for large fixed rule sets probed by every incoming
+/// value.
+///
+/// `MultiPatternDfa` merges the per-pattern Thompson NFAs (state ids
+/// offset per pattern, one accept state each) and runs the same lazy
+/// subset construction as `Dfa` (dfa.h) over the combined byte-class
+/// alphabet: two bytes share a symbol class iff every transition predicate
+/// of every member pattern treats them identically. Each materialized DFA
+/// state records which patterns' accept states its NFA set contains, as a
+/// packed bitset over pattern ids.
+///
+/// Like `Dfa`, the lazy tables grow behind a const interface, so a
+/// `MultiPatternDfa` is single-owner. `Freeze()` materializes every
+/// reachable state (bounded by a cap) into an immutable `FrozenMultiDfa`:
+/// a contiguous state-major transition table plus a deduplicated
+/// *accept-set pool* (each distinct pattern-id set stored once, states
+/// referencing pool entries), safe for lock-free concurrent probes and
+/// shared engine-wide through `AutomatonCache::GetUnion`.
+///
+/// Classification is exactly equivalent to matching each pattern's element
+/// sequence independently (differential-tested against N independent `Dfa`
+/// walks in tests/dispatch_test.cc); conjuncts are out of scope here, the
+/// same contract as `Dfa`.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "pattern/dfa.h"
+#include "pattern/nfa.h"
+#include "pattern/pattern.h"
+
+namespace anmat {
+
+class FrozenMultiDfa;
+
+/// \brief Lazily-determinized union automaton over a fixed set of pattern
+/// element sequences. Pattern ids are positions in the constructor's list.
+class MultiPatternDfa {
+ public:
+  /// Compiles the union over `patterns` (not owned; only read during
+  /// construction). Conjuncts are ignored, exactly like `Dfa::Compile`.
+  explicit MultiPatternDfa(const std::vector<const Pattern*>& patterns);
+
+  size_t num_patterns() const { return num_patterns_; }
+
+  /// Clears `*out` and fills it with the ids (ascending) of every pattern
+  /// whose element sequence accepts `s`. One table lookup per byte plus a
+  /// bitset decode at the end; NOT safe for concurrent callers (lazy memo
+  /// tables — freeze for sharing).
+  void Classify(std::string_view s, std::vector<uint32_t>* out) const;
+
+  /// Convenience for tests: does pattern `id` accept `s`?
+  bool Matches(std::string_view s, uint32_t id) const;
+
+  /// Eagerly materializes every reachable state and emits an immutable
+  /// `FrozenMultiDfa` with identical accept sets. Returns null when more
+  /// than `max_states` states are reachable — callers fall back to the
+  /// per-pattern path then.
+  std::shared_ptr<const FrozenMultiDfa> Freeze(
+      size_t max_states = kDefaultMaxFrozenStates) const;
+
+  /// Introspection (benchmarks / tests).
+  size_t num_symbol_classes() const { return num_classes_; }
+  size_t num_materialized_states() const { return nfa_sets_.size(); }
+
+ private:
+  static constexpr uint32_t kDead = 0;    ///< DFA state for the empty set
+  static constexpr uint32_t kUnset = 0xFFFFFFFFu;  ///< lazy-edge sentinel
+
+  void BuildAlphabet();
+  /// Epsilon-closes `*states` over the merged NFA (sorted ascending).
+  void EpsilonClosure(std::vector<uint32_t>* states) const;
+  /// One merged-NFA step on byte `c` (sorted, deduped, epsilon-closed).
+  void Step(const std::vector<uint32_t>& from, char c,
+            std::vector<uint32_t>* to) const;
+  /// Interns an epsilon-closed merged-NFA set, returning its DFA state id.
+  uint32_t AddDfaState(std::vector<uint32_t> nfa_set) const;
+  /// The target of `from` on symbol class `cls`, materialized on first use.
+  uint32_t Transition(uint32_t from, uint32_t cls) const;
+
+  size_t num_patterns_ = 0;
+  uint32_t accept_words_per_state_ = 1;  ///< (num_patterns_ + 63) / 64
+
+  /// The merged NFA: every member pattern's states, ids offset so they are
+  /// disjoint; `accept_pattern_of_[s]` is the pattern whose accept state
+  /// `s` is (-1 otherwise).
+  std::vector<Nfa::State> nfa_states_;
+  std::vector<int32_t> accept_pattern_of_;
+  /// Union start set: each member's (offset) start state, epsilon-closed.
+  std::vector<uint32_t> start_set_;
+
+  /// Combined byte-class alphabet (same fingerprint scheme as `Dfa`).
+  uint8_t byte_class_[256] = {};
+  uint32_t num_classes_ = 1;
+  std::vector<char> class_rep_;
+
+  /// Lazy subset-construction tables (mutable, same shape as `Dfa`).
+  mutable std::vector<uint32_t> transitions_;
+  /// Packed accept bitsets, `accept_words_per_state_` words per state.
+  mutable std::vector<uint64_t> accept_words_;
+  mutable std::vector<std::vector<uint32_t>> nfa_sets_;
+  mutable std::vector<std::pair<uint64_t, uint32_t>> set_index_;
+
+  uint32_t start_state_ = kDead;
+};
+
+/// \brief Fully-materialized immutable union automaton: a state-major
+/// transition table plus a packed accept-set pool, safe for lock-free
+/// concurrent probes. Built exclusively by `MultiPatternDfa::Freeze`.
+///
+/// The pool stores each *distinct* accept set once: `Classify` resolves
+/// the final state's pool entry and copies out its pattern ids — no bitset
+/// work on the hot path. Probe counters are relaxed atomics (monotone,
+/// aggregated into the daemon's dispatch stats).
+class FrozenMultiDfa {
+ public:
+  /// Clears `*out` and fills it with the ids (ascending) of every pattern
+  /// accepting `s`. Safe from any number of threads.
+  void Classify(std::string_view s, std::vector<uint32_t>* out) const {
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    out->clear();
+    uint32_t state = start_state_;
+    const uint32_t stride = num_classes_;
+    for (const char c : s) {
+      state = transitions_[state * stride +
+                           byte_class_[static_cast<unsigned char>(c)]];
+      if (state == kDead) return;
+    }
+    const uint32_t ref = accept_ref_[state];
+    if (ref == 0) return;  // entry 0 is the empty set
+    for (uint32_t i = pool_offsets_[ref]; i < pool_offsets_[ref + 1]; ++i) {
+      out->push_back(pool_ids_[i]);
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  size_t num_patterns() const { return num_patterns_; }
+  size_t num_states() const { return num_states_; }
+  size_t num_symbol_classes() const { return num_classes_; }
+  /// Distinct accept sets in the pool (including the empty set).
+  size_t num_accept_sets() const { return pool_offsets_.size() - 1; }
+  /// Footprint of the packed accept-set pool (ids + offsets + state refs).
+  size_t pool_bytes() const {
+    return (pool_ids_.size() + pool_offsets_.size() + accept_ref_.size()) *
+           sizeof(uint32_t);
+  }
+  /// Lifetime `Classify` calls / calls that returned a non-empty set.
+  uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MultiPatternDfa;  // populated by Freeze
+  FrozenMultiDfa() = default;
+
+  static constexpr uint32_t kDead = 0;
+
+  uint8_t byte_class_[256] = {};
+  uint32_t num_classes_ = 1;
+  uint32_t num_states_ = 0;
+  uint32_t num_patterns_ = 0;
+  uint32_t start_state_ = kDead;
+  /// State-major flat transition table (no lazy sentinel).
+  std::vector<uint32_t> transitions_;
+  /// State -> pool entry holding its accept set (0 = the empty set).
+  std::vector<uint32_t> accept_ref_;
+  /// Entry e covers pool_ids_[pool_offsets_[e], pool_offsets_[e + 1]).
+  std::vector<uint32_t> pool_offsets_;
+  /// Concatenated ascending pattern-id runs, one per distinct accept set.
+  std::vector<uint32_t> pool_ids_;
+  mutable std::atomic<uint64_t> probes_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_DISPATCH_MULTI_PATTERN_DFA_H_

@@ -1,0 +1,66 @@
+#include "dispatch/pattern_trie.h"
+
+namespace anmat {
+
+void PatternTrie::Insert(uint32_t id, const Pattern& p) {
+  Node* node = &root_;
+  ++node->subtree_count;
+  for (const PatternElement& e : p.elements()) {
+    auto& children = e.cls == SymbolClass::kLiteral ? node->literal_children
+                                                    : node->class_children;
+    std::unique_ptr<Node>& child = children[e.ToString()];
+    if (!child) child = std::make_unique<Node>();
+    node = child.get();
+    ++node->subtree_count;
+  }
+  node->terminal_ids.push_back(id);
+  ++num_patterns_;
+}
+
+void PatternTrie::Collect(const Node& n, std::vector<uint32_t>* out) {
+  out->insert(out->end(), n.terminal_ids.begin(), n.terminal_ids.end());
+  for (const auto& [key, child] : n.literal_children) Collect(*child, out);
+  for (const auto& [key, child] : n.class_children) Collect(*child, out);
+}
+
+void PatternTrie::Pack(const Node& n, size_t max_group_size,
+                       std::vector<std::vector<uint32_t>>* groups,
+                       std::vector<uint32_t>* current) {
+  if (n.subtree_count <= max_group_size) {
+    // Whole subtree fits in one group: flush the accumulator first if the
+    // subtree would overflow it, so prefix-sharing patterns never split.
+    if (current->size() + n.subtree_count > max_group_size) {
+      groups->push_back(std::move(*current));
+      current->clear();
+    }
+    Collect(n, current);
+    return;
+  }
+  // Oversized subtree: place this node's own terminals, then recurse into
+  // children (literals first, each map in key order — deterministic).
+  for (uint32_t id : n.terminal_ids) {
+    if (current->size() >= max_group_size) {
+      groups->push_back(std::move(*current));
+      current->clear();
+    }
+    current->push_back(id);
+  }
+  for (const auto& [key, child] : n.literal_children) {
+    Pack(*child, max_group_size, groups, current);
+  }
+  for (const auto& [key, child] : n.class_children) {
+    Pack(*child, max_group_size, groups, current);
+  }
+}
+
+std::vector<std::vector<uint32_t>> PatternTrie::Groups(
+    size_t max_group_size) const {
+  std::vector<std::vector<uint32_t>> groups;
+  if (max_group_size == 0) max_group_size = 1;
+  std::vector<uint32_t> current;
+  Pack(root_, max_group_size, &groups, &current);
+  if (!current.empty()) groups.push_back(std::move(current));
+  return groups;
+}
+
+}  // namespace anmat

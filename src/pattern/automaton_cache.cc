@@ -1,5 +1,7 @@
 #include "pattern/automaton_cache.h"
 
+#include <algorithm>
+
 namespace anmat {
 
 std::string AutomatonCache::KeyOf(const Pattern& p) {
@@ -30,6 +32,76 @@ std::shared_ptr<const FrozenDfa> AutomatonCache::Get(const Pattern& p) {
   ++misses_;
   if (inserted && it->second == nullptr) ++fallbacks_;
   return it->second;
+}
+
+UnionAutomaton AutomatonCache::GetUnion(
+    const std::vector<const Pattern*>& patterns) {
+  // Signature-sorted, deduplicated member set: the key (and the automaton's
+  // internal pattern ids) are insensitive to argument order, so detectors
+  // and streams that assemble the same rule set differently share one
+  // table. Signatures may contain any byte (literals), so the key joins
+  // them length-prefixed rather than with a separator byte.
+  std::vector<std::string> sigs(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) sigs[i] = KeyOf(*patterns[i]);
+  std::vector<std::string> sorted = sigs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string key;
+  for (const std::string& s : sorted) {
+    key += std::to_string(s.size());
+    key += ':';
+    key += s;
+  }
+  UnionAutomaton result;
+  result.slot_of.resize(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    result.slot_of[i] = static_cast<uint32_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), sigs[i]) -
+        sorted.begin());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = unions_.find(key);
+    if (it != unions_.end()) {
+      ++union_hits_;
+      result.dfa = it->second;
+      return result;
+    }
+  }
+  // Compile outside the lock (same first-publish-wins protocol as Get).
+  // One representative Pattern per distinct signature, in signature order.
+  std::vector<const Pattern*> members(sorted.size(), nullptr);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (members[result.slot_of[i]] == nullptr) {
+      members[result.slot_of[i]] = patterns[i];
+    }
+  }
+  std::shared_ptr<const FrozenMultiDfa> frozen =
+      MultiPatternDfa(members).Freeze(max_frozen_states_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = unions_.emplace(std::move(key), std::move(frozen));
+  ++union_misses_;
+  if (inserted && it->second == nullptr) ++union_fallbacks_;
+  result.dfa = it->second;
+  return result;
+}
+
+DispatchStats AutomatonCache::dispatch_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DispatchStats stats;
+  stats.fallbacks = union_fallbacks_;
+  stats.hits = union_hits_;
+  stats.misses = union_misses_;
+  for (const auto& [key, dfa] : unions_) {
+    if (!dfa) continue;
+    ++stats.automata;
+    stats.total_states += dfa->num_states();
+    stats.total_patterns += dfa->num_patterns();
+    stats.pool_bytes += dfa->pool_bytes();
+    stats.probes += dfa->probes();
+    stats.probe_hits += dfa->hits();
+  }
+  return stats;
 }
 
 size_t AutomatonCache::entries() const {

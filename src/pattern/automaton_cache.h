@@ -20,9 +20,18 @@
 /// in conjuncts share the main automaton, and each conjunct is its own
 /// entry.
 ///
+/// Besides single-pattern automata, the cache holds *union* automata
+/// (dispatch/multi_pattern_dfa.h): `GetUnion` maps the sorted set of
+/// member element-sequence signatures to one `FrozenMultiDfa`, so every
+/// detector / stream that dispatches the same rule set (regardless of rule
+/// order) shares a single compiled table. The per-call member ordering is
+/// translated through the returned slot map.
+///
 /// Unfreezable patterns (reachable states above the freeze cap) are
 /// negatively cached: `Get` returns null and callers fall back to private
 /// lazy `Dfa` copies, one per owner, exactly the pre-cache behavior.
+/// `GetUnion` negatively caches the same way; callers fall back to the
+/// per-pattern path for that rule set.
 ///
 /// Thread safety: `Get` may be called concurrently (lookups take a mutex;
 /// compilation runs outside it, and a same-pattern race publishes
@@ -30,16 +39,42 @@
 /// the sense that a racing miss may count twice.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "dispatch/multi_pattern_dfa.h"
 #include "pattern/dfa.h"
 #include "pattern/frozen_dfa.h"
 #include "pattern/pattern.h"
 
 namespace anmat {
+
+/// \brief A shared union automaton plus the caller-order translation:
+/// member i of the `GetUnion` argument list is automaton pattern id
+/// `slot_of[i]` (signature-sorted internally, so order-insensitive keys
+/// share one table). `dfa == nullptr` means the union is unfreezable and
+/// the caller must use the per-pattern path.
+struct UnionAutomaton {
+  std::shared_ptr<const FrozenMultiDfa> dfa;
+  std::vector<uint32_t> slot_of;
+};
+
+/// \brief Aggregated dispatch-table statistics (daemon `stats` verb).
+struct DispatchStats {
+  size_t automata = 0;       ///< frozen union automata held
+  size_t fallbacks = 0;      ///< union keys negatively cached (unfreezable)
+  size_t total_states = 0;   ///< sum of frozen states over all unions
+  size_t total_patterns = 0; ///< sum of member patterns over all unions
+  size_t pool_bytes = 0;     ///< sum of accept-set pool footprints
+  uint64_t probes = 0;       ///< lifetime Classify calls over all unions
+  uint64_t probe_hits = 0;   ///< Classify calls with a non-empty accept set
+  size_t hits = 0;           ///< GetUnion lookups answered from the cache
+  size_t misses = 0;         ///< GetUnion lookups that compiled
+};
 
 /// \brief Compile-once store of frozen automata, keyed by the pattern's
 /// canonical element-sequence signature.
@@ -56,6 +91,13 @@ class AutomatonCache {
   /// cap); the verdict is cached either way.
   std::shared_ptr<const FrozenDfa> Get(const Pattern& p);
 
+  /// The shared union automaton over `patterns`' element sequences,
+  /// compiling + freezing it on first sight of this signature *set* (the
+  /// key is order-insensitive and deduplicates signatures). The returned
+  /// slot map translates argument positions to automaton pattern ids.
+  /// `dfa` is null when the union is unfreezable (negatively cached).
+  UnionAutomaton GetUnion(const std::vector<const Pattern*>& patterns);
+
   /// The canonical cache key of `p`: its elements-only textual form
   /// (conjuncts excluded — they are separate automata).
   static std::string KeyOf(const Pattern& p);
@@ -70,15 +112,25 @@ class AutomatonCache {
   /// Misses whose pattern exceeded the freeze cap (lazy fallback).
   size_t fallbacks() const;
 
+  /// Aggregated union-automaton statistics: tables held, states, pool
+  /// footprint, lifetime probe counters summed over every frozen union.
+  DispatchStats dispatch_stats() const;
+
  private:
   const size_t max_frozen_states_;
   mutable std::mutex mu_;
   /// Signature -> frozen automaton; a null value is the negative cache for
   /// unfreezable patterns.
   std::unordered_map<std::string, std::shared_ptr<const FrozenDfa>> dfas_;
+  /// Sorted-signature-set key -> frozen union automaton (null = negative).
+  std::unordered_map<std::string, std::shared_ptr<const FrozenMultiDfa>>
+      unions_;
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t fallbacks_ = 0;
+  size_t union_hits_ = 0;
+  size_t union_misses_ = 0;
+  size_t union_fallbacks_ = 0;
 };
 
 }  // namespace anmat

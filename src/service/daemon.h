@@ -45,7 +45,9 @@
 ///   ping          -> {"pid": ..., "protocol": 1}
 ///   stats         -> {"pid", "connections", "projects": [{"dir",
 ///                     "streams", "automaton_cache": {"hits", "misses",
-///                     "fallbacks"}}]}
+///                     "fallbacks", "dispatch": {"automata", "fallbacks",
+///                     "total_states", "total_patterns", "pool_bytes",
+///                     "probes", "probe_hits", "hits", "misses"}}}]}
 ///   shutdown      -> {"stopping": true}, then a graceful drain
 ///   project.open  -> params {"dir"}: opens (or reuses) the host, returns
 ///                    its info block

@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 
 #include "datagen/codes.h"
 #include "datagen/geo.h"
 #include "datagen/names.h"
 #include "datagen/phone.h"
+#include "datagen/web.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace anmat {
@@ -147,6 +150,98 @@ TEST(CodesTest, CompoundIdShape) {
   }
 }
 
+TEST(WebTest, DigitScriptsEncodeExpectedUtf8) {
+  EXPECT_EQ(DigitIn(DigitScript::kAscii, 7), "7");
+  EXPECT_EQ(DigitIn(DigitScript::kArabicIndic, 0), "\xD9\xA0");   // U+0660
+  EXPECT_EQ(DigitIn(DigitScript::kArabicIndic, 9), "\xD9\xA9");   // U+0669
+  EXPECT_EQ(DigitIn(DigitScript::kDevanagari, 0), "\xE0\xA5\xA6");  // U+0966
+  EXPECT_EQ(DigitIn(DigitScript::kFullwidth, 5), "\xEF\xBC\x95");   // U+FF15
+}
+
+TEST(WebTest, EmailShape) {
+  Rng rng(41);
+  for (int i = 0; i < 50; ++i) {
+    const MailDomain& domain = rng.Choose(MailDomains());
+    std::string email = RandomEmail(rng, domain);
+    const size_t at = email.find('@');
+    ASSERT_NE(at, std::string::npos) << email;
+    EXPECT_GT(at, 0u);
+    EXPECT_EQ(email.substr(at + 1), domain.domain);
+    EXPECT_EQ(email.find('@', at + 1), std::string::npos);
+  }
+}
+
+TEST(WebTest, AsciiTimestampIsCalendarValidIso8601) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    std::string ts = RandomIsoTimestamp(rng, /*locale_mix=*/0.0);
+    ASSERT_EQ(ts.size(), 20u) << ts;
+    EXPECT_EQ(ts[4], '-');
+    EXPECT_EQ(ts[7], '-');
+    EXPECT_EQ(ts[10], 'T');
+    EXPECT_EQ(ts[13], ':');
+    EXPECT_EQ(ts[16], ':');
+    EXPECT_EQ(ts[19], 'Z');
+    const int month = std::stoi(ts.substr(5, 2));
+    const int day = std::stoi(ts.substr(8, 2));
+    const int hour = std::stoi(ts.substr(11, 2));
+    EXPECT_GE(month, 1);
+    EXPECT_LE(month, 12);
+    EXPECT_GE(day, 1);
+    EXPECT_LE(day, 31);
+    EXPECT_LE(hour, 23);
+  }
+}
+
+TEST(WebTest, UrlShape) {
+  Rng rng(43);
+  for (int i = 0; i < 50; ++i) {
+    std::string url = RandomUrl(rng, /*locale_mix=*/0.0);
+    EXPECT_TRUE(StartsWith(url, "https://")) << url;
+    const size_t last_slash = url.rfind('/');
+    EXPECT_TRUE(IsAllDigits(url.substr(last_slash + 1))) << url;
+  }
+}
+
+TEST(WebTest, LocalizedDigitsRoundTripThroughJsonUEscapes) {
+  // Fully localized values decode to non-ASCII code points; spelling each
+  // as a \uXXXX escape and parsing must reproduce the exact UTF-8 bytes
+  // the generator emitted (the daemon's framed-JSON path, util/json.cc).
+  Rng rng(44);
+  for (int i = 0; i < 20; ++i) {
+    const std::string raw = RandomIsoTimestamp(rng, /*locale_mix=*/1.0);
+    ASSERT_GT(raw.size(), 20u) << "expected multi-byte digits: " << raw;
+    std::string escaped = "\"";
+    for (size_t p = 0; p < raw.size();) {
+      const unsigned char b = raw[p];
+      unsigned cp;
+      size_t len;
+      if (b < 0x80) {
+        cp = b;
+        len = 1;
+      } else if ((b & 0xE0) == 0xC0) {
+        cp = b & 0x1F;
+        len = 2;
+      } else {
+        ASSERT_EQ(b & 0xF0, 0xE0u) << raw;
+        cp = b & 0x0F;
+        len = 3;
+      }
+      for (size_t k = 1; k < len; ++k) {
+        cp = (cp << 6) | (static_cast<unsigned char>(raw[p + k]) & 0x3F);
+      }
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", cp);
+      escaped += buf;
+      p += len;
+    }
+    escaped += "\"";
+    auto parsed = ParseJson(escaped);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    EXPECT_EQ(parsed.value().as_string(), raw);
+  }
+}
+
 TEST(ErrorInjectorTest, RespectsRateAndRecordsTruth) {
   Dataset d = ZipCityStateDataset(1000, 8, 0.0);
   Rng rng(9);
@@ -242,6 +337,21 @@ TEST(DatasetsTest, GeneratorsProduceRequestedRows) {
   EXPECT_EQ(ZipCityStateDataset(50, 1, 0).relation.num_rows(), 50u);
   EXPECT_EQ(EmployeeDataset(50, 1, 0).relation.num_rows(), 50u);
   EXPECT_EQ(CompoundDataset(50, 1, 0).relation.num_rows(), 50u);
+  EXPECT_EQ(WebAccountDataset(50, 1, 0).relation.num_rows(), 50u);
+}
+
+TEST(DatasetsTest, WebAccountsAreFunctionalByDomain) {
+  Dataset d = WebAccountDataset(400, 23, 0.0);
+  std::map<std::string, std::set<std::string>> domain_to_provider;
+  for (RowId r = 0; r < d.relation.num_rows(); ++r) {
+    const std::string& email = d.relation.cell(r, 0);
+    domain_to_provider[email.substr(email.find('@') + 1)].insert(
+        d.relation.cell(r, 1));
+  }
+  EXPECT_GT(domain_to_provider.size(), 1u);
+  for (const auto& [domain, providers] : domain_to_provider) {
+    EXPECT_EQ(providers.size(), 1u) << domain;
+  }
 }
 
 TEST(DatasetsTest, CleanDatasetsAreFunctional) {
