@@ -62,7 +62,8 @@ std::vector<MatchWorkload> MatchWorkloads(size_t rows) {
     w.name = "zip";
     w.pattern = "\\D{5}";
     const anmat::Dataset d = anmat::ZipCityStateDataset(rows, 61, 0.02);
-    w.values = d.relation.column(0);
+    w.values.assign(d.relation.column(0).begin(),
+                    d.relation.column(0).end());
     workloads.push_back(std::move(w));
   }
   {
@@ -70,7 +71,8 @@ std::vector<MatchWorkload> MatchWorkloads(size_t rows) {
     w.name = "phone";
     w.pattern = "\\D{10}";
     const anmat::Dataset d = anmat::PhoneStateDataset(rows, 62, 0.02);
-    w.values = d.relation.column(0);
+    w.values.assign(d.relation.column(0).begin(),
+                    d.relation.column(0).end());
     workloads.push_back(std::move(w));
   }
   {
@@ -78,7 +80,8 @@ std::vector<MatchWorkload> MatchWorkloads(size_t rows) {
     w.name = "code";
     w.pattern = "CHEMBL\\D{1,7}";
     const anmat::Dataset d = anmat::CompoundDataset(rows, 63, 0.02);
-    w.values = d.relation.column(0);
+    w.values.assign(d.relation.column(0).begin(),
+                    d.relation.column(0).end());
     workloads.push_back(std::move(w));
   }
   return workloads;

@@ -89,8 +89,8 @@ anmat::Relation WideRelation(size_t rows, size_t col_pairs) {
   for (anmat::RowId r = 0; r < base.relation.num_rows(); ++r) {
     std::vector<std::string> row;
     for (size_t i = 0; i < col_pairs; ++i) {
-      row.push_back(base.relation.cell(r, 0));
-      row.push_back(base.relation.cell(r, 1));
+      row.emplace_back(base.relation.cell(r, 0));
+      row.emplace_back(base.relation.cell(r, 1));
     }
     (void)builder.AddRow(std::move(row));
   }

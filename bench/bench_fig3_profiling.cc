@@ -26,10 +26,12 @@ anmat::Relation MixedTable(size_t rows, uint64_t seed) {
           {"zip", "city", "state", "employee_id", "department", "grade"})
           .value());
   for (anmat::RowId r = 0; r < rows; ++r) {
-    (void)builder.AddRow({zips.relation.cell(r, 0), zips.relation.cell(r, 1),
-                          zips.relation.cell(r, 2), emps.relation.cell(r, 0),
-                          emps.relation.cell(r, 1),
-                          emps.relation.cell(r, 2)});
+    (void)builder.AddRow({std::string(zips.relation.cell(r, 0)),
+                          std::string(zips.relation.cell(r, 1)),
+                          std::string(zips.relation.cell(r, 2)),
+                          std::string(emps.relation.cell(r, 0)),
+                          std::string(emps.relation.cell(r, 1)),
+                          std::string(emps.relation.cell(r, 2))});
   }
   return builder.Build();
 }

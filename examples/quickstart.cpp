@@ -73,6 +73,9 @@ int main() {
       !s.ok()) {
     return Fail(s);
   }
+  // File ingest is zero-copy by default: the CSV is memory-mapped and
+  // cells are string_views into the mapping, which the relation's arena
+  // keeps alive (csv/csv_reader.h) — no per-cell copies on load.
   if (anmat::Status s = session.LoadCsvFile(csv); !s.ok()) return Fail(s);
 
   // 3. Profile (Figure 3).

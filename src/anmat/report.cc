@@ -90,14 +90,15 @@ std::string RenderViolationsView(const Relation& relation,
     const RowId row = v.suspect.row;
     for (size_t c = 0; c < relation.num_columns(); ++c) {
       if (c > 0) record += "; ";
-      record += relation.schema().column(c).name + "=" +
-                relation.cell(row, c);
+      record += relation.schema().column(c).name + "=";
+      record += relation.cell(row, c);
     }
     const std::string suspect_name =
         relation.schema().column(v.suspect.column).name;
     table.AddRow({std::to_string(i), pfd.Summary(), std::to_string(row),
                   record,
-                  suspect_name + "=" + relation.cell(row, v.suspect.column),
+                  suspect_name + "=" +
+                      std::string(relation.cell(row, v.suspect.column)),
                   v.suggested_repair});
     ++shown;
   }
@@ -124,8 +125,9 @@ std::string RenderTable3Style(const Relation& relation,
       std::string example;
       for (const Violation& v : detection.violations) {
         if (v.pfd_index == pi && v.tableau_row == ri) {
-          example = relation.cell(v.suspect.row, v.cells[0].column) + " | " +
-                    relation.cell(v.suspect.row, v.suspect.column);
+          example = std::string(relation.cell(v.suspect.row, v.cells[0].column));
+          example += " | ";
+          example += relation.cell(v.suspect.row, v.suspect.column);
           break;
         }
       }
@@ -287,7 +289,8 @@ JsonValue DetectionToJson(const Relation& relation,
       JsonValue cell = JsonValue::Object();
       cell.Set("row", JsonValue::Int(static_cast<int64_t>(c.row)));
       cell.Set("column", JsonValue::Int(static_cast<int64_t>(c.column)));
-      cell.Set("value", JsonValue::String(relation.cell(c.row, c.column)));
+      cell.Set("value",
+               JsonValue::String(std::string(relation.cell(c.row, c.column))));
       cells.push_back(std::move(cell));
     }
     entry.Set("cells", std::move(cells));
@@ -295,8 +298,9 @@ JsonValue DetectionToJson(const Relation& relation,
     suspect.Set("row", JsonValue::Int(static_cast<int64_t>(v.suspect.row)));
     suspect.Set("column",
                 JsonValue::Int(static_cast<int64_t>(v.suspect.column)));
-    suspect.Set("value", JsonValue::String(
-                             relation.cell(v.suspect.row, v.suspect.column)));
+    suspect.Set("value",
+                JsonValue::String(std::string(
+                    relation.cell(v.suspect.row, v.suspect.column))));
     entry.Set("suspect", std::move(suspect));
     entry.Set("suggested_repair", JsonValue::String(v.suggested_repair));
     entry.Set("explanation", JsonValue::String(v.explanation));

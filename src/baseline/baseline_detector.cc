@@ -13,8 +13,9 @@ Result<std::vector<Violation>> DetectFdViolations(const Relation& relation,
   std::vector<Violation> out;
   std::map<std::string, std::map<std::string, std::vector<RowId>>> groups;
   for (RowId r = 0; r < relation.num_rows(); ++r) {
-    groups[relation.cell(r, fd.lhs_col)][relation.cell(r, fd.rhs_col)]
-        .push_back(r);
+    groups[std::string(relation.cell(r, fd.lhs_col))]
+          [std::string(relation.cell(r, fd.rhs_col))]
+              .push_back(r);
   }
   for (const auto& [lhs, by_rhs] : groups) {
     if (by_rhs.size() <= 1) continue;

@@ -16,7 +16,8 @@ std::vector<ConstantCfd> MineConstantCfds(const Relation& relation,
       // Group rows by A-value; count RHS values per group.
       std::map<std::string, std::map<std::string, size_t>> groups;
       for (RowId r = 0; r < relation.num_rows(); ++r) {
-        ++groups[relation.cell(r, a)][relation.cell(r, b)];
+        ++groups[std::string(relation.cell(r, a))]
+                [std::string(relation.cell(r, b))];
       }
       std::vector<ConstantCfd> pair_cfds;
       for (const auto& [lhs_value, by_rhs] : groups) {

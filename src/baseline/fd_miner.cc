@@ -19,8 +19,8 @@ std::vector<DiscoveredFd> MineFds(const Relation& relation,
   partitions.reserve(n_cols);
   for (size_t c = 0; c < n_cols; ++c) {
     partitions.push_back(Partition::ByColumn(relation, c));
-    std::unordered_set<std::string> values(relation.column(c).begin(),
-                                           relation.column(c).end());
+    std::unordered_set<std::string_view> values(relation.column(c).begin(),
+                                                relation.column(c).end());
     distinct[c] = values.size();
   }
 

@@ -6,7 +6,8 @@
 namespace anmat {
 
 Partition Partition::ByColumn(const Relation& relation, size_t col) {
-  std::unordered_map<std::string, std::vector<RowId>> groups;
+  // Keys view the relation's arena-backed cells, which outlive this map.
+  std::unordered_map<std::string_view, std::vector<RowId>> groups;
   const auto& values = relation.column(col);
   for (RowId r = 0; r < values.size(); ++r) {
     groups[values[r]].push_back(r);

@@ -1,8 +1,13 @@
 #include "csv/csv_reader.h"
 
-#include <fstream>
-#include <sstream>
+#include <cstring>
+#include <optional>
+#include <utility>
 
+#include "util/arena.h"
+#include "util/fs.h"
+#include "util/mmap_file.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace anmat {
@@ -111,6 +116,193 @@ class CsvScanner {
   size_t pos_ = 0;
 };
 
+/// Zero-copy analog of `CsvScanner`: yields fields as `string_view`s into
+/// the input text, skipping runs of ordinary bytes with the SIMD/SWAR
+/// structural-byte kernel instead of the per-char state machine. Only
+/// quoted fields that actually need unescaping (doubled quotes, stray
+/// trailing text) materialize bytes — into `arena`, so their views are as
+/// durable as the input buffer. Semantics — field boundaries, separator
+/// handling, trimming, every error message — are byte-identical to
+/// `CsvScanner`, which the quoted/escaped paths fall back to in spirit.
+class ZeroCopyScanner {
+ public:
+  ZeroCopyScanner(std::string_view text, const CsvOptions& options,
+                  Arena* arena)
+      : text_(text), options_(options), arena_(arena) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  /// Scans one record into `*fields` (cleared first). Call only when
+  /// `!AtEnd()`.
+  Status ScanRecord(std::vector<std::string_view>* fields) {
+    fields->clear();
+    while (true) {
+      std::string_view field;
+      ANMAT_ASSIGN_OR_RETURN(field, ScanField());
+      if (options_.trim_fields) field = TrimView(field);
+      fields->push_back(field);
+      if (AtEnd()) break;
+      char c = text_[pos_];
+      if (c == options_.delimiter) {
+        ++pos_;
+        continue;
+      }
+      if (c == '\r') {
+        ++pos_;
+        if (!AtEnd() && text_[pos_] == '\n') ++pos_;
+        break;
+      }
+      if (c == '\n') {
+        ++pos_;
+        break;
+      }
+      return Status::Internal("CSV scanner desynchronized at offset " +
+                              std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<std::string_view> ScanField() {
+    if (!AtEnd() && text_[pos_] == options_.quote) {
+      return ScanQuotedField();
+    }
+    const size_t start = pos_;
+    // One SIMD scan to the next structural byte replaces the per-char
+    // loop; the quote character is NOT structural inside an unquoted
+    // field (a stray quote is taken literally), so only three bytes stop
+    // the scan.
+    pos_ += simd::FindStructural(text_.data() + pos_, text_.size() - pos_,
+                                 options_.delimiter, '\n', '\r', '\r');
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<std::string_view> ScanQuotedField() {
+    ++pos_;  // opening quote
+    const size_t content_start = pos_;
+    // Fast path: find the closing quote in one memchr sweep. Falls back to
+    // the unescaping loop on a doubled quote.
+    size_t scan = pos_;
+    while (true) {
+      const void* q = std::memchr(text_.data() + scan, options_.quote,
+                                  text_.size() - scan);
+      if (q == nullptr) {
+        pos_ = text_.size();
+        return Status::ParseError(
+            "unterminated quoted CSV field starting before offset " +
+            std::to_string(pos_));
+      }
+      const size_t qpos = static_cast<size_t>(static_cast<const char*>(q) -
+                                              text_.data());
+      if (qpos + 1 < text_.size() && text_[qpos + 1] == options_.quote) {
+        // Doubled quote: the field needs unescaping; materialize.
+        return ScanQuotedFieldSlow(content_start);
+      }
+      // Closing quote. Check for stray text before the next structural
+      // byte (liberal acceptance, appended to the field).
+      pos_ = qpos + 1;
+      const size_t stray =
+          simd::FindStructural(text_.data() + pos_, text_.size() - pos_,
+                               options_.delimiter, '\n', '\r', '\r');
+      if (stray == 0) {
+        return text_.substr(content_start, qpos - content_start);
+      }
+      std::string out(text_.substr(content_start, qpos - content_start));
+      out.append(text_.substr(pos_, stray));
+      pos_ += stray;
+      return arena_->Intern(out);
+    }
+  }
+
+  /// The exact `CsvScanner::ScanQuotedField` unescaping loop, restarted at
+  /// the field's content and interning the result.
+  Result<std::string_view> ScanQuotedFieldSlow(size_t content_start) {
+    pos_ = content_start;
+    std::string out;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError(
+            "unterminated quoted CSV field starting before offset " +
+            std::to_string(pos_));
+      }
+      char c = text_[pos_++];
+      if (c == options_.quote) {
+        if (!AtEnd() && text_[pos_] == options_.quote) {
+          out += options_.quote;
+          ++pos_;
+        } else {
+          break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (c == options_.delimiter || c == '\n' || c == '\r') break;
+      out += c;
+      ++pos_;
+    }
+    return arena_->Intern(out);
+  }
+
+  std::string_view text_;
+  const CsvOptions& options_;
+  Arena* arena_;
+  size_t pos_ = 0;
+};
+
+/// Shared record-stream -> Relation assembly for the zero-copy path.
+/// `adopt` is invoked once, right after the schema is known, to hand the
+/// text's backing buffers to the relation's arena.
+template <typename AdoptFn>
+Result<Relation> BuildRelationZeroCopy(std::string_view text,
+                                       const CsvOptions& options,
+                                       Arena* escape_arena, AdoptFn adopt) {
+  ANMAT_RETURN_NOT_OK(options.Validate());
+  ZeroCopyScanner scanner(text, options, escape_arena);
+  std::optional<RelationBuilder> builder;
+  std::vector<std::string> names;
+  std::vector<std::string_view> record;
+  size_t record_index = 0;  // counts header + data, like ReadCsvString
+  while (!scanner.AtEnd()) {
+    ANMAT_RETURN_NOT_OK(scanner.ScanRecord(&record));
+    // A trailing newline produces one empty single-field record; drop it.
+    if (record.size() == 1 && record[0].empty() && scanner.AtEnd()) break;
+    if (!builder.has_value()) {
+      if (options.has_header) {
+        names.assign(record.begin(), record.end());
+      } else {
+        for (size_t i = 0; i < record.size(); ++i) {
+          names.push_back("c" + std::to_string(i));
+        }
+      }
+      ANMAT_ASSIGN_OR_RETURN(Schema schema, Schema::MakeText(names));
+      builder.emplace(std::move(schema));
+      adopt(builder->relation().arena());
+      if (!options.has_header) {
+        ANMAT_RETURN_NOT_OK(builder->AddRowViews(record));
+      }
+    } else {
+      if (record.size() != names.size()) {
+        if (!options.skip_bad_rows) {
+          return Status::ParseError(
+              "CSV record " + std::to_string(record_index) + " has " +
+              std::to_string(record.size()) + " fields, expected " +
+              std::to_string(names.size()));
+        }
+      } else {
+        ANMAT_RETURN_NOT_OK(builder->AddRowViews(record));
+      }
+    }
+    ++record_index;
+  }
+  if (!builder.has_value()) {
+    return Status::ParseError("CSV input contains no records");
+  }
+  return builder->Build();
+}
+
 }  // namespace
 
 Result<std::vector<std::vector<std::string>>> ParseCsvRecords(
@@ -152,18 +344,46 @@ Result<Relation> ReadCsvString(std::string_view text,
   return builder.Build();
 }
 
+Result<Relation> ReadCsvFileZeroCopy(const std::string& path,
+                                     const CsvOptions& options) {
+  ANMAT_ASSIGN_OR_RETURN(MmapFile map, MmapFile::Open(path));
+  auto mapping = std::move(map).Share();
+  const std::string_view text = mapping->view();
+  // Escaped/repaired cells are interned here; the relation's arena adopts
+  // both this arena and the mapping, so every cell view survives the read.
+  auto escape_arena = std::make_shared<Arena>();
+  return BuildRelationZeroCopy(
+      text, options, escape_arena.get(), [&](Arena& arena) {
+        arena.AdoptBuffer(mapping);
+        arena.AdoptBuffer(escape_arena);
+      });
+}
+
 Result<Relation> ReadCsvFile(const std::string& path,
                              const CsvOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IoError("cannot open file: " + path);
+  Result<Relation> zero_copy = ReadCsvFileZeroCopy(path, options);
+  if (zero_copy.ok() ||
+      zero_copy.status().code() != StatusCode::kIoError) {
+    return zero_copy;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) {
-    return Status::IoError("error reading file: " + path);
+  // mmap unavailable (pipe, special file, exotic fs): one read into
+  // memory, then the identical zero-copy parse over the in-memory bytes.
+  // Unreadable files fail loudly here with the errno-carrying IoError.
+  Result<std::string> slurped = ReadFileToString(path);
+  if (!slurped.ok()) {
+    if (slurped.status().code() == StatusCode::kNotFound) {
+      return zero_copy.status();  // the open error names the path + cause
+    }
+    return slurped.status();
   }
-  return ReadCsvString(buffer.str(), options);
+  auto body = std::make_shared<const std::string>(std::move(slurped).value());
+  const std::string_view text = *body;
+  auto escape_arena = std::make_shared<Arena>();
+  return BuildRelationZeroCopy(
+      text, options, escape_arena.get(), [&](Arena& arena) {
+        arena.AdoptBuffer(body);
+        arena.AdoptBuffer(escape_arena);
+      });
 }
 
 }  // namespace anmat

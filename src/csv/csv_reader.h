@@ -7,6 +7,16 @@
 /// Handles quoted fields (including embedded delimiters, quotes-by-doubling,
 /// and embedded newlines), CRLF and LF record separators, and an optional
 /// header record. Column types are inferred after loading.
+///
+/// File ingest is zero-copy by default: `ReadCsvFile` memory-maps the
+/// input and parses cells as `string_view`s straight out of the mapping
+/// (`ReadCsvFileZeroCopy`), with the relation's arena adopting the mapping
+/// so views outlive the reader. The record splitter finds structural bytes
+/// (delimiter / quote / CR / LF) with the SIMD/SWAR kernel in util/simd.h
+/// and only materializes bytes for quoted fields that need unescaping.
+/// Inputs mmap cannot serve (pipes, special files) fall back to a single
+/// read into memory — semantics are byte-identical either way, and
+/// identical to `ReadCsvString` on the same bytes.
 
 #include <string>
 #include <string_view>
@@ -33,9 +43,19 @@ Result<std::vector<std::vector<std::string>>> ParseCsvRecords(
 Result<Relation> ReadCsvString(std::string_view text,
                                const CsvOptions& options = CsvOptions());
 
-/// \brief Reads and parses a CSV file from disk.
+/// \brief Reads and parses a CSV file from disk. Prefers the zero-copy
+/// mmap path; falls back to a single in-memory read when the file cannot
+/// be mapped. Unreadable files fail with a loud IoError naming the cause.
 Result<Relation> ReadCsvFile(const std::string& path,
                              const CsvOptions& options = CsvOptions());
+
+/// \brief Zero-copy file ingest: memory-maps `path` and parses cells as
+/// views into the mapping (adopted by the relation's arena). Quoted fields
+/// needing unescaping are the only cells that copy. Byte-identical in
+/// result — schema, cells, types — to `ReadCsvString` over the file's
+/// bytes. Fails with IoError when the file cannot be opened or mapped.
+Result<Relation> ReadCsvFileZeroCopy(const std::string& path,
+                                     const CsvOptions& options = CsvOptions());
 
 }  // namespace anmat
 

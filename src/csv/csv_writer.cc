@@ -6,7 +6,7 @@ namespace anmat {
 
 namespace {
 
-bool NeedsQuoting(const std::string& field, const CsvOptions& options) {
+bool NeedsQuoting(std::string_view field, const CsvOptions& options) {
   for (char c : field) {
     if (c == options.delimiter || c == options.quote || c == '\n' ||
         c == '\r') {
@@ -16,7 +16,7 @@ bool NeedsQuoting(const std::string& field, const CsvOptions& options) {
   return false;
 }
 
-void AppendField(std::string* out, const std::string& field,
+void AppendField(std::string* out, std::string_view field,
                  const CsvOptions& options) {
   if (!NeedsQuoting(field, options)) {
     out->append(field);

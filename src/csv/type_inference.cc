@@ -21,7 +21,7 @@ ValueType ColumnTypeStats::DominantType() const {
 ColumnTypeStats ComputeColumnTypeStats(const Relation& relation, size_t col) {
   ColumnTypeStats stats;
   stats.total = relation.num_rows();
-  for (const std::string& cell : relation.column(col)) {
+  for (std::string_view cell : relation.column(col)) {
     switch (InferValueType(cell)) {
       case ValueType::kNull:
         ++stats.nulls;

@@ -74,13 +74,13 @@ std::string ApplyTruncate(const std::string& value, Rng& rng) {
 std::string ApplySwap(const Relation& relation, size_t col, RowId row,
                       Rng& rng) {
   const auto& column = relation.column(col);
-  const std::string& current = column[row];
+  const std::string_view current = column[row];
   // Try a few times to find a *different* value.
   for (int attempt = 0; attempt < 16; ++attempt) {
     const RowId other = static_cast<RowId>(rng.NextBelow(column.size()));
-    if (column[other] != current) return column[other];
+    if (column[other] != current) return std::string(column[other]);
   }
-  return current;  // column may be constant; injection becomes a no-op
+  return std::string(current);  // column may be constant; no-op injection
 }
 
 }  // namespace
@@ -102,7 +102,7 @@ std::vector<InjectedError> InjectErrors(Relation* relation,
     rows.resize(std::min<size_t>(n_errors, rows.size()));
 
     for (RowId row : rows) {
-      const std::string original = relation->cell(row, col);
+      const std::string original(relation->cell(row, col));
       if (TrimView(original).empty()) continue;
 
       const ErrorType type =

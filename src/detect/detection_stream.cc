@@ -26,9 +26,9 @@ namespace {
 struct ColumnIds {
   bool resolved = false;
   std::vector<int64_t> ids;
-  /// Distinct values the stream has not absorbed yet (pointers into the
-  /// batch).
-  std::vector<const std::string*> new_values;
+  /// Distinct values the stream has not absorbed yet (views into the
+  /// batch's arena-backed cells, stable while the batch lives).
+  std::vector<std::string_view> new_values;
 };
 
 /// A record-key fragment in RecordKey's exact byte format (the canonical
@@ -101,7 +101,7 @@ class BatchLhsScan {
       } else {
         int8_t& verdict = new_match_[i][-id - 1];
         if (verdict < 0) {
-          verdict = matcher->Matches(*cell_ids_[i]->new_values[-id - 1])
+          verdict = matcher->Matches(cell_ids_[i]->new_values[-id - 1])
                         ? 1
                         : 0;
         }
@@ -119,7 +119,7 @@ class BatchLhsScan {
     key->clear();
     for (size_t i = 0; i < row_.lhs_cols.size(); ++i) {
       const ConstrainedMatcher* matcher = row_.lhs_matchers[i].get();
-      const std::string& cell = batch_.cell(r, row_.lhs_cols[i]);
+      const std::string_view cell = batch_.cell(r, row_.lhs_cols[i]);
       if (matcher == nullptr) {
         key->append(cell);
         key->push_back('\x1f');
@@ -143,7 +143,7 @@ class BatchLhsScan {
         std::string& frag = new_frag_[i][-id - 1];
         if (state < 0) {
           state = ComputeKeyFragment(
-                      *matcher, *cell_ids_[i]->new_values[-id - 1], &frag)
+                      *matcher, cell_ids_[i]->new_values[-id - 1], &frag)
                       ? 1
                       : 0;
         }
@@ -398,15 +398,14 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
     const ColumnDictionary* dict = dicts_[col].get();
     std::unordered_map<std::string_view, int64_t> local;
     for (RowId r = 0; r < nbatch; ++r) {
-      const std::string& value = batch.cell(r, col);
+      const std::string_view value = batch.cell(r, col);
       uint32_t id;
       if (dict != nullptr && dict->Lookup(value, &id)) {
         entry.ids[r] = static_cast<int64_t>(id);
       } else {
         auto [it, inserted] = local.try_emplace(
-            std::string_view(value),
-            -static_cast<int64_t>(entry.new_values.size()) - 1);
-        if (inserted) entry.new_values.push_back(&value);
+            value, -static_cast<int64_t>(entry.new_values.size()) - 1);
+        if (inserted) entry.new_values.push_back(value);
         entry.ids[r] = it->second;
       }
     }
@@ -463,10 +462,10 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
 
   // ---- Variable rules: cumulative majorities + flip detection -------------
   if (clean_variable_rules_) {
-    const auto dirty_cell = [&](RowId a, size_t col) -> const std::string& {
+    const auto dirty_cell = [&](RowId a, size_t col) -> std::string_view {
       const auto it =
           dirty_overrides_.find(CellRef{a, static_cast<uint32_t>(col)});
-      return it != dirty_overrides_.end() ? it->second
+      return it != dirty_overrides_.end() ? std::string_view(it->second)
                                           : relation_.cell(a, col);
     };
     // Does some constant rule, applied to absorbed row `a`'s dirty cells,
@@ -614,7 +613,7 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
         // cumulative majority of the stream's (cleaned) view.
         if (stream_m.violated) {
           const RowId witness = stream_m.witness;
-          const std::string& repair =
+          const std::string_view repair =
               witness >= base ? batch.cell(witness - base, rhs_front)
                               : relation_.cell(witness, rhs_front);
           // Pair-backed majority suggestions carry witness strength 2, so
@@ -648,7 +647,7 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
         }
         for (size_t ai = 0; ai < arows.size(); ++ai) {
           const CellRef cell{arows[ai], rhs_front};
-          const std::string& current =
+          const std::string_view current =
               relation_.cell(cell.row, cell.column);
           if (dirty_m.violated && *cache.dirty_of[ai] != *dirty_m.key &&
               !dirty_repair.empty()) {
@@ -664,8 +663,9 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
                   oneshot_constant_conflict(cell.row, cell.column,
                                             dirty_repair))) {
               ReportConflict(StreamConflict{
-                  StreamConflict::Kind::kRetroactiveRepair, cell, current,
-                  dirty_repair, state.pfd_index, num_batches_});
+                  StreamConflict::Kind::kRetroactiveRepair, cell,
+                  std::string(current), dirty_repair, state.pfd_index,
+                  num_batches_});
             }
           } else if (variable_repaired_.count(cell) > 0 &&
                      current != dirty_cell(cell.row, cell.column)) {
@@ -673,9 +673,10 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
             // majority now sides with its original value — the one-shot
             // pass would have left it alone.
             ReportConflict(StreamConflict{
-                StreamConflict::Kind::kRetroactiveRepair, cell, current,
-                dirty_cell(cell.row, cell.column), state.pfd_index,
-                num_batches_});
+                StreamConflict::Kind::kRetroactiveRepair, cell,
+                std::string(current),
+                std::string(dirty_cell(cell.row, cell.column)),
+                state.pfd_index, num_batches_});
           }
         }
       }
@@ -685,7 +686,7 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
   bool copied = false;  // most batches of a clean feed need no repair —
                         // only pay the batch copy when one applies
   for (const auto& [cell, suggestion] : fold.Resolve()) {
-    std::string before = batch.cell(cell.row, cell.column);
+    std::string before(batch.cell(cell.row, cell.column));
     if (before == suggestion.value) continue;
     if (!copied) {
       *cleaned = batch;
@@ -725,13 +726,15 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
       } else {
         cell = it->first;
       }
-      const std::string& dirty_value = batch.cell(cell.row, cell.column);
-      const std::string& stream_outcome =
-          (it != applied.end() && it->first == cell) ? it->second.value
-                                                     : dirty_value;
-      const std::string& oneshot_outcome =
-          (jt != expected.end() && jt->first == cell) ? jt->second.value
-                                                      : dirty_value;
+      const std::string_view dirty_value = batch.cell(cell.row, cell.column);
+      const std::string_view stream_outcome =
+          (it != applied.end() && it->first == cell)
+              ? std::string_view(it->second.value)
+              : dirty_value;
+      const std::string_view oneshot_outcome =
+          (jt != expected.end() && jt->first == cell)
+              ? std::string_view(jt->second.value)
+              : dirty_value;
       const size_t pfd = (it != applied.end() && it->first == cell)
                              ? it->second.pfd_index
                              : jt->second.pfd_index;
@@ -740,8 +743,9 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
       if (stream_outcome != oneshot_outcome) {
         ReportConflict(StreamConflict{
             StreamConflict::Kind::kMajorityFlip,
-            CellRef{base + cell.row, cell.column}, stream_outcome,
-            oneshot_outcome, pfd, num_batches_});
+            CellRef{base + cell.row, cell.column},
+            std::string(stream_outcome), std::string(oneshot_outcome), pfd,
+            num_batches_});
       }
     }
   }
@@ -756,7 +760,7 @@ Result<bool> DetectionStream::CleanBatch(const Relation& batch,
                                    std::string* key) {
       key->clear();
       for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
-        const std::string& cell = rel.cell(r, row.lhs_cols[i]);
+        const std::string_view cell = rel.cell(r, row.lhs_cols[i]);
         const ConstrainedMatcher* matcher = row.lhs_matchers[i].get();
         if (matcher == nullptr) {
           key->append(cell);

@@ -99,7 +99,7 @@ bool RecordKey(const Relation& relation, const ResolvedRow& row,
   key->clear();
   Extraction extraction;
   for (size_t i = 0; i < row.lhs_cols.size(); ++i) {
-    const std::string& cell = relation.cell(r, row.lhs_cols[i]);
+    const std::string_view cell = relation.cell(r, row.lhs_cols[i]);
     if (row.lhs_matchers[i] == nullptr) {
       key->append(cell);
       key->push_back('\x1f');
@@ -178,12 +178,12 @@ bool EmitConstantViolation(const Relation& relation, size_t pfd_index,
   const size_t first = mismatches.front();
   v.suspect = CellRef{r, static_cast<uint32_t>(row.rhs_cols[first])};
   v.suggested_repair = row.rhs_constants[first];
-  v.explanation =
-      row.lhs_attrs[0] + " = \"" + relation.cell(r, row.lhs_cols[0]) +
-      "\" matches " + row.row->lhs[0].ToString() + " but " +
-      row.rhs_attrs[first] + " = \"" +
-      relation.cell(r, row.rhs_cols[first]) + "\" != \"" +
-      row.rhs_constants[first] + "\"";
+  v.explanation = row.lhs_attrs[0] + " = \"";
+  v.explanation += relation.cell(r, row.lhs_cols[0]);
+  v.explanation += "\" matches " + row.row->lhs[0].ToString() + " but " +
+                   row.rhs_attrs[first] + " = \"";
+  v.explanation += relation.cell(r, row.rhs_cols[first]);
+  v.explanation += "\" != \"" + row.rhs_constants[first] + "\"";
   out->push_back(std::move(v));
   return true;
 }
@@ -215,9 +215,11 @@ void EmitPairViolation(const Relation& relation, size_t pfd_index,
   v.explanation =
       "rows " + std::to_string(suspect_row) + " and " +
       std::to_string(witness) + " agree on the constrained part of the LHS " +
-      "but disagree on " + row.rhs_attrs.front() + " (\"" +
-      relation.cell(suspect_row, row.rhs_cols.front()) + "\" vs \"" +
-      relation.cell(witness, row.rhs_cols.front()) + "\")";
+      "but disagree on " + row.rhs_attrs.front() + " (\"";
+  v.explanation += relation.cell(suspect_row, row.rhs_cols.front());
+  v.explanation += "\" vs \"";
+  v.explanation += relation.cell(witness, row.rhs_cols.front());
+  v.explanation += "\")";
   out->push_back(std::move(v));
 }
 
@@ -254,8 +256,8 @@ void ResolveGroups(const Relation& relation, size_t pfd_index,
     const std::string* majority_key = &majority.first;
     const RowId witness = majority.second.front();
     // Repair suggestion: the witness's first RHS attribute value.
-    const std::string majority_repair =
-        relation.cell(witness, row.rhs_cols.front());
+    const std::string majority_repair(
+        relation.cell(witness, row.rhs_cols.front()));
     for (const auto& [rhs, ids] : by_rhs) {
       if (rhs == *majority_key) continue;
       for (RowId r : ids) {

@@ -29,7 +29,7 @@ ContextParts SplitContexts(const Relation& relation, size_t lhs_col,
   std::set<RowId> seen;
   for (const Posting& p : postings) {
     if (!seen.insert(p.row).second) continue;  // one occurrence per row
-    const std::string& cell = relation.cell(p.row, lhs_col);
+    const std::string_view cell = relation.cell(p.row, lhs_col);
     size_t offset;
     if (mode == TokenMode::kTokens) {
       // Recover the character offset of the key token in this row's cell.
@@ -47,8 +47,8 @@ ContextParts SplitContexts(const Relation& relation, size_t lhs_col,
         return parts;
       }
     }
-    parts.prefixes.push_back(cell.substr(0, offset));
-    parts.suffixes.push_back(cell.substr(offset + key.text.size()));
+    parts.prefixes.emplace_back(cell.substr(0, offset));
+    parts.suffixes.emplace_back(cell.substr(offset + key.text.size()));
   }
   return parts;
 }
@@ -92,7 +92,7 @@ Result<std::vector<MinedRow>> MineConstantRows(
 
   // Support floor scaled by the column's non-null size (see header).
   size_t non_null = 0;
-  for (const std::string& cell : relation.column(lhs_col)) {
+  for (std::string_view cell : relation.column(lhs_col)) {
     if (!TrimView(cell).empty()) ++non_null;
   }
   DecisionOptions decision_options = options.decision;
@@ -160,7 +160,8 @@ Result<std::vector<MinedRow>> MineConstantRows(
       Pattern sig =
           GeneralizeString(lhs_values[r], GeneralizationLevel::kClassExact);
       std::string sig_text = sig.ToString();
-      by_signature[sig_text].push_back(Posting{r, 0, rhs_values[r]});
+      by_signature[sig_text].push_back(
+          Posting{r, 0, std::string(rhs_values[r])});
       signature_patterns.try_emplace(std::move(sig_text), std::move(sig));
     }
     for (const auto& [sig_text, postings] : by_signature) {

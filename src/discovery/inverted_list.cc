@@ -40,8 +40,8 @@ InvertedList BuildInvertedList(const Relation& relation, size_t lhs_col,
   const auto& lhs_values = relation.column(lhs_col);
   const auto& rhs_values = relation.column(rhs_col);
   for (RowId r = 0; r < relation.num_rows(); ++r) {
-    const std::string& lhs = lhs_values[r];
-    const std::string& rhs = rhs_values[r];
+    const std::string_view lhs = lhs_values[r];
+    const std::string_view rhs = rhs_values[r];
     if (TrimView(lhs).empty() || TrimView(rhs).empty()) continue;
     if (max_value_length > 0 && lhs.size() > max_value_length) continue;
 
@@ -59,7 +59,7 @@ InvertedList BuildInvertedList(const Relation& relation, size_t lhs_col,
     }
     for (Token& t : keys) {
       list.Insert(TokenKey{std::move(t.text), t.position},
-                  Posting{r, t.position, rhs});
+                  Posting{r, t.position, std::string(rhs)});
     }
   }
   return list;

@@ -37,7 +37,7 @@ CandidateExtraction ExtractTokenCandidate(const Relation& relation,
   out.specificity = index == kLastToken ? 100 : static_cast<int>(index);
   const auto& values = relation.column(lhs_col);
   for (RowId r = 0; r < values.size(); ++r) {
-    const std::string& cell = values[r];
+    const std::string_view cell = values[r];
     if (TrimView(cell).empty()) continue;
     if (max_value_length > 0 && cell.size() > max_value_length) continue;
     const std::vector<Token> tokens = Tokenize(cell);
@@ -52,8 +52,8 @@ CandidateExtraction ExtractTokenCandidate(const Relation& relation,
     const Token& tok = tokens[idx];
     out.rows.push_back(r);
     out.keys.push_back(tok.text);
-    out.prefixes.push_back(cell.substr(0, tok.offset));
-    out.suffixes.push_back(cell.substr(tok.offset + tok.text.size()));
+    out.prefixes.emplace_back(cell.substr(0, tok.offset));
+    out.suffixes.emplace_back(cell.substr(tok.offset + tok.text.size()));
   }
   return out;
 }
@@ -68,7 +68,7 @@ CandidateExtraction ExtractGramCandidate(const Relation& relation,
   out.specificity = static_cast<int>(k) + (suffix_key ? 1000 : 0);
   const auto& values = relation.column(lhs_col);
   for (RowId r = 0; r < values.size(); ++r) {
-    const std::string& cell = values[r];
+    const std::string_view cell = values[r];
     if (TrimView(cell).empty()) continue;
     if (max_value_length > 0 && cell.size() > max_value_length) continue;
     // The key must be a strict part of the value, or the PFD would
@@ -76,13 +76,13 @@ CandidateExtraction ExtractGramCandidate(const Relation& relation,
     if (cell.size() <= k) continue;
     out.rows.push_back(r);
     if (suffix_key) {
-      out.keys.push_back(cell.substr(cell.size() - k));
-      out.prefixes.push_back(cell.substr(0, cell.size() - k));
+      out.keys.emplace_back(cell.substr(cell.size() - k));
+      out.prefixes.emplace_back(cell.substr(0, cell.size() - k));
       out.suffixes.push_back("");
     } else {
-      out.keys.push_back(cell.substr(0, k));
+      out.keys.emplace_back(cell.substr(0, k));
       out.prefixes.push_back("");
-      out.suffixes.push_back(cell.substr(k));
+      out.suffixes.emplace_back(cell.substr(k));
     }
   }
   return out;
@@ -103,8 +103,8 @@ FunctionalScore ScoreCandidate(const CandidateExtraction& cand,
   score.covered = cand.rows.size();
   std::map<std::string, std::map<std::string, size_t>> groups;
   for (size_t i = 0; i < cand.rows.size(); ++i) {
-    const std::string& rhs = relation.cell(cand.rows[i], rhs_col);
-    ++groups[cand.keys[i]][rhs];
+    const std::string_view rhs = relation.cell(cand.rows[i], rhs_col);
+    ++groups[cand.keys[i]][std::string(rhs)];
   }
   for (const auto& [key, by_rhs] : groups) {
     size_t total = 0;
@@ -162,7 +162,7 @@ Result<std::vector<MinedVariableRow>> MineVariableRows(
 
   // Count non-null rows for the coverage denominator.
   size_t non_null = 0;
-  for (const std::string& cell : relation.column(lhs_col)) {
+  for (std::string_view cell : relation.column(lhs_col)) {
     if (!TrimView(cell).empty()) ++non_null;
   }
   if (non_null < 2) return std::vector<MinedVariableRow>{};

@@ -17,6 +17,27 @@ uint64_t HashSet(const std::vector<uint32_t>& set) {
   return h;
 }
 
+/// Longest common substring of two needles (classic O(|a|·|b|) rolling-row
+/// DP — needles are capped at 64 bytes by RequiredLiteralSubstring, so this
+/// is construction-time noise).
+std::string LongestCommonSubstring(const std::string& a,
+                                   const std::string& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> prev(b.size() + 1, 0), row(b.size() + 1, 0);
+  size_t best_len = 0, best_end = 0;  // end position in `a`
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      row[j] = a[i - 1] == b[j - 1] ? prev[j - 1] + 1 : 0;
+      if (row[j] > best_len) {
+        best_len = row[j];
+        best_end = i;
+      }
+    }
+    std::swap(prev, row);
+  }
+  return a.substr(best_end - best_len, best_len);
+}
+
 }  // namespace
 
 MultiPatternDfa::MultiPatternDfa(const std::vector<const Pattern*>& patterns)
@@ -43,6 +64,21 @@ MultiPatternDfa::MultiPatternDfa(const std::vector<const Pattern*>& patterns)
     }
     accept_pattern_of_[base + nfa.accept()] = static_cast<int32_t>(p);
     raw_start_set.push_back(base + nfa.start());
+  }
+  // Union prefilter: a substring guaranteed by *every* member is guaranteed
+  // for any accepted string regardless of which member accepts it, so fold
+  // the members' required literals under longest-common-substring. One
+  // member with no guaranteed literal sinks the whole filter.
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    std::string lit = RequiredLiteralSubstring(patterns[p]->elements());
+    if (lit.empty()) {
+      prefilter_literal_.clear();
+      break;
+    }
+    prefilter_literal_ =
+        p == 0 ? std::move(lit)
+               : LongestCommonSubstring(prefilter_literal_, lit);
+    if (prefilter_literal_.empty()) break;
   }
   BuildAlphabet();
   // State 0 is the dead state (empty merged-NFA set): all edges loop on
@@ -154,6 +190,11 @@ uint32_t MultiPatternDfa::Transition(uint32_t from, uint32_t cls) const {
 void MultiPatternDfa::Classify(std::string_view s,
                                std::vector<uint32_t>* out) const {
   out->clear();
+  // No member can accept a value lacking the shared mandatory literal.
+  if (!prefilter_literal_.empty() &&
+      !simd::ContainsLiteral(s, prefilter_literal_)) {
+    return;
+  }
   uint32_t state = start_state_;
   for (const char c : s) {
     state = Transition(state, byte_class_[static_cast<unsigned char>(c)]);
@@ -192,8 +233,8 @@ std::shared_ptr<const FrozenMultiDfa> MultiPatternDfa::Freeze(
   }
 
   auto frozen = std::shared_ptr<FrozenMultiDfa>(new FrozenMultiDfa());
-  std::copy(std::begin(byte_class_), std::end(byte_class_),
-            std::begin(frozen->byte_class_));
+  simd::BuildByteClassifier(byte_class_, &frozen->classifier_);
+  frozen->prefilter_literal_ = prefilter_literal_;
   frozen->num_classes_ = num_classes_;
   frozen->num_states_ = static_cast<uint32_t>(nfa_sets_.size());
   frozen->num_patterns_ = static_cast<uint32_t>(num_patterns_);

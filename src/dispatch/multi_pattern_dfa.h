@@ -33,15 +33,18 @@
 /// walks in tests/dispatch_test.cc); conjuncts are out of scope here, the
 /// same contract as `Dfa`.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "pattern/dfa.h"
 #include "pattern/nfa.h"
 #include "pattern/pattern.h"
+#include "util/simd.h"
 
 namespace anmat {
 
@@ -77,6 +80,13 @@ class MultiPatternDfa {
   size_t num_symbol_classes() const { return num_classes_; }
   size_t num_materialized_states() const { return nfa_sets_.size(); }
 
+  /// Union prefilter needle: the longest substring guaranteed to occur in
+  /// every string accepted by *any* member pattern — the fold of the
+  /// members' `RequiredLiteralSubstring`s under longest-common-substring.
+  /// Empty whenever any member guarantees nothing (then no filter is
+  /// sound). `Classify` rejects values lacking it without a table walk.
+  const std::string& prefilter_literal() const { return prefilter_literal_; }
+
  private:
   static constexpr uint32_t kDead = 0;    ///< DFA state for the empty set
   static constexpr uint32_t kUnset = 0xFFFFFFFFu;  ///< lazy-edge sentinel
@@ -94,6 +104,9 @@ class MultiPatternDfa {
 
   size_t num_patterns_ = 0;
   uint32_t accept_words_per_state_ = 1;  ///< (num_patterns_ + 63) / 64
+
+  /// Mandatory-literal needle shared by every member (empty = no filter).
+  std::string prefilter_literal_;
 
   /// The merged NFA: every member pattern's states, ids offset so they are
   /// disjoint; `accept_pattern_of_[s]` is the pattern whose accept state
@@ -129,22 +142,44 @@ class MultiPatternDfa {
 class FrozenMultiDfa {
  public:
   /// Clears `*out` and fills it with the ids (ascending) of every pattern
-  /// accepting `s`. Safe from any number of threads.
+  /// accepting `s`. Safe from any number of threads. Values lacking the
+  /// union's shared mandatory literal are rejected without a table walk;
+  /// long values classify through the SIMD kernel in chunks, exactly like
+  /// `FrozenDfa::Matches`.
   void Classify(std::string_view s, std::vector<uint32_t>* out) const {
     probes_.fetch_add(1, std::memory_order_relaxed);
     out->clear();
+    if (!prefilter_literal_.empty() &&
+        !simd::ContainsLiteral(s, prefilter_literal_)) {
+      return;
+    }
     uint32_t state = start_state_;
     const uint32_t stride = num_classes_;
-    for (const char c : s) {
-      state = transitions_[state * stride +
-                           byte_class_[static_cast<unsigned char>(c)]];
-      if (state == kDead) return;
+    // Buffered classify only when the shuffle kernel vectorizes it; the
+    // fused scalar walk wins otherwise (see FrozenDfa::Matches).
+    if (s.size() < kClassifyThreshold || !classifier_.shuffle_ok) {
+      for (const char c : s) {
+        state = transitions_[state * stride +
+                             classifier_.table[static_cast<unsigned char>(c)]];
+        if (state == kDead) return;
+      }
+    } else {
+      uint8_t cls[kClassifyChunk];
+      for (size_t i = 0; i < s.size(); i += kClassifyChunk) {
+        const size_t chunk = std::min(s.size() - i, sizeof(cls));
+        simd::ClassifyBytes(classifier_, s.data() + i, chunk, cls);
+        for (size_t j = 0; j < chunk; ++j) {
+          state = transitions_[state * stride + cls[j]];
+          if (state == kDead) return;
+        }
+      }
     }
     const uint32_t ref = accept_ref_[state];
     if (ref == 0) return;  // entry 0 is the empty set
-    for (uint32_t i = pool_offsets_[ref]; i < pool_offsets_[ref + 1]; ++i) {
-      out->push_back(pool_ids_[i]);
-    }
+    const uint32_t begin = pool_offsets_[ref];
+    const uint32_t end = pool_offsets_[ref + 1];
+    out->reserve(end - begin);
+    for (uint32_t i = begin; i < end; ++i) out->push_back(pool_ids_[i]);
     hits_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -161,14 +196,24 @@ class FrozenMultiDfa {
   /// Lifetime `Classify` calls / calls that returned a non-empty set.
   uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  const std::string& prefilter_literal() const { return prefilter_literal_; }
+  /// True when the SSSE3 table-shuffle path backs `ClassifyBytes` here.
+  bool classify_shuffle_active() const { return classifier_.shuffle_ok; }
 
  private:
   friend class MultiPatternDfa;  // populated by Freeze
   FrozenMultiDfa() = default;
 
   static constexpr uint32_t kDead = 0;
+  /// Same thresholds as `FrozenDfa`: shorter inputs walk fused, longer
+  /// ones classify through the SIMD kernel into a stack buffer.
+  static constexpr size_t kClassifyThreshold = 16;
+  static constexpr size_t kClassifyChunk = 256;
 
-  uint8_t byte_class_[256] = {};
+  /// byte -> symbol class table plus its prepared SIMD decomposition.
+  simd::ByteClassifier classifier_;
+  /// Mandatory-literal prefilter needle (empty = no prefilter).
+  std::string prefilter_literal_;
   uint32_t num_classes_ = 1;
   uint32_t num_states_ = 0;
   uint32_t num_patterns_ = 0;

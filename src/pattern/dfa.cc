@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
+
 namespace anmat {
 
 namespace {
@@ -18,7 +20,11 @@ uint64_t HashSet(const std::vector<uint32_t>& set) {
 
 }  // namespace
 
-Dfa Dfa::Compile(const Pattern& p) { return Dfa(Nfa::Compile(p)); }
+Dfa Dfa::Compile(const Pattern& p) {
+  Dfa dfa(Nfa::Compile(p));
+  dfa.required_literal_ = RequiredLiteralSubstring(p.elements());
+  return dfa;
+}
 
 Dfa::Dfa(Nfa nfa) : nfa_(std::move(nfa)) {
   BuildAlphabet();
@@ -93,6 +99,12 @@ uint32_t Dfa::Transition(uint32_t from, uint32_t cls) const {
 }
 
 bool Dfa::Matches(std::string_view s) const {
+  // Mandatory-literal prefilter: a string without the needle cannot match
+  // (exact — see RequiredLiteralSubstring), so skip the table walk.
+  if (!required_literal_.empty() &&
+      !simd::ContainsLiteral(s, required_literal_)) {
+    return false;
+  }
   uint32_t state = start_state_;
   for (const char c : s) {
     state = Transition(state, byte_class_[static_cast<unsigned char>(c)]);

@@ -81,6 +81,13 @@ class Dfa {
   size_t num_symbol_classes() const { return num_classes_; }
   size_t num_materialized_states() const { return accept_.size(); }
 
+  /// The mandatory-literal prefilter needle (see
+  /// `RequiredLiteralSubstring`): non-empty only when compiled from a
+  /// `Pattern` whose element sequence guarantees the substring. `Matches`
+  /// rejects inputs lacking it without touching the automaton; `Freeze`
+  /// copies it into the frozen table.
+  const std::string& required_literal() const { return required_literal_; }
+
  private:
   static constexpr uint32_t kDead = 0;    ///< DFA state for the empty set
   static constexpr uint32_t kUnset = 0xFFFFFFFFu;  ///< lazy-edge sentinel
@@ -95,6 +102,9 @@ class Dfa {
   uint32_t Transition(uint32_t from, uint32_t cls) const;
 
   Nfa nfa_;
+
+  /// Mandatory-literal prefilter needle (empty = no prefilter).
+  std::string required_literal_;
 
   /// byte value -> symbol-equivalence class id.
   uint8_t byte_class_[256] = {};

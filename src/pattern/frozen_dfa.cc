@@ -17,9 +17,8 @@ std::shared_ptr<const FrozenDfa> Dfa::Freeze(size_t max_states) const {
   if (accept_.size() > max_states) return nullptr;
 
   auto frozen = std::shared_ptr<FrozenDfa>(new FrozenDfa());
-  static_assert(sizeof(frozen->byte_class_) == sizeof(byte_class_));
-  std::copy(std::begin(byte_class_), std::end(byte_class_),
-            std::begin(frozen->byte_class_));
+  simd::BuildByteClassifier(byte_class_, &frozen->classifier_);
+  frozen->prefilter_literal_ = required_literal_;
   frozen->num_classes_ = num_classes_;
   frozen->num_states_ = static_cast<uint32_t>(accept_.size());
   frozen->start_state_ = start_state_;

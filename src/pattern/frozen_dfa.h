@@ -15,6 +15,19 @@
 /// probed lock-free from any number of threads and shared engine-wide via
 /// `shared_ptr` (see pattern/automaton_cache.h).
 ///
+/// Two hot-path accelerations ride on the frozen table, both exact:
+///
+///   * a *required-literal prefilter*: the longest substring mandatory in
+///     every accepted string (`RequiredLiteralSubstring`, carried over
+///     from the compiling `Dfa`). `Matches`/`ScanPrefixes` reject values
+///     lacking the needle with one memchr-anchored scan, never touching
+///     the transition table;
+///   * a *vectorized class-mapping kernel*: long inputs are mapped to
+///     symbol classes 16 bytes per iteration (`simd::ClassifyBytes`, a
+///     table-shuffle under SSSE3, unrolled scalar otherwise) into a stack
+///     buffer that feeds the table walk, instead of one table lookup per
+///     input byte.
+///
 /// Matching semantics are byte-identical to the lazy `Dfa` (and therefore
 /// to the `Nfa` reference): same accept decisions, same prefix-length
 /// sets — differential-tested in tests/dfa_test.cc. State 0 is the dead
@@ -25,12 +38,15 @@
 /// states) are reported unfreezable (`Freeze` returns null) and callers
 /// fall back to private lazy `Dfa` copies, one per owner.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "pattern/dfa.h"
+#include "util/simd.h"
 
 namespace anmat {
 
@@ -38,30 +54,57 @@ namespace anmat {
 /// probes. Built exclusively by `Dfa::Freeze`.
 class FrozenDfa {
  public:
-  /// Full-string match: one flat table lookup per byte, early exit on the
-  /// dead state.
+  /// Full-string match: literal prefilter, then a class-buffered table
+  /// walk (16-bytes-per-iteration classification on long values), early
+  /// exit on the dead state.
   bool Matches(std::string_view s) const {
+    if (!prefilter_literal_.empty() &&
+        !simd::ContainsLiteral(s, prefilter_literal_)) {
+      return false;
+    }
     uint32_t state = start_state_;
     const uint32_t stride = num_classes_;
-    for (const char c : s) {
-      state =
-          transitions_[state * stride + byte_class_[static_cast<unsigned char>(c)]];
-      if (state == kDead) return false;
+    // The buffered classify pass only pays off when the shuffle kernel is
+    // actually vectorizing it; otherwise (short values, SSE2-only builds,
+    // non-uniform high halves) the fused scalar walk does strictly less
+    // work per byte.
+    if (s.size() < kClassifyThreshold || !classifier_.shuffle_ok) {
+      for (const char c : s) {
+        state = transitions_[state * stride +
+                             classifier_.table[static_cast<unsigned char>(c)]];
+        if (state == kDead) return false;
+      }
+      return IsAccept(state);
+    }
+    uint8_t cls[kClassifyChunk];
+    for (size_t i = 0; i < s.size(); i += kClassifyChunk) {
+      const size_t chunk = std::min(s.size() - i, sizeof(cls));
+      simd::ClassifyBytes(classifier_, s.data() + i, chunk, cls);
+      for (size_t j = 0; j < chunk; ++j) {
+        state = transitions_[state * stride + cls[j]];
+        if (state == kDead) return false;
+      }
     }
     return IsAccept(state);
   }
 
   /// Allocation-free prefix scan: clears `*out` and fills it with every L
   /// such that s[0, L) is accepted, ascending. Same contract as
-  /// `Dfa::ScanPrefixes`.
+  /// `Dfa::ScanPrefixes`. When the mandatory literal is absent from `s`,
+  /// no prefix can be accepted either (the literal is mandatory for any
+  /// accept), so the walk is skipped entirely.
   size_t ScanPrefixes(std::string_view s, std::vector<uint32_t>* out) const {
     out->clear();
+    if (!prefilter_literal_.empty() &&
+        !simd::ContainsLiteral(s, prefilter_literal_)) {
+      return 0;
+    }
     uint32_t state = start_state_;
     const uint32_t stride = num_classes_;
     if (IsAccept(state)) out->push_back(0);
     for (size_t i = 0; i < s.size(); ++i) {
       state = transitions_[state * stride +
-                           byte_class_[static_cast<unsigned char>(s[i])]];
+                           classifier_.table[static_cast<unsigned char>(s[i])]];
       if (state == kDead) break;
       if (IsAccept(state)) out->push_back(static_cast<uint32_t>(i + 1));
     }
@@ -78,21 +121,33 @@ class FrozenDfa {
   /// Introspection (benchmarks / tests).
   size_t num_states() const { return num_states_; }
   size_t num_symbol_classes() const { return num_classes_; }
+  const std::string& prefilter_literal() const { return prefilter_literal_; }
+  /// True when the SSSE3 table-shuffle path backs `ClassifyBytes` for this
+  /// automaton's class table (build- and table-dependent).
+  bool classify_shuffle_active() const { return classifier_.shuffle_ok; }
 
  private:
   friend class Dfa;  // populated by Dfa::Freeze
   FrozenDfa() = default;
 
   static constexpr uint32_t kDead = 0;
+  /// Inputs at least this long classify through the SIMD kernel; shorter
+  /// ones walk fused (the buffer round-trip only pays off once a full
+  /// vector participates).
+  static constexpr size_t kClassifyThreshold = 16;
+  static constexpr size_t kClassifyChunk = 256;
 
   bool IsAccept(uint32_t state) const {
     return (accept_bits_[state >> 6] >> (state & 63)) & 1;
   }
 
-  uint8_t byte_class_[256] = {};
+  /// byte -> symbol class table plus its prepared SIMD decomposition.
+  simd::ByteClassifier classifier_;
   uint32_t num_classes_ = 1;
   uint32_t num_states_ = 0;
   uint32_t start_state_ = kDead;
+  /// Mandatory-literal prefilter needle (empty = no prefilter).
+  std::string prefilter_literal_;
   /// State-major flat transition table: transitions_[state * num_classes_
   /// + cls]. Every entry is a valid state id (no lazy sentinel).
   std::vector<uint32_t> transitions_;

@@ -84,11 +84,16 @@ bool ConstrainedMatcher::ComputeSplitPlan(std::string_view s,
     for (uint32_t p : plan->feasible[j + 1]) next_ok[p] = true;
     std::vector<std::vector<uint32_t>>& seg_lengths = plan->lengths[j];
     seg_lengths.resize(n + 1);
+    size_t prev_count = 0;
     for (uint32_t p = 0; p <= n; ++p) {
       // One DFA forward scan yields every prefix length at once (the scan
       // self-terminates at the dead state, i.e. after the segment's maximum
       // length); memoized here for the enumeration/extraction passes.
-      segment_dfas_[j].ScanPrefixes(s.substr(p, n - p), &seg_lengths[p]);
+      // Adjacent start positions see near-identical suffixes, so the
+      // previous scan's count is a tight reserve for this one.
+      seg_lengths[p].reserve(prev_count);
+      prev_count =
+          segment_dfas_[j].ScanPrefixes(s.substr(p, n - p), &seg_lengths[p]);
       for (uint32_t len : seg_lengths[p]) {
         if (next_ok[p + len]) {
           plan->feasible[j].push_back(p);

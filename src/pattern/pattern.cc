@@ -115,6 +115,35 @@ void Pattern::Normalize() {
   for (Pattern& c : conjuncts_) c.Normalize();
 }
 
+std::string RequiredLiteralSubstring(
+    const std::vector<PatternElement>& elements) {
+  // Any substring of a guaranteed run is itself guaranteed, so capping the
+  // needle keeps the filter exact while bounding memory for pathological
+  // `{N}` counts (and long needles add nothing over find anyway).
+  constexpr size_t kMaxNeedle = 64;
+  std::string best, cur;
+  auto flush = [&] {
+    if (cur.size() > best.size()) best = cur;
+  };
+  for (const PatternElement& e : elements) {
+    if (e.cls == SymbolClass::kLiteral && e.min >= 1) {
+      cur.append(std::min<size_t>(e.min, kMaxNeedle), e.literal);
+      if (cur.size() > kMaxNeedle) cur.erase(0, cur.size() - kMaxNeedle);
+      if (e.max != e.min) {
+        // Extra optional repeats of the same character may interpose;
+        // only the trailing `min` run stays adjacent to the successor.
+        flush();
+        cur.assign(std::min<size_t>(e.min, kMaxNeedle), e.literal);
+      }
+    } else {
+      flush();
+      cur.clear();
+    }
+  }
+  flush();
+  return best;
+}
+
 Pattern LiteralPattern(std::string_view s) {
   std::vector<PatternElement> elements;
   elements.reserve(s.size());

@@ -110,6 +110,21 @@ class Pattern {
 /// \brief Escapes a character for use as a literal in pattern syntax.
 std::string EscapePatternChar(char c);
 
+/// \brief The longest byte string guaranteed to occur as a contiguous
+/// substring of *every* string matching the element sequence (conjuncts
+/// are not considered — the same scope as `Dfa`). Empty when no literal is
+/// mandatory. Sound by construction, so `memchr`-anchored prefilters built
+/// on it may reject values without an automaton probe but never reject a
+/// true match.
+///
+/// Contiguity reasoning: mandatory literal elements (`min >= 1`)
+/// concatenate; an element with `max > min` may interpose extra copies of
+/// its own character, so only its trailing `min` run is guaranteed
+/// adjacent to what follows (the run up to and including its leading
+/// `min` copies is emitted as a separate candidate); any other element
+/// breaks contiguity.
+std::string RequiredLiteralSubstring(const std::vector<PatternElement>& elements);
+
 /// \brief A pattern matching exactly the string `s` (each char a literal).
 Pattern LiteralPattern(std::string_view s);
 

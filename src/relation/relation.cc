@@ -8,16 +8,17 @@
 
 namespace anmat {
 
-ColumnDictionary::ColumnDictionary(const std::vector<std::string>& cells) {
+ColumnDictionary::ColumnDictionary(const std::vector<std::string_view>& cells) {
   row_value_.reserve(cells.size());
-  // string_view keys alias `cells`, which outlives the build.
+  // string_view keys alias the cells' backing arena, which outlives the
+  // build.
   std::unordered_map<std::string_view, uint32_t> ids;
   ids.reserve(cells.size());
   for (RowId r = 0; r < cells.size(); ++r) {
     auto [it, inserted] =
         ids.emplace(cells[r], static_cast<uint32_t>(values_.size()));
     if (inserted) {
-      values_.push_back(cells[r]);
+      values_.emplace_back(cells[r]);
       postings_.emplace_back();
     }
     postings_[it->second].push_back(r);
@@ -25,7 +26,7 @@ ColumnDictionary::ColumnDictionary(const std::vector<std::string>& cells) {
   }
 }
 
-void ColumnDictionary::Append(const std::vector<std::string>& cells,
+void ColumnDictionary::Append(const std::vector<std::string_view>& cells,
                               RowId first_row) {
   assert(first_row == row_value_.size() && "dictionaries are append-only");
   if (incremental_index_.empty() && !values_.empty()) {
@@ -38,11 +39,11 @@ void ColumnDictionary::Append(const std::vector<std::string>& cells,
   }
   for (size_t i = 0; i < cells.size(); ++i) {
     const RowId r = first_row + static_cast<RowId>(i);
-    auto it = incremental_index_.find(std::string_view(cells[i]));
+    auto it = incremental_index_.find(cells[i]);
     uint32_t id;
     if (it == incremental_index_.end()) {
       id = static_cast<uint32_t>(values_.size());
-      values_.push_back(cells[i]);
+      values_.emplace_back(cells[i]);
       postings_.emplace_back();
       incremental_index_.emplace(values_[id], id);
     } else {
@@ -69,6 +70,13 @@ const ColumnDictionary& Relation::dictionary(size_t col) const {
   return *dictionaries_[col];
 }
 
+Arena& Relation::arena() const {
+  // arena_ is only null in a moved-from relation; reviving it is a
+  // mutation and so (per the class contract) externally synchronized.
+  if (arena_ == nullptr) arena_ = std::make_shared<Arena>();
+  return *arena_;
+}
+
 Relation::Relation(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.num_columns());
 }
@@ -78,6 +86,7 @@ Relation::Relation(const Relation& other)
       columns_(other.columns_),
       num_rows_(other.num_rows_) {
   std::lock_guard<std::mutex> lock(other.dict_mu_);
+  arena_ = other.arena_;
   dictionaries_ = other.dictionaries_;
 }
 
@@ -87,12 +96,15 @@ Relation& Relation::operator=(const Relation& other) {
   columns_ = other.columns_;
   num_rows_ = other.num_rows_;
   std::vector<std::shared_ptr<const ColumnDictionary>> snapshot;
+  std::shared_ptr<Arena> arena_snapshot;
   {
     std::lock_guard<std::mutex> lock(other.dict_mu_);
     snapshot = other.dictionaries_;
+    arena_snapshot = other.arena_;
   }
   std::lock_guard<std::mutex> lock(dict_mu_);
   dictionaries_ = std::move(snapshot);
+  arena_ = std::move(arena_snapshot);
   return *this;
 }
 
@@ -101,6 +113,7 @@ Relation::Relation(Relation&& other) noexcept
       columns_(std::move(other.columns_)),
       num_rows_(other.num_rows_) {
   std::lock_guard<std::mutex> lock(other.dict_mu_);
+  arena_ = std::move(other.arena_);
   dictionaries_ = std::move(other.dictionaries_);
   other.num_rows_ = 0;
 }
@@ -112,24 +125,28 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   num_rows_ = other.num_rows_;
   other.num_rows_ = 0;
   std::vector<std::shared_ptr<const ColumnDictionary>> snapshot;
+  std::shared_ptr<Arena> arena_snapshot;
   {
     std::lock_guard<std::mutex> lock(other.dict_mu_);
     snapshot = std::move(other.dictionaries_);
+    arena_snapshot = std::move(other.arena_);
   }
   std::lock_guard<std::mutex> lock(dict_mu_);
   dictionaries_ = std::move(snapshot);
+  arena_ = std::move(arena_snapshot);
   return *this;
 }
 
-Status Relation::AppendRow(std::vector<std::string> cells) {
+Status Relation::AppendRow(const std::vector<std::string>& cells) {
   if (cells.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "row width " + std::to_string(cells.size()) +
         " does not match schema width " +
         std::to_string(schema_.num_columns()));
   }
+  Arena& arena = this->arena();
   for (size_t c = 0; c < cells.size(); ++c) {
-    columns_[c].push_back(std::move(cells[c]));
+    columns_[c].push_back(arena.Intern(cells[c]));
   }
   ++num_rows_;
   std::lock_guard<std::mutex> lock(dict_mu_);
@@ -137,7 +154,23 @@ Status Relation::AppendRow(std::vector<std::string> cells) {
   return Status::OK();
 }
 
-Result<const std::vector<std::string>*> Relation::ColumnByName(
+Status Relation::AppendRowViews(const std::vector<std::string_view>& cells) {
+  if (cells.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(cells.size()) +
+        " does not match schema width " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (size_t c = 0; c < cells.size(); ++c) {
+    columns_[c].push_back(cells[c]);
+  }
+  ++num_rows_;
+  std::lock_guard<std::mutex> lock(dict_mu_);
+  dictionaries_.clear();
+  return Status::OK();
+}
+
+Result<const std::vector<std::string_view>*> Relation::ColumnByName(
     std::string_view name) const {
   ANMAT_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(name));
   return &columns_[idx];
@@ -147,7 +180,7 @@ std::vector<std::string> Relation::Row(RowId row) const {
   std::vector<std::string> out;
   out.reserve(num_columns());
   for (size_t c = 0; c < num_columns(); ++c) {
-    out.push_back(columns_[c][row]);
+    out.emplace_back(columns_[c][row]);
   }
   return out;
 }
@@ -155,7 +188,7 @@ std::vector<std::string> Relation::Row(RowId row) const {
 void Relation::InferColumnTypes() {
   for (size_t c = 0; c < num_columns(); ++c) {
     ValueType type = ValueType::kNull;
-    for (const std::string& cell : columns_[c]) {
+    for (const std::string_view cell : columns_[c]) {
       type = UnifyValueTypes(type, InferValueType(cell));
       if (type == ValueType::kText) break;  // already at the top
     }
@@ -175,6 +208,11 @@ Result<Relation> Relation::Slice(RowId begin, RowId end) const {
                            columns_[c].begin() + end);
   }
   out.num_rows_ = end - begin;
+  {
+    // Share the arena so the copied views stay backed.
+    std::lock_guard<std::mutex> lock(dict_mu_);
+    out.arena_ = arena_;
+  }
   return out;
 }
 

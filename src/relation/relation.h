@@ -4,9 +4,17 @@
 /// \file relation.h
 /// In-memory relational tables.
 ///
-/// `Relation` stores cells column-major (one `std::vector<std::string>` per
-/// column), which matches ANMAT's access pattern: discovery and detection
-/// stream entire columns (or column pairs), not whole rows.
+/// `Relation` stores cells column-major as `std::string_view`s (one
+/// `std::vector<std::string_view>` per column), which matches ANMAT's
+/// access pattern: discovery and detection stream entire columns (or
+/// column pairs), not whole rows. The bytes behind the views live in a
+/// per-relation `Arena` (util/arena.h) — either interned copies
+/// (`AppendRow`, `set_cell`) or zero-copy views into a buffer the arena
+/// has adopted (the memory-mapped CSV file; see `AppendRowViews`). The
+/// arena only grows and is shared across relation copies/slices, so a
+/// cell view stays valid for as long as any relation referencing it
+/// lives. Owning-string storage concentrates where values are distinct:
+/// in `ColumnDictionary`.
 
 #include <cstdint>
 #include <deque>
@@ -18,6 +26,7 @@
 #include <vector>
 
 #include "relation/schema.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace anmat {
@@ -37,14 +46,15 @@ using RowId = uint32_t;
 ///
 /// Built lazily by `Relation::dictionary()` and owned via shared_ptr so
 /// copied relations stay cheap; the dictionary owns copies of the distinct
-/// strings and is therefore self-contained.
+/// strings and is therefore self-contained — it outlives the relation (and
+/// arena) it was built from.
 class ColumnDictionary {
  public:
   /// An empty dictionary, to be grown with `Append` (the streaming path).
   ColumnDictionary() = default;
 
   /// Builds the dictionary of `cells` (all rows of one column).
-  explicit ColumnDictionary(const std::vector<std::string>& cells);
+  explicit ColumnDictionary(const std::vector<std::string_view>& cells);
 
   // Copies drop the incremental index — its string_view keys alias the
   // *source's* value storage and must not travel; the copy reseeds it from
@@ -71,7 +81,7 @@ class ColumnDictionary {
   /// distinct values get ids in first-occurrence order, so the result is
   /// indistinguishable from a bulk build over the concatenated column —
   /// which is what keeps `DetectionStream` byte-identical to one-shot runs.
-  void Append(const std::vector<std::string>& cells, RowId first_row);
+  void Append(const std::vector<std::string_view>& cells, RowId first_row);
 
   /// Number of rows indexed so far.
   size_t num_rows() const { return row_value_.size(); }
@@ -118,14 +128,17 @@ class ColumnDictionary {
 /// Thread safety: concurrent const access (including the lazily-built
 /// `dictionary()`) is safe; mutation (`AppendRow`, `set_cell`,
 /// `InferColumnTypes`) requires external synchronization with all other
-/// access, as usual for containers.
+/// access to the same relation, as usual for containers. Relation copies
+/// share an append-only arena whose mutations are internally serialized,
+/// so independently-owned copies may be mutated from different threads.
 class Relation {
  public:
   Relation() = default;
   explicit Relation(Schema schema);
 
   // The dictionary-cache mutex makes copy/move user-provided; a copy shares
-  // the already-built dictionary snapshots until either side mutates.
+  // the already-built dictionary snapshots (and the cell arena) until
+  // either side mutates.
   Relation(const Relation& other);
   Relation& operator=(const Relation& other);
   Relation(Relation&& other) noexcept;
@@ -135,15 +148,25 @@ class Relation {
   size_t num_columns() const { return schema_.num_columns(); }
   size_t num_rows() const { return num_rows_; }
 
-  /// Appends a row; the row width must equal the schema width.
-  Status AppendRow(std::vector<std::string> cells);
+  /// Appends a row, interning every cell into the arena; the row width
+  /// must equal the schema width.
+  Status AppendRow(const std::vector<std::string>& cells);
 
-  /// Cell accessors (bounds-checked in debug builds).
-  const std::string& cell(RowId row, size_t col) const {
+  /// Zero-copy append: stores the views as-is. The caller guarantees the
+  /// viewed bytes outlive the relation — either because they point into a
+  /// buffer registered via `arena().AdoptBuffer` (the mmap'd CSV path) or
+  /// into otherwise-immortal storage. Width-checked like `AppendRow`.
+  Status AppendRowViews(const std::vector<std::string_view>& cells);
+
+  /// Cell accessors (views into the shared arena; stable across appends
+  /// and `set_cell`, invalidated only by relation destruction).
+  std::string_view cell(RowId row, size_t col) const {
     return columns_[col][row];
   }
-  void set_cell(RowId row, size_t col, std::string value) {
-    columns_[col][row] = std::move(value);
+  void set_cell(RowId row, size_t col, std::string_view value) {
+    // Copy-on-write into the arena: the repair path hands in transient
+    // strings, and views must outlive them.
+    columns_[col][row] = arena().Intern(value);
     // Invalidate the column's cached dictionary — but only when one was
     // ever built. Mutation already requires external synchronization with
     // all other access, so the unlocked emptiness probe races with
@@ -162,22 +185,27 @@ class Relation {
   const ColumnDictionary& dictionary(size_t col) const;
 
   /// Whole column view.
-  const std::vector<std::string>& column(size_t col) const {
+  const std::vector<std::string_view>& column(size_t col) const {
     return columns_.at(col);
   }
 
   /// Column by name.
-  Result<const std::vector<std::string>*> ColumnByName(
+  Result<const std::vector<std::string_view>*> ColumnByName(
       std::string_view name) const;
 
-  /// Materializes row `row` as a vector of cells.
+  /// Materializes row `row` as a vector of owned cells.
   std::vector<std::string> Row(RowId row) const;
+
+  /// The arena backing this relation's cell views (shared across copies).
+  /// Zero-copy loaders adopt their backing buffers here.
+  Arena& arena() const;
 
   /// Refreshes the schema's column types from the current data: the type of
   /// each column is the least upper bound of its cells' inferred types.
   void InferColumnTypes();
 
   /// A new relation with the same schema containing rows [begin, end).
+  /// Shares this relation's arena (cell views are not copied).
   Result<Relation> Slice(RowId begin, RowId end) const;
 
   /// Pretty-prints the first `max_rows` rows as an ASCII table.
@@ -185,8 +213,12 @@ class Relation {
 
  private:
   Schema schema_;
-  std::vector<std::vector<std::string>> columns_;
+  std::vector<std::vector<std::string_view>> columns_;
   size_t num_rows_ = 0;
+  /// Byte storage behind the cell views; shared by copies and slices,
+  /// append-only (internally synchronized). Never null except transiently
+  /// in a moved-from relation (revived on next use).
+  mutable std::shared_ptr<Arena> arena_ = std::make_shared<Arena>();
   /// Guards `dictionaries_` (the slot vector, not the built dictionaries,
   /// which are immutable once published).
   mutable std::mutex dict_mu_;
@@ -200,9 +232,19 @@ class RelationBuilder {
  public:
   explicit RelationBuilder(Schema schema) : relation_(std::move(schema)) {}
 
-  Status AddRow(std::vector<std::string> cells) {
-    return relation_.AppendRow(std::move(cells));
+  Status AddRow(const std::vector<std::string>& cells) {
+    return relation_.AppendRow(cells);
   }
+
+  /// Zero-copy row add; see `Relation::AppendRowViews` for the lifetime
+  /// contract.
+  Status AddRowViews(const std::vector<std::string_view>& cells) {
+    return relation_.AppendRowViews(cells);
+  }
+
+  /// The relation under construction (e.g. to adopt buffers into its
+  /// arena before adding view rows).
+  Relation& relation() { return relation_; }
 
   /// Finalizes the relation, inferring column types.
   Relation Build() {

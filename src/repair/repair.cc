@@ -73,7 +73,7 @@ Result<RepairResult> RepairErrors(Relation* relation,
 
     size_t applied_this_pass = 0;
     for (const auto& [cell, suggestion] : suggestions) {
-      const std::string before = relation->cell(cell.row, cell.column);
+      const std::string before(relation->cell(cell.row, cell.column));
       if (before == suggestion.value) continue;
       relation->set_cell(cell.row, cell.column, suggestion.value);
       repaired_cells.insert(cell);

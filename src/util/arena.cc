@@ -1,0 +1,30 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace anmat {
+
+std::string_view Arena::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s.empty()) return std::string_view("", 0);
+  if (s.size() > head_left_) {
+    const size_t alloc = std::max(chunk_size_, s.size());
+    chunks_.push_back(std::make_unique<char[]>(alloc));
+    head_ = chunks_.back().get();
+    head_left_ = alloc;
+  }
+  char* dst = head_;
+  std::memcpy(dst, s.data(), s.size());
+  head_ += s.size();
+  head_left_ -= s.size();
+  bytes_used_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+void Arena::AdoptBuffer(std::shared_ptr<const void> buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  adopted_.push_back(std::move(buffer));
+}
+
+}  // namespace anmat

@@ -1,0 +1,65 @@
+#ifndef ANMAT_UTIL_ARENA_H_
+#define ANMAT_UTIL_ARENA_H_
+
+/// \file arena.h
+/// Append-only byte arena backing `string_view` cell storage.
+///
+/// `Relation` (relation/relation.h) holds cells as `std::string_view`s.
+/// Every view points either into a buffer the arena has adopted (the
+/// memory-mapped CSV file, a slurped file body) or into bytes interned
+/// here. The arena only ever grows: chunks are never reallocated or
+/// freed before the arena itself dies, so a view handed out once stays
+/// valid for the arena's whole lifetime — exactly the stability contract
+/// column vectors need while repair rewrites individual cells.
+///
+/// Thread safety: `Intern`/`AdoptBuffer` are internally serialized with a
+/// mutex, because relation *copies* share one arena (cheap copies are the
+/// point of view storage) and two copies may legally be mutated from two
+/// threads. Readers never touch arena state — they only dereference
+/// already-published bytes — so the hot scan paths stay lock-free.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace anmat {
+
+/// \brief Growing byte store with stable addresses and adopted buffers.
+class Arena {
+ public:
+  /// `chunk_size` is the default allocation granularity; oversized strings
+  /// get a dedicated chunk.
+  explicit Arena(size_t chunk_size = 64 * 1024) : chunk_size_(chunk_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Copies `s` into the arena and returns a view of the stable copy.
+  std::string_view Intern(std::string_view s);
+
+  /// Keeps `buffer` alive as long as the arena: views into an adopted
+  /// buffer (an mmap'd file, a slurped string) are as durable as interned
+  /// ones without copying a byte.
+  void AdoptBuffer(std::shared_ptr<const void> buffer);
+
+  /// Bytes interned so far (not counting adopted buffers).
+  size_t bytes_used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_used_;
+  }
+
+ private:
+  const size_t chunk_size_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::vector<std::shared_ptr<const void>> adopted_;
+  char* head_ = nullptr;    ///< write cursor into the current chunk
+  size_t head_left_ = 0;    ///< bytes left in the current chunk
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_UTIL_ARENA_H_

@@ -1,0 +1,60 @@
+#ifndef ANMAT_UTIL_MMAP_FILE_H_
+#define ANMAT_UTIL_MMAP_FILE_H_
+
+/// \file mmap_file.h
+/// RAII read-only memory mapping for zero-copy file ingest.
+///
+/// `MmapFile::Open` maps a whole file `PROT_READ`/`MAP_PRIVATE` and hands
+/// out a `std::string_view` over the mapping. The CSV reader parses cells
+/// straight out of that view — no slurp, no per-cell copy — and the
+/// relation's arena adopts the mapping (via the `shared_ptr` returned by
+/// `Share`) so cell views outlive the `MmapFile` handle itself.
+///
+/// Empty files map nothing (mmap of length 0 is an error on Linux) and
+/// expose an empty view; that is still a successful open. Errors carry
+/// `errno` text via the usual `IoError` path.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace anmat {
+
+/// \brief A read-only mapped file. Move-only handle; `Share()` converts to
+/// shared ownership for adoption by an `Arena`.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Fails with IoError (open/fstat/mmap reason)
+  /// for unreadable or unmappable files — directories included.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  /// The mapped bytes (empty for an empty file).
+  std::string_view view() const {
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// Moves this mapping into a shared handle whose destructor unmaps; the
+  /// contained view stays valid as long as any copy lives. `this` is left
+  /// empty.
+  std::shared_ptr<const MmapFile> Share() &&;
+
+ private:
+  void* data_ = nullptr;  ///< nullptr for an empty (zero-length) mapping
+  size_t size_ = 0;
+};
+
+}  // namespace anmat
+
+#endif  // ANMAT_UTIL_MMAP_FILE_H_

@@ -238,5 +238,111 @@ TEST(CsvFileTest, WriteThenReadFile) {
   std::remove(path.c_str());
 }
 
+// -- Zero-copy file reader: byte-identity with the string parser ----------
+//
+// The mmap'd reader must agree with `ReadCsvString` on every byte it
+// stores — same schema, same cells, same errors — for any input,
+// including the awkward ones below.
+
+class ZeroCopyIdentityTest : public ::testing::Test {
+ protected:
+  /// Writes `bytes` verbatim, reads it back through both paths and checks
+  /// cell-for-cell byte identity (or identical failure codes).
+  void ExpectIdentical(const std::string& bytes,
+                       const CsvOptions& options = CsvOptions()) {
+    const std::string path =
+        ::testing::TempDir() + "/anmat_zero_copy_identity.csv";
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    auto from_string = ReadCsvString(bytes, options);
+    auto from_file = ReadCsvFileZeroCopy(path, options);
+    std::remove(path.c_str());
+    ASSERT_EQ(from_string.ok(), from_file.ok()) << bytes;
+    if (!from_string.ok()) {
+      EXPECT_EQ(from_string.status().code(), from_file.status().code());
+      return;
+    }
+    const Relation& a = from_string.value();
+    const Relation& b = from_file.value();
+    ASSERT_EQ(a.num_columns(), b.num_columns());
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.schema().column(c).name, b.schema().column(c).name);
+      for (RowId r = 0; r < a.num_rows(); ++r) {
+        EXPECT_EQ(a.cell(r, c), b.cell(r, c))
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+};
+
+TEST_F(ZeroCopyIdentityTest, EmptyFile) { ExpectIdentical(""); }
+
+TEST_F(ZeroCopyIdentityTest, NoTrailingNewline) {
+  ExpectIdentical("zip,city\n90001,LA");
+}
+
+TEST_F(ZeroCopyIdentityTest, Utf8BomStaysInFirstHeaderCell) {
+  // Neither path strips the BOM; both must store the same bytes.
+  ExpectIdentical("\xEF\xBB\xBFzip,city\n90001,LA\n");
+}
+
+TEST_F(ZeroCopyIdentityTest, QuotedFieldSpansPageBoundary) {
+  // One quoted cell longer than a 4 KiB page: the cell body crosses the
+  // mmap page boundary, with an escaped quote on each side of it.
+  std::string big(5000, 'x');
+  big[100] = ',';                     // delimiter inside the quotes
+  std::string csv = "a,b\n\"";
+  csv += big.substr(0, 2000);
+  csv += "\"\"";                      // escaped quote before the boundary
+  csv += big.substr(2000);
+  csv += "\"\"";                      // escaped quote near the end
+  csv += "\",tail\n";
+  ExpectIdentical(csv);
+}
+
+TEST_F(ZeroCopyIdentityTest, CrlfWithEscapedQuotes) {
+  ExpectIdentical(
+      "name,quote\r\n\"Smith, John\",\"said \"\"hi\"\"\"\r\n"
+      "plain,\"\"\"only\"\"\"\r\n");
+}
+
+TEST_F(ZeroCopyIdentityTest, UnterminatedQuoteFailsIdentically) {
+  ExpectIdentical("a,b\n\"no close");
+}
+
+TEST_F(ZeroCopyIdentityTest, RaggedAndSkipBadRows) {
+  ExpectIdentical("a,b\n1\n2,3\n");
+  CsvOptions skip;
+  skip.skip_bad_rows = true;
+  ExpectIdentical("a,b\n1\n2,3\n", skip);
+}
+
+TEST(CsvZeroCopyTest, MissingFileIsIoError) {
+  auto r = ReadCsvFileZeroCopy("/nonexistent/path/data.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvZeroCopyTest, ViewsSurviveSetCellOnOtherCells) {
+  // Zero-copy views must stay stable while sibling cells are rewritten.
+  const std::string path = ::testing::TempDir() + "/anmat_zc_setcell.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "zip,city\n90001,LA\n10001,NY\n";
+  }
+  auto r = ReadCsvFileZeroCopy(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(r.ok());
+  Relation rel = std::move(r).value();
+  const std::string_view before = rel.cell(1, 1);
+  rel.set_cell(0, 1, "Los Angeles");
+  EXPECT_EQ(rel.cell(0, 1), "Los Angeles");
+  EXPECT_EQ(rel.cell(1, 1), before);
+  EXPECT_EQ(rel.cell(1, 1), "NY");
+}
+
 }  // namespace
 }  // namespace anmat

@@ -344,9 +344,9 @@ TEST(DatasetsTest, WebAccountsAreFunctionalByDomain) {
   Dataset d = WebAccountDataset(400, 23, 0.0);
   std::map<std::string, std::set<std::string>> domain_to_provider;
   for (RowId r = 0; r < d.relation.num_rows(); ++r) {
-    const std::string& email = d.relation.cell(r, 0);
-    domain_to_provider[email.substr(email.find('@') + 1)].insert(
-        d.relation.cell(r, 1));
+    const std::string_view email = d.relation.cell(r, 0);
+    domain_to_provider[std::string(email.substr(email.find('@') + 1))].insert(
+        std::string(d.relation.cell(r, 1)));
   }
   EXPECT_GT(domain_to_provider.size(), 1u);
   for (const auto& [domain, providers] : domain_to_provider) {
@@ -359,8 +359,8 @@ TEST(DatasetsTest, CleanDatasetsAreFunctional) {
   Dataset d = PhoneStateDataset(500, 21, 0.0);
   std::map<std::string, std::set<std::string>> area_to_state;
   for (RowId r = 0; r < d.relation.num_rows(); ++r) {
-    area_to_state[d.relation.cell(r, 0).substr(0, 3)].insert(
-        d.relation.cell(r, 1));
+    area_to_state[std::string(d.relation.cell(r, 0).substr(0, 3))].insert(
+        std::string(d.relation.cell(r, 1)));
   }
   for (const auto& [area, states] : area_to_state) {
     EXPECT_EQ(states.size(), 1u) << area;

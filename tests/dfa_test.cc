@@ -245,6 +245,47 @@ TEST(FrozenDfaTest, FreezeMatchesBasicPatterns) {
   EXPECT_FALSE(Dfa::Compile(Pattern()).Freeze()->Matches("a"));
 }
 
+TEST(FrozenDfaTest, PrefilterLiteralCarriesOverAndStaysExact) {
+  // CHEMBL\D{1,7}: the mandatory prefix becomes the prefilter needle on
+  // both the lazy and frozen automata.
+  const Dfa dfa = CompileDfa("CHEMBL\\D{1,7}");
+  EXPECT_EQ(dfa.required_literal(), "CHEMBL");
+  auto frozen = dfa.Freeze();
+  ASSERT_NE(frozen, nullptr);
+  EXPECT_EQ(frozen->prefilter_literal(), "CHEMBL");
+  // Values without the needle are rejected by the filter; values with it
+  // still go through the full walk — decisions stay exact either way.
+  EXPECT_TRUE(frozen->Matches("CHEMBL25"));
+  EXPECT_FALSE(frozen->Matches("25"));
+  EXPECT_FALSE(frozen->Matches("CHEMBL"));    // needle present, walk rejects
+  EXPECT_FALSE(frozen->Matches("xCHEMBL25"));  // needle present, walk rejects
+  // Class-only patterns have no needle and skip the filter entirely.
+  EXPECT_EQ(CompileDfa("\\D{5}").required_literal(), "");
+
+  // ScanPrefixes early-outs identically: no needle in the string means no
+  // accepted prefix.
+  std::vector<uint32_t> lengths;
+  EXPECT_EQ(frozen->ScanPrefixes("9000", &lengths), 0u);
+  EXPECT_TRUE(lengths.empty());
+  EXPECT_EQ(frozen->ScanPrefixes("CHEMBL123", &lengths), 3u);
+  EXPECT_EQ(lengths, (std::vector<uint32_t>{7, 8, 9}));
+}
+
+TEST(FrozenDfaTest, LongValuesUseChunkedClassifyExactly) {
+  // 16+ byte values take the SIMD class-buffer path; decisions must be
+  // identical to short-string walks, including across the 256-byte chunk
+  // boundary.
+  auto frozen = CompileDfa("a+b").Freeze();
+  ASSERT_NE(frozen, nullptr);
+  for (size_t len : {size_t{15}, size_t{16}, size_t{17}, size_t{255},
+                     size_t{256}, size_t{257}, size_t{1000}}) {
+    const std::string yes = std::string(len, 'a') + "b";
+    const std::string no = std::string(len, 'a') + "c";
+    EXPECT_TRUE(frozen->Matches(yes)) << len;
+    EXPECT_FALSE(frozen->Matches(no)) << len;
+  }
+}
+
 TEST(FrozenDfaTest, StateCapFallsBackToNull) {
   // \D{5} needs 7 states (dead + start + 5 digits); a cap of 3 must refuse.
   EXPECT_EQ(CompileDfa("\\D{5}").Freeze(/*max_states=*/3), nullptr);

@@ -148,6 +148,37 @@ TEST(MultiPatternDfaTest, EmptyElementSequenceAcceptsOnlyEpsilon) {
   EXPECT_EQ(hits, (std::vector<uint32_t>{1}));
 }
 
+TEST(MultiPatternDfaTest, UnionPrefilterIsCommonLiteralOfAllMembers) {
+  // Every member guarantees a literal sharing "CHEMBL" — the union folds
+  // them to the common substring and rejects values lacking it without a
+  // table walk; classification stays exact on values that do contain it.
+  const std::vector<Pattern> shared = {P("CHEMBL\\D{1,7}"),
+                                       P("xCHEMBL\\D{2}")};
+  MultiPatternDfa dfa(Pointers(shared));
+  EXPECT_EQ(dfa.prefilter_literal(), "CHEMBL");
+  std::vector<uint32_t> hits;
+  dfa.Classify("90001", &hits);
+  EXPECT_TRUE(hits.empty());
+  dfa.Classify("CHEMBL25", &hits);
+  EXPECT_EQ(hits, (std::vector<uint32_t>{0}));
+  dfa.Classify("xCHEMBL25", &hits);
+  EXPECT_EQ(hits, (std::vector<uint32_t>{1}));
+  auto frozen = dfa.Freeze();
+  ASSERT_NE(frozen, nullptr);
+  EXPECT_EQ(frozen->prefilter_literal(), "CHEMBL");
+  frozen->Classify("CHEMBL25", &hits);
+  EXPECT_EQ(hits, (std::vector<uint32_t>{0}));
+  frozen->Classify("90001", &hits);
+  EXPECT_TRUE(hits.empty());
+
+  // One member without a guaranteed literal sinks the whole filter.
+  const std::vector<Pattern> mixed = {P("CHEMBL\\D{1,7}"), P("\\D{5}")};
+  MultiPatternDfa unfiltered(Pointers(mixed));
+  EXPECT_EQ(unfiltered.prefilter_literal(), "");
+  unfiltered.Classify("90001", &hits);
+  EXPECT_EQ(hits, (std::vector<uint32_t>{1}));
+}
+
 TEST(MultiPatternDfaTest, FreezeReturnsNullAboveStateCap) {
   const std::vector<Pattern> patterns = {P("\\A{8}a"), P("\\A{6}b")};
   MultiPatternDfa dfa(Pointers(patterns));

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "anmat/session.h"
+#include "csv/csv_reader.h"
+#include "csv/csv_writer.h"
 #include "datagen/datasets.h"
 #include "detect/detection_stream.h"
 #include "detect/detector.h"
@@ -186,6 +188,41 @@ TEST(EngineParallelTest, DetectByteIdenticalToSerial) {
             << d.name << " with " << threads
             << " threads, use_pattern_index=" << use_index;
       }
+    }
+  }
+}
+
+TEST(EngineParallelTest, ZeroCopyIngestDetectsIdenticallyAcrossThreads) {
+  // End-to-end: a dataset written to disk, ingested through the zero-copy
+  // mmap reader, must produce byte-identical violations to the in-memory
+  // string parse — at 1, 2, 4 and 8 threads.
+  const Dataset d = ZipCityStateDataset(600, 311, 0.05);
+  const std::string path = ::testing::TempDir() + "/anmat_engine_zc.csv";
+  ASSERT_TRUE(WriteCsvFile(d.relation, path).ok());
+  auto csv_text = WriteCsvString(d.relation);
+  ASSERT_TRUE(csv_text.ok());
+  auto parsed = ReadCsvString(csv_text.value());
+  auto mapped = ReadCsvFile(path);  // zero-copy is the default file path
+  std::remove(path.c_str());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(mapped.ok());
+
+  const std::vector<Pfd> rules = DiscoverRules(parsed.value());
+  ASSERT_FALSE(rules.empty());
+  std::string expected;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    Engine engine(ExecutionOptions{threads, true, nullptr});
+    auto from_parsed = engine.Detect(parsed.value(), rules);
+    auto from_mapped = engine.Detect(mapped.value(), rules);
+    ASSERT_TRUE(from_parsed.ok());
+    ASSERT_TRUE(from_mapped.ok());
+    const std::string fp = Fingerprint(from_mapped.value());
+    EXPECT_EQ(fp, Fingerprint(from_parsed.value()))
+        << threads << " threads";
+    if (expected.empty()) {
+      expected = fp;
+    } else {
+      EXPECT_EQ(fp, expected) << threads << " threads";
     }
   }
 }

@@ -108,7 +108,7 @@ TEST(PatternIndexTest, IncrementalBuildMatchesBulk) {
   // Grow a dictionary and index in uneven chunks over the same column.
   ColumnDictionary dict;
   PatternIndex incremental(rel, 0, &dict);
-  const std::vector<std::string>& cells = rel.column(0);
+  const std::vector<std::string_view>& cells = rel.column(0);
   const size_t cuts[] = {0, 3, 4, cells.size()};
   for (size_t i = 0; i + 1 < std::size(cuts); ++i) {
     dict.Append({cells.begin() + cuts[i], cells.begin() + cuts[i + 1]},

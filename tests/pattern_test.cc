@@ -166,5 +166,55 @@ TEST(EscapePatternCharTest, SyntaxCharsEscaped) {
   EXPECT_EQ(EscapePatternChar(')'), "\\)");
 }
 
+TEST(RequiredLiteralSubstringTest, MandatoryRunsConcatenate) {
+  // CHEMBL\D{1,7}: the literal prefix is mandatory, the digits are not
+  // literal — needle is "CHEMBL".
+  std::vector<PatternElement> elems;
+  for (char c : std::string("CHEMBL")) {
+    elems.push_back(PatternElement::Literal(c));
+  }
+  elems.push_back(PatternElement::Class(SymbolClass::kDigit, 1, 7));
+  EXPECT_EQ(RequiredLiteralSubstring(elems), "CHEMBL");
+}
+
+TEST(RequiredLiteralSubstringTest, LongestRunWins) {
+  // ab\D{2}wxyz — "wxyz" beats "ab".
+  std::vector<PatternElement> elems;
+  for (char c : std::string("ab")) elems.push_back(PatternElement::Literal(c));
+  elems.push_back(PatternElement::Class(SymbolClass::kDigit, 2, 2));
+  for (char c : std::string("wxyz")) {
+    elems.push_back(PatternElement::Literal(c));
+  }
+  EXPECT_EQ(RequiredLiteralSubstring(elems), "wxyz");
+}
+
+TEST(RequiredLiteralSubstringTest, OptionalLiteralsContributeNothing) {
+  // a{0,3} alone guarantees no substring.
+  EXPECT_EQ(RequiredLiteralSubstring({PatternElement::Literal('a', 0, 3)}),
+            "");
+  // No literal elements at all: empty needle.
+  EXPECT_EQ(RequiredLiteralSubstring(
+                {PatternElement::Class(SymbolClass::kDigit, 5, 5)}),
+            "");
+}
+
+TEST(RequiredLiteralSubstringTest, VariableRunKeepsGuaranteedAdjacency) {
+  // x a{2,5} y: extra a's may interpose, so "xaa" and "aay" are both
+  // guaranteed but "xaay" is not; the result must be one of the
+  // guaranteed 3-char windows.
+  const std::string lit = RequiredLiteralSubstring(
+      {PatternElement::Literal('x'), PatternElement::Literal('a', 2, 5),
+       PatternElement::Literal('y')});
+  EXPECT_TRUE(lit == "xaa" || lit == "aay") << lit;
+}
+
+TEST(RequiredLiteralSubstringTest, HugeCountsAreCapped) {
+  // a{1000000}: exact needle would be a megabyte; the cap keeps it at 64
+  // bytes of 'a' — still a guaranteed substring.
+  const std::string lit = RequiredLiteralSubstring(
+      {PatternElement::Literal('a', 1000000, 1000000)});
+  EXPECT_EQ(lit, std::string(64, 'a'));
+}
+
 }  // namespace
 }  // namespace anmat

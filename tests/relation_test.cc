@@ -174,8 +174,8 @@ void ExpectDictionariesEqual(const ColumnDictionary& a,
 }
 
 TEST(ColumnDictionaryTest, AppendMatchesBulkBuild) {
-  const std::vector<std::string> cells = {"LA", "NY", "LA", "SF", "NY",
-                                          "LA", "",   "SF", "LA", "NY"};
+  const std::vector<std::string_view> cells = {"LA", "NY", "LA", "SF", "NY",
+                                               "LA", "",   "SF", "LA", "NY"};
   const ColumnDictionary bulk(cells);
 
   // Append in three uneven chunks.
@@ -187,9 +187,9 @@ TEST(ColumnDictionaryTest, AppendMatchesBulkBuild) {
 }
 
 TEST(ColumnDictionaryTest, AppendAfterBulkBuildMatchesConcatenated) {
-  const std::vector<std::string> first = {"a", "b", "a", "c"};
-  const std::vector<std::string> second = {"c", "d", "a", "d"};
-  std::vector<std::string> all = first;
+  const std::vector<std::string_view> first = {"a", "b", "a", "c"};
+  const std::vector<std::string_view> second = {"c", "d", "a", "d"};
+  std::vector<std::string_view> all = first;
   all.insert(all.end(), second.begin(), second.end());
 
   ColumnDictionary grown(first);
@@ -198,7 +198,7 @@ TEST(ColumnDictionaryTest, AppendAfterBulkBuildMatchesConcatenated) {
 }
 
 TEST(ColumnDictionaryTest, AppendEmptyBatchIsANoOp) {
-  ColumnDictionary dict(std::vector<std::string>{"x", "y"});
+  ColumnDictionary dict(std::vector<std::string_view>{"x", "y"});
   dict.Append({}, 2);
   EXPECT_EQ(dict.num_values(), 2u);
   EXPECT_EQ(dict.num_rows(), 2u);

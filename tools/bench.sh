@@ -5,16 +5,19 @@
 # byte-identity equality checks), A8 (anmatd daemon warm engines vs
 # spawning the one-shot CLI, with the byte-identity and cache-hit checks)
 # and A9 (multi-pattern dispatch union scans vs per-rule automaton walks
-# at 16-1024 rules, byte-identity asserted) benches and writes their
-# google-benchmark timings as JSON next to the sources, so every PR
-# leaves a comparable perf record.
+# at 16-1024 rules, byte-identity asserted) and A10 (zero-copy mmap ingest
+# vs the copying parse with peak-RSS readings, plus vectorized frozen scan
+# kernels and literal prefilters, byte-identity asserted) benches and
+# writes their google-benchmark timings as JSON next to the sources, so
+# every PR leaves a comparable perf record.
 #
-#   tools/bench.sh            # full workloads -> BENCH_A{6,7,8,9}.json
+#   tools/bench.sh            # full workloads -> BENCH_A{6,7,8,9,10}.json
 #   tools/bench.sh --quick    # shrunken workloads (ANMAT_BENCH_QUICK=1) for
 #                             #   the CI smoke job; same checks, smaller
-#                             #   sizes, written to BENCH_A{6,7,8,9}.quick.json
-#                             #   so the checked-in full-run trajectory is
-#                             #   never overwritten by a quick run
+#                             #   sizes, written to
+#                             #   BENCH_A{6,7,8,9,10}.quick.json so the
+#                             #   checked-in full-run trajectory is never
+#                             #   overwritten by a quick run
 #
 # Environment: BUILD_DIR overrides the build directory (default: build);
 # JOBS overrides parallelism. The content sections (correctness checks +
@@ -36,7 +39,7 @@ esac
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
       --target bench_a6_dfa_vs_nfa bench_a7_parallel_scaling \
-      bench_a8_daemon bench_a9_dispatch anmat
+      bench_a8_daemon bench_a9_dispatch bench_a10_ingest_scan anmat
 
 "$BUILD_DIR/bench_a6_dfa_vs_nfa" \
     --benchmark_out="BENCH_A6$SUFFIX.json" --benchmark_out_format=json
@@ -47,5 +50,7 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
     --benchmark_out="BENCH_A8$SUFFIX.json" --benchmark_out_format=json
 "$BUILD_DIR/bench_a9_dispatch" \
     --benchmark_out="BENCH_A9$SUFFIX.json" --benchmark_out_format=json
+"$BUILD_DIR/bench_a10_ingest_scan" \
+    --benchmark_out="BENCH_A10$SUFFIX.json" --benchmark_out_format=json
 
-echo "wrote BENCH_A6$SUFFIX.json, BENCH_A7$SUFFIX.json, BENCH_A8$SUFFIX.json and BENCH_A9$SUFFIX.json"
+echo "wrote BENCH_A6$SUFFIX.json, BENCH_A7$SUFFIX.json, BENCH_A8$SUFFIX.json, BENCH_A9$SUFFIX.json and BENCH_A10$SUFFIX.json"
