@@ -10,12 +10,16 @@ Engine::Engine(ExecutionOptions execution)
 
 Engine::~Engine() = default;
 
-Engine::Engine(Engine&& other) noexcept
+// Moves require external synchronization (no other thread may touch either
+// engine during the move), so the guarded members are read lock-free here —
+// opted out of the thread-safety analysis rather than taking both locks.
+Engine::Engine(Engine&& other) noexcept ANMAT_NO_THREAD_SAFETY_ANALYSIS
     : execution_(other.execution_),
       pool_(std::move(other.pool_)),
       automata_(std::move(other.automata_)) {}
 
-Engine& Engine::operator=(Engine&& other) noexcept {
+Engine& Engine::operator=(Engine&& other) noexcept
+    ANMAT_NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
     execution_ = other.execution_;
     // Dropping our references retires this engine's pool and cache; any
@@ -27,7 +31,7 @@ Engine& Engine::operator=(Engine&& other) noexcept {
 }
 
 void Engine::set_execution(ExecutionOptions execution) {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   const size_t old_threads = execution_.EffectiveThreads();
   execution_ = std::move(execution);
   execution_.pool = nullptr;
@@ -38,14 +42,14 @@ void Engine::set_execution(ExecutionOptions execution) {
 }
 
 void Engine::SetNumThreads(size_t num_threads) {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   const size_t old_threads = execution_.EffectiveThreads();
   execution_.num_threads = num_threads;
   if (execution_.EffectiveThreads() != old_threads) pool_.reset();
 }
 
 ExecutionOptions Engine::Exec() {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   const size_t threads = execution_.EffectiveThreads();
   if (threads > 1 &&
       (pool_ == nullptr || pool_->num_threads() != threads)) {

@@ -46,7 +46,6 @@
 /// \endcode
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "detect/detection_stream.h"
@@ -57,6 +56,8 @@
 #include "relation/relation.h"
 #include "repair/repair.h"
 #include "util/status.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace anmat {
@@ -85,7 +86,11 @@ class Engine {
   Engine(Engine&&) noexcept;
   Engine& operator=(Engine&&) noexcept;
 
-  const ExecutionOptions& execution() const { return execution_; }
+  /// A snapshot of the execution configuration.
+  ExecutionOptions execution() const {
+    MutexLock lock(&pool_mu_);
+    return execution_;
+  }
 
   /// Replaces the execution configuration (drops the pool; it is rebuilt
   /// lazily at the new size).
@@ -138,13 +143,14 @@ class Engine {
   /// installed.
   ExecutionOptions Exec();
 
-  ExecutionOptions execution_;
-  /// Guards lazy creation of `pool_` under concurrent stage calls.
-  std::mutex pool_mu_;
+  /// Guards `execution_` and lazy creation of `pool_` under concurrent
+  /// stage calls.
+  mutable Mutex pool_mu_;
+  ExecutionOptions execution_ ANMAT_GUARDED_BY(pool_mu_);
   /// Shared with every options block handed out; resetting it on
   /// reconfiguration retires the pool without destroying it under a
   /// borrower.
-  std::shared_ptr<ThreadPool> pool_;
+  std::shared_ptr<ThreadPool> pool_ ANMAT_GUARDED_BY(pool_mu_);
   /// Engine-wide automaton cache, shared with streams the same way.
   std::shared_ptr<AutomatonCache> automata_;
 };

@@ -13,7 +13,7 @@ Partition Partition::ByColumn(const Relation& relation, size_t col) {
     groups[values[r]].push_back(r);
   }
   Partition p;
-  for (auto& [value, rows] : groups) {
+  for (auto& [value, rows] : groups) {  // lint: unordered-ok (classes re-sorted by first row id below)
     if (rows.size() >= 2) {
       std::sort(rows.begin(), rows.end());
       p.classes_.push_back(std::move(rows));
@@ -41,7 +41,7 @@ Partition Partition::Refine(const Partition& other, size_t num_rows) const {
       if (label[r] >= 0) split[label[r]].push_back(r);
       // rows in a singleton class of `other` are singletons in the product
     }
-    for (auto& [lab, rows] : split) {
+    for (auto& [lab, rows] : split) {  // lint: unordered-ok (classes re-sorted by first row id below)
       if (rows.size() >= 2) out.classes_.push_back(std::move(rows));
     }
   }
@@ -77,7 +77,7 @@ size_t Partition::ViolationCount(const Partition& rhs, size_t num_rows) const {
       }
     }
     size_t largest = singletons > 0 ? 1 : 0;
-    for (const auto& [lab, n] : counts) largest = std::max(largest, n);
+    for (const auto& [lab, n] : counts) largest = std::max(largest, n);  // lint: unordered-ok (max fold is order-independent)
     violations += cls.size() - largest;
   }
   return violations;

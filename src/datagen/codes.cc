@@ -3,7 +3,7 @@
 namespace anmat {
 
 const std::vector<Department>& Departments() {
-  static const std::vector<Department>* kDepts = new std::vector<Department>{
+  static const std::vector<Department>* kDepts = new std::vector<Department>{  // lint: new-ok (leaked process-lifetime table)
       {'F', "Finance"},     {'E', "Engineering"}, {'H', "HumanResources"},
       {'M', "Marketing"},   {'S', "Sales"},       {'R', "Research"},
       {'L', "Legal"},       {'O', "Operations"},
@@ -12,7 +12,7 @@ const std::vector<Department>& Departments() {
 }
 
 const std::vector<GradeLevel>& GradeLevels() {
-  static const std::vector<GradeLevel>* kGrades = new std::vector<GradeLevel>{
+  static const std::vector<GradeLevel>* kGrades = new std::vector<GradeLevel>{  // lint: new-ok (leaked process-lifetime table)
       {'9', "Senior"}, {'7', "Staff"}, {'5', "Associate"}, {'3', "Junior"},
       {'1', "Intern"},
   };

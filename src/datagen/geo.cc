@@ -7,7 +7,7 @@ const std::vector<ZipRegion>& ZipRegions() {
   // prefixes (900 vs 902 are different cities) while states already follow
   // from 2-digit prefixes (90x, 94x, 95x are all CA) — reproducing the
   // paper's D5 shape: a longer prefix determines CITY, a shorter one STATE.
-  static const std::vector<ZipRegion>* kRegions = new std::vector<ZipRegion>{
+  static const std::vector<ZipRegion>* kRegions = new std::vector<ZipRegion>{  // lint: new-ok (leaked process-lifetime table)
       {"900", "Los Angeles", "CA"},
       {"902", "Inglewood", "CA"},
       {"941", "San Francisco", "CA"},

@@ -3,7 +3,7 @@
 namespace anmat {
 
 const std::vector<std::string>& MaleFirstNames() {
-  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{  // lint: new-ok (leaked process-lifetime table)
       "John",    "Donald", "David",  "Jerry",  "Alan",   "Michael",
       "Robert",  "James",  "William", "Richard", "Thomas", "Charles",
       "Steven",  "Kevin",  "Brian",  "George", "Edward", "Ronald",
@@ -13,7 +13,7 @@ const std::vector<std::string>& MaleFirstNames() {
 }
 
 const std::vector<std::string>& FemaleFirstNames() {
-  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{  // lint: new-ok (leaked process-lifetime table)
       "Susan",   "Stacey", "Mary",    "Patricia", "Linda",   "Barbara",
       "Jennifer", "Maria", "Margaret", "Dorothy",  "Lisa",    "Nancy",
       "Karen",   "Betty",  "Helen",   "Sandra",   "Donna",   "Carol",
@@ -23,7 +23,7 @@ const std::vector<std::string>& FemaleFirstNames() {
 }
 
 const std::vector<std::string>& LastNames() {
-  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{  // lint: new-ok (leaked process-lifetime table)
       "Holloway", "Jones",   "Kimbell",  "Mallack",  "Otillio", "Smith",
       "Johnson",  "Brown",   "Taylor",   "Anderson", "Wilson",  "Martin",
       "Thompson", "White",   "Garcia",   "Martinez", "Robinson", "Clark",

@@ -6,7 +6,7 @@ const std::vector<AreaCode>& AreaCodes() {
   // The five Table-3 codes first, then enough neighbours that no 1- or
   // 2-digit prefix determines a state (as in the real NANP): discovery must
   // key on full 3-digit area codes, exactly like the paper's D1 rows.
-  static const std::vector<AreaCode>* kCodes = new std::vector<AreaCode>{
+  static const std::vector<AreaCode>* kCodes = new std::vector<AreaCode>{  // lint: new-ok (leaked process-lifetime table)
       {"850", "FL"}, {"607", "NY"}, {"404", "GA"}, {"217", "IL"},
       {"860", "CT"}, {"857", "MA"}, {"602", "AZ"}, {"405", "OK"},
       {"213", "CA"}, {"862", "NJ"}, {"312", "IL"}, {"318", "LA"},

@@ -77,7 +77,7 @@ DigitScript RandomScript(Rng& rng, double locale_mix) {
 }
 
 const std::vector<MailDomain>& MailDomains() {
-  static const std::vector<MailDomain>* kDomains = new std::vector<MailDomain>{
+  static const std::vector<MailDomain>* kDomains = new std::vector<MailDomain>{  // lint: new-ok (leaked process-lifetime table)
       {"gmail.com", "Gmail"},     {"yahoo.com", "Yahoo"},
       {"outlook.com", "Outlook"}, {"proton.me", "Proton"},
       {"aol.com", "AOL"},         {"icloud.com", "iCloud"},
@@ -101,12 +101,12 @@ std::string RandomEmail(Rng& rng, const MailDomain& domain,
 }
 
 std::string RandomUrl(Rng& rng, double locale_mix) {
-  static const std::vector<std::string>* kHosts = new std::vector<std::string>{
+  static const std::vector<std::string>* kHosts = new std::vector<std::string>{  // lint: new-ok (leaked process-lifetime table)
       "example.com",  "news.example.org", "shop.example.net",
       "api.data.dev", "files.cdn.io",
   };
   static const std::vector<std::string>* kSections =
-      new std::vector<std::string>{"item", "post", "user", "order", "doc"};
+      new std::vector<std::string>{"item", "post", "user", "order", "doc"};  // lint: new-ok (leaked process-lifetime table)
   std::string url = "https://";
   url += rng.Choose(*kHosts);
   url.push_back('/');

@@ -26,7 +26,7 @@ std::vector<Block> BuildBlocks(const Relation& relation, size_t col,
   }
   std::vector<Block> out;
   out.reserve(blocks.size());
-  for (auto& [key, ids] : blocks) {
+  for (auto& [key, ids] : blocks) {  // lint: unordered-ok (blocks sorted by key below)
     std::sort(ids.begin(), ids.end());
     out.push_back(Block{key, std::move(ids)});
   }

@@ -7,7 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "repair/suggestion_policy.h"
+#include "detect/suggestion_policy.h"
 #include "util/thread_pool.h"
 
 namespace anmat {
@@ -188,7 +188,7 @@ Result<std::unique_ptr<DetectionStream>> DetectionStream::Open(
         "what makes a batch cost O(new distinct values) pattern work)");
   }
   std::unique_ptr<DetectionStream> stream(
-      new DetectionStream(schema, std::move(pfds), options));
+      new DetectionStream(schema, std::move(pfds), options));  // lint: new-ok (private ctor, owned by the unique_ptr)
   ANMAT_RETURN_NOT_OK(stream->Init());
   return stream;
 }
@@ -847,8 +847,16 @@ Result<DetectionResult> DetectionStream::AppendBatch(const Relation& batch) {
   // the per-row tasks then read the verdicts through `preset_match`.
   for (size_t c = 0; c < dispatchers_.size(); ++c) {
     if (dispatchers_[c] == nullptr) continue;
+    DispatchPrefilter candidates;
+    if (indexes_[c] != nullptr) {
+      candidates = [index = indexes_[c].get()](
+                       const std::vector<const Pattern*>& members,
+                       uint32_t first_id) {
+        return index->CandidateValueIds(members, first_id);
+      };
+    }
     dispatchers_[c]->ClassifyValues(*dicts_[c], classified_values_[c],
-                                    indexes_[c].get());
+                                    candidates);
     classified_values_[c] = static_cast<uint32_t>(dicts_[c]->num_values());
   }
   ++num_batches_;

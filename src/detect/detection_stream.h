@@ -23,7 +23,7 @@
 /// trigger, then absorbed, so the stream accumulates the *repaired*
 /// relation and the cumulative violations reflect it. Two rule kinds
 /// contribute (the same suggestion fold and confidence policy as
-/// `RepairErrors` — repair/suggestion_policy.h — so streaming and batch
+/// `RepairErrors` — detect/suggestion_policy.h — so streaming and batch
 /// repair cannot drift):
 ///
 ///  * Constant rules (§3's "if the LHS is correct, the RHS could be

@@ -639,7 +639,15 @@ Result<DetectionResult> DetectErrorsReusingRows(const Relation& relation,
         if (options.use_pattern_index && cd->num_groups() > 1) {
           prefilter = std::make_unique<PatternIndex>(relation, col, automata);
         }
-        cd->ClassifyValues(relation.dictionary(col), 0, prefilter.get());
+        DispatchPrefilter candidates;
+        if (prefilter != nullptr) {
+          candidates = [index = prefilter.get()](
+                           const std::vector<const Pattern*>& members,
+                           uint32_t first_id) {
+            return index->CandidateValueIds(members, first_id);
+          };
+        }
+        cd->ClassifyValues(relation.dictionary(col), 0, candidates);
       };
       if (parallel) {
         ParallelFor(options.execution, usable.size(), classify);

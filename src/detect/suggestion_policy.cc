@@ -1,4 +1,4 @@
-#include "repair/suggestion_policy.h"
+#include "detect/suggestion_policy.h"
 
 #include <algorithm>
 

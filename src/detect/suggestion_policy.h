@@ -1,5 +1,5 @@
-#ifndef ANMAT_REPAIR_SUGGESTION_POLICY_H_
-#define ANMAT_REPAIR_SUGGESTION_POLICY_H_
+#ifndef ANMAT_DETECT_SUGGESTION_POLICY_H_
+#define ANMAT_DETECT_SUGGESTION_POLICY_H_
 
 /// \file suggestion_policy.h
 /// The majority / confidence policy shared by one-shot repair
@@ -73,4 +73,4 @@ class SuggestionFold {
 
 }  // namespace anmat
 
-#endif  // ANMAT_REPAIR_SUGGESTION_POLICY_H_
+#endif  // ANMAT_DETECT_SUGGESTION_POLICY_H_

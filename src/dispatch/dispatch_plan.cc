@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "detect/pattern_index.h"
 #include "dispatch/pattern_trie.h"
 
 namespace anmat {
@@ -94,7 +93,7 @@ bool ColumnDispatcher::Compile(AutomatonCache* cache,
 
 void ColumnDispatcher::ClassifyValues(const ColumnDictionary& dict,
                                       uint32_t first_id,
-                                      const PatternIndex* prefilter) {
+                                      const DispatchPrefilter& prefilter) {
   const uint32_t num_values = static_cast<uint32_t>(dict.num_values());
   for (std::vector<int8_t>& v : verdicts_) v.resize(num_values, 0);
   std::vector<uint32_t> hits;
@@ -102,13 +101,13 @@ void ColumnDispatcher::ClassifyValues(const ColumnDictionary& dict,
   std::vector<const Pattern*> members;
   for (const Group& group : groups_) {
     const std::vector<uint32_t>* scan_ids = nullptr;
-    if (prefilter != nullptr) {
+    if (prefilter) {
       // Union of the members' candidate supersets, computed in one index
       // pass: ids outside provably match no member, so skipping them
       // leaves exact 0 verdicts.
       members.clear();
       for (uint32_t slot : group.slots) members.push_back(&slots_[slot]);
-      ids = prefilter->CandidateValueIds(members, first_id);
+      ids = prefilter(members, first_id);
       scan_ids = &ids;
     }
     const size_t count =

@@ -27,6 +27,7 @@
 /// probe concurrently.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,7 +38,13 @@
 
 namespace anmat {
 
-class PatternIndex;
+/// \brief Candidate prefilter for `ColumnDispatcher::ClassifyValues`:
+/// returns a provable superset of the value ids (>= `first_id`) that may
+/// match any of `members`. Ids outside the result are skipped and keep
+/// exact 0 verdicts. The detect layer binds `PatternIndex` through this,
+/// so dispatch stays independent of the index implementation.
+using DispatchPrefilter = std::function<std::vector<uint32_t>(
+    const std::vector<const Pattern*>& members, uint32_t first_id)>;
 
 /// Default cap on patterns per union automaton — deliberately large: one
 /// scan then classifies a value against (up to) every rule on the column.
@@ -84,7 +91,7 @@ class ColumnDispatcher {
   /// scan to the union of its members' candidate value ids — ids outside
   /// provably do not match and stay 0.
   void ClassifyValues(const ColumnDictionary& dict, uint32_t first_id,
-                      const PatternIndex* prefilter = nullptr);
+                      const DispatchPrefilter& prefilter = nullptr);
 
   /// Slot `slot`'s verdict vector (1 = value matches). The pointer is
   /// stable across `ClassifyValues` calls; entries are valid for every

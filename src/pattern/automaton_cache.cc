@@ -15,7 +15,7 @@ std::string AutomatonCache::KeyOf(const Pattern& p) {
 std::shared_ptr<const FrozenDfa> AutomatonCache::Get(const Pattern& p) {
   std::string key = KeyOf(p);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = dfas_.find(key);
     if (it != dfas_.end()) {
       ++hits_;
@@ -27,7 +27,7 @@ std::shared_ptr<const FrozenDfa> AutomatonCache::Get(const Pattern& p) {
   // wins (the loser's automaton is discarded).
   std::shared_ptr<const FrozenDfa> frozen =
       Dfa::Compile(p).Freeze(max_frozen_states_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = dfas_.emplace(std::move(key), std::move(frozen));
   ++misses_;
   if (inserted && it->second == nullptr) ++fallbacks_;
@@ -60,7 +60,7 @@ UnionAutomaton AutomatonCache::GetUnion(
         sorted.begin());
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = unions_.find(key);
     if (it != unions_.end()) {
       ++union_hits_;
@@ -78,7 +78,7 @@ UnionAutomaton AutomatonCache::GetUnion(
   }
   std::shared_ptr<const FrozenMultiDfa> frozen =
       MultiPatternDfa(members).Freeze(max_frozen_states_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = unions_.emplace(std::move(key), std::move(frozen));
   ++union_misses_;
   if (inserted && it->second == nullptr) ++union_fallbacks_;
@@ -87,7 +87,7 @@ UnionAutomaton AutomatonCache::GetUnion(
 }
 
 DispatchStats AutomatonCache::dispatch_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   DispatchStats stats;
   stats.fallbacks = union_fallbacks_;
   stats.hits = union_hits_;
@@ -105,22 +105,22 @@ DispatchStats AutomatonCache::dispatch_stats() const {
 }
 
 size_t AutomatonCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dfas_.size();
 }
 
 size_t AutomatonCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hits_;
 }
 
 size_t AutomatonCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return misses_;
 }
 
 size_t AutomatonCache::fallbacks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fallbacks_;
 }
 

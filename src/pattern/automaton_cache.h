@@ -21,7 +21,7 @@
 /// entry.
 ///
 /// Besides single-pattern automata, the cache holds *union* automata
-/// (dispatch/multi_pattern_dfa.h): `GetUnion` maps the sorted set of
+/// (pattern/multi_pattern_dfa.h): `GetUnion` maps the sorted set of
 /// member element-sequence signatures to one `FrozenMultiDfa`, so every
 /// detector / stream that dispatches the same rule set (regardless of rule
 /// order) shares a single compiled table. The per-call member ordering is
@@ -41,15 +41,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "dispatch/multi_pattern_dfa.h"
+#include "pattern/multi_pattern_dfa.h"
 #include "pattern/dfa.h"
 #include "pattern/frozen_dfa.h"
 #include "pattern/pattern.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace anmat {
 
@@ -118,19 +119,20 @@ class AutomatonCache {
 
  private:
   const size_t max_frozen_states_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Signature -> frozen automaton; a null value is the negative cache for
   /// unfreezable patterns.
-  std::unordered_map<std::string, std::shared_ptr<const FrozenDfa>> dfas_;
+  std::unordered_map<std::string, std::shared_ptr<const FrozenDfa>> dfas_
+      ANMAT_GUARDED_BY(mu_);
   /// Sorted-signature-set key -> frozen union automaton (null = negative).
   std::unordered_map<std::string, std::shared_ptr<const FrozenMultiDfa>>
-      unions_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t fallbacks_ = 0;
-  size_t union_hits_ = 0;
-  size_t union_misses_ = 0;
-  size_t union_fallbacks_ = 0;
+      unions_ ANMAT_GUARDED_BY(mu_);
+  size_t hits_ ANMAT_GUARDED_BY(mu_) = 0;
+  size_t misses_ ANMAT_GUARDED_BY(mu_) = 0;
+  size_t fallbacks_ ANMAT_GUARDED_BY(mu_) = 0;
+  size_t union_hits_ ANMAT_GUARDED_BY(mu_) = 0;
+  size_t union_misses_ ANMAT_GUARDED_BY(mu_) = 0;
+  size_t union_fallbacks_ ANMAT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace anmat

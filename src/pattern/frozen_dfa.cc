@@ -16,7 +16,7 @@ std::shared_ptr<const FrozenDfa> Dfa::Freeze(size_t max_states) const {
   }
   if (accept_.size() > max_states) return nullptr;
 
-  auto frozen = std::shared_ptr<FrozenDfa>(new FrozenDfa());
+  auto frozen = std::shared_ptr<FrozenDfa>(new FrozenDfa());  // lint: new-ok (private ctor, owned by the shared_ptr)
   simd::BuildByteClassifier(byte_class_, &frozen->classifier_);
   frozen->prefilter_literal_ = required_literal_;
   frozen->num_classes_ = num_classes_;

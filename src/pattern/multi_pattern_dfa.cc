@@ -1,4 +1,4 @@
-#include "dispatch/multi_pattern_dfa.h"
+#include "pattern/multi_pattern_dfa.h"
 
 #include <algorithm>
 #include <map>
@@ -232,7 +232,7 @@ std::shared_ptr<const FrozenMultiDfa> MultiPatternDfa::Freeze(
     }
   }
 
-  auto frozen = std::shared_ptr<FrozenMultiDfa>(new FrozenMultiDfa());
+  auto frozen = std::shared_ptr<FrozenMultiDfa>(new FrozenMultiDfa());  // lint: new-ok (private ctor, owned by the shared_ptr)
   simd::BuildByteClassifier(byte_class_, &frozen->classifier_);
   frozen->prefilter_literal_ = prefilter_literal_;
   frozen->num_classes_ = num_classes_;

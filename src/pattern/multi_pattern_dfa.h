@@ -1,5 +1,5 @@
-#ifndef ANMAT_DISPATCH_MULTI_PATTERN_DFA_H_
-#define ANMAT_DISPATCH_MULTI_PATTERN_DFA_H_
+#ifndef ANMAT_PATTERN_MULTI_PATTERN_DFA_H_
+#define ANMAT_PATTERN_MULTI_PATTERN_DFA_H_
 
 /// \file multi_pattern_dfa.h
 /// Union automata: one scan classifies a string against many patterns.
@@ -232,4 +232,4 @@ class FrozenMultiDfa {
 
 }  // namespace anmat
 
-#endif  // ANMAT_DISPATCH_MULTI_PATTERN_DFA_H_
+#endif  // ANMAT_PATTERN_MULTI_PATTERN_DFA_H_

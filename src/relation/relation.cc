@@ -55,17 +55,18 @@ void ColumnDictionary::Append(const std::vector<std::string_view>& cells,
 }
 
 const ColumnDictionary& Relation::dictionary(size_t col) const {
-  std::unique_lock<std::mutex> lock(dict_mu_);
-  if (dictionaries_.size() < columns_.size()) {
-    dictionaries_.resize(columns_.size());
+  {
+    MutexLock lock(&dict_mu_);
+    if (dictionaries_.size() < columns_.size()) {
+      dictionaries_.resize(columns_.size());
+    }
+    if (dictionaries_[col] != nullptr) return *dictionaries_[col];
   }
-  if (dictionaries_[col] != nullptr) return *dictionaries_[col];
   // Build outside the lock so concurrent first-touches of *different*
   // columns overlap; a same-column race builds twice and the first
   // published build wins (the loser's work is discarded).
-  lock.unlock();
   auto built = std::make_shared<const ColumnDictionary>(columns_[col]);
-  lock.lock();
+  MutexLock lock(&dict_mu_);
   if (dictionaries_[col] == nullptr) dictionaries_[col] = std::move(built);
   return *dictionaries_[col];
 }
@@ -85,7 +86,7 @@ Relation::Relation(const Relation& other)
     : schema_(other.schema_),
       columns_(other.columns_),
       num_rows_(other.num_rows_) {
-  std::lock_guard<std::mutex> lock(other.dict_mu_);
+  MutexLock lock(&other.dict_mu_);
   arena_ = other.arena_;
   dictionaries_ = other.dictionaries_;
 }
@@ -98,11 +99,11 @@ Relation& Relation::operator=(const Relation& other) {
   std::vector<std::shared_ptr<const ColumnDictionary>> snapshot;
   std::shared_ptr<Arena> arena_snapshot;
   {
-    std::lock_guard<std::mutex> lock(other.dict_mu_);
+    MutexLock lock(&other.dict_mu_);
     snapshot = other.dictionaries_;
     arena_snapshot = other.arena_;
   }
-  std::lock_guard<std::mutex> lock(dict_mu_);
+  MutexLock lock(&dict_mu_);
   dictionaries_ = std::move(snapshot);
   arena_ = std::move(arena_snapshot);
   return *this;
@@ -112,7 +113,7 @@ Relation::Relation(Relation&& other) noexcept
     : schema_(std::move(other.schema_)),
       columns_(std::move(other.columns_)),
       num_rows_(other.num_rows_) {
-  std::lock_guard<std::mutex> lock(other.dict_mu_);
+  MutexLock lock(&other.dict_mu_);
   arena_ = std::move(other.arena_);
   dictionaries_ = std::move(other.dictionaries_);
   other.num_rows_ = 0;
@@ -127,11 +128,11 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   std::vector<std::shared_ptr<const ColumnDictionary>> snapshot;
   std::shared_ptr<Arena> arena_snapshot;
   {
-    std::lock_guard<std::mutex> lock(other.dict_mu_);
+    MutexLock lock(&other.dict_mu_);
     snapshot = std::move(other.dictionaries_);
     arena_snapshot = std::move(other.arena_);
   }
-  std::lock_guard<std::mutex> lock(dict_mu_);
+  MutexLock lock(&dict_mu_);
   dictionaries_ = std::move(snapshot);
   arena_ = std::move(arena_snapshot);
   return *this;
@@ -149,7 +150,7 @@ Status Relation::AppendRow(const std::vector<std::string>& cells) {
     columns_[c].push_back(arena.Intern(cells[c]));
   }
   ++num_rows_;
-  std::lock_guard<std::mutex> lock(dict_mu_);
+  MutexLock lock(&dict_mu_);
   dictionaries_.clear();
   return Status::OK();
 }
@@ -165,7 +166,7 @@ Status Relation::AppendRowViews(const std::vector<std::string_view>& cells) {
     columns_[c].push_back(cells[c]);
   }
   ++num_rows_;
-  std::lock_guard<std::mutex> lock(dict_mu_);
+  MutexLock lock(&dict_mu_);
   dictionaries_.clear();
   return Status::OK();
 }
@@ -210,7 +211,7 @@ Result<Relation> Relation::Slice(RowId begin, RowId end) const {
   out.num_rows_ = end - begin;
   {
     // Share the arena so the copied views stay backed.
-    std::lock_guard<std::mutex> lock(dict_mu_);
+    MutexLock lock(&dict_mu_);
     out.arena_ = arena_;
   }
   return out;

@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -27,6 +26,8 @@
 
 #include "relation/schema.h"
 #include "util/arena.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/status.h"
 
 namespace anmat {
@@ -167,14 +168,7 @@ class Relation {
     // Copy-on-write into the arena: the repair path hands in transient
     // strings, and views must outlive them.
     columns_[col][row] = arena().Intern(value);
-    // Invalidate the column's cached dictionary — but only when one was
-    // ever built. Mutation already requires external synchronization with
-    // all other access, so the unlocked emptiness probe races with
-    // nothing, and repair loops applying thousands of cell edits skip the
-    // lock round-trip entirely on dictionary-free relations.
-    if (col >= dictionaries_.size() || dictionaries_[col] == nullptr) return;
-    std::lock_guard<std::mutex> lock(dict_mu_);
-    dictionaries_[col].reset();
+    InvalidateDictionary(col);
   }
 
   /// The (lazily built, cached) dictionary of column `col`. Safe to call
@@ -212,19 +206,35 @@ class Relation {
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  /// Drops column `col`'s cached dictionary — but only when one was ever
+  /// built. Opted out of thread-safety analysis for the unlocked
+  /// emptiness probe: mutation already requires external synchronization
+  /// with all other access, so the probe races with nothing, and repair
+  /// loops applying thousands of cell edits skip the lock round-trip
+  /// entirely on dictionary-free relations.
+  void InvalidateDictionary(size_t col) ANMAT_NO_THREAD_SAFETY_ANALYSIS {
+    if (col >= dictionaries_.size() || dictionaries_[col] == nullptr) return;
+    MutexLock lock(&dict_mu_);
+    dictionaries_[col].reset();
+  }
+
   Schema schema_;
   std::vector<std::vector<std::string_view>> columns_;
   size_t num_rows_ = 0;
   /// Byte storage behind the cell views; shared by copies and slices,
   /// append-only (internally synchronized). Never null except transiently
-  /// in a moved-from relation (revived on next use).
+  /// in a moved-from relation (revived on next use). The pointer itself
+  /// mutates only under external synchronization (copy/move/revive), so it
+  /// is not lock-guarded; `dict_mu_` merely makes the copy paths snapshot
+  /// arena + dictionaries together.
   mutable std::shared_ptr<Arena> arena_ = std::make_shared<Arena>();
   /// Guards `dictionaries_` (the slot vector, not the built dictionaries,
   /// which are immutable once published).
-  mutable std::mutex dict_mu_;
+  mutable Mutex dict_mu_;
   /// Per-column dictionary cache (a copy shares the immutable snapshots
   /// until either side mutates).
-  mutable std::vector<std::shared_ptr<const ColumnDictionary>> dictionaries_;
+  mutable std::vector<std::shared_ptr<const ColumnDictionary>> dictionaries_
+      ANMAT_GUARDED_BY(dict_mu_);
 };
 
 /// \brief Incremental builder for `Relation` with schema checking.

@@ -4,7 +4,7 @@
 #include <set>
 
 #include "detect/detector_internal.h"
-#include "repair/suggestion_policy.h"
+#include "detect/suggestion_policy.h"
 
 namespace anmat {
 
@@ -36,7 +36,7 @@ Result<RepairResult> RepairErrors(Relation* relation,
     if (detection.violations.empty()) break;
 
     // Fold suggestions per cell (shared policy: equal merge, disagreement
-    // conflicts and drops the cell — see repair/suggestion_policy.h).
+    // conflicts and drops the cell — see detect/suggestion_policy.h).
     SuggestionFold fold;
     for (const Violation& v : detection.violations) {
       if (v.suggested_repair.empty()) continue;

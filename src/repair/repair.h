@@ -31,7 +31,7 @@
 /// `DetectionStream::set_clean_on_ingest` applies confident constant-rule
 /// and cumulative-majority variable-rule repairs per appended batch,
 /// through the same suggestion fold and confidence policy as this module
-/// (repair/suggestion_policy.h; detect/detection_stream.h).
+/// (detect/suggestion_policy.h; detect/detection_stream.h).
 
 #include <cstddef>
 #include <vector>

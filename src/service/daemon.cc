@@ -51,7 +51,7 @@ Result<std::unique_ptr<Daemon>> Daemon::Start(const Options& options) {
   std::memcpy(addr.sun_path, options.socket_path.c_str(),
               options.socket_path.size() + 1);
 
-  std::unique_ptr<Daemon> daemon(new Daemon(options));
+  std::unique_ptr<Daemon> daemon(new Daemon(options));  // lint: new-ok (private ctor, owned by the unique_ptr)
   if (daemon->options_.executor_threads == 0) {
     daemon->options_.executor_threads = 1;
   }
@@ -138,7 +138,7 @@ void Daemon::Wake() {
 void Daemon::Enqueue(const std::shared_ptr<Connection>& conn,
                      std::string payload) {
   {
-    std::lock_guard<std::mutex> lock(conn->outbox_mu);
+    MutexLock lock(&conn->outbox_mu);
     conn->outbox.push_back(EncodeFrame(payload));
   }
   Wake();
@@ -149,7 +149,7 @@ bool Daemon::StageWrites() {
   for (auto& [fd, conn] : conns_) {
     std::vector<std::string> frames;
     {
-      std::lock_guard<std::mutex> lock(conn->outbox_mu);
+      MutexLock lock(&conn->outbox_mu);
       frames.swap(conn->outbox);
     }
     for (std::string& frame : frames) conn->write_buf += frame;
@@ -234,7 +234,7 @@ Status Daemon::Serve() {
       const bool flushed = c.write_off >= c.write_buf.size();
       bool outbox_empty;
       {
-        std::lock_guard<std::mutex> lock(c.outbox_mu);
+        MutexLock lock(&c.outbox_mu);
         outbox_empty = c.outbox.empty();
       }
       if (c.input_closed && flushed && outbox_empty) {
@@ -352,7 +352,7 @@ JsonValue Daemon::StatsJson() {
   JsonValue projects = JsonValue::Array();
   size_t num_projects = 0;
   {
-    std::lock_guard<std::mutex> lock(hosts_mu_);
+    MutexLock lock(&hosts_mu_);
     num_projects = hosts_.size();
     for (auto& [dir, host] : hosts_) {
       JsonValue entry = JsonValue::Object();
@@ -376,16 +376,16 @@ JsonValue Daemon::StatsJson() {
 Result<ProjectHost*> Daemon::GetOrOpenHost(const std::string& dir) {
   const std::string key = CanonicalDir(dir);
   {
-    std::lock_guard<std::mutex> lock(hosts_mu_);
+    MutexLock lock(&hosts_mu_);
     auto it = hosts_.find(key);
     if (it != hosts_.end()) return it->second.get();
   }
   // First request for this project: the open (lock acquire + recovery +
   // catalog load) runs under open_mu_ so a concurrent first request for
   // the same directory cannot host it twice.
-  std::lock_guard<std::mutex> open_lock(open_mu_);
+  MutexLock open_lock(&open_mu_);
   {
-    std::lock_guard<std::mutex> lock(hosts_mu_);
+    MutexLock lock(&hosts_mu_);
     auto it = hosts_.find(key);
     if (it != hosts_.end()) return it->second.get();
   }
@@ -395,7 +395,7 @@ Result<ProjectHost*> Daemon::GetOrOpenHost(const std::string& dir) {
   ANMAT_ASSIGN_OR_RETURN(std::unique_ptr<ProjectHost> host,
                          ProjectHost::Open(key, host_options));
   ProjectHost* raw = host.get();
-  std::lock_guard<std::mutex> lock(hosts_mu_);
+  MutexLock lock(&hosts_mu_);
   hosts_[key] = std::move(host);
   return raw;
 }
@@ -417,12 +417,12 @@ std::string Daemon::ExecuteVerb(const ServiceRequest& request) {
     ProjectHost::Options host_options;
     host_options.engine_threads = options_.engine_threads;
     host_options.lock_wait_ms = options_.lock_wait_ms;
-    std::lock_guard<std::mutex> open_lock(open_mu_);
+    MutexLock open_lock(&open_mu_);
     {
       // Never replace a live host: executors may hold raw ProjectHost*
       // into it. Reachable despite Init's own catalog check if the
       // catalog file was deleted externally while the project is hosted.
-      std::lock_guard<std::mutex> lock(hosts_mu_);
+      MutexLock lock(&hosts_mu_);
       if (hosts_.count(key) != 0) {
         return SerializeServiceError(
             request.id,
@@ -434,7 +434,7 @@ std::string Daemon::ExecuteVerb(const ServiceRequest& request) {
     if (!host.ok()) return SerializeServiceError(request.id, host.status());
     ProjectHost* raw = host->get();
     {
-      std::lock_guard<std::mutex> lock(hosts_mu_);
+      MutexLock lock(&hosts_mu_);
       hosts_.emplace(key, std::move(host).value());
     }
     auto info = raw->Dispatch("info", JsonValue::Object());

@@ -58,14 +58,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "service/framing.h"
 #include "service/project_host.h"
 #include "service/protocol.h"
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace anmat {
@@ -122,9 +123,10 @@ class Daemon {
     /// Bytes on their way out (poll thread only).
     std::string write_buf;
     size_t write_off = 0;
+    /// Guards `outbox` (the only connection state executors may touch).
+    Mutex outbox_mu;
     /// Encoded response frames from executor threads.
-    std::mutex outbox_mu;
-    std::vector<std::string> outbox;
+    std::vector<std::string> outbox ANMAT_GUARDED_BY(outbox_mu);
   };
 
   explicit Daemon(Options options) : options_(std::move(options)) {}
@@ -174,9 +176,10 @@ class Daemon {
   /// `hosts_mu_` guards the map (lookups stay cheap); `open_mu_` extends
   /// over the blocking open so concurrent first requests for one project
   /// cannot host it twice.
-  std::mutex hosts_mu_;
-  std::mutex open_mu_;
-  std::map<std::string, std::unique_ptr<ProjectHost>> hosts_;
+  Mutex hosts_mu_;
+  Mutex open_mu_;
+  std::map<std::string, std::unique_ptr<ProjectHost>> hosts_
+      ANMAT_GUARDED_BY(hosts_mu_);
 };
 
 }  // namespace anmat

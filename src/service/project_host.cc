@@ -82,6 +82,7 @@ const char* RecoveryActionName(JournalRecoveryReport::Action action) {
 
 ProjectHost::ProjectHost(Project project, const Options& options)
     : project_(std::move(project)),
+      dir_(project_.dir()),
       engine_(ExecutionOptions{options.engine_threads, true, nullptr}) {}
 
 Result<std::unique_ptr<ProjectHost>> ProjectHost::Open(
@@ -90,7 +91,7 @@ Result<std::unique_ptr<ProjectHost>> ProjectHost::Open(
   open_options.lock_wait_ms = options.lock_wait_ms;
   ANMAT_ASSIGN_OR_RETURN(Project project, Project::Open(dir, open_options));
   return std::unique_ptr<ProjectHost>(
-      new ProjectHost(std::move(project), options));
+      new ProjectHost(std::move(project), options));  // lint: new-ok (private ctor, owned by the unique_ptr)
 }
 
 Result<std::unique_ptr<ProjectHost>> ProjectHost::Init(
@@ -99,7 +100,7 @@ Result<std::unique_ptr<ProjectHost>> ProjectHost::Init(
                          Project::Init(dir, std::move(name)));
   ANMAT_RETURN_NOT_OK(project.Save());
   return std::unique_ptr<ProjectHost>(
-      new ProjectHost(std::move(project), options));
+      new ProjectHost(std::move(project), options));  // lint: new-ok (private ctor, owned by the unique_ptr)
 }
 
 Result<ProjectHost::VerbResult> ProjectHost::Dispatch(
@@ -156,7 +157,7 @@ JsonValue ProjectHost::CacheStatsJson() {
 }
 
 size_t ProjectHost::num_streams() {
-  std::lock_guard<std::mutex> lock(streams_mu_);
+  MutexLock lock(&streams_mu_);
   return streams_.size();
 }
 
@@ -176,7 +177,7 @@ Result<Relation> ProjectHost::LoadData(const JsonValue& params) {
 }
 
 Result<ProjectHost::VerbResult> ProjectHost::Info() {
-  std::shared_lock<std::shared_mutex> gate(gate_);
+  ReaderMutexLock gate(&gate_);
   VerbResult out;
   out.result = JsonValue::Object();
   out.result.Set("name", JsonValue::String(project_.name()));
@@ -200,7 +201,7 @@ Result<ProjectHost::VerbResult> ProjectHost::Fsck() {
   // lock ever since — no save can have torn in between — so fsck reports
   // that recovery plus the live (healthy by construction) state. Matches
   // the shape of `anmat project fsck --format json`.
-  std::shared_lock<std::shared_mutex> gate(gate_);
+  ReaderMutexLock gate(&gate_);
   const JournalRecoveryReport& report = project_.recovery();
   VerbResult out;
   out.result = JsonValue::Object();
@@ -223,7 +224,7 @@ Result<ProjectHost::VerbResult> ProjectHost::Dataset(
   // Resolves --data the same way LoadData does, but returns the catalog
   // entry instead of the rows: a remote client (the CLI's stream mode)
   // reads the CSV itself and feeds batches over the socket.
-  std::shared_lock<std::shared_mutex> gate(gate_);
+  ReaderMutexLock gate(&gate_);
   ANMAT_ASSIGN_OR_RETURN(const std::string value,
                          ParamString(params, "data", ""));
   Result<Project::DatasetEntry> entry = project_.FindDataset(value);
@@ -245,7 +246,7 @@ Result<ProjectHost::VerbResult> ProjectHost::Dataset(
 
 Result<ProjectHost::VerbResult> ProjectHost::Discover(
     const JsonValue& params) {
-  std::unique_lock<std::shared_mutex> gate(gate_);
+  WriterMutexLock gate(&gate_);
 
   Project::Parameters parameters = project_.parameters();
   ANMAT_ASSIGN_OR_RETURN(
@@ -293,7 +294,7 @@ Result<ProjectHost::VerbResult> ProjectHost::Discover(
 
 Result<ProjectHost::VerbResult> ProjectHost::Profile(
     const JsonValue& params) {
-  std::shared_lock<std::shared_mutex> gate(gate_);
+  ReaderMutexLock gate(&gate_);
   ANMAT_ASSIGN_OR_RETURN(Relation relation, LoadData(params));
   const std::vector<ColumnProfile> profiles = engine_.Profile(relation);
   VerbResult out;
@@ -303,7 +304,7 @@ Result<ProjectHost::VerbResult> ProjectHost::Profile(
 }
 
 Result<ProjectHost::VerbResult> ProjectHost::Detect(const JsonValue& params) {
-  std::shared_lock<std::shared_mutex> gate(gate_);
+  ReaderMutexLock gate(&gate_);
   ANMAT_ASSIGN_OR_RETURN(Relation relation, LoadData(params));
   const std::vector<Pfd> rules = project_.ConfirmedPfds();
   if (rules.empty()) {
@@ -327,7 +328,7 @@ Result<ProjectHost::VerbResult> ProjectHost::Detect(const JsonValue& params) {
 }
 
 Result<ProjectHost::VerbResult> ProjectHost::Repair(const JsonValue& params) {
-  std::shared_lock<std::shared_mutex> gate(gate_);
+  ReaderMutexLock gate(&gate_);
   ANMAT_ASSIGN_OR_RETURN(Relation relation, LoadData(params));
   const std::vector<Pfd> rules = project_.ConfirmedPfds();
   if (rules.empty()) {
@@ -349,7 +350,7 @@ Result<ProjectHost::VerbResult> ProjectHost::Repair(const JsonValue& params) {
 }
 
 Result<ProjectHost::VerbResult> ProjectHost::RulesList() {
-  std::shared_lock<std::shared_mutex> gate(gate_);
+  ReaderMutexLock gate(&gate_);
   VerbResult out;
   out.result = RuleSetToJson(project_.rules());
   out.text = RenderRuleSetView(project_.rules());
@@ -358,7 +359,7 @@ Result<ProjectHost::VerbResult> ProjectHost::RulesList() {
 
 Result<ProjectHost::VerbResult> ProjectHost::RulesSetStatus(
     const JsonValue& params, RuleStatus status) {
-  std::unique_lock<std::shared_mutex> gate(gate_);
+  WriterMutexLock gate(&gate_);
   std::vector<uint64_t> ids;
   const JsonValue* all = params.Get("all");
   if (all != nullptr && all->is_bool() && all->as_bool()) {
@@ -393,7 +394,7 @@ Result<ProjectHost::VerbResult> ProjectHost::RulesSetStatus(
 
 Result<ProjectHost::VerbResult> ProjectHost::RulesDelete(
     const JsonValue& params) {
-  std::unique_lock<std::shared_mutex> gate(gate_);
+  WriterMutexLock gate(&gate_);
   ANMAT_ASSIGN_OR_RETURN(const std::vector<uint64_t> ids, ParamIds(params));
   for (uint64_t id : ids) {
     // An unknown id rejects the whole command; nothing is persisted.
@@ -414,7 +415,7 @@ Result<ProjectHost::VerbResult> ProjectHost::RulesDelete(
 
 Result<ProjectHost::VerbResult> ProjectHost::RulesAnnotate(
     const JsonValue& params) {
-  std::unique_lock<std::shared_mutex> gate(gate_);
+  WriterMutexLock gate(&gate_);
   ANMAT_ASSIGN_OR_RETURN(const int64_t id, ParamInt(params, "id", 0));
   if (id <= 0) {
     return Status::InvalidArgument("param \"id\" must be a positive rule id");
@@ -437,7 +438,7 @@ Result<ProjectHost::VerbResult> ProjectHost::StreamOpen(
     const JsonValue& params) {
   std::vector<Pfd> rules;
   {
-    std::shared_lock<std::shared_mutex> gate(gate_);
+    ReaderMutexLock gate(&gate_);
     rules = project_.ConfirmedPfds();
   }
   if (rules.empty()) {
@@ -474,13 +475,18 @@ Result<ProjectHost::VerbResult> ProjectHost::StreamOpen(
   }
 
   auto entry = std::make_shared<StreamEntry>();
-  entry->stream = std::move(stream);
+  {
+    // Uncontended (the entry is not yet published), held for the
+    // analysis's sake: `stream` is guarded by the entry's mutex.
+    MutexLock lock(&entry->mu);
+    entry->stream = std::move(stream);
+  }
   entry->pfds = std::move(rules);
   entry->clean = clean;
 
   uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(streams_mu_);
+    MutexLock lock(&streams_mu_);
     id = next_stream_id_++;
     streams_[id] = std::move(entry);
   }
@@ -500,7 +506,7 @@ Result<ProjectHost::VerbResult> ProjectHost::StreamAppend(
   ANMAT_ASSIGN_OR_RETURN(const int64_t id, ParamInt(params, "stream", 0));
   std::shared_ptr<StreamEntry> entry;
   {
-    std::lock_guard<std::mutex> lock(streams_mu_);
+    MutexLock lock(&streams_mu_);
     auto it = streams_.find(static_cast<uint64_t>(id));
     if (it == streams_.end()) {
       return Status::NotFound("no open stream with id " +
@@ -533,7 +539,7 @@ Result<ProjectHost::VerbResult> ProjectHost::StreamAppend(
 
   // Appends to one stream serialize here; the registry lock is already
   // released, so other streams (and every other verb) proceed.
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(&entry->mu);
   ANMAT_ASSIGN_OR_RETURN(DetectionResult cumulative,
                          entry->stream->AppendRows(batch));
   entry->last_violations = cumulative.violations.size();
@@ -562,7 +568,7 @@ Result<ProjectHost::VerbResult> ProjectHost::StreamClose(
   ANMAT_ASSIGN_OR_RETURN(const int64_t id, ParamInt(params, "stream", 0));
   std::shared_ptr<StreamEntry> entry;
   {
-    std::lock_guard<std::mutex> lock(streams_mu_);
+    MutexLock lock(&streams_mu_);
     auto it = streams_.find(static_cast<uint64_t>(id));
     if (it == streams_.end()) {
       return Status::NotFound("no open stream with id " +
@@ -572,7 +578,7 @@ Result<ProjectHost::VerbResult> ProjectHost::StreamClose(
     streams_.erase(it);
   }
   // A straggling append that raced the close finishes first.
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(&entry->mu);
   const DetectionStream& stream = *entry->stream;
 
   VerbResult out;

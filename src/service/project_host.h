@@ -40,15 +40,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "anmat/engine.h"
 #include "anmat/project.h"
 #include "detect/detection_stream.h"
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace anmat {
 
@@ -84,7 +84,7 @@ class ProjectHost {
   ProjectHost(const ProjectHost&) = delete;
   ProjectHost& operator=(const ProjectHost&) = delete;
 
-  const std::string& dir() const { return project_.dir(); }
+  const std::string& dir() const { return dir_; }
 
   /// Executes one project-scoped verb. Thread-safe: writers serialize
   /// through the writer gate, readers run concurrently (see file comment).
@@ -123,28 +123,38 @@ class ProjectHost {
 
   /// The relation a verb operates on (`data` = catalog name, or the path
   /// spelling that attached it — same resolution as the CLI's --data).
+  /// Requires `gate_` held, either side (shared suffices: loading never
+  /// mutates catalog state).
   Result<Relation> LoadData(const JsonValue& params)
-      /* requires gate_ held (any side) */;
+      ANMAT_REQUIRES_SHARED(gate_);
 
   /// One live stream. `mu` serializes appends (DetectionStream is not
   /// reentrant); the registry mutex is never held across an append.
   struct StreamEntry {
-    std::mutex mu;
-    std::unique_ptr<DetectionStream> stream;
-    std::vector<Pfd> pfds;  ///< what the stream was opened with
-    std::string clean;      ///< "off" / "constant" / "all"
+    Mutex mu;
+    std::unique_ptr<DetectionStream> stream ANMAT_GUARDED_BY(mu);
+    /// What the stream was opened with; immutable once the entry is
+    /// published in the registry (set under `mu` before that).
+    std::vector<Pfd> pfds;
+    std::string clean;  ///< "off" / "constant" / "all"
     /// Cumulative violation count after the latest append (what the CLI
     /// tracks batch-by-batch; reported again in the close summary).
-    size_t last_violations = 0;
+    size_t last_violations ANMAT_GUARDED_BY(mu) = 0;
   };
 
-  Project project_;
-  Engine engine_;
   /// The writer gate: in-process scheduling finer than the project flock.
-  std::shared_mutex gate_;
-  std::mutex streams_mu_;
-  uint64_t next_stream_id_ = 1;
-  std::map<uint64_t, std::shared_ptr<StreamEntry>> streams_;
+  /// Mutating verbs hold it uniquely around their read-modify-write +
+  /// `Save` cycle; reporting verbs hold it shared.
+  SharedMutex gate_;
+  Project project_ ANMAT_GUARDED_BY(gate_);
+  /// The project directory, cached so `dir()` needs no lock (immutable for
+  /// the host's lifetime).
+  const std::string dir_;
+  Engine engine_;
+  Mutex streams_mu_;
+  uint64_t next_stream_id_ ANMAT_GUARDED_BY(streams_mu_) = 1;
+  std::map<uint64_t, std::shared_ptr<StreamEntry>> streams_
+      ANMAT_GUARDED_BY(streams_mu_);
 };
 
 }  // namespace anmat

@@ -6,7 +6,7 @@
 namespace anmat {
 
 std::string_view Arena::Intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (s.empty()) return std::string_view("", 0);
   if (s.size() > head_left_) {
     const size_t alloc = std::max(chunk_size_, s.size());
@@ -23,7 +23,7 @@ std::string_view Arena::Intern(std::string_view s) {
 }
 
 void Arena::AdoptBuffer(std::shared_ptr<const void> buffer) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   adopted_.push_back(std::move(buffer));
 }
 

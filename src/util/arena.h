@@ -20,9 +20,11 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace anmat {
 
@@ -46,18 +48,20 @@ class Arena {
 
   /// Bytes interned so far (not counting adopted buffers).
   size_t bytes_used() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return bytes_used_;
   }
 
  private:
   const size_t chunk_size_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<char[]>> chunks_;
-  std::vector<std::shared_ptr<const void>> adopted_;
-  char* head_ = nullptr;    ///< write cursor into the current chunk
-  size_t head_left_ = 0;    ///< bytes left in the current chunk
-  size_t bytes_used_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<char[]>> chunks_ ANMAT_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<const void>> adopted_ ANMAT_GUARDED_BY(mu_);
+  /// Write cursor into the current chunk.
+  char* head_ ANMAT_GUARDED_BY(mu_) = nullptr;
+  /// Bytes left in the current chunk.
+  size_t head_left_ ANMAT_GUARDED_BY(mu_) = 0;
+  size_t bytes_used_ ANMAT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace anmat

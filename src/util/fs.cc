@@ -17,6 +17,9 @@
 #include <mutex>
 #include <thread>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace anmat {
 
 namespace {
@@ -184,12 +187,13 @@ namespace {
 // Process-wide registry of live locks, keyed by canonicalized path, so
 // same-process acquires share one flock instead of deadlocking (flock
 // conflicts between two open-file-descriptions even within a process).
-std::mutex& RegistryMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-std::map<std::string, std::weak_ptr<FileLock::State>>& Registry() {
-  static std::map<std::string, std::weak_ptr<FileLock::State>> registry;
+struct LockRegistry {
+  Mutex mu;
+  std::map<std::string, std::weak_ptr<FileLock::State>> locks
+      ANMAT_GUARDED_BY(mu);
+};
+LockRegistry& Registry() {
+  static LockRegistry registry;
   return registry;
 }
 
@@ -201,9 +205,12 @@ std::string RegistryKey(const std::string& path) {
 }
 
 /// One non-blocking acquire attempt; fills `state` on success. Returns
-/// true when settled (locked or hard error), false to retry.
-bool TryAcquireOnce(const std::string& path, const std::string& key,
-                    std::shared_ptr<FileLock::State>* state, Status* error) {
+/// true when settled (locked or hard error), false to retry. The caller
+/// holds the registry mutex (the success path publishes into the map).
+bool TryAcquireOnce(LockRegistry& reg, const std::string& path,
+                    const std::string& key,
+                    std::shared_ptr<FileLock::State>* state, Status* error)
+    ANMAT_REQUIRES(reg.mu) {
   // O_CREAT without O_TRUNC: a holder's recorded pid must survive our
   // probing open.
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
@@ -226,7 +233,7 @@ bool TryAcquireOnce(const std::string& path, const std::string& key,
   locked->fd = fd;
   locked->path = path;
   locked->registry_key = key;
-  Registry()[key] = locked;
+  reg.locks[key] = locked;
   *state = std::move(locked);
   return true;
 }
@@ -235,10 +242,11 @@ bool TryAcquireOnce(const std::string& path, const std::string& key,
 
 FileLock::State::~State() {
   {
-    std::lock_guard<std::mutex> guard(RegistryMutex());
-    auto it = Registry().find(registry_key);
-    if (it != Registry().end() && it->second.expired()) {
-      Registry().erase(it);
+    LockRegistry& reg = Registry();
+    MutexLock guard(&reg.mu);
+    auto it = reg.locks.find(registry_key);
+    if (it != reg.locks.end() && it->second.expired()) {
+      reg.locks.erase(it);
     }
   }
   if (fd >= 0) {
@@ -271,18 +279,19 @@ Result<FileLock> FileLock::Acquire(const std::string& path,
                                                   : 1;
   for (;;) {
     {
-      std::lock_guard<std::mutex> guard(RegistryMutex());
+      LockRegistry& reg = Registry();
+      MutexLock guard(&reg.mu);
       // Share an already-held same-process lock instead of deadlocking on
       // our own flock.
-      if (auto it = Registry().find(key); it != Registry().end()) {
+      if (auto it = reg.locks.find(key); it != reg.locks.end()) {
         if (auto existing = it->second.lock()) {
           return FileLock(std::move(existing));
         }
-        Registry().erase(it);
+        reg.locks.erase(it);
       }
       std::shared_ptr<State> state;
       Status error;
-      if (TryAcquireOnce(path, key, &state, &error)) {
+      if (TryAcquireOnce(reg, path, key, &state, &error)) {
         if (state != nullptr) return FileLock(std::move(state));
         return error;
       }

@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -28,33 +28,33 @@ size_t ThreadPool::HardwareThreads() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) done_cv_.Wait(&mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) done_cv_.notify_all();
+      if (in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -80,19 +80,26 @@ void ParallelFor(const ExecutionOptions& exec, size_t num_tasks,
 
   const size_t helpers = std::min(threads, num_tasks) - 1;
   if (exec.pool != nullptr) {
-    std::mutex mu;
-    std::condition_variable cv;
+    // Completion latch for the helpers this call borrowed from the pool.
+    // Local capabilities confuse the analysis less than they used to, but
+    // lambdas capturing them by reference still hide the lock context, so
+    // the helper body is opted out explicitly below.
+    Mutex mu;
+    CondVar cv;
     size_t active = helpers;
     for (size_t i = 0; i < helpers; ++i) {
-      exec.pool->Submit([&] {
+      // ANMAT_NO_THREAD_SAFETY_ANALYSIS equivalent: the lambda's accesses
+      // to `active` are protected by `mu`, but the analysis cannot track a
+      // by-reference captured local capability across the Submit boundary.
+      exec.pool->Submit([&]() ANMAT_NO_THREAD_SAFETY_ANALYSIS {
         drain();
-        std::lock_guard<std::mutex> lock(mu);
-        if (--active == 0) cv.notify_all();
+        MutexLock lock(&mu);
+        if (--active == 0) cv.NotifyAll();
       });
     }
     drain();
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return active == 0; });
+    MutexLock lock(&mu);
+    while (active != 0) cv.Wait(&mu);
   } else {
     std::vector<std::thread> transient;
     transient.reserve(helpers);

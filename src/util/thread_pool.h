@@ -19,14 +19,15 @@
 /// merged in index order afterwards — which is how every engine stage keeps
 /// parallel output byte-identical to serial runs.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace anmat {
 
@@ -57,12 +58,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< signals workers: work or shutdown
-  std::condition_variable done_cv_;  ///< signals Wait(): everything drained
-  size_t in_flight_ = 0;             ///< queued + currently running tasks
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ ANMAT_GUARDED_BY(mu_);
+  CondVar work_cv_;  ///< signals workers: work or shutdown
+  CondVar done_cv_;  ///< signals Wait(): everything drained
+  /// Queued + currently running tasks.
+  size_t in_flight_ ANMAT_GUARDED_BY(mu_) = 0;
+  bool stop_ ANMAT_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Execution knobs shared by every pipeline stage.

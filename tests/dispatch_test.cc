@@ -1,4 +1,4 @@
-#include "dispatch/multi_pattern_dfa.h"
+#include "pattern/multi_pattern_dfa.h"
 
 #include <gtest/gtest.h>
 
@@ -399,7 +399,11 @@ TEST(ColumnDispatcherTest, PrefilterKeepsVerdictsExact) {
   ASSERT_TRUE(with.Compile(&cache));
   ASSERT_TRUE(without.Compile(&cache));
   const ColumnDictionary& dict = rel.dictionary(0);
-  with.ClassifyValues(dict, 0, &index);
+  with.ClassifyValues(dict, 0,
+                      [&index](const std::vector<const Pattern*>& members,
+                               uint32_t first_id) {
+                        return index.CandidateValueIds(members, first_id);
+                      });
   without.ClassifyValues(dict, 0, /*prefilter=*/nullptr);
 
   for (size_t i = 0; i < patterns.size(); ++i) {

@@ -1,0 +1,248 @@
+// Tests for tools/anmat_lint.cc: each rule must fire on a seeded violation
+// with the right file:line: rule-id, suppressions must silence findings,
+// and the real src/ tree must lint clean.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintResult RunLint(const std::string& target) {
+  const std::string cmd = std::string(ANMAT_LINT_BIN) + " " + target + " 2>&1";
+  LintResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// A scratch corpus root, laid out like src/ (immediate subdirectories are
+// DAG layers), torn down with the fixture.
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("lint_corpus_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  // Writes `content` to <root>/<rel> and returns the path the linter will
+  // print for it.
+  std::string WriteSource(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+    out.close();
+    return p.generic_string();
+  }
+
+  LintResult Lint() { return RunLint(root_.string()); }
+
+  fs::path root_;
+};
+
+TEST_F(LintTest, CleanCorpusExitsZero) {
+  WriteSource("detect/fine.cc",
+              "#include \"pattern/pattern.h\"\n"
+              "#include \"util/status.h\"\n"
+              "int Detect() { return 1; }\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "");
+}
+
+TEST_F(LintTest, UpwardIncludeFiresLayerDag) {
+  // detect (layer 5) reaching up into service (layer 8).
+  const std::string file =
+      WriteSource("detect/bad.cc",
+                  "#include \"pattern/pattern.h\"\n"
+                  "#include \"service/daemon.h\"\n"
+                  "int Detect() { return 1; }\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(file + ":2: layer-dag:"), std::string::npos)
+      << r.output;
+  // The compliant include on line 1 must not fire.
+  EXPECT_EQ(r.output.find(file + ":1:"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, SiblingLayerIncludeFiresLayerDag) {
+  // dispatch and store share layer 4: sibling includes are banned too.
+  const std::string file = WriteSource(
+      "dispatch/bad.cc", "#include \"store/project.h\"\nint X() {return 0;}\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(file + ":1: layer-dag:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, RawOfstreamInStoreFiresDurableWrite) {
+  const std::string file =
+      WriteSource("store/writer.cc",
+                  "#include <fstream>\n"
+                  "void Save() {\n"
+                  "  std::ofstream out(\"state.json\");\n"
+                  "  out << \"{}\";\n"
+                  "}\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(file + ":3: durable-write:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, DurableWriteOnlyAppliesToDurableLayers) {
+  // The same ofstream in util/ (e.g. util/fs.cc itself) is fine.
+  WriteSource("util/fs.cc",
+              "#include <fstream>\n"
+              "void W() { std::ofstream out(\"x\"); }\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, UnannotatedUnorderedIterationFires) {
+  const std::string file =
+      WriteSource("util/iter.cc",
+                  "#include <unordered_map>\n"
+                  "#include <string>\n"
+                  "int Sum(const std::unordered_map<std::string, int>& m) {\n"
+                  "  int total = 0;\n"
+                  "  for (const auto& [k, v] : m) {\n"
+                  "    total += v;\n"
+                  "  }\n"
+                  "  return total;\n"
+                  "}\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(file + ":5: unordered-iter:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, IteratorLoopOverUnorderedFires) {
+  const std::string file = WriteSource(
+      "util/iter.cc",
+      "#include <unordered_set>\n"
+      "int Count(const std::unordered_set<int>& s) {\n"
+      "  int n = 0;\n"
+      "  for (auto it = s.begin(); it != s.end(); ++it) ++n;\n"
+      "  return n;\n"
+      "}\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(file + ":4: unordered-iter:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, AnnotatedUnorderedIterationIsSuppressed) {
+  WriteSource("util/iter.cc",
+              "#include <unordered_map>\n"
+              "int Sum(const std::unordered_map<int, int>& m) {\n"
+              "  int total = 0;\n"
+              "  // lint: unordered-ok (sum is order-independent)\n"
+              "  for (const auto& [k, v] : m) total += v;\n"
+              "  return total;\n"
+              "}\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, BareTagWithoutReasonDoesNotSuppress) {
+  const std::string file =
+      WriteSource("util/iter.cc",
+                  "#include <unordered_map>\n"
+                  "int Sum(const std::unordered_map<int, int>& m) {\n"
+                  "  int total = 0;\n"
+                  "  // lint: unordered-ok\n"
+                  "  for (const auto& [k, v] : m) total += v;\n"
+                  "  return total;\n"
+                  "}\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(file + ":5: unordered-iter:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, BannedCallsFire) {
+  const std::string file =
+      WriteSource("util/fmt.cc",
+                  "#include <cstdio>\n"
+                  "#include <cstdlib>\n"
+                  "void F(char* out, const char* in) {\n"
+                  "  sprintf(out, \"%s\", in);\n"
+                  "  int v = atoi(in);\n"
+                  "  (void)v;\n"
+                  "}\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(file + ":4: banned-call:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(file + ":5: banned-call:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, NakedNewFiresAndAnnotationSuppresses) {
+  const std::string bad = WriteSource(
+      "util/alloc.cc", "int* Make() { return new int(7); }\n");
+  LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(bad + ":1: naked-new:"), std::string::npos)
+      << r.output;
+
+  WriteSource("util/alloc.cc",
+              "int* Make() {\n"
+              "  return new int(7);  // lint: new-ok (caller-owned sentinel)\n"
+              "}\n");
+  r = Lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, CommentedAndQuotedCodeDoesNotFire) {
+  WriteSource("util/doc.cc",
+              "// for (auto& kv : some_unordered_map) — docs only\n"
+              "/* sprintf(buf, \"%d\", 1); */\n"
+              "const char* kHelp = \"never call atoi or new directly\";\n"
+              "int X() { return 0; }\n");
+  const LintResult r = Lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, MissingTargetExitsTwo) {
+  const LintResult r = RunLint((root_ / "does_not_exist").string());
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+// The real tree must be clean: every rule holds over src/ (violations there
+// are either fixed or carry a reasoned annotation).
+TEST(LintSrcTest, RealSourceTreeIsClean) {
+  const LintResult r = RunLint(ANMAT_LINT_SRC_DIR);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "") << r.output;
+}
+
+}  // namespace

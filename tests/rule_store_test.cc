@@ -131,8 +131,13 @@ TEST(RuleSetTest, EmptyRuleSet) {
 
 TEST(RuleSetTest, DuplicateIdsRejected) {
   RuleSet rules;
-  rules.Restore(RuleRecord{1, RuleStatus::kDiscovered, {}, SamplePfd()});
-  rules.Restore(RuleRecord{1, RuleStatus::kConfirmed, {}, SamplePfd()});
+  RuleRecord duplicate;
+  duplicate.id = 1;
+  duplicate.status = RuleStatus::kDiscovered;
+  duplicate.pfd = SamplePfd();
+  rules.Restore(duplicate);
+  duplicate.status = RuleStatus::kConfirmed;
+  rules.Restore(duplicate);
   EXPECT_FALSE(ParseRuleSet(SerializeRuleSet(rules)).ok());
 }
 

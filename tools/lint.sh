@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds and runs the anmat-lint invariant checker over src/.
+#
+#   tools/lint.sh              # configure (if needed), build, lint src/
+#   BUILD_DIR=build-x tools/lint.sh
+#
+# Rules and the suppression syntax are documented at the top of
+# tools/anmat_lint.cc and in ROADMAP.md ("Static analysis & correctness
+# tooling"). Exit status: 0 clean, 1 findings, 2 usage/IO error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+fi
+cmake --build "${BUILD_DIR}" --target anmat_lint -j "$(nproc)" >/dev/null
+
+exec "${BUILD_DIR}/anmat_lint" src/

@@ -6,6 +6,7 @@
 #                              #   build dir; exercises the engine/thread-
 #                              #   pool concurrency tests under TSan)
 #   tools/verify.sh address    # AddressSanitizer build + ctest
+#   tools/verify.sh undefined  # UndefinedBehaviorSanitizer build + ctest
 #
 # Environment: BUILD_DIR overrides the build directory (default: build,
 # or build-<sanitizer> for sanitized runs); JOBS overrides parallelism.
@@ -18,7 +19,8 @@ case "$SANITIZE" in
   "")      BUILD_DIR="${BUILD_DIR:-build}";         CMAKE_ARGS=() ;;
   thread)  BUILD_DIR="${BUILD_DIR:-build-tsan}";    CMAKE_ARGS=(-DANMAT_SANITIZE=thread) ;;
   address) BUILD_DIR="${BUILD_DIR:-build-asan}";    CMAKE_ARGS=(-DANMAT_SANITIZE=address) ;;
-  *) echo "usage: tools/verify.sh [thread|address]" >&2; exit 1 ;;
+  undefined) BUILD_DIR="${BUILD_DIR:-build-ubsan}"; CMAKE_ARGS=(-DANMAT_SANITIZE=undefined) ;;
+  *) echo "usage: tools/verify.sh [thread|address|undefined]" >&2; exit 1 ;;
 esac
 
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
